@@ -1,0 +1,53 @@
+// Ablation: collection-interval sensitivity. The paper samples once per
+// second ("in order to achieve 1-second intervals and produce an
+// analysis that results in instrumentation sites valid at this
+// fine-grained level") and observes that Gadget2's sub-second timestep
+// loop defeats 1 s intervals (Section VI-E). Sweeping the dump interval
+// shows both effects: too-coarse intervals smear phases together;
+// Gadget2 stays unresolved at every practical interval because its
+// phases are faster than any of them.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+int main() {
+  using namespace incprof;
+  std::printf("==== Ablation: collection interval (0.25-4 s) ====\n\n");
+
+  const double intervals_sec[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+  util::TextTable t;
+  t.set_header({"App", "interval (s)", "dumps", "k", "unique sites",
+                "min phase coverage %"});
+  for (std::size_t c = 1; c < 6; ++c) t.set_align(c, util::Align::kRight);
+
+  for (const auto& name : apps::app_names()) {
+    for (const double sec : intervals_sec) {
+      auto app = apps::make_app(name, {});
+      apps::RunConfig cfg = bench::paper_run_config();
+      cfg.interval_ns = sim::seconds(sec);
+      const apps::ProfiledRun run = apps::run_profiled(*app, cfg);
+      const auto analysis = core::analyze_snapshots(
+          run.snapshots, bench::paper_pipeline_config());
+      double min_cov = 1.0;
+      for (const auto& p : analysis.sites.phases) {
+        if (!p.intervals.empty()) min_cov = std::min(min_cov, p.coverage);
+      }
+      t.add_row({name, util::format_fixed(sec, 2),
+                 std::to_string(run.snapshots.size()),
+                 std::to_string(analysis.detection.num_phases),
+                 std::to_string(analysis.sites.num_unique_sites()),
+                 util::format_pct(min_cov)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("expectation: phase structure is stable near 1 s and decays "
+              "as intervals grow past phase durations; gadget's "
+              "sub-second steps stay merged at every interval (the "
+              "paper's fast-phase limitation).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared driver code for the per-table / per-figure bench binaries.
+// Each Table bench reproduces one of the paper's Tables II-VI (discovered
+// instrumentation sites vs the manual baseline); each Figure bench
+// reproduces one of Figures 2-6 (per-interval heartbeat series from the
+// discovered and manual sites, as CSV plus an ASCII rendering).
+#pragma once
+
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "core/pipeline.hpp"
+
+#include <string>
+
+namespace incprof::bench {
+
+/// Default analysis configuration used by every table/figure bench: the
+/// paper's settings (1 s intervals, k = 1..8 with the elbow rule, 95 %
+/// coverage threshold, self-time features, gprof-text data path).
+core::PipelineConfig paper_pipeline_config();
+
+/// Default run configuration (1 s dumps, 10 ms sampling, 2 % work
+/// jitter, fixed seed).
+apps::RunConfig paper_run_config();
+
+/// Runs the collection + analysis pipeline for `app_name` and prints the
+/// paper-style site table plus phase/k-sweep diagnostics. `paper_note`
+/// is printed under the table (what the paper's corresponding table
+/// reports, for eyeball comparison). Returns the analysis.
+core::PhaseAnalysis run_table_bench(const std::string& app_name,
+                                    const std::string& table_name,
+                                    const std::string& paper_note);
+
+/// Runs the heartbeat-figure bench for `app_name`: discovers sites,
+/// re-runs the app instrumented with (a) the discovered sites and (b)
+/// the paper's manual sites, prints ASCII series for both, and writes
+/// CSV series next to the binary (fig_<app>_discovered.csv /
+/// fig_<app>_manual.csv).
+void run_figure_bench(const std::string& app_name,
+                      const std::string& figure_name,
+                      const std::string& paper_note);
+
+}  // namespace incprof::bench

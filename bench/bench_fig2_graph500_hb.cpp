@@ -1,0 +1,12 @@
+// Reproduces Figure 2: Graph500 phase heartbeats, discovered vs manual.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_figure_bench(
+      "graph500", "Figure 2",
+      "manual sites run longer than the 1 s interval and leave gaps "
+      "(heartbeats land only in the interval they finish in); the "
+      "discovered make_one_edge site fills the initialization phase "
+      "without gaps; run_bfs and validate alternate through the trials");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 3: MiniFE phase heartbeats.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_figure_bench(
+      "minife", "Figure 3",
+      "discovered heartbeats nearly identical to manual; cg_solve "
+      "dominates the second half (its count oscillates 0/1 per interval "
+      "so the region appears almost solid), with the four preparation "
+      "phases in sequence before it");
+  return 0;
+}

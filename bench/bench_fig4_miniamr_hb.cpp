@@ -1,0 +1,12 @@
+// Reproduces Figure 4: MiniAMR phase heartbeats, discovered vs manual.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_figure_bench(
+      "miniamr", "Figure 4",
+      "manual sites (check_sum, stencil_calc, comm) are simultaneously "
+      "active and overlap; the discovered deviation-phase heartbeats "
+      "(allocate, pack/unpack) isolate the mid-run mesh adaptation and "
+      "the periodic heavy communication steps");
+  return 0;
+}

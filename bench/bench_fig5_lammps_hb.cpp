@@ -1,0 +1,12 @@
+// Reproduces Figure 5: LAMMPS phase heartbeats.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_figure_bench(
+      "lammps", "Figure 5",
+      "dominated by PairLJCut::compute with short periodic "
+      "NPairHalf::build episodes; Velocity::create fires only at startup "
+      "(an initialization function); the discovered plot subsumes the "
+      "manual sites");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 6: Gadget2 phase heartbeats, discovered vs manual.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_figure_bench(
+      "gadget", "Figure 6",
+      "the four manual timestep wrappers overlap almost completely (each "
+      "is called once per sub-second step); the discovered sites are all "
+      "callees of compute_accelerations, with the PM kernel recurring "
+      "periodically — the paper's fast-phase hard case");
+  return 0;
+}

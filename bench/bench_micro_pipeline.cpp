@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark) for the analysis pipeline's hot
+// pieces. IncProf's pitch is that collection costs <= ~10 % and analysis
+// is an offline afternoon-laptop job; these benchmarks quantify the
+// per-stage costs: engine event dispatch (the collection side), snapshot
+// encode/format/parse (the gprof text path), interval differencing,
+// k-means sweeps, and the end-to-end analysis of a paper-sized run.
+#include <benchmark/benchmark.h>
+
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "cluster/kselect.hpp"
+#include "core/pipeline.hpp"
+#include "gmon/binary_io.hpp"
+#include "gmon/flat_text.hpp"
+#include "prof/collector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace incprof;
+
+// --- collection side ---------------------------------------------------
+
+void BM_EngineDispatch(benchmark::State& state) {
+  // Cost of one enter/work/leave round with profiler + collector
+  // attached — the unit the ~10 % overhead bound is made of.
+  sim::EngineConfig ec;
+  ec.sample_period_ns = 10 * sim::kNsPerMs;
+  sim::ExecutionEngine eng(ec);
+  prof::SamplingProfiler profiler(eng);
+  prof::IncProfCollector collector(profiler, {});
+  eng.add_listener(&profiler);
+  eng.add_listener(&collector);
+  const sim::FunctionId f = eng.registry().intern("kernel");
+  for (auto _ : state) {
+    eng.enter(f);
+    eng.work(sim::kNsPerMs);
+    eng.leave();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineDispatch);
+
+void BM_EngineDispatchBare(benchmark::State& state) {
+  // The same round with no listeners: the baseline of the comparison.
+  sim::EngineConfig ec;
+  ec.sample_period_ns = 10 * sim::kNsPerMs;
+  sim::ExecutionEngine eng(ec);
+  const sim::FunctionId f = eng.registry().intern("kernel");
+  for (auto _ : state) {
+    eng.enter(f);
+    eng.work(sim::kNsPerMs);
+    eng.leave();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineDispatchBare);
+
+// --- snapshot round trips -----------------------------------------------
+
+gmon::ProfileSnapshot synthetic_snapshot(std::size_t functions) {
+  util::Rng rng(11);
+  gmon::ProfileSnapshot snap(1, 1'000'000'000);
+  for (std::size_t i = 0; i < functions; ++i) {
+    gmon::FunctionProfile fp;
+    fp.name = "function_" + std::to_string(i);
+    fp.self_ns = static_cast<std::int64_t>(rng.next_below(1'000'000'000));
+    fp.calls = static_cast<std::int64_t>(rng.next_below(1000));
+    fp.inclusive_ns = fp.self_ns * 2;
+    snap.upsert(std::move(fp));
+  }
+  return snap;
+}
+
+void BM_BinaryRoundTrip(benchmark::State& state) {
+  const auto snap =
+      synthetic_snapshot(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gmon::decode_binary(gmon::encode_binary(snap)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinaryRoundTrip)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FlatTextFormat(benchmark::State& state) {
+  const auto snap =
+      synthetic_snapshot(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmon::format_flat_profile(snap));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlatTextFormat)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FlatTextParse(benchmark::State& state) {
+  const std::string text = gmon::format_flat_profile(
+      synthetic_snapshot(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmon::parse_flat_profile(text));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlatTextParse)->Arg(16)->Arg(64)->Arg(256);
+
+// --- analysis side -------------------------------------------------------
+
+std::vector<gmon::ProfileSnapshot> app_snapshots() {
+  static const std::vector<gmon::ProfileSnapshot> snaps = [] {
+    apps::AppParams params;
+    params.compute_scale = 0.05;
+    auto app = apps::make_app("minife", params);
+    apps::RunConfig cfg;
+    return apps::run_profiled(*app, cfg).snapshots;
+  }();
+  return snaps;
+}
+
+void BM_IntervalDifferencing(benchmark::State& state) {
+  const auto snaps = app_snapshots();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::IntervalData::from_cumulative(snaps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(snaps.size()));
+}
+BENCHMARK(BM_IntervalDifferencing);
+
+void BM_KMeansSweep(benchmark::State& state) {
+  const auto data = core::IntervalData::from_cumulative(app_snapshots());
+  const auto space = core::build_features(data);
+  cluster::KMeansConfig base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::sweep_k(
+        space.features, static_cast<std::size_t>(state.range(0)), base));
+  }
+}
+BENCHMARK(BM_KMeansSweep)->Arg(4)->Arg(8);
+
+void BM_SiteSelection(benchmark::State& state) {
+  const auto data = core::IntervalData::from_cumulative(app_snapshots());
+  const auto space = core::build_features(data);
+  const auto detection = core::detect_phases(space);
+  const auto ranks = core::RankTable::compute(data, detection);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::select_sites(data, space, detection, ranks));
+  }
+}
+BENCHMARK(BM_SiteSelection);
+
+void BM_EndToEndAnalysis(benchmark::State& state) {
+  // The full Figure-1 analysis of a paper-sized (617-interval) run,
+  // including the gprof text round trip.
+  const auto snaps = app_snapshots();
+  core::PipelineConfig cfg;
+  cfg.text_round_trip = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze_snapshots(snaps, cfg));
+  }
+}
+BENCHMARK(BM_EndToEndAnalysis);
+
+void BM_CollectionRun(benchmark::State& state) {
+  // A complete instrumented mini-app execution (real computation plus
+  // virtual timeline) under the IncProf collector.
+  apps::AppParams params;
+  params.compute_scale = 0.05;
+  for (auto _ : state) {
+    auto app = apps::make_app("miniamr", params);
+    apps::RunConfig cfg;
+    benchmark::DoNotOptimize(apps::run_profiled(*app, cfg));
+  }
+}
+BENCHMARK(BM_CollectionRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

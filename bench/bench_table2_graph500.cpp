@@ -1,0 +1,12 @@
+// Reproduces Table II: Graph500 instrumented functions.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_table_bench(
+      "graph500", "Table II",
+      "4 phases; validate_bfs_result loop (98.1% phase / 62.2% app), "
+      "run_bfs body (13.2% app) + loop (12.3% app), make_one_edge body "
+      "(10.8% app); manual sites make_graph_data_structure, "
+      "generate_kronecker_range, run_bfs, validate_bfs_result (all body)");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table III: MiniFE instrumented functions.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_table_bench(
+      "minife", "Table III",
+      "5 phases; sum_in_symm_elem_matrix body (19.5% app), cg_solve loop "
+      "in two phases (43.7% + 20.5% app), init_matrix loop (10.1%), "
+      "generate_matrix_structure loop (0.7%), impose_dirichlet loop "
+      "(4.4%), make_local_matrix loop (0.6%); manual sites cg_solve, "
+      "perform_elem_loop, init_matrix, impose_dirichlet, "
+      "make_local_matrix (all loop)");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table IV: MiniAMR instrumented functions.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_table_bench(
+      "miniamr", "Table IV",
+      "2 phases; check_sum body (100% phase / 89.1% app); deviation phase "
+      "with allocate loop (33.8%/3.7%), pack_block body (32.4%/3.5%), "
+      "unpack_block body (26.5%/2.9%); manual sites check_sum, "
+      "stencil_calc, comm (all body)");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table V: LAMMPS (metal/LJ) instrumented functions.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_table_bench(
+      "lammps", "Table V",
+      "4 phases; PairLJCut::compute loop in two phases (55.7% + 34.1% "
+      "app, ~90% together), NPairHalf::build loop (7.7%) + body (1.3%), "
+      "Velocity::create loop (1.1%); manual sites PairLJCut::compute and "
+      "NPairHalf::build (both body)");
+  return 0;
+}

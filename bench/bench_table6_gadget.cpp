@@ -1,0 +1,14 @@
+// Reproduces Table VI: Gadget2 instrumented functions.
+#include "bench_common.hpp"
+
+int main() {
+  incprof::bench::run_table_bench(
+      "gadget", "Table VI",
+      "3 phases; force_treeevaluate_shortrange body in two phases (44.9% "
+      "+ 24.7% app), pm_setup_nonperiodic_kernel body (28.6%), "
+      "force_update_node_recursive body (1.8%); none of the four manual "
+      "timestep wrappers (find_next_sync_point_and_drift, "
+      "domain_decomposition, compute_accelerations, "
+      "advance_and_find_timesteps) is discovered");
+  return 0;
+}

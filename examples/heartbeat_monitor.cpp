@@ -1,0 +1,84 @@
+// heartbeat_monitor — production-style AppEKG usage (paper, Section III):
+// an application instrumented at its phase sites emits one aggregated
+// record per (interval, heartbeat) to a CSV stream; the ekg analysis
+// library then scans the record history for intervals whose heartbeat
+// rate or duration deviates from that heartbeat's baseline — the
+// "identify when the application is running poorly" scenario — and
+// reports how much the instrumented phases overlap (sequenced vs
+// interleaved structure, the paper's MiniFE-vs-MiniAMR contrast).
+//
+// Usage: heartbeat_monitor [app] [csv_path]
+//   app defaults to lammps; csv_path defaults to heartbeats.csv.
+
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "ekg/analysis.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace incprof;
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "lammps";
+  const std::string csv_path = argc > 2 ? argv[2] : "heartbeats.csv";
+
+  // Discover the phase sites once (development-time step)...
+  auto app = apps::make_app(app_name, {});
+  const core::PhaseAnalysis analysis = apps::profile_and_analyze(*app);
+  const auto sites = apps::to_ekg_sites(analysis.sites);
+  std::printf("%s: %zu phases, %zu heartbeat sites\n", app_name.c_str(),
+              analysis.detection.num_phases, sites.size());
+
+  // ... then run "in production" with only the heartbeats attached.
+  auto prod_app = apps::make_app(app_name, {});
+  const apps::HeartbeatRun run = apps::run_with_heartbeats(*prod_app, sites);
+
+  // Persist the record stream exactly as the CSV sink would have.
+  {
+    std::ofstream os(csv_path, std::ios::trunc);
+    ekg::CsvSink csv(os);
+    for (const auto& rec : run.records) csv.emit(rec);
+  }
+  std::printf("wrote %zu records to %s\n", run.records.size(),
+              csv_path.c_str());
+
+  // Baselines per heartbeat.
+  std::printf("\nper-heartbeat baselines:\n");
+  for (const auto& b : ekg::build_baselines(run.records)) {
+    std::printf(
+        "  HB%u: %zu active intervals, %llu beats, rate %6.1f/interval "
+        "(sd %5.1f), duration %9.1f us (sd %8.1f)\n",
+        b.id, b.records, static_cast<unsigned long long>(b.total_count),
+        b.count_stats.mean(), b.count_stats.stddev(),
+        b.duration_stats.mean() / 1e3, b.duration_stats.stddev() / 1e3);
+  }
+
+  // Anomaly scan against the run's own history.
+  const auto anomalies = ekg::detect_anomalies(run.records, run.records);
+  std::printf("\nanomaly scan (|z| >= 3 on rate or duration):\n");
+  if (anomalies.empty()) {
+    std::printf("  none — all heartbeats within their baseline\n");
+  }
+  for (const auto& a : anomalies) {
+    std::printf(
+        "  interval %5u  HB%u  count %4llu (z %+5.1f)  duration %9.1f us "
+        "(z %+5.1f)\n",
+        a.record.interval, a.record.id,
+        static_cast<unsigned long long>(a.record.count), a.count_z,
+        a.record.mean_duration_ns / 1e3, a.duration_z);
+  }
+
+  // Phase-structure classification.
+  const double overlap = ekg::mean_overlap(run.series);
+  std::printf("\nmean pairwise lane overlap (Jaccard): %.3f -> %s\n",
+              overlap,
+              overlap > 0.5
+                  ? "overlapping phases (MiniAMR-manual-like structure)"
+                  : "sequenced phases (distinct execution regions)");
+  for (const auto& o : ekg::all_overlaps(run.series)) {
+    std::printf("  HB%u <-> HB%u: %.3f\n", o.a, o.b, o.jaccard);
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "apps/gadget.hpp"
+
+#include "apps/workload_common.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incprof::apps {
+
+namespace {
+
+// Virtual-time budget (time_scale = 1), shaped to the paper's 421-second
+// run. Each timestep is ~0.3 s — much shorter than the 1-second analysis
+// interval, the property that makes Gadget2 the paper's hard case. The
+// PM kernel runs every kPmEvery steps and takes several intervals, which
+// is what gives the clustering its second distinguishable regime.
+// The four main timestep functions are thin dispatchers in the real code:
+// nearly all self time lands in the tree walk and the PM kernel (Table VI
+// sums to ~100 % over just three functions). Their few milliseconds per
+// step sit below the 10 ms profiling clock most of the time, which is
+// exactly why the paper's discovered sites are the callees.
+constexpr std::size_t kTimesteps = 1150;
+constexpr double kDriftSec = 0.0024;
+constexpr double kDomainSec = 0.0032;
+constexpr double kTreeForceSec = 0.262;
+constexpr double kNodeUpdateSec = 0.0045;
+constexpr double kAdvanceSec = 0.0021;
+constexpr std::size_t kPmEvery = 26;
+constexpr double kPmKernelSec = 2.45;
+
+class Gadget final : public MiniApp {
+ public:
+  explicit Gadget(const AppParams& params) : params_(params) {
+    const double cs = std::max(0.05, params_.compute_scale);
+    npart_ = std::max<std::size_t>(128,
+                                   static_cast<std::size_t>(1024.0 * cs));
+    util::Rng rng(0x67616467u);
+    pos_.resize(npart_ * 3);
+    vel_.assign(npart_ * 3, 0.0);
+    acc_.assign(npart_ * 3, 0.0);
+    for (auto& p : pos_) p = rng.next_double();
+  }
+
+  std::string name() const override { return "gadget"; }
+  double nominal_runtime_sec() const override { return 421.0; }
+  std::size_t paper_ranks() const override { return 16; }
+  std::size_t paper_phases() const override { return 3; }
+
+  std::vector<core::ManualSite> manual_sites() const override {
+    // Table VI's manual selection: the four main timestep functions.
+    return {{"find_next_sync_point_and_drift", core::InstType::kBody},
+            {"domain_decomposition", core::InstType::kBody},
+            {"compute_accelerations", core::InstType::kBody},
+            {"advance_and_find_timesteps", core::InstType::kBody}};
+  }
+
+  double checksum() const override { return sink_.value(); }
+
+  void run(sim::ExecutionEngine& eng) override {
+    for (std::size_t step = 0; step < kTimesteps; ++step) {
+      find_next_sync_point_and_drift(eng);
+      domain_decomposition(eng);
+      compute_accelerations(eng, step);
+      advance_and_find_timesteps(eng);
+    }
+  }
+
+ private:
+  void find_next_sync_point_and_drift(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "find_next_sync_point_and_drift");
+    constexpr double dt = 1e-3;
+    for (std::size_t i = 0; i < npart_ * 3; ++i) {
+      pos_[i] += dt * vel_[i];
+      if (pos_[i] < 0.0) pos_[i] += 1.0;
+      if (pos_[i] >= 1.0) pos_[i] -= 1.0;
+    }
+    eng.work(scaled(kDriftSec, params_.time_scale));
+  }
+
+  void domain_decomposition(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "domain_decomposition");
+    // Peano-Hilbert-ish ordering proxy: bucket particles on a coarse
+    // grid; count occupancy (what the real code balances on).
+    constexpr std::size_t kGrid = 8;
+    counts_.assign(kGrid * kGrid * kGrid, 0);
+    for (std::size_t i = 0; i < npart_; ++i) {
+      const auto gx = static_cast<std::size_t>(pos_[3 * i] * kGrid);
+      const auto gy = static_cast<std::size_t>(pos_[3 * i + 1] * kGrid);
+      const auto gz = static_cast<std::size_t>(pos_[3 * i + 2] * kGrid);
+      ++counts_[std::min(gx, kGrid - 1) * kGrid * kGrid +
+                std::min(gy, kGrid - 1) * kGrid + std::min(gz, kGrid - 1)];
+    }
+    eng.work(scaled(kDomainSec, params_.time_scale));
+  }
+
+  void compute_accelerations(sim::ExecutionEngine& eng, std::size_t step) {
+    sim::ScopedFunction f(eng, "compute_accelerations");
+    if (step % kPmEvery == 0) {
+      pm_setup_nonperiodic_kernel(eng);
+      force_update_node_recursive(eng);
+    }
+    force_treeevaluate_shortrange(eng);
+  }
+
+  void pm_setup_nonperiodic_kernel(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "pm_setup_nonperiodic_kernel");
+    // Mesh assignment + a toy long-range convolution over a small grid
+    // (the real code FFTs; the data movement pattern is what matters).
+    constexpr std::size_t kMesh = 16;
+    mesh_.assign(kMesh * kMesh * kMesh, 0.0);
+    for (std::size_t i = 0; i < npart_; ++i) {
+      const auto gx = std::min<std::size_t>(
+          static_cast<std::size_t>(pos_[3 * i] * kMesh), kMesh - 1);
+      const auto gy = std::min<std::size_t>(
+          static_cast<std::size_t>(pos_[3 * i + 1] * kMesh), kMesh - 1);
+      const auto gz = std::min<std::size_t>(
+          static_cast<std::size_t>(pos_[3 * i + 2] * kMesh), kMesh - 1);
+      mesh_[(gx * kMesh + gy) * kMesh + gz] += 1.0;
+    }
+    double smoothed = 0.0;
+    constexpr std::size_t kSweeps = 10;
+    const sim::vtime_t per_sweep =
+        scaled(kPmKernelSec / kSweeps, params_.time_scale);
+    for (std::size_t s = 0; s < kSweeps; ++s) {
+      for (std::size_t i = 1; i + 1 < mesh_.size(); ++i) {
+        mesh_[i] = 0.25 * mesh_[i - 1] + 0.5 * mesh_[i] + 0.25 * mesh_[i + 1];
+        smoothed += mesh_[i];
+      }
+      eng.loop_tick();
+      eng.work(per_sweep);
+    }
+    sink_.consume(smoothed);
+  }
+
+  void force_update_node_recursive(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "force_update_node_recursive");
+    // Refresh tree-node multipoles bottom-up (proxy: per-cell centers of
+    // mass from the domain grid counts).
+    double moment = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      moment += static_cast<double>(counts_[i]) * static_cast<double>(i);
+    }
+    sink_.consume(moment);
+    eng.work(scaled(kNodeUpdateSec * 12, params_.time_scale));
+  }
+
+  void force_treeevaluate_shortrange(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "force_treeevaluate_shortrange");
+    // Short-range gravity against the coarse-grid cells (a stand-in for
+    // the Barnes-Hut opening-criterion walk): every particle interacts
+    // with nearby cell centers of mass.
+    constexpr std::size_t kGrid = 8;
+    const std::size_t stride = std::max<std::size_t>(1, npart_ / 256);
+    for (std::size_t i = 0; i < npart_; i += stride) {
+      double ax = 0.0, ay = 0.0, az = 0.0;
+      for (std::size_t c = 0; c < counts_.size(); c += 7) {
+        const double m = static_cast<double>(counts_[c]);
+        if (m == 0.0) continue;
+        const double cx =
+            (static_cast<double>(c / (kGrid * kGrid)) + 0.5) / kGrid;
+        const double cy =
+            (static_cast<double>((c / kGrid) % kGrid) + 0.5) / kGrid;
+        const double cz = (static_cast<double>(c % kGrid) + 0.5) / kGrid;
+        const double dx = cx - pos_[3 * i];
+        const double dy = cy - pos_[3 * i + 1];
+        const double dz = cz - pos_[3 * i + 2];
+        const double r2 = dx * dx + dy * dy + dz * dz + 1e-3;
+        const double inv = m / (r2 * std::sqrt(r2));
+        ax += dx * inv;
+        ay += dy * inv;
+        az += dz * inv;
+      }
+      acc_[3 * i] = ax;
+      acc_[3 * i + 1] = ay;
+      acc_[3 * i + 2] = az;
+    }
+    eng.loop_tick();
+    eng.work(scaled(kTreeForceSec, params_.time_scale));
+    sink_.consume(acc_[0]);
+  }
+
+  void advance_and_find_timesteps(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "advance_and_find_timesteps");
+    constexpr double dt = 1e-3;
+    for (std::size_t i = 0; i < npart_ * 3; ++i) {
+      vel_[i] += dt * acc_[i];
+    }
+    eng.work(scaled(kAdvanceSec, params_.time_scale));
+  }
+
+  AppParams params_;
+  std::size_t npart_ = 0;
+  std::vector<double> pos_;
+  std::vector<double> vel_;
+  std::vector<double> acc_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> mesh_;
+  Blackhole sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<MiniApp> make_gadget(const AppParams& params) {
+  return std::make_unique<Gadget>(params);
+}
+
+}  // namespace incprof::apps

@@ -1,0 +1,19 @@
+// Gadget2-style cosmological N-body/SPH simulation (paper, Section
+// VI-E): a timestep-driven loop with four main calls per step
+// (find_next_sync_point_and_drift, domain_decomposition,
+// compute_accelerations, advance_and_find_timesteps), where the tree
+// force evaluation dominates and a particle-mesh kernel recurs every N
+// steps. The paper's point about this app — steps complete in well under
+// the one-second profiling interval, so interval-level phase detection
+// struggles — is preserved by the timing constants. Function names match
+// Table VI.
+#pragma once
+
+#include "apps/miniapp.hpp"
+
+namespace incprof::apps {
+
+/// Creates the Gadget2-style workload.
+std::unique_ptr<MiniApp> make_gadget(const AppParams& params);
+
+}  // namespace incprof::apps

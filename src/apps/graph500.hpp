@@ -1,0 +1,14 @@
+// Graph500-style BFS benchmark (paper, Section VI-A). Re-creation of the
+// mpi_simple flow of Graph500 2.1.4: Kronecker-style edge generation,
+// graph construction, then repeated breadth-first searches each followed
+// by result validation. Function names match Table II.
+#pragma once
+
+#include "apps/miniapp.hpp"
+
+namespace incprof::apps {
+
+/// Creates the Graph500 workload.
+std::unique_ptr<MiniApp> make_graph500(const AppParams& params);
+
+}  // namespace incprof::apps

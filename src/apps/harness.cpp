@@ -1,0 +1,117 @@
+#include "apps/harness.hpp"
+
+#include "core/report.hpp"
+#include "prof/callgraph_profiler.hpp"
+#include "prof/collector.hpp"
+#include "prof/sampler.hpp"
+
+namespace incprof::apps {
+
+namespace {
+sim::ExecutionEngine make_engine(const RunConfig& cfg) {
+  sim::EngineConfig ec;
+  ec.sample_period_ns = cfg.sample_period_ns;
+  ec.work_jitter_rel = cfg.jitter;
+  ec.seed = cfg.seed;
+  return sim::ExecutionEngine(ec);
+}
+}  // namespace
+
+ProfiledRun run_profiled(MiniApp& app, const RunConfig& cfg) {
+  sim::ExecutionEngine eng = make_engine(cfg);
+  prof::SamplingProfiler profiler(eng);
+  prof::CallGraphProfiler callgraph(eng);
+  prof::CollectorConfig cc;
+  cc.interval_ns = cfg.interval_ns;
+  prof::IncProfCollector collector(profiler, cc);
+  eng.add_listener(&profiler);
+  eng.add_listener(&callgraph);
+  eng.add_listener(&collector);
+
+  app.run(eng);
+  eng.finish();
+
+  ProfiledRun out;
+  out.snapshots = collector.snapshots();
+  out.callgraph = callgraph.snapshot(
+      static_cast<std::uint32_t>(out.snapshots.size()), eng.now());
+  out.runtime_ns = eng.now();
+  out.checksum = app.checksum();
+  return out;
+}
+
+sim::vtime_t run_baseline(MiniApp& app, const RunConfig& cfg) {
+  sim::ExecutionEngine eng = make_engine(cfg);
+  app.run(eng);
+  eng.finish();
+  return eng.now();
+}
+
+HeartbeatRun run_with_heartbeats(
+    MiniApp& app, const std::vector<ekg::InstrumentedSite>& sites,
+    const RunConfig& cfg) {
+  sim::ExecutionEngine eng = make_engine(cfg);
+  ekg::MemorySink sink;
+  ekg::EkgConfig ekg_cfg;
+  ekg_cfg.interval_ns = cfg.interval_ns;
+  ekg::AppEkg ekg(ekg_cfg, sink);
+  ekg::EkgEngineAdapter adapter(ekg, eng, sites);
+  eng.add_listener(&adapter);
+
+  app.run(eng);
+  eng.finish();
+
+  HeartbeatRun out;
+  out.records = sink.records();
+  out.runtime_ns = eng.now();
+  const auto total_intervals = static_cast<std::size_t>(
+      (eng.now() + cfg.interval_ns - 1) / cfg.interval_ns);
+  out.series = ekg::HeartbeatSeries::from_records(out.records,
+                                                  total_intervals);
+  for (const auto& site : sites) {
+    out.series.set_label(
+        site.hb_id,
+        site.function + "/" +
+            (site.kind == ekg::SiteKind::kBody ? "body" : "loop"));
+  }
+  return out;
+}
+
+std::vector<ekg::InstrumentedSite> to_ekg_sites(
+    const core::SiteSelectionResult& result) {
+  const auto hb_ids = core::assign_heartbeat_ids(result);
+  std::vector<ekg::InstrumentedSite> sites;
+  for (const auto& [key, id] : hb_ids) {
+    ekg::InstrumentedSite s;
+    s.function = key.first;
+    s.kind = key.second == core::InstType::kBody ? ekg::SiteKind::kBody
+                                                 : ekg::SiteKind::kLoop;
+    s.hb_id = id;
+    sites.push_back(std::move(s));
+  }
+  return sites;
+}
+
+std::vector<ekg::InstrumentedSite> to_ekg_sites(
+    const std::vector<core::ManualSite>& manual) {
+  std::vector<ekg::InstrumentedSite> sites;
+  ekg::HeartbeatId next = 1;
+  for (const auto& m : manual) {
+    ekg::InstrumentedSite s;
+    s.function = m.function;
+    s.kind = m.type == core::InstType::kBody ? ekg::SiteKind::kBody
+                                             : ekg::SiteKind::kLoop;
+    s.hb_id = next++;
+    sites.push_back(std::move(s));
+  }
+  return sites;
+}
+
+core::PhaseAnalysis profile_and_analyze(
+    MiniApp& app, const RunConfig& run_cfg,
+    const core::PipelineConfig& pipe_cfg) {
+  const ProfiledRun run = run_profiled(app, run_cfg);
+  return core::analyze_snapshots(run.snapshots, pipe_cfg);
+}
+
+}  // namespace incprof::apps

@@ -1,0 +1,75 @@
+// Run harness: the glue that executes a mini-app under the IncProf
+// collector (Figure 1's data-collection side) or under AppEKG heartbeat
+// instrumentation (the validation side), and converts Algorithm 1 output
+// into adapter site lists. Examples, tests and every bench build on
+// these entry points.
+#pragma once
+
+#include "apps/miniapp.hpp"
+#include "core/pipeline.hpp"
+#include "ekg/adapter.hpp"
+#include "ekg/series.hpp"
+#include "gmon/callgraph.hpp"
+#include "gmon/snapshot.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace incprof::apps {
+
+/// Knobs for one instrumented run.
+struct RunConfig {
+  /// Engine seed (drives work jitter).
+  std::uint64_t seed = 7;
+  /// Relative work jitter (0 = deterministic; ~0.02 models rank noise).
+  double jitter = 0.02;
+  /// Profile dump / heartbeat collection interval, virtual ns.
+  sim::vtime_t interval_ns = sim::kNsPerSec;
+  /// Engine sampling period, virtual ns (gprof's 100 Hz default).
+  sim::vtime_t sample_period_ns = 10 * sim::kNsPerMs;
+};
+
+/// Output of a collection run.
+struct ProfiledRun {
+  std::vector<gmon::ProfileSnapshot> snapshots;
+  /// Final cumulative call graph (for core::lift_sites).
+  gmon::CallGraphSnapshot callgraph;
+  sim::vtime_t runtime_ns = 0;
+  double checksum = 0.0;
+};
+
+/// Runs `app` with the sampling profiler + IncProf collector attached.
+ProfiledRun run_profiled(MiniApp& app, const RunConfig& cfg = {});
+
+/// Runs `app` bare (no listeners) — the uninstrumented baseline.
+sim::vtime_t run_baseline(MiniApp& app, const RunConfig& cfg = {});
+
+/// Output of a heartbeat-instrumented run.
+struct HeartbeatRun {
+  std::vector<ekg::HeartbeatRecord> records;
+  sim::vtime_t runtime_ns = 0;
+  /// Series over the full run axis, with site labels attached.
+  ekg::HeartbeatSeries series;
+};
+
+/// Runs `app` with AppEKG instrumentation on the given sites.
+HeartbeatRun run_with_heartbeats(MiniApp& app,
+                                 const std::vector<ekg::InstrumentedSite>& sites,
+                                 const RunConfig& cfg = {});
+
+/// Converts Algorithm 1 output into adapter sites, assigning heartbeat
+/// ids exactly as the report tables do (assign_heartbeat_ids).
+std::vector<ekg::InstrumentedSite> to_ekg_sites(
+    const core::SiteSelectionResult& result);
+
+/// Converts a manual site list into adapter sites with ids 1..n.
+std::vector<ekg::InstrumentedSite> to_ekg_sites(
+    const std::vector<core::ManualSite>& manual);
+
+/// Convenience: profile `app` and run the full analysis pipeline.
+core::PhaseAnalysis profile_and_analyze(
+    MiniApp& app, const RunConfig& run_cfg = {},
+    const core::PipelineConfig& pipe_cfg = {});
+
+}  // namespace incprof::apps

@@ -1,0 +1,295 @@
+#include "apps/mdlj.hpp"
+
+#include "apps/workload_common.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incprof::apps {
+
+namespace {
+
+// Virtual-time budget (time_scale = 1), shaped to the paper's 307-second
+// LAMMPS metal/LJ run and Table V: PairLJCut::compute dominates (~90 % of
+// execution split by the clustering into two phases), NPairHalf::build
+// runs periodically, and Velocity::create appears only at startup. The
+// per-step pair cost drifts upward after equilibration, which is what
+// separates the early and late compute-dominated clusters.
+constexpr double kVelocityCreateSec = 2.6;
+constexpr std::size_t kTimesteps = 290;
+constexpr double kPairSecEarly = 0.80;
+constexpr double kPairSecLate = 0.98;
+constexpr std::size_t kEquilibrationStep = 150;
+constexpr std::size_t kRebuildEvery = 10;
+constexpr double kRebuildSec = 0.85;
+constexpr double kIntegrateSec = 0.08;
+
+// EAM mode: the per-step budget splits across the three EAM passes
+// instead of one LJ kernel.
+constexpr double kEamDensitySec = 0.34;
+constexpr double kEamEmbedSec = 0.16;
+constexpr double kEamForceSec = 0.44;
+
+/// Force model selector for the two LAMMPS-style modes.
+enum class ForceModel { kLennardJones, kEam };
+
+class MdLj final : public MiniApp {
+ public:
+  explicit MdLj(const AppParams& params,
+                ForceModel model = ForceModel::kLennardJones)
+      : params_(params), model_(model) {
+    const double cs = std::max(0.05, params_.compute_scale);
+    natoms_ = std::max<std::size_t>(64,
+                                    static_cast<std::size_t>(400.0 * cs));
+    box_ = std::cbrt(static_cast<double>(natoms_) / 0.8);  // density 0.8
+    cutoff_ = 2.5;
+  }
+
+  std::string name() const override {
+    return model_ == ForceModel::kLennardJones ? "lammps" : "lammps-eam";
+  }
+  double nominal_runtime_sec() const override { return 307.0; }
+  std::size_t paper_ranks() const override { return 16; }
+  std::size_t paper_phases() const override { return 4; }
+
+  std::vector<core::ManualSite> manual_sites() const override {
+    if (model_ == ForceModel::kEam) {
+      return {{"PairEAM_compute", core::InstType::kBody},
+              {"NPairHalf_build", core::InstType::kBody}};
+    }
+    // Table V's manual selection.
+    return {{"PairLJCut_compute", core::InstType::kBody},
+            {"NPairHalf_build", core::InstType::kBody}};
+  }
+
+  double checksum() const override { return sink_.value(); }
+
+  void run(sim::ExecutionEngine& eng) override {
+    velocity_create(eng);
+    for (std::size_t step = 0; step < kTimesteps; ++step) {
+      if (step % kRebuildEvery == 0) npair_half_build(eng);
+      if (model_ == ForceModel::kLennardJones) {
+        pair_lj_cut_compute(eng, step);
+      } else {
+        pair_eam_compute(eng, step);
+      }
+      verlet_integrate(eng);
+    }
+  }
+
+ private:
+  // --- setup -----------------------------------------------------------
+
+  void velocity_create(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "Velocity_create");
+    util::Rng rng(0x6d646c6au);
+    pos_.assign(natoms_ * 3, 0.0);
+    vel_.assign(natoms_ * 3, 0.0);
+    force_.assign(natoms_ * 3, 0.0);
+    // Lattice positions + Maxwell-Boltzmann velocities, in passes with
+    // loop ticks so the 2.6 s init spans interval boundaries.
+    const std::size_t side = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(natoms_))));
+    constexpr std::size_t kPasses = 13;
+    const sim::vtime_t per_pass =
+        scaled(kVelocityCreateSec / kPasses, params_.time_scale);
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+      for (std::size_t i = pass; i < natoms_; i += kPasses) {
+        const double spacing = box_ / static_cast<double>(side);
+        pos_[3 * i + 0] = spacing * static_cast<double>(i % side);
+        pos_[3 * i + 1] = spacing * static_cast<double>((i / side) % side);
+        pos_[3 * i + 2] = spacing * static_cast<double>(i / (side * side));
+        for (int d = 0; d < 3; ++d) {
+          vel_[3 * i + d] = rng.next_gaussian();
+        }
+      }
+      eng.loop_tick();
+      eng.work(per_pass);
+    }
+    sink_.consume(vel_[0]);
+  }
+
+  // --- neighbor list -----------------------------------------------------
+
+  void npair_half_build(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "NPairHalf_build");
+    // Real O(n^2)-with-cutoff half list (i < j), rebuilt in passes so
+    // the rebuild spans virtual time with loop ticks.
+    pairs_.clear();
+    const double cut2 = cutoff_ * cutoff_ * 1.21;  // skin factor
+    constexpr std::size_t kPasses = 4;
+    const sim::vtime_t per_pass =
+        scaled(kRebuildSec / kPasses, params_.time_scale);
+    for (std::size_t pass = 0; pass < kPasses; ++pass) {
+      for (std::size_t i = pass; i < natoms_; i += kPasses) {
+        for (std::size_t j = i + 1; j < natoms_; ++j) {
+          if (dist2(i, j) <= cut2) pairs_.emplace_back(i, j);
+        }
+      }
+      eng.loop_tick();
+      eng.work(per_pass);
+    }
+    sink_.consume(static_cast<double>(pairs_.size()));
+  }
+
+  // --- force + integration --------------------------------------------
+
+  void pair_lj_cut_compute(sim::ExecutionEngine& eng, std::size_t step) {
+    sim::ScopedFunction f(eng, "PairLJCut_compute");
+    std::fill(force_.begin(), force_.end(), 0.0);
+    const double cut2 = cutoff_ * cutoff_;
+    double energy = 0.0;
+    for (const auto& [i, j] : pairs_) {
+      const double r2 = dist2(i, j);
+      if (r2 > cut2 || r2 <= 1e-12) continue;
+      const double inv2 = 1.0 / r2;
+      const double inv6 = inv2 * inv2 * inv2;
+      const double fmag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+      energy += 4.0 * inv6 * (inv6 - 1.0);
+      for (int d = 0; d < 3; ++d) {
+        const double dr = delta(i, j, d);
+        force_[3 * i + d] += fmag * dr;
+        force_[3 * j + d] -= fmag * dr;
+      }
+    }
+    sink_.consume(energy);
+    const double sec =
+        step < kEquilibrationStep ? kPairSecEarly : kPairSecLate;
+    // The pair compute is one long kernel; split its cost over a few
+    // chunks so sampling lands inside it rather than at its edges.
+    constexpr std::size_t kChunks = 8;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      eng.loop_tick();
+      eng.work(scaled(sec / kChunks, params_.time_scale));
+    }
+  }
+
+  // EAM: density accumulation, embedding-energy evaluation, then the
+  // pair-force pass using the embedding derivatives. Each pass is a real
+  // sweep over the half list / atoms.
+  void pair_eam_compute(sim::ExecutionEngine& eng, std::size_t step) {
+    sim::ScopedFunction f(eng, "PairEAM_compute");
+    pair_eam_density(eng);
+    pair_eam_embed(eng, step);
+    pair_eam_force(eng, step);
+  }
+
+  void pair_eam_density(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "PairEAM_density");
+    rho_.assign(natoms_, 0.0);
+    const double cut2 = cutoff_ * cutoff_;
+    for (const auto& [i, j] : pairs_) {
+      const double r2 = dist2(i, j);
+      if (r2 > cut2 || r2 <= 1e-12) continue;
+      // Exponentially decaying electron density contribution.
+      const double contrib = std::exp(-1.7 * std::sqrt(r2));
+      rho_[i] += contrib;
+      rho_[j] += contrib;
+    }
+    constexpr std::size_t kChunks = 4;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      eng.loop_tick();
+      eng.work(scaled(kEamDensitySec / kChunks, params_.time_scale));
+    }
+  }
+
+  void pair_eam_embed(sim::ExecutionEngine& eng, std::size_t step) {
+    sim::ScopedFunction f(eng, "PairEAM_embed");
+    double energy = 0.0;
+    fprime_.resize(natoms_);
+    for (std::size_t i = 0; i < natoms_; ++i) {
+      // F(rho) = -sqrt(rho): the classic EAM embedding form.
+      const double rho = std::max(rho_[i], 1e-12);
+      energy += -std::sqrt(rho);
+      fprime_[i] = -0.5 / std::sqrt(rho);
+    }
+    sink_.consume(energy + static_cast<double>(step));
+    eng.loop_tick();
+    eng.work(scaled(kEamEmbedSec, params_.time_scale));
+  }
+
+  void pair_eam_force(sim::ExecutionEngine& eng, std::size_t step) {
+    sim::ScopedFunction f(eng, "PairEAM_force");
+    std::fill(force_.begin(), force_.end(), 0.0);
+    const double cut2 = cutoff_ * cutoff_;
+    for (const auto& [i, j] : pairs_) {
+      const double r2 = dist2(i, j);
+      if (r2 > cut2 || r2 <= 1e-12) continue;
+      const double r = std::sqrt(r2);
+      // d(rho)/dr folded through both embedding derivatives, plus a
+      // short-range repulsive pair term.
+      const double drho = -1.7 * std::exp(-1.7 * r);
+      const double fmag =
+          -((fprime_[i] + fprime_[j]) * drho - 2.0 / (r2 * r2)) / r;
+      for (int d = 0; d < 3; ++d) {
+        const double dr = delta(i, j, d);
+        force_[3 * i + d] += fmag * dr;
+        force_[3 * j + d] -= fmag * dr;
+      }
+    }
+    sink_.consume(force_[0]);
+    const double drift = step < kEquilibrationStep ? 1.0 : 1.12;
+    constexpr std::size_t kChunks = 6;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      eng.loop_tick();
+      eng.work(scaled(kEamForceSec * drift / kChunks, params_.time_scale));
+    }
+  }
+
+  void verlet_integrate(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "Verlet_run");
+    constexpr double dt = 0.002;
+    for (std::size_t i = 0; i < natoms_ * 3; ++i) {
+      vel_[i] += dt * force_[i];
+      pos_[i] += dt * vel_[i];
+      // Periodic wrap.
+      if (pos_[i] < 0.0) pos_[i] += box_;
+      if (pos_[i] >= box_) pos_[i] -= box_;
+    }
+    eng.work(scaled(kIntegrateSec, params_.time_scale));
+  }
+
+  double delta(std::size_t i, std::size_t j, int d) const noexcept {
+    double dr = pos_[3 * i + d] - pos_[3 * j + d];
+    // Minimum image.
+    if (dr > box_ / 2) dr -= box_;
+    if (dr < -box_ / 2) dr += box_;
+    return dr;
+  }
+
+  double dist2(std::size_t i, std::size_t j) const noexcept {
+    double s = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      const double dr = delta(i, j, d);
+      s += dr * dr;
+    }
+    return s;
+  }
+
+  AppParams params_;
+  ForceModel model_;
+  std::size_t natoms_ = 0;
+  double box_ = 0.0;
+  double cutoff_ = 0.0;
+  std::vector<double> pos_;
+  std::vector<double> vel_;
+  std::vector<double> force_;
+  std::vector<double> rho_;
+  std::vector<double> fprime_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
+  Blackhole sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<MiniApp> make_mdlj(const AppParams& params) {
+  return std::make_unique<MdLj>(params, ForceModel::kLennardJones);
+}
+
+std::unique_ptr<MiniApp> make_mdlj_eam(const AppParams& params) {
+  return std::make_unique<MdLj>(params, ForceModel::kEam);
+}
+
+}  // namespace incprof::apps

@@ -1,0 +1,25 @@
+// LAMMPS-style molecular dynamics with the Lennard-Jones force model
+// (paper, Section VI-D): velocity initialization, then a Verlet timestep
+// loop dominated by the LJ pair-force computation, with periodic
+// half-neighbor-list rebuilds. Function names match Table V (C++ scope
+// separators rendered as '_' so the names survive the flat-profile text
+// round trip unambiguously).
+#pragma once
+
+#include "apps/miniapp.hpp"
+
+namespace incprof::apps {
+
+/// Creates the LAMMPS-style LJ workload (the paper's evaluated mode).
+std::unique_ptr<MiniApp> make_mdlj(const AppParams& params);
+
+/// Creates the EAM-mode variant ("lammps-eam"). The paper notes that
+/// "large multi-mode applications like LAMMPS should really be thought
+/// of as a collection of related applications, each having unique but
+/// related phase behavior" (Section VI-D); this second force model
+/// exercises that: the timestep loop is the same shape, but the hot
+/// functions (density pass, embedding energy, force pass) differ, so
+/// phase discovery must find a different-but-related site set.
+std::unique_ptr<MiniApp> make_mdlj_eam(const AppParams& params);
+
+}  // namespace incprof::apps

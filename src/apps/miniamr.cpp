@@ -1,0 +1,184 @@
+#include "apps/miniamr.hpp"
+
+#include "apps/workload_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace incprof::apps {
+
+namespace {
+
+// Virtual-time budget (time_scale = 1), shaped to the paper's 459-second
+// run and its two discovered phases: a dominant stencil phase
+// (check_sum, ~89 % of the execution) and a deviation phase made of the
+// large mid-run mesh adaptation (allocate) plus periodic heavy
+// communication steps (pack_block / unpack_block).
+constexpr std::size_t kTimesteps = 470;
+constexpr double kStencilSec = 0.82;       // per timestep, check_sum
+constexpr double kSmallCommSec = 0.04;     // per timestep, pack+unpack
+constexpr std::size_t kBigCommEvery = 50;  // heavy comm cadence
+constexpr double kBigCommPackSec = 1.6;
+constexpr double kBigCommUnpackSec = 1.3;
+constexpr std::size_t kRefineAtStep = 235;  // mid-run adaptation
+constexpr double kRefineSec = 14.0;         // allocate-dominated
+
+class MiniAMR final : public MiniApp {
+ public:
+  explicit MiniAMR(const AppParams& params) : params_(params) {
+    const double cs = std::max(0.05, params_.compute_scale);
+    block_dim_ = std::max<std::size_t>(4, static_cast<std::size_t>(
+                                              8.0 * std::cbrt(cs)));
+    num_blocks_ = 48;
+    blocks_.assign(num_blocks_,
+                   std::vector<double>(cells_per_block(), 1.0));
+  }
+
+  std::string name() const override { return "miniamr"; }
+  double nominal_runtime_sec() const override { return 459.0; }
+  std::size_t paper_ranks() const override { return 16; }
+  std::size_t paper_phases() const override { return 2; }
+
+  std::vector<core::ManualSite> manual_sites() const override {
+    // Table IV's manual selection.
+    return {{"check_sum", core::InstType::kBody},
+            {"stencil_calc", core::InstType::kBody},
+            {"comm", core::InstType::kBody}};
+  }
+
+  double checksum() const override { return sink_.value(); }
+
+  void run(sim::ExecutionEngine& eng) override {
+    for (std::size_t step = 0; step < kTimesteps; ++step) {
+      const bool big_comm = step > 0 && step % kBigCommEvery == 0;
+      comm(eng, big_comm);
+      stencil_calc(eng);
+      if (step == kRefineAtStep) refine(eng);
+    }
+  }
+
+ private:
+  std::size_t cells_per_block() const noexcept {
+    return block_dim_ * block_dim_ * block_dim_;
+  }
+
+  // --- communication ---------------------------------------------------
+
+  void comm(sim::ExecutionEngine& eng, bool big) {
+    sim::ScopedFunction f(eng, "comm");
+    const double pack_sec = big ? kBigCommPackSec : kSmallCommSec * 0.55;
+    const double unpack_sec =
+        big ? kBigCommUnpackSec : kSmallCommSec * 0.45;
+    // A heavy exchange touches every block several times; a light one a
+    // couple of face exchanges.
+    const std::size_t rounds = big ? 12 : 2;
+    const sim::vtime_t pack_cost =
+        scaled(pack_sec / static_cast<double>(rounds), params_.time_scale);
+    const sim::vtime_t unpack_cost = scaled(
+        unpack_sec / static_cast<double>(rounds), params_.time_scale);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      pack_block(eng, r % blocks_.size(), pack_cost);
+      unpack_block(eng, (r + 1) % blocks_.size(), unpack_cost);
+    }
+  }
+
+  void pack_block(sim::ExecutionEngine& eng, std::size_t b,
+                  sim::vtime_t cost) {
+    sim::ScopedFunction f(eng, "pack_block");
+    // Copy one face of the block into the message buffer.
+    auto& blk = blocks_[b];
+    buffer_.resize(block_dim_ * block_dim_);
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      buffer_[i] = blk[i];
+    }
+    eng.work(cost);
+  }
+
+  void unpack_block(sim::ExecutionEngine& eng, std::size_t b,
+                    sim::vtime_t cost) {
+    sim::ScopedFunction f(eng, "unpack_block");
+    auto& blk = blocks_[b];
+    for (std::size_t i = 0; i < buffer_.size() && i < blk.size(); ++i) {
+      blk[blk.size() - 1 - i] = 0.5 * (blk[blk.size() - 1 - i] + buffer_[i]);
+    }
+    eng.work(cost);
+  }
+
+  // --- computation -------------------------------------------------------
+
+  void stencil_calc(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "stencil_calc");
+    // The paper notes check_sum "is not a function that performs a simple
+    // mathematical checksum but rather embodies more involved matrix
+    // computations" — here it owns the 7-point sweep plus the reduction.
+    check_sum(eng);
+  }
+
+  void check_sum(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "check_sum");
+    const std::size_t d = block_dim_;
+    double total = 0.0;
+    const sim::vtime_t per_block = scaled(
+        kStencilSec / static_cast<double>(blocks_.size()),
+        params_.time_scale);
+    for (auto& blk : blocks_) {
+      scratch_.assign(blk.size(), 0.0);
+      for (std::size_t z = 1; z + 1 < d; ++z) {
+        for (std::size_t y = 1; y + 1 < d; ++y) {
+          for (std::size_t x = 1; x + 1 < d; ++x) {
+            const std::size_t i = (z * d + y) * d + x;
+            scratch_[i] = (blk[i] + blk[i - 1] + blk[i + 1] + blk[i - d] +
+                           blk[i + d] + blk[i - d * d] + blk[i + d * d]) /
+                          7.0;
+            total += scratch_[i];
+          }
+        }
+      }
+      blk.swap(scratch_);
+      eng.work(per_block);
+    }
+    eng.loop_tick();
+    sink_.consume(total);
+  }
+
+  // --- adaptation ----------------------------------------------------------
+
+  void refine(sim::ExecutionEngine& eng) {
+    sim::ScopedFunction f(eng, "allocate");
+    // The moving object crosses a region: split blocks into octants and
+    // allocate the children. One long allocation/copy episode.
+    constexpr std::size_t kNewBlocks = 24;
+    const sim::vtime_t per_block =
+        scaled(kRefineSec / kNewBlocks, params_.time_scale);
+    for (std::size_t nb = 0; nb < kNewBlocks; ++nb) {
+      std::vector<double> child(cells_per_block(), 0.0);
+      const auto& parent = blocks_[nb % blocks_.size()];
+      for (std::size_t i = 0; i < child.size(); ++i) {
+        child[i] = parent[i / 2 % parent.size()];
+      }
+      blocks_.push_back(std::move(child));
+      eng.loop_tick();
+      eng.work(per_block);
+    }
+    // Keep total block count bounded: coarsen the oldest blocks away.
+    blocks_.erase(blocks_.begin(), blocks_.begin() + kNewBlocks);
+    sink_.consume(static_cast<double>(blocks_.size()));
+  }
+
+  AppParams params_;
+  std::size_t block_dim_ = 0;
+  std::size_t num_blocks_ = 0;
+  std::vector<std::vector<double>> blocks_;
+  std::vector<double> buffer_;
+  std::vector<double> scratch_;
+  Blackhole sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<MiniApp> make_miniamr(const AppParams& params) {
+  return std::make_unique<MiniAMR>(params);
+}
+
+}  // namespace incprof::apps

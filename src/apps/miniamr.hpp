@@ -1,0 +1,15 @@
+// MiniAMR-style adaptive-mesh-refinement proxy (paper, Section VI-C).
+// A stencil computation sweeps over a block-structured mesh; periodic
+// communication steps exchange block faces (pack_block/unpack_block), and
+// a mid-run refinement event allocates new blocks as an object moves
+// through the mesh. Function names match Table IV.
+#pragma once
+
+#include "apps/miniapp.hpp"
+
+namespace incprof::apps {
+
+/// Creates the MiniAMR workload.
+std::unique_ptr<MiniApp> make_miniamr(const AppParams& params);
+
+}  // namespace incprof::apps

@@ -1,0 +1,34 @@
+#include "apps/miniapp.hpp"
+
+#include "apps/gadget.hpp"
+#include "apps/graph500.hpp"
+#include "apps/mdlj.hpp"
+#include "apps/minife.hpp"
+#include "apps/miniamr.hpp"
+
+#include <stdexcept>
+
+namespace incprof::apps {
+
+std::unique_ptr<MiniApp> make_app(const std::string& name,
+                                  const AppParams& params) {
+  if (name == "graph500") return make_graph500(params);
+  if (name == "minife") return make_minife(params);
+  if (name == "miniamr") return make_miniamr(params);
+  if (name == "lammps") return make_mdlj(params);
+  if (name == "lammps-eam") return make_mdlj_eam(params);
+  if (name == "gadget") return make_gadget(params);
+  throw std::invalid_argument("make_app: unknown app '" + name + "'");
+}
+
+std::vector<std::string> app_names() {
+  return {"graph500", "minife", "miniamr", "lammps", "gadget"};
+}
+
+std::vector<std::string> extended_app_names() {
+  auto names = app_names();
+  names.push_back("lammps-eam");
+  return names;
+}
+
+}  // namespace incprof::apps

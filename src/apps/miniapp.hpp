@@ -1,0 +1,73 @@
+// The mini-application suite: C++ re-creations of the five workloads the
+// paper evaluates (Section VI). Each app performs real computation (so
+// wall-clock overhead measurements mean something) while declaring
+// virtual cost through the engine (so the profile timeline matches the
+// paper's minutes-long runs deterministically). Function names follow the
+// paper's tables so the discovered instrumentation sites can be compared
+// directly.
+#pragma once
+
+#include "core/report.hpp"
+#include "sim/engine.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace incprof::apps {
+
+/// Scaling knobs shared by all apps.
+struct AppParams {
+  /// Multiplies every virtual duration. 1.0 reproduces the paper-scale
+  /// run length (minutes of virtual time / hundreds of intervals);
+  /// smaller values make quick test runs.
+  double time_scale = 1.0;
+
+  /// Multiplies the real computational work (problem sizes). 1.0 is the
+  /// default bench size; tests may reduce it.
+  double compute_scale = 1.0;
+};
+
+/// Interface every workload implements.
+class MiniApp {
+ public:
+  virtual ~MiniApp() = default;
+
+  /// Short identifier (e.g. "graph500").
+  virtual std::string name() const = 0;
+
+  /// Paper's Table I uninstrumented runtime for this app, seconds (the
+  /// virtual-run target at time_scale = 1).
+  virtual double nominal_runtime_sec() const = 0;
+
+  /// Paper's Table I process count for this app.
+  virtual std::size_t paper_ranks() const = 0;
+
+  /// Paper's Table I number of phases discovered.
+  virtual std::size_t paper_phases() const = 0;
+
+  /// Runs the workload to completion on `eng` (does not call
+  /// eng.finish(); the harness owns run lifecycle).
+  virtual void run(sim::ExecutionEngine& eng) = 0;
+
+  /// The paper's hand-picked comparison sites for this app.
+  virtual std::vector<core::ManualSite> manual_sites() const = 0;
+
+  /// A value derived from the real computation, to keep the optimizer
+  /// honest and let tests check determinism of the compute itself.
+  virtual double checksum() const = 0;
+};
+
+/// Factory for a named app. Throws std::invalid_argument for an unknown
+/// name. Known names: graph500, minife, miniamr, lammps, gadget.
+std::unique_ptr<MiniApp> make_app(const std::string& name,
+                                  const AppParams& params = {});
+
+/// All app names in the paper's Table I order.
+std::vector<std::string> app_names();
+
+/// Table I apps plus the extension workloads (currently lammps-eam, the
+/// second LAMMPS mode motivating the paper's multi-mode discussion).
+std::vector<std::string> extended_app_names();
+
+}  // namespace incprof::apps

@@ -1,0 +1,15 @@
+// MiniFE-style implicit finite-element mini-app (paper, Section VI-B).
+// Four kernels, as the Mantevo documentation describes: mesh/matrix
+// structure generation, sparse-matrix assembly over elements, a
+// conjugate-gradient solve with sparse matrix-vector products, and
+// supporting vector operations. Function names match Table III.
+#pragma once
+
+#include "apps/miniapp.hpp"
+
+namespace incprof::apps {
+
+/// Creates the MiniFE workload.
+std::unique_ptr<MiniApp> make_minife(const AppParams& params);
+
+}  // namespace incprof::apps

@@ -1,0 +1,27 @@
+#include "apps/workload_common.hpp"
+
+#include <cmath>
+
+namespace incprof::apps {
+
+void Blackhole::consume(double v) noexcept {
+  // Keep the accumulator bounded: fold the value through fmod so long
+  // runs cannot overflow to inf (which would make checksums useless).
+  if (std::isfinite(v)) {
+    acc_ = std::fmod(acc_ * 1.000000119 + v, 1e12);
+  }
+  bits_ ^= bits_ << 13;
+  bits_ ^= bits_ >> 7;
+  bits_ ^= bits_ << 17;
+}
+
+void Blackhole::consume_u64(std::uint64_t v) noexcept {
+  consume(static_cast<double>(v & 0xffffffu));
+}
+
+sim::vtime_t scaled(double nominal_sec, double time_scale) noexcept {
+  const double ns = nominal_sec * time_scale * 1e9;
+  return ns < 1.0 ? 1 : static_cast<sim::vtime_t>(ns);
+}
+
+}  // namespace incprof::apps

@@ -1,0 +1,34 @@
+// Shared building blocks for the mini-app workloads: a checksum
+// accumulator that defeats dead-code elimination, and helpers to convert
+// real loop extents into virtual cost consistently.
+#pragma once
+
+#include "sim/clock.hpp"
+
+#include <cstdint>
+
+namespace incprof::apps {
+
+/// Accumulates doubles in a way the optimizer cannot elide, without the
+/// overflow/NaN risks of naive summation of large products.
+class Blackhole {
+ public:
+  /// Folds a value in.
+  void consume(double v) noexcept;
+
+  /// Folds an integer in.
+  void consume_u64(std::uint64_t v) noexcept;
+
+  /// Current digest value.
+  double value() const noexcept { return acc_; }
+
+ private:
+  double acc_ = 0.0;
+  std::uint64_t bits_ = 0x243f6a8885a308d3ULL;
+};
+
+/// Scales a nominal virtual duration by the app's time scale, clamped to
+/// at least one nanosecond so work() always advances time.
+sim::vtime_t scaled(double nominal_sec, double time_scale) noexcept;
+
+}  // namespace incprof::apps

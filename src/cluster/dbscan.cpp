@@ -1,0 +1,106 @@
+#include "cluster/dbscan.hpp"
+
+#include "cluster/distance.hpp"
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+std::vector<std::size_t> DbscanResult::labels_noise_absorbed(
+    const Matrix& points) const {
+  std::vector<std::size_t> out = labels;
+  if (num_clusters == 0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != kNoise) continue;
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_label = 0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (labels[j] == kNoise) continue;
+      const double d = squared_euclidean(points.row(i), points.row(j));
+      if (d < best) {
+        best = d;
+        best_label = labels[j];
+      }
+    }
+    out[i] = best_label;
+  }
+  return out;
+}
+
+DbscanResult dbscan(const Matrix& points, const DbscanConfig& config) {
+  if (config.eps <= 0.0) {
+    throw std::invalid_argument("dbscan: eps must be positive");
+  }
+  const std::size_t n = points.rows();
+  DbscanResult res;
+  res.labels.assign(n, DbscanResult::kNoise);
+  if (n == 0) return res;
+
+  const double eps2 = config.eps * config.eps;
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (squared_euclidean(points.row(i), points.row(j)) <= eps2) {
+        out.push_back(j);
+      }
+    }
+    return out;
+  };
+
+  std::vector<bool> visited(n, false);
+  std::size_t next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    auto nb = neighbors(i);
+    if (nb.size() < config.min_pts) continue;  // stays noise unless reached
+
+    const std::size_t label = next_label++;
+    res.labels[i] = label;
+    std::deque<std::size_t> frontier(nb.begin(), nb.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (res.labels[j] == DbscanResult::kNoise) res.labels[j] = label;
+      if (visited[j]) continue;
+      visited[j] = true;
+      auto nb2 = neighbors(j);
+      if (nb2.size() >= config.min_pts) {
+        frontier.insert(frontier.end(), nb2.begin(), nb2.end());
+      }
+    }
+  }
+  res.num_clusters = next_label;
+  res.num_noise = static_cast<std::size_t>(
+      std::count(res.labels.begin(), res.labels.end(),
+                 DbscanResult::kNoise));
+  return res;
+}
+
+double suggest_eps(const Matrix& points, std::size_t min_pts,
+                   double quantile) {
+  const std::size_t n = points.rows();
+  if (n == 0) return 1.0;
+  const std::size_t k = std::min(min_pts, n - 1);
+  if (k == 0) return 1.0;
+
+  std::vector<double> kdist;
+  kdist.reserve(n);
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = euclidean(points.row(i), points.row(j));
+    }
+    std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k),
+                     d.end());
+    kdist.push_back(d[k]);
+  }
+  const double eps = util::percentile(kdist, quantile * 100.0);
+  return eps > 0.0 ? eps : 1.0;
+}
+
+}  // namespace incprof::cluster

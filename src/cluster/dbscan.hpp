@@ -1,0 +1,47 @@
+// DBSCAN density clustering. The paper's authors evaluated DBSCAN as an
+// alternative to k-means and found no improvement (Section V-A); we keep
+// it so bench_ablation_dbscan can reproduce that comparison.
+#pragma once
+
+#include "cluster/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace incprof::cluster {
+
+/// DBSCAN parameters.
+struct DbscanConfig {
+  /// Neighborhood radius (Euclidean).
+  double eps = 0.5;
+  /// Minimum neighborhood size (including the point itself) to be core.
+  std::size_t min_pts = 4;
+};
+
+/// DBSCAN output. Noise points get label kNoise.
+struct DbscanResult {
+  static constexpr std::size_t kNoise = static_cast<std::size_t>(-1);
+
+  /// labels[r] = cluster index or kNoise.
+  std::vector<std::size_t> labels;
+  /// Number of clusters found (labels run 0..num_clusters-1).
+  std::size_t num_clusters = 0;
+  /// Number of points labelled noise.
+  std::size_t num_noise = 0;
+
+  /// Labels with noise points reassigned to their nearest cluster (by
+  /// nearest labelled neighbor); lets ARI-style comparisons against
+  /// k-means run on a full partition. Identity when there is no cluster.
+  std::vector<std::size_t> labels_noise_absorbed(const Matrix& points) const;
+};
+
+/// Runs DBSCAN over the rows of `points` with Euclidean distance.
+/// O(n^2) neighborhood search — fine for hundreds of intervals.
+DbscanResult dbscan(const Matrix& points, const DbscanConfig& config);
+
+/// Heuristic eps: the `quantile` (e.g. 0.9) of each point's distance to
+/// its min_pts-th nearest neighbor — the standard k-distance heuristic.
+double suggest_eps(const Matrix& points, std::size_t min_pts,
+                   double quantile = 0.9);
+
+}  // namespace incprof::cluster

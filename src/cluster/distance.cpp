@@ -1,0 +1,47 @@
+#include "cluster/distance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace incprof::cluster {
+
+double squared_euclidean(std::span<const double> a,
+                         std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double euclidean(std::span<const double> a,
+                 std::span<const double> b) noexcept {
+  return std::sqrt(squared_euclidean(a, b));
+}
+
+double manhattan(std::span<const double> a,
+                 std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+double cosine(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  if (sim > 1.0) sim = 1.0;
+  if (sim < -1.0) sim = -1.0;
+  return 1.0 - sim;
+}
+
+}  // namespace incprof::cluster

@@ -1,0 +1,26 @@
+// Distance metrics over feature vectors. k-means uses squared Euclidean
+// internally; Algorithm 1 sorts intervals by Euclidean distance to the
+// cluster centroid (paper, Section V-B, line 3).
+#pragma once
+
+#include <span>
+
+namespace incprof::cluster {
+
+/// Squared Euclidean distance. Preconditions: a.size() == b.size().
+double squared_euclidean(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+/// Euclidean (L2) distance.
+double euclidean(std::span<const double> a,
+                 std::span<const double> b) noexcept;
+
+/// Manhattan (L1) distance. Available for the feature-ablation bench.
+double manhattan(std::span<const double> a,
+                 std::span<const double> b) noexcept;
+
+/// Cosine distance (1 - cosine similarity); 0 when either vector is all
+/// zeros, by convention, so all-idle intervals compare equal.
+double cosine(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace incprof::cluster

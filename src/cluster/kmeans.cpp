@@ -1,0 +1,180 @@
+#include "cluster/kmeans.hpp"
+
+#include "cluster/distance.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+std::size_t KMeansResult::cluster_size(std::size_t c) const noexcept {
+  std::size_t n = 0;
+  for (auto a : assignments) {
+    if (a == c) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, each next centroid chosen
+/// with probability proportional to squared distance from nearest chosen.
+Matrix seed_centroids(const Matrix& pts, std::size_t k, util::Rng& rng) {
+  const std::size_t n = pts.rows();
+  const std::size_t d = pts.cols();
+  Matrix centroids(k, d);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  std::size_t first = static_cast<std::size_t>(rng.next_below(n));
+  for (std::size_t c = 0; c < d; ++c) centroids.at(0, c) = pts.at(first, c);
+
+  for (std::size_t ci = 1; ci < k; ++ci) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double d2 = squared_euclidean(pts.row(r), centroids.row(ci - 1));
+      dist2[r] = std::min(dist2[r], d2);
+      total += dist2[r];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; pick uniformly.
+      chosen = static_cast<std::size_t>(rng.next_below(n));
+    } else {
+      double target = rng.next_double() * total;
+      for (std::size_t r = 0; r < n; ++r) {
+        target -= dist2[r];
+        if (target <= 0.0) {
+          chosen = r;
+          break;
+        }
+        chosen = r;
+      }
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      centroids.at(ci, c) = pts.at(chosen, c);
+    }
+  }
+  return centroids;
+}
+
+struct LloydRun {
+  std::vector<std::size_t> assignments;
+  Matrix centroids;
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+LloydRun lloyd(const Matrix& pts, Matrix centroids,
+               const KMeansConfig& cfg, util::Rng& rng) {
+  const std::size_t n = pts.rows();
+  const std::size_t d = pts.cols();
+  const std::size_t k = centroids.rows();
+
+  LloydRun run;
+  run.assignments.assign(n, 0);
+  std::vector<std::size_t> counts(k, 0);
+
+  for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
+    run.iterations = iter + 1;
+
+    // Assignment step.
+    run.inertia = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t besti = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
+        if (d2 < best) {
+          best = d2;
+          besti = c;
+        }
+      }
+      run.assignments[r] = besti;
+      run.inertia += best;
+    }
+
+    // Update step.
+    Matrix next(k, d);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t c = run.assignments[r];
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) next.at(c, j) += pts.at(r, j);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point so k stays honest.
+        const std::size_t r = static_cast<std::size_t>(rng.next_below(n));
+        for (std::size_t j = 0; j < d; ++j) next.at(c, j) = pts.at(r, j);
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t j = 0; j < d; ++j) next.at(c, j) *= inv;
+    }
+
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      movement += squared_euclidean(centroids.row(c), next.row(c));
+    }
+    centroids = std::move(next);
+    if (movement <= cfg.tol) break;
+  }
+
+  // Final assignment against the last centroids so assignments and
+  // centroids are mutually consistent.
+  run.inertia = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t besti = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
+      if (d2 < best) {
+        best = d2;
+        besti = c;
+      }
+    }
+    run.assignments[r] = besti;
+    run.inertia += best;
+  }
+  run.centroids = std::move(centroids);
+  return run;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& config) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    throw std::invalid_argument("kmeans: empty input matrix");
+  }
+  if (config.k == 0) {
+    throw std::invalid_argument("kmeans: k must be >= 1");
+  }
+  const std::size_t k = std::min(config.k, points.rows());
+
+  util::Rng rng(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+
+  const std::size_t restarts = std::max<std::size_t>(1, config.n_init);
+  for (std::size_t s = 0; s < restarts; ++s) {
+    util::Rng run_rng = rng.split();
+    Matrix seeds = seed_centroids(points, k, run_rng);
+    LloydRun run = lloyd(points, std::move(seeds), config, run_rng);
+    if (run.inertia < best.inertia) {
+      best.assignments = std::move(run.assignments);
+      best.centroids = std::move(run.centroids);
+      best.inertia = run.inertia;
+      best.iterations = run.iterations;
+    }
+  }
+
+  std::vector<bool> seen(k, false);
+  for (auto a : best.assignments) seen[a] = true;
+  best.populated_clusters =
+      static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+  return best;
+}
+
+}  // namespace incprof::cluster

@@ -1,0 +1,50 @@
+// Lloyd's k-means with k-means++ seeding. This is the clustering step of
+// the IncProf pipeline (paper, Section V-A): each profiling interval is a
+// point, each resulting cluster is interpreted as an application phase.
+#pragma once
+
+#include "cluster/matrix.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace incprof::cluster {
+
+/// k-means configuration.
+struct KMeansConfig {
+  /// Number of clusters; must be >= 1.
+  std::size_t k = 1;
+  /// Lloyd iteration cap per restart.
+  std::size_t max_iters = 100;
+  /// Independent k-means++ restarts; the lowest-inertia run wins.
+  std::size_t n_init = 8;
+  /// Seed for the deterministic PRNG driving the restarts.
+  std::uint64_t seed = 42;
+  /// Convergence threshold on total centroid movement (squared L2).
+  double tol = 1e-10;
+};
+
+/// Result of one k-means fit.
+struct KMeansResult {
+  /// assignments[r] = cluster index of row r, in [0, k).
+  std::vector<std::size_t> assignments;
+  /// k x d centroid matrix (in the same feature space as the input).
+  Matrix centroids;
+  /// Within-cluster sum of squared distances (inertia / WCSS).
+  double inertia = 0.0;
+  /// Lloyd iterations used by the winning restart.
+  std::size_t iterations = 0;
+  /// Number of clusters actually populated (empty clusters are re-seeded,
+  /// so this equals k except in degenerate inputs with < k distinct rows).
+  std::size_t populated_clusters = 0;
+
+  /// Number of points assigned to cluster `c`.
+  std::size_t cluster_size(std::size_t c) const noexcept;
+};
+
+/// Runs k-means on `points` (rows = observations). Throws
+/// std::invalid_argument if points is empty or config.k == 0.
+/// k larger than the number of rows is clamped to the row count.
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& config);
+
+}  // namespace incprof::cluster

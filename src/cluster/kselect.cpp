@@ -1,0 +1,105 @@
+#include "cluster/kselect.hpp"
+
+#include "cluster/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+std::vector<double> KSweep::inertia_curve() const {
+  std::vector<double> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.result.inertia);
+  return out;
+}
+
+KSweep sweep_k(const Matrix& points, std::size_t k_max,
+               const KMeansConfig& base) {
+  if (k_max == 0) throw std::invalid_argument("sweep_k: k_max must be >= 1");
+  KSweep sweep;
+  const std::size_t top = std::min(k_max, points.rows());
+  for (std::size_t k = 1; k <= top; ++k) {
+    KMeansConfig cfg = base;
+    cfg.k = k;
+    KSweepEntry entry;
+    entry.k = k;
+    entry.result = kmeans(points, cfg);
+    entry.silhouette =
+        k >= 2 ? mean_silhouette(points, entry.result.assignments) : 0.0;
+    sweep.entries.push_back(std::move(entry));
+  }
+  return sweep;
+}
+
+std::size_t select_elbow(const KSweep& sweep) {
+  const auto& es = sweep.entries;
+  if (es.empty()) throw std::invalid_argument("select_elbow: empty sweep");
+  if (es.size() <= 2) return es.size() - 1;
+
+  // WCSS decays roughly geometrically in k for well-separated phases, so
+  // the elbow is found on the log curve (the standard kneedle transform
+  // for exponential decay); on the linear curve the first one or two
+  // drops dominate and finer phase structure is never selected.
+  const double floor_val = 1e-12 * std::max(es.front().result.inertia, 1.0);
+  auto logy = [&](std::size_t i) {
+    return std::log(std::max(es[i].result.inertia, floor_val));
+  };
+
+  const double x0 = static_cast<double>(es.front().k);
+  const double y0 = logy(0);
+  const double x1 = static_cast<double>(es.back().k);
+  const double y1 = logy(es.size() - 1);
+
+  const double span = y0 - y1;
+  if (es.front().result.inertia - es.back().result.inertia <=
+          1e-9 * std::max(std::fabs(es.front().result.inertia), 1.0) ||
+      span <= 1e-12) {
+    // WCSS barely improves with k: one phase.
+    return 0;
+  }
+
+  // Distance from each point to the chord (x0,y0)-(x1,y1), with both
+  // axes normalized to [0,1] so k steps and log-WCSS are comparable.
+  const double dx = x1 - x0;
+  double best = -1.0;
+  std::size_t besti = 0;
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const double xn = (static_cast<double>(es[i].k) - x0) / dx;
+    const double yn = (logy(i) - y1) / span;  // 1 at k=1 -> 0 at k_max
+    // Chord in normalized space runs (0,1) -> (1,0): x + y - 1 = 0.
+    const double dist = (1.0 - xn - yn) / std::sqrt(2.0);
+    // Points *below* the chord (convex decreasing curve) have dist > 0.
+    if (dist > best) {
+      best = dist;
+      besti = i;
+    }
+  }
+  return besti;
+}
+
+std::size_t select_silhouette(const KSweep& sweep) {
+  const auto& es = sweep.entries;
+  if (es.empty()) {
+    throw std::invalid_argument("select_silhouette: empty sweep");
+  }
+  double best = 0.0;
+  std::size_t besti = 0;  // k = 1 fallback
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (es[i].k < 2) continue;
+    if (es[i].silhouette > best) {
+      best = es[i].silhouette;
+      besti = i;
+    }
+  }
+  return besti;
+}
+
+const KSweepEntry& select_k(const KSweep& sweep, KSelection rule) {
+  const std::size_t i = rule == KSelection::kElbow
+                            ? select_elbow(sweep)
+                            : select_silhouette(sweep);
+  return sweep.entries[i];
+}
+
+}  // namespace incprof::cluster

@@ -1,0 +1,52 @@
+// Selecting k for k-means. The paper runs k = 1..8 and picks k with the
+// Elbow method; it also evaluated the silhouette method (Section V-A).
+// Both are implemented here over a single shared k-sweep so the ablation
+// bench can compare them on identical fits.
+#pragma once
+
+#include "cluster/kmeans.hpp"
+
+#include <vector>
+
+namespace incprof::cluster {
+
+/// Which quantitative k-selection rule to apply to the sweep.
+enum class KSelection { kElbow, kSilhouette };
+
+/// One fitted k from the sweep.
+struct KSweepEntry {
+  std::size_t k = 0;
+  KMeansResult result;
+  /// Mean silhouette of this fit (0 for k == 1 by convention).
+  double silhouette = 0.0;
+};
+
+/// Results of fitting k = 1..k_max.
+struct KSweep {
+  std::vector<KSweepEntry> entries;
+
+  /// WCSS (inertia) curve indexed by position in `entries`.
+  std::vector<double> inertia_curve() const;
+};
+
+/// Fits k-means for every k in [1, k_max] (k_max clamped to the number of
+/// rows). `base` supplies everything but k.
+KSweep sweep_k(const Matrix& points, std::size_t k_max,
+               const KMeansConfig& base);
+
+/// Elbow selection: the k whose point on the (k, WCSS) curve is farthest
+/// from the chord joining the curve's endpoints (the standard geometric
+/// "maximum curvature" formulation of the elbow heuristic). Returns the
+/// index into sweep.entries. A flat curve (no structure) returns 0 (k=1).
+std::size_t select_elbow(const KSweep& sweep);
+
+/// Silhouette selection: the k (>= 2) with maximal mean silhouette;
+/// returns index 0 (k=1) when the best silhouette is <= 0, meaning no k
+/// produced better-than-random structure.
+std::size_t select_silhouette(const KSweep& sweep);
+
+/// Convenience: runs the sweep and applies the chosen rule, returning the
+/// winning entry.
+const KSweepEntry& select_k(const KSweep& sweep, KSelection rule);
+
+}  // namespace incprof::cluster

@@ -1,0 +1,31 @@
+#include "cluster/matrix.hpp"
+
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: data size does not match shape");
+  }
+}
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+  return out;
+}
+
+void Matrix::append_row(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    throw std::invalid_argument("Matrix::append_row: width mismatch");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+}  // namespace incprof::cluster

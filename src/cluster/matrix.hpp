@@ -1,0 +1,67 @@
+// Row-major dense matrix of doubles. This is the interval-by-function
+// feature matrix that the phase detector clusters: one row per profiling
+// interval, one column per observed function.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace incprof::cluster {
+
+/// Dense row-major matrix. Rows are observations (intervals), columns are
+/// features (per-function self seconds). Value semantics throughout.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates from explicit row-major data; data.size() must equal
+  /// rows * cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access (bounds-checked in debug builds).
+  double& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// One full row as a contiguous span.
+  std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies one column into a fresh vector.
+  std::vector<double> column(std::size_t c) const;
+
+  /// Appends a row; row.size() must equal cols() (or the matrix must be
+  /// empty, in which case it fixes the column count).
+  void append_row(std::span<const double> row);
+
+  /// Underlying row-major storage.
+  std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace incprof::cluster

@@ -1,0 +1,102 @@
+#include "cluster/quality.hpp"
+
+#include "cluster/distance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+double mean_silhouette(const Matrix& points,
+                       const std::vector<std::size_t>& assignments) {
+  const std::size_t n = points.rows();
+  if (assignments.size() != n) {
+    throw std::invalid_argument("mean_silhouette: size mismatch");
+  }
+  if (n == 0) return 0.0;
+  const std::size_t k =
+      1 + *std::max_element(assignments.begin(), assignments.end());
+  if (k <= 1 || n <= k) return 0.0;
+
+  std::vector<std::size_t> sizes(k, 0);
+  for (auto a : assignments) ++sizes[a];
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  std::vector<double> mean_dist(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_dist[assignments[j]] += euclidean(points.row(i), points.row(j));
+    }
+    const std::size_t ci = assignments[i];
+    if (sizes[ci] <= 1) {
+      // Singleton: silhouette defined as 0.
+      ++counted;
+      continue;
+    }
+    const double a = mean_dist[ci] / static_cast<double>(sizes[ci] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == ci || sizes[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("adjusted_rand_index: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+
+  std::map<std::pair<std::size_t, std::size_t>, double> joint;
+  std::map<std::size_t, double> ra, rb;
+  for (std::size_t i = 0; i < n; ++i) {
+    joint[{a[i], b[i]}] += 1.0;
+    ra[a[i]] += 1.0;
+    rb[b[i]] += 1.0;
+  }
+  auto comb2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_joint = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [key, cnt] : joint) sum_joint += comb2(cnt);
+  for (const auto& [key, cnt] : ra) sum_a += comb2(cnt);
+  for (const auto& [key, cnt] : rb) sum_b += comb2(cnt);
+  const double total = comb2(static_cast<double>(n));
+  const double expected = sum_a * sum_b / total;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions trivial and identical
+  return (sum_joint - expected) / denom;
+}
+
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("purity: size mismatch");
+  }
+  if (predicted.empty()) return 1.0;
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> table;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ++table[predicted[i]][truth[i]];
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, hist] : table) {
+    std::size_t best = 0;
+    for (const auto& [label, cnt] : hist) best = std::max(best, cnt);
+    correct += best;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace incprof::cluster

@@ -1,0 +1,30 @@
+// Cluster-quality measures: mean silhouette (the paper's alternative k
+// selector) and adjusted Rand index (used by tests and ablation benches to
+// compare clusterings against known workload phase structure).
+#pragma once
+
+#include "cluster/matrix.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace incprof::cluster {
+
+/// Mean silhouette coefficient over all points, in [-1, 1]. Returns 0 for
+/// k <= 1 or n <= k (silhouette is undefined there; 0 is the conventional
+/// "no structure" score, which makes the k-sweep comparable).
+double mean_silhouette(const Matrix& points,
+                       const std::vector<std::size_t>& assignments);
+
+/// Adjusted Rand index between two labelings of the same points; 1 for
+/// identical partitions, ~0 for independent ones. Label values need not
+/// match, only the induced partitions are compared.
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b);
+
+/// Purity of `predicted` against `truth`: the fraction of points whose
+/// predicted cluster's majority-truth label matches their own.
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth);
+
+}  // namespace incprof::cluster

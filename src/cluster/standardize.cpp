@@ -1,0 +1,57 @@
+#include "cluster/standardize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incprof::cluster {
+
+Standardizer Standardizer::fit(const Matrix& m) {
+  Standardizer s;
+  const std::size_t cols = m.cols();
+  const std::size_t rows = m.rows();
+  s.means_.assign(cols, 0.0);
+  s.stds_.assign(cols, 1.0);
+  if (rows == 0) return s;
+  for (std::size_t c = 0; c < cols; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) sum += m.at(r, c);
+    const double mu = sum / static_cast<double>(rows);
+    double sq = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double d = m.at(r, c) - mu;
+      sq += d * d;
+    }
+    const double sd = std::sqrt(sq / static_cast<double>(rows));
+    s.means_[c] = mu;
+    s.stds_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+Matrix Standardizer::transform(const Matrix& m) const {
+  if (m.cols() != means_.size()) {
+    throw std::invalid_argument("Standardizer::transform: column mismatch");
+  }
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out.at(r, c) = (m.at(r, c) - means_[c]) / stds_[c];
+    }
+  }
+  return out;
+}
+
+Matrix Standardizer::inverse(const Matrix& m) const {
+  if (m.cols() != means_.size()) {
+    throw std::invalid_argument("Standardizer::inverse: column mismatch");
+  }
+  Matrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out.at(r, c) = m.at(r, c) * stds_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace incprof::cluster

@@ -1,0 +1,37 @@
+// Per-column feature standardization. Interval feature vectors mix
+// functions whose self time spans orders of magnitude; z-scoring keeps a
+// single dominant function from swamping the k-means distance. The
+// transform is invertible so centroids can be reported in original units.
+#pragma once
+
+#include "cluster/matrix.hpp"
+
+#include <vector>
+
+namespace incprof::cluster {
+
+/// Per-column affine transform x -> (x - mean) / std, with std clamped to
+/// 1 for constant columns (so they map to exactly 0 instead of NaN).
+class Standardizer {
+ public:
+  /// Learns per-column mean and standard deviation from `m`.
+  static Standardizer fit(const Matrix& m);
+
+  /// Applies the transform; `m` must have the fitted column count.
+  Matrix transform(const Matrix& m) const;
+
+  /// Inverse transform (used to report centroids in seconds).
+  Matrix inverse(const Matrix& m) const;
+
+  /// Fitted per-column means.
+  const std::vector<double>& means() const noexcept { return means_; }
+
+  /// Fitted per-column standard deviations (clamped, never zero).
+  const std::vector<double>& stds() const noexcept { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace incprof::cluster

@@ -1,0 +1,125 @@
+#include "core/aggregate.hpp"
+
+#include "cluster/quality.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace incprof::core {
+
+std::vector<std::size_t> RankAggregate::outlier_ranks(double z) const {
+  std::vector<std::size_t> out;
+  const double mean = util::mean(rank_totals_sec);
+  const double sd = util::stddev(rank_totals_sec);
+  if (sd <= 0.0) return out;
+  for (std::size_t r = 0; r < rank_totals_sec.size(); ++r) {
+    if (std::abs(rank_totals_sec[r] - mean) > z * sd) out.push_back(r);
+  }
+  return out;
+}
+
+std::string RankAggregate::render(std::size_t max_rows) const {
+  // Order functions by mean time, descending.
+  std::vector<std::size_t> order(spreads.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return spreads[a].mean_sec > spreads[b].mean_sec;
+  });
+
+  util::TextTable t;
+  t.set_title("cross-rank function spread (" +
+              std::to_string(num_ranks) + " ranks)");
+  t.set_header({"Function", "mean s", "sd s", "min s", "max s",
+                "imbalance"});
+  for (std::size_t c = 1; c < 6; ++c) t.set_align(c, util::Align::kRight);
+  for (std::size_t i = 0; i < order.size() && i < max_rows; ++i) {
+    const auto& s = spreads[order[i]];
+    t.add_row({s.function, util::format_fixed(s.mean_sec, 2),
+               util::format_fixed(s.stddev_sec, 3),
+               util::format_fixed(s.min_sec, 2),
+               util::format_fixed(s.max_sec, 2),
+               util::format_fixed(s.imbalance, 3)});
+  }
+  return t.render();
+}
+
+RankAggregate aggregate_ranks(const std::vector<IntervalData>& ranks) {
+  RankAggregate agg;
+  agg.num_ranks = ranks.size();
+  if (ranks.empty()) return agg;
+
+  // Union of function universes.
+  std::map<std::string, std::size_t> index;
+  for (const auto& rank : ranks) {
+    for (const auto& name : rank.function_names()) index.emplace(name, 0);
+  }
+  agg.functions.reserve(index.size());
+  for (auto& [name, idx] : index) {
+    idx = agg.functions.size();
+    agg.functions.push_back(name);
+  }
+
+  // Per-rank totals per function.
+  std::vector<std::vector<double>> totals(
+      agg.functions.size(), std::vector<double>(ranks.size(), 0.0));
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const auto& data = ranks[r];
+    agg.rank_intervals.push_back(data.num_intervals());
+    double rank_total = 0.0;
+    for (std::size_t f = 0; f < data.num_functions(); ++f) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < data.num_intervals(); ++i) {
+        sum += data.self_seconds().at(i, f);
+      }
+      totals[index.at(data.function_names()[f])][r] = sum;
+      rank_total += sum;
+    }
+    agg.rank_totals_sec.push_back(rank_total);
+  }
+
+  // Spread statistics.
+  agg.spreads.reserve(agg.functions.size());
+  for (std::size_t f = 0; f < agg.functions.size(); ++f) {
+    FunctionSpread s;
+    s.function = agg.functions[f];
+    s.mean_sec = util::mean(totals[f]);
+    s.stddev_sec = util::stddev(totals[f]);
+    s.min_sec = util::min_of(totals[f]);
+    s.max_sec = util::max_of(totals[f]);
+    s.imbalance = s.min_sec > 0.0 ? s.max_sec / s.min_sec : 0.0;
+    agg.spreads.push_back(std::move(s));
+  }
+  return agg;
+}
+
+double cross_rank_agreement(
+    const std::vector<std::vector<std::size_t>>& per_rank_assignments) {
+  const std::size_t n = per_rank_assignments.size();
+  if (n < 2) return 1.0;
+  std::size_t shortest = per_rank_assignments[0].size();
+  for (const auto& a : per_rank_assignments) {
+    shortest = std::min(shortest, a.size());
+  }
+  if (shortest == 0) return 1.0;
+
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::vector<std::size_t> a(per_rank_assignments[i].begin(),
+                                 per_rank_assignments[i].begin() +
+                                     static_cast<std::ptrdiff_t>(shortest));
+      std::vector<std::size_t> b(per_rank_assignments[j].begin(),
+                                 per_rank_assignments[j].begin() +
+                                     static_cast<std::ptrdiff_t>(shortest));
+      total += cluster::adjusted_rand_index(a, b);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,62 @@
+// Cross-rank aggregation. The paper collects profiles from *all* MPI
+// ranks but analyzes one representative rank, using the rest "for
+// aggregate descriptive statistics" (Section VI) under the
+// symmetric-parallelism assumption. This module makes that aggregate
+// view explicit: per-function time statistics across ranks, cross-rank
+// phase agreement, and detection of outlier ranks — the check that the
+// representative-rank assumption actually holds before trusting a
+// single rank's phase analysis.
+#pragma once
+
+#include "core/intervals.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+
+/// Per-function cross-rank statistics (total self seconds per rank).
+struct FunctionSpread {
+  std::string function;
+  double mean_sec = 0.0;
+  double stddev_sec = 0.0;
+  double min_sec = 0.0;
+  double max_sec = 0.0;
+  /// max/min ratio (1.0 = perfectly balanced); 0 when any rank is 0.
+  double imbalance = 0.0;
+};
+
+/// Aggregate over the per-rank interval data sets.
+struct RankAggregate {
+  std::size_t num_ranks = 0;
+  /// Function universe (union across ranks), sorted.
+  std::vector<std::string> functions;
+  /// Cross-rank spread per function, same order as `functions`.
+  std::vector<FunctionSpread> spreads;
+  /// Per-rank total self seconds.
+  std::vector<double> rank_totals_sec;
+  /// Per-rank interval counts.
+  std::vector<std::size_t> rank_intervals;
+
+  /// Ranks whose total self time deviates from the cross-rank mean by
+  /// more than `z` standard deviations (load-imbalance suspects).
+  std::vector<std::size_t> outlier_ranks(double z = 3.0) const;
+
+  /// Renders the per-function spread table (top `max_rows` functions by
+  /// mean time).
+  std::string render(std::size_t max_rows = 20) const;
+};
+
+/// Builds the aggregate from per-rank interval data. Ranks may have
+/// slightly different universes and interval counts (stragglers).
+RankAggregate aggregate_ranks(const std::vector<IntervalData>& ranks);
+
+/// Mean pairwise adjusted Rand index between per-rank phase assignments
+/// (truncated to the shortest rank). 1.0 = all ranks agree exactly —
+/// the quantitative form of "all of the applications being used are
+/// symmetrically parallel and thus all processes behave similarly".
+double cross_rank_agreement(
+    const std::vector<std::vector<std::size_t>>& per_rank_assignments);
+
+}  // namespace incprof::core

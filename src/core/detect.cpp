@@ -1,0 +1,29 @@
+#include "core/detect.hpp"
+
+namespace incprof::core {
+
+PhaseDetection detect_phases(const FeatureSpace& space,
+                             const DetectorConfig& config) {
+  cluster::KMeansConfig base;
+  base.n_init = config.kmeans_restarts;
+  base.max_iters = config.kmeans_max_iters;
+  base.seed = config.seed;
+
+  PhaseDetection det;
+  det.sweep = cluster::sweep_k(space.features, config.k_max, base);
+  const cluster::KSweepEntry& chosen =
+      cluster::select_k(det.sweep, config.selection);
+
+  det.num_phases = chosen.k;
+  det.assignments = chosen.result.assignments;
+  det.centroids = chosen.result.centroids;
+  det.silhouette = chosen.silhouette;
+
+  det.phase_intervals.assign(det.num_phases, {});
+  for (std::size_t i = 0; i < det.assignments.size(); ++i) {
+    det.phase_intervals[det.assignments[i]].push_back(i);
+  }
+  return det;
+}
+
+}  // namespace incprof::core

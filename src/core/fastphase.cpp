@@ -1,0 +1,122 @@
+#include "core/fastphase.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace incprof::core {
+
+std::string FastPhaseDiagnosis::summary() const {
+  if (!fast_phased) {
+    return "phases are interval-scale or slower (" +
+           util::format_pct(fast_time_fraction) +
+           "% of time in sub-interval cycles); interval-level analysis "
+           "is applicable";
+  }
+  return "FAST PHASES: " + util::format_pct(fast_time_fraction) +
+         "% of execution time cycles ~" +
+         util::format_fixed(calls_per_interval, 1) +
+         "x per interval; interval-level clustering sees only slow "
+         "modulation — a ~" +
+         util::format_fixed(suggested_interval_sec, 3) +
+         " s interval (or event-level tracking) would be needed";
+}
+
+FastPhaseDiagnosis diagnose_fast_phases(const IntervalData& data,
+                                        const FastPhaseConfig& config) {
+  FastPhaseDiagnosis d;
+  const std::size_t n = data.num_intervals();
+  const std::size_t m = data.num_functions();
+  if (n == 0 || m == 0) return d;
+
+  // Hot set: smallest set of functions covering hot_time_fraction of
+  // total self time.
+  std::vector<double> totals(m, 0.0);
+  double grand = 0.0;
+  for (std::size_t f = 0; f < m; ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      totals[f] += data.self_seconds().at(i, f);
+    }
+    grand += totals[f];
+  }
+  if (grand <= 0.0) return d;
+
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return totals[a] > totals[b];
+  });
+  std::vector<std::size_t> hot;
+  double covered = 0.0;
+  for (const std::size_t f : order) {
+    if (covered >= config.hot_time_fraction * grand && !hot.empty()) break;
+    hot.push_back(f);
+    covered += totals[f];
+    d.hot_functions.push_back(data.function_names()[f]);
+  }
+
+  // Pairwise co-activity of the hot set (Jaccard over active intervals).
+  if (hot.size() >= 2) {
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < hot.size(); ++a) {
+      for (std::size_t b = a + 1; b < hot.size(); ++b) {
+        std::size_t both = 0, either = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool fa = data.active(i, hot[a]);
+          const bool fb = data.active(i, hot[b]);
+          if (fa && fb) ++both;
+          if (fa || fb) ++either;
+        }
+        sum += either
+                   ? static_cast<double>(both) / static_cast<double>(either)
+                   : 0.0;
+        ++pairs;
+      }
+    }
+    d.coactivity = sum / static_cast<double>(pairs);
+  } else {
+    // A single dominant function: trivially "co-active" with itself
+    // only; interval analysis applies.
+    d.coactivity = 0.0;
+  }
+
+  // Pervasive cycling functions: hot functions active through the whole
+  // run whose *median* call count over their active intervals reaches
+  // the threshold — whole iterations complete within single intervals,
+  // everywhere, so intervals are homogeneous mixtures of them.
+  double fast_time = 0.0;
+  double weighted_rate = 0.0;
+  for (const std::size_t f : hot) {
+    std::vector<double> per_interval;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (data.active(i, f)) {
+        per_interval.push_back(data.calls().at(i, f));
+      }
+    }
+    if (per_interval.empty()) continue;
+    const double activity = static_cast<double>(per_interval.size()) /
+                            static_cast<double>(n);
+    if (activity < config.activity_threshold) continue;
+    std::sort(per_interval.begin(), per_interval.end());
+    const double median = per_interval[per_interval.size() / 2];
+    if (median >= config.calls_threshold) {
+      fast_time += totals[f];
+      weighted_rate += totals[f] * median;
+    }
+  }
+  d.fast_time_fraction = fast_time / grand;
+  d.calls_per_interval = fast_time > 0.0 ? weighted_rate / fast_time : 0.0;
+
+  d.fast_phased = d.fast_time_fraction >= config.fast_fraction_threshold;
+  if (d.fast_phased && d.calls_per_interval > 0.0 && n >= 2) {
+    const double interval_sec =
+        (data.timestamps_sec().back() - data.timestamps_sec().front()) /
+        static_cast<double>(n - 1);
+    d.suggested_interval_sec = interval_sec / d.calls_per_interval;
+  }
+  return d;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,85 @@
+// Fast-phase diagnosis. The paper's Gadget2 result (Section VI-E) is a
+// negative one: the application "clearly has four main computation
+// steps, each of which should be tracked with a heartbeat ... yet none
+// are long-running phases that can be detected with our phase analysis.
+// This points to a need for an alternative analysis scheme for
+// applications with fast phases."
+//
+// This module supplies the *detector* for that situation: before
+// trusting an interval-level phase analysis, measure how mixed the
+// intervals are. When most profiled functions are co-active in most
+// intervals (every interval contains a full cycle of the application's
+// inner loop), interval clustering can only separate slow modulations —
+// the per-step structure is invisible. The diagnosis quantifies that and
+// estimates the interval a finer collection would need (from per-
+// function call rates: an interval short enough that a single iteration
+// no longer fits).
+#pragma once
+
+#include "core/intervals.hpp"
+
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+
+/// Result of the fast-phase diagnosis.
+struct FastPhaseDiagnosis {
+  /// Mean pairwise co-activity (Jaccard over active-interval sets) of
+  /// the top time-consuming functions. Near 1 = all hot code co-active
+  /// in every interval; near 0 = sequenced phases (reported for
+  /// context; the gate is fast_time_fraction).
+  double coactivity = 0.0;
+
+  /// Fraction of total self time spent in *pervasive cycling*
+  /// functions — hot functions that complete whole iterations inside
+  /// single intervals (median calls per active interval >= threshold)
+  /// AND are active across essentially the entire run. Gadget2-like
+  /// runs put most of their time here; sequenced runs (even ones whose
+  /// inner kernels cycle, like MiniFE's CG) do not, because their hot
+  /// functions are confined to segments.
+  double fast_time_fraction = 0.0;
+
+  /// Time-weighted mean iteration rate (calls per interval) over the
+  /// cycling functions; 0 when there are none.
+  double calls_per_interval = 0.0;
+
+  /// True when the majority of execution time cycles sub-interval:
+  /// interval-level clustering can only see slow modulation of it.
+  bool fast_phased = false;
+
+  /// Suggested collection interval (seconds) at which roughly one inner
+  /// iteration would fit per interval — the granularity an alternative
+  /// scheme would need. 0 when not fast-phased.
+  double suggested_interval_sec = 0.0;
+
+  /// The hot functions the diagnosis was computed over.
+  std::vector<std::string> hot_functions;
+
+  /// One-line human summary.
+  std::string summary() const;
+};
+
+/// Diagnosis thresholds.
+struct FastPhaseConfig {
+  /// Functions jointly covering this fraction of total self time count
+  /// as "hot" (utility functions below the cut are ignored).
+  double hot_time_fraction = 0.9;
+  /// Median calls per active interval at or above this marks a function
+  /// as cycling sub-interval.
+  double calls_threshold = 2.0;
+  /// A cycling function only defeats interval analysis when it runs
+  /// through (essentially) the whole execution: active in at least this
+  /// fraction of all intervals. Cycling functions confined to a segment
+  /// (MiniFE's CG internals) still yield detectable interval-scale
+  /// phases.
+  double activity_threshold = 0.8;
+  /// fast_time_fraction at or above this flags the run as fast-phased.
+  double fast_fraction_threshold = 0.5;
+};
+
+/// Runs the diagnosis over differenced interval data.
+FastPhaseDiagnosis diagnose_fast_phases(const IntervalData& data,
+                                        const FastPhaseConfig& config = {});
+
+}  // namespace incprof::core

@@ -1,0 +1,61 @@
+#include "core/features.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incprof::core {
+
+FeatureSpace build_features(const IntervalData& data,
+                            const FeatureOptions& options) {
+  if (!options.use_self_time && !options.use_calls &&
+      !options.use_children) {
+    throw std::invalid_argument(
+        "build_features: at least one feature family required");
+  }
+  if (data.num_intervals() == 0 || data.num_functions() == 0) {
+    throw std::invalid_argument("build_features: empty interval data");
+  }
+
+  const std::size_t n = data.num_intervals();
+  const std::size_t m = data.num_functions();
+  std::size_t families = 0;
+  families += options.use_self_time ? 1 : 0;
+  families += options.use_calls ? 1 : 0;
+  families += options.use_children ? 1 : 0;
+
+  cluster::Matrix feats(n, m * families);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t base = 0;
+    if (options.use_self_time) {
+      for (std::size_t j = 0; j < m; ++j) {
+        feats.at(i, base + j) = data.self_seconds().at(i, j);
+      }
+      base += m;
+    }
+    if (options.use_calls) {
+      for (std::size_t j = 0; j < m; ++j) {
+        feats.at(i, base + j) = std::log1p(data.calls().at(i, j));
+      }
+      base += m;
+    }
+    if (options.use_children) {
+      for (std::size_t j = 0; j < m; ++j) {
+        feats.at(i, base + j) = data.children_seconds().at(i, j);
+      }
+      base += m;
+    }
+  }
+
+  FeatureSpace space;
+  space.options = options;
+  space.columns_per_family = m;
+  if (options.standardize) {
+    space.standardizer = cluster::Standardizer::fit(feats);
+    space.features = space.standardizer.transform(feats);
+  } else {
+    space.features = std::move(feats);
+  }
+  return space;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,47 @@
+// Feature-matrix construction for clustering. The paper clusters on
+// per-function self time only; it reports experimenting with call counts
+// and children time "but have not found these to improve the results, and
+// sometimes to worsen them" (Section V-A). All three feature families are
+// available here so bench_ablation_features can reproduce that finding.
+#pragma once
+
+#include "cluster/matrix.hpp"
+#include "cluster/standardize.hpp"
+#include "core/intervals.hpp"
+
+namespace incprof::core {
+
+/// Which per-function columns to include in each interval's vector.
+struct FeatureOptions {
+  /// gprof 'self' seconds — the paper's feature set.
+  bool use_self_time = true;
+  /// Per-interval call counts (log1p-compressed: counts span orders of
+  /// magnitude and would otherwise dominate after standardization).
+  bool use_calls = false;
+  /// Children time (inclusive - self), seconds.
+  bool use_children = false;
+  /// Z-score each column before clustering. Off by default: the paper
+  /// clusters raw per-function self seconds, and z-scoring inflates
+  /// rarely-active functions into their own phases (see
+  /// bench_ablation_features).
+  bool standardize = false;
+};
+
+/// The assembled clustering input: the matrix rows are intervals and the
+/// standardizer maps between feature space and raw units.
+struct FeatureSpace {
+  cluster::Matrix features;
+  /// Fitted only when options.standardize; identity otherwise.
+  cluster::Standardizer standardizer;
+  FeatureOptions options;
+  /// Columns per included family (for ablation reporting).
+  std::size_t columns_per_family = 0;
+};
+
+/// Builds the feature space from interval data. Throws
+/// std::invalid_argument if no feature family is enabled or the interval
+/// data is empty.
+FeatureSpace build_features(const IntervalData& data,
+                            const FeatureOptions& options = {});
+
+}  // namespace incprof::core

@@ -1,0 +1,68 @@
+#include "core/intervals.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace incprof::core {
+
+IntervalData IntervalData::from_cumulative(
+    const std::vector<gmon::ProfileSnapshot>& snapshots) {
+  IntervalData data;
+  if (snapshots.empty()) return data;
+
+  // Function universe: every name appearing in any snapshot (the final
+  // cumulative snapshot contains them all, but be robust to pruned dumps).
+  std::map<std::string, std::size_t> index;
+  for (const auto& snap : snapshots) {
+    for (const auto& fp : snap.functions()) index.emplace(fp.name, 0);
+  }
+  data.function_names_.reserve(index.size());
+  for (auto& [name, idx] : index) {
+    idx = data.function_names_.size();
+    data.function_names_.push_back(name);
+  }
+
+  const std::size_t n = snapshots.size();
+  const std::size_t m = data.function_names_.size();
+  data.self_seconds_ = cluster::Matrix(n, m);
+  data.calls_ = cluster::Matrix(n, m);
+  data.children_seconds_ = cluster::Matrix(n, m);
+  data.timestamps_sec_.reserve(n);
+
+  const gmon::ProfileSnapshot empty;
+  for (std::size_t i = 0; i < n; ++i) {
+    const gmon::ProfileSnapshot& prev = i == 0 ? empty : snapshots[i - 1];
+    const gmon::ProfileSnapshot delta =
+        gmon::difference(snapshots[i], prev);
+    for (const auto& fp : delta.functions()) {
+      const auto it = index.find(fp.name);
+      const std::size_t j = it->second;
+      data.self_seconds_.at(i, j) =
+          static_cast<double>(fp.self_ns) / 1e9;
+      data.calls_.at(i, j) = static_cast<double>(fp.calls);
+      const auto children = fp.inclusive_ns - fp.self_ns;
+      data.children_seconds_.at(i, j) =
+          children > 0 ? static_cast<double>(children) / 1e9 : 0.0;
+    }
+    data.timestamps_sec_.push_back(
+        static_cast<double>(snapshots[i].timestamp_ns()) / 1e9);
+  }
+  return data;
+}
+
+int IntervalData::function_index(std::string_view name) const noexcept {
+  const auto it = std::lower_bound(function_names_.begin(),
+                                   function_names_.end(), name);
+  if (it != function_names_.end() && *it == name) {
+    return static_cast<int>(it - function_names_.begin());
+  }
+  return -1;
+}
+
+double IntervalData::total_self_seconds() const noexcept {
+  double total = 0.0;
+  for (double v : self_seconds_.data()) total += v;
+  return total;
+}
+
+}  // namespace incprof::core

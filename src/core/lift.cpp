@@ -1,0 +1,79 @@
+#include "core/lift.hpp"
+
+#include <set>
+
+namespace incprof::core {
+
+namespace {
+
+/// Finds the dominant caller of `callee`, or empty when none qualifies.
+std::string dominant_caller(const gmon::CallGraphSnapshot& graph,
+                            const std::string& callee,
+                            const LiftConfig& cfg) {
+  const auto inbound = graph.callers_of(callee);
+  std::int64_t total = 0;
+  for (const auto* e : inbound) total += e->count;
+  if (total <= 0) return {};
+
+  for (const auto* e : inbound) {
+    if (e->caller == gmon::kSpontaneous) continue;
+    if (static_cast<double>(e->count) >=
+        cfg.dominance * static_cast<double>(total)) {
+      if (cfg.max_caller_fanin > 0 &&
+          graph.total_calls_into(e->caller) > cfg.max_caller_fanin) {
+        return {};
+      }
+      return e->caller;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+LiftResult lift_sites(const SiteSelectionResult& selection,
+                      const gmon::CallGraphSnapshot& graph,
+                      const LiftConfig& config) {
+  LiftResult result;
+  result.sites = selection;
+
+  // Functions already chosen anywhere in the selection: lifting into one
+  // of them would collapse two phases' sites into one function and lose
+  // the distinction Algorithm 1 established.
+  std::set<std::string> chosen;
+  for (const auto& phase : selection.phases) {
+    for (const auto& site : phase.sites) chosen.insert(site.function_name);
+  }
+
+  for (auto& phase : result.sites.phases) {
+    for (auto& site : phase.sites) {
+      if (site.type != InstType::kBody) continue;
+
+      std::vector<std::string> chain{site.function_name};
+      std::string current = site.function_name;
+      for (std::size_t depth = 0; depth < config.max_depth; ++depth) {
+        const std::string up = dominant_caller(graph, current, config);
+        if (up.empty()) break;
+        if (chosen.count(up)) break;  // already someone else's site
+        chain.push_back(up);
+        current = up;
+      }
+      if (chain.size() <= 1) continue;
+
+      LiftDecision decision;
+      decision.phase = phase.phase;
+      decision.original = site.function_name;
+      decision.lifted_to = current;
+      decision.chain = chain;
+      result.decisions.push_back(std::move(decision));
+
+      site.function_name = current;
+      // Phase%/App% still describe the original function's activity;
+      // the lifted site fires once per caller invocation, which is the
+      // same burst pattern by the dominance argument above.
+    }
+  }
+  return result;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,62 @@
+// Call-graph site lifting — the improvement the paper sketches for
+// MiniFE (Section VI-B): "the sum_in_symm_elem_matrix heartbeat is
+// invoked from and is essentially equivalent in behavior to our manual
+// perform_element_loop heartbeat; extending the discovery analysis to
+// use the call-graph structure might be a way to improve it and select
+// our site, which is higher up in the call graph."
+//
+// The rule: a selected body-type site whose calls come (almost)
+// exclusively from a single caller is equivalent, heartbeat-wise, to
+// instrumenting that caller's body — each caller invocation produces the
+// same burst of activity. Lifting walks up while the dominance holds,
+// stopping at <spontaneous> callers, functions already selected for some
+// phase, or the configured depth.
+#pragma once
+
+#include "core/sites.hpp"
+#include "gmon/callgraph.hpp"
+
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+
+/// Lifting parameters.
+struct LiftConfig {
+  /// Minimum fraction of the callee's total inbound calls that must come
+  /// from one caller for the site to move up to it.
+  double dominance = 0.95;
+  /// Maximum lifting steps per site.
+  std::size_t max_depth = 3;
+  /// Only lift callers that are called at most this many times in total;
+  /// prevents lifting into utility functions invoked from everywhere.
+  std::int64_t max_caller_fanin = 0;  // 0 = no limit
+};
+
+/// One applied lift, for reporting.
+struct LiftDecision {
+  std::size_t phase = 0;
+  std::string original;
+  std::string lifted_to;
+  /// Chain of hops, original first.
+  std::vector<std::string> chain;
+};
+
+/// Result of the lifting pass.
+struct LiftResult {
+  /// The site selection with lifted function names substituted in
+  /// (loop-type sites are never lifted — a loop site instruments code
+  /// *inside* the long-running function and has no call-burst
+  /// equivalence with its caller).
+  SiteSelectionResult sites;
+  /// The lifts that were applied.
+  std::vector<LiftDecision> decisions;
+};
+
+/// Applies call-graph lifting to a selection result using the final
+/// cumulative call graph of the run.
+LiftResult lift_sites(const SiteSelectionResult& selection,
+                      const gmon::CallGraphSnapshot& graph,
+                      const LiftConfig& config = {});
+
+}  // namespace incprof::core

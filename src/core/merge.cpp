@@ -1,0 +1,92 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace incprof::core {
+
+SiteSelectionResult merge_phases_by_sites(const SiteSelectionResult& in,
+                                          const IntervalData& data) {
+  SiteSelectionResult out;
+  out.threshold = in.threshold;
+
+  // Group phases by their site-function set.
+  std::map<std::set<std::size_t>, std::vector<std::size_t>> groups;
+  std::vector<std::set<std::size_t>> keys;  // in first-appearance order
+  for (std::size_t p = 0; p < in.phases.size(); ++p) {
+    std::set<std::size_t> key;
+    for (const auto& s : in.phases[p].sites) key.insert(s.function);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) keys.push_back(key);
+    it->second.push_back(p);
+  }
+
+  const std::size_t total_intervals = data.num_intervals();
+  for (const auto& key : keys) {
+    const auto& members = groups[key];
+    PhaseSites merged;
+    merged.phase = out.phases.size();
+
+    for (const std::size_t p : members) {
+      const auto& src = in.phases[p];
+      merged.intervals.insert(merged.intervals.end(),
+                              src.intervals.begin(), src.intervals.end());
+      for (const auto& s : src.sites) {
+        const bool present = std::any_of(
+            merged.sites.begin(), merged.sites.end(),
+            [&](const SiteSelection& t) {
+              return t.function == s.function && t.type == s.type;
+            });
+        if (!present) merged.sites.push_back(s);
+      }
+    }
+    std::sort(merged.intervals.begin(), merged.intervals.end());
+
+    // Recompute fractions and coverage over the merged interval set.
+    const std::size_t n_phase = merged.intervals.size();
+    std::size_t covered = 0;
+    for (const std::size_t i : merged.intervals) {
+      bool any_active = false;
+      bool hit = false;
+      for (const auto& s : merged.sites) {
+        if (data.active(i, s.function)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        // Idle intervals count as covered, matching select_sites.
+        any_active = false;
+        for (std::size_t f = 0; f < data.num_functions(); ++f) {
+          if (data.active(i, f)) {
+            any_active = true;
+            break;
+          }
+        }
+      }
+      if (hit || !any_active) ++covered;
+    }
+    merged.coverage =
+        n_phase ? static_cast<double>(covered) / static_cast<double>(n_phase)
+                : 0.0;
+
+    for (auto& s : merged.sites) {
+      std::size_t active = 0;
+      for (const std::size_t i : merged.intervals) {
+        if (data.active(i, s.function)) ++active;
+      }
+      s.phase_fraction = n_phase ? static_cast<double>(active) /
+                                       static_cast<double>(n_phase)
+                                 : 0.0;
+      s.app_fraction = total_intervals
+                           ? static_cast<double>(active) /
+                                 static_cast<double>(total_intervals)
+                           : 0.0;
+    }
+    out.phases.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,22 @@
+// Phase-merge postprocessing. The paper identifies this as a needed
+// improvement in two evaluations: Graph500 ("our phase discovery might
+// need some postprocessing to combine phases which have the same
+// instrumentation sites") and LAMMPS (phases 0 and 2, both represented by
+// PairLJCut::compute, "should really be identified as a single phase").
+// merge_phases_by_sites implements that: phases whose selected site
+// *functions* are identical are combined, with coverage statistics
+// recomputed over the union.
+#pragma once
+
+#include "core/sites.hpp"
+
+namespace incprof::core {
+
+/// Merges phases with identical site-function sets. Site types are
+/// unioned (a function may carry both body and loop designations after a
+/// merge, as in Graph500's run_bfs). Phase ids are renumbered densely in
+/// order of each merged group's first appearance.
+SiteSelectionResult merge_phases_by_sites(const SiteSelectionResult& in,
+                                          const IntervalData& data);
+
+}  // namespace incprof::core

@@ -1,0 +1,97 @@
+// Online (streaming) phase tracking. The paper's motivation is
+// *deployment-time* visibility: "efficiently tracking deployed
+// application performance in the future by providing information to
+// identify good instrumentation points" (Abstract), and its related-work
+// section singles out Nickolayev et al.'s real-time statistical
+// clustering. OnlinePhaseTracker is that deployment-side counterpart to
+// the offline k-means pipeline: it consumes cumulative profile dumps one
+// at a time as the collector produces them, differences them
+// incrementally, and assigns each completed interval to the nearest
+// known phase centroid — or opens a new phase when nothing is close
+// (leader clustering). It never revisits old intervals, so memory and
+// per-dump work stay bounded.
+#pragma once
+
+#include "gmon/snapshot.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+
+/// Streaming-tracker parameters.
+struct OnlineConfig {
+  /// A new interval joins its nearest phase when the Euclidean distance
+  /// (raw self-seconds space) is at most this; otherwise a new phase
+  /// opens. With 1-second intervals, 0.5 means "more than half the
+  /// interval's time moved to different functions".
+  double new_phase_distance = 0.5;
+  /// Hard cap on phases (the paper's k_max); once reached, intervals
+  /// always join the nearest phase.
+  std::size_t max_phases = 8;
+  /// Centroid update weight for the newest member: centroids are
+  /// running means when 0 (default), or exponentially-weighted with
+  /// this alpha in (0, 1].
+  double ewma_alpha = 0.0;
+};
+
+/// One observation result.
+struct OnlineObservation {
+  /// Interval index (0-based) the dump completed.
+  std::size_t interval = 0;
+  /// Phase assigned to the interval.
+  std::size_t phase = 0;
+  /// True when this dump opened a brand-new phase.
+  bool new_phase = false;
+  /// True when the phase differs from the previous interval's (a phase
+  /// transition — the event a deployment monitor would log).
+  bool transition = false;
+  /// Distance to the chosen centroid before the update.
+  double distance = 0.0;
+};
+
+/// Streaming leader-clustering phase tracker over cumulative dumps.
+class OnlinePhaseTracker {
+ public:
+  explicit OnlinePhaseTracker(OnlineConfig config = {});
+
+  /// Feeds the next cumulative snapshot (in seq order); returns the
+  /// assignment of the interval it completes.
+  OnlineObservation observe(const gmon::ProfileSnapshot& snap);
+
+  /// Per-interval phase assignments so far.
+  const std::vector<std::size_t>& assignments() const noexcept {
+    return assignments_;
+  }
+
+  /// Number of phases opened so far.
+  std::size_t num_phases() const noexcept { return centroids_.size(); }
+
+  /// Number of intervals observed.
+  std::size_t num_intervals() const noexcept {
+    return assignments_.size();
+  }
+
+  /// Members per phase.
+  std::vector<std::size_t> phase_sizes() const;
+
+  /// The function universe seen so far (column order of centroids).
+  std::vector<std::string> function_names() const;
+
+ private:
+  std::size_t column_for(const std::string& name);
+
+  OnlineConfig config_;
+  gmon::ProfileSnapshot previous_;
+  bool has_previous_ = false;
+  std::map<std::string, std::size_t> columns_;
+  // Ragged-safe centroid storage: every vector is resized to the current
+  // column count on use.
+  std::vector<std::vector<double>> centroids_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> assignments_;
+};
+
+}  // namespace incprof::core

@@ -1,0 +1,76 @@
+#include "core/pipeline.hpp"
+
+#include "cluster/kselect.hpp"
+#include "gmon/flat_text.hpp"
+#include "gmon/scanner.hpp"
+
+#include <stdexcept>
+
+namespace incprof::core {
+
+namespace {
+
+std::vector<gmon::ProfileSnapshot> round_trip_text(
+    const std::vector<gmon::ProfileSnapshot>& snapshots,
+    std::int64_t sample_period_ns) {
+  gmon::FlatTextOptions opts;
+  opts.sample_period_ns = sample_period_ns;
+  std::vector<gmon::ProfileSnapshot> out;
+  out.reserve(snapshots.size());
+  for (const auto& snap : snapshots) {
+    const std::string text = gmon::format_flat_profile(snap, opts);
+    gmon::ProfileSnapshot parsed = gmon::parse_flat_profile(text);
+    parsed.set_seq(snap.seq());
+    parsed.set_timestamp_ns(snap.timestamp_ns());
+    out.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseAnalysis analyze_snapshots(
+    const std::vector<gmon::ProfileSnapshot>& snapshots,
+    const PipelineConfig& config) {
+  if (snapshots.size() < 2) {
+    throw std::invalid_argument(
+        "analyze_snapshots: need at least 2 cumulative snapshots");
+  }
+
+  PhaseAnalysis a;
+  if (config.text_round_trip) {
+    a.intervals = IntervalData::from_cumulative(
+        round_trip_text(snapshots, config.sample_period_ns));
+  } else {
+    a.intervals = IntervalData::from_cumulative(snapshots);
+  }
+
+  a.features = build_features(a.intervals, config.features);
+  a.detection = detect_phases(a.features, config.detector);
+  a.chosen_sweep_index =
+      config.detector.selection == cluster::KSelection::kElbow
+          ? cluster::select_elbow(a.detection.sweep)
+          : cluster::select_silhouette(a.detection.sweep);
+  a.ranks = RankTable::compute(a.intervals, a.detection);
+  a.sites = select_sites(a.intervals, a.features, a.detection, a.ranks,
+                         config.selector);
+  if (config.merge_phases) {
+    a.sites = merge_phases_by_sites(a.sites, a.intervals);
+  }
+  return a;
+}
+
+PhaseAnalysis analyze_dump_dir(const std::filesystem::path& dir,
+                               const PipelineConfig& config) {
+  if (config.text_round_trip) {
+    // The on-disk variant of the paper's flow: convert each binary dump
+    // to a gprof text report, then parse those.
+    gmon::convert_dumps_to_text(dir, config.sample_period_ns);
+    PipelineConfig inner = config;
+    inner.text_round_trip = false;  // already through text on disk
+    return analyze_snapshots(gmon::load_text_dumps(dir), inner);
+  }
+  return analyze_snapshots(gmon::load_binary_dumps(dir), config);
+}
+
+}  // namespace incprof::core

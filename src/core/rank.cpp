@@ -1,0 +1,26 @@
+#include "core/rank.hpp"
+
+namespace incprof::core {
+
+RankTable RankTable::compute(const IntervalData& data,
+                             const PhaseDetection& detection) {
+  RankTable table;
+  const std::size_t m = data.num_functions();
+  table.ranks_.assign(detection.num_phases, std::vector<double>(m, 0.0));
+
+  for (std::size_t p = 0; p < detection.num_phases; ++p) {
+    const auto& intervals = detection.phase_intervals[p];
+    if (intervals.empty()) continue;
+    auto& row = table.ranks_[p];
+    for (const std::size_t i : intervals) {
+      for (std::size_t f = 0; f < m; ++f) {
+        if (data.active(i, f)) row[f] += 1.0;
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(intervals.size());
+    for (std::size_t f = 0; f < m; ++f) row[f] *= inv;
+  }
+  return table;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,34 @@
+// Per-function, per-phase rank (paper, Section V-B): "the fraction of
+// intervals in the phase that the function is active in (i.e., has a
+// non-zero execution time)". Algorithm 1 uses rank (descending) as the
+// tie-breaker after call count (ascending) when choosing the function to
+// instrument for an interval.
+#pragma once
+
+#include "core/detect.hpp"
+#include "core/intervals.hpp"
+
+#include <vector>
+
+namespace incprof::core {
+
+/// rank[phase][function] in [0, 1].
+class RankTable {
+ public:
+  /// Computes ranks from interval activity and phase assignments.
+  static RankTable compute(const IntervalData& data,
+                           const PhaseDetection& detection);
+
+  /// Rank of function column `f` within phase `p`.
+  double rank(std::size_t p, std::size_t f) const noexcept {
+    return ranks_[p][f];
+  }
+
+  /// Number of phases covered.
+  std::size_t num_phases() const noexcept { return ranks_.size(); }
+
+ private:
+  std::vector<std::vector<double>> ranks_;
+};
+
+}  // namespace incprof::core

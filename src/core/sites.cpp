@@ -1,0 +1,188 @@
+#include "core/sites.hpp"
+
+#include "cluster/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace incprof::core {
+
+const char* to_string(InstType t) noexcept {
+  return t == InstType::kBody ? "body" : "loop";
+}
+
+std::size_t SiteSelectionResult::num_unique_sites() const {
+  std::set<std::pair<std::string, InstType>> uniq;
+  for (const auto& p : phases) {
+    for (const auto& s : p.sites) uniq.insert({s.function_name, s.type});
+  }
+  return uniq.size();
+}
+
+namespace {
+
+/// Intervals sorted by distance to the phase centroid, ascending —
+/// Algorithm 1 line 3.
+std::vector<std::size_t> sort_by_centroid_distance(
+    const FeatureSpace& space, const PhaseDetection& detection,
+    std::size_t phase) {
+  std::vector<std::size_t> order = detection.phase_intervals[phase];
+  std::vector<double> dist(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    dist[k] = cluster::euclidean(space.features.row(order[k]),
+                                 detection.centroids.row(phase));
+  }
+  std::vector<std::size_t> perm(order.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) perm[k] = k;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return dist[a] < dist[b];
+                   });
+  std::vector<std::size_t> sorted(order.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) sorted[k] = order[perm[k]];
+  return sorted;
+}
+
+}  // namespace
+
+SiteSelectionResult select_sites(const IntervalData& data,
+                                 const FeatureSpace& space,
+                                 const PhaseDetection& detection,
+                                 const RankTable& ranks,
+                                 const SiteSelectorConfig& config) {
+  SiteSelectionResult result;
+  result.threshold = config.coverage_threshold;
+
+  const std::size_t m = data.num_functions();
+
+  for (std::size_t p = 0; p < detection.num_phases; ++p) {
+    PhaseSites phase;
+    phase.phase = p;
+    phase.intervals = detection.phase_intervals[p];
+    const std::size_t n_phase = phase.intervals.size();
+    if (n_phase == 0) {
+      result.phases.push_back(std::move(phase));
+      continue;
+    }
+
+    const std::vector<std::size_t> order =
+        sort_by_centroid_distance(space, detection, p);
+
+    // covered[k] tracks phase.intervals[k]; idle (all-zero) intervals are
+    // trivially covered — there is nothing to instrument in them.
+    std::vector<bool> covered(n_phase, false);
+    std::size_t covered_count = 0;
+    std::vector<std::size_t> pos_of_interval(data.num_intervals(), 0);
+    for (std::size_t k = 0; k < n_phase; ++k) {
+      pos_of_interval[phase.intervals[k]] = k;
+      bool any_active = false;
+      for (std::size_t f = 0; f < m; ++f) {
+        if (data.active(phase.intervals[k], f)) {
+          any_active = true;
+          break;
+        }
+      }
+      if (!any_active) {
+        covered[k] = true;
+        ++covered_count;
+      }
+    }
+
+    std::set<std::size_t> selected_functions;
+    const double needed =
+        config.coverage_threshold * static_cast<double>(n_phase);
+
+    for (const std::size_t interval : order) {
+      if (static_cast<double>(covered_count) >= needed) break;
+      if (covered[pos_of_interval[interval]]) continue;
+
+      // Line 10: sort this interval's active functions by calls
+      // ascending, then rank descending; name breaks remaining ties
+      // deterministically.
+      std::size_t best = m;  // sentinel: none
+      for (std::size_t f = 0; f < m; ++f) {
+        if (!data.active(interval, f)) continue;
+        if (best == m) {
+          best = f;
+          continue;
+        }
+        const double cf = data.calls().at(interval, f);
+        const double cb = data.calls().at(interval, best);
+        if (cf != cb) {
+          if (cf < cb) best = f;
+          continue;
+        }
+        const double rf = ranks.rank(p, f);
+        const double rb = ranks.rank(p, best);
+        if (rf != rb) {
+          if (rf > rb) best = f;
+          continue;
+        }
+        // function_names is sorted, so smaller index = smaller name.
+      }
+      if (best == m) continue;  // unreachable: uncovered implies active
+
+      const bool called = data.calls().at(interval, best) > 0.0;
+      const InstType type = called ? InstType::kBody : InstType::kLoop;
+
+      const bool is_new_function =
+          selected_functions.insert(best).second;
+      if (is_new_function) {
+        SiteSelection site;
+        site.function = best;
+        site.function_name = data.function_names()[best];
+        site.type = type;
+        phase.sites.push_back(std::move(site));
+      } else {
+        // Same function reachable with a different designation within a
+        // phase: record the additional <id, type> tuple (Algorithm 1
+        // lines 17-19 key the output set on the pair).
+        bool present = false;
+        for (const auto& s : phase.sites) {
+          if (s.function == best && s.type == type) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          SiteSelection site;
+          site.function = best;
+          site.function_name = data.function_names()[best];
+          site.type = type;
+          phase.sites.push_back(std::move(site));
+        }
+      }
+
+      // Mark everything this function is active in as covered.
+      if (is_new_function) {
+        for (std::size_t k = 0; k < n_phase; ++k) {
+          if (covered[k]) continue;
+          if (data.active(phase.intervals[k], best)) {
+            covered[k] = true;
+            ++covered_count;
+          }
+        }
+      }
+    }
+
+    // Phase % / App % columns.
+    const std::size_t total_intervals = data.num_intervals();
+    for (auto& site : phase.sites) {
+      std::size_t active_in_phase = 0;
+      for (const std::size_t i : phase.intervals) {
+        if (data.active(i, site.function)) ++active_in_phase;
+      }
+      site.phase_fraction = static_cast<double>(active_in_phase) /
+                            static_cast<double>(n_phase);
+      site.app_fraction = static_cast<double>(active_in_phase) /
+                          static_cast<double>(total_intervals);
+    }
+    phase.coverage = static_cast<double>(covered_count) /
+                     static_cast<double>(n_phase);
+    result.phases.push_back(std::move(phase));
+  }
+  return result;
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,88 @@
+// Algorithm 1 (paper, Section V-B): greedy instrumentation-site
+// identification per phase.
+//
+// For each cluster (phase), intervals are visited in order of distance to
+// the cluster centroid (most representative first). An interval already
+// covered — some previously selected site function is active in it — is
+// skipped. Otherwise the interval's active functions are sorted by call
+// count ascending (prefer long-running functions over chatty utility
+// functions) then rank descending (prefer functions active across the
+// phase), and the top function becomes a site: "body" if it was called
+// within the interval, "loop" if it had zero calls (it continued running
+// from an earlier invocation, so a loop inside it must be instrumented).
+// Selection stops once the configured fraction of the phase's intervals
+// is covered (the paper uses a 95 % threshold to skip outliers).
+#pragma once
+
+#include "core/detect.hpp"
+#include "core/intervals.hpp"
+#include "core/rank.hpp"
+
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+
+/// Site designation (paper, Section V-B).
+enum class InstType {
+  /// Instrument the function body (entry and exit).
+  kBody,
+  /// Instrument a loop within the function body.
+  kLoop,
+};
+
+/// Human-readable name ("body" / "loop").
+const char* to_string(InstType t) noexcept;
+
+/// One selected instrumentation site within a phase.
+struct SiteSelection {
+  /// Function column index in the IntervalData universe.
+  std::size_t function = 0;
+  /// Function name (copied for convenience).
+  std::string function_name;
+  InstType type = InstType::kBody;
+  /// Fraction of this phase's intervals in which the function is active
+  /// (the "Phase %" column of Tables II-VI).
+  double phase_fraction = 0.0;
+  /// Fraction of *all* intervals that are in this phase and have the
+  /// function active (the "App %" column).
+  double app_fraction = 0.0;
+};
+
+/// One phase with its selected sites.
+struct PhaseSites {
+  std::size_t phase = 0;
+  /// Intervals belonging to the phase.
+  std::vector<std::size_t> intervals;
+  /// Selected sites, in selection order.
+  std::vector<SiteSelection> sites;
+  /// Fraction of the phase's intervals covered by the selected sites.
+  double coverage = 0.0;
+};
+
+/// Full Algorithm 1 output.
+struct SiteSelectionResult {
+  std::vector<PhaseSites> phases;
+  /// The coverage threshold used.
+  double threshold = 0.0;
+
+  /// Total number of distinct (function, type) sites across phases.
+  std::size_t num_unique_sites() const;
+};
+
+/// Algorithm 1 parameters.
+struct SiteSelectorConfig {
+  /// Stop selecting once this fraction of a phase's intervals is covered.
+  double coverage_threshold = 0.95;
+};
+
+/// Runs Algorithm 1. `space` must be the feature space the detection was
+/// computed in (distances to centroids are taken there); `ranks` from
+/// RankTable::compute on the same detection.
+SiteSelectionResult select_sites(const IntervalData& data,
+                                 const FeatureSpace& space,
+                                 const PhaseDetection& detection,
+                                 const RankTable& ranks,
+                                 const SiteSelectorConfig& config = {});
+
+}  // namespace incprof::core

@@ -1,0 +1,94 @@
+#include "core/transitions.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <stdexcept>
+
+namespace incprof::core {
+
+PhaseTransitionModel PhaseTransitionModel::from_assignments(
+    const std::vector<std::size_t>& assignments, std::size_t num_phases) {
+  PhaseTransitionModel m;
+  for (const auto a : assignments) {
+    if (a >= num_phases) {
+      throw std::invalid_argument(
+          "PhaseTransitionModel: assignment exceeds num_phases");
+    }
+  }
+  m.k_ = num_phases;
+  m.counts_.assign(num_phases * num_phases, 0);
+  m.occupancy_.assign(num_phases, 0);
+  m.runs_.assign(num_phases, 0);
+  m.total_intervals_ = assignments.size();
+
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    ++m.occupancy_[assignments[i]];
+    if (i == 0 || assignments[i] != assignments[i - 1]) {
+      ++m.runs_[assignments[i]];
+    }
+    if (i > 0) {
+      ++m.counts_[assignments[i - 1] * num_phases + assignments[i]];
+      if (assignments[i] != assignments[i - 1]) ++m.transitions_;
+    }
+  }
+  return m;
+}
+
+double PhaseTransitionModel::probability(std::size_t from,
+                                         std::size_t to) const noexcept {
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < k_; ++j) row += counts_[from * k_ + j];
+  if (row == 0) return 0.0;
+  return static_cast<double>(counts_[from * k_ + to]) /
+         static_cast<double>(row);
+}
+
+double PhaseTransitionModel::occupancy(std::size_t phase) const noexcept {
+  if (total_intervals_ == 0) return 0.0;
+  return static_cast<double>(occupancy_[phase]) /
+         static_cast<double>(total_intervals_);
+}
+
+double PhaseTransitionModel::mean_dwell(std::size_t phase) const noexcept {
+  if (runs_[phase] == 0) return 0.0;
+  return static_cast<double>(occupancy_[phase]) /
+         static_cast<double>(runs_[phase]);
+}
+
+std::size_t PhaseTransitionModel::likely_successor(std::size_t from) const {
+  std::size_t best = k_;
+  std::size_t best_count = 0;
+  for (std::size_t to = 0; to < k_; ++to) {
+    if (to == from) continue;
+    if (counts_[from * k_ + to] > best_count) {
+      best_count = counts_[from * k_ + to];
+      best = to;
+    }
+  }
+  return best;
+}
+
+std::string PhaseTransitionModel::render() const {
+  util::TextTable t;
+  std::vector<std::string> header{"from\\to"};
+  for (std::size_t j = 0; j < k_; ++j) header.push_back(std::to_string(j));
+  header.push_back("occupancy %");
+  header.push_back("mean dwell");
+  t.set_header(header);
+  for (std::size_t c = 1; c < header.size(); ++c) {
+    t.set_align(c, util::Align::kRight);
+  }
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (std::size_t j = 0; j < k_; ++j) {
+      row.push_back(util::format_fixed(probability(i, j), 2));
+    }
+    row.push_back(util::format_pct(occupancy(i)));
+    row.push_back(util::format_fixed(mean_dwell(i), 1));
+    t.add_row(row);
+  }
+  return t.render();
+}
+
+}  // namespace incprof::core

@@ -1,0 +1,81 @@
+#include "ekg/adapter.hpp"
+
+namespace incprof::ekg {
+
+EkgEngineAdapter::EkgEngineAdapter(AppEkg& ekg,
+                                   const sim::ExecutionEngine& engine,
+                                   std::vector<InstrumentedSite> sites)
+    : ekg_(ekg), engine_(engine), sites_(std::move(sites)) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    pending_by_name_.emplace(sites_[i].function, i);
+  }
+  refresh_bindings();
+}
+
+void EkgEngineAdapter::refresh_bindings() {
+  const auto& reg = engine_.registry();
+  for (; checked_fids_ < reg.size(); ++checked_fids_) {
+    const auto fid = static_cast<sim::FunctionId>(checked_fids_);
+    auto it = pending_by_name_.find(reg.name(fid));
+    if (it == pending_by_name_.end()) continue;
+    const InstrumentedSite& site = sites_[it->second];
+    SiteBinding b;
+    b.hb_id = site.hb_id;
+    b.kind = site.kind;
+    bindings_.emplace(fid, b);
+    pending_by_name_.erase(it);
+  }
+}
+
+EkgEngineAdapter::SiteBinding* EkgEngineAdapter::binding_for(
+    sim::FunctionId fid) {
+  if (!pending_by_name_.empty()) refresh_bindings();
+  auto it = bindings_.find(fid);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+void EkgEngineAdapter::on_enter(sim::FunctionId fid, sim::vtime_t now) {
+  SiteBinding* b = binding_for(fid);
+  if (b == nullptr) return;
+  if (b->kind == SiteKind::kBody) {
+    ekg_.begin(b->hb_id, now);
+  } else {
+    b->last_tick = -1;  // fresh activation: reset the iteration timer
+  }
+}
+
+void EkgEngineAdapter::on_leave(sim::FunctionId fid, sim::vtime_t now) {
+  SiteBinding* b = binding_for(fid);
+  if (b == nullptr) return;
+  if (b->kind == SiteKind::kBody) {
+    ekg_.end(b->hb_id, now);
+  } else {
+    b->last_tick = -1;
+  }
+}
+
+void EkgEngineAdapter::on_loop_tick(sim::FunctionId fid, sim::vtime_t now) {
+  SiteBinding* b = binding_for(fid);
+  if (b == nullptr || b->kind != SiteKind::kLoop) return;
+  // One heartbeat per loop iteration: the iteration spans from the
+  // previous tick (or activation start when unknown) to this tick.
+  if (b->last_tick >= 0) {
+    ekg_.begin(b->hb_id, b->last_tick);
+    ekg_.end(b->hb_id, now);
+  } else {
+    ekg_.impulse(b->hb_id, now);
+  }
+  b->last_tick = now;
+}
+
+void EkgEngineAdapter::on_sample(const sim::ExecutionEngine&,
+                                 sim::vtime_t now) {
+  ekg_.advance(now);
+}
+
+void EkgEngineAdapter::on_finish(const sim::ExecutionEngine&,
+                                 sim::vtime_t now) {
+  ekg_.finalize(now);
+}
+
+}  // namespace incprof::ekg

@@ -1,0 +1,83 @@
+// Bridges engine execution to AppEKG heartbeats for a set of
+// instrumentation sites. This models physically editing the application:
+// a *body* site gets beginHeartbeat at function entry and endHeartbeat at
+// function exit; a *loop* site gets a heartbeat per iteration of the main
+// loop inside the function (the engine's loop_tick markers). The same
+// adapter serves both the manually chosen sites and the sites Algorithm 1
+// discovers, so the paper's discovered-vs-manual comparison (Figures 2-6)
+// runs through identical machinery.
+#pragma once
+
+#include "ekg/heartbeat.hpp"
+#include "sim/engine.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace incprof::ekg {
+
+/// How a site is instrumented (paper, Section V-B).
+enum class SiteKind {
+  /// Instrument function entry/exit.
+  kBody,
+  /// Instrument an iteration of a loop within the function body.
+  kLoop,
+};
+
+/// One instrumentation site: function + kind + assigned heartbeat id.
+struct InstrumentedSite {
+  std::string function;
+  SiteKind kind = SiteKind::kBody;
+  HeartbeatId hb_id = 0;
+};
+
+/// Engine listener that fires AppEKG heartbeats for the given sites, and
+/// drives the AppEKG interval clock from engine samples.
+class EkgEngineAdapter : public sim::EngineListener {
+ public:
+  /// `ekg` and `engine` must outlive the adapter. Site function names are
+  /// resolved against the engine registry lazily, since apps intern
+  /// names only as execution first reaches them.
+  EkgEngineAdapter(AppEkg& ekg, const sim::ExecutionEngine& engine,
+                   std::vector<InstrumentedSite> sites);
+
+  // EngineListener
+  void on_enter(sim::FunctionId fid, sim::vtime_t now) override;
+  void on_leave(sim::FunctionId fid, sim::vtime_t now) override;
+  void on_loop_tick(sim::FunctionId fid, sim::vtime_t now) override;
+  void on_sample(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+  void on_finish(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+
+  /// The configured sites.
+  const std::vector<InstrumentedSite>& sites() const noexcept {
+    return sites_;
+  }
+
+ private:
+  struct SiteBinding {
+    HeartbeatId hb_id = 0;
+    SiteKind kind = SiteKind::kBody;
+    // Loop sites: virtual time of the previous loop_tick within the
+    // current activation, or -1 when none yet.
+    sim::vtime_t last_tick = -1;
+  };
+
+  /// Checks registry ids interned since the last call against the
+  /// still-unbound site names.
+  void refresh_bindings();
+
+  /// Binding for fid, or nullptr if the function is not a site.
+  SiteBinding* binding_for(sim::FunctionId fid);
+
+  AppEkg& ekg_;
+  const sim::ExecutionEngine& engine_;
+  std::vector<InstrumentedSite> sites_;
+  std::unordered_map<std::string, std::size_t> pending_by_name_;
+  std::unordered_map<sim::FunctionId, SiteBinding> bindings_;
+  std::size_t checked_fids_ = 0;
+};
+
+}  // namespace incprof::ekg

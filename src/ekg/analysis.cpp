@@ -1,0 +1,115 @@
+#include "ekg/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace incprof::ekg {
+
+std::vector<HeartbeatBaseline> build_baselines(
+    const std::vector<HeartbeatRecord>& records) {
+  std::map<HeartbeatId, HeartbeatBaseline> by_id;
+  for (const auto& rec : records) {
+    HeartbeatBaseline& b = by_id[rec.id];
+    b.id = rec.id;
+    ++b.records;
+    b.total_count += rec.count;
+    b.count_stats.add(static_cast<double>(rec.count));
+    b.duration_stats.add(rec.mean_duration_ns);
+  }
+  std::vector<HeartbeatBaseline> out;
+  out.reserve(by_id.size());
+  for (auto& [id, b] : by_id) out.push_back(std::move(b));
+  return out;
+}
+
+std::vector<HeartbeatAnomaly> detect_anomalies(
+    const std::vector<HeartbeatRecord>& history,
+    const std::vector<HeartbeatRecord>& records,
+    const AnomalyConfig& config) {
+  std::map<HeartbeatId, HeartbeatBaseline> baselines;
+  for (auto& b : build_baselines(history)) baselines[b.id] = b;
+
+  std::vector<HeartbeatAnomaly> out;
+  for (const auto& rec : records) {
+    const auto it = baselines.find(rec.id);
+    if (it == baselines.end()) continue;
+    const HeartbeatBaseline& b = it->second;
+    if (b.records < config.min_history) continue;
+
+    auto z = [](double x, const util::RunningStats& s) {
+      const double sd = s.stddev();
+      if (sd <= 0.0) return 0.0;
+      return (x - s.mean()) / sd;
+    };
+    HeartbeatAnomaly a;
+    a.record = rec;
+    a.duration_z = z(rec.mean_duration_ns, b.duration_stats);
+    a.count_z = z(static_cast<double>(rec.count), b.count_stats);
+    if (std::fabs(a.duration_z) >= config.z_threshold ||
+        std::fabs(a.count_z) >= config.z_threshold) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+double lane_overlap(const SeriesLane& a, const SeriesLane& b) {
+  const std::size_t n = std::min(a.counts.size(), b.counts.size());
+  std::size_t both = 0, either = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool aa = a.counts[i] > 0.0;
+    const bool bb = b.counts[i] > 0.0;
+    if (aa && bb) ++both;
+    if (aa || bb) ++either;
+  }
+  // Tail beyond the common length: only one lane can be active there.
+  for (std::size_t i = n; i < a.counts.size(); ++i) {
+    if (a.counts[i] > 0.0) ++either;
+  }
+  for (std::size_t i = n; i < b.counts.size(); ++i) {
+    if (b.counts[i] > 0.0) ++either;
+  }
+  return either ? static_cast<double>(both) / static_cast<double>(either)
+                : 0.0;
+}
+
+std::vector<LaneOverlap> all_overlaps(const HeartbeatSeries& series) {
+  std::vector<LaneOverlap> out;
+  const auto& lanes = series.lanes();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lanes.size(); ++j) {
+      LaneOverlap o;
+      o.a = lanes[i].id;
+      o.b = lanes[j].id;
+      o.jaccard = lane_overlap(lanes[i], lanes[j]);
+      out.push_back(o);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LaneOverlap& x, const LaneOverlap& y) {
+              return x.jaccard > y.jaccard;
+            });
+  return out;
+}
+
+cluster::Matrix counts_matrix(const HeartbeatSeries& series) {
+  const auto& lanes = series.lanes();
+  cluster::Matrix m(series.num_intervals(), lanes.size());
+  for (std::size_t j = 0; j < lanes.size(); ++j) {
+    for (std::size_t i = 0; i < series.num_intervals(); ++i) {
+      m.at(i, j) = lanes[j].counts[i];
+    }
+  }
+  return m;
+}
+
+double mean_overlap(const HeartbeatSeries& series) {
+  const auto overlaps = all_overlaps(series);
+  if (overlaps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& o : overlaps) sum += o.jaccard;
+  return sum / static_cast<double>(overlaps.size());
+}
+
+}  // namespace incprof::ekg

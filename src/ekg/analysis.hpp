@@ -1,0 +1,96 @@
+// Heartbeat-data analysis (paper, Section III): "as a history of an
+// application is built up this data can be used to identify when the
+// application is running poorly and when it is running well", plus the
+// MiniAMR observation (Section VI-C) that simultaneously-active
+// heartbeats indicate overlapping, not sequenced, phases. This module
+// provides those analyses over the aggregated record stream:
+//
+//   * per-heartbeat baselines (rate + duration statistics),
+//   * anomaly detection (intervals deviating from a heartbeat's own
+//     baseline by a z-score threshold),
+//   * lane-overlap measurement (Jaccard overlap of activity, to tell
+//     interleaved phase structure from sequential structure).
+#pragma once
+
+#include "cluster/matrix.hpp"
+#include "ekg/heartbeat.hpp"
+#include "ekg/series.hpp"
+#include "util/stats.hpp"
+
+#include <vector>
+
+namespace incprof::ekg {
+
+/// Baseline statistics for one heartbeat id over a run (or a history of
+/// runs — records can be folded in from many executions).
+struct HeartbeatBaseline {
+  HeartbeatId id = 0;
+  /// Records (active intervals) folded in.
+  std::size_t records = 0;
+  /// Total heartbeats.
+  std::uint64_t total_count = 0;
+  /// Distribution of per-interval counts (rate).
+  util::RunningStats count_stats;
+  /// Distribution of per-interval mean durations, ns.
+  util::RunningStats duration_stats;
+};
+
+/// Builds baselines per heartbeat id from a record stream.
+std::vector<HeartbeatBaseline> build_baselines(
+    const std::vector<HeartbeatRecord>& records);
+
+/// One flagged deviation.
+struct HeartbeatAnomaly {
+  HeartbeatRecord record;
+  /// z-score of the record's mean duration against the id's baseline.
+  double duration_z = 0.0;
+  /// z-score of the record's count against the id's baseline.
+  double count_z = 0.0;
+};
+
+/// Anomaly-scan parameters.
+struct AnomalyConfig {
+  /// |z| threshold on duration or count to flag a record.
+  double z_threshold = 3.0;
+  /// Minimum baseline records before scanning an id (small histories
+  /// make z-scores meaningless).
+  std::size_t min_history = 8;
+};
+
+/// Flags records deviating from their heartbeat's baseline. The
+/// baselines are computed over `history`; `records` is scanned (pass the
+/// same vector twice for a self-scan).
+std::vector<HeartbeatAnomaly> detect_anomalies(
+    const std::vector<HeartbeatRecord>& history,
+    const std::vector<HeartbeatRecord>& records,
+    const AnomalyConfig& config = {});
+
+/// Pairwise activity overlap of two series lanes: Jaccard index of the
+/// interval sets where each lane has nonzero count. 1 = always active
+/// together (the paper's MiniAMR manual sites), 0 = disjoint phases.
+double lane_overlap(const SeriesLane& a, const SeriesLane& b);
+
+/// A pair of lanes with their overlap, for reporting.
+struct LaneOverlap {
+  HeartbeatId a = 0;
+  HeartbeatId b = 0;
+  double jaccard = 0.0;
+};
+
+/// All pairwise overlaps in a series, sorted by descending overlap.
+std::vector<LaneOverlap> all_overlaps(const HeartbeatSeries& series);
+
+/// Classification of a whole series' phase structure: "sequenced" when
+/// lanes are mostly disjoint, "overlapping" when lanes co-occur — the
+/// distinction the paper draws between MiniFE-style and MiniAMR-style
+/// instrumentation. Returns the mean pairwise Jaccard.
+double mean_overlap(const HeartbeatSeries& series);
+
+/// Interval-by-lane heartbeat-count matrix: row i = interval i, column
+/// j = counts of the j-th lane (in lanes() order). This closes the
+/// paper's loop — "phase identification is shown by the time-varying
+/// activity of the heartbeats" (Section VI): clustering this matrix
+/// must recover the phases the heartbeat sites were selected for.
+cluster::Matrix counts_matrix(const HeartbeatSeries& series);
+
+}  // namespace incprof::ekg

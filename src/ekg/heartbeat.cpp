@@ -1,0 +1,88 @@
+#include "ekg/heartbeat.hpp"
+
+#include <stdexcept>
+
+namespace incprof::ekg {
+
+CsvSink::CsvSink(std::ostream& os) : os_(os) {
+  os_ << "interval,hb_id,count,mean_duration_us,max_duration_us\n";
+}
+
+void CsvSink::emit(const HeartbeatRecord& rec) {
+  os_ << rec.interval << ',' << rec.id << ',' << rec.count << ','
+      << rec.mean_duration_ns / 1e3 << ',' << rec.max_duration_ns / 1e3
+      << '\n';
+}
+
+AppEkg::AppEkg(EkgConfig cfg, HeartbeatSink& sink)
+    : cfg_(cfg), sink_(sink), interval_end_(cfg.interval_ns) {
+  if (cfg_.interval_ns <= 0) {
+    throw std::invalid_argument("AppEkg: interval must be positive");
+  }
+}
+
+void AppEkg::begin(HeartbeatId id, sim::vtime_t now) {
+  flush_through(now);
+  ++begin_calls_;
+  states_[id].open_begins.push_back(now);
+}
+
+void AppEkg::end(HeartbeatId id, sim::vtime_t now) {
+  flush_through(now);
+  IdState& st = states_[id];
+  sim::vtime_t begun = now;  // unmatched end -> zero duration
+  if (!st.open_begins.empty()) {
+    begun = st.open_begins.back();
+    st.open_begins.pop_back();
+  }
+  ++st.count;
+  st.durations.add(static_cast<double>(now - begun));
+}
+
+void AppEkg::impulse(HeartbeatId id, sim::vtime_t now) {
+  begin(id, now);
+  end(id, now);
+}
+
+void AppEkg::advance(sim::vtime_t now) { flush_through(now); }
+
+void AppEkg::finalize(sim::vtime_t now) {
+  if (finalized_) return;
+  flush_through(now);
+  // Emit the trailing partial interval if it holds any activity.
+  flush_interval();
+  finalized_ = true;
+  sink_.close();
+}
+
+std::vector<HeartbeatId> AppEkg::known_ids() const {
+  std::vector<HeartbeatId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, st] : states_) ids.push_back(id);
+  return ids;
+}
+
+void AppEkg::flush_through(sim::vtime_t now) {
+  while (now >= interval_end_) {
+    flush_interval();
+    ++current_interval_;
+    interval_end_ += cfg_.interval_ns;
+  }
+}
+
+void AppEkg::flush_interval() {
+  for (auto& [id, st] : states_) {
+    if (st.count == 0) continue;
+    HeartbeatRecord rec;
+    rec.interval = current_interval_;
+    rec.id = id;
+    rec.count = st.count;
+    rec.mean_duration_ns = st.durations.mean();
+    rec.max_duration_ns = st.durations.max();
+    sink_.emit(rec);
+    st.count = 0;
+    st.durations.reset();
+  }
+}
+
+}  // namespace incprof::ekg

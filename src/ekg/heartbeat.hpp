@@ -1,0 +1,138 @@
+// AppEKG — the heartbeat instrumentation framework (paper, Section III-A).
+//
+// The API is the paper's two-step design: beginHeartbeat(ID) /
+// endHeartbeat(ID), where each unique ID represents one application
+// phase. The runtime does NOT record individual heartbeats; it
+// accumulates, per collection interval, the number of heartbeats that
+// *finished* in the interval and their average duration, and writes one
+// record per (interval, id) at the interval boundary. That aggregation is
+// what keeps production overhead negligible.
+#pragma once
+
+#include "sim/clock.hpp"
+#include "util/stats.hpp"
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incprof::ekg {
+
+/// Application-assigned heartbeat identity; one per phase.
+using HeartbeatId = std::uint32_t;
+
+/// One aggregated record: what AppEKG writes out per interval per id.
+struct HeartbeatRecord {
+  /// Zero-based collection-interval index.
+  std::uint32_t interval = 0;
+  HeartbeatId id = 0;
+  /// Heartbeats that ended within this interval.
+  std::uint64_t count = 0;
+  /// Mean duration of those heartbeats, ns (0 when count == 0).
+  double mean_duration_ns = 0.0;
+  /// Max duration within the interval, ns.
+  double max_duration_ns = 0.0;
+
+  bool operator==(const HeartbeatRecord&) const = default;
+};
+
+/// Receives aggregated records at each interval flush.
+class HeartbeatSink {
+ public:
+  virtual ~HeartbeatSink() = default;
+  /// One record per (interval, id) with nonzero activity.
+  virtual void emit(const HeartbeatRecord& rec) = 0;
+  /// The run ended; release buffers / close files.
+  virtual void close() {}
+};
+
+/// Keeps all records in memory (analysis & tests).
+class MemorySink : public HeartbeatSink {
+ public:
+  void emit(const HeartbeatRecord& rec) override { records_.push_back(rec); }
+  const std::vector<HeartbeatRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<HeartbeatRecord> records_;
+};
+
+/// Streams records as CSV rows: interval,id,count,mean_us,max_us.
+/// The LDMS integration of the paper is a transport around exactly this
+/// per-interval record stream.
+class CsvSink : public HeartbeatSink {
+ public:
+  /// Writes a header row immediately. The stream must outlive the sink.
+  explicit CsvSink(std::ostream& os);
+  void emit(const HeartbeatRecord& rec) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// AppEKG runtime configuration.
+struct EkgConfig {
+  /// Collection interval on the application clock. The paper's plots use
+  /// 1-second intervals.
+  sim::vtime_t interval_ns = sim::kNsPerSec;
+};
+
+/// The heartbeat runtime for one process. Time is supplied by the caller
+/// (virtual engine time in the reproduction; any monotonic clock in a
+/// real deployment). Begin/end pairs may nest per id; a heartbeat is
+/// attributed to the interval in which it *ends*.
+class AppEkg {
+ public:
+  /// `sink` must outlive the runtime.
+  AppEkg(EkgConfig cfg, HeartbeatSink& sink);
+
+  /// Marks the start of heartbeat `id` at time `now`.
+  void begin(HeartbeatId id, sim::vtime_t now);
+
+  /// Marks the end of heartbeat `id`; pairs with the most recent
+  /// unmatched begin of the same id. An end without a begin is counted
+  /// with zero duration (robustness over strictness, as in production
+  /// instrumentation).
+  void end(HeartbeatId id, sim::vtime_t now);
+
+  /// Convenience: a zero-duration "impulse" heartbeat (the paper's
+  /// original single-event design, kept for loop-site adapters).
+  void impulse(HeartbeatId id, sim::vtime_t now);
+
+  /// Informs the runtime that time has advanced; flushes any completed
+  /// intervals. Call this periodically (the engine adapter calls it on
+  /// every sample).
+  void advance(sim::vtime_t now);
+
+  /// Final flush at end of run; emits the trailing partial interval.
+  void finalize(sim::vtime_t now);
+
+  /// Heartbeat ids seen so far.
+  std::vector<HeartbeatId> known_ids() const;
+
+  /// Total begin() calls (for overhead accounting in tests).
+  std::uint64_t begin_calls() const noexcept { return begin_calls_; }
+
+ private:
+  struct IdState {
+    std::vector<sim::vtime_t> open_begins;  // stack for nesting
+    std::uint64_t count = 0;                // ends within current interval
+    util::RunningStats durations;           // ns, within current interval
+  };
+
+  void flush_through(sim::vtime_t now);
+  void flush_interval();
+
+  EkgConfig cfg_;
+  HeartbeatSink& sink_;
+  std::map<HeartbeatId, IdState> states_;
+  std::uint32_t current_interval_ = 0;
+  sim::vtime_t interval_end_;
+  std::uint64_t begin_calls_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace incprof::ekg

@@ -1,0 +1,62 @@
+#include "ekg/series.hpp"
+
+#include <algorithm>
+
+namespace incprof::ekg {
+
+double SeriesLane::activity_fraction() const noexcept {
+  if (counts.empty()) return 0.0;
+  std::size_t active = 0;
+  for (double c : counts) {
+    if (c > 0.0) ++active;
+  }
+  return static_cast<double>(active) / static_cast<double>(counts.size());
+}
+
+HeartbeatSeries HeartbeatSeries::from_records(
+    const std::vector<HeartbeatRecord>& records, std::size_t min_intervals) {
+  HeartbeatSeries s;
+  std::size_t n = min_intervals;
+  for (const auto& r : records) {
+    n = std::max(n, static_cast<std::size_t>(r.interval) + 1);
+  }
+  s.num_intervals_ = n;
+
+  std::map<HeartbeatId, std::size_t> index;
+  for (const auto& r : records) {
+    auto [it, inserted] = index.try_emplace(r.id, s.lanes_.size());
+    if (inserted) {
+      SeriesLane lane;
+      lane.id = r.id;
+      lane.counts.assign(n, 0.0);
+      lane.mean_duration_us.assign(n, 0.0);
+      s.lanes_.push_back(std::move(lane));
+    }
+    SeriesLane& lane = s.lanes_[it->second];
+    lane.counts[r.interval] += static_cast<double>(r.count);
+    lane.mean_duration_us[r.interval] = r.mean_duration_ns / 1e3;
+  }
+  std::sort(s.lanes_.begin(), s.lanes_.end(),
+            [](const SeriesLane& a, const SeriesLane& b) {
+              return a.id < b.id;
+            });
+  return s;
+}
+
+const SeriesLane* HeartbeatSeries::lane(HeartbeatId id) const noexcept {
+  for (const auto& lane : lanes_) {
+    if (lane.id == id) return &lane;
+  }
+  return nullptr;
+}
+
+void HeartbeatSeries::set_label(HeartbeatId id, std::string label) {
+  for (auto& lane : lanes_) {
+    if (lane.id == id) {
+      lane.label = std::move(label);
+      return;
+    }
+  }
+}
+
+}  // namespace incprof::ekg

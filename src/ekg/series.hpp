@@ -1,0 +1,57 @@
+// Dense per-interval heartbeat time series, reconstructed from the
+// aggregated record stream. This is the data behind the paper's Figures
+// 2-6: for each heartbeat id, a count and a mean-duration value per
+// interval (zero where the id produced no record — the "gaps" the paper
+// discusses for heartbeats longer than the collection interval).
+#pragma once
+
+#include "ekg/heartbeat.hpp"
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace incprof::ekg {
+
+/// One id's dense series.
+struct SeriesLane {
+  HeartbeatId id = 0;
+  /// Optional display label (site function name).
+  std::string label;
+  /// counts[i] = heartbeats that ended in interval i.
+  std::vector<double> counts;
+  /// mean_duration_us[i] = mean duration (microseconds) in interval i.
+  std::vector<double> mean_duration_us;
+
+  /// Fraction of intervals with nonzero count.
+  double activity_fraction() const noexcept;
+};
+
+/// All lanes over a common interval axis [0, num_intervals).
+class HeartbeatSeries {
+ public:
+  /// Builds dense lanes from records. The axis length is
+  /// max(record.interval)+1, or `min_intervals` if larger.
+  static HeartbeatSeries from_records(
+      const std::vector<HeartbeatRecord>& records,
+      std::size_t min_intervals = 0);
+
+  /// Number of intervals on the axis.
+  std::size_t num_intervals() const noexcept { return num_intervals_; }
+
+  /// All lanes, ordered by id.
+  const std::vector<SeriesLane>& lanes() const noexcept { return lanes_; }
+
+  /// Lane for `id`, or nullptr.
+  const SeriesLane* lane(HeartbeatId id) const noexcept;
+
+  /// Attaches a display label to a lane (no-op for unknown ids).
+  void set_label(HeartbeatId id, std::string label);
+
+ private:
+  std::size_t num_intervals_ = 0;
+  std::vector<SeriesLane> lanes_;
+};
+
+}  // namespace incprof::ekg

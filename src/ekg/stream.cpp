@@ -1,0 +1,41 @@
+#include "ekg/stream.hpp"
+
+#include <stdexcept>
+
+namespace incprof::ekg {
+
+StreamSink::StreamSink(Handler handler, std::size_t max_pending)
+    : handler_(std::move(handler)), max_pending_(max_pending) {
+  if (!handler_) {
+    throw std::invalid_argument("StreamSink: handler required");
+  }
+  if (max_pending_ == 0) {
+    throw std::invalid_argument("StreamSink: max_pending must be > 0");
+  }
+}
+
+void StreamSink::emit(const HeartbeatRecord& rec) {
+  if (has_interval_ && rec.interval != current_interval_) flush();
+  has_interval_ = true;
+  current_interval_ = rec.interval;
+  if (pending_.size() >= max_pending_) {
+    ++dropped_;
+    return;
+  }
+  pending_.push_back(rec);
+}
+
+void StreamSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  flush();
+}
+
+void StreamSink::flush() {
+  if (pending_.empty()) return;
+  handler_(std::span<const HeartbeatRecord>(pending_));
+  ++batches_;
+  pending_.clear();
+}
+
+}  // namespace incprof::ekg

@@ -1,0 +1,53 @@
+// LDMS-style record transport. The paper integrates AppEKG into "the
+// LDMS data collection framework ... a proven efficient and scalable
+// data collector" (Section III-A): at every collection interval the
+// aggregated records are shipped as one batch to the monitoring side.
+// StreamSink models that hop: records buffer per interval and a
+// subscriber callback receives each completed interval's batch; a
+// bounded buffer with a drop counter stands in for transport
+// back-pressure (a monitor must tolerate missing batches).
+#pragma once
+
+#include "ekg/heartbeat.hpp"
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace incprof::ekg {
+
+/// Delivers per-interval record batches to a subscriber.
+class StreamSink : public HeartbeatSink {
+ public:
+  /// Receives all records of one completed interval, in id order.
+  using Handler = std::function<void(std::span<const HeartbeatRecord>)>;
+
+  /// `max_pending` bounds the in-flight buffer; records beyond it are
+  /// dropped (and counted) rather than blocking the application — the
+  /// production-side non-negotiable.
+  explicit StreamSink(Handler handler, std::size_t max_pending = 4096);
+
+  // HeartbeatSink
+  void emit(const HeartbeatRecord& rec) override;
+  void close() override;
+
+  /// Batches delivered so far.
+  std::size_t delivered_batches() const noexcept { return batches_; }
+
+  /// Records dropped due to the buffer bound.
+  std::size_t dropped_records() const noexcept { return dropped_; }
+
+ private:
+  void flush();
+
+  Handler handler_;
+  std::size_t max_pending_;
+  std::vector<HeartbeatRecord> pending_;
+  bool has_interval_ = false;
+  std::uint32_t current_interval_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace incprof::ekg

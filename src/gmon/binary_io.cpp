@@ -1,0 +1,146 @@
+#include "gmon/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace incprof::gmon {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d475049;  // "IPGM" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::int64_t i64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::string str(std::size_t len) {
+    need(len);
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool at_end() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("gmon binary: truncated snapshot");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+std::string encode_binary(const ProfileSnapshot& snap) {
+  std::string out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, snap.seq());
+  put_u32(out, static_cast<std::uint32_t>(snap.functions().size()));
+  put_i64(out, snap.timestamp_ns());
+  for (const auto& fp : snap.functions()) {
+    put_u32(out, static_cast<std::uint32_t>(fp.name.size()));
+    out.append(fp.name);
+    put_i64(out, fp.self_ns);
+    put_i64(out, fp.calls);
+    put_i64(out, fp.inclusive_ns);
+  }
+  return out;
+}
+
+ProfileSnapshot decode_binary(std::string_view bytes) {
+  Reader r(bytes);
+  if (r.u32() != kMagic) {
+    throw std::runtime_error("gmon binary: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("gmon binary: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint32_t seq = r.u32();
+  const std::uint32_t count = r.u32();
+  const std::int64_t ts = r.i64();
+  ProfileSnapshot snap(seq, ts);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FunctionProfile fp;
+    const std::uint32_t name_len = r.u32();
+    fp.name = r.str(name_len);
+    fp.self_ns = r.i64();
+    fp.calls = r.i64();
+    fp.inclusive_ns = r.i64();
+    snap.upsert(std::move(fp));
+  }
+  if (!r.at_end()) {
+    throw std::runtime_error("gmon binary: trailing bytes");
+  }
+  return snap;
+}
+
+void write_binary_file(const ProfileSnapshot& snap,
+                       const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("gmon binary: cannot open for write: " +
+                             path.string());
+  }
+  const std::string bytes = encode_binary(snap);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    throw std::runtime_error("gmon binary: write failed: " + path.string());
+  }
+}
+
+ProfileSnapshot read_binary_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("gmon binary: cannot open for read: " +
+                             path.string());
+  }
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return decode_binary(bytes);
+}
+
+}  // namespace incprof::gmon

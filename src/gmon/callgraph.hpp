@@ -1,0 +1,105 @@
+// Call-graph profile data — the second half of what gprof collects.
+// The paper's analysis uses only the flat profile, but explicitly keeps
+// the call graph on the table: "we have ongoing experiments with using
+// the call-graph profile data to improve the results" (Section IV), and
+// for MiniFE "extending the discovery analysis to use the call-graph
+// structure might be a way to improve it and select our site, which is
+// higher up in the call graph" (Section VI-B). src/core/lift.hpp builds
+// that improvement on this data model.
+//
+// An edge (caller -> callee) carries the call count and the sampled
+// self time of the callee while directly invoked from that caller.
+// Calls with no instrumented caller use gprof's "<spontaneous>" parent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::gmon {
+
+/// gprof's name for a caller outside the profiled code.
+inline constexpr std::string_view kSpontaneous = "<spontaneous>";
+
+/// One caller->callee arc with cumulative counters.
+struct CallEdge {
+  std::string caller;
+  std::string callee;
+  /// Cumulative number of calls along this arc.
+  std::int64_t count = 0;
+  /// Cumulative sampled self time of `callee` while its direct parent
+  /// was `caller`, ns.
+  std::int64_t time_ns = 0;
+
+  bool operator==(const CallEdge&) const = default;
+};
+
+/// A cumulative call-graph dump (companion to ProfileSnapshot).
+class CallGraphSnapshot {
+ public:
+  CallGraphSnapshot() = default;
+  CallGraphSnapshot(std::uint32_t seq, std::int64_t timestamp_ns)
+      : seq_(seq), timestamp_ns_(timestamp_ns) {}
+
+  std::uint32_t seq() const noexcept { return seq_; }
+  std::int64_t timestamp_ns() const noexcept { return timestamp_ns_; }
+  void set_seq(std::uint32_t s) noexcept { seq_ = s; }
+  void set_timestamp_ns(std::int64_t t) noexcept { timestamp_ns_ = t; }
+
+  /// Edges sorted by (caller, callee) — a class invariant.
+  const std::vector<CallEdge>& edges() const noexcept { return edges_; }
+
+  /// Inserts or overwrites the edge for (edge.caller, edge.callee).
+  void upsert(CallEdge edge);
+
+  /// Adds to the counters of an edge, creating it if absent.
+  void accumulate(std::string_view caller, std::string_view callee,
+                  std::int64_t count_delta, std::int64_t time_delta_ns);
+
+  /// Looks up one edge, or nullptr.
+  const CallEdge* find(std::string_view caller,
+                       std::string_view callee) const noexcept;
+
+  /// All edges whose callee is `callee` (the callers of a function).
+  std::vector<const CallEdge*> callers_of(std::string_view callee) const;
+
+  /// All edges whose caller is `caller` (the callees of a function).
+  std::vector<const CallEdge*> callees_of(std::string_view caller) const;
+
+  /// Total calls into `callee` across all callers (spontaneous included).
+  std::int64_t total_calls_into(std::string_view callee) const;
+
+  std::size_t size() const noexcept { return edges_.size(); }
+  bool empty() const noexcept { return edges_.empty(); }
+
+  bool operator==(const CallGraphSnapshot&) const = default;
+
+ private:
+  std::uint32_t seq_ = 0;
+  std::int64_t timestamp_ns_ = 0;
+  std::vector<CallEdge> edges_;  // sorted by (caller, callee)
+};
+
+/// Renders a readable call-graph report, one block per parent in
+/// gprof's visual style:
+///
+///   Call graph:
+///
+///   caller                          calls        self-s  callee
+///   <spontaneous>
+///                                      12       1.170000  validate_bfs_result
+///   run_bfs
+///                                  24000       11.820000  sum_in_symm_elem_matrix
+std::string format_call_graph(const CallGraphSnapshot& snap);
+
+/// Parses the text produced by format_call_graph. Throws
+/// std::runtime_error on malformed input.
+CallGraphSnapshot parse_call_graph(std::string_view text);
+
+/// Binary serialization (magic "IPCG"), mirroring the flat-profile
+/// binary format.
+std::string encode_call_graph(const CallGraphSnapshot& snap);
+CallGraphSnapshot decode_call_graph(std::string_view bytes);
+
+}  // namespace incprof::gmon

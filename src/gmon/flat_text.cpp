@@ -1,0 +1,162 @@
+#include "gmon/flat_text.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace incprof::gmon {
+
+namespace {
+constexpr double kNsPerSec = 1e9;
+constexpr double kNsPerUs = 1e3;
+
+struct Row {
+  const FunctionProfile* fp;
+};
+}  // namespace
+
+std::string format_flat_profile(const ProfileSnapshot& snap,
+                                const FlatTextOptions& opts) {
+  std::vector<const FunctionProfile*> rows;
+  rows.reserve(snap.functions().size());
+  for (const auto& fp : snap.functions()) {
+    if (!opts.include_idle && fp.self_ns == 0 && fp.calls == 0) continue;
+    rows.push_back(&fp);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const FunctionProfile* a, const FunctionProfile* b) {
+              if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+              return a->name < b->name;
+            });
+
+  const std::int64_t total_ns = snap.total_self_ns();
+
+  std::string out;
+  out += "Flat profile:\n\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "Each sample counts as %.9f seconds.\n",
+                static_cast<double>(opts.sample_period_ns) / kNsPerSec);
+  out += buf;
+  out +=
+      "  %   cumulative   self              self     total\n"
+      " time   seconds   seconds    calls  us/call  us/call  name\n";
+
+  double cumulative = 0.0;
+  for (const FunctionProfile* fp : rows) {
+    const double self_s = static_cast<double>(fp->self_ns) / kNsPerSec;
+    cumulative += self_s;
+    const double pct =
+        total_ns > 0
+            ? 100.0 * static_cast<double>(fp->self_ns) /
+                  static_cast<double>(total_ns)
+            : 0.0;
+    if (fp->calls > 0) {
+      const double self_per_call =
+          static_cast<double>(fp->self_ns) / kNsPerUs /
+          static_cast<double>(fp->calls);
+      const double total_per_call =
+          static_cast<double>(fp->inclusive_ns) / kNsPerUs /
+          static_cast<double>(fp->calls);
+      std::snprintf(buf, sizeof(buf),
+                    "%6.2f %10.6f %9.6f %8lld %8.2f %8.2f  %s\n", pct,
+                    cumulative, self_s,
+                    static_cast<long long>(fp->calls), self_per_call,
+                    total_per_call, fp->name.c_str());
+    } else {
+      // Sampled but never counted entering: gprof leaves the three call
+      // columns blank. This is the signature of a long-lived function
+      // that the site selector designates "loop".
+      std::snprintf(buf, sizeof(buf),
+                    "%6.2f %10.6f %9.6f %8s %8s %8s  %s\n", pct, cumulative,
+                    self_s, "", "", "", fp->name.c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+ProfileSnapshot parse_flat_profile(std::string_view text) {
+  ProfileSnapshot snap;
+  bool saw_banner = false;
+  bool in_rows = false;
+
+  for (std::string_view line : util::split_lines(text)) {
+    const std::string_view t = util::trim(line);
+    if (t.empty()) continue;
+    if (util::starts_with(t, "Flat profile:")) {
+      saw_banner = true;
+      continue;
+    }
+    if (util::starts_with(t, "Each sample counts")) continue;
+    if (util::starts_with(t, "%")) continue;  // first header line
+    if (util::starts_with(t, "time")) {       // second header line
+      in_rows = true;
+      continue;
+    }
+    if (!in_rows) continue;
+
+    const auto tokens = util::split_ws(t);
+    // A data row is either:
+    //   pct cum self calls self/call total/call name...
+    // or (zero-call row):
+    //   pct cum self name...
+    if (tokens.size() < 4) {
+      throw std::runtime_error("flat profile: short row: " +
+                               std::string(t));
+    }
+    double pct = 0.0, cum = 0.0, self_s = 0.0;
+    if (!util::parse_double(tokens[0], pct) ||
+        !util::parse_double(tokens[1], cum) ||
+        !util::parse_double(tokens[2], self_s)) {
+      throw std::runtime_error("flat profile: bad numeric columns: " +
+                               std::string(t));
+    }
+
+    FunctionProfile fp;
+    fp.self_ns = static_cast<std::int64_t>(std::llround(self_s * kNsPerSec));
+
+    std::uint64_t calls = 0;
+    std::size_t name_start;
+    if (tokens.size() >= 7 && util::parse_u64(tokens[3], calls)) {
+      double self_pc = 0.0, total_pc = 0.0;
+      if (!util::parse_double(tokens[4], self_pc) ||
+          !util::parse_double(tokens[5], total_pc)) {
+        throw std::runtime_error("flat profile: bad per-call columns: " +
+                                 std::string(t));
+      }
+      fp.calls = static_cast<std::int64_t>(calls);
+      fp.inclusive_ns = static_cast<std::int64_t>(
+          std::llround(total_pc * kNsPerUs * static_cast<double>(calls)));
+      name_start = 6;
+    } else {
+      // Zero-call row: call columns are blank, so the 4th token starts
+      // the name. Inclusive time is unrecoverable; approximate by self.
+      fp.calls = 0;
+      fp.inclusive_ns = fp.self_ns;
+      name_start = 3;
+    }
+
+    std::string name;
+    for (std::size_t i = name_start; i < tokens.size(); ++i) {
+      if (i > name_start) name += ' ';
+      name.append(tokens[i]);
+    }
+    if (name.empty()) {
+      throw std::runtime_error("flat profile: row without a name: " +
+                               std::string(t));
+    }
+    fp.name = std::move(name);
+    snap.upsert(std::move(fp));
+  }
+
+  if (!saw_banner) {
+    throw std::runtime_error("flat profile: missing 'Flat profile:' banner");
+  }
+  return snap;
+}
+
+}  // namespace incprof::gmon

@@ -1,0 +1,53 @@
+// gprof flat-profile text rendering and parsing. The paper found it
+// "easier to just invoke the gprof command line tool to convert the data
+// into standard gprof textual reports, and then process those" (Section
+// IV); we preserve that code path: the analysis pipeline can round-trip
+// every snapshot through this text form before differencing.
+//
+// Format mirrors `gprof -b -p`:
+//
+//   Flat profile:
+//
+//   Each sample counts as 0.000001 seconds.
+//     %   cumulative   self              self     total
+//    time   seconds   seconds    calls  us/call  us/call  name
+//    62.21     1.17      1.17       12    97.50    97.50  validate_bfs_result
+//    ...
+//
+// Functions with zero calls leave the three call columns blank, exactly
+// as gprof does for functions that were sampled but never counted (the
+// long-running "loop" case the site selector cares about).
+//
+// Limitations (same as real gprof text): inclusive_ns is not representable
+// and parses back as self_ns for calls==0 rows / calls*total_per_call
+// otherwise; seq and timestamp are carried by the enclosing file name,
+// not the text.
+#pragma once
+
+#include "gmon/snapshot.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace incprof::gmon {
+
+/// Options for rendering the flat-profile text.
+struct FlatTextOptions {
+  /// Sampling period represented by one sample, in nanoseconds; printed
+  /// in the "Each sample counts as" banner (gprof's 100 Hz default).
+  std::int64_t sample_period_ns = 10'000'000;
+  /// Print rows for functions with zero self time and zero calls.
+  bool include_idle = false;
+};
+
+/// Renders the snapshot as a gprof-style flat profile. Rows are ordered
+/// by descending self time then name, as gprof orders them.
+std::string format_flat_profile(const ProfileSnapshot& snap,
+                                const FlatTextOptions& opts = {});
+
+/// Parses a flat-profile text back into a snapshot. The returned
+/// snapshot's seq/timestamp are zero (assign them from the file name).
+/// Throws std::runtime_error on malformed input.
+ProfileSnapshot parse_flat_profile(std::string_view text);
+
+}  // namespace incprof::gmon

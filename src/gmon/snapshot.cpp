@@ -1,0 +1,55 @@
+#include "gmon/snapshot.hpp"
+
+#include <algorithm>
+
+namespace incprof::gmon {
+
+namespace {
+struct NameLess {
+  bool operator()(const FunctionProfile& fp, std::string_view name) const {
+    return fp.name < name;
+  }
+};
+}  // namespace
+
+void ProfileSnapshot::upsert(FunctionProfile fp) {
+  auto it = std::lower_bound(functions_.begin(), functions_.end(),
+                             std::string_view(fp.name), NameLess{});
+  if (it != functions_.end() && it->name == fp.name) {
+    *it = std::move(fp);
+  } else {
+    functions_.insert(it, std::move(fp));
+  }
+}
+
+const FunctionProfile* ProfileSnapshot::find(
+    std::string_view name) const noexcept {
+  auto it = std::lower_bound(functions_.begin(), functions_.end(), name,
+                             NameLess{});
+  if (it != functions_.end() && it->name == name) return &*it;
+  return nullptr;
+}
+
+std::int64_t ProfileSnapshot::total_self_ns() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& fp : functions_) total += fp.self_ns;
+  return total;
+}
+
+ProfileSnapshot difference(const ProfileSnapshot& cur,
+                           const ProfileSnapshot& prev) {
+  ProfileSnapshot out(cur.seq(), cur.timestamp_ns());
+  for (const auto& fp : cur.functions()) {
+    FunctionProfile d = fp;
+    if (const FunctionProfile* p = prev.find(fp.name)) {
+      d.self_ns = std::max<std::int64_t>(0, fp.self_ns - p->self_ns);
+      d.calls = std::max<std::int64_t>(0, fp.calls - p->calls);
+      d.inclusive_ns =
+          std::max<std::int64_t>(0, fp.inclusive_ns - p->inclusive_ns);
+    }
+    out.upsert(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace incprof::gmon

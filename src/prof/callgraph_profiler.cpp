@@ -1,0 +1,47 @@
+#include "prof/callgraph_profiler.hpp"
+
+namespace incprof::prof {
+
+void CallGraphProfiler::on_enter(sim::FunctionId fid, sim::vtime_t) {
+  // The engine notifies after pushing, so the caller sits one below the
+  // top of the stack.
+  const auto stack = engine_.stack();
+  const sim::FunctionId caller =
+      stack.size() >= 2 ? stack[stack.size() - 2] : sim::kNoFunction;
+  const sim::FunctionId caller_plus1 =
+      caller == sim::kNoFunction ? 0 : caller + 1;
+  ++cells_[key(caller_plus1, fid)].count;
+}
+
+void CallGraphProfiler::on_sample(const sim::ExecutionEngine& eng,
+                                  sim::vtime_t) {
+  const auto stack = eng.stack();
+  if (stack.empty()) return;
+  const sim::FunctionId top = stack.back();
+  const sim::FunctionId caller =
+      stack.size() >= 2 ? stack[stack.size() - 2] : sim::kNoFunction;
+  const sim::FunctionId caller_plus1 =
+      caller == sim::kNoFunction ? 0 : caller + 1;
+  ++cells_[key(caller_plus1, top)].samples;
+}
+
+gmon::CallGraphSnapshot CallGraphProfiler::snapshot(
+    std::uint32_t seq, sim::vtime_t timestamp_ns) const {
+  gmon::CallGraphSnapshot snap(seq, timestamp_ns);
+  const auto period = engine_.sample_period_ns();
+  for (const auto& [k, cell] : cells_) {
+    const auto caller_plus1 = static_cast<sim::FunctionId>(k >> 32);
+    const auto callee = static_cast<sim::FunctionId>(k & 0xffffffffu);
+    gmon::CallEdge edge;
+    edge.caller = caller_plus1 == 0
+                      ? std::string(gmon::kSpontaneous)
+                      : engine_.registry().name(caller_plus1 - 1);
+    edge.callee = engine_.registry().name(callee);
+    edge.count = cell.count;
+    edge.time_ns = cell.samples * period;
+    snap.upsert(std::move(edge));
+  }
+  return snap;
+}
+
+}  // namespace incprof::prof

@@ -1,0 +1,49 @@
+// Call-graph collection — the runtime side of gprof's second table.
+// Records, per (direct caller, callee) arc, the call count (from entry
+// instrumentation) and the callee's sampled self time under that caller
+// (from PC sampling plus the shadow stack — exactly the information
+// mcount-based gprof reconstructs). Feeds core::lift_sites.
+#pragma once
+
+#include "gmon/callgraph.hpp"
+#include "sim/engine.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace incprof::prof {
+
+/// Accumulates cumulative caller->callee counters for one engine.
+class CallGraphProfiler : public sim::EngineListener {
+ public:
+  /// `engine` must outlive the profiler.
+  explicit CallGraphProfiler(const sim::ExecutionEngine& engine)
+      : engine_(engine) {}
+
+  // EngineListener
+  void on_enter(sim::FunctionId fid, sim::vtime_t now) override;
+  void on_sample(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+
+  /// Builds the cumulative call-graph snapshot.
+  gmon::CallGraphSnapshot snapshot(std::uint32_t seq,
+                                   sim::vtime_t timestamp_ns) const;
+
+ private:
+  struct Cell {
+    std::int64_t count = 0;
+    std::int64_t samples = 0;
+  };
+
+  // Arc key: (caller id + 1, callee id); caller 0 = spontaneous.
+  using Key = std::uint64_t;
+  static Key key(sim::FunctionId caller_plus1,
+                 sim::FunctionId callee) noexcept {
+    return (static_cast<Key>(caller_plus1) << 32) | callee;
+  }
+
+  const sim::ExecutionEngine& engine_;
+  std::unordered_map<Key, Cell> cells_;
+};
+
+}  // namespace incprof::prof

@@ -1,0 +1,58 @@
+#include "prof/collector.hpp"
+
+#include "gmon/binary_io.hpp"
+#include "gmon/scanner.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace incprof::prof {
+
+IncProfCollector::IncProfCollector(const SamplingProfiler& profiler,
+                                   CollectorConfig cfg)
+    : profiler_(profiler), cfg_(cfg), next_dump_at_(cfg.interval_ns) {
+  if (cfg_.interval_ns <= 0) {
+    throw std::invalid_argument(
+        "IncProfCollector: interval must be positive");
+  }
+  if (cfg_.dump_dir) {
+    std::filesystem::create_directories(*cfg_.dump_dir);
+  }
+}
+
+void IncProfCollector::on_sample(const sim::ExecutionEngine&,
+                                 sim::vtime_t now) {
+  // Multiple intervals can elapse within one long work() call only if the
+  // sample period exceeds the interval; dump until caught up either way.
+  while (now >= next_dump_at_) {
+    dump(next_dump_at_);
+    next_dump_at_ += cfg_.interval_ns;
+  }
+}
+
+void IncProfCollector::on_finish(const sim::ExecutionEngine&,
+                                 sim::vtime_t now) {
+  if (finished_) return;
+  finished_ = true;
+  if (cfg_.dump_final_partial && now >= next_dump_at_ - cfg_.interval_ns) {
+    // Dump whatever accumulated since the last boundary (if anything new
+    // happened at all since start).
+    if (snapshots_.empty() ||
+        snapshots_.back().timestamp_ns() < now) {
+      dump(now);
+    }
+  }
+}
+
+void IncProfCollector::dump(sim::vtime_t now) {
+  gmon::ProfileSnapshot snap = profiler_.snapshot(next_seq_, now);
+  if (cfg_.dump_dir) {
+    gmon::write_binary_file(snap,
+                            *cfg_.dump_dir /
+                                gmon::binary_dump_name(next_seq_));
+  }
+  snapshots_.push_back(std::move(snap));
+  ++next_seq_;
+}
+
+}  // namespace incprof::prof

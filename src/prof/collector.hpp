@@ -1,0 +1,69 @@
+// The IncProf collector — the reproduction of the paper's preloadable
+// shared library (Section IV). The original runs a thread in a
+// sleep/wakeup cycle; at each wakeup it calls the hidden glibc gprof
+// write function, renames gmon.out to a unique per-interval name, and
+// sleeps again. Here the "wakeup" is the crossing of each interval
+// boundary on the virtual clock, and the "write + rename" is a cumulative
+// SamplingProfiler snapshot stamped with the interval sequence number —
+// optionally persisted as a binary gmon-style file per interval.
+#pragma once
+
+#include "gmon/snapshot.hpp"
+#include "prof/sampler.hpp"
+#include "sim/engine.hpp"
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+namespace incprof::prof {
+
+/// Collector configuration.
+struct CollectorConfig {
+  /// Dump interval on the profiled clock. The paper uses one second
+  /// ("with a data write-out rate of once per second").
+  sim::vtime_t interval_ns = sim::kNsPerSec;
+
+  /// When set, each snapshot is also written to this directory as
+  /// gmon-NNNNNN.out (the rename-to-unique-sample-name step).
+  std::optional<std::filesystem::path> dump_dir;
+
+  /// Also dump the final partial interval at on_finish. The real tool
+  /// always leaves a last gmon.out behind at exit; keep it on.
+  bool dump_final_partial = true;
+};
+
+/// Periodically snapshots a SamplingProfiler. Register with the engine
+/// *after* the profiler so each dump sees the sample that triggered it.
+class IncProfCollector : public sim::EngineListener {
+ public:
+  /// `profiler` must be registered on the same engine and outlive the
+  /// collector.
+  IncProfCollector(const SamplingProfiler& profiler, CollectorConfig cfg);
+
+  // EngineListener
+  void on_sample(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+  void on_finish(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+
+  /// All cumulative snapshots collected, ordered by seq.
+  const std::vector<gmon::ProfileSnapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+
+  /// Number of dumps taken.
+  std::size_t dump_count() const noexcept { return snapshots_.size(); }
+
+ private:
+  void dump(sim::vtime_t now);
+
+  const SamplingProfiler& profiler_;
+  CollectorConfig cfg_;
+  sim::vtime_t next_dump_at_;
+  std::uint32_t next_seq_ = 0;
+  bool finished_ = false;
+  std::vector<gmon::ProfileSnapshot> snapshots_;
+};
+
+}  // namespace incprof::prof

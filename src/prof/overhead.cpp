@@ -1,0 +1,48 @@
+#include "prof/overhead.hpp"
+
+#include "util/stats.hpp"
+
+#include <chrono>
+
+namespace incprof::prof {
+
+double OverheadReport::overhead_pct() const noexcept {
+  if (baseline.min_sec <= 0.0) return 0.0;
+  return (instrumented.min_sec - baseline.min_sec) / baseline.min_sec *
+         100.0;
+}
+
+OverheadSample time_workload(const std::string& label,
+                             const std::function<void()>& fn,
+                             std::size_t reps, std::size_t warmups) {
+  using clock = std::chrono::steady_clock;
+  for (std::size_t i = 0; i < warmups; ++i) fn();
+
+  std::vector<double> times;
+  times.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  OverheadSample s;
+  s.label = label;
+  s.mean_sec = util::mean(times);
+  s.min_sec = util::min_of(times);
+  s.stddev_sec = util::stddev(times);
+  s.repetitions = reps;
+  return s;
+}
+
+OverheadReport compare_overhead(const std::function<void()>& baseline,
+                                const std::function<void()>& instrumented,
+                                std::size_t reps, std::size_t warmups) {
+  OverheadReport r;
+  r.baseline = time_workload("baseline", baseline, reps, warmups);
+  r.instrumented = time_workload("instrumented", instrumented, reps, warmups);
+  return r;
+}
+
+}  // namespace incprof::prof

@@ -1,0 +1,47 @@
+// Wall-clock overhead measurement (Table I's "IncProf Ovhd %" and
+// "Heartbeat Ovhd %" columns). Runs the same workload in different
+// instrumentation configurations and compares real elapsed time. The
+// absolute percentages depend on the host; the paper's claim being
+// reproduced is the *bound*: IncProf collection stays in the ~10 % class,
+// heartbeats well under that.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace incprof::prof {
+
+/// One measured configuration.
+struct OverheadSample {
+  std::string label;
+  double mean_sec = 0.0;
+  double min_sec = 0.0;
+  double stddev_sec = 0.0;
+  std::size_t repetitions = 0;
+};
+
+/// Result of comparing a configuration against the baseline.
+struct OverheadReport {
+  OverheadSample baseline;
+  OverheadSample instrumented;
+
+  /// (instrumented - baseline) / baseline * 100, using min times (the
+  /// standard noise-robust choice for overhead microcomparisons).
+  double overhead_pct() const noexcept;
+};
+
+/// Times `fn` `reps` times (after `warmups` unrecorded runs) and returns
+/// the distribution summary.
+OverheadSample time_workload(const std::string& label,
+                             const std::function<void()>& fn,
+                             std::size_t reps = 5, std::size_t warmups = 1);
+
+/// Convenience: measures baseline vs instrumented and packages the report.
+OverheadReport compare_overhead(const std::function<void()>& baseline,
+                                const std::function<void()>& instrumented,
+                                std::size_t reps = 5,
+                                std::size_t warmups = 1);
+
+}  // namespace incprof::prof

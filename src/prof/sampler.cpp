@@ -1,0 +1,61 @@
+#include "prof/sampler.hpp"
+
+namespace incprof::prof {
+
+void SamplingProfiler::ensure_size(std::size_t n) {
+  if (self_samples_.size() < n) {
+    self_samples_.resize(n, 0);
+    inclusive_samples_.resize(n, 0);
+    calls_.resize(n, 0);
+    stamp_.resize(n, 0);
+  }
+}
+
+void SamplingProfiler::on_enter(sim::FunctionId fid, sim::vtime_t) {
+  ensure_size(static_cast<std::size_t>(fid) + 1);
+  ++calls_[fid];
+}
+
+void SamplingProfiler::on_sample(const sim::ExecutionEngine& eng,
+                                 sim::vtime_t) {
+  const sim::FunctionId top = eng.current();
+  if (top == sim::kNoFunction) {
+    ++dropped_;
+    return;
+  }
+  ensure_size(eng.registry().size());
+  ++self_samples_[top];
+  ++total_samples_;
+
+  // Inclusive: each distinct function on the stack gets one sample.
+  // Recursion must not double-charge, hence the epoch stamps.
+  ++epoch_;
+  for (const sim::FunctionId fid : eng.stack()) {
+    if (stamp_[fid] == epoch_) continue;
+    stamp_[fid] = epoch_;
+    ++inclusive_samples_[fid];
+  }
+}
+
+gmon::ProfileSnapshot SamplingProfiler::snapshot(
+    std::uint32_t seq, sim::vtime_t timestamp_ns) const {
+  gmon::ProfileSnapshot snap(seq, timestamp_ns);
+  const auto period = engine_.sample_period_ns();
+  const std::size_t n = self_samples_.size();
+  for (std::size_t fid = 0; fid < n; ++fid) {
+    if (self_samples_[fid] == 0 && calls_[fid] == 0 &&
+        inclusive_samples_[fid] == 0) {
+      continue;
+    }
+    gmon::FunctionProfile fp;
+    fp.name = engine_.registry().name(static_cast<sim::FunctionId>(fid));
+    fp.self_ns = static_cast<std::int64_t>(self_samples_[fid]) * period;
+    fp.calls = static_cast<std::int64_t>(calls_[fid]);
+    fp.inclusive_ns =
+        static_cast<std::int64_t>(inclusive_samples_[fid]) * period;
+    snap.upsert(std::move(fp));
+  }
+  return snap;
+}
+
+}  // namespace incprof::prof

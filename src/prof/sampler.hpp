@@ -1,0 +1,58 @@
+// The gprof-equivalent runtime profiler: PC sampling plus call counting.
+//
+// gprof attributes one "tick" of self time to whatever function the
+// program counter is in at each profiling-clock interrupt, and counts
+// calls via -pg entry stubs. SamplingProfiler does exactly that against
+// the engine's shadow stack: on_sample charges the stack top with one
+// sample of self time (and every distinct function on the stack with one
+// sample of inclusive time), on_enter bumps the call counter.
+#pragma once
+
+#include "gmon/snapshot.hpp"
+#include "sim/engine.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace incprof::prof {
+
+/// Accumulates cumulative profile counters for one engine (one rank).
+/// Register with ExecutionEngine::add_listener before the run starts.
+class SamplingProfiler : public sim::EngineListener {
+ public:
+  /// `engine` must outlive the profiler; the profiler reads its registry
+  /// when taking snapshots.
+  explicit SamplingProfiler(const sim::ExecutionEngine& engine)
+      : engine_(engine) {}
+
+  // EngineListener
+  void on_enter(sim::FunctionId fid, sim::vtime_t now) override;
+  void on_sample(const sim::ExecutionEngine& eng,
+                 sim::vtime_t now) override;
+
+  /// Builds a cumulative snapshot of everything recorded so far.
+  /// Mirrors the gprof data-file write the IncProf collector triggers.
+  gmon::ProfileSnapshot snapshot(std::uint32_t seq,
+                                 sim::vtime_t timestamp_ns) const;
+
+  /// Total self samples recorded (across all functions).
+  std::uint64_t total_samples() const noexcept { return total_samples_; }
+
+  /// Samples that fell on an empty stack (attributed to no function and
+  /// not reported, like ticks in unmapped code under real gprof).
+  std::uint64_t dropped_samples() const noexcept { return dropped_; }
+
+ private:
+  void ensure_size(std::size_t n);
+
+  const sim::ExecutionEngine& engine_;
+  std::vector<std::uint64_t> self_samples_;
+  std::vector<std::uint64_t> inclusive_samples_;
+  std::vector<std::uint64_t> calls_;
+  std::vector<std::uint32_t> stamp_;  // de-dup marks for inclusive counting
+  std::uint32_t epoch_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace incprof::prof

@@ -1,0 +1,40 @@
+// Virtual time. The whole reproduction runs on a deterministic virtual
+// clock measured in nanoseconds: workloads declare the cost of their
+// computation, the engine advances the clock, and the profiler samples at
+// fixed virtual periods. This keeps every experiment bit-reproducible
+// while preserving the real pipeline's timing semantics (1-second dump
+// intervals over minutes-long runs).
+#pragma once
+
+#include <cstdint>
+
+namespace incprof::sim {
+
+/// Virtual time in nanoseconds since engine start.
+using vtime_t = std::int64_t;
+
+/// Nanoseconds per second, for readable conversions at call sites.
+inline constexpr vtime_t kNsPerSec = 1'000'000'000;
+
+/// Nanoseconds per millisecond.
+inline constexpr vtime_t kNsPerMs = 1'000'000;
+
+/// Nanoseconds per microsecond.
+inline constexpr vtime_t kNsPerUs = 1'000;
+
+/// Converts seconds (double) to virtual nanoseconds.
+constexpr vtime_t seconds(double s) noexcept {
+  return static_cast<vtime_t>(s * 1e9);
+}
+
+/// Converts milliseconds (double) to virtual nanoseconds.
+constexpr vtime_t millis(double ms) noexcept {
+  return static_cast<vtime_t>(ms * 1e6);
+}
+
+/// Converts virtual nanoseconds to seconds (double).
+constexpr double to_seconds(vtime_t t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+}  // namespace incprof::sim

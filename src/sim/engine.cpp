@@ -1,0 +1,74 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace incprof::sim {
+
+ExecutionEngine::ExecutionEngine(EngineConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), next_sample_at_(cfg.sample_period_ns) {
+  assert(cfg_.sample_period_ns > 0);
+  stack_.reserve(64);
+  listeners_.reserve(8);
+}
+
+void ExecutionEngine::add_listener(EngineListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void ExecutionEngine::remove_listener(EngineListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void ExecutionEngine::enter(FunctionId fid) {
+  stack_.push_back(fid);
+  for (auto* l : listeners_) l->on_enter(fid, now_);
+}
+
+FunctionId ExecutionEngine::enter(std::string_view name) {
+  const FunctionId fid = registry_.intern(name);
+  enter(fid);
+  return fid;
+}
+
+void ExecutionEngine::leave() {
+  assert(!stack_.empty());
+  const FunctionId fid = stack_.back();
+  stack_.pop_back();
+  for (auto* l : listeners_) l->on_leave(fid, now_);
+}
+
+void ExecutionEngine::work(vtime_t cost_ns) {
+  if (cost_ns <= 0) return;
+  if (cfg_.work_jitter_rel > 0.0) {
+    cost_ns = static_cast<vtime_t>(std::llround(
+        static_cast<double>(cost_ns) * rng_.jitter(cfg_.work_jitter_rel)));
+    if (cost_ns <= 0) return;
+  }
+  vtime_t remaining = cost_ns;
+  while (remaining > 0) {
+    const vtime_t to_tick = next_sample_at_ - now_;
+    const vtime_t step = std::min(remaining, to_tick);
+    now_ += step;
+    remaining -= step;
+    if (now_ == next_sample_at_) {
+      for (auto* l : listeners_) l->on_sample(*this, now_);
+      next_sample_at_ += cfg_.sample_period_ns;
+    }
+  }
+}
+
+void ExecutionEngine::loop_tick() {
+  const FunctionId fid = current();
+  for (auto* l : listeners_) l->on_loop_tick(fid, now_);
+}
+
+void ExecutionEngine::finish() {
+  for (auto* l : listeners_) l->on_finish(*this, now_);
+}
+
+}  // namespace incprof::sim

@@ -1,0 +1,55 @@
+#include "sim/rankset.hpp"
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+#include <limits>
+
+namespace incprof::sim {
+
+std::vector<double> RankSetResult::runtimes_sec() const {
+  std::vector<double> out;
+  out.reserve(ranks.size());
+  for (const auto& r : ranks) out.push_back(to_seconds(r.runtime_ns));
+  return out;
+}
+
+double RankSetResult::mean_runtime_sec() const {
+  const auto rt = runtimes_sec();
+  return util::mean(rt);
+}
+
+double RankSetResult::imbalance() const {
+  if (ranks.empty()) return 1.0;
+  double lo = std::numeric_limits<double>::max();
+  double hi = 0.0;
+  for (const auto& r : ranks) {
+    const double s = to_seconds(r.runtime_ns);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  return lo > 0.0 ? hi / lo : 1.0;
+}
+
+std::uint64_t rank_seed(std::uint64_t base_seed, std::size_t rank) noexcept {
+  // One SplitMix64 step keyed by rank: cheap, stable, well mixed.
+  util::SplitMix64 sm(base_seed + 0x9e3779b97f4a7c15ULL * (rank + 1));
+  return sm.next();
+}
+
+RankSetResult run_symmetric_ranks(std::size_t nranks,
+                                  std::uint64_t base_seed,
+                                  const RankBody& body) {
+  RankSetResult result;
+  result.ranks.reserve(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    RankOutcome out;
+    out.rank = r;
+    out.seed = rank_seed(base_seed, r);
+    out.runtime_ns = body(r, out.seed);
+    result.ranks.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace incprof::sim

@@ -1,0 +1,19 @@
+#include "sim/registry.hpp"
+
+namespace incprof::sim {
+
+FunctionId FunctionRegistry::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<FunctionId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+FunctionId FunctionRegistry::lookup(std::string_view name) const noexcept {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNoFunction : it->second;
+}
+
+}  // namespace incprof::sim

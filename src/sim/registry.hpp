@@ -1,0 +1,43 @@
+// Function-symbol interning. The engine tracks the call stack as small
+// integer ids; the registry maps them to the source-level function names
+// that the snapshots, reports, and instrumentation-site tables use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace incprof::sim {
+
+/// Dense id of an interned function name.
+using FunctionId = std::uint32_t;
+
+/// Sentinel meaning "no function" (empty stack).
+inline constexpr FunctionId kNoFunction = 0xffffffffu;
+
+/// Bidirectional name <-> id map. Ids are dense and assigned in intern
+/// order, so per-function arrays can be indexed directly.
+class FunctionRegistry {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  FunctionId intern(std::string_view name);
+
+  /// Looks up an existing id; returns kNoFunction if never interned.
+  FunctionId lookup(std::string_view name) const noexcept;
+
+  /// Name of an interned id. Precondition: id < size().
+  const std::string& name(FunctionId id) const noexcept {
+    return names_[id];
+  }
+
+  /// Number of interned functions.
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, FunctionId> ids_;
+};
+
+}  // namespace incprof::sim

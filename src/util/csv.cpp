@@ -1,0 +1,129 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace incprof::util {
+
+int CsvDocument::column(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+bool needs_quoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void write_field(std::ostream& os, const std::string& s) {
+  if (!needs_quoting(s)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    write_field(os_, fields[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::to_field(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string CsvWriter::to_field(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string CsvWriter::to_field(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  return buf;
+}
+
+CsvDocument parse_csv(std::string_view text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool any_in_row = false;
+  auto flush_row = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    if (doc.header.empty() && doc.rows.empty()) {
+      doc.header = std::move(row);
+    } else {
+      doc.rows.push_back(std::move(row));
+    }
+    row.clear();
+    any_in_row = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        any_in_row = true;
+        ++i;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        any_in_row = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (any_in_row || !field.empty() || !row.empty()) flush_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        any_in_row = true;
+        ++i;
+        break;
+    }
+  }
+  if (any_in_row || !field.empty() || !row.empty()) flush_row();
+  return doc;
+}
+
+}  // namespace incprof::util

@@ -1,0 +1,63 @@
+// Minimal CSV reading/writing with RFC-4180-style quoting. Used for the
+// AppEKG heartbeat interval records and the bench outputs that back the
+// figures (one series row per interval).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::util {
+
+/// A parsed CSV document: a header row plus data rows, all as strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int column(std::string_view name) const noexcept;
+};
+
+/// Streams quoted CSV rows. Quotes a field only when it contains a comma,
+/// quote or newline; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; fields are quoted as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of mixed printable values.
+  template <typename... Ts>
+  void row_of(const Ts&... vs) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(vs));
+    (fields.push_back(to_field(vs)), ...);
+    row(fields);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(double v);
+  static std::string to_field(long long v);
+  static std::string to_field(unsigned long long v);
+  static std::string to_field(int v) { return to_field((long long)v); }
+  static std::string to_field(long v) { return to_field((long long)v); }
+  static std::string to_field(unsigned v) {
+    return to_field((unsigned long long)v);
+  }
+  static std::string to_field(std::size_t v) {
+    return to_field((unsigned long long)v);
+  }
+
+  std::ostream& os_;
+};
+
+/// Parses CSV text. The first row becomes the header. Handles quoted
+/// fields with embedded commas, doubled quotes and newlines.
+CsvDocument parse_csv(std::string_view text);
+
+}  // namespace incprof::util

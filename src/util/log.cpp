@@ -1,0 +1,49 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace incprof::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, std::string_view)> g_sink;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_sink(std::function<void(LogLevel, std::string_view)> sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::lock_guard lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[incprof %s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }
+void log_info(std::string_view msg) { log(LogLevel::kInfo, msg); }
+void log_warn(std::string_view msg) { log(LogLevel::kWarn, msg); }
+void log_error(std::string_view msg) { log(LogLevel::kError, msg); }
+
+}  // namespace incprof::util

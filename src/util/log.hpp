@@ -1,0 +1,33 @@
+// Tiny leveled logger. Analysis tools report progress through this so the
+// bench binaries can silence it; tests can capture it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace incprof::util {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarn,
+/// so library code is silent unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current minimum level.
+LogLevel log_level() noexcept;
+
+/// Replaces the sink (default: stderr). Pass nullptr to restore stderr.
+void set_log_sink(std::function<void(LogLevel, std::string_view)> sink);
+
+/// Emits one message at `level` if it passes the threshold.
+void log(LogLevel level, std::string_view msg);
+
+/// printf-style convenience wrappers.
+void log_debug(std::string_view msg);
+void log_info(std::string_view msg);
+void log_warn(std::string_view msg);
+void log_error(std::string_view msg);
+
+}  // namespace incprof::util

@@ -1,0 +1,75 @@
+#include "util/sparkline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace incprof::util {
+
+namespace {
+// Five intensity levels keep the output pure ASCII (no UTF-8 blocks), so
+// it renders identically in logs, CI output and terminals.
+constexpr char kLevels[] = {' ', '.', ':', '+', '#'};
+constexpr int kNumLevels = 5;
+}  // namespace
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  if (values.empty() || width == 0) return {};
+  double maxv = 0.0;
+  for (double v : values) maxv = std::max(maxv, v);
+
+  std::string out;
+  out.reserve(width);
+  const std::size_t n = values.size();
+  for (std::size_t col = 0; col < width; ++col) {
+    // Average the bucket of samples that maps onto this column.
+    const std::size_t lo = col * n / width;
+    std::size_t hi = (col + 1) * n / width;
+    if (hi <= lo) hi = lo + 1;
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi && i < n; ++i) s += values[i];
+    const double v = s / static_cast<double>(hi - lo);
+    int level = 0;
+    if (maxv > 0.0 && v > 0.0) {
+      level = 1 + static_cast<int>(v / maxv * (kNumLevels - 2) + 0.5);
+      level = std::clamp(level, 1, kNumLevels - 1);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void SeriesPlot::add_series(std::string label, std::vector<double> values) {
+  series_.push_back({std::move(label), std::move(values)});
+}
+
+std::string SeriesPlot::render(std::size_t width) const {
+  std::size_t label_w = 0;
+  std::size_t n = 0;
+  for (const auto& s : series_) {
+    label_w = std::max(label_w, s.label.size());
+    n = std::max(n, s.values.size());
+  }
+  std::string out;
+  for (const auto& s : series_) {
+    out += s.label;
+    out += std::string(label_w - s.label.size(), ' ');
+    out += " |";
+    out += sparkline(s.values, width);
+    out += "|\n";
+  }
+  // X-axis ruler: interval indices at the left and right edges.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%zu", n);
+  std::string ruler(label_w, ' ');
+  ruler += " |0";
+  const std::string right(buf);
+  if (width > 1 + right.size()) {
+    ruler += std::string(width - 1 - right.size(), ' ');
+    ruler += right;
+  }
+  ruler += "| interval\n";
+  out += ruler;
+  return out;
+}
+
+}  // namespace incprof::util

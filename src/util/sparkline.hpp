@@ -1,0 +1,37 @@
+// ASCII time-series rendering for the heartbeat "figures". The paper's
+// Figures 2-6 are per-interval heartbeat plots; the fig benches emit both
+// a CSV of the series and this compact textual rendering so the *shape*
+// (gaps, oscillation, init-only spikes) is reviewable in a terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace incprof::util {
+
+/// Renders one series as a single line of block characters, scaled to the
+/// series max. Zero values render as a space (so gaps are visible, which
+/// matters: the paper highlights intervals where long heartbeats do not
+/// finish). `width` columns; the series is bucketed by mean.
+std::string sparkline(std::span<const double> values, std::size_t width = 100);
+
+/// A labelled multi-row plot: each series gets one sparkline row prefixed
+/// by its padded label, plus a shared x-axis ruler with interval numbers.
+class SeriesPlot {
+ public:
+  /// Adds one labelled series; all series should share the x domain.
+  void add_series(std::string label, std::vector<double> values);
+
+  /// Renders all rows at `width` columns.
+  std::string render(std::size_t width = 100) const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace incprof::util

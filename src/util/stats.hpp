@@ -1,0 +1,83 @@
+// Small descriptive-statistics helpers used throughout the pipeline:
+// aggregate per-rank summaries, overhead percentages, cluster quality
+// measures, and the EXPERIMENTS.md tables all go through these.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace incprof::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Population variance (n denominator); 0 for an empty span.
+double population_variance(std::span<const double> xs) noexcept;
+
+/// Minimum; 0 for an empty span.
+double min_of(std::span<const double> xs) noexcept;
+
+/// Maximum; 0 for an empty span.
+double max_of(std::span<const double> xs) noexcept;
+
+/// Sum of all values.
+double sum(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. 0 for an empty span.
+/// Copies and sorts internally; fine for the small vectors we use.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+double coeff_of_variation(std::span<const double> xs);
+
+/// Running mean/variance accumulator (Welford). Used by the AppEKG
+/// aggregator to keep per-interval duration statistics in O(1) memory.
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Mean of observations; 0 before the first observation.
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than 2 observations.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Smallest observation; 0 before the first observation.
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+
+  /// Largest observation; 0 before the first observation.
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Sum of all observations.
+  double sum() const noexcept { return sum_; }
+
+  /// Resets to the empty state.
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace incprof::util

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace incprof::util {
+
+std::string pad(std::string_view s, std::size_t width, Align a) {
+  if (s.size() >= width) return std::string(s);
+  const std::string fill(width - s.size(), ' ');
+  if (a == Align::kRight) return fill + std::string(s);
+  return std::string(s) + fill;
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  aligns_.assign(header_.size(), Align::kLeft);
+}
+
+void TextTable::set_align(std::size_t col, Align a) {
+  if (col < aligns_.size()) aligns_[col] = a;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::add_section(std::string label) {
+  Row r;
+  r.is_section = true;
+  r.section_label = std::move(label);
+  rows_.push_back(std::move(r));
+}
+
+std::string TextTable::render() const {
+  const std::size_t ncols = header_.size();
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (r.is_section) continue;
+    for (std::size_t c = 0; c < std::min(ncols, r.cells.size()); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  std::size_t total = ncols ? (ncols - 1) * 3 : 0;
+  for (auto w : widths) total += w;
+
+  std::string out;
+  auto add_line = [&](char ch) { out += std::string(total, ch) + '\n'; };
+
+  if (!title_.empty()) {
+    out += title_ + '\n';
+    add_line('=');
+  }
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c) out += " | ";
+    out += pad(header_[c], widths[c], aligns_[c]);
+  }
+  out += '\n';
+  add_line('-');
+  for (const auto& r : rows_) {
+    if (r.is_section) {
+      add_line('-');
+      out += r.section_label + '\n';
+      add_line('-');
+      continue;
+    }
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) out += " | ";
+      const std::string_view cell =
+          c < r.cells.size() ? std::string_view(r.cells[c])
+                             : std::string_view();
+      out += pad(cell, widths[c], aligns_[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace incprof::util

@@ -1,0 +1,54 @@
+// Fixed-width plain-text table renderer. The bench binaries print the
+// paper's tables (Table I-VI) through this so the output visually matches
+// the rows the paper reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders them with per-column widths, an optional
+/// title, a header separator, and optional full-width section rows (used
+/// for the "Manual Instrumentation Sites" separators in Tables II-VI).
+class TextTable {
+ public:
+  /// Declares the column headers. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets the alignment of column `col` (default: left).
+  void set_align(std::size_t col, Align a);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a data row; missing trailing cells render empty.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a full-width section label row (rendered across all columns).
+  void add_section(std::string label);
+
+  /// Renders the table to a string.
+  std::string render() const;
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string section_label;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Left/right-pads `s` to `width` with spaces.
+std::string pad(std::string_view s, std::size_t width, Align a);
+
+}  // namespace incprof::util

@@ -1,0 +1,237 @@
+// Cross-app behavioural tests: every bundled mini-app must be
+// deterministic, symmetric across ranks, and produce a phase analysis in
+// the neighbourhood the paper reports (Table I's "# Phases Discov."
+// column and the per-app site tables).
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "sim/rankset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace incprof::apps {
+namespace {
+
+AppParams quick_params() {
+  AppParams p;
+  p.time_scale = 1.0;      // full interval structure
+  p.compute_scale = 0.05;  // minimal real work: tests stay fast
+  return p;
+}
+
+TEST(AppFactory, KnowsAllFiveApps) {
+  const auto names = app_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const auto& name : names) {
+    const auto app = make_app(name, quick_params());
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->name(), name);
+    EXPECT_GT(app->nominal_runtime_sec(), 0.0);
+    EXPECT_GE(app->paper_ranks(), 1u);
+    EXPECT_GE(app->paper_phases(), 2u);
+    EXPECT_FALSE(app->manual_sites().empty());
+  }
+}
+
+TEST(AppFactory, UnknownNameThrows) {
+  EXPECT_THROW(make_app("hpl", {}), std::invalid_argument);
+  EXPECT_THROW(make_app("", {}), std::invalid_argument);
+}
+
+class PerAppTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerAppTest, VirtualRuntimeNearPaperValue) {
+  auto app = make_app(GetParam(), quick_params());
+  RunConfig cfg;
+  cfg.jitter = 0.0;
+  const sim::vtime_t runtime = run_baseline(*app, cfg);
+  const double sec = sim::to_seconds(runtime);
+  EXPECT_GT(sec, app->nominal_runtime_sec() * 0.85) << GetParam();
+  EXPECT_LT(sec, app->nominal_runtime_sec() * 1.15) << GetParam();
+}
+
+TEST_P(PerAppTest, ChecksumDeterministicAcrossRuns) {
+  auto a = make_app(GetParam(), quick_params());
+  auto b = make_app(GetParam(), quick_params());
+  RunConfig cfg;
+  cfg.seed = 11;
+  run_profiled(*a, cfg);
+  run_profiled(*b, cfg);
+  EXPECT_EQ(a->checksum(), b->checksum()) << GetParam();
+  EXPECT_NE(a->checksum(), 0.0) << "real computation must feed checksum";
+}
+
+TEST_P(PerAppTest, ProfiledRunProducesOneDumpPerSecond) {
+  auto app = make_app(GetParam(), quick_params());
+  RunConfig cfg;
+  cfg.jitter = 0.0;
+  const ProfiledRun run = run_profiled(*app, cfg);
+  const auto expected =
+      static_cast<std::size_t>(sim::to_seconds(run.runtime_ns));
+  EXPECT_GE(run.snapshots.size(), expected);
+  EXPECT_LE(run.snapshots.size(), expected + 2);
+  // Dumps are cumulative: totals never decrease.
+  std::int64_t prev_total = -1;
+  for (const auto& s : run.snapshots) {
+    EXPECT_GE(s.total_self_ns(), prev_total);
+    prev_total = s.total_self_ns();
+  }
+}
+
+TEST_P(PerAppTest, PhaseCountNearPaper) {
+  // Elbow granularity legitimately differs by +/- a cluster or two (the
+  // paper's own MiniFE k=5 merges behaviours our data keeps separate);
+  // the per-app site tests below pin the structure, this pins the scale.
+  auto app = make_app(GetParam(), quick_params());
+  const core::PhaseAnalysis analysis = profile_and_analyze(*app);
+  const auto paper = static_cast<long>(app->paper_phases());
+  const auto mine = static_cast<long>(analysis.detection.num_phases);
+  EXPECT_GE(mine, paper - 1) << GetParam();
+  EXPECT_LE(mine, paper + 2) << GetParam();
+}
+
+TEST_P(PerAppTest, EveryPhaseMeetsCoverageThreshold) {
+  auto app = make_app(GetParam(), quick_params());
+  const core::PhaseAnalysis analysis = profile_and_analyze(*app);
+  for (const auto& phase : analysis.sites.phases) {
+    if (phase.intervals.empty()) continue;
+    EXPECT_GE(phase.coverage, 0.95) << GetParam() << " phase "
+                                    << phase.phase;
+    EXPECT_FALSE(phase.sites.empty());
+  }
+}
+
+TEST_P(PerAppTest, AnalysisDeterministicAcrossRuns) {
+  auto a = make_app(GetParam(), quick_params());
+  auto b = make_app(GetParam(), quick_params());
+  const core::PhaseAnalysis ra = profile_and_analyze(*a);
+  const core::PhaseAnalysis rb = profile_and_analyze(*b);
+  EXPECT_EQ(ra.detection.num_phases, rb.detection.num_phases);
+  EXPECT_EQ(ra.detection.assignments, rb.detection.assignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerAppTest,
+                         ::testing::ValuesIn(app_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- paper-specific site expectations ---------------------------------
+
+std::set<std::string> discovered_functions(
+    const core::PhaseAnalysis& analysis) {
+  std::set<std::string> names;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) names.insert(s.function_name);
+  }
+  return names;
+}
+
+TEST(Graph500Sites, MatchesTableII) {
+  auto app = make_app("graph500", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto names = discovered_functions(analysis);
+  EXPECT_TRUE(names.count("validate_bfs_result"));
+  EXPECT_TRUE(names.count("run_bfs"));
+  EXPECT_TRUE(names.count("make_one_edge"));
+  // validate_bfs_result dominates the run (paper: 62.2% of app).
+  double validate_app = 0.0;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) {
+      if (s.function_name == "validate_bfs_result") {
+        validate_app += s.app_fraction;
+      }
+    }
+  }
+  EXPECT_GT(validate_app, 0.45);
+}
+
+TEST(MiniFeSites, MatchesTableIII) {
+  auto app = make_app("minife", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto names = discovered_functions(analysis);
+  EXPECT_TRUE(names.count("cg_solve"));
+  EXPECT_TRUE(names.count("init_matrix"));
+  EXPECT_TRUE(names.count("sum_in_symm_elem_matrix"));
+  EXPECT_TRUE(names.count("impose_dirichlet"));
+  // cg_solve must be designated loop (long-running solver).
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) {
+      if (s.function_name == "cg_solve") {
+        EXPECT_EQ(s.type, core::InstType::kLoop);
+      }
+    }
+  }
+}
+
+TEST(MiniAmrSites, MatchesTableIV) {
+  auto app = make_app("miniamr", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto names = discovered_functions(analysis);
+  EXPECT_TRUE(names.count("check_sum"));
+  // check_sum covers the dominant phase (paper: ~89% of app).
+  double checksum_app = 0.0;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) {
+      if (s.function_name == "check_sum") checksum_app += s.app_fraction;
+    }
+  }
+  EXPECT_GT(checksum_app, 0.8);
+  // The deviation phase surfaces the adaptation/communication functions.
+  std::set<std::string> deviation{"allocate", "pack_block", "unpack_block"};
+  bool any = false;
+  for (const auto& n : names) {
+    if (deviation.count(n)) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(LammpsSites, MatchesTableV) {
+  auto app = make_app("lammps", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto names = discovered_functions(analysis);
+  EXPECT_TRUE(names.count("PairLJCut_compute"));
+  EXPECT_TRUE(names.count("NPairHalf_build"));
+  // PairLJCut::compute accounts for ~90% of execution (paper: 55.7+34.1).
+  double pair_app = 0.0;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) {
+      if (s.function_name == "PairLJCut_compute") {
+        pair_app += s.app_fraction;
+      }
+    }
+  }
+  EXPECT_GT(pair_app, 0.75);
+}
+
+TEST(GadgetSites, MatchesTableVI) {
+  auto app = make_app("gadget", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto names = discovered_functions(analysis);
+  EXPECT_TRUE(names.count("force_treeevaluate_shortrange"));
+  EXPECT_TRUE(names.count("pm_setup_nonperiodic_kernel"));
+  // The paper's negative result: none of the four main timestep wrappers
+  // is discovered — the analysis lands on their callees.
+  EXPECT_FALSE(names.count("compute_accelerations"));
+  EXPECT_FALSE(names.count("domain_decomposition"));
+}
+
+TEST(SymmetricRanks, ProfilesAgreeAcrossRanks) {
+  // Run 4 ranks of miniamr with per-rank seeds; the per-rank phase
+  // counts must agree (the paper analyzes one representative rank).
+  std::vector<std::size_t> phases;
+  const auto result = sim::run_symmetric_ranks(
+      4, 1234, [&](std::size_t, std::uint64_t seed) -> sim::vtime_t {
+        auto app = make_app("miniamr", quick_params());
+        RunConfig cfg;
+        cfg.seed = seed;
+        const ProfiledRun run = run_profiled(*app, cfg);
+        const auto analysis = core::analyze_snapshots(run.snapshots);
+        phases.push_back(analysis.detection.num_phases);
+        return run.runtime_ns;
+      });
+  EXPECT_LT(result.imbalance(), 1.05);
+  for (const auto p : phases) EXPECT_EQ(p, phases.front());
+}
+
+}  // namespace
+}  // namespace incprof::apps

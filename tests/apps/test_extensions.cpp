@@ -1,0 +1,174 @@
+// Integration tests for the call-graph lifting, coverage-source and
+// heartbeat-analysis extensions against the bundled mini-apps.
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "core/lift.hpp"
+#include "ekg/analysis.hpp"
+#include "prof/coverage.hpp"
+#include "prof/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace incprof::apps {
+namespace {
+
+AppParams quick_params() {
+  AppParams p;
+  p.compute_scale = 0.05;
+  return p;
+}
+
+TEST(LiftIntegration, MinifeAssemblySiteLiftsToPerformElemLoop) {
+  // The exact improvement the paper sketches in Section VI-B.
+  auto app = make_app("minife", quick_params());
+  const ProfiledRun run = run_profiled(*app);
+  const auto analysis = core::analyze_snapshots(run.snapshots);
+  const core::LiftResult lifted =
+      core::lift_sites(analysis.sites, run.callgraph);
+
+  bool found = false;
+  for (const auto& d : lifted.decisions) {
+    if (d.original == "sum_in_symm_elem_matrix") {
+      EXPECT_EQ(d.lifted_to, "perform_elem_loop");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "assembly site was not lifted";
+}
+
+TEST(LiftIntegration, Graph500EdgeGenLiftsToManualSite) {
+  auto app = make_app("graph500", quick_params());
+  const ProfiledRun run = run_profiled(*app);
+  const auto analysis = core::analyze_snapshots(run.snapshots);
+  const core::LiftResult lifted =
+      core::lift_sites(analysis.sites, run.callgraph);
+
+  std::set<std::string> lifted_names;
+  for (const auto& p : lifted.sites.phases) {
+    for (const auto& s : p.sites) lifted_names.insert(s.function_name);
+  }
+  EXPECT_TRUE(lifted_names.count("make_graph_data_structure"))
+      << "make_one_edge should lift to the manual init site";
+  EXPECT_FALSE(lifted_names.count("make_one_edge"));
+}
+
+TEST(LiftIntegration, LoopSitesSurviveUnchanged) {
+  auto app = make_app("minife", quick_params());
+  const ProfiledRun run = run_profiled(*app);
+  const auto analysis = core::analyze_snapshots(run.snapshots);
+  const core::LiftResult lifted =
+      core::lift_sites(analysis.sites, run.callgraph);
+  for (const auto& d : lifted.decisions) {
+    EXPECT_NE(d.original, "cg_solve");  // loop sites never lift
+  }
+}
+
+TEST(LiftIntegration, CallGraphContainsSpontaneousRoots) {
+  auto app = make_app("gadget", quick_params());
+  const ProfiledRun run = run_profiled(*app);
+  // The timestep functions are invoked from unprofiled glue code.
+  EXPECT_GT(run.callgraph.total_calls_into("compute_accelerations"), 0);
+  const auto roots = run.callgraph.callees_of(
+      std::string(gmon::kSpontaneous));
+  EXPECT_FALSE(roots.empty());
+}
+
+TEST(CoverageIntegration, CoveragePhasesTrackDominantStructure) {
+  // Run graph500 with the gcov-style source; the init/search/validate
+  // structure must still be discoverable from counts alone.
+  auto app = make_app("graph500", quick_params());
+  sim::EngineConfig ec;
+  ec.seed = 7;
+  ec.work_jitter_rel = 0.02;
+  sim::ExecutionEngine eng(ec);
+  prof::CoverageProfiler cov(eng);
+  prof::CoverageCollector coll(cov, sim::kNsPerSec);
+  eng.add_listener(&cov);
+  eng.add_listener(&coll);
+  app->run(eng);
+  eng.finish();
+
+  ASSERT_GE(coll.snapshots().size(), 100u);
+  const auto analysis = core::analyze_snapshots(coll.snapshots());
+  EXPECT_GE(analysis.detection.num_phases, 2u);
+  std::set<std::string> names;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) names.insert(s.function_name);
+  }
+  // The edge-generation phase is unmistakable in count space.
+  EXPECT_TRUE(names.count("make_one_edge"));
+}
+
+TEST(EkgAnalysisIntegration, MiniamrManualSitesOverlapDiscoveredDoNot) {
+  // The paper's Section VI-C observation, quantified: the three manual
+  // sites are "simultaneously active", while the discovery analysis
+  // "tries not to overlap heartbeats".
+  auto app = make_app("miniamr", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+
+  auto app_d = make_app("miniamr", quick_params());
+  const HeartbeatRun discovered =
+      run_with_heartbeats(*app_d, to_ekg_sites(analysis.sites));
+
+  auto app_m = make_app("miniamr", quick_params());
+  const HeartbeatRun manual =
+      run_with_heartbeats(*app_m, to_ekg_sites(app_m->manual_sites()));
+
+  const double manual_overlap = ekg::mean_overlap(manual.series);
+  const double discovered_overlap = ekg::mean_overlap(discovered.series);
+  EXPECT_GT(manual_overlap, 0.9);
+  EXPECT_LT(discovered_overlap, manual_overlap);
+}
+
+TEST(LammpsModes, EamModeIsRegisteredAndRelated) {
+  const auto names = extended_app_names();
+  EXPECT_EQ(names.size(), app_names().size() + 1);
+  EXPECT_EQ(names.back(), "lammps-eam");
+
+  auto eam = make_app("lammps-eam", quick_params());
+  EXPECT_EQ(eam->name(), "lammps-eam");
+  const auto analysis = profile_and_analyze(*eam);
+
+  std::set<std::string> names_found;
+  for (const auto& p : analysis.sites.phases) {
+    for (const auto& s : p.sites) names_found.insert(s.function_name);
+  }
+  // Shared skeleton with the LJ mode...
+  EXPECT_TRUE(names_found.count("NPairHalf_build"));
+  // ...but a mode-specific dominant compute site.
+  bool eam_site = false;
+  for (const auto& n : names_found) {
+    if (n.rfind("PairEAM_", 0) == 0) eam_site = true;
+    EXPECT_EQ(n.rfind("PairLJCut", 0), std::string::npos)
+        << "LJ site discovered in EAM mode: " << n;
+  }
+  EXPECT_TRUE(eam_site);
+}
+
+TEST(LammpsModes, ModesShareTimelineShape) {
+  // Both modes run the same timestep skeleton: comparable runtime and
+  // the same rebuild cadence.
+  auto lj = make_app("lammps", quick_params());
+  auto eam = make_app("lammps-eam", quick_params());
+  RunConfig cfg;
+  cfg.jitter = 0.0;
+  const double t_lj = sim::to_seconds(run_baseline(*lj, cfg));
+  const double t_eam = sim::to_seconds(run_baseline(*eam, cfg));
+  EXPECT_NEAR(t_eam / t_lj, 1.0, 0.15);
+}
+
+TEST(EkgAnalysisIntegration, SteadyAppHasFewAnomalies) {
+  auto app = make_app("gadget", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  auto app2 = make_app("gadget", quick_params());
+  const HeartbeatRun run =
+      run_with_heartbeats(*app2, to_ekg_sites(analysis.sites));
+  const auto anomalies = ekg::detect_anomalies(run.records, run.records);
+  // A steady simulation: well under 5% of records flagged at 3 sigma.
+  EXPECT_LT(anomalies.size(), run.records.size() / 20 + 3);
+}
+
+}  // namespace
+}  // namespace incprof::apps

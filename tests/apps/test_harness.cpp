@@ -1,0 +1,112 @@
+#include "apps/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace incprof::apps {
+namespace {
+
+AppParams quick_params() {
+  AppParams p;
+  p.compute_scale = 0.05;
+  return p;
+}
+
+TEST(Harness, BaselineMatchesProfiledVirtualTime) {
+  // Listeners observe; they must not change the virtual timeline.
+  auto a = make_app("graph500", quick_params());
+  auto b = make_app("graph500", quick_params());
+  RunConfig cfg;
+  cfg.seed = 3;
+  const sim::vtime_t base = run_baseline(*a, cfg);
+  const ProfiledRun prof = run_profiled(*b, cfg);
+  EXPECT_EQ(base, prof.runtime_ns);
+}
+
+TEST(Harness, ToEkgSitesFromManualListAssignsSequentialIds) {
+  const std::vector<core::ManualSite> manual{
+      {"f", core::InstType::kBody},
+      {"g", core::InstType::kLoop},
+  };
+  const auto sites = to_ekg_sites(manual);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].function, "f");
+  EXPECT_EQ(sites[0].kind, ekg::SiteKind::kBody);
+  EXPECT_EQ(sites[0].hb_id, 1u);
+  EXPECT_EQ(sites[1].kind, ekg::SiteKind::kLoop);
+  EXPECT_EQ(sites[1].hb_id, 2u);
+}
+
+TEST(Harness, ToEkgSitesFromSelectionMatchesReportIds) {
+  core::SiteSelectionResult result;
+  core::PhaseSites p0;
+  p0.phase = 0;
+  core::SiteSelection s;
+  s.function_name = "solve";
+  s.type = core::InstType::kLoop;
+  p0.sites.push_back(s);
+  result.phases.push_back(p0);
+  core::PhaseSites p1;
+  p1.phase = 1;
+  s.function_name = "solve";  // same site, shared id
+  p1.sites.push_back(s);
+  s.function_name = "io";
+  s.type = core::InstType::kBody;
+  p1.sites.push_back(s);
+  result.phases.push_back(p1);
+
+  const auto sites = to_ekg_sites(result);
+  ASSERT_EQ(sites.size(), 2u);  // solve/loop shared, io/body
+  std::set<ekg::HeartbeatId> ids;
+  for (const auto& site : sites) ids.insert(site.hb_id);
+  EXPECT_EQ(ids, (std::set<ekg::HeartbeatId>{1, 2}));
+}
+
+TEST(Harness, HeartbeatRunProducesLabeledSeries) {
+  auto app = make_app("miniamr", quick_params());
+  const auto sites = to_ekg_sites(app->manual_sites());
+  const HeartbeatRun run = run_with_heartbeats(*app, sites);
+  EXPECT_FALSE(run.records.empty());
+  EXPECT_GT(run.runtime_ns, 0);
+  // Axis covers the entire run even if late intervals are quiet.
+  EXPECT_GE(run.series.num_intervals(),
+            static_cast<std::size_t>(sim::to_seconds(run.runtime_ns)));
+  // check_sum fires every timestep: its lane must be mostly active.
+  const ekg::SeriesLane* lane = run.series.lane(1);  // first manual site
+  ASSERT_NE(lane, nullptr);
+  EXPECT_EQ(lane->label, "check_sum/body");
+  EXPECT_GT(lane->activity_fraction(), 0.9);
+}
+
+TEST(Harness, DiscoveredSitesProduceHeartbeats) {
+  // Close the paper's full loop: discover sites, re-run instrumented,
+  // and require every discovered heartbeat id to actually fire.
+  auto app = make_app("minife", quick_params());
+  const auto analysis = profile_and_analyze(*app);
+  const auto sites = to_ekg_sites(analysis.sites);
+  ASSERT_FALSE(sites.empty());
+
+  auto app2 = make_app("minife", quick_params());
+  const HeartbeatRun run = run_with_heartbeats(*app2, sites);
+  std::set<ekg::HeartbeatId> fired;
+  for (const auto& r : run.records) fired.insert(r.id);
+  for (const auto& site : sites) {
+    EXPECT_TRUE(fired.count(site.hb_id))
+        << "site " << site.function << " never produced a heartbeat";
+  }
+}
+
+TEST(Harness, HeartbeatInstrumentationDoesNotPerturbVirtualTime) {
+  auto a = make_app("lammps", quick_params());
+  auto b = make_app("lammps", quick_params());
+  RunConfig cfg;
+  cfg.seed = 5;
+  const sim::vtime_t base = run_baseline(*a, cfg);
+  const HeartbeatRun run =
+      run_with_heartbeats(*b, to_ekg_sites(b->manual_sites()), cfg);
+  EXPECT_EQ(base, run.runtime_ns);
+}
+
+}  // namespace
+}  // namespace incprof::apps

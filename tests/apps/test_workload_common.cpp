@@ -1,0 +1,66 @@
+#include "apps/workload_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace incprof::apps {
+namespace {
+
+TEST(Blackhole, AccumulatesDeterministically) {
+  Blackhole a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.consume(static_cast<double>(i) * 1.5);
+    b.consume(static_cast<double>(i) * 1.5);
+  }
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), 0.0);
+}
+
+TEST(Blackhole, OrderSensitive) {
+  Blackhole a, b;
+  a.consume(1.0);
+  a.consume(2.0);
+  b.consume(2.0);
+  b.consume(1.0);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Blackhole, StaysFiniteUnderExtremeInput) {
+  Blackhole s;
+  for (int i = 0; i < 100000; ++i) {
+    s.consume(1e300);
+    s.consume(-1e300);
+  }
+  EXPECT_TRUE(std::isfinite(s.value()));
+}
+
+TEST(Blackhole, IgnoresNonFiniteValues) {
+  Blackhole a, b;
+  a.consume(1.0);
+  b.consume(1.0);
+  b.consume(std::nan(""));
+  b.consume(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Blackhole, ConsumeU64FoldsLowBits) {
+  Blackhole a, b;
+  a.consume_u64(42);
+  b.consume_u64(42 + (1ull << 40));  // differs only above the fold mask
+  EXPECT_EQ(a.value(), b.value());
+  Blackhole c;
+  c.consume_u64(43);
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(Scaled, ConvertsSecondsWithScaleAndClampsToOneNs) {
+  EXPECT_EQ(scaled(1.0, 1.0), 1'000'000'000);
+  EXPECT_EQ(scaled(0.5, 2.0), 1'000'000'000);
+  EXPECT_EQ(scaled(1.0, 0.001), 1'000'000);
+  EXPECT_EQ(scaled(1e-12, 1.0), 1);   // clamp
+  EXPECT_EQ(scaled(0.0, 1.0), 1);     // clamp
+}
+
+}  // namespace
+}  // namespace incprof::apps

@@ -1,0 +1,96 @@
+// Correctness tests for the *real computation* inside the mini-apps —
+// the workloads are not just timeline generators; their kernels must
+// compute valid results (that is what makes the overhead measurements
+// and checksums meaningful).
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace incprof::apps {
+namespace {
+
+AppParams tiny() {
+  AppParams p;
+  p.time_scale = 0.02;  // squeeze the virtual timeline: these tests only
+                        // care about the computation, not the profiles
+  p.compute_scale = 0.05;
+  return p;
+}
+
+TEST(WorkloadCorrectness, ChecksumsAreFiniteAndScaleSensitive) {
+  // Different real problem sizes must change the computed results; the
+  // virtual timeline stays the same (scale-invariance by design).
+  for (const auto& name : app_names()) {
+    AppParams small = tiny();
+    AppParams larger = tiny();
+    larger.compute_scale = 0.6;  // far enough that every app's clamped
+                                 // problem dimensions actually change
+
+    auto a = make_app(name, small);
+    auto b = make_app(name, larger);
+    RunConfig cfg;
+    cfg.jitter = 0.0;
+    const sim::vtime_t ta = run_baseline(*a, cfg);
+    const sim::vtime_t tb = run_baseline(*b, cfg);
+    EXPECT_TRUE(std::isfinite(a->checksum())) << name;
+    EXPECT_NE(a->checksum(), b->checksum()) << name;
+    EXPECT_EQ(ta, tb) << name
+                      << ": virtual timeline must not depend on the real "
+                         "problem size";
+  }
+}
+
+TEST(WorkloadCorrectness, TimeScaleShrinksRuntimeProportionally) {
+  for (const auto& name : app_names()) {
+    AppParams full = tiny();
+    full.time_scale = 0.10;
+    AppParams half = tiny();
+    half.time_scale = 0.05;
+    auto a = make_app(name, full);
+    auto b = make_app(name, half);
+    RunConfig cfg;
+    cfg.jitter = 0.0;
+    const double ratio =
+        static_cast<double>(run_baseline(*a, cfg)) /
+        static_cast<double>(std::max<sim::vtime_t>(1, run_baseline(*b, cfg)));
+    EXPECT_NEAR(ratio, 2.0, 0.1) << name;
+  }
+}
+
+TEST(WorkloadCorrectness, JitterChangesTimingNotResults) {
+  for (const auto& name : app_names()) {
+    auto a = make_app(name, tiny());
+    auto b = make_app(name, tiny());
+    RunConfig quiet;
+    quiet.jitter = 0.0;
+    RunConfig noisy;
+    noisy.jitter = 0.05;
+    noisy.seed = 99;
+    const sim::vtime_t ta = run_baseline(*a, quiet);
+    const sim::vtime_t tb = run_baseline(*b, noisy);
+    EXPECT_NE(ta, tb) << name;
+    // The computation itself is independent of measurement noise.
+    EXPECT_EQ(a->checksum(), b->checksum()) << name;
+  }
+}
+
+TEST(WorkloadCorrectness, DifferentSeedsSameChecksum) {
+  // Rank seeds perturb timing only; all ranks compute the same science.
+  for (const auto& name : app_names()) {
+    auto a = make_app(name, tiny());
+    auto b = make_app(name, tiny());
+    RunConfig ra;
+    ra.seed = 1;
+    RunConfig rb;
+    rb.seed = 2;
+    run_baseline(*a, ra);
+    run_baseline(*b, rb);
+    EXPECT_EQ(a->checksum(), b->checksum()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace incprof::apps

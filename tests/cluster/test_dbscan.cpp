@@ -1,0 +1,152 @@
+#include "cluster/dbscan.hpp"
+
+#include "cluster/quality.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace incprof::cluster {
+namespace {
+
+struct Blobs {
+  Matrix points;
+  std::vector<std::size_t> truth;
+};
+
+Blobs two_blobs_with_noise(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Blobs b;
+  b.points = Matrix(0, 0);
+  // Two tight blobs at (0,0) and (20,20), plus 3 far-flung noise points.
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      const double base = c * 20.0;
+      const std::vector<double> p{base + rng.next_gaussian() * 0.3,
+                                  base + rng.next_gaussian() * 0.3};
+      b.points.append_row(p);
+      b.truth.push_back(static_cast<std::size_t>(c));
+    }
+  }
+  for (const double far : {100.0, -80.0, 55.0}) {
+    const std::vector<double> p{far, -far};
+    b.points.append_row(p);
+    b.truth.push_back(2);
+  }
+  return b;
+}
+
+TEST(Dbscan, RejectsNonPositiveEps) {
+  Matrix m(2, 1, {0.0, 1.0});
+  DbscanConfig cfg;
+  cfg.eps = 0.0;
+  EXPECT_THROW(dbscan(m, cfg), std::invalid_argument);
+}
+
+TEST(Dbscan, EmptyInputGivesEmptyResult) {
+  Matrix m(0, 0);
+  const auto res = dbscan(m, {});
+  EXPECT_TRUE(res.labels.empty());
+  EXPECT_EQ(res.num_clusters, 0u);
+  EXPECT_EQ(res.num_noise, 0u);
+}
+
+TEST(Dbscan, FindsTwoBlobsAndMarksNoise) {
+  const Blobs b = two_blobs_with_noise(1);
+  DbscanConfig cfg;
+  cfg.eps = 2.0;
+  cfg.min_pts = 4;
+  const auto res = dbscan(b.points, cfg);
+  EXPECT_EQ(res.num_clusters, 2u);
+  EXPECT_EQ(res.num_noise, 3u);
+  // The blob members must agree with ground truth up to permutation.
+  std::vector<std::size_t> pred, truth;
+  for (std::size_t i = 0; i < res.labels.size(); ++i) {
+    if (res.labels[i] == DbscanResult::kNoise) continue;
+    pred.push_back(res.labels[i]);
+    truth.push_back(b.truth[i]);
+  }
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(pred, truth), 1.0);
+}
+
+TEST(Dbscan, AllNoiseWhenEpsTiny) {
+  const Blobs b = two_blobs_with_noise(2);
+  DbscanConfig cfg;
+  cfg.eps = 1e-9;
+  cfg.min_pts = 3;
+  const auto res = dbscan(b.points, cfg);
+  EXPECT_EQ(res.num_clusters, 0u);
+  EXPECT_EQ(res.num_noise, b.points.rows());
+}
+
+TEST(Dbscan, OneClusterWhenEpsHuge) {
+  const Blobs b = two_blobs_with_noise(3);
+  DbscanConfig cfg;
+  cfg.eps = 1e6;
+  cfg.min_pts = 2;
+  const auto res = dbscan(b.points, cfg);
+  EXPECT_EQ(res.num_clusters, 1u);
+  EXPECT_EQ(res.num_noise, 0u);
+}
+
+TEST(Dbscan, NoiseAbsorptionAssignsNearestCluster) {
+  const Blobs b = two_blobs_with_noise(4);
+  DbscanConfig cfg;
+  cfg.eps = 2.0;
+  cfg.min_pts = 4;
+  const auto res = dbscan(b.points, cfg);
+  const auto absorbed = res.labels_noise_absorbed(b.points);
+  ASSERT_EQ(absorbed.size(), res.labels.size());
+  for (const auto l : absorbed) {
+    EXPECT_NE(l, DbscanResult::kNoise);
+    EXPECT_LT(l, res.num_clusters);
+  }
+  // Non-noise labels unchanged.
+  for (std::size_t i = 0; i < res.labels.size(); ++i) {
+    if (res.labels[i] != DbscanResult::kNoise) {
+      EXPECT_EQ(absorbed[i], res.labels[i]);
+    }
+  }
+}
+
+TEST(Dbscan, NoiseAbsorptionIdentityWhenNoClusters) {
+  Matrix m(2, 1, {0.0, 100.0});
+  DbscanConfig cfg;
+  cfg.eps = 0.5;
+  cfg.min_pts = 3;
+  const auto res = dbscan(m, cfg);
+  EXPECT_EQ(res.num_clusters, 0u);
+  const auto absorbed = res.labels_noise_absorbed(m);
+  EXPECT_EQ(absorbed, res.labels);
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+  // Line of points spaced 1.0 apart: all within eps chain.
+  Matrix m(6, 1, {0, 1, 2, 3, 4, 5});
+  DbscanConfig cfg;
+  cfg.eps = 1.1;
+  cfg.min_pts = 3;
+  const auto res = dbscan(m, cfg);
+  EXPECT_EQ(res.num_clusters, 1u);
+  EXPECT_EQ(res.num_noise, 0u);
+}
+
+TEST(SuggestEps, ScalesWithSpread) {
+  const Blobs tight = two_blobs_with_noise(5);
+  const double eps = suggest_eps(tight.points, 4);
+  EXPECT_GT(eps, 0.0);
+  // The 90th-percentile 4-NN distance of tight blobs is well under the
+  // inter-blob distance.
+  EXPECT_LT(eps, 20.0);
+}
+
+TEST(SuggestEps, DegenerateInputs) {
+  Matrix empty(0, 0);
+  EXPECT_EQ(suggest_eps(empty, 4), 1.0);
+  Matrix one(1, 1, {3.0});
+  EXPECT_EQ(suggest_eps(one, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace incprof::cluster

@@ -1,0 +1,178 @@
+#include "cluster/kmeans.hpp"
+
+#include "cluster/distance.hpp"
+#include "cluster/quality.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace incprof::cluster {
+namespace {
+
+/// Generates `k` well-separated Gaussian blobs; returns points plus
+/// ground-truth labels.
+struct Blobs {
+  Matrix points;
+  std::vector<std::size_t> truth;
+};
+
+Blobs make_blobs(std::size_t k, std::size_t per_cluster, std::size_t dim,
+                 double separation, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Blobs b;
+  b.points = Matrix(k * per_cluster, dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> center(dim);
+    for (auto& x : center) x = rng.next_gaussian() * separation;
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t r = c * per_cluster + i;
+      for (std::size_t d = 0; d < dim; ++d) {
+        b.points.at(r, d) = center[d] + rng.next_gaussian() * 0.5;
+      }
+      b.truth.push_back(c);
+    }
+  }
+  return b;
+}
+
+TEST(KMeans, RejectsEmptyInput) {
+  Matrix empty;
+  KMeansConfig cfg;
+  EXPECT_THROW(kmeans(empty, cfg), std::invalid_argument);
+}
+
+TEST(KMeans, RejectsZeroK) {
+  Matrix m(3, 1, {1, 2, 3});
+  KMeansConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(kmeans(m, cfg), std::invalid_argument);
+}
+
+TEST(KMeans, SinglePointSingleCluster) {
+  Matrix m(1, 2, {3.0, 4.0});
+  KMeansConfig cfg;
+  cfg.k = 1;
+  const auto res = kmeans(m, cfg);
+  EXPECT_EQ(res.assignments, std::vector<std::size_t>{0});
+  EXPECT_EQ(res.centroids.at(0, 0), 3.0);
+  EXPECT_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, KClampsToRowCount) {
+  Matrix m(2, 1, {0.0, 10.0});
+  KMeansConfig cfg;
+  cfg.k = 8;
+  const auto res = kmeans(m, cfg);
+  EXPECT_EQ(res.centroids.rows(), 2u);
+  EXPECT_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const Blobs b = make_blobs(3, 30, 4, 20.0, 5);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 77;
+  const auto r1 = kmeans(b.points, cfg);
+  const auto r2 = kmeans(b.points, cfg);
+  EXPECT_EQ(r1.assignments, r2.assignments);
+  EXPECT_EQ(r1.inertia, r2.inertia);
+}
+
+struct BlobCase {
+  std::size_t k;
+  std::size_t dim;
+  std::uint64_t seed;
+};
+
+class BlobRecoveryTest : public ::testing::TestWithParam<BlobCase> {};
+
+TEST_P(BlobRecoveryTest, RecoversWellSeparatedClusters) {
+  const auto [k, dim, seed] = GetParam();
+  const Blobs b = make_blobs(k, 40, dim, 25.0, seed);
+  KMeansConfig cfg;
+  cfg.k = k;
+  cfg.seed = seed * 13 + 1;
+  const auto res = kmeans(b.points, cfg);
+  EXPECT_EQ(res.populated_clusters, k);
+  // Perfect recovery up to label permutation.
+  EXPECT_GT(adjusted_rand_index(res.assignments, b.truth), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlobRecoveryTest,
+    ::testing::Values(BlobCase{2, 2, 1}, BlobCase{3, 2, 2},
+                      BlobCase{4, 5, 3}, BlobCase{5, 3, 4},
+                      BlobCase{2, 10, 5}, BlobCase{6, 4, 6}));
+
+TEST(KMeans, InertiaNonIncreasingInK) {
+  const Blobs b = make_blobs(4, 50, 3, 10.0, 9);
+  double prev = -1.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    KMeansConfig cfg;
+    cfg.k = k;
+    cfg.seed = 3;
+    cfg.n_init = 10;
+    const double inertia = kmeans(b.points, cfg).inertia;
+    if (prev >= 0.0) {
+      EXPECT_LE(inertia, prev * 1.0001);
+    }
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, InertiaMatchesAssignments) {
+  const Blobs b = make_blobs(3, 20, 2, 15.0, 11);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = kmeans(b.points, cfg);
+  double recomputed = 0.0;
+  for (std::size_t r = 0; r < b.points.rows(); ++r) {
+    recomputed += squared_euclidean(
+        b.points.row(r), res.centroids.row(res.assignments[r]));
+  }
+  EXPECT_NEAR(res.inertia, recomputed, 1e-9);
+}
+
+TEST(KMeans, AssignmentsAreNearestCentroid) {
+  const Blobs b = make_blobs(3, 20, 2, 15.0, 13);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = kmeans(b.points, cfg);
+  for (std::size_t r = 0; r < b.points.rows(); ++r) {
+    const double assigned = squared_euclidean(
+        b.points.row(r), res.centroids.row(res.assignments[r]));
+    for (std::size_t c = 0; c < res.centroids.rows(); ++c) {
+      EXPECT_LE(assigned,
+                squared_euclidean(b.points.row(r), res.centroids.row(c)) +
+                    1e-9);
+    }
+  }
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  Matrix m(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    m.at(r, 0) = 1.0;
+    m.at(r, 1) = 2.0;
+  }
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = kmeans(m, cfg);
+  EXPECT_EQ(res.inertia, 0.0);
+  EXPECT_GE(res.populated_clusters, 1u);
+}
+
+TEST(KMeansResult, ClusterSizeCounts) {
+  KMeansResult res;
+  res.assignments = {0, 1, 0, 2, 0};
+  EXPECT_EQ(res.cluster_size(0), 3u);
+  EXPECT_EQ(res.cluster_size(1), 1u);
+  EXPECT_EQ(res.cluster_size(2), 1u);
+  EXPECT_EQ(res.cluster_size(9), 0u);
+}
+
+}  // namespace
+}  // namespace incprof::cluster

@@ -1,0 +1,75 @@
+#include "cluster/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace incprof::cluster {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m.at(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, ConstructFromData) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 1), 2.0);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+  EXPECT_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(Matrix, ConstructRejectsShapeMismatch) {
+  EXPECT_THROW(Matrix(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsContiguous) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 4.0);
+  EXPECT_EQ(row[2], 6.0);
+}
+
+TEST(Matrix, MutableRowWritesThrough) {
+  Matrix m(1, 2);
+  m.row(0)[1] = 9.0;
+  EXPECT_EQ(m.at(0, 1), 9.0);
+}
+
+TEST(Matrix, ColumnExtraction) {
+  Matrix m(3, 2, {1, 10, 2, 20, 3, 30});
+  const auto col = m.column(1);
+  EXPECT_EQ(col, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(Matrix, AppendRowGrowsAndFixesWidth) {
+  Matrix m;
+  const std::vector<double> r1{1, 2, 3};
+  m.append_row(r1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  const std::vector<double> r2{4, 5, 6};
+  m.append_row(r2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.at(1, 2), 6.0);
+}
+
+TEST(Matrix, AppendRowRejectsWidthMismatch) {
+  Matrix m(1, 2);
+  const std::vector<double> bad{1, 2, 3};
+  EXPECT_THROW(m.append_row(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace incprof::cluster

@@ -1,0 +1,93 @@
+#include "cluster/quality.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace incprof::cluster {
+namespace {
+
+TEST(Silhouette, WellSeparatedNearOne) {
+  Matrix m(6, 1, {0.0, 0.1, 0.2, 100.0, 100.1, 100.2});
+  const std::vector<std::size_t> labels{0, 0, 0, 1, 1, 1};
+  EXPECT_GT(mean_silhouette(m, labels), 0.99);
+}
+
+TEST(Silhouette, BadPartitionNegative) {
+  // Split each tight blob across both labels: silhouette goes negative.
+  Matrix m(6, 1, {0.0, 0.1, 100.0, 0.2, 100.1, 100.2});
+  const std::vector<std::size_t> labels{0, 0, 0, 1, 1, 1};
+  EXPECT_LT(mean_silhouette(m, labels), 0.0);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  Matrix m(4, 1, {1, 2, 3, 4});
+  const std::vector<std::size_t> labels{0, 0, 0, 0};
+  EXPECT_EQ(mean_silhouette(m, labels), 0.0);
+}
+
+TEST(Silhouette, SizeMismatchThrows) {
+  Matrix m(3, 1, {1, 2, 3});
+  const std::vector<std::size_t> labels{0, 1};
+  EXPECT_THROW(mean_silhouette(m, labels), std::invalid_argument);
+}
+
+TEST(Silhouette, SingletonClusterContributesZero) {
+  Matrix m(3, 1, {0.0, 0.1, 50.0});
+  const std::vector<std::size_t> labels{0, 0, 1};
+  const double s = mean_silhouette(m, labels);
+  // Two near-perfect points and one zero-contribution singleton.
+  EXPECT_GT(s, 0.6);
+  EXPECT_LT(s, 0.7);
+}
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, LabelPermutationScoresOne) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::size_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentPartitionsNearZero) {
+  util::Rng rng(9);
+  std::vector<std::size_t> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.next_below(4));
+    b.push_back(rng.next_below(4));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.03);
+}
+
+TEST(Ari, SizeMismatchThrows) {
+  const std::vector<std::size_t> a{0, 1};
+  const std::vector<std::size_t> b{0};
+  EXPECT_THROW(adjusted_rand_index(a, b), std::invalid_argument);
+}
+
+TEST(Ari, TrivialPartitionsScoreOne) {
+  const std::vector<std::size_t> all_same(5, 0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(all_same, all_same), 1.0);
+  const std::vector<std::size_t> tiny{0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(tiny, tiny), 1.0);
+}
+
+TEST(Purity, PerfectAndMajority) {
+  const std::vector<std::size_t> truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(truth, truth), 1.0);
+  const std::vector<std::size_t> pred{0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.75);
+}
+
+TEST(Purity, EmptyIsOneAndMismatchThrows) {
+  EXPECT_DOUBLE_EQ(purity({}, {}), 1.0);
+  EXPECT_THROW(purity({0}, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace incprof::cluster

@@ -1,0 +1,87 @@
+#include "cluster/standardize.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace incprof::cluster {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = rng.next_gaussian() * (1.0 + static_cast<double>(c)) +
+                   static_cast<double>(c) * 10.0;
+    }
+  }
+  return m;
+}
+
+TEST(Standardizer, TransformedColumnsHaveZeroMeanUnitVar) {
+  const Matrix m = random_matrix(200, 4, 1);
+  const auto s = Standardizer::fit(m);
+  const Matrix t = s.transform(m);
+  for (std::size_t c = 0; c < t.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) mean += t.at(r, c);
+    mean /= static_cast<double>(t.rows());
+    double var = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      var += (t.at(r, c) - mean) * (t.at(r, c) - mean);
+    }
+    var /= static_cast<double>(t.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, InverseUndoesTransform) {
+  const Matrix m = random_matrix(50, 3, GetParam());
+  const auto s = Standardizer::fit(m);
+  const Matrix back = s.inverse(s.transform(m));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_NEAR(back.at(r, c), m.at(r, c), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  Matrix m(10, 1);
+  for (std::size_t r = 0; r < 10; ++r) m.at(r, 0) = 5.0;
+  const auto s = Standardizer::fit(m);
+  const Matrix t = s.transform(m);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(t.at(r, 0), 0.0);
+    EXPECT_TRUE(std::isfinite(t.at(r, 0)));
+  }
+  EXPECT_EQ(s.stds()[0], 1.0);  // clamped, not zero
+}
+
+TEST(Standardizer, EmptyMatrixFitIsBenign) {
+  Matrix m(0, 3);
+  const auto s = Standardizer::fit(m);
+  EXPECT_EQ(s.means().size(), 3u);
+  EXPECT_EQ(s.stds()[0], 1.0);
+}
+
+TEST(Standardizer, TransformRejectsColumnMismatch) {
+  const Matrix m = random_matrix(5, 2, 3);
+  const auto s = Standardizer::fit(m);
+  Matrix wrong(5, 3);
+  EXPECT_THROW(s.transform(wrong), std::invalid_argument);
+  EXPECT_THROW(s.inverse(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace incprof::cluster

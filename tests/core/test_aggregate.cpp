@@ -1,0 +1,120 @@
+#include "core/aggregate.hpp"
+
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::IntervalSpec;
+
+IntervalData rank_data(double f_sec, double g_sec) {
+  return data_from_intervals({
+      IntervalSpec{{"f", {f_sec, 1}}},
+      IntervalSpec{{"g", {g_sec, 1}}},
+  });
+}
+
+TEST(Aggregate, EmptyInput) {
+  const auto agg = aggregate_ranks({});
+  EXPECT_EQ(agg.num_ranks, 0u);
+  EXPECT_TRUE(agg.functions.empty());
+}
+
+TEST(Aggregate, PerFunctionSpreadAcrossRanks) {
+  const std::vector<IntervalData> ranks{rank_data(1.0, 2.0),
+                                        rank_data(1.2, 2.0),
+                                        rank_data(0.8, 2.0)};
+  const auto agg = aggregate_ranks(ranks);
+  ASSERT_EQ(agg.num_ranks, 3u);
+  ASSERT_EQ(agg.functions.size(), 2u);
+  EXPECT_EQ(agg.functions[0], "f");
+
+  const auto& f = agg.spreads[0];
+  EXPECT_NEAR(f.mean_sec, 1.0, 1e-9);
+  EXPECT_NEAR(f.min_sec, 0.8, 1e-9);
+  EXPECT_NEAR(f.max_sec, 1.2, 1e-9);
+  EXPECT_NEAR(f.imbalance, 1.5, 1e-9);
+
+  const auto& g = agg.spreads[1];
+  EXPECT_NEAR(g.stddev_sec, 0.0, 1e-9);
+  EXPECT_NEAR(g.imbalance, 1.0, 1e-9);
+}
+
+TEST(Aggregate, UniverseIsUnionAcrossRanks) {
+  const std::vector<IntervalData> ranks{
+      data_from_intervals({IntervalSpec{{"only_rank0", {1.0, 1}}}}),
+      data_from_intervals({IntervalSpec{{"only_rank1", {1.0, 1}}}}),
+  };
+  const auto agg = aggregate_ranks(ranks);
+  ASSERT_EQ(agg.functions.size(), 2u);
+  // A function absent on a rank contributes 0 there.
+  EXPECT_NEAR(agg.spreads[0].min_sec, 0.0, 1e-12);
+  EXPECT_EQ(agg.spreads[0].imbalance, 0.0);  // min is zero
+}
+
+TEST(Aggregate, RankTotalsAndIntervalCounts) {
+  const std::vector<IntervalData> ranks{rank_data(1.0, 2.0),
+                                        rank_data(3.0, 4.0)};
+  const auto agg = aggregate_ranks(ranks);
+  ASSERT_EQ(agg.rank_totals_sec.size(), 2u);
+  EXPECT_NEAR(agg.rank_totals_sec[0], 3.0, 1e-9);
+  EXPECT_NEAR(agg.rank_totals_sec[1], 7.0, 1e-9);
+  EXPECT_EQ(agg.rank_intervals[0], 2u);
+}
+
+TEST(Aggregate, OutlierRankDetection) {
+  std::vector<IntervalData> ranks;
+  for (int r = 0; r < 9; ++r) {
+    ranks.push_back(rank_data(1.0 + 0.01 * (r % 3), 2.0));
+  }
+  ranks.push_back(rank_data(9.0, 2.0));  // the straggler
+  const auto agg = aggregate_ranks(ranks);
+  const auto outliers = agg.outlier_ranks(2.5);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 9u);
+}
+
+TEST(Aggregate, NoOutliersWhenUniform) {
+  const std::vector<IntervalData> ranks{rank_data(1, 2), rank_data(1, 2),
+                                        rank_data(1, 2)};
+  EXPECT_TRUE(aggregate_ranks(ranks).outlier_ranks().empty());
+}
+
+TEST(Aggregate, RenderShowsTopFunctions) {
+  const std::vector<IntervalData> ranks{rank_data(1.0, 5.0),
+                                        rank_data(1.0, 5.0)};
+  const std::string text = aggregate_ranks(ranks).render();
+  EXPECT_NE(text.find("cross-rank function spread"), std::string::npos);
+  // g (5s) sorts above f (1s).
+  EXPECT_LT(text.find("g "), text.find("f "));
+}
+
+TEST(CrossRankAgreement, IdenticalAssignmentsScoreOne) {
+  const std::vector<std::vector<std::size_t>> ranks{
+      {0, 0, 1, 1}, {0, 0, 1, 1}, {1, 1, 0, 0} /* permuted labels */};
+  EXPECT_DOUBLE_EQ(cross_rank_agreement(ranks), 1.0);
+}
+
+TEST(CrossRankAgreement, DisagreementLowersScore) {
+  const std::vector<std::vector<std::size_t>> ranks{
+      {0, 0, 0, 1, 1, 1}, {0, 1, 0, 1, 0, 1}};
+  EXPECT_LT(cross_rank_agreement(ranks), 0.5);
+}
+
+TEST(CrossRankAgreement, TruncatesToShortestRank) {
+  const std::vector<std::vector<std::size_t>> ranks{
+      {0, 0, 1, 1, 1, 1, 1}, {0, 0, 1, 1}};
+  EXPECT_DOUBLE_EQ(cross_rank_agreement(ranks), 1.0);
+}
+
+TEST(CrossRankAgreement, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(cross_rank_agreement({}), 1.0);
+  EXPECT_DOUBLE_EQ(cross_rank_agreement({{0, 1, 2}}), 1.0);
+  EXPECT_DOUBLE_EQ(cross_rank_agreement({{0, 1}, {}}), 1.0);
+}
+
+}  // namespace
+}  // namespace incprof::core

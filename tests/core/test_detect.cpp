@@ -1,0 +1,101 @@
+#include "core/detect.hpp"
+
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::three_phase_workload;
+
+TEST(Detect, ThreePhaseWorkloadYieldsThreePhases) {
+  const auto data = data_from_intervals(three_phase_workload(20));
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection det = detect_phases(space);
+  EXPECT_EQ(det.num_phases, 3u);
+  EXPECT_EQ(det.assignments.size(), 60u);
+}
+
+TEST(Detect, PhaseIntervalsPartitionTheRun) {
+  const auto data = data_from_intervals(three_phase_workload(15));
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection det = detect_phases(space);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < det.num_phases; ++p) {
+    for (const std::size_t i : det.phase_intervals[p]) {
+      EXPECT_TRUE(seen.insert(i).second) << "interval in two phases";
+      EXPECT_EQ(det.assignments[i], p);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, data.num_intervals());
+}
+
+TEST(Detect, PhasesAreTemporallyCoherentForSequentialWorkload) {
+  const auto data = data_from_intervals(three_phase_workload(20));
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection det = detect_phases(space);
+  // Each ground-truth segment of 20 intervals maps to one cluster.
+  for (std::size_t seg = 0; seg < 3; ++seg) {
+    const std::size_t label = det.assignments[seg * 20];
+    for (std::size_t i = seg * 20; i < (seg + 1) * 20; ++i) {
+      EXPECT_EQ(det.assignments[i], label) << "interval " << i;
+    }
+  }
+}
+
+TEST(Detect, UniformWorkloadIsOnePhase) {
+  std::vector<core::testing::IntervalSpec> intervals;
+  for (int i = 0; i < 30; ++i) {
+    intervals.push_back({{"only", {1.0, 5}}});
+  }
+  const auto data = data_from_intervals(intervals);
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection det = detect_phases(space);
+  EXPECT_EQ(det.num_phases, 1u);
+}
+
+TEST(Detect, KMaxCapsPhaseCount) {
+  const auto data = data_from_intervals(three_phase_workload(10));
+  const FeatureSpace space = build_features(data);
+  DetectorConfig cfg;
+  cfg.k_max = 2;
+  const PhaseDetection det = detect_phases(space, cfg);
+  EXPECT_LE(det.num_phases, 2u);
+  EXPECT_EQ(det.sweep.entries.size(), 2u);
+}
+
+TEST(Detect, SilhouetteSelectionAgreesOnCleanData) {
+  const auto data = data_from_intervals(three_phase_workload(20));
+  const FeatureSpace space = build_features(data);
+  DetectorConfig cfg;
+  cfg.selection = cluster::KSelection::kSilhouette;
+  const PhaseDetection det = detect_phases(space, cfg);
+  EXPECT_EQ(det.num_phases, 3u);
+  EXPECT_GT(det.silhouette, 0.8);
+}
+
+TEST(Detect, DeterministicForFixedSeed) {
+  const auto data = data_from_intervals(three_phase_workload(12));
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection a = detect_phases(space);
+  const PhaseDetection b = detect_phases(space);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.num_phases, b.num_phases);
+}
+
+TEST(Detect, CentroidRowsMatchPhaseCount) {
+  const auto data = data_from_intervals(three_phase_workload(10));
+  const FeatureSpace space = build_features(data);
+  const PhaseDetection det = detect_phases(space);
+  EXPECT_EQ(det.centroids.rows(), det.num_phases);
+  EXPECT_EQ(det.centroids.cols(), space.features.cols());
+}
+
+}  // namespace
+}  // namespace incprof::core

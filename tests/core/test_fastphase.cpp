@@ -1,0 +1,101 @@
+#include "core/fastphase.hpp"
+
+#include "apps/harness.hpp"
+#include "apps/miniapp.hpp"
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::IntervalSpec;
+using core::testing::three_phase_workload;
+
+TEST(FastPhase, SequencedWorkloadIsNotFastPhased) {
+  const auto data = data_from_intervals(three_phase_workload(15));
+  const auto d = diagnose_fast_phases(data);
+  EXPECT_FALSE(d.fast_phased);
+  EXPECT_LT(d.fast_time_fraction, 0.5);
+  EXPECT_EQ(d.suggested_interval_sec, 0.0);
+  EXPECT_NE(d.summary().find("applicable"), std::string::npos);
+}
+
+TEST(FastPhase, TimestepLoopIsFastPhased) {
+  // Gadget2-shaped data: every interval contains ~4 iterations of a
+  // loop over the same three functions.
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 60; ++i) {
+    intervals.push_back({{"force", {0.7, 4}},
+                         {"drift", {0.2, 4}},
+                         {"advance", {0.1, 4}}});
+  }
+  const auto data = data_from_intervals(intervals);
+  const auto d = diagnose_fast_phases(data);
+  EXPECT_TRUE(d.fast_phased);
+  EXPECT_GT(d.fast_time_fraction, 0.85);
+  EXPECT_NEAR(d.calls_per_interval, 4.0, 0.01);
+  // 1-second intervals, 4 iterations each -> ~0.25 s suggested.
+  EXPECT_NEAR(d.suggested_interval_sec, 0.25, 0.01);
+  EXPECT_NE(d.summary().find("FAST PHASES"), std::string::npos);
+}
+
+TEST(FastPhase, CoactiveButSlowIterationIsNotFlagged) {
+  // Functions co-active but each called less than once per interval
+  // (long-running bodies): interval analysis still applies.
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 30; ++i) {
+    intervals.push_back({{"a", {0.5, i % 3 == 0 ? 1 : 0}},
+                         {"b", {0.5, i % 3 == 1 ? 1 : 0}}});
+  }
+  const auto data = data_from_intervals(intervals);
+  const auto d = diagnose_fast_phases(data);
+  EXPECT_FALSE(d.fast_phased);
+}
+
+TEST(FastPhase, EmptyDataIsBenign) {
+  const IntervalData empty;
+  const auto d = diagnose_fast_phases(empty);
+  EXPECT_FALSE(d.fast_phased);
+  EXPECT_TRUE(d.hot_functions.empty());
+}
+
+TEST(FastPhase, HotSetCoversConfiguredTimeFraction) {
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 20; ++i) {
+    intervals.push_back({{"big", {0.9, 2}},
+                         {"tiny1", {0.01, 50}},
+                         {"tiny2", {0.01, 50}}});
+  }
+  const auto data = data_from_intervals(intervals);
+  FastPhaseConfig cfg;
+  cfg.hot_time_fraction = 0.5;
+  const auto d = diagnose_fast_phases(data, cfg);
+  // "big" alone covers > 50%; the tiny utility functions must not
+  // enter the hot set (that is the point of the time cut).
+  ASSERT_EQ(d.hot_functions.size(), 1u);
+  EXPECT_EQ(d.hot_functions[0], "big");
+}
+
+TEST(FastPhase, GadgetFlaggedRealAppsNot) {
+  // The paper's own contrast, end to end: Gadget2 is the fast-phase
+  // case; MiniFE's sequenced kernels are not.
+  apps::AppParams params;
+  params.compute_scale = 0.05;
+
+  auto gadget = apps::make_app("gadget", params);
+  const auto run_g = apps::run_profiled(*gadget);
+  const auto diag_g = diagnose_fast_phases(
+      IntervalData::from_cumulative(run_g.snapshots));
+  EXPECT_TRUE(diag_g.fast_phased);
+
+  auto minife = apps::make_app("minife", params);
+  const auto run_m = apps::run_profiled(*minife);
+  const auto diag_m = diagnose_fast_phases(
+      IntervalData::from_cumulative(run_m.snapshots));
+  EXPECT_FALSE(diag_m.fast_phased);
+}
+
+}  // namespace
+}  // namespace incprof::core

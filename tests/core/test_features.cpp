@@ -1,0 +1,101 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace incprof::core {
+namespace {
+
+gmon::FunctionProfile fp(std::string name, std::int64_t self,
+                         std::int64_t calls, std::int64_t incl) {
+  gmon::FunctionProfile p;
+  p.name = std::move(name);
+  p.self_ns = self;
+  p.calls = calls;
+  p.inclusive_ns = incl;
+  return p;
+}
+
+IntervalData sample_data() {
+  gmon::ProfileSnapshot s0(0, 1'000'000'000);
+  s0.upsert(fp("a", 500'000'000, 10, 600'000'000));
+  gmon::ProfileSnapshot s1(1, 2'000'000'000);
+  s1.upsert(fp("a", 800'000'000, 15, 1'000'000'000));
+  s1.upsert(fp("b", 400'000'000, 2, 400'000'000));
+  return IntervalData::from_cumulative({s0, s1});
+}
+
+TEST(Features, SelfTimeOnlyByDefault) {
+  const auto data = sample_data();
+  const FeatureSpace space = build_features(data);
+  EXPECT_EQ(space.features.rows(), 2u);
+  EXPECT_EQ(space.features.cols(), 2u);  // one column per function
+  EXPECT_EQ(space.columns_per_family, 2u);
+  EXPECT_DOUBLE_EQ(space.features.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(space.features.at(1, 1), 0.4);
+}
+
+TEST(Features, CallFamilyUsesLog1p) {
+  const auto data = sample_data();
+  FeatureOptions opts;
+  opts.use_self_time = false;
+  opts.use_calls = true;
+  opts.standardize = false;
+  const FeatureSpace space = build_features(data, opts);
+  EXPECT_DOUBLE_EQ(space.features.at(0, 0), std::log1p(10.0));
+  EXPECT_DOUBLE_EQ(space.features.at(1, 0), std::log1p(5.0));
+  EXPECT_DOUBLE_EQ(space.features.at(0, 1), 0.0);
+}
+
+TEST(Features, ChildrenFamily) {
+  const auto data = sample_data();
+  FeatureOptions opts;
+  opts.use_self_time = false;
+  opts.use_children = true;
+  opts.standardize = false;
+  const FeatureSpace space = build_features(data, opts);
+  // a: interval 0 children = 0.6 - 0.5; interval 1 delta = 0.4 - 0.3.
+  EXPECT_NEAR(space.features.at(0, 0), 0.1, 1e-9);
+  EXPECT_NEAR(space.features.at(1, 0), 0.1, 1e-9);
+}
+
+TEST(Features, CombinedFamiliesConcatenateColumns) {
+  const auto data = sample_data();
+  FeatureOptions opts;
+  opts.use_self_time = true;
+  opts.use_calls = true;
+  opts.use_children = true;
+  opts.standardize = false;
+  const FeatureSpace space = build_features(data, opts);
+  EXPECT_EQ(space.features.cols(), 6u);  // 2 functions x 3 families
+}
+
+TEST(Features, StandardizeProducesZeroMeanColumns) {
+  const auto data = sample_data();
+  FeatureOptions opts;
+  opts.standardize = true;
+  const FeatureSpace space = build_features(data, opts);
+  for (std::size_t c = 0; c < space.features.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < space.features.rows(); ++r) {
+      mean += space.features.at(r, c);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(Features, RejectsNoFamilies) {
+  const auto data = sample_data();
+  FeatureOptions opts;
+  opts.use_self_time = false;
+  EXPECT_THROW(build_features(data, opts), std::invalid_argument);
+}
+
+TEST(Features, RejectsEmptyData) {
+  const IntervalData empty;
+  EXPECT_THROW(build_features(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace incprof::core

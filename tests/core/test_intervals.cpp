@@ -1,0 +1,109 @@
+#include "core/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+gmon::FunctionProfile fp(std::string name, std::int64_t self,
+                         std::int64_t calls, std::int64_t incl = -1) {
+  gmon::FunctionProfile p;
+  p.name = std::move(name);
+  p.self_ns = self;
+  p.calls = calls;
+  p.inclusive_ns = incl < 0 ? self : incl;
+  return p;
+}
+
+std::vector<gmon::ProfileSnapshot> two_function_run() {
+  // Cumulative dumps: f ramps first, g later.
+  gmon::ProfileSnapshot s0(0, 1'000'000'000);
+  s0.upsert(fp("f", 800'000'000, 2));
+  gmon::ProfileSnapshot s1(1, 2'000'000'000);
+  s1.upsert(fp("f", 1'000'000'000, 3));
+  s1.upsert(fp("g", 700'000'000, 1, 900'000'000));
+  gmon::ProfileSnapshot s2(2, 3'000'000'000);
+  s2.upsert(fp("f", 1'000'000'000, 3));
+  s2.upsert(fp("g", 1'600'000'000, 1, 2'000'000'000));
+  return {s0, s1, s2};
+}
+
+TEST(IntervalData, EmptyInput) {
+  const auto data = IntervalData::from_cumulative({});
+  EXPECT_EQ(data.num_intervals(), 0u);
+  EXPECT_EQ(data.num_functions(), 0u);
+  EXPECT_EQ(data.total_self_seconds(), 0.0);
+}
+
+TEST(IntervalData, UniverseIsSortedUnionOfAllNames) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  ASSERT_EQ(data.num_functions(), 2u);
+  EXPECT_EQ(data.function_names()[0], "f");
+  EXPECT_EQ(data.function_names()[1], "g");
+  EXPECT_EQ(data.function_index("f"), 0);
+  EXPECT_EQ(data.function_index("g"), 1);
+  EXPECT_EQ(data.function_index("zzz"), -1);
+}
+
+TEST(IntervalData, FirstIntervalDifferencesAgainstZero) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(data.calls().at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(0, 1), 0.0);  // g not yet seen
+}
+
+TEST(IntervalData, ConsecutiveDifferencing) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  ASSERT_EQ(data.num_intervals(), 3u);
+  // Interval 1: f grew 0.2s/1 call; g appeared with 0.7s.
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(data.calls().at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(1, 1), 0.7);
+  // Interval 2: f idle; g grew 0.9s.
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(2, 1), 0.9);
+}
+
+TEST(IntervalData, ChildrenSecondsFromInclusiveMinusSelf) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  // g interval 1: inclusive 0.9 - self 0.7 = 0.2 children.
+  EXPECT_DOUBLE_EQ(data.children_seconds().at(1, 1), 0.2);
+  // g interval 2: delta inclusive 1.1 - delta self 0.9 = 0.2.
+  EXPECT_DOUBLE_EQ(data.children_seconds().at(2, 1), 0.2);
+}
+
+TEST(IntervalData, ActivePredicate) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  EXPECT_TRUE(data.active(0, 0));
+  EXPECT_FALSE(data.active(0, 1));
+  EXPECT_FALSE(data.active(2, 0));
+  EXPECT_TRUE(data.active(2, 1));
+}
+
+TEST(IntervalData, TimestampsInSeconds) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  EXPECT_EQ(data.timestamps_sec(),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(IntervalData, TotalSelfSecondsSumsAllIntervals) {
+  const auto data = IntervalData::from_cumulative(two_function_run());
+  // 0.8 + (0.2 + 0.7) + 0.9 = 2.6 = last cumulative total.
+  EXPECT_NEAR(data.total_self_seconds(), 2.6, 1e-12);
+}
+
+TEST(IntervalData, IdleIntervalIsAllZeroRow) {
+  auto snaps = two_function_run();
+  // Duplicate the final dump: a fully idle interval.
+  gmon::ProfileSnapshot idle = snaps.back();
+  idle.set_seq(3);
+  idle.set_timestamp_ns(4'000'000'000);
+  snaps.push_back(idle);
+  const auto data = IntervalData::from_cumulative(snaps);
+  ASSERT_EQ(data.num_intervals(), 4u);
+  EXPECT_FALSE(data.active(3, 0));
+  EXPECT_FALSE(data.active(3, 1));
+}
+
+}  // namespace
+}  // namespace incprof::core

@@ -1,0 +1,159 @@
+#include "core/lift.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+gmon::CallEdge edge(std::string caller, std::string callee,
+                    std::int64_t count) {
+  gmon::CallEdge e;
+  e.caller = std::move(caller);
+  e.callee = std::move(callee);
+  e.count = count;
+  return e;
+}
+
+SiteSelectionResult selection_with(
+    std::vector<std::pair<std::string, InstType>> sites_per_phase) {
+  SiteSelectionResult result;
+  for (std::size_t p = 0; p < sites_per_phase.size(); ++p) {
+    PhaseSites phase;
+    phase.phase = p;
+    phase.intervals = {p};
+    SiteSelection s;
+    s.function_name = sites_per_phase[p].first;
+    s.type = sites_per_phase[p].second;
+    phase.sites.push_back(std::move(s));
+    result.phases.push_back(std::move(phase));
+  }
+  return result;
+}
+
+TEST(Lift, LiftsThroughDominantCallerChain) {
+  // The MiniFE scenario: sum_in_symm is called only from
+  // perform_elem_loop, which is a top-level phase function.
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge(std::string(gmon::kSpontaneous), "perform_elem_loop", 1));
+  g.upsert(edge("perform_elem_loop", "sum_in_symm_elem_matrix", 24000));
+
+  const auto result = lift_sites(
+      selection_with({{"sum_in_symm_elem_matrix", InstType::kBody}}), g);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_EQ(result.decisions[0].original, "sum_in_symm_elem_matrix");
+  EXPECT_EQ(result.decisions[0].lifted_to, "perform_elem_loop");
+  EXPECT_EQ(result.sites.phases[0].sites[0].function_name,
+            "perform_elem_loop");
+}
+
+TEST(Lift, MultiHopChainStopsAtSpontaneous) {
+  // Graph500: make_one_edge <- generate_kronecker_range <-
+  // make_graph_data_structure <- <spontaneous>.
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge(std::string(gmon::kSpontaneous),
+                "make_graph_data_structure", 1));
+  g.upsert(edge("make_graph_data_structure", "generate_kronecker_range", 1));
+  g.upsert(edge("generate_kronecker_range", "make_one_edge", 10000));
+
+  const auto result = lift_sites(
+      selection_with({{"make_one_edge", InstType::kBody}}), g);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_EQ(result.decisions[0].lifted_to, "make_graph_data_structure");
+  EXPECT_EQ(result.decisions[0].chain.size(), 3u);
+}
+
+TEST(Lift, MaxDepthBoundsTheChain) {
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge("d", "c", 1));
+  g.upsert(edge("c", "b", 1));
+  g.upsert(edge("b", "a", 1));
+
+  LiftConfig cfg;
+  cfg.max_depth = 1;
+  const auto result =
+      lift_sites(selection_with({{"a", InstType::kBody}}), g, cfg);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_EQ(result.decisions[0].lifted_to, "b");
+}
+
+TEST(Lift, NoLiftWithoutDominance) {
+  // Two significant callers: no single caller reaches 95 %.
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge("p1", "shared", 60));
+  g.upsert(edge("p2", "shared", 40));
+
+  const auto result =
+      lift_sites(selection_with({{"shared", InstType::kBody}}), g);
+  EXPECT_TRUE(result.decisions.empty());
+  EXPECT_EQ(result.sites.phases[0].sites[0].function_name, "shared");
+}
+
+TEST(Lift, DominanceThresholdConfigurable) {
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge("p1", "shared", 60));
+  g.upsert(edge("p2", "shared", 40));
+
+  LiftConfig cfg;
+  cfg.dominance = 0.5;
+  const auto result =
+      lift_sites(selection_with({{"shared", InstType::kBody}}), g, cfg);
+  ASSERT_EQ(result.decisions.size(), 1u);
+  EXPECT_EQ(result.decisions[0].lifted_to, "p1");
+}
+
+TEST(Lift, LoopSitesNeverLift) {
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge("caller", "solver", 1));
+  const auto result =
+      lift_sites(selection_with({{"solver", InstType::kLoop}}), g);
+  EXPECT_TRUE(result.decisions.empty());
+  EXPECT_EQ(result.sites.phases[0].sites[0].function_name, "solver");
+}
+
+TEST(Lift, NeverLiftsIntoAnotherPhasesSite) {
+  // f's dominant caller g is already the site of another phase: lifting
+  // would collapse the two phases' instrumentation.
+  gmon::CallGraphSnapshot cgraph;
+  cgraph.upsert(edge("g", "f", 100));
+  cgraph.upsert(edge(std::string(gmon::kSpontaneous), "g", 1));
+
+  const auto result = lift_sites(
+      selection_with(
+          {{"f", InstType::kBody}, {"g", InstType::kBody}}),
+      cgraph);
+  EXPECT_TRUE(result.decisions.empty());
+  EXPECT_EQ(result.sites.phases[0].sites[0].function_name, "f");
+}
+
+TEST(Lift, SpontaneousOnlyCallerMeansNoLift) {
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge(std::string(gmon::kSpontaneous), "top", 5));
+  const auto result =
+      lift_sites(selection_with({{"top", InstType::kBody}}), g);
+  EXPECT_TRUE(result.decisions.empty());
+}
+
+TEST(Lift, CallerFaninLimitBlocksUtilityParents) {
+  // "wrapper" calls f exclusively, but wrapper itself is invoked from
+  // everywhere (a utility); the fan-in limit must block the lift.
+  gmon::CallGraphSnapshot g;
+  g.upsert(edge("wrapper", "f", 100));
+  for (int i = 0; i < 5; ++i) {
+    g.upsert(edge("site" + std::to_string(i), "wrapper", 1000));
+  }
+  LiftConfig cfg;
+  cfg.max_caller_fanin = 100;
+  const auto result =
+      lift_sites(selection_with({{"f", InstType::kBody}}), g, cfg);
+  EXPECT_TRUE(result.decisions.empty());
+}
+
+TEST(Lift, FunctionAbsentFromGraphIsLeftAlone) {
+  gmon::CallGraphSnapshot g;
+  const auto result =
+      lift_sites(selection_with({{"unknown", InstType::kBody}}), g);
+  EXPECT_TRUE(result.decisions.empty());
+}
+
+}  // namespace
+}  // namespace incprof::core

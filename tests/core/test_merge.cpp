@@ -1,0 +1,140 @@
+#include "core/merge.hpp"
+
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::IntervalSpec;
+
+SiteSelection site(std::size_t fn, std::string name, InstType type) {
+  SiteSelection s;
+  s.function = fn;
+  s.function_name = std::move(name);
+  s.type = type;
+  return s;
+}
+
+TEST(Merge, CombinesPhasesWithIdenticalSiteFunctions) {
+  // The paper's LAMMPS case: phases 0 and 2 both represented by the same
+  // function "should really be identified as a single phase".
+  const auto data = data_from_intervals({
+      IntervalSpec{{"compute", {1.0, 0}}},
+      IntervalSpec{{"build", {1.0, 1}}},
+      IntervalSpec{{"compute", {1.0, 0}}},
+  });
+  const int compute = data.function_index("compute");
+  const int build = data.function_index("build");
+
+  SiteSelectionResult in;
+  in.threshold = 0.95;
+  PhaseSites p0;
+  p0.phase = 0;
+  p0.intervals = {0};
+  p0.sites = {site(compute, "compute", InstType::kLoop)};
+  PhaseSites p1;
+  p1.phase = 1;
+  p1.intervals = {1};
+  p1.sites = {site(build, "build", InstType::kBody)};
+  PhaseSites p2;
+  p2.phase = 2;
+  p2.intervals = {2};
+  p2.sites = {site(compute, "compute", InstType::kLoop)};
+  in.phases = {p0, p1, p2};
+
+  const auto out = merge_phases_by_sites(in, data);
+  ASSERT_EQ(out.phases.size(), 2u);
+  EXPECT_EQ(out.phases[0].intervals, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(out.phases[0].sites.size(), 1u);
+  EXPECT_EQ(out.phases[1].intervals, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(out.threshold, 0.95);
+}
+
+TEST(Merge, UnionsDistinctTypesOfSameFunction) {
+  // Graph500's run_bfs: one phase tags it body, another loop; after the
+  // merge the function carries both designations.
+  const auto data = data_from_intervals({
+      IntervalSpec{{"run_bfs", {1.0, 1}}},
+      IntervalSpec{{"run_bfs", {1.0, 0}}},
+  });
+  const int f = data.function_index("run_bfs");
+
+  SiteSelectionResult in;
+  PhaseSites p0;
+  p0.phase = 0;
+  p0.intervals = {0};
+  p0.sites = {site(f, "run_bfs", InstType::kBody)};
+  PhaseSites p1;
+  p1.phase = 1;
+  p1.intervals = {1};
+  p1.sites = {site(f, "run_bfs", InstType::kLoop)};
+  in.phases = {p0, p1};
+
+  const auto out = merge_phases_by_sites(in, data);
+  ASSERT_EQ(out.phases.size(), 1u);
+  EXPECT_EQ(out.phases[0].sites.size(), 2u);
+  EXPECT_EQ(out.phases[0].intervals.size(), 2u);
+}
+
+TEST(Merge, RecomputesFractionsOverMergedIntervals) {
+  const auto data = data_from_intervals({
+      IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{{"g", {1.0, 1}}},
+      IntervalSpec{{"f", {1.0, 1}}, {"g", {0.1, 1}}},
+  });
+  const int f = data.function_index("f");
+
+  SiteSelectionResult in;
+  PhaseSites p0;
+  p0.phase = 0;
+  p0.intervals = {0, 1};
+  p0.sites = {site(f, "f", InstType::kBody)};
+  PhaseSites p1;
+  p1.phase = 1;
+  p1.intervals = {3};
+  p1.sites = {site(f, "f", InstType::kBody)};
+  in.phases = {p0, p1};
+
+  const auto out = merge_phases_by_sites(in, data);
+  ASSERT_EQ(out.phases.size(), 1u);
+  const auto& s = out.phases[0].sites[0];
+  EXPECT_DOUBLE_EQ(s.phase_fraction, 1.0);   // active in all 3 merged
+  EXPECT_DOUBLE_EQ(s.app_fraction, 0.75);    // 3 of 4 intervals
+  EXPECT_DOUBLE_EQ(out.phases[0].coverage, 1.0);
+}
+
+TEST(Merge, IdentityWhenAllSiteSetsDiffer) {
+  const auto data = data_from_intervals({
+      IntervalSpec{{"a", {1.0, 1}}},
+      IntervalSpec{{"b", {1.0, 1}}},
+  });
+  SiteSelectionResult in;
+  PhaseSites p0;
+  p0.phase = 0;
+  p0.intervals = {0};
+  p0.sites = {site(data.function_index("a"), "a", InstType::kBody)};
+  PhaseSites p1;
+  p1.phase = 1;
+  p1.intervals = {1};
+  p1.sites = {site(data.function_index("b"), "b", InstType::kBody)};
+  in.phases = {p0, p1};
+
+  const auto out = merge_phases_by_sites(in, data);
+  ASSERT_EQ(out.phases.size(), 2u);
+  EXPECT_EQ(out.phases[0].phase, 0u);
+  EXPECT_EQ(out.phases[1].phase, 1u);
+}
+
+TEST(Merge, EmptyInput) {
+  const IntervalData data;
+  const SiteSelectionResult in;
+  const auto out = merge_phases_by_sites(in, data);
+  EXPECT_TRUE(out.phases.empty());
+}
+
+}  // namespace
+}  // namespace incprof::core

@@ -1,0 +1,119 @@
+#include "core/online.hpp"
+
+#include "cluster/quality.hpp"
+#include "core/pipeline.hpp"
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::cumulative_from_intervals;
+using core::testing::three_phase_workload;
+
+TEST(OnlineTracker, OpensOnePhasePerDistinctBehaviour) {
+  OnlinePhaseTracker tracker;
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(15))) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 3u);
+  EXPECT_EQ(tracker.num_intervals(), 45u);
+}
+
+TEST(OnlineTracker, AgreesWithOfflineKMeans) {
+  const auto snaps = cumulative_from_intervals(three_phase_workload(20));
+  OnlinePhaseTracker tracker;
+  for (const auto& snap : snaps) tracker.observe(snap);
+
+  const PhaseAnalysis offline = analyze_snapshots(snaps);
+  ASSERT_EQ(tracker.assignments().size(),
+            offline.detection.assignments.size());
+  EXPECT_GT(cluster::adjusted_rand_index(tracker.assignments(),
+                                         offline.detection.assignments),
+            0.95);
+}
+
+TEST(OnlineTracker, ReportsTransitionsAndNewPhases) {
+  OnlinePhaseTracker tracker;
+  const auto snaps = cumulative_from_intervals(three_phase_workload(10));
+  std::size_t transitions = 0;
+  std::size_t news = 0;
+  for (const auto& snap : snaps) {
+    const auto obs = tracker.observe(snap);
+    transitions += obs.transition ? 1 : 0;
+    news += obs.new_phase ? 1 : 0;
+  }
+  EXPECT_EQ(news, 3u);
+  EXPECT_EQ(transitions, 2u);  // init->solve, solve->output
+}
+
+TEST(OnlineTracker, FirstIntervalIsPhaseZero) {
+  OnlinePhaseTracker tracker;
+  const auto snaps = cumulative_from_intervals(three_phase_workload(5));
+  const auto obs = tracker.observe(snaps.front());
+  EXPECT_EQ(obs.phase, 0u);
+  EXPECT_TRUE(obs.new_phase);
+  EXPECT_FALSE(obs.transition);
+  EXPECT_EQ(obs.interval, 0u);
+}
+
+TEST(OnlineTracker, MaxPhasesCapForcesNearestAssignment) {
+  OnlineConfig cfg;
+  cfg.max_phases = 2;
+  OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(8))) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 2u);
+  // All intervals are still assigned somewhere.
+  const auto sizes = tracker.phase_sizes();
+  EXPECT_EQ(sizes[0] + sizes[1], 24u);
+}
+
+TEST(OnlineTracker, LooseThresholdMergesEverything) {
+  OnlineConfig cfg;
+  cfg.new_phase_distance = 1e9;
+  OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(6))) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 1u);
+}
+
+TEST(OnlineTracker, UniverseGrowsWithNewFunctions) {
+  OnlinePhaseTracker tracker;
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(5))) {
+    tracker.observe(snap);
+  }
+  const auto names = tracker.function_names();
+  // init/helper appear first, solve and output/flush later; all must be
+  // in the universe by the end.
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(OnlineTracker, EwmaCentroidsTrackDrift) {
+  // A slowly drifting single behaviour must remain one phase when the
+  // centroid follows it (EWMA), even though first and last intervals
+  // are far apart.
+  std::vector<core::testing::IntervalSpec> intervals;
+  for (int i = 0; i < 50; ++i) {
+    intervals.push_back(
+        {{"drift", {0.5 + 0.02 * static_cast<double>(i), 1}}});
+  }
+  OnlineConfig cfg;
+  cfg.new_phase_distance = 0.15;
+  cfg.ewma_alpha = 0.5;
+  OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap : cumulative_from_intervals(intervals)) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 1u);
+}
+
+}  // namespace
+}  // namespace incprof::core

@@ -1,0 +1,151 @@
+#include "core/pipeline.hpp"
+
+#include "gmon/binary_io.hpp"
+#include "gmon/scanner.hpp"
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::cumulative_from_intervals;
+using core::testing::three_phase_workload;
+
+TEST(Pipeline, RejectsTooFewSnapshots) {
+  EXPECT_THROW(analyze_snapshots({}), std::invalid_argument);
+  gmon::ProfileSnapshot one(0, 1);
+  gmon::FunctionProfile f;
+  f.name = "f";
+  f.self_ns = 1;
+  one.upsert(f);
+  EXPECT_THROW(analyze_snapshots({one}), std::invalid_argument);
+}
+
+TEST(Pipeline, EndToEndOnSyntheticWorkload) {
+  const auto snaps = cumulative_from_intervals(three_phase_workload(20));
+  const PhaseAnalysis a = analyze_snapshots(snaps);
+  EXPECT_EQ(a.detection.num_phases, 3u);
+  EXPECT_EQ(a.sites.phases.size(), 3u);
+  // Every phase got at least one site and full coverage on clean data.
+  for (const auto& p : a.sites.phases) {
+    EXPECT_FALSE(p.sites.empty());
+    EXPECT_GE(p.coverage, 0.95);
+  }
+}
+
+TEST(Pipeline, SelectsExpectedSiteFunctions) {
+  const auto snaps = cumulative_from_intervals(three_phase_workload(20));
+  const PhaseAnalysis a = analyze_snapshots(snaps);
+  std::set<std::string> names;
+  std::set<InstType> solve_types;
+  for (const auto& p : a.sites.phases) {
+    for (const auto& s : p.sites) {
+      names.insert(s.function_name);
+      if (s.function_name == "solve") solve_types.insert(s.type);
+    }
+  }
+  // init beats helper (fewer calls); solve is the long-running loop;
+  // output beats flush (fewer calls).
+  EXPECT_TRUE(names.count("init"));
+  EXPECT_TRUE(names.count("solve"));
+  EXPECT_TRUE(names.count("output"));
+  EXPECT_FALSE(names.count("helper"));
+  EXPECT_FALSE(names.count("flush"));
+  EXPECT_TRUE(solve_types.count(InstType::kLoop));
+}
+
+TEST(Pipeline, TextRoundTripMatchesBinaryAnalysis) {
+  const auto snaps = cumulative_from_intervals(three_phase_workload(15));
+  PipelineConfig direct;
+  PipelineConfig text;
+  text.text_round_trip = true;
+  const PhaseAnalysis a = analyze_snapshots(snaps, direct);
+  const PhaseAnalysis b = analyze_snapshots(snaps, text);
+  EXPECT_EQ(a.detection.num_phases, b.detection.num_phases);
+  EXPECT_EQ(a.detection.assignments, b.detection.assignments);
+  ASSERT_EQ(a.sites.phases.size(), b.sites.phases.size());
+  for (std::size_t p = 0; p < a.sites.phases.size(); ++p) {
+    ASSERT_EQ(a.sites.phases[p].sites.size(),
+              b.sites.phases[p].sites.size());
+    for (std::size_t s = 0; s < a.sites.phases[p].sites.size(); ++s) {
+      EXPECT_EQ(a.sites.phases[p].sites[s].function_name,
+                b.sites.phases[p].sites[s].function_name);
+      EXPECT_EQ(a.sites.phases[p].sites[s].type,
+                b.sites.phases[p].sites[s].type);
+    }
+  }
+}
+
+TEST(Pipeline, MergeOptionCombinesSameSitePhases) {
+  // Alternating A/B segments: k-means may split A into two clusters; the
+  // merge postprocessing must leave at most one phase per site set.
+  std::vector<core::testing::IntervalSpec> intervals;
+  for (int seg = 0; seg < 4; ++seg) {
+    for (int i = 0; i < 10; ++i) {
+      if (seg % 2 == 0) {
+        intervals.push_back({{"A", {0.9 + 0.05 * seg, 0}}});
+      } else {
+        intervals.push_back({{"B", {0.9, 1}}});
+      }
+    }
+  }
+  PipelineConfig cfg;
+  cfg.merge_phases = true;
+  const PhaseAnalysis a =
+      analyze_snapshots(cumulative_from_intervals(intervals), cfg);
+  std::set<std::set<std::string>> site_sets;
+  for (const auto& p : a.sites.phases) {
+    std::set<std::string> names;
+    for (const auto& s : p.sites) names.insert(s.function_name);
+    EXPECT_TRUE(site_sets.insert(names).second)
+        << "two phases share a site set after merging";
+  }
+}
+
+TEST(Pipeline, AnalyzeDumpDirBinary) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("incprof_pipe_" + std::to_string(::getpid()) + "_bin");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto snaps = cumulative_from_intervals(three_phase_workload(10));
+  for (const auto& s : snaps) {
+    gmon::write_binary_file(s, dir / gmon::binary_dump_name(s.seq()));
+  }
+  const PhaseAnalysis a = analyze_dump_dir(dir);
+  EXPECT_EQ(a.detection.num_phases, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, AnalyzeDumpDirTextPath) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("incprof_pipe_" + std::to_string(::getpid()) + "_txt");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto snaps = cumulative_from_intervals(three_phase_workload(10));
+  for (const auto& s : snaps) {
+    gmon::write_binary_file(s, dir / gmon::binary_dump_name(s.seq()));
+  }
+  PipelineConfig cfg;
+  cfg.text_round_trip = true;
+  const PhaseAnalysis a = analyze_dump_dir(dir, cfg);
+  EXPECT_EQ(a.detection.num_phases, 3u);
+  // The gprof-report conversion artifacts must exist on disk.
+  EXPECT_TRUE(std::filesystem::exists(dir / gmon::text_dump_name(0)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, ChosenSweepIndexConsistent) {
+  const auto snaps = cumulative_from_intervals(three_phase_workload(12));
+  const PhaseAnalysis a = analyze_snapshots(snaps);
+  ASSERT_LT(a.chosen_sweep_index, a.detection.sweep.entries.size());
+  EXPECT_EQ(a.detection.sweep.entries[a.chosen_sweep_index].k,
+            a.detection.num_phases);
+}
+
+}  // namespace
+}  // namespace incprof::core

@@ -1,0 +1,79 @@
+#include "core/rank.hpp"
+
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::IntervalSpec;
+
+/// Builds a detection with explicit assignments (bypassing k-means) so
+/// rank arithmetic can be checked exactly.
+PhaseDetection fixed_detection(std::vector<std::size_t> assignments,
+                               std::size_t k) {
+  PhaseDetection det;
+  det.num_phases = k;
+  det.assignments = std::move(assignments);
+  det.phase_intervals.assign(k, {});
+  for (std::size_t i = 0; i < det.assignments.size(); ++i) {
+    det.phase_intervals[det.assignments[i]].push_back(i);
+  }
+  return det;
+}
+
+TEST(Rank, FractionOfActiveIntervalsPerPhase) {
+  // 4 intervals, 2 phases. "a" active in both phase-0 intervals; "b" in
+  // one of them; "c" only in phase 1.
+  const auto data = data_from_intervals({
+      IntervalSpec{{"a", {0.5, 1}}, {"b", {0.2, 1}}},
+      IntervalSpec{{"a", {0.5, 1}}},
+      IntervalSpec{{"c", {0.9, 1}}},
+      IntervalSpec{{"c", {0.8, 1}}},
+  });
+  const auto det = fixed_detection({0, 0, 1, 1}, 2);
+  const RankTable ranks = RankTable::compute(data, det);
+
+  const int a = data.function_index("a");
+  const int b = data.function_index("b");
+  const int c = data.function_index("c");
+  ASSERT_GE(a, 0);
+  EXPECT_DOUBLE_EQ(ranks.rank(0, a), 1.0);
+  EXPECT_DOUBLE_EQ(ranks.rank(0, b), 0.5);
+  EXPECT_DOUBLE_EQ(ranks.rank(0, c), 0.0);
+  EXPECT_DOUBLE_EQ(ranks.rank(1, c), 1.0);
+  EXPECT_DOUBLE_EQ(ranks.rank(1, a), 0.0);
+  EXPECT_EQ(ranks.num_phases(), 2u);
+}
+
+TEST(Rank, ZeroSelfTimeWithCallsIsNotActive) {
+  // "Active" means nonzero execution time, not nonzero calls (paper's
+  // definition of rank).
+  const auto data = data_from_intervals({
+      IntervalSpec{{"called_only", {0.0, 50}}, {"hot", {1.0, 1}}},
+      IntervalSpec{{"hot", {1.0, 1}}},
+  });
+  const auto det = fixed_detection({0, 0}, 1);
+  const RankTable ranks = RankTable::compute(data, det);
+  EXPECT_DOUBLE_EQ(
+      ranks.rank(0, static_cast<std::size_t>(
+                        data.function_index("called_only"))),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      ranks.rank(0, static_cast<std::size_t>(data.function_index("hot"))),
+      1.0);
+}
+
+TEST(Rank, EmptyPhaseYieldsZeroRanks) {
+  const auto data = data_from_intervals({
+      IntervalSpec{{"a", {1.0, 1}}},
+  });
+  auto det = fixed_detection({0}, 2);  // phase 1 exists but is empty
+  const RankTable ranks = RankTable::compute(data, det);
+  EXPECT_DOUBLE_EQ(ranks.rank(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace incprof::core

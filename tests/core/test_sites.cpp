@@ -1,0 +1,249 @@
+// Unit tests for Algorithm 1 (instrumentation-site identification).
+#include "core/sites.hpp"
+
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::data_from_intervals;
+using core::testing::IntervalSpec;
+
+struct Analysis {
+  IntervalData data;
+  FeatureSpace space;
+  PhaseDetection detection;
+  RankTable ranks;
+};
+
+/// Runs the front half of the pipeline with fixed phase assignments so
+/// the selector's behaviour is isolated from k-means.
+Analysis prepare(const std::vector<IntervalSpec>& intervals,
+                 std::vector<std::size_t> assignments, std::size_t k) {
+  Analysis a;
+  a.data = data_from_intervals(intervals);
+  a.space = build_features(a.data);
+
+  a.detection.num_phases = k;
+  a.detection.assignments = std::move(assignments);
+  a.detection.phase_intervals.assign(k, {});
+  for (std::size_t i = 0; i < a.detection.assignments.size(); ++i) {
+    a.detection.phase_intervals[a.detection.assignments[i]].push_back(i);
+  }
+  // Centroids = per-phase means in feature space.
+  a.detection.centroids =
+      cluster::Matrix(k, a.space.features.cols());
+  for (std::size_t p = 0; p < k; ++p) {
+    const auto& members = a.detection.phase_intervals[p];
+    if (members.empty()) continue;
+    for (const std::size_t i : members) {
+      for (std::size_t c = 0; c < a.space.features.cols(); ++c) {
+        a.detection.centroids.at(p, c) +=
+            a.space.features.at(i, c) / static_cast<double>(members.size());
+      }
+    }
+  }
+  a.ranks = RankTable::compute(a.data, a.detection);
+  return a;
+}
+
+const SiteSelection* find_site(const PhaseSites& phase,
+                               std::string_view name) {
+  for (const auto& s : phase.sites) {
+    if (s.function_name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Algorithm1, PrefersFewerCallsOverMoreCalls) {
+  // Both functions active everywhere; "chatty" called 500x per interval,
+  // "quiet" once. Line 10 sorts calls ascending: quiet wins.
+  std::vector<IntervalSpec> intervals(6, IntervalSpec{
+      {"chatty", {0.5, 500}}, {"quiet", {0.5, 1}}});
+  const Analysis a = prepare(intervals, {0, 0, 0, 0, 0, 0}, 1);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  ASSERT_EQ(result.phases.size(), 1u);
+  ASSERT_EQ(result.phases[0].sites.size(), 1u);
+  EXPECT_EQ(result.phases[0].sites[0].function_name, "quiet");
+  EXPECT_EQ(result.phases[0].sites[0].type, InstType::kBody);
+}
+
+TEST(Algorithm1, RankBreaksCallCountTies) {
+  // Equal calls; "steady" is active in every interval, "flaky" in half.
+  // An uncovered flaky+steady interval must pick steady (rank 1.0).
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 8; ++i) {
+    IntervalSpec spec{{"steady", {0.5, 1}}};
+    if (i % 2 == 0) spec.emplace("flaky", std::make_pair(0.4, 1L));
+    intervals.push_back(spec);
+  }
+  const Analysis a = prepare(intervals,
+                             std::vector<std::size_t>(8, 0), 1);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  ASSERT_EQ(result.phases[0].sites.size(), 1u);
+  EXPECT_EQ(result.phases[0].sites[0].function_name, "steady");
+}
+
+TEST(Algorithm1, ZeroCallActiveFunctionDesignatedLoop) {
+  // "longrun" has self time but zero calls in every interval after the
+  // first: it was invoked once and kept running (lines 13-16).
+  std::vector<IntervalSpec> intervals{
+      IntervalSpec{{"longrun", {1.0, 1}}},
+      IntervalSpec{{"longrun", {1.0, 0}}},
+      IntervalSpec{{"longrun", {1.0, 0}}},
+      IntervalSpec{{"longrun", {1.0, 0}}},
+  };
+  // Make the zero-call intervals the phase majority (cluster 0) and the
+  // called interval its own cluster.
+  const Analysis a = prepare(intervals, {1, 0, 0, 0}, 2);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  const auto* loop_site = find_site(result.phases[0], "longrun");
+  ASSERT_NE(loop_site, nullptr);
+  EXPECT_EQ(loop_site->type, InstType::kLoop);
+  const auto* body_site = find_site(result.phases[1], "longrun");
+  ASSERT_NE(body_site, nullptr);
+  EXPECT_EQ(body_site->type, InstType::kBody);
+}
+
+TEST(Algorithm1, CoveredIntervalsAreSkipped) {
+  // One function covers everything: exactly one site in total, even
+  // though each interval is visited.
+  std::vector<IntervalSpec> intervals(10,
+                                      IntervalSpec{{"only", {0.8, 2}}});
+  const Analysis a = prepare(intervals,
+                             std::vector<std::size_t>(10, 0), 1);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  EXPECT_EQ(result.phases[0].sites.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.phases[0].coverage, 1.0);
+}
+
+TEST(Algorithm1, SecondSiteSelectedForUncoveredIntervals) {
+  // 9 intervals of "main"; 1 interval where only "rare" is active.
+  std::vector<IntervalSpec> intervals(9,
+                                      IntervalSpec{{"main", {0.8, 1}}});
+  intervals.push_back(IntervalSpec{{"rare", {0.7, 1}}});
+  const Analysis a = prepare(intervals,
+                             std::vector<std::size_t>(10, 0), 1);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 1.0;  // force full coverage
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+  ASSERT_EQ(result.phases[0].sites.size(), 2u);
+  EXPECT_NE(find_site(result.phases[0], "main"), nullptr);
+  EXPECT_NE(find_site(result.phases[0], "rare"), nullptr);
+}
+
+TEST(Algorithm1, CoverageThresholdSkipsOutliers) {
+  // With a 90% threshold, the single outlier interval (1 of 20) is
+  // never covered and "rare" is not selected.
+  std::vector<IntervalSpec> intervals(19,
+                                      IntervalSpec{{"main", {0.8, 1}}});
+  intervals.push_back(IntervalSpec{{"rare", {0.7, 1}}});
+  const Analysis a = prepare(intervals,
+                             std::vector<std::size_t>(20, 0), 1);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 0.9;
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+  ASSERT_EQ(result.phases[0].sites.size(), 1u);
+  EXPECT_EQ(result.phases[0].sites[0].function_name, "main");
+  EXPECT_DOUBLE_EQ(result.phases[0].coverage, 0.95);
+}
+
+TEST(Algorithm1, PhaseAndAppFractions) {
+  // Phase 0: 4 intervals, f active in all; phase 1: 4 intervals, g in 2
+  // and h in the other 2 (h dominates where present).
+  std::vector<IntervalSpec> intervals{
+      IntervalSpec{{"f", {1.0, 1}}}, IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{{"f", {1.0, 1}}}, IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{{"g", {0.9, 1}}}, IntervalSpec{{"g", {0.9, 1}}},
+      IntervalSpec{{"h", {0.9, 1}}}, IntervalSpec{{"h", {0.9, 1}}},
+  };
+  const Analysis a = prepare(intervals, {0, 0, 0, 0, 1, 1, 1, 1}, 2);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 1.0;
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+
+  const auto* f = find_site(result.phases[0], "f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->phase_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(f->app_fraction, 0.5);
+
+  const auto* g = find_site(result.phases[1], "g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->phase_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(g->app_fraction, 0.25);
+}
+
+TEST(Algorithm1, IdleIntervalsCountAsCovered) {
+  // An all-zero interval has nothing to instrument; it must not block
+  // full coverage or crash the selector.
+  std::vector<IntervalSpec> intervals{
+      IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{},  // idle
+      IntervalSpec{{"f", {1.0, 1}}},
+  };
+  const Analysis a = prepare(intervals, {0, 0, 0}, 1);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 1.0;
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+  EXPECT_EQ(result.phases[0].sites.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.phases[0].coverage, 1.0);
+}
+
+TEST(Algorithm1, EmptyPhaseProducesNoSites) {
+  std::vector<IntervalSpec> intervals{IntervalSpec{{"f", {1.0, 1}}}};
+  const Analysis a = prepare(intervals, {0}, 2);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_TRUE(result.phases[1].sites.empty());
+  EXPECT_TRUE(result.phases[1].intervals.empty());
+}
+
+TEST(Algorithm1, UniqueSiteCountAcrossPhases) {
+  std::vector<IntervalSpec> intervals{
+      IntervalSpec{{"f", {1.0, 1}}},
+      IntervalSpec{{"f", {1.0, 0}}},
+      IntervalSpec{{"g", {1.0, 1}}},
+  };
+  const Analysis a = prepare(intervals, {0, 1, 2}, 3);
+  const auto result = select_sites(a.data, a.space, a.detection, a.ranks);
+  // f/body, f/loop, g/body -> 3 unique (function, type) pairs.
+  EXPECT_EQ(result.num_unique_sites(), 3u);
+}
+
+TEST(Algorithm1, RepresentativeIntervalsProcessedFirst) {
+  // The interval nearest the centroid picks the site. Construct a phase
+  // whose majority (and hence centroid) looks like "common" but contains
+  // one outlier interval where only "odd" is active. "common" must be
+  // selected first (it covers the majority), with "odd" second.
+  std::vector<IntervalSpec> intervals(7,
+                                      IntervalSpec{{"common", {0.8, 1}}});
+  intervals.push_back(IntervalSpec{{"odd", {0.8, 1}}});
+  const Analysis a = prepare(intervals,
+                             std::vector<std::size_t>(8, 0), 1);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 1.0;
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+  ASSERT_EQ(result.phases[0].sites.size(), 2u);
+  EXPECT_EQ(result.phases[0].sites[0].function_name, "common");
+  EXPECT_EQ(result.phases[0].sites[1].function_name, "odd");
+}
+
+TEST(Algorithm1, ThresholdRecordedInResult) {
+  std::vector<IntervalSpec> intervals{IntervalSpec{{"f", {1.0, 1}}}};
+  const Analysis a = prepare(intervals, {0}, 1);
+  SiteSelectorConfig cfg;
+  cfg.coverage_threshold = 0.87;
+  const auto result =
+      select_sites(a.data, a.space, a.detection, a.ranks, cfg);
+  EXPECT_DOUBLE_EQ(result.threshold, 0.87);
+}
+
+}  // namespace
+}  // namespace incprof::core

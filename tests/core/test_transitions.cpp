@@ -1,0 +1,77 @@
+#include "core/transitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace incprof::core {
+namespace {
+
+TEST(Transitions, CountsAndProbabilities) {
+  // 0 0 1 1 0 2
+  const std::vector<std::size_t> seq{0, 0, 1, 1, 0, 2};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 3);
+  EXPECT_EQ(m.count(0, 0), 1u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_EQ(m.count(0, 2), 1u);
+  EXPECT_EQ(m.count(1, 1), 1u);
+  EXPECT_EQ(m.count(1, 0), 1u);
+  EXPECT_NEAR(m.probability(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.probability(1, 0), 0.5, 1e-12);
+  EXPECT_EQ(m.num_transitions(), 3u);
+}
+
+TEST(Transitions, OccupancyFractions) {
+  const std::vector<std::size_t> seq{0, 0, 0, 1};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 2);
+  EXPECT_DOUBLE_EQ(m.occupancy(0), 0.75);
+  EXPECT_DOUBLE_EQ(m.occupancy(1), 0.25);
+}
+
+TEST(Transitions, MeanDwell) {
+  // Runs of 0: {0,0}, {0} -> mean 1.5; runs of 1: {1,1,1} -> 3.
+  const std::vector<std::size_t> seq{0, 0, 1, 1, 1, 0};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 2);
+  EXPECT_DOUBLE_EQ(m.mean_dwell(0), 1.5);
+  EXPECT_DOUBLE_EQ(m.mean_dwell(1), 3.0);
+}
+
+TEST(Transitions, EmptyPhaseRowsAreZero) {
+  const std::vector<std::size_t> seq{0, 0};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 3);
+  EXPECT_EQ(m.probability(2, 0), 0.0);
+  EXPECT_EQ(m.occupancy(2), 0.0);
+  EXPECT_EQ(m.mean_dwell(2), 0.0);
+}
+
+TEST(Transitions, LikelySuccessorSkipsSelfLoop) {
+  const std::vector<std::size_t> seq{0, 0, 0, 1, 0, 0, 1, 0, 2};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 3);
+  EXPECT_EQ(m.likely_successor(0), 1u);
+  // Phase 2 is terminal: no successor.
+  EXPECT_EQ(m.likely_successor(2), m.num_phases());
+}
+
+TEST(Transitions, RejectsOutOfRangeAssignments) {
+  EXPECT_THROW(PhaseTransitionModel::from_assignments({0, 5}, 2),
+               std::invalid_argument);
+}
+
+TEST(Transitions, EmptySequence) {
+  const auto m = PhaseTransitionModel::from_assignments({}, 2);
+  EXPECT_EQ(m.num_transitions(), 0u);
+  EXPECT_EQ(m.occupancy(0), 0.0);
+}
+
+TEST(Transitions, RenderContainsMatrixAndOccupancy) {
+  const std::vector<std::size_t> seq{0, 1, 0, 1};
+  const auto m = PhaseTransitionModel::from_assignments(seq, 2);
+  const std::string text = m.render();
+  EXPECT_NE(text.find("occupancy %"), std::string::npos);
+  EXPECT_NE(text.find("mean dwell"), std::string::npos);
+  EXPECT_NE(text.find("1.00"), std::string::npos);  // P(0->1) = 1
+  EXPECT_NE(text.find("50.0"), std::string::npos);  // occupancy
+}
+
+}  // namespace
+}  // namespace incprof::core

@@ -1,0 +1,166 @@
+#include "ekg/adapter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::ekg {
+namespace {
+
+struct Rig {
+  explicit Rig(std::vector<InstrumentedSite> sites,
+               sim::vtime_t interval = 100) {
+    sim::EngineConfig ec;
+    ec.sample_period_ns = 10;
+    ec.work_jitter_rel = 0.0;
+    eng = std::make_unique<sim::ExecutionEngine>(ec);
+    EkgConfig cfg;
+    cfg.interval_ns = interval;
+    ekg = std::make_unique<AppEkg>(cfg, sink);
+    adapter = std::make_unique<EkgEngineAdapter>(*ekg, *eng,
+                                                 std::move(sites));
+    eng->add_listener(adapter.get());
+  }
+
+  MemorySink sink;
+  std::unique_ptr<sim::ExecutionEngine> eng;
+  std::unique_ptr<AppEkg> ekg;
+  std::unique_ptr<EkgEngineAdapter> adapter;
+};
+
+TEST(Adapter, BodySiteFiresOnEnterLeave) {
+  Rig rig({{"hot", SiteKind::kBody, 1}});
+  rig.eng->enter("cold");
+  rig.eng->work(10);
+  rig.eng->enter("hot");
+  rig.eng->work(30);
+  rig.eng->leave();
+  rig.eng->leave();
+  rig.eng->finish();
+
+  ASSERT_EQ(rig.sink.records().size(), 1u);
+  EXPECT_EQ(rig.sink.records()[0].id, 1u);
+  EXPECT_EQ(rig.sink.records()[0].count, 1u);
+  EXPECT_DOUBLE_EQ(rig.sink.records()[0].mean_duration_ns, 30.0);
+}
+
+TEST(Adapter, NonSiteFunctionsProduceNothing) {
+  Rig rig({{"hot", SiteKind::kBody, 1}});
+  rig.eng->enter("other");
+  rig.eng->work(50);
+  rig.eng->leave();
+  rig.eng->finish();
+  EXPECT_TRUE(rig.sink.records().empty());
+}
+
+TEST(Adapter, LoopSiteEmitsOneHeartbeatPerTick) {
+  Rig rig({{"looper", SiteKind::kLoop, 2}});
+  rig.eng->enter("looper");
+  for (int i = 0; i < 5; ++i) {
+    rig.eng->loop_tick();
+    rig.eng->work(8);
+  }
+  rig.eng->leave();
+  rig.eng->finish();
+
+  std::uint64_t total = 0;
+  for (const auto& r : rig.sink.records()) total += r.count;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Adapter, LoopSiteDurationIsInterTickDelta) {
+  Rig rig({{"looper", SiteKind::kLoop, 2}}, /*interval=*/1000);
+  rig.eng->enter("looper");
+  rig.eng->loop_tick();  // first tick: impulse (no previous tick)
+  rig.eng->work(40);
+  rig.eng->loop_tick();  // 40 ns iteration
+  rig.eng->work(40);
+  rig.eng->loop_tick();  // 40 ns iteration
+  rig.eng->leave();
+  rig.eng->finish();
+
+  ASSERT_EQ(rig.sink.records().size(), 1u);
+  EXPECT_EQ(rig.sink.records()[0].count, 3u);
+  // Mean of {0, 40, 40}.
+  EXPECT_NEAR(rig.sink.records()[0].mean_duration_ns, 26.666, 0.01);
+}
+
+TEST(Adapter, LoopTimerResetsAcrossActivations) {
+  Rig rig({{"looper", SiteKind::kLoop, 2}}, /*interval=*/1000);
+  rig.eng->enter("looper");
+  rig.eng->loop_tick();
+  rig.eng->work(10);
+  rig.eng->leave();  // activation ends
+
+  rig.eng->work(500);  // long time outside the function
+
+  rig.eng->enter("looper");
+  rig.eng->loop_tick();  // must be an impulse, not a 510 ns heartbeat
+  rig.eng->leave();
+  rig.eng->finish();
+
+  ASSERT_EQ(rig.sink.records().size(), 1u);
+  EXPECT_EQ(rig.sink.records()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rig.sink.records()[0].mean_duration_ns, 0.0);
+}
+
+TEST(Adapter, LoopTicksOfNonSiteFunctionIgnored) {
+  Rig rig({{"looper", SiteKind::kLoop, 2}});
+  rig.eng->enter("unrelated");
+  rig.eng->loop_tick();
+  rig.eng->leave();
+  rig.eng->finish();
+  EXPECT_TRUE(rig.sink.records().empty());
+}
+
+TEST(Adapter, BodyTicksDoNotFireLoopHeartbeats) {
+  Rig rig({{"hot", SiteKind::kBody, 1}});
+  rig.eng->enter("hot");
+  rig.eng->loop_tick();  // body site: ticks ignored
+  rig.eng->leave();
+  rig.eng->finish();
+  ASSERT_EQ(rig.sink.records().size(), 1u);
+  EXPECT_EQ(rig.sink.records()[0].count, 1u);  // just the body heartbeat
+}
+
+TEST(Adapter, LateInternedSiteStillBinds) {
+  // The site's function is interned long after the adapter is built.
+  Rig rig({{"late", SiteKind::kBody, 7}});
+  rig.eng->enter("warmup");
+  rig.eng->work(20);
+  rig.eng->leave();
+  rig.eng->enter("late");
+  rig.eng->work(10);
+  rig.eng->leave();
+  rig.eng->finish();
+  ASSERT_EQ(rig.sink.records().size(), 1u);
+  EXPECT_EQ(rig.sink.records()[0].id, 7u);
+}
+
+TEST(Adapter, IntervalBoundariesDrivenBySamples) {
+  Rig rig({{"hot", SiteKind::kBody, 1}}, /*interval=*/100);
+  rig.eng->enter("hot");
+  rig.eng->work(10);
+  rig.eng->leave();  // ends in interval 0
+  rig.eng->enter("hot");
+  rig.eng->work(200);  // crosses into interval 2
+  rig.eng->leave();
+  rig.eng->finish();
+
+  ASSERT_EQ(rig.sink.records().size(), 2u);
+  EXPECT_EQ(rig.sink.records()[0].interval, 0u);
+  EXPECT_EQ(rig.sink.records()[1].interval, 2u);
+}
+
+TEST(Adapter, TwoSitesSameRun) {
+  Rig rig({{"a", SiteKind::kBody, 1}, {"b", SiteKind::kBody, 2}});
+  rig.eng->enter("a");
+  rig.eng->work(5);
+  rig.eng->enter("b");
+  rig.eng->work(5);
+  rig.eng->leave();
+  rig.eng->leave();
+  rig.eng->finish();
+  ASSERT_EQ(rig.sink.records().size(), 2u);
+}
+
+}  // namespace
+}  // namespace incprof::ekg

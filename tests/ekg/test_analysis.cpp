@@ -1,0 +1,179 @@
+#include "ekg/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::ekg {
+namespace {
+
+HeartbeatRecord rec(std::uint32_t interval, HeartbeatId id,
+                    std::uint64_t count, double mean_ns) {
+  HeartbeatRecord r;
+  r.interval = interval;
+  r.id = id;
+  r.count = count;
+  r.mean_duration_ns = mean_ns;
+  return r;
+}
+
+TEST(Baselines, PerIdStatistics) {
+  const std::vector<HeartbeatRecord> records{
+      rec(0, 1, 2, 100.0), rec(1, 1, 4, 200.0), rec(0, 2, 1, 50.0)};
+  const auto baselines = build_baselines(records);
+  ASSERT_EQ(baselines.size(), 2u);
+  EXPECT_EQ(baselines[0].id, 1u);
+  EXPECT_EQ(baselines[0].records, 2u);
+  EXPECT_EQ(baselines[0].total_count, 6u);
+  EXPECT_DOUBLE_EQ(baselines[0].count_stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(baselines[0].duration_stats.mean(), 150.0);
+  EXPECT_EQ(baselines[1].id, 2u);
+}
+
+TEST(Baselines, EmptyInput) {
+  EXPECT_TRUE(build_baselines({}).empty());
+}
+
+std::vector<HeartbeatRecord> steady_history(std::size_t n,
+                                            double duration_ns) {
+  std::vector<HeartbeatRecord> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Slight wobble so the baseline has nonzero variance.
+    out.push_back(rec(static_cast<std::uint32_t>(i), 1, 10,
+                      duration_ns + (i % 2 ? 1.0 : -1.0)));
+  }
+  return out;
+}
+
+TEST(Anomalies, FlagsDurationOutlier) {
+  auto history = steady_history(20, 1000.0);
+  const auto slow = rec(20, 1, 10, 5000.0);  // 5x slower interval
+  std::vector<HeartbeatRecord> scan = history;
+  scan.push_back(slow);
+
+  const auto anomalies = detect_anomalies(scan, scan);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].record.interval, 20u);
+  EXPECT_GT(anomalies[0].duration_z, 3.0);
+}
+
+TEST(Anomalies, FlagsRateDrop) {
+  std::vector<HeartbeatRecord> history;
+  for (std::size_t i = 0; i < 20; ++i) {
+    history.push_back(rec(static_cast<std::uint32_t>(i), 1,
+                          100 + (i % 3), 1000.0));
+  }
+  const auto stall = rec(20, 1, 5, 1000.0);  // rate collapse
+  std::vector<HeartbeatRecord> scan = history;
+  scan.push_back(stall);
+  const auto anomalies = detect_anomalies(scan, scan);
+  ASSERT_GE(anomalies.size(), 1u);
+  EXPECT_LT(anomalies.back().count_z, -3.0);
+}
+
+TEST(Anomalies, ShortHistoryIsNotScanned) {
+  const auto history = steady_history(3, 1000.0);
+  std::vector<HeartbeatRecord> scan = history;
+  scan.push_back(rec(3, 1, 10, 99999.0));
+  EXPECT_TRUE(detect_anomalies(scan, scan).empty());
+}
+
+TEST(Anomalies, UnknownIdIgnored) {
+  const auto history = steady_history(20, 1000.0);
+  const std::vector<HeartbeatRecord> scan{rec(0, 77, 10, 1e9)};
+  EXPECT_TRUE(detect_anomalies(history, scan).empty());
+}
+
+TEST(Anomalies, SteadyRunHasNone) {
+  const auto history = steady_history(50, 1000.0);
+  EXPECT_TRUE(detect_anomalies(history, history).empty());
+}
+
+TEST(Anomalies, ThresholdConfigurable) {
+  auto history = steady_history(20, 1000.0);
+  history.push_back(rec(20, 1, 10, 1003.0));  // ~3 sd at wobble 1.0
+  AnomalyConfig strict;
+  strict.z_threshold = 10.0;
+  EXPECT_TRUE(detect_anomalies(history, history, strict).empty());
+  AnomalyConfig loose;
+  loose.z_threshold = 1.5;
+  EXPECT_FALSE(detect_anomalies(history, history, loose).empty());
+}
+
+SeriesLane lane(HeartbeatId id, std::vector<double> counts) {
+  SeriesLane l;
+  l.id = id;
+  l.counts = std::move(counts);
+  l.mean_duration_us.assign(l.counts.size(), 0.0);
+  return l;
+}
+
+TEST(LaneOverlapMetric, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(lane_overlap(lane(1, {1, 1, 0, 0}),
+                                lane(2, {0, 0, 1, 1})),
+                   0.0);
+}
+
+TEST(LaneOverlapMetric, IdenticalActivityIsOne) {
+  EXPECT_DOUBLE_EQ(lane_overlap(lane(1, {1, 0, 2, 0}),
+                                lane(2, {3, 0, 1, 0})),
+                   1.0);
+}
+
+TEST(LaneOverlapMetric, PartialOverlap) {
+  // Active sets {0,1} and {1,2}: intersection 1, union 3.
+  EXPECT_NEAR(lane_overlap(lane(1, {1, 1, 0}), lane(2, {0, 1, 1})),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(LaneOverlapMetric, DifferentLengthsUseUnionDenominator) {
+  EXPECT_NEAR(lane_overlap(lane(1, {1, 1}), lane(2, {1, 1, 1, 1})),
+              0.5, 1e-12);
+}
+
+TEST(LaneOverlapMetric, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(lane_overlap(lane(1, {0, 0}), lane(2, {0, 0})), 0.0);
+}
+
+TEST(AllOverlaps, SortedDescending) {
+  const auto series = HeartbeatSeries::from_records({
+      rec(0, 1, 1, 0), rec(1, 1, 1, 0),           // lane 1: {0,1}
+      rec(0, 2, 1, 0), rec(1, 2, 1, 0),           // lane 2: {0,1}
+      rec(5, 3, 1, 0),                            // lane 3: {5}
+  });
+  const auto overlaps = all_overlaps(series);
+  ASSERT_EQ(overlaps.size(), 3u);
+  EXPECT_EQ(overlaps[0].a, 1u);
+  EXPECT_EQ(overlaps[0].b, 2u);
+  EXPECT_DOUBLE_EQ(overlaps[0].jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(overlaps[1].jaccard, 0.0);
+}
+
+TEST(MeanOverlap, SequencedVsOverlappingStructures) {
+  // Sequenced (MiniFE-like): three lanes in disjoint interval ranges.
+  std::vector<HeartbeatRecord> sequenced;
+  for (std::uint32_t i = 0; i < 10; ++i) sequenced.push_back(rec(i, 1, 1, 0));
+  for (std::uint32_t i = 10; i < 20; ++i) sequenced.push_back(rec(i, 2, 1, 0));
+  for (std::uint32_t i = 20; i < 30; ++i) sequenced.push_back(rec(i, 3, 1, 0));
+  const double seq =
+      mean_overlap(HeartbeatSeries::from_records(sequenced));
+
+  // Overlapping (MiniAMR-manual-like): three lanes active everywhere.
+  std::vector<HeartbeatRecord> overlapping;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    for (HeartbeatId id = 1; id <= 3; ++id) {
+      overlapping.push_back(rec(i, id, 1, 0));
+    }
+  }
+  const double ovl =
+      mean_overlap(HeartbeatSeries::from_records(overlapping));
+
+  EXPECT_LT(seq, 0.05);
+  EXPECT_GT(ovl, 0.95);
+}
+
+TEST(MeanOverlap, SingleLaneIsZero) {
+  const auto series = HeartbeatSeries::from_records({rec(0, 1, 1, 0)});
+  EXPECT_DOUBLE_EQ(mean_overlap(series), 0.0);
+}
+
+}  // namespace
+}  // namespace incprof::ekg

@@ -1,0 +1,158 @@
+#include "ekg/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace incprof::ekg {
+namespace {
+
+EkgConfig config(sim::vtime_t interval = 100) {
+  EkgConfig cfg;
+  cfg.interval_ns = interval;
+  return cfg;
+}
+
+TEST(AppEkg, RejectsNonPositiveInterval) {
+  MemorySink sink;
+  EXPECT_THROW(AppEkg(config(0), sink), std::invalid_argument);
+}
+
+TEST(AppEkg, AggregatesCountAndMeanDurationPerInterval) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.begin(1, 0);
+  ekg.end(1, 10);
+  ekg.begin(1, 20);
+  ekg.end(1, 50);
+  ekg.finalize(99);
+  ASSERT_EQ(sink.records().size(), 1u);
+  const auto& rec = sink.records()[0];
+  EXPECT_EQ(rec.interval, 0u);
+  EXPECT_EQ(rec.id, 1u);
+  EXPECT_EQ(rec.count, 2u);
+  EXPECT_DOUBLE_EQ(rec.mean_duration_ns, 20.0);  // (10 + 30) / 2
+  EXPECT_DOUBLE_EQ(rec.max_duration_ns, 30.0);
+}
+
+TEST(AppEkg, HeartbeatAttributedToIntervalWhereItEnds) {
+  // The paper: long heartbeats "do not show up in all the intervals,
+  // only those that they finish in".
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.begin(1, 50);
+  ekg.end(1, 250);  // spans intervals 0..2, ends in 2
+  ekg.finalize(300);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].interval, 2u);
+  EXPECT_DOUBLE_EQ(sink.records()[0].mean_duration_ns, 200.0);
+}
+
+TEST(AppEkg, SeparateIdsAggregateIndependently) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.begin(1, 0);
+  ekg.end(1, 5);
+  ekg.begin(2, 10);
+  ekg.end(2, 40);
+  ekg.finalize(150);
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].id, 1u);
+  EXPECT_DOUBLE_EQ(sink.records()[0].mean_duration_ns, 5.0);
+  EXPECT_EQ(sink.records()[1].id, 2u);
+  EXPECT_DOUBLE_EQ(sink.records()[1].mean_duration_ns, 30.0);
+}
+
+TEST(AppEkg, NestedBeginsPairLifo) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.begin(1, 0);
+  ekg.begin(1, 10);
+  ekg.end(1, 15);  // inner: 5
+  ekg.end(1, 40);  // outer: 40
+  ekg.finalize(99);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(sink.records()[0].mean_duration_ns, 22.5);
+}
+
+TEST(AppEkg, UnmatchedEndCountsWithZeroDuration) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.end(1, 30);
+  ekg.finalize(99);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].count, 1u);
+  EXPECT_DOUBLE_EQ(sink.records()[0].mean_duration_ns, 0.0);
+}
+
+TEST(AppEkg, ImpulseIsZeroDurationHeartbeat) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.impulse(3, 42);
+  ekg.finalize(99);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].id, 3u);
+  EXPECT_EQ(sink.records()[0].count, 1u);
+  EXPECT_DOUBLE_EQ(sink.records()[0].mean_duration_ns, 0.0);
+}
+
+TEST(AppEkg, QuietIntervalsEmitNothing) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.impulse(1, 10);    // interval 0
+  ekg.impulse(1, 450);   // interval 4
+  ekg.finalize(500);
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].interval, 0u);
+  EXPECT_EQ(sink.records()[1].interval, 4u);
+}
+
+TEST(AppEkg, AdvanceFlushesCompletedIntervals) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.impulse(1, 10);
+  EXPECT_TRUE(sink.records().empty());  // interval 0 still open
+  ekg.advance(100);                     // interval 0 closes
+  ASSERT_EQ(sink.records().size(), 1u);
+}
+
+TEST(AppEkg, FinalizeEmitsTrailingPartialAndIsIdempotent) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.impulse(1, 110);  // interval 1, never reaches boundary 200
+  ekg.finalize(150);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].interval, 1u);
+  ekg.finalize(150);
+  EXPECT_EQ(sink.records().size(), 1u);
+}
+
+TEST(AppEkg, KnownIdsAndBeginCalls) {
+  MemorySink sink;
+  AppEkg ekg(config(), sink);
+  ekg.begin(5, 0);
+  ekg.begin(2, 1);
+  ekg.end(2, 2);
+  ekg.end(5, 3);
+  EXPECT_EQ(ekg.begin_calls(), 2u);
+  EXPECT_EQ(ekg.known_ids(), (std::vector<HeartbeatId>{2, 5}));
+}
+
+TEST(CsvSink, HeaderAndRows) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  HeartbeatRecord rec;
+  rec.interval = 3;
+  rec.id = 1;
+  rec.count = 4;
+  rec.mean_duration_ns = 2500.0;
+  rec.max_duration_ns = 5000.0;
+  sink.emit(rec);
+  EXPECT_EQ(os.str(),
+            "interval,hb_id,count,mean_duration_us,max_duration_us\n"
+            "3,1,4,2.5,5\n");
+}
+
+}  // namespace
+}  // namespace incprof::ekg

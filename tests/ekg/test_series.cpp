@@ -1,0 +1,85 @@
+#include "ekg/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::ekg {
+namespace {
+
+HeartbeatRecord rec(std::uint32_t interval, HeartbeatId id,
+                    std::uint64_t count, double mean_ns) {
+  HeartbeatRecord r;
+  r.interval = interval;
+  r.id = id;
+  r.count = count;
+  r.mean_duration_ns = mean_ns;
+  return r;
+}
+
+TEST(Series, EmptyRecords) {
+  const auto s = HeartbeatSeries::from_records({});
+  EXPECT_EQ(s.num_intervals(), 0u);
+  EXPECT_TRUE(s.lanes().empty());
+  EXPECT_EQ(s.lane(1), nullptr);
+}
+
+TEST(Series, DenseLanesWithGaps) {
+  const auto s = HeartbeatSeries::from_records({
+      rec(0, 1, 2, 1000.0),
+      rec(3, 1, 1, 3000.0),
+      rec(1, 2, 5, 100.0),
+  });
+  EXPECT_EQ(s.num_intervals(), 4u);
+  ASSERT_EQ(s.lanes().size(), 2u);
+
+  const SeriesLane* lane1 = s.lane(1);
+  ASSERT_NE(lane1, nullptr);
+  EXPECT_EQ(lane1->counts, (std::vector<double>{2, 0, 0, 1}));
+  EXPECT_EQ(lane1->mean_duration_us, (std::vector<double>{1, 0, 0, 3}));
+
+  const SeriesLane* lane2 = s.lane(2);
+  ASSERT_NE(lane2, nullptr);
+  EXPECT_EQ(lane2->counts, (std::vector<double>{0, 5, 0, 0}));
+}
+
+TEST(Series, MinIntervalsExtendsAxis) {
+  const auto s = HeartbeatSeries::from_records({rec(1, 1, 1, 0.0)}, 10);
+  EXPECT_EQ(s.num_intervals(), 10u);
+  EXPECT_EQ(s.lane(1)->counts.size(), 10u);
+}
+
+TEST(Series, LanesOrderedById) {
+  const auto s = HeartbeatSeries::from_records({
+      rec(0, 9, 1, 0.0),
+      rec(0, 2, 1, 0.0),
+      rec(0, 5, 1, 0.0),
+  });
+  ASSERT_EQ(s.lanes().size(), 3u);
+  EXPECT_EQ(s.lanes()[0].id, 2u);
+  EXPECT_EQ(s.lanes()[1].id, 5u);
+  EXPECT_EQ(s.lanes()[2].id, 9u);
+}
+
+TEST(Series, ActivityFraction) {
+  const auto s = HeartbeatSeries::from_records(
+      {rec(0, 1, 1, 0.0), rec(2, 1, 1, 0.0)}, 4);
+  EXPECT_DOUBLE_EQ(s.lane(1)->activity_fraction(), 0.5);
+  SeriesLane empty;
+  EXPECT_EQ(empty.activity_fraction(), 0.0);
+}
+
+TEST(Series, SetLabelAttachesToLane) {
+  auto s = HeartbeatSeries::from_records({rec(0, 1, 1, 0.0)});
+  s.set_label(1, "cg_solve/loop");
+  s.set_label(42, "ignored");  // unknown id: no-op
+  EXPECT_EQ(s.lane(1)->label, "cg_solve/loop");
+}
+
+TEST(Series, DuplicateRecordsForSameCellAccumulateCounts) {
+  // Multiple sinks/ranks can emit into the same cell; counts add.
+  const auto s = HeartbeatSeries::from_records(
+      {rec(0, 1, 2, 10.0), rec(0, 1, 3, 20.0)});
+  EXPECT_EQ(s.lane(1)->counts[0], 5.0);
+}
+
+}  // namespace
+}  // namespace incprof::ekg

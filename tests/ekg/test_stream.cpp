@@ -1,0 +1,92 @@
+#include "ekg/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::ekg {
+namespace {
+
+HeartbeatRecord rec(std::uint32_t interval, HeartbeatId id,
+                    std::uint64_t count = 1) {
+  HeartbeatRecord r;
+  r.interval = interval;
+  r.id = id;
+  r.count = count;
+  return r;
+}
+
+TEST(StreamSink, RejectsBadConstruction) {
+  EXPECT_THROW(StreamSink(nullptr), std::invalid_argument);
+  EXPECT_THROW(StreamSink([](auto) {}, 0), std::invalid_argument);
+}
+
+TEST(StreamSink, BatchesPerInterval) {
+  std::vector<std::vector<HeartbeatRecord>> batches;
+  StreamSink sink([&](std::span<const HeartbeatRecord> batch) {
+    batches.emplace_back(batch.begin(), batch.end());
+  });
+
+  sink.emit(rec(0, 1));
+  sink.emit(rec(0, 2));
+  EXPECT_TRUE(batches.empty());  // interval 0 still open
+  sink.emit(rec(1, 1));          // interval advanced -> flush 0
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batches[0][1].id, 2u);
+
+  sink.close();  // flush the open interval 1
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(sink.delivered_batches(), 2u);
+}
+
+TEST(StreamSink, SkippedIntervalsStillBatchCorrectly) {
+  std::vector<std::size_t> batch_intervals;
+  StreamSink sink([&](std::span<const HeartbeatRecord> batch) {
+    batch_intervals.push_back(batch.front().interval);
+  });
+  sink.emit(rec(0, 1));
+  sink.emit(rec(7, 1));  // quiet gap between 1 and 6
+  sink.close();
+  EXPECT_EQ(batch_intervals, (std::vector<std::size_t>{0, 7}));
+}
+
+TEST(StreamSink, CloseIsIdempotentAndEmptyCloseDeliversNothing) {
+  std::size_t calls = 0;
+  StreamSink sink([&](auto) { ++calls; });
+  sink.close();
+  sink.close();
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(sink.delivered_batches(), 0u);
+}
+
+TEST(StreamSink, BoundedBufferDropsAndCounts) {
+  std::size_t delivered = 0;
+  StreamSink sink([&](std::span<const HeartbeatRecord> b) {
+    delivered += b.size();
+  },
+                  /*max_pending=*/2);
+  for (HeartbeatId id = 1; id <= 5; ++id) sink.emit(rec(0, id));
+  sink.close();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(sink.dropped_records(), 3u);
+}
+
+TEST(StreamSink, WorksAsAppEkgSink) {
+  // End to end: AppEKG aggregation flowing through the stream transport.
+  std::vector<std::size_t> batch_sizes;
+  StreamSink sink([&](std::span<const HeartbeatRecord> b) {
+    batch_sizes.push_back(b.size());
+  });
+  EkgConfig cfg;
+  cfg.interval_ns = 100;
+  AppEkg ekg(cfg, sink);
+  ekg.impulse(1, 10);
+  ekg.impulse(2, 20);
+  ekg.impulse(1, 150);
+  ekg.finalize(200);
+  // Interval 0 carried ids {1,2}; interval 1 carried {1}.
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace incprof::ekg

@@ -1,0 +1,120 @@
+// Failure-injection tests for the dump-directory loaders: crashed
+// collectors leave truncated files, restarted collectors rewrite
+// sequence numbers, and dumps go missing — the lenient loader must
+// shrug all of it off while the strict loader reports it.
+#include "gmon/scanner.hpp"
+
+#include "core/pipeline.hpp"
+#include "gmon/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace incprof::gmon {
+namespace {
+
+ProfileSnapshot snap(std::uint32_t seq, std::int64_t self_ns) {
+  ProfileSnapshot s(seq, static_cast<std::int64_t>(seq + 1) * 1'000'000'000);
+  FunctionProfile f;
+  f.name = "work";
+  f.self_ns = self_ns;
+  f.calls = seq + 1;
+  f.inclusive_ns = self_ns;
+  s.upsert(f);
+  return s;
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("incprof_robust_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write_good(std::uint32_t seq, std::int64_t self_ns) {
+    write_binary_file(snap(seq, self_ns), dir_ / binary_dump_name(seq));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RobustnessTest, TruncatedDumpIsSkippedNotFatal) {
+  write_good(0, 1000);
+  write_good(2, 3000);
+  // A dump truncated mid-write (collector killed).
+  const std::string full = encode_binary(snap(1, 2000));
+  std::ofstream(dir_ / binary_dump_name(1), std::ios::binary)
+      << full.substr(0, full.size() / 2);
+
+  EXPECT_THROW(load_binary_dumps(dir_), std::runtime_error);
+
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  ASSERT_EQ(lenient.snapshots.size(), 2u);
+  ASSERT_EQ(lenient.skipped.size(), 1u);
+  EXPECT_EQ(lenient.skipped[0].filename().string(), binary_dump_name(1));
+  EXPECT_EQ(lenient.snapshots[0].seq(), 0u);
+  EXPECT_EQ(lenient.snapshots[1].seq(), 2u);
+}
+
+TEST_F(RobustnessTest, DuplicateSeqKeepsLaterTimestamp) {
+  write_good(0, 1000);
+  // Simulate a restarted collector: same seq, later timestamp, written
+  // under a colliding-but-distinct name (extra zero padding).
+  ProfileSnapshot rewritten = snap(0, 5000);
+  rewritten.set_timestamp_ns(9'000'000'000);
+  write_binary_file(rewritten, dir_ / "gmon-0000000.out");
+
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  ASSERT_EQ(lenient.snapshots.size(), 1u);
+  EXPECT_EQ(lenient.duplicates_dropped, 1u);
+  EXPECT_EQ(lenient.snapshots[0].find("work")->self_ns, 5000);
+}
+
+TEST_F(RobustnessTest, MissingIntervalStillAnalyzable) {
+  // A dropped dump (seq 1 lost): cumulative data means the next dump
+  // simply covers a double-length interval; the pipeline must cope.
+  write_good(0, 1'000'000'000);
+  write_good(2, 3'000'000'000);
+  write_good(3, 4'000'000'000);
+
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  ASSERT_EQ(lenient.snapshots.size(), 3u);
+  const auto data = core::IntervalData::from_cumulative(lenient.snapshots);
+  ASSERT_EQ(data.num_intervals(), 3u);
+  // The merged interval carries the two missing seconds of activity.
+  EXPECT_DOUBLE_EQ(data.self_seconds().at(1, 0), 2.0);
+}
+
+TEST_F(RobustnessTest, EmptyDirectoryYieldsEmptyResult) {
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  EXPECT_TRUE(lenient.snapshots.empty());
+  EXPECT_TRUE(lenient.skipped.empty());
+}
+
+TEST_F(RobustnessTest, AllCorruptYieldsAllSkipped) {
+  std::ofstream(dir_ / binary_dump_name(0), std::ios::binary) << "junk";
+  std::ofstream(dir_ / binary_dump_name(1), std::ios::binary) << "junk2";
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  EXPECT_TRUE(lenient.snapshots.empty());
+  EXPECT_EQ(lenient.skipped.size(), 2u);
+}
+
+TEST_F(RobustnessTest, OutOfOrderWritesComeBackSorted) {
+  for (const std::uint32_t seq : {5u, 1u, 3u, 0u}) {
+    write_good(seq, (seq + 1) * 100);
+  }
+  const auto lenient = load_binary_dumps_lenient(dir_);
+  ASSERT_EQ(lenient.snapshots.size(), 4u);
+  for (std::size_t i = 1; i < lenient.snapshots.size(); ++i) {
+    EXPECT_LT(lenient.snapshots[i - 1].seq(), lenient.snapshots[i].seq());
+  }
+}
+
+}  // namespace
+}  // namespace incprof::gmon

@@ -1,0 +1,119 @@
+#include "gmon/scanner.hpp"
+
+#include "gmon/binary_io.hpp"
+#include "gmon/flat_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace incprof::gmon {
+namespace {
+
+ProfileSnapshot snap(std::uint32_t seq, std::int64_t self_ns) {
+  ProfileSnapshot s(seq, static_cast<std::int64_t>(seq) * 1'000'000'000);
+  FunctionProfile f;
+  f.name = "work";
+  f.self_ns = self_ns;
+  f.calls = seq + 1;
+  f.inclusive_ns = self_ns;
+  s.upsert(f);
+  return s;
+}
+
+TEST(DumpNames, ZeroPaddedAndParseable) {
+  EXPECT_EQ(binary_dump_name(0), "gmon-000000.out");
+  EXPECT_EQ(binary_dump_name(42), "gmon-000042.out");
+  EXPECT_EQ(text_dump_name(7), "flat-000007.txt");
+
+  std::uint32_t seq = 99;
+  EXPECT_TRUE(parse_dump_seq("gmon-000042.out", seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_TRUE(parse_dump_seq("flat-000007.txt", seq));
+  EXPECT_EQ(seq, 7u);
+}
+
+TEST(DumpNames, RejectsForeignNames) {
+  std::uint32_t seq = 0;
+  EXPECT_FALSE(parse_dump_seq("gmon.out", seq));
+  EXPECT_FALSE(parse_dump_seq("gmon-xyz.out", seq));
+  EXPECT_FALSE(parse_dump_seq("flat-12.csv", seq));
+  EXPECT_FALSE(parse_dump_seq("other-000001.out", seq));
+  EXPECT_FALSE(parse_dump_seq("", seq));
+}
+
+TEST(DumpNames, LargeSequenceNumbersOverflowTheFixedPad) {
+  // More than 6 digits still round-trips (pad is a minimum, not a cap).
+  const std::string name = binary_dump_name(1234567);
+  std::uint32_t seq = 0;
+  EXPECT_TRUE(parse_dump_seq(name, seq));
+  EXPECT_EQ(seq, 1234567u);
+}
+
+class ScannerDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("incprof_scan_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ScannerDirTest, LoadBinaryDumpsOrderedBySeq) {
+  // Write out of order; loader must sort by seq.
+  for (const std::uint32_t seq : {2u, 0u, 1u}) {
+    write_binary_file(snap(seq, (seq + 1) * 1000), dir_ / binary_dump_name(seq));
+  }
+  const auto snaps = load_binary_dumps(dir_);
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].seq(), 0u);
+  EXPECT_EQ(snaps[1].seq(), 1u);
+  EXPECT_EQ(snaps[2].seq(), 2u);
+}
+
+TEST_F(ScannerDirTest, IgnoresUnrelatedFiles) {
+  write_binary_file(snap(0, 5000), dir_ / binary_dump_name(0));
+  std::ofstream(dir_ / "notes.txt") << "not a dump";
+  std::ofstream(dir_ / "gmon.out") << "legacy un-renamed dump";
+  EXPECT_EQ(load_binary_dumps(dir_).size(), 1u);
+}
+
+TEST_F(ScannerDirTest, MissingDirectoryGivesEmpty) {
+  EXPECT_TRUE(load_binary_dumps(dir_ / "missing").empty());
+  EXPECT_TRUE(load_text_dumps(dir_ / "missing").empty());
+}
+
+TEST_F(ScannerDirTest, ConvertThenLoadTextMatchesBinary) {
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    write_binary_file(snap(seq, (seq + 1) * 10'000'000),
+                      dir_ / binary_dump_name(seq));
+  }
+  EXPECT_EQ(convert_dumps_to_text(dir_, 10'000'000), 4u);
+
+  const auto text_snaps = load_text_dumps(dir_);
+  const auto bin_snaps = load_binary_dumps(dir_);
+  ASSERT_EQ(text_snaps.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(text_snaps[i].seq(), bin_snaps[i].seq());
+    const auto* t = text_snaps[i].find("work");
+    const auto* b = bin_snaps[i].find("work");
+    ASSERT_NE(t, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(t->self_ns, b->self_ns);
+    EXPECT_EQ(t->calls, b->calls);
+  }
+}
+
+TEST_F(ScannerDirTest, CorruptBinaryDumpThrows) {
+  std::ofstream(dir_ / binary_dump_name(0), std::ios::binary) << "garbage";
+  EXPECT_THROW(load_binary_dumps(dir_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace incprof::gmon

@@ -1,0 +1,122 @@
+#include "gmon/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::gmon {
+namespace {
+
+FunctionProfile fp(std::string name, std::int64_t self, std::int64_t calls,
+                   std::int64_t incl = 0) {
+  FunctionProfile p;
+  p.name = std::move(name);
+  p.self_ns = self;
+  p.calls = calls;
+  p.inclusive_ns = incl ? incl : self;
+  return p;
+}
+
+TEST(Snapshot, UpsertKeepsNamesSorted) {
+  ProfileSnapshot s;
+  s.upsert(fp("zeta", 1, 1));
+  s.upsert(fp("alpha", 2, 2));
+  s.upsert(fp("mid", 3, 3));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.functions()[0].name, "alpha");
+  EXPECT_EQ(s.functions()[1].name, "mid");
+  EXPECT_EQ(s.functions()[2].name, "zeta");
+}
+
+TEST(Snapshot, UpsertOverwritesExisting) {
+  ProfileSnapshot s;
+  s.upsert(fp("f", 10, 1));
+  s.upsert(fp("f", 20, 2));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.functions()[0].self_ns, 20);
+  EXPECT_EQ(s.functions()[0].calls, 2);
+}
+
+TEST(Snapshot, FindByName) {
+  ProfileSnapshot s;
+  s.upsert(fp("run_bfs", 5, 1));
+  ASSERT_NE(s.find("run_bfs"), nullptr);
+  EXPECT_EQ(s.find("run_bfs")->self_ns, 5);
+  EXPECT_EQ(s.find("missing"), nullptr);
+  EXPECT_EQ(s.find(""), nullptr);
+}
+
+TEST(Snapshot, TotalSelfNs) {
+  ProfileSnapshot s;
+  s.upsert(fp("a", 100, 1));
+  s.upsert(fp("b", 250, 1));
+  EXPECT_EQ(s.total_self_ns(), 350);
+  EXPECT_EQ(ProfileSnapshot().total_self_ns(), 0);
+}
+
+TEST(Snapshot, SeqAndTimestampCarried) {
+  ProfileSnapshot s(7, 123456789);
+  EXPECT_EQ(s.seq(), 7u);
+  EXPECT_EQ(s.timestamp_ns(), 123456789);
+  s.set_seq(9);
+  s.set_timestamp_ns(42);
+  EXPECT_EQ(s.seq(), 9u);
+  EXPECT_EQ(s.timestamp_ns(), 42);
+}
+
+TEST(Difference, SubtractsPerFunction) {
+  ProfileSnapshot prev(0, 1000);
+  prev.upsert(fp("f", 100, 2, 150));
+  ProfileSnapshot cur(1, 2000);
+  cur.upsert(fp("f", 175, 5, 250));
+
+  const ProfileSnapshot d = difference(cur, prev);
+  EXPECT_EQ(d.seq(), 1u);
+  EXPECT_EQ(d.timestamp_ns(), 2000);
+  ASSERT_NE(d.find("f"), nullptr);
+  EXPECT_EQ(d.find("f")->self_ns, 75);
+  EXPECT_EQ(d.find("f")->calls, 3);
+  EXPECT_EQ(d.find("f")->inclusive_ns, 100);
+}
+
+TEST(Difference, NewFunctionDifferencesAgainstZero) {
+  ProfileSnapshot prev(0, 0);
+  ProfileSnapshot cur(1, 10);
+  cur.upsert(fp("fresh", 40, 4));
+  const ProfileSnapshot d = difference(cur, prev);
+  EXPECT_EQ(d.find("fresh")->self_ns, 40);
+  EXPECT_EQ(d.find("fresh")->calls, 4);
+}
+
+TEST(Difference, NegativeDeltasClampToZero) {
+  // Counter regressions (shouldn't happen with a monotone profiler, but
+  // the analysis must stay well-formed if a dump is corrupt).
+  ProfileSnapshot prev(0, 0);
+  prev.upsert(fp("f", 100, 10));
+  ProfileSnapshot cur(1, 10);
+  cur.upsert(fp("f", 50, 5));
+  const ProfileSnapshot d = difference(cur, prev);
+  EXPECT_EQ(d.find("f")->self_ns, 0);
+  EXPECT_EQ(d.find("f")->calls, 0);
+}
+
+TEST(Difference, FunctionOnlyInPrevIsDropped) {
+  // gprof dumps are cumulative: a function can never vanish. If one
+  // does, the differenced interval simply has no row for it.
+  ProfileSnapshot prev(0, 0);
+  prev.upsert(fp("gone", 10, 1));
+  ProfileSnapshot cur(1, 10);
+  cur.upsert(fp("kept", 5, 1));
+  const ProfileSnapshot d = difference(cur, prev);
+  EXPECT_EQ(d.find("gone"), nullptr);
+  EXPECT_NE(d.find("kept"), nullptr);
+}
+
+TEST(Difference, IdenticalSnapshotsGiveAllZeroDeltas) {
+  ProfileSnapshot a(3, 100);
+  a.upsert(fp("f", 10, 2));
+  const ProfileSnapshot d = difference(a, a);
+  EXPECT_EQ(d.find("f")->self_ns, 0);
+  EXPECT_EQ(d.find("f")->calls, 0);
+}
+
+}  // namespace
+}  // namespace incprof::gmon

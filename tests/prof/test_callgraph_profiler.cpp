@@ -1,0 +1,110 @@
+#include "prof/callgraph_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::prof {
+namespace {
+
+sim::EngineConfig config() {
+  sim::EngineConfig cfg;
+  cfg.sample_period_ns = 10;
+  cfg.work_jitter_rel = 0.0;
+  return cfg;
+}
+
+TEST(CallGraphProfiler, CountsArcsPerDirectCaller) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  for (int i = 0; i < 3; ++i) {
+    sim::ScopedFunction a(eng, "parent");
+    for (int j = 0; j < 4; ++j) {
+      sim::ScopedFunction b(eng, "child");
+    }
+  }
+  const auto g = prof.snapshot(0, eng.now());
+  ASSERT_NE(g.find("parent", "child"), nullptr);
+  EXPECT_EQ(g.find("parent", "child")->count, 12);
+  ASSERT_NE(g.find(gmon::kSpontaneous, "parent"), nullptr);
+  EXPECT_EQ(g.find(gmon::kSpontaneous, "parent")->count, 3);
+}
+
+TEST(CallGraphProfiler, DistinguishesCallers) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  {
+    sim::ScopedFunction a(eng, "a");
+    sim::ScopedFunction s(eng, "shared");
+  }
+  {
+    sim::ScopedFunction b(eng, "b");
+    for (int i = 0; i < 2; ++i) {
+      sim::ScopedFunction s(eng, "shared");
+    }
+  }
+  const auto g = prof.snapshot(0, eng.now());
+  EXPECT_EQ(g.find("a", "shared")->count, 1);
+  EXPECT_EQ(g.find("b", "shared")->count, 2);
+  EXPECT_EQ(g.total_calls_into("shared"), 3);
+}
+
+TEST(CallGraphProfiler, AttributesSampledTimeToArc) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  {
+    sim::ScopedFunction a(eng, "caller");
+    {
+      sim::ScopedFunction s(eng, "callee");
+      eng.work(50);  // 5 samples on the caller->callee arc
+    }
+    eng.work(30);  // 3 samples on <spontaneous>->caller
+  }
+  const auto g = prof.snapshot(0, eng.now());
+  EXPECT_EQ(g.find("caller", "callee")->time_ns, 50);
+  EXPECT_EQ(g.find(gmon::kSpontaneous, "caller")->time_ns, 30);
+}
+
+TEST(CallGraphProfiler, RecursiveSelfArc) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  {
+    sim::ScopedFunction outer(eng, "rec");
+    sim::ScopedFunction inner(eng, "rec");
+    eng.work(20);
+  }
+  const auto g = prof.snapshot(0, eng.now());
+  ASSERT_NE(g.find("rec", "rec"), nullptr);
+  EXPECT_EQ(g.find("rec", "rec")->count, 1);
+  EXPECT_EQ(g.find("rec", "rec")->time_ns, 20);
+}
+
+TEST(CallGraphProfiler, EmptyStackSamplesIgnored) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+  eng.work(100);  // nothing on the stack
+  EXPECT_TRUE(prof.snapshot(0, eng.now()).empty());
+}
+
+TEST(CallGraphProfiler, SnapshotCarriesSeqAndTimestamp) {
+  sim::ExecutionEngine eng(config());
+  CallGraphProfiler prof(eng);
+  eng.add_listener(&prof);
+  {
+    sim::ScopedFunction a(eng, "f");
+    eng.work(40);
+  }
+  const auto g = prof.snapshot(9, eng.now());
+  EXPECT_EQ(g.seq(), 9u);
+  EXPECT_EQ(g.timestamp_ns(), 40);
+}
+
+}  // namespace
+}  // namespace incprof::prof

@@ -1,0 +1,154 @@
+#include "prof/collector.hpp"
+
+#include "gmon/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+namespace incprof::prof {
+namespace {
+
+struct Rig {
+  explicit Rig(sim::vtime_t sample_period = 10, sim::vtime_t interval = 100,
+               std::optional<std::filesystem::path> dump_dir = {}) {
+    sim::EngineConfig ec;
+    ec.sample_period_ns = sample_period;
+    ec.work_jitter_rel = 0.0;
+    eng = std::make_unique<sim::ExecutionEngine>(ec);
+    prof = std::make_unique<SamplingProfiler>(*eng);
+    CollectorConfig cc;
+    cc.interval_ns = interval;
+    cc.dump_dir = std::move(dump_dir);
+    collector = std::make_unique<IncProfCollector>(*prof, cc);
+    eng->add_listener(prof.get());
+    eng->add_listener(collector.get());
+  }
+
+  std::unique_ptr<sim::ExecutionEngine> eng;
+  std::unique_ptr<SamplingProfiler> prof;
+  std::unique_ptr<IncProfCollector> collector;
+};
+
+TEST(Collector, RejectsNonPositiveInterval) {
+  sim::ExecutionEngine eng;
+  SamplingProfiler prof(eng);
+  CollectorConfig cc;
+  cc.interval_ns = 0;
+  EXPECT_THROW(IncProfCollector(prof, cc), std::invalid_argument);
+}
+
+TEST(Collector, DumpsOncePerIntervalBoundary) {
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(350);  // boundaries at 100, 200, 300
+  rig.eng->leave();
+  EXPECT_EQ(rig.collector->dump_count(), 3u);
+}
+
+TEST(Collector, SequenceNumbersAreConsecutive) {
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(520);
+  rig.eng->leave();
+  const auto& snaps = rig.collector->snapshots();
+  ASSERT_EQ(snaps.size(), 5u);
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[i].seq(), i);
+    EXPECT_EQ(snaps[i].timestamp_ns(),
+              static_cast<sim::vtime_t>((i + 1) * 100));
+  }
+}
+
+TEST(Collector, SnapshotsAreCumulative) {
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(300);
+  rig.eng->leave();
+  const auto& snaps = rig.collector->snapshots();
+  ASSERT_GE(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].find("f")->self_ns, 100);
+  EXPECT_EQ(snaps[1].find("f")->self_ns, 200);
+  EXPECT_EQ(snaps[2].find("f")->self_ns, 300);
+}
+
+TEST(Collector, FinishDumpsTrailingPartialInterval) {
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(250);  // dumps at 100, 200; 50 ns pending
+  rig.eng->leave();
+  rig.eng->finish();
+  ASSERT_EQ(rig.collector->dump_count(), 3u);
+  EXPECT_EQ(rig.collector->snapshots().back().timestamp_ns(), 250);
+  EXPECT_EQ(rig.collector->snapshots().back().find("f")->self_ns, 250);
+}
+
+TEST(Collector, FinishIsIdempotent) {
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(150);
+  rig.eng->leave();
+  rig.eng->finish();
+  const std::size_t n = rig.collector->dump_count();
+  rig.collector->on_finish(*rig.eng, rig.eng->now());
+  EXPECT_EQ(rig.collector->dump_count(), n);
+}
+
+TEST(Collector, NoTrailingDumpWhenDisabled) {
+  sim::EngineConfig ec;
+  ec.sample_period_ns = 10;
+  sim::ExecutionEngine eng(ec);
+  SamplingProfiler prof(eng);
+  CollectorConfig cc;
+  cc.interval_ns = 100;
+  cc.dump_final_partial = false;
+  IncProfCollector collector(prof, cc);
+  eng.add_listener(&prof);
+  eng.add_listener(&collector);
+  eng.enter("f");
+  eng.work(250);
+  eng.leave();
+  eng.finish();
+  EXPECT_EQ(collector.dump_count(), 2u);
+}
+
+TEST(Collector, LongWorkSpanningManyIntervalsCatchesUp) {
+  // One work() call can cross several interval boundaries; each must dump.
+  Rig rig;
+  rig.eng->enter("f");
+  rig.eng->work(1000);
+  rig.eng->leave();
+  EXPECT_EQ(rig.collector->dump_count(), 10u);
+}
+
+TEST(Collector, SamplePeriodCoarserThanIntervalStillDumps) {
+  // Degenerate configuration: sampling every 300, dumping every 100.
+  // Dumps can only happen at sample points, but none may be lost.
+  Rig rig(/*sample_period=*/300, /*interval=*/100);
+  rig.eng->enter("f");
+  rig.eng->work(900);
+  rig.eng->leave();
+  EXPECT_EQ(rig.collector->dump_count(), 9u);
+}
+
+TEST(Collector, WritesRenamedDumpFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("incprof_coll_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    Rig rig(10, 100, dir);
+    rig.eng->enter("f");
+    rig.eng->work(300);
+    rig.eng->leave();
+    rig.eng->finish();
+  }
+  const auto snaps = gmon::load_binary_dumps(dir);
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].seq(), 0u);
+  EXPECT_EQ(snaps[2].find("f")->self_ns, 300);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace incprof::prof

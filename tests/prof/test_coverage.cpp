@@ -1,0 +1,133 @@
+#include "prof/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::prof {
+namespace {
+
+sim::EngineConfig config() {
+  sim::EngineConfig cfg;
+  cfg.sample_period_ns = 10;
+  cfg.work_jitter_rel = 0.0;
+  return cfg;
+}
+
+TEST(CoverageProfiler, CountsEntriesAndLoopHits) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng, /*ns_per_hit=*/1000);
+  eng.add_listener(&prof);
+
+  for (int i = 0; i < 3; ++i) {
+    sim::ScopedFunction f(eng, "worker");
+    for (int j = 0; j < 5; ++j) eng.loop_tick();
+  }
+  const auto snap = prof.snapshot(0, eng.now());
+  ASSERT_NE(snap.find("worker"), nullptr);
+  EXPECT_EQ(snap.find("worker")->calls, 3);
+  EXPECT_EQ(snap.find("worker")->self_ns, (15 + 3) * 1000);
+  EXPECT_EQ(prof.total_hits(), 15u);
+}
+
+TEST(CoverageProfiler, TicksOutsideAnyFunctionDropped) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng);
+  eng.add_listener(&prof);
+  eng.loop_tick();  // empty stack
+  EXPECT_EQ(prof.total_hits(), 0u);
+  EXPECT_TRUE(prof.snapshot(0, 0).empty());
+}
+
+TEST(CoverageProfiler, EntryWithoutTicksStillReported) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng);
+  eng.add_listener(&prof);
+  {
+    sim::ScopedFunction f(eng, "called_only");
+  }
+  const auto snap = prof.snapshot(0, 0);
+  ASSERT_NE(snap.find("called_only"), nullptr);
+  EXPECT_EQ(snap.find("called_only")->calls, 1);
+  // The entry itself executes the body once.
+  EXPECT_EQ(snap.find("called_only")->self_ns, 1000);
+}
+
+TEST(CoverageCollector, RejectsNonPositiveInterval) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng);
+  EXPECT_THROW(CoverageCollector(prof, 0), std::invalid_argument);
+}
+
+TEST(CoverageCollector, DumpsAtIntervalBoundaries) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng);
+  CoverageCollector collector(prof, /*interval=*/100);
+  eng.add_listener(&prof);
+  eng.add_listener(&collector);
+
+  sim::ScopedFunction f(eng, "worker");
+  for (int i = 0; i < 35; ++i) {
+    eng.loop_tick();
+    eng.work(10);
+  }
+  // 350 ns elapsed: boundaries at 100, 200, 300.
+  EXPECT_EQ(collector.snapshots().size(), 3u);
+  EXPECT_EQ(collector.snapshots()[0].seq(), 0u);
+}
+
+TEST(CoverageCollector, SnapshotsAreCumulative) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng, 1000);
+  CoverageCollector collector(prof, 100);
+  eng.add_listener(&prof);
+  eng.add_listener(&collector);
+
+  sim::ScopedFunction f(eng, "worker");
+  for (int i = 0; i < 30; ++i) {
+    eng.loop_tick();
+    eng.work(10);
+  }
+  const auto& snaps = collector.snapshots();
+  ASSERT_GE(snaps.size(), 2u);
+  EXPECT_LT(snaps[0].find("worker")->self_ns,
+            snaps[1].find("worker")->self_ns);
+}
+
+TEST(CoverageCollector, FinishEmitsTrailingPartial) {
+  sim::ExecutionEngine eng(config());
+  CoverageProfiler prof(eng);
+  CoverageCollector collector(prof, 100);
+  eng.add_listener(&prof);
+  eng.add_listener(&collector);
+
+  {
+    sim::ScopedFunction f(eng, "worker");
+    eng.loop_tick();
+    eng.work(150);
+  }
+  eng.finish();
+  ASSERT_EQ(collector.snapshots().size(), 2u);
+  EXPECT_EQ(collector.snapshots().back().timestamp_ns(), 150);
+  eng.finish();  // idempotent
+  EXPECT_EQ(collector.snapshots().size(), 2u);
+}
+
+TEST(CoverageCollector, WorksWithoutSampler) {
+  // gcov-mode: no sampling at all, dumps driven by entries/ticks alone.
+  sim::EngineConfig cfg;
+  cfg.sample_period_ns = 1'000'000'000;  // effectively never samples
+  sim::ExecutionEngine eng(cfg);
+  CoverageProfiler prof(eng);
+  CoverageCollector collector(prof, 100);
+  eng.add_listener(&prof);
+  eng.add_listener(&collector);
+
+  for (int i = 0; i < 40; ++i) {
+    sim::ScopedFunction f(eng, "step");
+    eng.work(10);
+  }
+  // 400 ns elapsed; dumps happen at the first *event* after a boundary.
+  EXPECT_GE(collector.snapshots().size(), 3u);
+}
+
+}  // namespace
+}  // namespace incprof::prof

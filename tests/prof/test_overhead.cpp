@@ -1,0 +1,58 @@
+#include "prof/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace incprof::prof {
+namespace {
+
+TEST(TimeWorkload, RunsWarmupsPlusReps) {
+  std::atomic<int> calls{0};
+  const auto sample = time_workload(
+      "probe", [&] { ++calls; }, /*reps=*/4, /*warmups=*/2);
+  EXPECT_EQ(calls.load(), 6);
+  EXPECT_EQ(sample.repetitions, 4u);
+  EXPECT_EQ(sample.label, "probe");
+  EXPECT_GE(sample.mean_sec, 0.0);
+  EXPECT_GE(sample.min_sec, 0.0);
+  EXPECT_LE(sample.min_sec, sample.mean_sec + 1e-12);
+}
+
+TEST(OverheadReport, PercentageFromMinTimes) {
+  OverheadReport r;
+  r.baseline.min_sec = 2.0;
+  r.instrumented.min_sec = 2.2;
+  EXPECT_NEAR(r.overhead_pct(), 10.0, 1e-9);
+}
+
+TEST(OverheadReport, NegativeOverheadRepresentable) {
+  // The paper's MiniFE row reports -6.2%; the math must allow it.
+  OverheadReport r;
+  r.baseline.min_sec = 2.0;
+  r.instrumented.min_sec = 1.9;
+  EXPECT_NEAR(r.overhead_pct(), -5.0, 1e-9);
+}
+
+TEST(OverheadReport, ZeroBaselineGuarded) {
+  OverheadReport r;
+  r.baseline.min_sec = 0.0;
+  r.instrumented.min_sec = 1.0;
+  EXPECT_EQ(r.overhead_pct(), 0.0);
+}
+
+TEST(CompareOverhead, MeasurableSlowdownDetected) {
+  // The instrumented workload does ~4x the busy work; the measured
+  // overhead must come out clearly positive.
+  volatile double sink = 0.0;
+  auto busy = [&](int n) {
+    for (int i = 0; i < n; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  };
+  const auto report = compare_overhead([&] { busy(200'000); },
+                                       [&] { busy(800'000); },
+                                       /*reps=*/3, /*warmups=*/1);
+  EXPECT_GT(report.overhead_pct(), 50.0);
+}
+
+}  // namespace
+}  // namespace incprof::prof

@@ -1,0 +1,152 @@
+// Property tests for the profiling runtime: a randomized call-tree
+// generator drives the engine, and conservation laws that must hold for
+// any execution are checked — total samples = elapsed periods, inclusive
+// >= self, root inclusive covers everything, call-graph arc counts equal
+// the flat-profile call counts.
+#include "prof/callgraph_profiler.hpp"
+#include "prof/collector.hpp"
+#include "prof/sampler.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace incprof::prof {
+namespace {
+
+constexpr sim::vtime_t kPeriod = 10;
+
+/// Recursively executes a random call tree: at each node, do some work
+/// and call a few random children (from a fixed symbol alphabet).
+void random_tree(sim::ExecutionEngine& eng, util::Rng& rng, int depth) {
+  const int symbol = static_cast<int>(rng.next_below(6));
+  sim::ScopedFunction f(eng, "fn_" + std::to_string(symbol));
+  eng.work(static_cast<sim::vtime_t>(rng.next_below(120)));
+  if (depth > 0) {
+    const int kids = static_cast<int>(rng.next_below(3));
+    for (int k = 0; k < kids; ++k) {
+      random_tree(eng, rng, depth - 1);
+    }
+    eng.work(static_cast<sim::vtime_t>(rng.next_below(60)));
+  }
+}
+
+struct Rig {
+  Rig() {
+    sim::EngineConfig ec;
+    ec.sample_period_ns = kPeriod;
+    ec.work_jitter_rel = 0.0;
+    eng = std::make_unique<sim::ExecutionEngine>(ec);
+    sampler = std::make_unique<SamplingProfiler>(*eng);
+    callgraph = std::make_unique<CallGraphProfiler>(*eng);
+    eng->add_listener(sampler.get());
+    eng->add_listener(callgraph.get());
+  }
+
+  void run(std::uint64_t seed) {
+    util::Rng rng(seed);
+    sim::ScopedFunction root(*eng, "root");
+    for (int i = 0; i < 40; ++i) random_tree(*eng, rng, 3);
+  }
+
+  std::unique_ptr<sim::ExecutionEngine> eng;
+  std::unique_ptr<SamplingProfiler> sampler;
+  std::unique_ptr<CallGraphProfiler> callgraph;
+};
+
+class ProfilerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ProfilerPropertyTest, SamplesConserveElapsedTime) {
+  Rig rig;
+  rig.run(GetParam());
+  // Every elapsed period produced exactly one sample; with a function
+  // always on the stack, none were dropped.
+  const auto elapsed_periods =
+      static_cast<std::uint64_t>(rig.eng->now() / kPeriod);
+  EXPECT_EQ(rig.sampler->total_samples() + rig.sampler->dropped_samples(),
+            elapsed_periods);
+  EXPECT_EQ(rig.sampler->dropped_samples(), 0u);
+
+  const auto snap = rig.sampler->snapshot(0, rig.eng->now());
+  EXPECT_EQ(snap.total_self_ns(),
+            static_cast<std::int64_t>(elapsed_periods) * kPeriod);
+}
+
+TEST_P(ProfilerPropertyTest, InclusiveDominatesSelf) {
+  Rig rig;
+  rig.run(GetParam());
+  const auto snap = rig.sampler->snapshot(0, rig.eng->now());
+  for (const auto& fp : snap.functions()) {
+    EXPECT_GE(fp.inclusive_ns, fp.self_ns) << fp.name;
+  }
+  // The root is on the stack for the entire run.
+  const auto* root = snap.find("root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->inclusive_ns,
+            (rig.eng->now() / kPeriod) * kPeriod);
+}
+
+TEST_P(ProfilerPropertyTest, CallGraphArcsMatchFlatCallCounts) {
+  Rig rig;
+  rig.run(GetParam());
+  const auto flat = rig.sampler->snapshot(0, rig.eng->now());
+  const auto graph = rig.callgraph->snapshot(0, rig.eng->now());
+  for (const auto& fp : flat.functions()) {
+    EXPECT_EQ(graph.total_calls_into(fp.name), fp.calls) << fp.name;
+  }
+}
+
+TEST_P(ProfilerPropertyTest, ArcTimesSumToFlatSelfTime) {
+  Rig rig;
+  rig.run(GetParam());
+  const auto flat = rig.sampler->snapshot(0, rig.eng->now());
+  const auto graph = rig.callgraph->snapshot(0, rig.eng->now());
+  // Self time of f = sum of (caller -> f) arc times over all callers:
+  // every sample charged f exactly once, on the arc from its current
+  // direct parent.
+  for (const auto& fp : flat.functions()) {
+    std::int64_t arc_sum = 0;
+    for (const auto* e : graph.callers_of(fp.name)) {
+      arc_sum += e->time_ns;
+    }
+    EXPECT_EQ(arc_sum, fp.self_ns) << fp.name;
+  }
+}
+
+TEST_P(ProfilerPropertyTest, CollectorDumpsPartitionTheRun) {
+  sim::EngineConfig ec;
+  ec.sample_period_ns = kPeriod;
+  sim::ExecutionEngine eng(ec);
+  SamplingProfiler sampler(eng);
+  CollectorConfig cc;
+  cc.interval_ns = 500;
+  IncProfCollector collector(sampler, cc);
+  eng.add_listener(&sampler);
+  eng.add_listener(&collector);
+  {
+    util::Rng rng(GetParam());
+    sim::ScopedFunction root(eng, "root");
+    for (int i = 0; i < 40; ++i) random_tree(eng, rng, 3);
+  }
+  eng.finish();
+
+  // Differencing the cumulative dumps and re-summing must reproduce the
+  // final cumulative totals exactly (no time lost at dump boundaries).
+  const auto& snaps = collector.snapshots();
+  ASSERT_GE(snaps.size(), 2u);
+  std::int64_t sum = 0;
+  gmon::ProfileSnapshot prev;
+  for (const auto& snap : snaps) {
+    sum += gmon::difference(snap, prev).total_self_ns();
+    prev = snap;
+  }
+  EXPECT_EQ(sum, snaps.back().total_self_ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfilerPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace incprof::prof

@@ -1,0 +1,144 @@
+#include "prof/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::prof {
+namespace {
+
+sim::EngineConfig config(sim::vtime_t period = 10) {
+  sim::EngineConfig cfg;
+  cfg.sample_period_ns = period;
+  cfg.work_jitter_rel = 0.0;
+  return cfg;
+}
+
+TEST(Sampler, AttributesSelfTimeToStackTop) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  eng.enter("outer");
+  eng.work(50);  // 5 samples -> outer
+  eng.enter("inner");
+  eng.work(30);  // 3 samples -> inner
+  eng.leave();
+  eng.leave();
+
+  const auto snap = prof.snapshot(0, eng.now());
+  ASSERT_NE(snap.find("outer"), nullptr);
+  ASSERT_NE(snap.find("inner"), nullptr);
+  EXPECT_EQ(snap.find("outer")->self_ns, 50);
+  EXPECT_EQ(snap.find("inner")->self_ns, 30);
+}
+
+TEST(Sampler, InclusiveCoversWholeStack) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  eng.enter("outer");
+  eng.enter("inner");
+  eng.work(40);
+  eng.leave();
+  eng.leave();
+
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.find("outer")->self_ns, 0);
+  EXPECT_EQ(snap.find("outer")->inclusive_ns, 40);
+  EXPECT_EQ(snap.find("inner")->inclusive_ns, 40);
+}
+
+TEST(Sampler, RecursionDoesNotDoubleChargeInclusive) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  eng.enter("rec");
+  eng.enter("rec");
+  eng.enter("rec");
+  eng.work(100);
+  eng.leave();
+  eng.leave();
+  eng.leave();
+
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.find("rec")->self_ns, 100);
+  EXPECT_EQ(snap.find("rec")->inclusive_ns, 100);  // once per sample
+  EXPECT_EQ(snap.find("rec")->calls, 3);
+}
+
+TEST(Sampler, CountsEveryCall) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  for (int i = 0; i < 7; ++i) {
+    eng.enter("f");
+    eng.leave();
+  }
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.find("f")->calls, 7);
+  // Zero-duration calls are never sampled: the body/loop distinction
+  // depends on exactly this (calls > 0, self possibly 0).
+  EXPECT_EQ(snap.find("f")->self_ns, 0);
+}
+
+TEST(Sampler, EmptyStackSamplesAreDropped) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  eng.work(50);  // nothing on the stack: gprof would see unknown PCs
+  eng.enter("f");
+  eng.work(20);
+  eng.leave();
+
+  EXPECT_EQ(prof.dropped_samples(), 5u);
+  EXPECT_EQ(prof.total_samples(), 2u);
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.total_self_ns(), 20);
+}
+
+TEST(Sampler, SnapshotIsCumulative) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+
+  eng.enter("f");
+  eng.work(30);
+  const auto first = prof.snapshot(0, eng.now());
+  eng.work(30);
+  const auto second = prof.snapshot(1, eng.now());
+  eng.leave();
+
+  EXPECT_EQ(first.find("f")->self_ns, 30);
+  EXPECT_EQ(second.find("f")->self_ns, 60);  // totals since start
+  EXPECT_EQ(second.seq(), 1u);
+}
+
+TEST(Sampler, SelfTimeScalesWithSamplePeriod) {
+  sim::ExecutionEngine eng(config(1000));
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+  eng.enter("f");
+  eng.work(5500);  // 5 samples at period 1000
+  eng.leave();
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.find("f")->self_ns, 5000);
+}
+
+TEST(Sampler, FunctionsNeverSampledOrCalledAbsentFromSnapshot) {
+  sim::ExecutionEngine eng(config());
+  SamplingProfiler prof(eng);
+  eng.add_listener(&prof);
+  eng.registry().intern("registered_but_never_run");
+  eng.enter("f");
+  eng.work(10);
+  eng.leave();
+  const auto snap = prof.snapshot(0, eng.now());
+  EXPECT_EQ(snap.find("registered_but_never_run"), nullptr);
+  EXPECT_EQ(snap.size(), 1u);
+}
+
+}  // namespace
+}  // namespace incprof::prof

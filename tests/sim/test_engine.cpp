@@ -1,0 +1,238 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace incprof::sim {
+namespace {
+
+/// Records every event for assertion.
+class RecordingListener : public EngineListener {
+ public:
+  struct Event {
+    char kind;  // 'e'nter, 'l'eave, 's'ample, 't'ick, 'f'inish
+    FunctionId fid;
+    vtime_t when;
+  };
+
+  void on_enter(FunctionId fid, vtime_t now) override {
+    events.push_back({'e', fid, now});
+  }
+  void on_leave(FunctionId fid, vtime_t now) override {
+    events.push_back({'l', fid, now});
+  }
+  void on_sample(const ExecutionEngine& eng, vtime_t now) override {
+    events.push_back({'s', eng.current(), now});
+  }
+  void on_loop_tick(FunctionId fid, vtime_t now) override {
+    events.push_back({'t', fid, now});
+  }
+  void on_finish(const ExecutionEngine&, vtime_t now) override {
+    events.push_back({'f', kNoFunction, now});
+  }
+
+  std::size_t count(char kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Event> events;
+};
+
+EngineConfig fast_config() {
+  EngineConfig cfg;
+  cfg.sample_period_ns = 10;  // tiny period for easy arithmetic
+  cfg.work_jitter_rel = 0.0;
+  return cfg;
+}
+
+TEST(Engine, StartsAtTimeZeroEmptyStack) {
+  ExecutionEngine eng(fast_config());
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_EQ(eng.depth(), 0u);
+  EXPECT_EQ(eng.current(), kNoFunction);
+}
+
+TEST(Engine, EnterLeaveMaintainsStack) {
+  ExecutionEngine eng(fast_config());
+  const FunctionId a = eng.enter("a");
+  EXPECT_EQ(eng.current(), a);
+  const FunctionId b = eng.enter("b");
+  EXPECT_EQ(eng.current(), b);
+  EXPECT_EQ(eng.depth(), 2u);
+  ASSERT_EQ(eng.stack().size(), 2u);
+  EXPECT_EQ(eng.stack()[0], a);
+  EXPECT_EQ(eng.stack()[1], b);
+  eng.leave();
+  EXPECT_EQ(eng.current(), a);
+  eng.leave();
+  EXPECT_EQ(eng.depth(), 0u);
+}
+
+TEST(Engine, WorkAdvancesClockExactly) {
+  ExecutionEngine eng(fast_config());
+  eng.work(25);
+  EXPECT_EQ(eng.now(), 25);
+  eng.work(0);
+  EXPECT_EQ(eng.now(), 25);
+  eng.work(-5);
+  EXPECT_EQ(eng.now(), 25);
+}
+
+TEST(Engine, SamplesFireAtEveryPeriodBoundary) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  eng.enter("f");
+  eng.work(35);  // boundaries at 10, 20, 30
+  EXPECT_EQ(rec.count('s'), 3u);
+  eng.work(5);  // crosses 40
+  EXPECT_EQ(rec.count('s'), 4u);
+}
+
+TEST(Engine, SampleSeesCurrentStackTop) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  const FunctionId a = eng.enter("a");
+  eng.work(10);
+  const FunctionId b = eng.enter("b");
+  eng.work(10);
+  eng.leave();
+  eng.work(10);
+  std::vector<FunctionId> sampled;
+  for (const auto& e : rec.events) {
+    if (e.kind == 's') sampled.push_back(e.fid);
+  }
+  ASSERT_EQ(sampled.size(), 3u);
+  EXPECT_EQ(sampled[0], a);
+  EXPECT_EQ(sampled[1], b);
+  EXPECT_EQ(sampled[2], a);
+}
+
+TEST(Engine, SplitWorkAccumulatesToSameSampleCount) {
+  // Sampling must depend on total time, not on work() call granularity.
+  ExecutionEngine one(fast_config()), many(fast_config());
+  RecordingListener r1, r2;
+  one.add_listener(&r1);
+  many.add_listener(&r2);
+  one.enter("f");
+  many.enter("f");
+  one.work(100);
+  for (int i = 0; i < 100; ++i) many.work(1);
+  EXPECT_EQ(one.now(), many.now());
+  EXPECT_EQ(r1.count('s'), r2.count('s'));
+  EXPECT_EQ(r1.count('s'), 10u);
+}
+
+TEST(Engine, EnterLeaveEventsCarryFunctionAndTime) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  const FunctionId f = eng.enter("f");
+  eng.work(7);
+  eng.leave();
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[0].kind, 'e');
+  EXPECT_EQ(rec.events[0].fid, f);
+  EXPECT_EQ(rec.events[0].when, 0);
+  EXPECT_EQ(rec.events[1].kind, 'l');
+  EXPECT_EQ(rec.events[1].fid, f);
+  EXPECT_EQ(rec.events[1].when, 7);
+}
+
+TEST(Engine, LoopTickReportsCurrentFunction) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  eng.loop_tick();  // empty stack
+  const FunctionId f = eng.enter("f");
+  eng.loop_tick();
+  ASSERT_EQ(rec.count('t'), 2u);
+  EXPECT_EQ(rec.events[0].fid, kNoFunction);
+  EXPECT_EQ(rec.events[2].fid, f);
+}
+
+TEST(Engine, FinishNotifiesListeners) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  eng.work(12);
+  eng.finish();
+  EXPECT_EQ(rec.count('f'), 1u);
+  EXPECT_EQ(rec.events.back().when, 12);
+}
+
+TEST(Engine, RemoveListenerStopsDelivery) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  eng.enter("f");
+  eng.remove_listener(&rec);
+  eng.work(50);
+  eng.leave();
+  EXPECT_EQ(rec.count('s'), 0u);
+  EXPECT_EQ(rec.count('l'), 0u);
+  EXPECT_EQ(rec.count('e'), 1u);  // only the enter before removal
+}
+
+TEST(Engine, MultipleListenersAllNotified) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener r1, r2;
+  eng.add_listener(&r1);
+  eng.add_listener(&r2);
+  eng.enter("f");
+  eng.work(10);
+  EXPECT_EQ(r1.count('s'), 1u);
+  EXPECT_EQ(r2.count('s'), 1u);
+}
+
+TEST(Engine, JitterPerturbsButStaysBounded) {
+  EngineConfig cfg;
+  cfg.sample_period_ns = 1000;
+  cfg.work_jitter_rel = 0.1;
+  cfg.seed = 5;
+  ExecutionEngine eng(cfg);
+  eng.enter("f");
+  // 1000 work units of 100 each: mean should stay near 100'000 within
+  // the 3-sigma clamp.
+  for (int i = 0; i < 1000; ++i) eng.work(100);
+  EXPECT_GT(eng.now(), 100'000 * 0.7);
+  EXPECT_LT(eng.now(), 100'000 * 1.3);
+  EXPECT_NE(eng.now(), 100'000);  // jitter actually applied
+}
+
+TEST(Engine, JitterDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    EngineConfig cfg;
+    cfg.sample_period_ns = 1000;
+    cfg.work_jitter_rel = 0.05;
+    cfg.seed = seed;
+    ExecutionEngine eng(cfg);
+    eng.enter("f");
+    for (int i = 0; i < 100; ++i) eng.work(997);
+    return eng.now();
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+TEST(ScopedFunction, EntersAndLeavesViaRaii) {
+  ExecutionEngine eng(fast_config());
+  RecordingListener rec;
+  eng.add_listener(&rec);
+  {
+    ScopedFunction f(eng, "scoped");
+    EXPECT_EQ(eng.depth(), 1u);
+  }
+  EXPECT_EQ(eng.depth(), 0u);
+  EXPECT_EQ(rec.count('e'), 1u);
+  EXPECT_EQ(rec.count('l'), 1u);
+}
+
+}  // namespace
+}  // namespace incprof::sim

@@ -1,0 +1,52 @@
+#include "sim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::sim {
+namespace {
+
+TEST(Registry, InternAssignsDenseIdsInOrder) {
+  FunctionRegistry reg;
+  EXPECT_EQ(reg.intern("a"), 0u);
+  EXPECT_EQ(reg.intern("b"), 1u);
+  EXPECT_EQ(reg.intern("c"), 2u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Registry, InternIsIdempotent) {
+  FunctionRegistry reg;
+  const FunctionId a = reg.intern("run_bfs");
+  EXPECT_EQ(reg.intern("run_bfs"), a);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, NameRoundTrips) {
+  FunctionRegistry reg;
+  const FunctionId id = reg.intern("PairLJCut::compute");
+  EXPECT_EQ(reg.name(id), "PairLJCut::compute");
+}
+
+TEST(Registry, LookupFindsOnlyInterned) {
+  FunctionRegistry reg;
+  reg.intern("present");
+  EXPECT_NE(reg.lookup("present"), kNoFunction);
+  EXPECT_EQ(reg.lookup("absent"), kNoFunction);
+  EXPECT_EQ(reg.lookup(""), kNoFunction);
+}
+
+TEST(Registry, ManySymbolsStayConsistent) {
+  FunctionRegistry reg;
+  for (int i = 0; i < 1000; ++i) {
+    reg.intern("fn_" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = "fn_" + std::to_string(i);
+    const FunctionId id = reg.lookup(name);
+    ASSERT_NE(id, kNoFunction);
+    EXPECT_EQ(reg.name(id), name);
+  }
+}
+
+}  // namespace
+}  // namespace incprof::sim

@@ -1,0 +1,99 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace incprof::util {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"has,comma", "has\"quote", "line\nbreak", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",\"line\nbreak\",plain\n");
+}
+
+TEST(CsvWriter, RowOfMixedTypes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row_of("label", 42, 2.5, std::size_t{7});
+  EXPECT_EQ(os.str(), "label,42,2.5,7\n");
+}
+
+TEST(ParseCsv, HeaderAndRows) {
+  const auto doc = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(ParseCsv, ColumnLookup) {
+  const auto doc = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(doc.column("y"), 1);
+  EXPECT_EQ(doc.column("missing"), -1);
+}
+
+TEST(ParseCsv, QuotedFieldsWithCommasAndQuotes) {
+  const auto doc = parse_csv("h\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[1][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, QuotedNewlineInsideField) {
+  const auto doc = parse_csv("h\n\"two\nlines\"\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "two\nlines");
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto doc = parse_csv("h\nlast");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "last");
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(ParseCsv, EmptyInput) {
+  const auto doc = parse_csv("");
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(ParseCsv, EmptyFieldsPreserved) {
+  const auto doc = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  ASSERT_EQ(doc.rows[0].size(), 3u);
+  EXPECT_EQ(doc.rows[0][0], "");
+  EXPECT_EQ(doc.rows[0][2], "");
+}
+
+TEST(CsvRoundTrip, WriteThenParse) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"name", "value"});
+  w.row({"with,comma", "v\"q"});
+  w.row({"plain", "x"});
+  const auto doc = parse_csv(os.str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "with,comma");
+  EXPECT_EQ(doc.rows[0][1], "v\"q");
+  EXPECT_EQ(doc.rows[1][0], "plain");
+}
+
+}  // namespace
+}  // namespace incprof::util

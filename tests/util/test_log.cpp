@@ -1,0 +1,67 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace incprof::util {
+namespace {
+
+/// Captures log output for the duration of a test, restoring the
+/// defaults afterwards.
+class LogCapture {
+ public:
+  LogCapture() {
+    set_log_sink([this](LogLevel level, std::string_view msg) {
+      entries.emplace_back(level, std::string(msg));
+    });
+  }
+  ~LogCapture() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> entries;
+};
+
+TEST(Log, DefaultThresholdSuppressesInfoAndDebug) {
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  log_debug("d");
+  log_info("i");
+  log_warn("w");
+  log_error("e");
+  ASSERT_EQ(capture.entries.size(), 2u);
+  EXPECT_EQ(capture.entries[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.entries[1].second, "e");
+}
+
+TEST(Log, LoweringThresholdEnablesVerboseLevels) {
+  LogCapture capture;
+  set_log_level(LogLevel::kDebug);
+  log_debug("d");
+  log_info("i");
+  EXPECT_EQ(capture.entries.size(), 2u);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, RaisingThresholdSilencesWarnings) {
+  LogCapture capture;
+  set_log_level(LogLevel::kError);
+  log_warn("w");
+  EXPECT_TRUE(capture.entries.empty());
+  log_error("e");
+  EXPECT_EQ(capture.entries.size(), 1u);
+}
+
+TEST(Log, SinkReceivesExactMessage) {
+  LogCapture capture;
+  set_log_level(LogLevel::kInfo);
+  log(LogLevel::kInfo, "hello incprof");
+  ASSERT_EQ(capture.entries.size(), 1u);
+  EXPECT_EQ(capture.entries[0].second, "hello incprof");
+}
+
+}  // namespace
+}  // namespace incprof::util

@@ -1,0 +1,160 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace incprof::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministicPerSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundTest, NextBelowStaysInRange) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST_P(RngBoundTest, NextBelowHitsAllSmallValues) {
+  const std::uint64_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.next_below(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 1000,
+                                           1ull << 40));
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextInSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_in(42, 42), 42);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  constexpr int kN = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, JitterZeroRelIsExactlyOne) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.jitter(0.0), 1.0);
+}
+
+class JitterClampTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JitterClampTest, StaysWithinThreeSigma) {
+  const double rel = GetParam();
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    const double f = rng.jitter(rel);
+    EXPECT_GE(f, 1.0 - 3.0 * rel - 1e-12);
+    EXPECT_LE(f, 1.0 + 3.0 * rel + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rels, JitterClampTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3));
+
+TEST(Rng, JitterMeanNearOne) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.jitter(0.05);
+  EXPECT_NEAR(sum / kN, 1.0, 0.002);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream must not simply replay the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically sure
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+}  // namespace
+}  // namespace incprof::util

@@ -1,0 +1,64 @@
+#include "util/sparkline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::util {
+namespace {
+
+TEST(Sparkline, EmptyInputs) {
+  EXPECT_EQ(sparkline({}, 10), "");
+  const std::vector<double> v{1.0};
+  EXPECT_EQ(sparkline(v, 0), "");
+}
+
+TEST(Sparkline, ZerosRenderAsSpaces) {
+  const std::vector<double> v(10, 0.0);
+  const std::string s = sparkline(v, 10);
+  EXPECT_EQ(s, std::string(10, ' '));
+}
+
+TEST(Sparkline, MaxRendersAsDensestGlyph) {
+  const std::vector<double> v{0.0, 0.0, 1.0, 0.0};
+  const std::string s = sparkline(v, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[2], '#');
+  EXPECT_EQ(s[0], ' ');
+}
+
+TEST(Sparkline, GapsVisibleBetweenActivity) {
+  // The paper's "heartbeats longer than the interval leave gaps" effect:
+  // zero intervals must be visually distinct.
+  const std::vector<double> v{1, 0, 1, 0, 1};
+  const std::string s = sparkline(v, 5);
+  EXPECT_EQ(s, "# # #");
+}
+
+TEST(Sparkline, DownsamplesByBucketMean) {
+  std::vector<double> v(100, 0.0);
+  for (std::size_t i = 50; i < 100; ++i) v[i] = 2.0;
+  const std::string s = sparkline(v, 10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.substr(0, 5), "     ");
+  EXPECT_EQ(s.substr(5), "#####");
+}
+
+TEST(Sparkline, WidthLargerThanSeries) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::string s = sparkline(v, 8);
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(SeriesPlot, AlignsLabelsAndRendersRuler) {
+  SeriesPlot plot;
+  plot.add_series("short", {1, 2, 3});
+  plot.add_series("much_longer_label", {3, 2, 1});
+  const std::string out = plot.render(20);
+  EXPECT_NE(out.find("short             |"), std::string::npos);
+  EXPECT_NE(out.find("much_longer_label |"), std::string::npos);
+  EXPECT_NE(out.find("| interval"), std::string::npos);
+  EXPECT_NE(out.find("|0"), std::string::npos);
+  EXPECT_NE(out.find("3|"), std::string::npos);  // axis end = series length
+}
+
+}  // namespace
+}  // namespace incprof::util

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace incprof::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, EmptyInputsGiveZero) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(variance(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(min_of(xs), 0.0);
+  EXPECT_EQ(max_of(xs), 0.0);
+  EXPECT_EQ(sum(xs), 0.0);
+  EXPECT_EQ(percentile(xs, 50), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample variance with n-1: mean 5, sum sq dev 32, 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, PopulationVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(population_variance(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, SingleValueHasZeroVariance) {
+  const std::vector<double> xs{3.5};
+  EXPECT_EQ(variance(xs), 0.0);
+  EXPECT_EQ(population_variance(xs), 0.0);
+}
+
+TEST(Stats, MinMaxSum) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_EQ(min_of(xs), -1.0);
+  EXPECT_EQ(max_of(xs), 7.0);
+  EXPECT_EQ(sum(xs), 11.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_EQ(percentile(xs, 0), 10.0);
+  EXPECT_EQ(percentile(xs, 100), 40.0);
+  EXPECT_EQ(percentile(xs, -5), 10.0);
+  EXPECT_EQ(percentile(xs, 150), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_NEAR(percentile(xs, 50), 25.0, 1e-12);
+  EXPECT_NEAR(median(xs), 25.0, 1e-12);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<double> a{40, 10, 30, 20};
+  const std::vector<double> b{10, 20, 30, 40};
+  EXPECT_EQ(percentile(a, 37), percentile(b, 37));
+}
+
+TEST(Stats, CoeffOfVariation) {
+  const std::vector<double> xs{1, 1, 1, 1};
+  EXPECT_EQ(coeff_of_variation(xs), 0.0);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_EQ(coeff_of_variation(zeros), 0.0);
+}
+
+TEST(RunningStats, EmptyState) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStats, TracksMinMaxMean) {
+  RunningStats rs;
+  for (double v : {4.0, 2.0, 8.0, 6.0}) rs.add(v);
+  EXPECT_EQ(rs.count(), 4u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 8.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 20.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats rs;
+  rs.add(10.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+class WelfordMatchesBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordMatchesBatchTest, AgreesWithBatchFormulas) {
+  // Property: the streaming accumulator must agree with the batch
+  // formulas for any data set.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  RunningStats rs;
+  const int n = 10 + GetParam() * 97 % 500;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian() * 100.0 + 5.0;
+    xs.push_back(v);
+    rs.add(v);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_EQ(rs.min(), min_of(xs));
+  EXPECT_EQ(rs.max(), max_of(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordMatchesBatchTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace incprof::util

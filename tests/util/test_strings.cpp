@@ -1,0 +1,118 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWs, SkipsRunsOfWhitespace) {
+  const auto parts = split_ws("  62.21     1.17\t 1.17  run_bfs ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "62.21");
+  EXPECT_EQ(parts[3], "run_bfs");
+}
+
+TEST(SplitWs, EmptyAndAllWhitespace) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(SplitLines, HandlesTrailingNewlineAndCrLf) {
+  const auto lines = split_lines("a\r\nb\nc\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(SplitLines, LastLineWithoutNewline) {
+  const auto lines = split_lines("x\ny");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "y");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("gmon-000001.out", "gmon-"));
+  EXPECT_FALSE(starts_with("gm", "gmon-"));
+  EXPECT_TRUE(ends_with("gmon-000001.out", ".out"));
+  EXPECT_FALSE(ends_with("x", ".out"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(ParseDouble, AcceptsValidRejectsJunk) {
+  double v = -1;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("  -0.5 ", v));
+  EXPECT_DOUBLE_EQ(v, -0.5);
+  EXPECT_TRUE(parse_double("1e3", v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+
+  double keep = 9.0;
+  EXPECT_FALSE(parse_double("", keep));
+  EXPECT_FALSE(parse_double("abc", keep));
+  EXPECT_FALSE(parse_double("1.2x", keep));
+  EXPECT_FALSE(parse_double("1.2 3", keep));
+  EXPECT_DOUBLE_EQ(keep, 9.0);
+}
+
+TEST(ParseU64, AcceptsValidRejectsJunk) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("12345", v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(parse_u64(" 7 ", v));
+  EXPECT_EQ(v, 7u);
+
+  std::uint64_t keep = 99;
+  EXPECT_FALSE(parse_u64("", keep));
+  EXPECT_FALSE(parse_u64("-3", keep));
+  EXPECT_FALSE(parse_u64("3.5", keep));
+  EXPECT_FALSE(parse_u64("99999999999999999999999", keep));  // overflow
+  EXPECT_EQ(keep, 99u);
+}
+
+TEST(FormatFixed, RoundsToPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker's-independent snprintf
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(FormatPct, OneDecimalFromFraction) {
+  EXPECT_EQ(format_pct(0.981), "98.1");
+  EXPECT_EQ(format_pct(1.0), "100.0");
+  EXPECT_EQ(format_pct(0.0), "0.0");
+}
+
+}  // namespace
+}  // namespace incprof::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::util {
+namespace {
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad("ab", 5, Align::kLeft), "ab   ");
+  EXPECT_EQ(pad("ab", 5, Align::kRight), "   ab");
+  EXPECT_EQ(pad("abcdef", 3, Align::kLeft), "abcdef");  // no truncation
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("x      | 1"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t;
+  t.set_header({"n"});
+  t.set_align(0, Align::kRight);
+  t.add_row({"5"});
+  t.add_row({"500"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("  5\n"), std::string::npos);
+  EXPECT_NE(out.find("500\n"), std::string::npos);
+}
+
+TEST(TextTable, MissingTrailingCellsRenderEmpty) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only |   | "), std::string::npos);
+}
+
+TEST(TextTable, SectionSpansTable) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_section("Manual Instrumentation Sites");
+  t.add_row({"3", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Manual Instrumentation Sites"), std::string::npos);
+  // Section label appears after the first data row.
+  EXPECT_LT(out.find("1 | 2"), out.find("Manual"));
+  EXPECT_GT(out.find("3 | 4"), out.find("Manual"));
+}
+
+TEST(TextTable, TitleRendersAboveHeader) {
+  TextTable t;
+  t.set_title("Table I");
+  t.set_header({"x"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.rfind("Table I\n", 0), 0u);
+}
+
+TEST(TextTable, ColumnWidthTracksWidestCell) {
+  TextTable t;
+  t.set_header({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  // Header line padded to the cell width.
+  EXPECT_NE(out.find("h                \n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incprof::util

@@ -1,0 +1,42 @@
+// gmon2text — the "invoke the gprof command line tool to convert the
+// data into standard gprof textual reports" step (paper, Section IV) as
+// a standalone utility: converts every binary gmon-NNNNNN.out dump in a
+// directory to a flat-NNNNNN.txt gprof-style report next to it, or
+// prints a single dump's report to stdout.
+//
+// Usage:
+//   gmon2text <dump_dir>            convert all dumps in the directory
+//   gmon2text <gmon-file>           print one dump's flat profile
+
+#include "gmon/binary_io.hpp"
+#include "gmon/flat_text.hpp"
+#include "gmon/scanner.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace incprof;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <dump_dir | gmon-file>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path target = argv[1];
+  try {
+    if (std::filesystem::is_directory(target)) {
+      const std::size_t n = gmon::convert_dumps_to_text(
+          target, gmon::FlatTextOptions{}.sample_period_ns);
+      std::printf("converted %zu dumps in %s\n", n,
+                  target.string().c_str());
+      return n > 0 ? 0 : 1;
+    }
+    const gmon::ProfileSnapshot snap = gmon::read_binary_file(target);
+    std::fputs(gmon::format_flat_profile(snap).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

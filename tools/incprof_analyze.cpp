@@ -1,0 +1,171 @@
+// incprof_analyze — the offline analysis tool of the IncProf framework:
+// point it at a directory of per-interval profile dumps (gmon-NNNNNN.out
+// binary files from the collector, or flat-NNNNNN.txt gprof reports) and
+// it prints the k-selection diagnostics, the detected phases, and the
+// Algorithm 1 instrumentation-site table.
+//
+// Usage:
+//   incprof_analyze <dump_dir> [options]
+//
+// Options:
+//   --text             parse flat-*.txt reports (converting binary dumps
+//                      first if needed) — the paper's gprof-text path
+//   --merge            merge phases with identical site functions
+//   --silhouette       select k by silhouette instead of the elbow
+//   --standardize      z-score feature columns before clustering
+//   --threshold <f>    coverage threshold for site selection (default .95)
+//   --kmax <n>         upper bound of the k sweep (default 8)
+//   --lift <file>      lift sites using a binary call-graph snapshot
+//   --csv <file>       also write the per-interval feature matrix as CSV
+//   --online           additionally replay the dumps through the
+//                      streaming tracker and print the transition model
+
+#include "core/fastphase.hpp"
+#include "core/lift.hpp"
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/transitions.hpp"
+#include "gmon/callgraph.hpp"
+#include "gmon/scanner.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace incprof;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump_dir> [--text] [--merge] [--silhouette] [--online] "
+               "[--standardize] [--threshold f] [--kmax n] "
+               "[--lift callgraph.bin] [--csv intervals.csv]\n",
+               argv0);
+  return 2;
+}
+
+void write_intervals_csv(const core::IntervalData& data,
+                         const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  util::CsvWriter w(os);
+  std::vector<std::string> header{"interval"};
+  for (const auto& name : data.function_names()) {
+    header.push_back(name + "_self_s");
+    header.push_back(name + "_calls");
+  }
+  w.row(header);
+  for (std::size_t i = 0; i < data.num_intervals(); ++i) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (std::size_t f = 0; f < data.num_functions(); ++f) {
+      row.push_back(util::format_fixed(data.self_seconds().at(i, f), 6));
+      row.push_back(util::format_fixed(data.calls().at(i, f), 0));
+    }
+    w.row(row);
+  }
+  std::printf("interval matrix written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string dump_dir = argv[1];
+
+  core::PipelineConfig cfg;
+  std::string lift_path;
+  std::string csv_path;
+  bool online = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--text") == 0) {
+      cfg.text_round_trip = true;
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      cfg.merge_phases = true;
+    } else if (std::strcmp(arg, "--silhouette") == 0) {
+      cfg.detector.selection = cluster::KSelection::kSilhouette;
+    } else if (std::strcmp(arg, "--standardize") == 0) {
+      cfg.features.standardize = true;
+    } else if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
+      cfg.selector.coverage_threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--kmax") == 0 && i + 1 < argc) {
+      cfg.detector.k_max = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--lift") == 0 && i + 1 < argc) {
+      lift_path = argv[++i];
+    } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(arg, "--online") == 0) {
+      online = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    const core::PhaseAnalysis analysis =
+        core::analyze_dump_dir(dump_dir, cfg);
+
+    std::printf("%zu intervals, %zu profiled functions, total self time "
+                "%.1f s\n\n",
+                analysis.intervals.num_intervals(),
+                analysis.intervals.num_functions(),
+                analysis.intervals.total_self_seconds());
+    std::printf("%s\n\n",
+                core::diagnose_fast_phases(analysis.intervals).summary()
+                    .c_str());
+    std::printf("%s\n", core::render_k_sweep(analysis.detection.sweep,
+                                             analysis.chosen_sweep_index)
+                            .c_str());
+    std::printf("%s\n",
+                core::render_phase_summary(analysis.sites).c_str());
+
+    core::SiteSelectionResult sites = analysis.sites;
+    if (!lift_path.empty()) {
+      std::ifstream is(lift_path, std::ios::binary);
+      if (!is) {
+        std::fprintf(stderr, "cannot read %s\n", lift_path.c_str());
+        return 1;
+      }
+      const std::string bytes((std::istreambuf_iterator<char>(is)),
+                              std::istreambuf_iterator<char>());
+      const auto graph = gmon::decode_call_graph(bytes);
+      const core::LiftResult lifted = core::lift_sites(sites, graph);
+      for (const auto& d : lifted.decisions) {
+        std::printf("lifted (phase %zu): %s -> %s\n", d.phase,
+                    d.original.c_str(), d.lifted_to.c_str());
+      }
+      sites = lifted.sites;
+    }
+    std::printf("%s\n",
+                core::render_site_table(dump_dir, sites, {}).c_str());
+
+    if (!csv_path.empty()) {
+      write_intervals_csv(analysis.intervals, csv_path);
+    }
+
+    if (online) {
+      core::OnlinePhaseTracker tracker;
+      for (const auto& snap : gmon::load_binary_dumps(dump_dir)) {
+        tracker.observe(snap);
+      }
+      const auto model = core::PhaseTransitionModel::from_assignments(
+          tracker.assignments(), tracker.num_phases());
+      std::printf("streaming replay: %zu phases, %zu transitions\n",
+                  tracker.num_phases(), model.num_transitions());
+      std::printf("%s\n", model.render().c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
