@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_callgraph.dir/bench_ablation_callgraph.cpp.o"
+  "CMakeFiles/bench_ablation_callgraph.dir/bench_ablation_callgraph.cpp.o.d"
+  "bench_ablation_callgraph"
+  "bench_ablation_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

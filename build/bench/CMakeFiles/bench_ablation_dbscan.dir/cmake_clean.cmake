@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dbscan.dir/bench_ablation_dbscan.cpp.o"
+  "CMakeFiles/bench_ablation_dbscan.dir/bench_ablation_dbscan.cpp.o.d"
+  "bench_ablation_dbscan"
+  "bench_ablation_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kselect.dir/bench_ablation_kselect.cpp.o"
+  "CMakeFiles/bench_ablation_kselect.dir/bench_ablation_kselect.cpp.o.d"
+  "bench_ablation_kselect"
+  "bench_ablation_kselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_graph500_hb.dir/bench_fig2_graph500_hb.cpp.o"
+  "CMakeFiles/bench_fig2_graph500_hb.dir/bench_fig2_graph500_hb.cpp.o.d"
+  "bench_fig2_graph500_hb"
+  "bench_fig2_graph500_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_graph500_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_miniamr_hb.
+# This may be replaced when dependencies are built.

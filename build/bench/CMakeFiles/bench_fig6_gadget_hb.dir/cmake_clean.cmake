@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gadget_hb.dir/bench_fig6_gadget_hb.cpp.o"
+  "CMakeFiles/bench_fig6_gadget_hb.dir/bench_fig6_gadget_hb.cpp.o.d"
+  "bench_fig6_gadget_hb"
+  "bench_fig6_gadget_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gadget_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

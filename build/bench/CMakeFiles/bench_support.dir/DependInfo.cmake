@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/bench_support.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/bench_support.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/incprof_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ekg/CMakeFiles/incprof_ekg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/incprof_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_minife.dir/bench_table3_minife.cpp.o"
+  "CMakeFiles/bench_table3_minife.dir/bench_table3_minife.cpp.o.d"
+  "bench_table3_minife"
+  "bench_table3_minife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_minife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

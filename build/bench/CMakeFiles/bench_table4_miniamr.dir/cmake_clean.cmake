@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_miniamr.dir/bench_table4_miniamr.cpp.o"
+  "CMakeFiles/bench_table4_miniamr.dir/bench_table4_miniamr.cpp.o.d"
+  "bench_table4_miniamr"
+  "bench_table4_miniamr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_miniamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

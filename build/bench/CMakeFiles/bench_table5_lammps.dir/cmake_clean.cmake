@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_lammps.dir/bench_table5_lammps.cpp.o"
+  "CMakeFiles/bench_table5_lammps.dir/bench_table5_lammps.cpp.o.d"
+  "bench_table5_lammps"
+  "bench_table5_lammps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_lammps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

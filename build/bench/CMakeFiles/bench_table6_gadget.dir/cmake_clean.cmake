@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_gadget.dir/bench_table6_gadget.cpp.o"
+  "CMakeFiles/bench_table6_gadget.dir/bench_table6_gadget.cpp.o.d"
+  "bench_table6_gadget"
+  "bench_table6_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

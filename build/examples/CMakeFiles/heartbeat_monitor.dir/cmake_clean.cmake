@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_monitor.dir/heartbeat_monitor.cpp.o"
+  "CMakeFiles/heartbeat_monitor.dir/heartbeat_monitor.cpp.o.d"
+  "heartbeat_monitor"
+  "heartbeat_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_tracking.dir/live_tracking.cpp.o"
+  "CMakeFiles/live_tracking.dir/live_tracking.cpp.o.d"
+  "live_tracking"
+  "live_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

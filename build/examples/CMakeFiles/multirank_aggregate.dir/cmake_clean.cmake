@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirank_aggregate.dir/multirank_aggregate.cpp.o"
+  "CMakeFiles/multirank_aggregate.dir/multirank_aggregate.cpp.o.d"
+  "multirank_aggregate"
+  "multirank_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirank_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

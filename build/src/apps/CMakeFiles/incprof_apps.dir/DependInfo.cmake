@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gadget.cpp" "src/apps/CMakeFiles/incprof_apps.dir/gadget.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/gadget.cpp.o.d"
+  "/root/repo/src/apps/graph500.cpp" "src/apps/CMakeFiles/incprof_apps.dir/graph500.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/graph500.cpp.o.d"
+  "/root/repo/src/apps/harness.cpp" "src/apps/CMakeFiles/incprof_apps.dir/harness.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/harness.cpp.o.d"
+  "/root/repo/src/apps/mdlj.cpp" "src/apps/CMakeFiles/incprof_apps.dir/mdlj.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/mdlj.cpp.o.d"
+  "/root/repo/src/apps/miniamr.cpp" "src/apps/CMakeFiles/incprof_apps.dir/miniamr.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/miniamr.cpp.o.d"
+  "/root/repo/src/apps/miniapp.cpp" "src/apps/CMakeFiles/incprof_apps.dir/miniapp.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/miniapp.cpp.o.d"
+  "/root/repo/src/apps/minife.cpp" "src/apps/CMakeFiles/incprof_apps.dir/minife.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/minife.cpp.o.d"
+  "/root/repo/src/apps/workload_common.cpp" "src/apps/CMakeFiles/incprof_apps.dir/workload_common.cpp.o" "gcc" "src/apps/CMakeFiles/incprof_apps.dir/workload_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ekg/CMakeFiles/incprof_ekg.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/incprof_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_apps.dir/gadget.cpp.o"
+  "CMakeFiles/incprof_apps.dir/gadget.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/graph500.cpp.o"
+  "CMakeFiles/incprof_apps.dir/graph500.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/harness.cpp.o"
+  "CMakeFiles/incprof_apps.dir/harness.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/mdlj.cpp.o"
+  "CMakeFiles/incprof_apps.dir/mdlj.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/miniamr.cpp.o"
+  "CMakeFiles/incprof_apps.dir/miniamr.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/miniapp.cpp.o"
+  "CMakeFiles/incprof_apps.dir/miniapp.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/minife.cpp.o"
+  "CMakeFiles/incprof_apps.dir/minife.cpp.o.d"
+  "CMakeFiles/incprof_apps.dir/workload_common.cpp.o"
+  "CMakeFiles/incprof_apps.dir/workload_common.cpp.o.d"
+  "libincprof_apps.a"
+  "libincprof_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

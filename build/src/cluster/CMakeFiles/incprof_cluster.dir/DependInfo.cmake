@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/dbscan.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/dbscan.cpp.o.d"
+  "/root/repo/src/cluster/distance.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/distance.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/distance.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/kselect.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/kselect.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/kselect.cpp.o.d"
+  "/root/repo/src/cluster/matrix.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/matrix.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/matrix.cpp.o.d"
+  "/root/repo/src/cluster/quality.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/quality.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/quality.cpp.o.d"
+  "/root/repo/src/cluster/standardize.cpp" "src/cluster/CMakeFiles/incprof_cluster.dir/standardize.cpp.o" "gcc" "src/cluster/CMakeFiles/incprof_cluster.dir/standardize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

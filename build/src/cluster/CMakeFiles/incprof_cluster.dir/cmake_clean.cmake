@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_cluster.dir/dbscan.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/dbscan.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/distance.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/distance.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/kselect.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/kselect.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/matrix.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/matrix.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/quality.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/quality.cpp.o.d"
+  "CMakeFiles/incprof_cluster.dir/standardize.cpp.o"
+  "CMakeFiles/incprof_cluster.dir/standardize.cpp.o.d"
+  "libincprof_cluster.a"
+  "libincprof_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/core/CMakeFiles/incprof_core.dir/aggregate.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/aggregate.cpp.o.d"
+  "/root/repo/src/core/detect.cpp" "src/core/CMakeFiles/incprof_core.dir/detect.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/detect.cpp.o.d"
+  "/root/repo/src/core/fastphase.cpp" "src/core/CMakeFiles/incprof_core.dir/fastphase.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/fastphase.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/incprof_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/intervals.cpp" "src/core/CMakeFiles/incprof_core.dir/intervals.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/intervals.cpp.o.d"
+  "/root/repo/src/core/lift.cpp" "src/core/CMakeFiles/incprof_core.dir/lift.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/lift.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/incprof_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/incprof_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/incprof_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/rank.cpp" "src/core/CMakeFiles/incprof_core.dir/rank.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/rank.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/incprof_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sites.cpp" "src/core/CMakeFiles/incprof_core.dir/sites.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/sites.cpp.o.d"
+  "/root/repo/src/core/transitions.cpp" "src/core/CMakeFiles/incprof_core.dir/transitions.cpp.o" "gcc" "src/core/CMakeFiles/incprof_core.dir/transitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_core.dir/aggregate.cpp.o"
+  "CMakeFiles/incprof_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/detect.cpp.o"
+  "CMakeFiles/incprof_core.dir/detect.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/fastphase.cpp.o"
+  "CMakeFiles/incprof_core.dir/fastphase.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/features.cpp.o"
+  "CMakeFiles/incprof_core.dir/features.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/intervals.cpp.o"
+  "CMakeFiles/incprof_core.dir/intervals.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/lift.cpp.o"
+  "CMakeFiles/incprof_core.dir/lift.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/merge.cpp.o"
+  "CMakeFiles/incprof_core.dir/merge.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/online.cpp.o"
+  "CMakeFiles/incprof_core.dir/online.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/pipeline.cpp.o"
+  "CMakeFiles/incprof_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/rank.cpp.o"
+  "CMakeFiles/incprof_core.dir/rank.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/report.cpp.o"
+  "CMakeFiles/incprof_core.dir/report.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/sites.cpp.o"
+  "CMakeFiles/incprof_core.dir/sites.cpp.o.d"
+  "CMakeFiles/incprof_core.dir/transitions.cpp.o"
+  "CMakeFiles/incprof_core.dir/transitions.cpp.o.d"
+  "libincprof_core.a"
+  "libincprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

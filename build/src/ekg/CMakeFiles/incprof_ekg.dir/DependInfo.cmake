@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ekg/adapter.cpp" "src/ekg/CMakeFiles/incprof_ekg.dir/adapter.cpp.o" "gcc" "src/ekg/CMakeFiles/incprof_ekg.dir/adapter.cpp.o.d"
+  "/root/repo/src/ekg/analysis.cpp" "src/ekg/CMakeFiles/incprof_ekg.dir/analysis.cpp.o" "gcc" "src/ekg/CMakeFiles/incprof_ekg.dir/analysis.cpp.o.d"
+  "/root/repo/src/ekg/heartbeat.cpp" "src/ekg/CMakeFiles/incprof_ekg.dir/heartbeat.cpp.o" "gcc" "src/ekg/CMakeFiles/incprof_ekg.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/ekg/series.cpp" "src/ekg/CMakeFiles/incprof_ekg.dir/series.cpp.o" "gcc" "src/ekg/CMakeFiles/incprof_ekg.dir/series.cpp.o.d"
+  "/root/repo/src/ekg/stream.cpp" "src/ekg/CMakeFiles/incprof_ekg.dir/stream.cpp.o" "gcc" "src/ekg/CMakeFiles/incprof_ekg.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_ekg.dir/adapter.cpp.o"
+  "CMakeFiles/incprof_ekg.dir/adapter.cpp.o.d"
+  "CMakeFiles/incprof_ekg.dir/analysis.cpp.o"
+  "CMakeFiles/incprof_ekg.dir/analysis.cpp.o.d"
+  "CMakeFiles/incprof_ekg.dir/heartbeat.cpp.o"
+  "CMakeFiles/incprof_ekg.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/incprof_ekg.dir/series.cpp.o"
+  "CMakeFiles/incprof_ekg.dir/series.cpp.o.d"
+  "CMakeFiles/incprof_ekg.dir/stream.cpp.o"
+  "CMakeFiles/incprof_ekg.dir/stream.cpp.o.d"
+  "libincprof_ekg.a"
+  "libincprof_ekg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_ekg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

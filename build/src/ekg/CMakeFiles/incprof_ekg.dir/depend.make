@@ -1,0 +1,2 @@
+# Empty dependencies file for incprof_ekg.
+# This may be replaced when dependencies are built.

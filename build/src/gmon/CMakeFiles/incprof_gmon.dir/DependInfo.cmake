@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmon/binary_io.cpp" "src/gmon/CMakeFiles/incprof_gmon.dir/binary_io.cpp.o" "gcc" "src/gmon/CMakeFiles/incprof_gmon.dir/binary_io.cpp.o.d"
+  "/root/repo/src/gmon/callgraph.cpp" "src/gmon/CMakeFiles/incprof_gmon.dir/callgraph.cpp.o" "gcc" "src/gmon/CMakeFiles/incprof_gmon.dir/callgraph.cpp.o.d"
+  "/root/repo/src/gmon/flat_text.cpp" "src/gmon/CMakeFiles/incprof_gmon.dir/flat_text.cpp.o" "gcc" "src/gmon/CMakeFiles/incprof_gmon.dir/flat_text.cpp.o.d"
+  "/root/repo/src/gmon/scanner.cpp" "src/gmon/CMakeFiles/incprof_gmon.dir/scanner.cpp.o" "gcc" "src/gmon/CMakeFiles/incprof_gmon.dir/scanner.cpp.o.d"
+  "/root/repo/src/gmon/snapshot.cpp" "src/gmon/CMakeFiles/incprof_gmon.dir/snapshot.cpp.o" "gcc" "src/gmon/CMakeFiles/incprof_gmon.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

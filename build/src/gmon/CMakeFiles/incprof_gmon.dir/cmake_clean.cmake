@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_gmon.dir/binary_io.cpp.o"
+  "CMakeFiles/incprof_gmon.dir/binary_io.cpp.o.d"
+  "CMakeFiles/incprof_gmon.dir/callgraph.cpp.o"
+  "CMakeFiles/incprof_gmon.dir/callgraph.cpp.o.d"
+  "CMakeFiles/incprof_gmon.dir/flat_text.cpp.o"
+  "CMakeFiles/incprof_gmon.dir/flat_text.cpp.o.d"
+  "CMakeFiles/incprof_gmon.dir/scanner.cpp.o"
+  "CMakeFiles/incprof_gmon.dir/scanner.cpp.o.d"
+  "CMakeFiles/incprof_gmon.dir/snapshot.cpp.o"
+  "CMakeFiles/incprof_gmon.dir/snapshot.cpp.o.d"
+  "libincprof_gmon.a"
+  "libincprof_gmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_gmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

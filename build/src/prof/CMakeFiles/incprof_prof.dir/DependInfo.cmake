@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/callgraph_profiler.cpp" "src/prof/CMakeFiles/incprof_prof.dir/callgraph_profiler.cpp.o" "gcc" "src/prof/CMakeFiles/incprof_prof.dir/callgraph_profiler.cpp.o.d"
+  "/root/repo/src/prof/collector.cpp" "src/prof/CMakeFiles/incprof_prof.dir/collector.cpp.o" "gcc" "src/prof/CMakeFiles/incprof_prof.dir/collector.cpp.o.d"
+  "/root/repo/src/prof/coverage.cpp" "src/prof/CMakeFiles/incprof_prof.dir/coverage.cpp.o" "gcc" "src/prof/CMakeFiles/incprof_prof.dir/coverage.cpp.o.d"
+  "/root/repo/src/prof/overhead.cpp" "src/prof/CMakeFiles/incprof_prof.dir/overhead.cpp.o" "gcc" "src/prof/CMakeFiles/incprof_prof.dir/overhead.cpp.o.d"
+  "/root/repo/src/prof/sampler.cpp" "src/prof/CMakeFiles/incprof_prof.dir/sampler.cpp.o" "gcc" "src/prof/CMakeFiles/incprof_prof.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_prof.dir/callgraph_profiler.cpp.o"
+  "CMakeFiles/incprof_prof.dir/callgraph_profiler.cpp.o.d"
+  "CMakeFiles/incprof_prof.dir/collector.cpp.o"
+  "CMakeFiles/incprof_prof.dir/collector.cpp.o.d"
+  "CMakeFiles/incprof_prof.dir/coverage.cpp.o"
+  "CMakeFiles/incprof_prof.dir/coverage.cpp.o.d"
+  "CMakeFiles/incprof_prof.dir/overhead.cpp.o"
+  "CMakeFiles/incprof_prof.dir/overhead.cpp.o.d"
+  "CMakeFiles/incprof_prof.dir/sampler.cpp.o"
+  "CMakeFiles/incprof_prof.dir/sampler.cpp.o.d"
+  "libincprof_prof.a"
+  "libincprof_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_sim.dir/engine.cpp.o"
+  "CMakeFiles/incprof_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/incprof_sim.dir/rankset.cpp.o"
+  "CMakeFiles/incprof_sim.dir/rankset.cpp.o.d"
+  "CMakeFiles/incprof_sim.dir/registry.cpp.o"
+  "CMakeFiles/incprof_sim.dir/registry.cpp.o.d"
+  "libincprof_sim.a"
+  "libincprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_util.dir/csv.cpp.o"
+  "CMakeFiles/incprof_util.dir/csv.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/log.cpp.o"
+  "CMakeFiles/incprof_util.dir/log.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/rng.cpp.o"
+  "CMakeFiles/incprof_util.dir/rng.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/sparkline.cpp.o"
+  "CMakeFiles/incprof_util.dir/sparkline.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/stats.cpp.o"
+  "CMakeFiles/incprof_util.dir/stats.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/strings.cpp.o"
+  "CMakeFiles/incprof_util.dir/strings.cpp.o.d"
+  "CMakeFiles/incprof_util.dir/table.cpp.o"
+  "CMakeFiles/incprof_util.dir/table.cpp.o.d"
+  "libincprof_util.a"
+  "libincprof_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

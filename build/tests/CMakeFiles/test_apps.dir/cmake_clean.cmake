@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_apps.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_apps.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_extensions.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_extensions.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_harness.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_harness.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_workload_common.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_workload_common.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_workload_correctness.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_workload_correctness.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

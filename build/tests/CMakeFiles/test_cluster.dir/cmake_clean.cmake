@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_dbscan.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_dbscan.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_distance.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_distance.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_kselect.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_kselect.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_matrix.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_matrix.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_quality.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_quality.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_standardize.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_standardize.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

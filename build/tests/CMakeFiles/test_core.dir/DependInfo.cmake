@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aggregate.cpp" "tests/CMakeFiles/test_core.dir/core/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_aggregate.cpp.o.d"
+  "/root/repo/tests/core/test_detect.cpp" "tests/CMakeFiles/test_core.dir/core/test_detect.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_detect.cpp.o.d"
+  "/root/repo/tests/core/test_fastphase.cpp" "tests/CMakeFiles/test_core.dir/core/test_fastphase.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fastphase.cpp.o.d"
+  "/root/repo/tests/core/test_features.cpp" "tests/CMakeFiles/test_core.dir/core/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_features.cpp.o.d"
+  "/root/repo/tests/core/test_intervals.cpp" "tests/CMakeFiles/test_core.dir/core/test_intervals.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_intervals.cpp.o.d"
+  "/root/repo/tests/core/test_lift.cpp" "tests/CMakeFiles/test_core.dir/core/test_lift.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lift.cpp.o.d"
+  "/root/repo/tests/core/test_merge.cpp" "tests/CMakeFiles/test_core.dir/core/test_merge.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_merge.cpp.o.d"
+  "/root/repo/tests/core/test_online.cpp" "tests/CMakeFiles/test_core.dir/core/test_online.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_online.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/core/test_rank.cpp" "tests/CMakeFiles/test_core.dir/core/test_rank.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rank.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_sites.cpp" "tests/CMakeFiles/test_core.dir/core/test_sites.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sites.cpp.o.d"
+  "/root/repo/tests/core/test_transitions.cpp" "tests/CMakeFiles/test_core.dir/core/test_transitions.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_transitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/incprof_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/incprof_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/ekg/CMakeFiles/incprof_ekg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_aggregate.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_aggregate.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_detect.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_detect.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fastphase.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fastphase.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_features.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_features.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_intervals.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_intervals.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lift.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lift.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_merge.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_merge.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rank.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rank.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sites.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sites.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_transitions.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_transitions.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ekg.dir/ekg/test_adapter.cpp.o"
+  "CMakeFiles/test_ekg.dir/ekg/test_adapter.cpp.o.d"
+  "CMakeFiles/test_ekg.dir/ekg/test_analysis.cpp.o"
+  "CMakeFiles/test_ekg.dir/ekg/test_analysis.cpp.o.d"
+  "CMakeFiles/test_ekg.dir/ekg/test_heartbeat.cpp.o"
+  "CMakeFiles/test_ekg.dir/ekg/test_heartbeat.cpp.o.d"
+  "CMakeFiles/test_ekg.dir/ekg/test_series.cpp.o"
+  "CMakeFiles/test_ekg.dir/ekg/test_series.cpp.o.d"
+  "CMakeFiles/test_ekg.dir/ekg/test_stream.cpp.o"
+  "CMakeFiles/test_ekg.dir/ekg/test_stream.cpp.o.d"
+  "test_ekg"
+  "test_ekg.pdb"
+  "test_ekg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ekg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

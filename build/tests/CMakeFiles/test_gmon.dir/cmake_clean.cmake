@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmon.dir/gmon/test_binary_io.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_binary_io.cpp.o.d"
+  "CMakeFiles/test_gmon.dir/gmon/test_callgraph.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_callgraph.cpp.o.d"
+  "CMakeFiles/test_gmon.dir/gmon/test_flat_text.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_flat_text.cpp.o.d"
+  "CMakeFiles/test_gmon.dir/gmon/test_robustness.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_robustness.cpp.o.d"
+  "CMakeFiles/test_gmon.dir/gmon/test_scanner.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_scanner.cpp.o.d"
+  "CMakeFiles/test_gmon.dir/gmon/test_snapshot.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon/test_snapshot.cpp.o.d"
+  "test_gmon"
+  "test_gmon.pdb"
+  "test_gmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

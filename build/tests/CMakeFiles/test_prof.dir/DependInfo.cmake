@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prof/test_callgraph_profiler.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_callgraph_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_callgraph_profiler.cpp.o.d"
+  "/root/repo/tests/prof/test_collector.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_collector.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_collector.cpp.o.d"
+  "/root/repo/tests/prof/test_coverage.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_coverage.cpp.o.d"
+  "/root/repo/tests/prof/test_overhead.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_overhead.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_overhead.cpp.o.d"
+  "/root/repo/tests/prof/test_profiler_properties.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_profiler_properties.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_profiler_properties.cpp.o.d"
+  "/root/repo/tests/prof/test_sampler.cpp" "tests/CMakeFiles/test_prof.dir/prof/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_prof.dir/prof/test_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/incprof_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/incprof_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/ekg/CMakeFiles/incprof_ekg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prof.dir/prof/test_callgraph_profiler.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_callgraph_profiler.cpp.o.d"
+  "CMakeFiles/test_prof.dir/prof/test_collector.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_collector.cpp.o.d"
+  "CMakeFiles/test_prof.dir/prof/test_coverage.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_coverage.cpp.o.d"
+  "CMakeFiles/test_prof.dir/prof/test_overhead.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_overhead.cpp.o.d"
+  "CMakeFiles/test_prof.dir/prof/test_profiler_properties.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_profiler_properties.cpp.o.d"
+  "CMakeFiles/test_prof.dir/prof/test_sampler.cpp.o"
+  "CMakeFiles/test_prof.dir/prof/test_sampler.cpp.o.d"
+  "test_prof"
+  "test_prof.pdb"
+  "test_prof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

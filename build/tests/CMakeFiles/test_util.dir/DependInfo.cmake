@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_sparkline.cpp" "tests/CMakeFiles/test_util.dir/util/test_sparkline.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_sparkline.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/incprof_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/incprof_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/ekg/CMakeFiles/incprof_ekg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/incprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/incprof_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/incprof_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/incprof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_gmon[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_prof[1]_include.cmake")
+include("/root/repo/build/tests/test_ekg[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+add_test(tool_collect_smoke "/root/repo/build/tools/incprof_collect" "miniamr" "/root/repo/build/tests/tool_dumps")
+set_tests_properties(tool_collect_smoke PROPERTIES  FIXTURES_SETUP "tool_dumps" PASS_REGULAR_EXPRESSION "dumps -> .*callgraph\\.bin" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;90;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_analyze_smoke "/root/repo/build/tools/incprof_analyze" "/root/repo/build/tests/tool_dumps" "--text" "--merge" "--lift" "/root/repo/build/tests/tool_dumps/callgraph.bin")
+set_tests_properties(tool_analyze_smoke PROPERTIES  FIXTURES_REQUIRED "tool_dumps" PASS_REGULAR_EXPRESSION "instrumented functions" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_gmon2text_smoke "/root/repo/build/tools/gmon2text" "/root/repo/build/tests/tool_dumps")
+set_tests_properties(tool_gmon2text_smoke PROPERTIES  FIXTURES_REQUIRED "tool_dumps" PASS_REGULAR_EXPRESSION "converted [0-9]+ dumps" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;103;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_analyze_rejects_bad_usage "/root/repo/build/tools/incprof_analyze")
+set_tests_properties(tool_analyze_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;109;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_collect_rejects_unknown_app "/root/repo/build/tools/incprof_collect" "no_such_app" "/root/repo/build/tests/nope")
+set_tests_properties(tool_collect_rejects_unknown_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;112;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmon2text.dir/gmon2text.cpp.o"
+  "CMakeFiles/gmon2text.dir/gmon2text.cpp.o.d"
+  "gmon2text"
+  "gmon2text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmon2text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

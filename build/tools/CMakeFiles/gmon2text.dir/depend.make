@@ -1,0 +1,2 @@
+# Empty dependencies file for gmon2text.
+# This may be replaced when dependencies are built.

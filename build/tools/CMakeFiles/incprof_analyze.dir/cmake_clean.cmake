@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_analyze.dir/incprof_analyze.cpp.o"
+  "CMakeFiles/incprof_analyze.dir/incprof_analyze.cpp.o.d"
+  "incprof_analyze"
+  "incprof_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incprof_collect.dir/incprof_collect.cpp.o"
+  "CMakeFiles/incprof_collect.dir/incprof_collect.cpp.o.d"
+  "incprof_collect"
+  "incprof_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incprof_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
