@@ -1,0 +1,181 @@
+// bench_service_throughput — stress the incprofd service layer: many
+// concurrent sessions stream synthetic cumulative dumps through one
+// Server over the in-process loopback transport. Reports sustained
+// frame throughput, the drop rate under the bounded per-session queues,
+// and the deepest queue observed. Completing at all is the deadlock
+// check the service layer is judged on; the numbers size how many
+// deployed applications one daemon instance can watch.
+//
+// Usage: bench_service_throughput [--sessions n] [--intervals n]
+//                                 [--workers n] [--queue-capacity n]
+
+#include "service/loopback.hpp"
+#include "service/replay.hpp"
+#include "service/server.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace incprof;
+
+namespace {
+
+// Inline synthetic stream: three rotating behaviours with smooth
+// per-interval wobble (the same shape tests/core/synthetic.hpp builds,
+// regenerated here because benches do not include test headers). Each
+// session gets a distinct scale so streams are not byte-identical.
+std::vector<gmon::ProfileSnapshot> make_stream(std::size_t session,
+                                               std::size_t intervals) {
+  const double scale = 1.0 + 0.03 * static_cast<double>(session % 16);
+  std::int64_t init_ns = 0;
+  std::int64_t solve_ns = 0;
+  std::int64_t output_ns = 0;
+  std::int64_t init_calls = 0;
+  std::int64_t solve_calls = 0;
+  std::int64_t output_calls = 0;
+
+  std::vector<gmon::ProfileSnapshot> snaps;
+  snaps.reserve(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const double wobble =
+        0.02 * std::sin(static_cast<double>(i) * 1.3 + 0.7);
+    const std::size_t phase = (i / 20) % 3;
+    if (phase == 0) {
+      init_ns += static_cast<std::int64_t>((0.9 + wobble) * scale * 1e9);
+      init_calls += 200;
+    } else if (phase == 1) {
+      solve_ns += static_cast<std::int64_t>((0.95 + wobble) * scale * 1e9);
+      solve_calls += 1;
+    } else {
+      output_ns +=
+          static_cast<std::int64_t>((0.6 + wobble) * scale * 1e9);
+      output_calls += 50;
+    }
+    gmon::ProfileSnapshot snap(static_cast<std::uint32_t>(i),
+                               static_cast<std::int64_t>((i + 1) * 1e9));
+    auto add = [&](const char* name, std::int64_t ns, std::int64_t calls) {
+      if (ns == 0) return;
+      gmon::FunctionProfile fp;
+      fp.name = name;
+      fp.self_ns = ns;
+      fp.inclusive_ns = ns;
+      fp.calls = calls;
+      snap.upsert(fp);
+    };
+    add("init", init_ns, init_calls);
+    add("solve", solve_ns, solve_calls);
+    add("output", output_ns, output_calls);
+    snaps.push_back(std::move(snap));
+  }
+  return snaps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 64;
+  std::size_t intervals = 200;
+  service::ServerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::size_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    };
+    if (arg == "--sessions") {
+      sessions = next();
+    } else if (arg == "--intervals") {
+      intervals = next();
+    } else if (arg == "--workers") {
+      cfg.worker_threads = next();
+    } else if (arg == "--queue-capacity") {
+      cfg.session.queue_capacity = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sessions n] [--intervals n] [--workers n] "
+                   "[--queue-capacity n]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (sessions == 0 || intervals == 0 || cfg.worker_threads == 0) {
+    std::fprintf(stderr, "all sizes must be positive\n");
+    return 2;
+  }
+
+  std::printf("==== Service throughput: %zu sessions x %zu intervals, "
+              "%zu workers, queue capacity %zu ====\n\n",
+              sessions, intervals, cfg.worker_threads,
+              cfg.session.queue_capacity);
+
+  service::LoopbackHub hub;
+  auto listener = hub.make_listener();
+  service::Server server(*listener, cfg);
+  server.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::ReplayResult> results(sessions);
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      service::ReplayOptions opts;
+      opts.client_name = "bench-" + std::to_string(i);
+      auto conn = hub.connect();
+      if (conn == nullptr) return;
+      results[i] = service::replay_session(
+          *conn, make_stream(i, intervals), opts);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t failed = 0;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "session failed: %s\n", r.error.c_str());
+    }
+  }
+
+  const auto& metrics = server.metrics();
+  const std::uint64_t received = metrics.counter_value("frames_received");
+  const std::uint64_t dropped = metrics.counter_value("frames_dropped");
+  const std::uint64_t observed =
+      metrics.counter_value("snapshots_observed");
+  const double drop_rate =
+      received == 0 ? 0.0
+                    : 100.0 * static_cast<double>(dropped) /
+                          static_cast<double>(received);
+
+  std::printf("elapsed            %.3f s\n", elapsed);
+  std::printf("frames received    %llu (%.0f frames/s)\n",
+              static_cast<unsigned long long>(received),
+              static_cast<double>(received) / elapsed);
+  std::printf("snapshots observed %llu\n",
+              static_cast<unsigned long long>(observed));
+  std::printf("frames dropped     %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(dropped), drop_rate);
+  std::printf("max queue depth    %zu\n",
+              server.max_observed_queue_depth());
+  std::printf("sessions closed    %llu of %zu\n",
+              static_cast<unsigned long long>(
+                  metrics.counter_value("sessions_closed")),
+              sessions);
+  std::printf("\nexpectation: all sessions complete (no deadlock), every "
+              "snapshot is observed or counted dropped, and throughput "
+              "stays in the tens of thousands of frames/s — far above "
+              "the 1 Hz per application the paper's collector emits.\n");
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Fleet view — the cross-session aggregate a deployment monitor reads.
+// Each session runs its own OnlinePhaseTracker; the aggregator folds
+// their observations into per-session status rows, a bounded transition
+// log (the events Nickolayev-style real-time monitors alarm on), and a
+// histogram of discovered-phase counts across the fleet — "is every
+// replica of this app seeing the same number of behaviours?".
+#pragma once
+
+#include "core/online.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace incprof::service {
+
+/// One session's row in the fleet report.
+struct FleetSessionInfo {
+  std::uint32_t id = 0;
+  std::string client_name;
+  std::size_t intervals = 0;
+  std::size_t phases = 0;
+  std::size_t current_phase = 0;
+  std::size_t transitions = 0;
+  std::uint64_t heartbeat_records = 0;
+  std::uint64_t dropped_frames = 0;
+  bool closed = false;
+};
+
+/// One logged phase-change event.
+struct FleetTransition {
+  std::uint32_t session = 0;
+  std::uint32_t interval = 0;
+  std::size_t phase = 0;
+  bool new_phase = false;
+};
+
+/// Thread-safe cross-session aggregate. Sessions report through the
+/// record_* methods; readers take consistent snapshots.
+class FleetAggregator {
+ public:
+  /// `transition_log_capacity` bounds the retained event tail; older
+  /// events are discarded (their count survives in total_transitions).
+  explicit FleetAggregator(std::size_t transition_log_capacity = 1024);
+
+  void session_opened(std::uint32_t id, std::string client_name);
+  void session_closed(std::uint32_t id);
+
+  /// Folds one tracker observation in. `total_phases` is the session
+  /// tracker's phase count after the observation.
+  void record_observation(std::uint32_t id,
+                          const core::OnlineObservation& obs,
+                          std::size_t total_phases);
+
+  /// Adds `n` heartbeat records to the session's tally.
+  void record_heartbeats(std::uint32_t id, std::uint64_t n);
+
+  /// Overwrites the session's dropped-frame total (monotone, reported
+  /// by the session queue).
+  void record_drops(std::uint32_t id, std::uint64_t dropped_total);
+
+  /// Per-session rows, ordered by session id.
+  std::vector<FleetSessionInfo> sessions() const;
+
+  /// The retained tail of phase-change events, oldest first.
+  std::vector<FleetTransition> transition_log() const;
+
+  /// histogram[k] = number of sessions whose tracker holds k phases.
+  std::vector<std::size_t> phase_count_histogram() const;
+
+  std::size_t open_sessions() const;
+  std::size_t total_intervals() const;
+  std::uint64_t total_transitions() const;
+
+  /// Human-readable fleet report (the daemon's periodic printout).
+  std::string render() const;
+
+  /// One CSV row per session: id,client,intervals,phases,current_phase,
+  /// transitions,heartbeats,dropped,closed.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  FleetSessionInfo& row(std::uint32_t id);
+
+  const std::size_t log_capacity_;
+  mutable std::mutex mu_;
+  std::vector<FleetSessionInfo> sessions_;  // ordered by id
+  std::deque<FleetTransition> log_;
+  std::uint64_t total_transitions_ = 0;
+};
+
+}  // namespace incprof::service

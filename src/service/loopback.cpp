@@ -1,0 +1,165 @@
+#include "service/loopback.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace incprof::service {
+
+namespace {
+
+/// Bounded MPSC frame queue with close semantics: push blocks while
+/// full, pop drains remaining frames after close before reporting EOF.
+class FrameQueue {
+ public:
+  explicit FrameQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool push(std::string frame) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || frames_.size() < capacity_; });
+    if (closed_) return false;
+    frames_.push_back(std::move(frame));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<std::string> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+    if (frames_.empty()) return std::nullopt;
+    std::string frame = std::move(frames_.front());
+    frames_.pop_front();
+    not_full_.notify_one();
+    return frame;
+  }
+
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::string> frames_;
+  bool closed_ = false;
+};
+
+class LoopbackConnection : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<FrameQueue> out,
+                     std::shared_ptr<FrameQueue> in, std::string label)
+      : out_(std::move(out)), in_(std::move(in)), label_(std::move(label)) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  bool send(std::string_view frame_bytes) override {
+    return out_->push(std::string(frame_bytes));
+  }
+
+  std::optional<std::string> receive() override { return in_->pop(); }
+
+  void close() override {
+    // Closing either end closes both directions, like shutdown(RDWR).
+    out_->close();
+    in_->close();
+  }
+
+  std::string description() const override { return label_; }
+
+ private:
+  std::shared_ptr<FrameQueue> out_;
+  std::shared_ptr<FrameQueue> in_;
+  std::string label_;
+};
+
+}  // namespace
+
+namespace detail {
+
+struct HubState {
+  explicit HubState(std::size_t capacity) : queue_capacity(capacity) {}
+
+  const std::size_t queue_capacity;
+  std::mutex mu;
+  std::condition_variable pending_cv;
+  std::deque<std::unique_ptr<Connection>> pending;
+  std::size_t next_id = 0;
+  bool closed = false;
+
+  std::unique_ptr<Connection> connect() {
+    std::unique_lock lock(mu);
+    if (closed) return nullptr;
+    const std::size_t id = next_id++;
+    auto client_to_server = std::make_shared<FrameQueue>(queue_capacity);
+    auto server_to_client = std::make_shared<FrameQueue>(queue_capacity);
+    const std::string label = "loopback#" + std::to_string(id);
+    auto client = std::make_unique<LoopbackConnection>(
+        client_to_server, server_to_client, label + "/client");
+    pending.push_back(std::make_unique<LoopbackConnection>(
+        server_to_client, client_to_server, label + "/server"));
+    pending_cv.notify_one();
+    return client;
+  }
+
+  std::unique_ptr<Connection> accept() {
+    std::unique_lock lock(mu);
+    pending_cv.wait(lock, [&] { return closed || !pending.empty(); });
+    if (pending.empty()) return nullptr;
+    auto conn = std::move(pending.front());
+    pending.pop_front();
+    return conn;
+  }
+
+  void shutdown() {
+    std::lock_guard lock(mu);
+    closed = true;
+    // Unaccepted peers: closing them makes the matching client ends
+    // see EOF instead of hanging forever.
+    for (auto& conn : pending) conn->close();
+    pending.clear();
+    pending_cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+class LoopbackListener : public Listener {
+ public:
+  explicit LoopbackListener(std::shared_ptr<detail::HubState> state)
+      : state_(std::move(state)) {}
+
+  std::unique_ptr<Connection> accept() override { return state_->accept(); }
+
+  void shutdown() override { state_->shutdown(); }
+
+ private:
+  std::shared_ptr<detail::HubState> state_;
+};
+
+}  // namespace
+
+LoopbackHub::LoopbackHub(std::size_t queue_capacity)
+    : state_(std::make_shared<detail::HubState>(queue_capacity)) {}
+
+LoopbackHub::~LoopbackHub() { shutdown(); }
+
+std::unique_ptr<Connection> LoopbackHub::connect() {
+  return state_->connect();
+}
+
+std::unique_ptr<Listener> LoopbackHub::make_listener() {
+  return std::make_unique<LoopbackListener>(state_);
+}
+
+void LoopbackHub::shutdown() { state_->shutdown(); }
+
+}  // namespace incprof::service

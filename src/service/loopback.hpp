@@ -1,0 +1,46 @@
+// In-process loopback transport: a pair of bounded frame queues per
+// connection, with socket-buffer semantics (send blocks while the peer's
+// queue is full, close wakes both sides). Deterministic and
+// dependency-free, it is what the service tests and the throughput bench
+// run the real Server against.
+#pragma once
+
+#include "service/transport.hpp"
+
+#include <cstddef>
+#include <memory>
+
+namespace incprof::service {
+
+namespace detail {
+struct HubState;
+}
+
+/// Connects in-process clients to one in-process listener.
+class LoopbackHub {
+ public:
+  /// `queue_capacity` bounds each direction's in-flight frame queue —
+  /// the loopback analogue of the kernel socket buffer.
+  explicit LoopbackHub(std::size_t queue_capacity = 1024);
+  ~LoopbackHub();
+
+  LoopbackHub(const LoopbackHub&) = delete;
+  LoopbackHub& operator=(const LoopbackHub&) = delete;
+
+  /// Client side: opens a connection whose peer end becomes available to
+  /// the listener's accept(). Returns nullptr after shutdown.
+  std::unique_ptr<Connection> connect();
+
+  /// Server side: the hub's single accept endpoint. The listener remains
+  /// valid after the hub is destroyed (it shares the hub's state).
+  std::unique_ptr<Listener> make_listener();
+
+  /// Stops accepting; pending and future accepts return nullptr.
+  /// Existing connections keep working until closed individually.
+  void shutdown();
+
+ private:
+  std::shared_ptr<detail::HubState> state_;
+};
+
+}  // namespace incprof::service

@@ -1,0 +1,61 @@
+#include "service/metrics.hpp"
+
+#include "util/csv.hpp"
+
+namespace incprof::service {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter",
+                   static_cast<std::int64_t>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", g->value()});
+  }
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  util::CsvWriter w(os);
+  w.row({"metric", "kind", "value"});
+  for (const auto& s : samples()) {
+    w.row_of(s.name, s.kind, static_cast<long long>(s.value));
+  }
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,358 @@
+#include "service/protocol.hpp"
+
+#include "gmon/binary_io.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace incprof::service {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  static_cast<unsigned char>(bytes_[pos_ + i]))
+                  << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str(std::size_t len) {
+    need(len);
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  void expect_end(const char* what) const {
+    if (pos_ != bytes_.size()) {
+      throw std::runtime_error(std::string("service protocol: trailing "
+                                           "bytes in ") +
+                               what);
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("service protocol: truncated payload");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string frame_of(FrameType type, std::uint32_t session,
+                     std::string payload) {
+  Frame f;
+  f.type = type;
+  f.session = session;
+  f.payload = std::move(payload);
+  return encode_frame(f);
+}
+
+}  // namespace
+
+bool is_known_frame_type(std::uint16_t t) noexcept {
+  return t >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint16_t>(FrameType::kBye);
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::runtime_error("service protocol: payload too large");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  put_u32(out, kProtocolMagic);
+  put_u16(out, kProtocolVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u32(out, frame.session);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  Reader r(bytes);
+  if (r.u32() != kProtocolMagic) {
+    throw std::runtime_error("service protocol: bad magic");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kProtocolVersion) {
+    throw std::runtime_error("service protocol: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint16_t type = r.u16();
+  if (!is_known_frame_type(type)) {
+    throw std::runtime_error("service protocol: unknown frame type " +
+                             std::to_string(type));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.session = r.u32();
+  const std::uint32_t len = r.u32();
+  if (len > kMaxPayloadBytes) {
+    throw std::runtime_error("service protocol: payload length " +
+                             std::to_string(len) + " exceeds bound");
+  }
+  f.payload = r.str(len);
+  r.expect_end("frame");
+  return f;
+}
+
+std::uint32_t frame_payload_length(std::string_view header) {
+  if (header.size() < kFrameHeaderSize) {
+    throw std::runtime_error("service protocol: short frame header");
+  }
+  Reader r(header.substr(0, kFrameHeaderSize));
+  if (r.u32() != kProtocolMagic) {
+    throw std::runtime_error("service protocol: bad magic");
+  }
+  r.u16();  // version; checked by decode_frame once complete
+  r.u16();  // type
+  r.u32();  // session
+  const std::uint32_t len = r.u32();
+  if (len > kMaxPayloadBytes) {
+    throw std::runtime_error("service protocol: payload length " +
+                             std::to_string(len) + " exceeds bound");
+  }
+  return len;
+}
+
+std::string encode_hello(const HelloPayload& p) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(p.client_name.size()));
+  out.append(p.client_name);
+  put_u64(out, p.interval_ns);
+  out.push_back(p.subscribe_events ? 1 : 0);
+  return out;
+}
+
+HelloPayload decode_hello(std::string_view bytes) {
+  Reader r(bytes);
+  HelloPayload p;
+  const std::uint32_t name_len = r.u32();
+  p.client_name = r.str(name_len);
+  p.interval_ns = r.u64();
+  p.subscribe_events = r.u8() != 0;
+  r.expect_end("hello");
+  return p;
+}
+
+std::string encode_hello_ack(const HelloAckPayload& p) {
+  std::string out;
+  put_u32(out, p.session_id);
+  put_u16(out, p.server_version);
+  return out;
+}
+
+HelloAckPayload decode_hello_ack(std::string_view bytes) {
+  Reader r(bytes);
+  HelloAckPayload p;
+  p.session_id = r.u32();
+  p.server_version = r.u16();
+  r.expect_end("hello-ack");
+  return p;
+}
+
+std::string encode_snapshot(const gmon::ProfileSnapshot& snap) {
+  return gmon::encode_binary(snap);
+}
+
+gmon::ProfileSnapshot decode_snapshot(std::string_view bytes) {
+  return gmon::decode_binary(bytes);
+}
+
+std::string encode_heartbeat_batch(const HeartbeatBatchPayload& p) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(p.records.size()));
+  for (const auto& rec : p.records) {
+    put_u32(out, rec.interval);
+    put_u32(out, rec.id);
+    put_u64(out, rec.count);
+    put_f64(out, rec.mean_duration_ns);
+    put_f64(out, rec.max_duration_ns);
+  }
+  return out;
+}
+
+HeartbeatBatchPayload decode_heartbeat_batch(std::string_view bytes) {
+  Reader r(bytes);
+  HeartbeatBatchPayload p;
+  const std::uint32_t count = r.u32();
+  p.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ekg::HeartbeatRecord rec;
+    rec.interval = r.u32();
+    rec.id = r.u32();
+    rec.count = r.u64();
+    rec.mean_duration_ns = r.f64();
+    rec.max_duration_ns = r.f64();
+    p.records.push_back(rec);
+  }
+  r.expect_end("heartbeat-batch");
+  return p;
+}
+
+std::string encode_query(const QueryPayload& p) {
+  std::string out;
+  put_u16(out, static_cast<std::uint16_t>(p.kind));
+  return out;
+}
+
+QueryPayload decode_query(std::string_view bytes) {
+  Reader r(bytes);
+  QueryPayload p;
+  const std::uint16_t kind = r.u16();
+  if (kind != static_cast<std::uint16_t>(QueryKind::kSessionStatus) &&
+      kind != static_cast<std::uint16_t>(QueryKind::kFleetSummary)) {
+    throw std::runtime_error("service protocol: unknown query kind " +
+                             std::to_string(kind));
+  }
+  p.kind = static_cast<QueryKind>(kind);
+  r.expect_end("query");
+  return p;
+}
+
+std::string encode_query_reply(const QueryReplyPayload& p) {
+  std::string out;
+  put_u16(out, static_cast<std::uint16_t>(p.kind));
+  put_u32(out, static_cast<std::uint32_t>(p.text.size()));
+  out.append(p.text);
+  return out;
+}
+
+QueryReplyPayload decode_query_reply(std::string_view bytes) {
+  Reader r(bytes);
+  QueryReplyPayload p;
+  p.kind = static_cast<QueryKind>(r.u16());
+  const std::uint32_t len = r.u32();
+  p.text = r.str(len);
+  r.expect_end("query-reply");
+  return p;
+}
+
+std::string encode_phase_event(const PhaseEventPayload& p) {
+  std::string out;
+  put_u32(out, p.interval);
+  put_u32(out, p.phase);
+  out.push_back(p.new_phase ? 1 : 0);
+  out.push_back(p.transition ? 1 : 0);
+  put_f64(out, p.distance);
+  return out;
+}
+
+PhaseEventPayload decode_phase_event(std::string_view bytes) {
+  Reader r(bytes);
+  PhaseEventPayload p;
+  p.interval = r.u32();
+  p.phase = r.u32();
+  p.new_phase = r.u8() != 0;
+  p.transition = r.u8() != 0;
+  p.distance = r.f64();
+  r.expect_end("phase-event");
+  return p;
+}
+
+std::string make_hello_frame(const HelloPayload& p) {
+  return frame_of(FrameType::kHello, 0, encode_hello(p));
+}
+
+std::string make_hello_ack_frame(std::uint32_t session,
+                                 const HelloAckPayload& p) {
+  return frame_of(FrameType::kHelloAck, session, encode_hello_ack(p));
+}
+
+std::string make_snapshot_frame(std::uint32_t session,
+                                const gmon::ProfileSnapshot& snap) {
+  return frame_of(FrameType::kSnapshot, session, encode_snapshot(snap));
+}
+
+std::string make_heartbeat_batch_frame(std::uint32_t session,
+                                       const HeartbeatBatchPayload& p) {
+  return frame_of(FrameType::kHeartbeatBatch, session,
+                  encode_heartbeat_batch(p));
+}
+
+std::string make_query_frame(std::uint32_t session, const QueryPayload& p) {
+  return frame_of(FrameType::kQuery, session, encode_query(p));
+}
+
+std::string make_query_reply_frame(std::uint32_t session,
+                                   const QueryReplyPayload& p) {
+  return frame_of(FrameType::kQueryReply, session, encode_query_reply(p));
+}
+
+std::string make_phase_event_frame(std::uint32_t session,
+                                   const PhaseEventPayload& p) {
+  return frame_of(FrameType::kPhaseEvent, session, encode_phase_event(p));
+}
+
+std::string make_bye_frame(std::uint32_t session) {
+  return frame_of(FrameType::kBye, session, std::string());
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,188 @@
+// incprofd wire protocol. The paper ships AppEKG's per-interval records
+// through LDMS, "a proven efficient and scalable data collector"
+// (Section III-A); incprofd is the reproduction's stand-in for that
+// monitoring-side endpoint, and this header defines the byte format the
+// endpoint speaks. Every message is one self-delimiting frame: a fixed
+// 16-byte little-endian header followed by `payload_len` payload bytes.
+//
+//   magic       u32  'IPSV' (0x56535049)
+//   version     u16  (currently 1)
+//   type        u16  FrameType
+//   session     u32  server-assigned session id (0 before hello-ack)
+//   payload_len u32
+//   payload     ...  type-specific, see the structs below
+//
+// Snapshot payloads reuse the gmon binary codec verbatim, so a dump file
+// written by the collector is shippable without re-encoding.
+#pragma once
+
+#include "ekg/heartbeat.hpp"
+#include "gmon/snapshot.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::service {
+
+inline constexpr std::uint32_t kProtocolMagic = 0x56535049;  // "IPSV"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Upper bound on a single frame's payload; a decoder refuses anything
+/// larger before allocating (a corrupt length must not OOM the daemon).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// Every message kind the service speaks.
+enum class FrameType : std::uint16_t {
+  /// client -> server: open a session (HelloPayload).
+  kHello = 1,
+  /// server -> client: session accepted (HelloAckPayload).
+  kHelloAck = 2,
+  /// client -> server: one cumulative profile dump (gmon binary bytes).
+  kSnapshot = 3,
+  /// client -> server: a batch of AppEKG records (HeartbeatBatchPayload).
+  kHeartbeatBatch = 4,
+  /// client -> server: status request (QueryPayload).
+  kQuery = 5,
+  /// server -> client: answer to a query (QueryReplyPayload).
+  kQueryReply = 6,
+  /// server -> client: a tracker observation worth logging
+  /// (PhaseEventPayload); sent only to subscribed sessions.
+  kPhaseEvent = 7,
+  /// client -> server: orderly end of session (empty payload).
+  kBye = 8,
+};
+
+/// True when `t` is a value this protocol version defines.
+bool is_known_frame_type(std::uint16_t t) noexcept;
+
+/// One decoded frame. `payload` is still type-opaque; decode it with the
+/// matching payload decoder below.
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::uint32_t session = 0;
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Serializes header + payload into wire bytes.
+std::string encode_frame(const Frame& frame);
+
+/// Parses one complete frame. Throws std::runtime_error on bad magic,
+/// unsupported version, unknown type, oversized or mismatched length,
+/// or trailing bytes.
+Frame decode_frame(std::string_view bytes);
+
+/// Reads the payload length out of a complete 16-byte header (for
+/// stream transports that must know how many bytes to wait for).
+/// Validates magic and the payload bound; throws std::runtime_error.
+std::uint32_t frame_payload_length(std::string_view header);
+
+// --- typed payloads ----------------------------------------------------
+
+/// kHello: who is connecting and what it will send.
+struct HelloPayload {
+  /// Free-form client identity (host:pid, app name, ...).
+  std::string client_name;
+  /// The client's nominal collection interval, ns (0 = unknown).
+  std::uint64_t interval_ns = 0;
+  /// When true the server pushes kPhaseEvent frames back on every new
+  /// phase / transition; pure ingest clients leave it off.
+  bool subscribe_events = false;
+
+  bool operator==(const HelloPayload&) const = default;
+};
+
+/// kHelloAck: the server's answer to a hello.
+struct HelloAckPayload {
+  std::uint32_t session_id = 0;
+  std::uint16_t server_version = kProtocolVersion;
+
+  bool operator==(const HelloAckPayload&) const = default;
+};
+
+/// kHeartbeatBatch: AppEKG records of one or more intervals, in order.
+struct HeartbeatBatchPayload {
+  std::vector<ekg::HeartbeatRecord> records;
+
+  bool operator==(const HeartbeatBatchPayload&) const = default;
+};
+
+/// kQuery: what the client wants to know.
+enum class QueryKind : std::uint16_t {
+  /// This session's tracker status, as one text line.
+  kSessionStatus = 1,
+  /// The whole-fleet report the daemon would print.
+  kFleetSummary = 2,
+};
+
+struct QueryPayload {
+  QueryKind kind = QueryKind::kSessionStatus;
+
+  bool operator==(const QueryPayload&) const = default;
+};
+
+/// kQueryReply: human-readable answer body.
+struct QueryReplyPayload {
+  QueryKind kind = QueryKind::kSessionStatus;
+  std::string text;
+
+  bool operator==(const QueryReplyPayload&) const = default;
+};
+
+/// kPhaseEvent: one OnlinePhaseTracker observation.
+struct PhaseEventPayload {
+  /// Interval index within the session's stream.
+  std::uint32_t interval = 0;
+  /// Phase the interval was assigned to.
+  std::uint32_t phase = 0;
+  bool new_phase = false;
+  bool transition = false;
+  /// Distance to the chosen centroid before the update.
+  double distance = 0.0;
+
+  bool operator==(const PhaseEventPayload&) const = default;
+};
+
+std::string encode_hello(const HelloPayload& p);
+HelloPayload decode_hello(std::string_view bytes);
+
+std::string encode_hello_ack(const HelloAckPayload& p);
+HelloAckPayload decode_hello_ack(std::string_view bytes);
+
+/// Snapshot payloads are the gmon binary format; these are thin wrappers
+/// kept for symmetry (and so callers need not include gmon/binary_io).
+std::string encode_snapshot(const gmon::ProfileSnapshot& snap);
+gmon::ProfileSnapshot decode_snapshot(std::string_view bytes);
+
+std::string encode_heartbeat_batch(const HeartbeatBatchPayload& p);
+HeartbeatBatchPayload decode_heartbeat_batch(std::string_view bytes);
+
+std::string encode_query(const QueryPayload& p);
+QueryPayload decode_query(std::string_view bytes);
+
+std::string encode_query_reply(const QueryReplyPayload& p);
+QueryReplyPayload decode_query_reply(std::string_view bytes);
+
+std::string encode_phase_event(const PhaseEventPayload& p);
+PhaseEventPayload decode_phase_event(std::string_view bytes);
+
+// --- whole-frame conveniences used throughout the service --------------
+
+std::string make_hello_frame(const HelloPayload& p);
+std::string make_hello_ack_frame(std::uint32_t session,
+                                 const HelloAckPayload& p);
+std::string make_snapshot_frame(std::uint32_t session,
+                                const gmon::ProfileSnapshot& snap);
+std::string make_heartbeat_batch_frame(std::uint32_t session,
+                                       const HeartbeatBatchPayload& p);
+std::string make_query_frame(std::uint32_t session, const QueryPayload& p);
+std::string make_query_reply_frame(std::uint32_t session,
+                                   const QueryReplyPayload& p);
+std::string make_phase_event_frame(std::uint32_t session,
+                                   const PhaseEventPayload& p);
+std::string make_bye_frame(std::uint32_t session);
+
+}  // namespace incprof::service

@@ -1,0 +1,103 @@
+#include "service/replay.hpp"
+
+#include "gmon/scanner.hpp"
+
+#include <algorithm>
+
+namespace incprof::service {
+
+ReplayResult replay_session(
+    Connection& conn, const std::vector<gmon::ProfileSnapshot>& snapshots,
+    const ReplayOptions& options) {
+  ReplayResult result;
+
+  HelloPayload hello;
+  hello.client_name = options.client_name;
+  hello.interval_ns = options.interval_ns;
+  hello.subscribe_events = options.subscribe_events;
+  if (!conn.send(make_hello_frame(hello))) {
+    result.error = "send hello failed";
+    return result;
+  }
+
+  const auto ack_bytes = conn.receive();
+  if (!ack_bytes) {
+    result.error = "connection closed before hello-ack";
+    return result;
+  }
+  try {
+    const Frame ack_frame = decode_frame(*ack_bytes);
+    if (ack_frame.type != FrameType::kHelloAck) {
+      result.error = "expected hello-ack, got frame type " +
+                     std::to_string(static_cast<int>(ack_frame.type));
+      return result;
+    }
+    result.session_id = decode_hello_ack(ack_frame.payload).session_id;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+
+  for (const auto& snap : snapshots) {
+    if (!conn.send(make_snapshot_frame(result.session_id, snap))) {
+      result.error = "connection lost mid-replay";
+      return result;
+    }
+    ++result.snapshots_sent;
+  }
+
+  for (std::size_t at = 0; at < options.heartbeats.size();
+       at += options.heartbeat_batch_size) {
+    HeartbeatBatchPayload batch;
+    const std::size_t end = std::min(
+        at + options.heartbeat_batch_size, options.heartbeats.size());
+    batch.records.assign(options.heartbeats.begin() + at,
+                         options.heartbeats.begin() + end);
+    if (!conn.send(
+            make_heartbeat_batch_frame(result.session_id, batch))) {
+      result.error = "connection lost mid-replay";
+      return result;
+    }
+    result.heartbeat_records_sent += batch.records.size();
+  }
+
+  if (options.query_status) {
+    QueryPayload query;
+    query.kind = QueryKind::kSessionStatus;
+    if (!conn.send(make_query_frame(result.session_id, query))) {
+      result.error = "connection lost before query";
+      return result;
+    }
+  }
+
+  if (!conn.send(make_bye_frame(result.session_id))) {
+    result.error = "connection lost before bye";
+    return result;
+  }
+
+  // Drain until the server closes: phase events (if subscribed) and the
+  // query reply arrive in stream order, so everything is here by EOF.
+  try {
+    while (auto bytes = conn.receive()) {
+      const Frame frame = decode_frame(*bytes);
+      if (frame.type == FrameType::kPhaseEvent) {
+        result.events.push_back(decode_phase_event(frame.payload));
+      } else if (frame.type == FrameType::kQueryReply) {
+        result.status_text = decode_query_reply(frame.payload).text;
+      }
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+std::vector<gmon::ProfileSnapshot> load_replay_dumps(
+    const std::filesystem::path& dump_dir) {
+  return gmon::load_binary_dumps(dump_dir);
+}
+
+}  // namespace incprof::service

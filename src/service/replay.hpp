@@ -1,0 +1,64 @@
+// Client-side session replay: drive one connection through the full
+// protocol conversation (hello / snapshots / heartbeat batches / query /
+// bye) from a dump directory or an in-memory snapshot stream. Shared by
+// incprof_client, incprofd --selftest, the loopback tests and the
+// throughput bench, so every consumer speaks the protocol identically.
+#pragma once
+
+#include "ekg/heartbeat.hpp"
+#include "gmon/snapshot.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace incprof::service {
+
+/// How to replay a stream as one session.
+struct ReplayOptions {
+  /// Client identity reported in the hello.
+  std::string client_name = "replay";
+  /// Nominal collection interval reported in the hello, ns.
+  std::uint64_t interval_ns = 1'000'000'000;
+  /// Subscribe to kPhaseEvent pushes (the replayer drains them after
+  /// the bye; leave off for pure ingest benchmarking).
+  bool subscribe_events = false;
+  /// Also request a kSessionStatus query reply before the bye.
+  bool query_status = false;
+  /// Heartbeat records to ship alongside the snapshots (optional).
+  std::vector<ekg::HeartbeatRecord> heartbeats;
+  /// Records per kHeartbeatBatch frame.
+  std::size_t heartbeat_batch_size = 64;
+};
+
+/// What came back.
+struct ReplayResult {
+  /// False when the handshake failed or the connection died early.
+  bool ok = false;
+  std::string error;
+  /// Server-assigned session id from the hello-ack.
+  std::uint32_t session_id = 0;
+  std::size_t snapshots_sent = 0;
+  std::size_t heartbeat_records_sent = 0;
+  /// Every phase event pushed back (subscribe_events only), in order.
+  std::vector<PhaseEventPayload> events;
+  /// The kSessionStatus reply text (query_status only).
+  std::string status_text;
+};
+
+/// Replays `snapshots` (cumulative, in seq order) over `conn` as one
+/// complete session, then reads the connection to EOF collecting pushed
+/// events and query replies. Blocking; run one per thread for parallel
+/// sessions. Never throws for peer loss — inspect `ok`/`error`.
+ReplayResult replay_session(Connection& conn,
+                            const std::vector<gmon::ProfileSnapshot>& snapshots,
+                            const ReplayOptions& options = {});
+
+/// Loads a collector dump directory (gmon-NNNNNN.out files, seq order)
+/// for replay. Throws std::runtime_error on unreadable input.
+std::vector<gmon::ProfileSnapshot> load_replay_dumps(
+    const std::filesystem::path& dump_dir);
+
+}  // namespace incprof::service

@@ -1,0 +1,301 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+
+namespace incprof::service {
+
+Server::Server(Listener& listener, ServerConfig cfg)
+    : listener_(listener),
+      cfg_(cfg),
+      fleet_(cfg.transition_log_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  const std::size_t n = std::max<std::size_t>(1, cfg_.worker_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // No new handlers can appear now; close every connection so readers
+  // unblock, synthesize their byes, and exit.
+  std::vector<std::shared_ptr<Handler>> handlers;
+  {
+    std::lock_guard lock(handlers_mu_);
+    handlers = handlers_;
+  }
+  for (const auto& h : handlers) h->conn->close();
+  for (const auto& h : handlers) {
+    if (h->reader.joinable()) h->reader.join();
+  }
+
+  // Everything enqueued is final; drain it before releasing the pool so
+  // post-stop inspection sees complete per-session streams.
+  {
+    std::unique_lock lock(ready_mu_);
+    idle_cv_.wait(lock,
+                  [&] { return ready_.empty() && busy_workers_ == 0; });
+    stopping_workers_ = true;
+    ready_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (auto conn = listener_.accept()) {
+    metrics_.counter("connections_accepted").add();
+    auto handler = std::make_shared<Handler>();
+    handler->conn = std::move(conn);
+    // Register and spawn under the same lock so stop() never sees a
+    // handler whose reader thread is still being constructed.
+    std::lock_guard lock(handlers_mu_);
+    handlers_.push_back(handler);
+    handler->reader =
+        std::thread([this, handler] { reader_loop(handler); });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
+  bool saw_bye = false;
+  try {
+    while (auto bytes = handler->conn->receive()) {
+      Frame frame;
+      try {
+        frame = decode_frame(*bytes);
+      } catch (const std::exception&) {
+        metrics_.counter("protocol_errors").add();
+        break;  // a desynchronized stream cannot be resynchronized
+      }
+
+      if (!handler->session) {
+        if (frame.type != FrameType::kHello) {
+          metrics_.counter("protocol_errors").add();
+          break;
+        }
+        HelloPayload hello;
+        try {
+          hello = decode_hello(frame.payload);
+        } catch (const std::exception&) {
+          metrics_.counter("protocol_errors").add();
+          break;
+        }
+        const std::uint32_t id = next_session_id_.fetch_add(1);
+        auto session = std::make_shared<Session>(id, cfg_.session);
+        session->open(hello.client_name,
+                      hello.subscribe_events && cfg_.send_phase_events,
+                      hello.interval_ns);
+        {
+          std::lock_guard lock(handlers_mu_);
+          handler->session = session;
+        }
+        fleet_.session_opened(id, hello.client_name);
+        metrics_.counter("sessions_opened").add();
+        metrics_.gauge("active_sessions").add(1);
+        HelloAckPayload ack;
+        ack.session_id = id;
+        handler->conn->send(make_hello_ack_frame(id, ack));
+        continue;
+      }
+
+      if (frame.type == FrameType::kHello) {
+        metrics_.counter("protocol_errors").add();  // duplicate hello
+        continue;
+      }
+
+      const bool is_bye = frame.type == FrameType::kBye;
+      metrics_.counter("frames_received").add();
+      const auto result =
+          handler->session->enqueue(std::move(frame), /*force=*/is_bye);
+      if (result == Session::EnqueueResult::kDropped) {
+        metrics_.counter("frames_dropped").add();
+        fleet_.record_drops(handler->session->id(),
+                            handler->session->dropped_frames());
+      } else if (result == Session::EnqueueResult::kScheduled) {
+        schedule(handler);
+      }
+      if (is_bye) {
+        saw_bye = true;
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    metrics_.counter("protocol_errors").add();  // e.g. EOF mid-frame
+  }
+
+  if (handler->session && !saw_bye) {
+    // Abrupt disconnect: close the session as if a bye had arrived.
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.session = handler->session->id();
+    if (handler->session->enqueue(std::move(bye), /*force=*/true) ==
+        Session::EnqueueResult::kScheduled) {
+      schedule(handler);
+    }
+  }
+  if (!handler->session) handler->conn->close();
+}
+
+void Server::schedule(const std::shared_ptr<Handler>& handler) {
+  std::lock_guard lock(ready_mu_);
+  ready_.push_back(handler);
+  ready_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Handler> handler;
+    {
+      std::unique_lock lock(ready_mu_);
+      ready_cv_.wait(
+          lock, [&] { return stopping_workers_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and fully drained
+      handler = std::move(ready_.front());
+      ready_.pop_front();
+      ++busy_workers_;
+    }
+
+    process_round(handler);
+    const bool again = handler->session->finish_round();
+
+    std::lock_guard lock(ready_mu_);
+    --busy_workers_;
+    if (again) {
+      ready_.push_back(handler);
+      ready_cv_.notify_one();
+    } else if (ready_.empty() && busy_workers_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void Server::process_round(const std::shared_ptr<Handler>& handler) {
+  const auto frames = handler->session->take_pending();
+  for (const auto& frame : frames) {
+    process_frame(handler, frame);
+    if (frame.type == FrameType::kBye) break;
+  }
+  metrics_.gauge("max_queue_depth")
+      .record_max(
+          static_cast<std::int64_t>(handler->session->max_queue_depth()));
+}
+
+void Server::process_frame(const std::shared_ptr<Handler>& handler,
+                           const Frame& frame) {
+  Session& session = *handler->session;
+  switch (frame.type) {
+    case FrameType::kSnapshot: {
+      gmon::ProfileSnapshot snap;
+      try {
+        snap = decode_snapshot(frame.payload);
+      } catch (const std::exception&) {
+        metrics_.counter("protocol_errors").add();
+        return;
+      }
+      const core::OnlineObservation obs = session.tracker().observe(snap);
+      session.note_observation(obs);
+      fleet_.record_observation(session.id(), obs,
+                                session.tracker().num_phases());
+      metrics_.counter("snapshots_observed").add();
+      if (session.subscribed()) {
+        PhaseEventPayload event;
+        event.interval = static_cast<std::uint32_t>(obs.interval);
+        event.phase = static_cast<std::uint32_t>(obs.phase);
+        event.new_phase = obs.new_phase;
+        event.transition = obs.transition;
+        event.distance = obs.distance;
+        if (handler->conn->send(
+                make_phase_event_frame(session.id(), event))) {
+          metrics_.counter("phase_events_sent").add();
+        }
+      }
+      return;
+    }
+    case FrameType::kHeartbeatBatch: {
+      HeartbeatBatchPayload batch;
+      try {
+        batch = decode_heartbeat_batch(frame.payload);
+      } catch (const std::exception&) {
+        metrics_.counter("protocol_errors").add();
+        return;
+      }
+      session.note_heartbeats(batch.records.size());
+      fleet_.record_heartbeats(session.id(), batch.records.size());
+      metrics_.counter("heartbeat_records").add(batch.records.size());
+      return;
+    }
+    case FrameType::kQuery:
+      handle_query(handler, frame);
+      return;
+    case FrameType::kBye:
+      session.mark_closed();
+      fleet_.session_closed(session.id());
+      fleet_.record_drops(session.id(), session.dropped_frames());
+      metrics_.counter("sessions_closed").add();
+      metrics_.gauge("active_sessions").add(-1);
+      handler->conn->close();
+      return;
+    default:
+      // Server-to-client frame types arriving here are client bugs.
+      metrics_.counter("protocol_errors").add();
+      return;
+  }
+}
+
+void Server::handle_query(const std::shared_ptr<Handler>& handler,
+                          const Frame& frame) {
+  QueryPayload query;
+  try {
+    query = decode_query(frame.payload);
+  } catch (const std::exception&) {
+    metrics_.counter("protocol_errors").add();
+    return;
+  }
+  QueryReplyPayload reply;
+  reply.kind = query.kind;
+  reply.text = query.kind == QueryKind::kFleetSummary
+                   ? fleet_.render()
+                   : handler->session->status_line();
+  if (handler->conn->send(make_query_reply_frame(handler->session->id(),
+                                                 reply))) {
+    metrics_.counter("query_replies").add();
+  }
+}
+
+std::vector<std::size_t> Server::session_assignments(
+    std::uint32_t id) const {
+  std::lock_guard lock(handlers_mu_);
+  for (const auto& h : handlers_) {
+    if (h->session && h->session->id() == id) {
+      return h->session->assignments();
+    }
+  }
+  return {};
+}
+
+std::size_t Server::session_count() const {
+  return fleet_.sessions().size();
+}
+
+std::size_t Server::max_observed_queue_depth() const {
+  std::lock_guard lock(handlers_mu_);
+  std::size_t depth = 0;
+  for (const auto& h : handlers_) {
+    if (h->session) {
+      depth = std::max(depth, h->session->max_queue_depth());
+    }
+  }
+  return depth;
+}
+
+}  // namespace incprof::service

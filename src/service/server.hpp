@@ -1,0 +1,114 @@
+// The phase-detection daemon core: accepts many concurrent client
+// sessions from a transport Listener, runs one OnlinePhaseTracker per
+// session on a shared worker pool (bounded per-session queues,
+// drop-and-count on overflow), answers status queries in stream order,
+// pushes phase events to subscribed clients, and folds everything into
+// a FleetAggregator + MetricsRegistry. This is the reproduction's
+// monitoring-side endpoint for the paper's LDMS deployment story.
+#pragma once
+
+#include "service/fleet.hpp"
+#include "service/metrics.hpp"
+#include "service/session.hpp"
+#include "service/transport.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incprof::service {
+
+/// Daemon configuration.
+struct ServerConfig {
+  /// Tracker workers shared across all sessions.
+  std::size_t worker_threads = 4;
+  /// Per-session queue + tracker parameters.
+  SessionConfig session;
+  /// Master switch for pushing kPhaseEvent frames to subscribed
+  /// clients (a subscribed client must keep draining its connection).
+  bool send_phase_events = true;
+  /// Retained fleet transition-log tail.
+  std::size_t transition_log_capacity = 1024;
+};
+
+/// Multi-session phase-detection server. Lifecycle: construct over a
+/// Listener (not owned, must outlive the server), start(), serve, stop()
+/// — stop drains every queued frame before returning, so post-stop
+/// inspection (fleet, metrics, assignments) sees the complete streams.
+class Server {
+ public:
+  explicit Server(Listener& listener, ServerConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop and the worker pool.
+  void start();
+
+  /// Graceful shutdown: stops accepting, closes every connection,
+  /// processes everything already queued, joins all threads. Idempotent.
+  void stop();
+
+  /// Cross-session aggregate view (thread-safe).
+  const FleetAggregator& fleet() const noexcept { return fleet_; }
+
+  /// Operational counters/gauges (thread-safe).
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Phase assignments a session's tracker has produced so far; empty
+  /// when the id is unknown. Deterministic once the session closed.
+  std::vector<std::size_t> session_assignments(std::uint32_t id) const;
+
+  /// Sessions ever opened (fleet rows include closed ones).
+  std::size_t session_count() const;
+
+  /// Largest per-session queue depth observed since start.
+  std::size_t max_observed_queue_depth() const;
+
+ private:
+  struct Handler {
+    std::shared_ptr<Connection> conn;
+    std::shared_ptr<Session> session;  // set at hello
+    std::thread reader;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Handler>& handler);
+  void worker_loop();
+  void schedule(const std::shared_ptr<Handler>& handler);
+  void process_round(const std::shared_ptr<Handler>& handler);
+  void process_frame(const std::shared_ptr<Handler>& handler,
+                     const Frame& frame);
+  void handle_query(const std::shared_ptr<Handler>& handler,
+                    const Frame& frame);
+
+  Listener& listener_;
+  const ServerConfig cfg_;
+  FleetAggregator fleet_;
+  MetricsRegistry metrics_;
+
+  std::atomic<std::uint32_t> next_session_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex handlers_mu_;
+  std::vector<std::shared_ptr<Handler>> handlers_;
+
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Handler>> ready_;
+  std::size_t busy_workers_ = 0;
+  bool stopping_workers_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace incprof::service

@@ -1,0 +1,129 @@
+#include "service/session.hpp"
+
+#include <sstream>
+
+namespace incprof::service {
+
+Session::Session(std::uint32_t id, const SessionConfig& cfg)
+    : id_(id), queue_capacity_(cfg.queue_capacity), tracker_(cfg.tracker) {}
+
+void Session::open(std::string client_name, bool subscribe_events,
+                   std::uint64_t interval_ns) {
+  {
+    std::lock_guard lock(status_mu_);
+    client_name_ = std::move(client_name);
+    interval_ns_ = interval_ns;
+  }
+  subscribed_.store(subscribe_events, std::memory_order_relaxed);
+}
+
+Session::EnqueueResult Session::enqueue(Frame frame, bool force) {
+  std::lock_guard lock(queue_mu_);
+  if (!force && frames_.size() >= queue_capacity_) {
+    ++dropped_;
+    return EnqueueResult::kDropped;
+  }
+  frames_.push_back(std::move(frame));
+  if (frames_.size() > max_depth_) max_depth_ = frames_.size();
+  if (scheduled_) return EnqueueResult::kQueued;
+  scheduled_ = true;
+  return EnqueueResult::kScheduled;
+}
+
+std::vector<Frame> Session::take_pending() {
+  std::lock_guard lock(queue_mu_);
+  std::vector<Frame> out(std::make_move_iterator(frames_.begin()),
+                         std::make_move_iterator(frames_.end()));
+  frames_.clear();
+  return out;
+}
+
+bool Session::finish_round() {
+  std::lock_guard lock(queue_mu_);
+  if (frames_.empty()) {
+    scheduled_ = false;
+    return false;
+  }
+  return true;  // stays scheduled; caller re-queues the session
+}
+
+void Session::note_observation(const core::OnlineObservation& obs) {
+  std::lock_guard lock(status_mu_);
+  assignments_.push_back(obs.phase);
+  phases_ = tracker_.num_phases();
+  current_phase_ = obs.phase;
+  if (obs.transition) ++transitions_;
+}
+
+void Session::note_heartbeats(std::uint64_t n) {
+  std::lock_guard lock(status_mu_);
+  heartbeat_records_ += n;
+}
+
+void Session::mark_closed() {
+  std::lock_guard lock(status_mu_);
+  closed_ = true;
+}
+
+std::string Session::client_name() const {
+  std::lock_guard lock(status_mu_);
+  return client_name_;
+}
+
+std::uint64_t Session::dropped_frames() const {
+  std::lock_guard lock(queue_mu_);
+  return dropped_;
+}
+
+std::size_t Session::max_queue_depth() const {
+  std::lock_guard lock(queue_mu_);
+  return max_depth_;
+}
+
+std::size_t Session::queue_depth() const {
+  std::lock_guard lock(queue_mu_);
+  return frames_.size();
+}
+
+bool Session::closed() const {
+  std::lock_guard lock(status_mu_);
+  return closed_;
+}
+
+std::uint64_t Session::heartbeat_records() const {
+  std::lock_guard lock(status_mu_);
+  return heartbeat_records_;
+}
+
+std::size_t Session::intervals_observed() const {
+  std::lock_guard lock(status_mu_);
+  return assignments_.size();
+}
+
+std::size_t Session::transitions() const {
+  std::lock_guard lock(status_mu_);
+  return transitions_;
+}
+
+std::vector<std::size_t> Session::assignments() const {
+  std::lock_guard lock(status_mu_);
+  return assignments_;
+}
+
+std::string Session::status_line() const {
+  std::ostringstream os;
+  std::lock_guard status(status_mu_);
+  os << "session " << id_ << " ("
+     << (client_name_.empty() ? "?" : client_name_)
+     << "): " << assignments_.size() << " intervals, " << phases_
+     << " phases, current phase " << current_phase_ << ", " << transitions_
+     << " transitions, " << heartbeat_records_ << " hb records";
+  {
+    std::lock_guard queue(queue_mu_);
+    os << ", " << dropped_ << " dropped";
+  }
+  if (closed_) os << " [closed]";
+  return os.str();
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,121 @@
+// One client session inside incprofd: the connection's decoded frames
+// flow through a bounded queue (drop-and-count on overflow — the same
+// back-pressure policy as ekg::StreamSink, because a monitor must never
+// stall its producers) into a per-session OnlinePhaseTracker that only
+// ever runs on one worker thread at a time.
+#pragma once
+
+#include "core/online.hpp"
+#include "service/protocol.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace incprof::service {
+
+/// Per-session knobs (shared by every session of one server).
+struct SessionConfig {
+  /// Frames buffered between the connection reader and the worker pool;
+  /// beyond this, data frames are dropped and counted. Control frames
+  /// (bye) bypass the bound so sessions always close cleanly.
+  std::size_t queue_capacity = 256;
+  /// Streaming-tracker parameters for this session's tracker.
+  core::OnlineConfig tracker;
+};
+
+/// Tracker + queue + counters for one client. Thread roles: the
+/// connection reader calls enqueue(); exactly one pool worker at a time
+/// calls take_pending()/finish_round() and touches the tracker; any
+/// thread may read the counters and status.
+class Session {
+ public:
+  enum class EnqueueResult {
+    /// Queued, and the session was idle — the caller must schedule it.
+    kScheduled,
+    /// Queued behind frames an already-scheduled round will consume.
+    kQueued,
+    /// Queue full; the frame was dropped and counted.
+    kDropped,
+  };
+
+  Session(std::uint32_t id, const SessionConfig& cfg);
+
+  std::uint32_t id() const noexcept { return id_; }
+
+  /// Records the hello handshake.
+  void open(std::string client_name, bool subscribe_events,
+            std::uint64_t interval_ns);
+
+  bool subscribed() const noexcept {
+    return subscribed_.load(std::memory_order_relaxed);
+  }
+
+  /// Reader side. `force` exempts control frames from the bound.
+  EnqueueResult enqueue(Frame frame, bool force = false);
+
+  /// Worker side: moves out every pending frame, in arrival order. The
+  /// session stays marked scheduled until finish_round().
+  std::vector<Frame> take_pending();
+
+  /// Worker side: ends the round; true when frames arrived meanwhile
+  /// and the caller must re-schedule the session.
+  bool finish_round();
+
+  /// Worker side: the session's tracker (unsynchronized by design —
+  /// the scheduler guarantees one worker per session).
+  core::OnlinePhaseTracker& tracker() noexcept { return tracker_; }
+
+  /// Worker side: publishes one observation to the cross-thread status.
+  void note_observation(const core::OnlineObservation& obs);
+  void note_heartbeats(std::uint64_t n);
+  void mark_closed();
+
+  // --- any thread -------------------------------------------------------
+  std::string client_name() const;
+  std::uint64_t dropped_frames() const;
+  std::size_t max_queue_depth() const;
+  std::size_t queue_depth() const;
+  bool closed() const;
+  std::uint64_t heartbeat_records() const;
+  std::size_t intervals_observed() const;
+  std::size_t transitions() const;
+
+  /// Copy of the per-interval phase assignments published so far.
+  std::vector<std::size_t> assignments() const;
+
+  /// One-line status ("session 3 (minife): 45 intervals, 3 phases, ...").
+  std::string status_line() const;
+
+ private:
+  const std::uint32_t id_;
+  const std::size_t queue_capacity_;
+
+  // Queue state (reader + scheduler + worker).
+  mutable std::mutex queue_mu_;
+  std::deque<Frame> frames_;
+  bool scheduled_ = false;
+  std::uint64_t dropped_ = 0;
+  std::size_t max_depth_ = 0;
+
+  // Tracker: worker-only.
+  core::OnlinePhaseTracker tracker_;
+
+  // Published status (worker writes, anyone reads).
+  mutable std::mutex status_mu_;
+  std::string client_name_;
+  std::uint64_t interval_ns_ = 0;
+  std::vector<std::size_t> assignments_;
+  std::size_t phases_ = 0;
+  std::size_t current_phase_ = 0;
+  std::size_t transitions_ = 0;
+  std::uint64_t heartbeat_records_ = 0;
+  bool closed_ = false;
+
+  std::atomic<bool> subscribed_{false};
+};
+
+}  // namespace incprof::service

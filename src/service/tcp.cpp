@@ -1,0 +1,175 @@
+#include "service/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace incprof::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + ": " +
+                           std::string(std::strerror(errno)));
+}
+
+std::string peer_label(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "tcp:?";
+  }
+  char buf[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd), label_(peer_label(fd)) {
+    const int one = 1;
+    // Frames are small and latency matters for phase events; disable
+    // Nagle coalescing.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override {
+    close();
+    ::close(fd_);
+  }
+
+  bool send(std::string_view frame_bytes) override {
+    std::lock_guard lock(send_mu_);
+    std::size_t sent = 0;
+    while (sent < frame_bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, frame_bytes.data() + sent, frame_bytes.size() - sent,
+                 MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> receive() override {
+    for (;;) {
+      if (auto frame = buffer_.next_frame()) return frame;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;  // reset by peer or local shutdown
+      }
+      if (n == 0) {
+        if (buffer_.buffered() != 0) {
+          throw std::runtime_error("tcp: peer closed mid-frame");
+        }
+        return std::nullopt;
+      }
+      buffer_.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+    }
+  }
+
+  void close() override {
+    // Shut down both directions but keep the fd until destruction so a
+    // concurrent receive() never races a reused descriptor.
+    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  std::string description() const override { return label_; }
+
+ private:
+  const int fd_;
+  const std::string label_;
+  std::mutex send_mu_;
+  std::atomic<bool> closed_{false};
+  FrameBuffer buffer_;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw_errno("bind");
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    ::close(fd_);
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  shutdown();
+  ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpConnection>(fd);
+    if (errno == EINTR) continue;
+    // shutdown() makes the blocked accept fail (EINVAL on Linux).
+    return nullptr;
+  }
+}
+
+void TcpListener::shutdown() {
+  if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("tcp: resolve " + host + ": " +
+                             gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw std::runtime_error("tcp: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace incprof::service

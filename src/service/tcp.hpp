@@ -1,0 +1,44 @@
+// POSIX TCP transport — the deployment carrier for incprofd, standing in
+// for the paper's LDMS socket transport. Frames are written verbatim
+// (the protocol header is the record delimiter); reads go through
+// FrameBuffer so short reads and coalesced segments are handled the
+// same way regardless of kernel buffering.
+#pragma once
+
+#include "service/transport.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace incprof::service {
+
+/// Listens on a TCP port (IPv4, all interfaces).
+class TcpListener : public Listener {
+ public:
+  /// Binds and listens; `port == 0` picks an ephemeral port (read it
+  /// back with port()). Throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (useful after an ephemeral bind).
+  std::uint16_t port() const noexcept { return port_; }
+
+  std::unique_ptr<Connection> accept() override;
+  void shutdown() override;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+/// Connects to a listening incprofd. Throws std::runtime_error when the
+/// host cannot be resolved or the connection is refused.
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port);
+
+}  // namespace incprof::service

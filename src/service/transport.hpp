@@ -1,0 +1,77 @@
+// Frame transport abstraction for the service layer. The daemon's
+// session logic is written against these two interfaces only; the POSIX
+// TCP implementation (service/tcp) carries real deployments and the
+// in-process loopback (service/loopback) makes multi-session tests and
+// benches deterministic — the same split LDMS makes between its RDMA /
+// socket transports and its in-memory test harness.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace incprof::service {
+
+/// One bidirectional, ordered, reliable frame channel. Implementations
+/// must make `send` safe to call from several threads at once (the
+/// server's reader answers queries while a worker pushes phase events);
+/// `receive` is single-consumer.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Sends one complete wire frame (header + payload bytes). Returns
+  /// false when the peer is gone; never throws for peer loss.
+  virtual bool send(std::string_view frame_bytes) = 0;
+
+  /// Blocks for the next complete frame; nullopt once the channel is
+  /// closed and drained. Throws std::runtime_error on malformed bytes.
+  virtual std::optional<std::string> receive() = 0;
+
+  /// Initiates shutdown of both directions; wakes blocked peers. Safe to
+  /// call more than once and concurrently with send/receive.
+  virtual void close() = 0;
+
+  /// Human-readable endpoint label for logs ("loopback#3", "1.2.3.4:56").
+  virtual std::string description() const = 0;
+};
+
+/// Accepts inbound connections for a server.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; nullptr once shut down.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Unblocks any pending accept and refuses further connections.
+  virtual void shutdown() = 0;
+};
+
+/// Incremental frame extractor for byte-stream transports (TCP or any
+/// future pipe/serial carrier): feed arbitrary chunks in, pull complete
+/// frames out. Validates the header eagerly so a corrupt stream fails at
+/// the first bad byte rather than after a giant allocation.
+class FrameBuffer {
+ public:
+  /// Appends raw bytes read off the stream.
+  void append(std::string_view bytes);
+
+  /// Pops the next complete frame (header + payload) if one is fully
+  /// buffered. Throws std::runtime_error on bad magic or an oversized
+  /// declared length.
+  std::optional<std::string> next_frame();
+
+  /// Bytes currently buffered but not yet returned.
+  std::size_t buffered() const noexcept { return buffer_.size() - pos_; }
+
+ private:
+  void compact();
+
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace incprof::service

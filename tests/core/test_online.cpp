@@ -73,6 +73,32 @@ TEST(OnlineTracker, MaxPhasesCapForcesNearestAssignment) {
   EXPECT_EQ(sizes[0] + sizes[1], 24u);
 }
 
+TEST(OnlineTracker, CapReachedFarIntervalJoinsNearestQuietly) {
+  // Once k_max phases exist, even an interval far beyond
+  // new_phase_distance must join its nearest phase — and must NOT be
+  // reported as opening a new one (the event a deployment monitor
+  // would alert on).
+  OnlineConfig cfg;
+  cfg.max_phases = 2;
+  OnlinePhaseTracker tracker(cfg);
+  const auto snaps = cumulative_from_intervals({
+      {{"alpha", {1.0, 1}}},
+      {{"beta", {1.0, 1}}},
+      {{"gamma", {5.0, 1}}},  // far from both existing centroids
+  });
+  tracker.observe(snaps[0]);
+  const auto second = tracker.observe(snaps[1]);
+  EXPECT_TRUE(second.new_phase);
+  ASSERT_EQ(tracker.num_phases(), 2u);
+
+  const auto third = tracker.observe(snaps[2]);
+  EXPECT_FALSE(third.new_phase);
+  EXPECT_GT(third.distance, cfg.new_phase_distance);
+  EXPECT_LT(third.phase, 2u);
+  EXPECT_EQ(tracker.num_phases(), 2u);
+  EXPECT_EQ(tracker.assignments().size(), 3u);
+}
+
 TEST(OnlineTracker, LooseThresholdMergesEverything) {
   OnlineConfig cfg;
   cfg.new_phase_distance = 1e9;

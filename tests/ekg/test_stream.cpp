@@ -71,6 +71,32 @@ TEST(StreamSink, BoundedBufferDropsAndCounts) {
   EXPECT_EQ(sink.dropped_records(), 3u);
 }
 
+TEST(StreamSink, BackPressureCountsExactlyAndKeepsBatchOrder) {
+  // Fill well past max_pending across two intervals: the overflow count
+  // must be exact and the delivered batches must keep the surviving
+  // records in emission (id) order.
+  std::vector<std::vector<HeartbeatRecord>> batches;
+  StreamSink sink([&](std::span<const HeartbeatRecord> b) {
+    batches.emplace_back(b.begin(), b.end());
+  },
+                  /*max_pending=*/3);
+  for (HeartbeatId id = 1; id <= 8; ++id) sink.emit(rec(0, id));
+  for (HeartbeatId id = 1; id <= 5; ++id) sink.emit(rec(1, id));
+  sink.close();
+
+  EXPECT_EQ(sink.dropped_records(), 5u + 2u);
+  EXPECT_EQ(sink.delivered_batches(), 2u);
+  ASSERT_EQ(batches.size(), 2u);
+  for (const auto& batch : batches) {
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].id, i + 1);  // first-come survivors, in order
+    }
+  }
+  EXPECT_EQ(batches[0].front().interval, 0u);
+  EXPECT_EQ(batches[1].front().interval, 1u);
+}
+
 TEST(StreamSink, WorksAsAppEkgSink) {
   // End to end: AppEKG aggregation flowing through the stream transport.
   std::vector<std::size_t> batch_sizes;

@@ -1,0 +1,129 @@
+#include "service/fleet.hpp"
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace incprof::service {
+namespace {
+
+core::OnlineObservation obs_of(std::size_t interval, std::size_t phase,
+                               bool new_phase, bool transition) {
+  core::OnlineObservation o;
+  o.interval = interval;
+  o.phase = phase;
+  o.new_phase = new_phase;
+  o.transition = transition;
+  return o;
+}
+
+TEST(Fleet, TracksSessionLifecycle) {
+  FleetAggregator fleet;
+  fleet.session_opened(1, "graph500");
+  fleet.session_opened(2, "minife");
+  EXPECT_EQ(fleet.open_sessions(), 2u);
+  fleet.session_closed(1);
+  EXPECT_EQ(fleet.open_sessions(), 1u);
+
+  const auto sessions = fleet.sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].id, 1u);
+  EXPECT_EQ(sessions[0].client_name, "graph500");
+  EXPECT_TRUE(sessions[0].closed);
+  EXPECT_FALSE(sessions[1].closed);
+}
+
+TEST(Fleet, FoldsObservationsIntoRows) {
+  FleetAggregator fleet;
+  fleet.session_opened(5, "app");
+  fleet.record_observation(5, obs_of(0, 0, true, false), 1);
+  fleet.record_observation(5, obs_of(1, 0, false, false), 1);
+  fleet.record_observation(5, obs_of(2, 1, true, true), 2);
+  fleet.record_heartbeats(5, 12);
+  fleet.record_drops(5, 3);
+
+  const auto sessions = fleet.sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].intervals, 3u);
+  EXPECT_EQ(sessions[0].phases, 2u);
+  EXPECT_EQ(sessions[0].current_phase, 1u);
+  EXPECT_EQ(sessions[0].transitions, 1u);
+  EXPECT_EQ(sessions[0].heartbeat_records, 12u);
+  EXPECT_EQ(sessions[0].dropped_frames, 3u);
+  EXPECT_EQ(fleet.total_intervals(), 3u);
+}
+
+TEST(Fleet, TransitionLogRecordsNewPhasesAndTransitionsOnly) {
+  FleetAggregator fleet;
+  fleet.session_opened(1, "a");
+  fleet.record_observation(1, obs_of(0, 0, true, false), 1);   // logged
+  fleet.record_observation(1, obs_of(1, 0, false, false), 1);  // steady
+  fleet.record_observation(1, obs_of(2, 1, true, true), 2);    // logged
+  fleet.record_observation(1, obs_of(3, 0, false, true), 2);   // logged
+
+  const auto log = fleet.transition_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].interval, 0u);
+  EXPECT_TRUE(log[0].new_phase);
+  EXPECT_EQ(log[2].phase, 0u);
+  EXPECT_EQ(fleet.total_transitions(), 3u);
+}
+
+TEST(Fleet, TransitionLogIsBoundedButCountIsNot) {
+  FleetAggregator fleet(/*transition_log_capacity=*/4);
+  fleet.session_opened(1, "a");
+  for (std::size_t i = 0; i < 20; ++i) {
+    fleet.record_observation(1, obs_of(i, i % 2, false, true), 2);
+  }
+  EXPECT_EQ(fleet.transition_log().size(), 4u);
+  EXPECT_EQ(fleet.total_transitions(), 20u);
+  // The tail keeps the newest events.
+  EXPECT_EQ(fleet.transition_log().back().interval, 19u);
+}
+
+TEST(Fleet, PhaseCountHistogramAcrossSessions) {
+  FleetAggregator fleet;
+  fleet.session_opened(1, "a");
+  fleet.session_opened(2, "b");
+  fleet.session_opened(3, "c");
+  fleet.record_observation(1, obs_of(0, 0, true, false), 3);
+  fleet.record_observation(2, obs_of(0, 0, true, false), 3);
+  fleet.record_observation(3, obs_of(0, 0, true, false), 1);
+
+  const auto hist = fleet.phase_count_histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 1u);  // one session with 1 phase
+  EXPECT_EQ(hist[3], 2u);  // two sessions with 3 phases
+}
+
+TEST(Fleet, RenderMentionsEverySession) {
+  FleetAggregator fleet;
+  fleet.session_opened(1, "graph500");
+  fleet.session_opened(2, "lammps");
+  fleet.record_observation(1, obs_of(0, 0, true, false), 1);
+  const std::string report = fleet.render();
+  EXPECT_NE(report.find("graph500"), std::string::npos);
+  EXPECT_NE(report.find("lammps"), std::string::npos);
+  EXPECT_NE(report.find("phase-count histogram"), std::string::npos);
+}
+
+TEST(Fleet, CsvHasOneRowPerSession) {
+  FleetAggregator fleet;
+  fleet.session_opened(1, "a,with,commas");
+  fleet.session_opened(2, "b");
+  fleet.record_observation(2, obs_of(0, 0, true, false), 1);
+
+  std::ostringstream os;
+  fleet.write_csv(os);
+  const util::CsvDocument doc = util::parse_csv(os.str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "a,with,commas");  // quoting survived
+  const int intervals_col = doc.column("intervals");
+  ASSERT_GE(intervals_col, 0);
+  EXPECT_EQ(doc.rows[1][static_cast<std::size_t>(intervals_col)], "1");
+}
+
+}  // namespace
+}  // namespace incprof::service

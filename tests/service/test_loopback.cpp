@@ -1,0 +1,122 @@
+#include "service/loopback.hpp"
+
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace incprof::service {
+namespace {
+
+TEST(Loopback, ConnectAcceptAndExchangeFrames) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  auto client = hub.connect();
+  ASSERT_NE(client, nullptr);
+  auto server = listener->accept();
+  ASSERT_NE(server, nullptr);
+
+  EXPECT_TRUE(client->send("ping-frame"));
+  EXPECT_EQ(server->receive(), "ping-frame");
+  EXPECT_TRUE(server->send("pong-frame"));
+  EXPECT_EQ(client->receive(), "pong-frame");
+}
+
+TEST(Loopback, PreservesFrameOrder) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client->send("frame-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(server->receive(), "frame-" + std::to_string(i));
+  }
+}
+
+TEST(Loopback, CloseDrainsThenReportsEof) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_TRUE(client->send("last-words"));
+  client->close();
+  // In-flight frames survive the close; then EOF.
+  EXPECT_EQ(server->receive(), "last-words");
+  EXPECT_EQ(server->receive(), std::nullopt);
+  EXPECT_FALSE(server->send("into the void"));
+}
+
+TEST(Loopback, SendBlocksUntilPeerDrains) {
+  LoopbackHub hub(/*queue_capacity=*/2);
+  auto listener = hub.make_listener();
+  auto client = hub.connect();
+  auto server = listener->accept();
+  ASSERT_TRUE(client->send("a"));
+  ASSERT_TRUE(client->send("b"));
+  // The third send must wait for capacity, not drop — back-pressure
+  // lives at the session queue, the transport models a socket buffer.
+  std::thread unblocker([&] { EXPECT_EQ(server->receive(), "a"); });
+  EXPECT_TRUE(client->send("c"));
+  unblocker.join();
+  EXPECT_EQ(server->receive(), "b");
+  EXPECT_EQ(server->receive(), "c");
+}
+
+TEST(Loopback, ShutdownWakesPendingAccept) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  std::thread waiter([&] { EXPECT_EQ(listener->accept(), nullptr); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  hub.shutdown();
+  waiter.join();
+  EXPECT_EQ(hub.connect(), nullptr);
+}
+
+TEST(Loopback, ShutdownClosesUnacceptedPeers) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  auto client = hub.connect();
+  hub.shutdown();
+  // The server end was never accepted; the client must see EOF rather
+  // than hang.
+  EXPECT_EQ(client->receive(), std::nullopt);
+}
+
+TEST(Loopback, ManyConcurrentPairsStayIsolated) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  constexpr int kPairs = 16;
+  std::vector<std::unique_ptr<Connection>> clients;
+  std::vector<std::unique_ptr<Connection>> servers;
+  for (int i = 0; i < kPairs; ++i) {
+    clients.push_back(hub.connect());
+    servers.push_back(listener->accept());
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kPairs; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < 50; ++k) {
+        ASSERT_TRUE(clients[i]->send(std::to_string(i) + ":" +
+                                     std::to_string(k)));
+      }
+      clients[i]->close();
+    });
+  }
+  for (int i = 0; i < kPairs; ++i) {
+    threads.emplace_back([&, i] {
+      int k = 0;
+      while (auto f = servers[i]->receive()) {
+        EXPECT_EQ(*f, std::to_string(i) + ":" + std::to_string(k));
+        ++k;
+      }
+      EXPECT_EQ(k, 50);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace incprof::service

@@ -1,0 +1,162 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::service {
+namespace {
+
+gmon::ProfileSnapshot sample_snapshot() {
+  gmon::ProfileSnapshot snap(7, 7'000'000'000);
+  gmon::FunctionProfile fp;
+  fp.name = "solve";
+  fp.self_ns = 900'000'000;
+  fp.calls = 3;
+  fp.inclusive_ns = 950'000'000;
+  snap.upsert(fp);
+  fp.name = "init";
+  fp.self_ns = 100'000'000;
+  fp.calls = 1;
+  fp.inclusive_ns = 100'000'000;
+  snap.upsert(fp);
+  return snap;
+}
+
+TEST(Protocol, FrameRoundTripsByteForByte) {
+  Frame f;
+  f.type = FrameType::kSnapshot;
+  f.session = 42;
+  f.payload = "arbitrary \0 bytes";
+  const std::string wire = encode_frame(f);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + f.payload.size());
+  const Frame back = decode_frame(wire);
+  EXPECT_EQ(back, f);
+  // Re-encoding reproduces identical wire bytes.
+  EXPECT_EQ(encode_frame(back), wire);
+}
+
+TEST(Protocol, HeaderCarriesPayloadLength) {
+  Frame f;
+  f.type = FrameType::kQuery;
+  f.session = 9;
+  f.payload = std::string(123, 'x');
+  const std::string wire = encode_frame(f);
+  EXPECT_EQ(frame_payload_length(wire.substr(0, kFrameHeaderSize)), 123u);
+}
+
+TEST(Protocol, DecodeRejectsCorruptFrames) {
+  Frame f;
+  f.type = FrameType::kBye;
+  const std::string wire = encode_frame(f);
+
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_frame(bad_magic), std::runtime_error);
+
+  std::string bad_version = wire;
+  bad_version[4] = 99;
+  EXPECT_THROW(decode_frame(bad_version), std::runtime_error);
+
+  std::string bad_type = wire;
+  bad_type[6] = 77;
+  EXPECT_THROW(decode_frame(bad_type), std::runtime_error);
+
+  EXPECT_THROW(decode_frame(wire.substr(0, kFrameHeaderSize - 1)),
+               std::runtime_error);
+  EXPECT_THROW(decode_frame(wire + "trailing"), std::runtime_error);
+}
+
+TEST(Protocol, DecodeRejectsOversizedDeclaredLength) {
+  Frame f;
+  f.type = FrameType::kHello;
+  std::string wire = encode_frame(f);
+  // Patch payload_len (bytes 12..15) to an absurd value.
+  wire[12] = '\xff';
+  wire[13] = '\xff';
+  wire[14] = '\xff';
+  wire[15] = '\x7f';
+  EXPECT_THROW(decode_frame(wire), std::runtime_error);
+  EXPECT_THROW(frame_payload_length(wire), std::runtime_error);
+}
+
+TEST(Protocol, HelloRoundTrip) {
+  HelloPayload p;
+  p.client_name = "miniamr@host:1234";
+  p.interval_ns = 1'000'000'000;
+  p.subscribe_events = true;
+  EXPECT_EQ(decode_hello(encode_hello(p)), p);
+
+  const std::string frame_bytes = make_hello_frame(p);
+  const Frame f = decode_frame(frame_bytes);
+  EXPECT_EQ(f.type, FrameType::kHello);
+  EXPECT_EQ(decode_hello(f.payload), p);
+}
+
+TEST(Protocol, HelloAckRoundTrip) {
+  HelloAckPayload p;
+  p.session_id = 31337;
+  EXPECT_EQ(decode_hello_ack(encode_hello_ack(p)), p);
+}
+
+TEST(Protocol, SnapshotPayloadIsTheGmonBinaryFormat) {
+  const auto snap = sample_snapshot();
+  const std::string frame_bytes = make_snapshot_frame(5, snap);
+  const Frame f = decode_frame(frame_bytes);
+  EXPECT_EQ(f.type, FrameType::kSnapshot);
+  EXPECT_EQ(f.session, 5u);
+  EXPECT_EQ(decode_snapshot(f.payload), snap);
+}
+
+TEST(Protocol, HeartbeatBatchRoundTrip) {
+  HeartbeatBatchPayload p;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ekg::HeartbeatRecord rec;
+    rec.interval = i;
+    rec.id = 100 + i;
+    rec.count = 7 * (i + 1);
+    rec.mean_duration_ns = 1234.5 * (i + 1);
+    rec.max_duration_ns = 5000.25;
+    p.records.push_back(rec);
+  }
+  EXPECT_EQ(decode_heartbeat_batch(encode_heartbeat_batch(p)), p);
+  // Empty batches are legal.
+  EXPECT_EQ(decode_heartbeat_batch(encode_heartbeat_batch({})).records.size(),
+            0u);
+}
+
+TEST(Protocol, QueryAndReplyRoundTrip) {
+  QueryPayload q;
+  q.kind = QueryKind::kFleetSummary;
+  EXPECT_EQ(decode_query(encode_query(q)), q);
+
+  QueryReplyPayload r;
+  r.kind = QueryKind::kFleetSummary;
+  r.text = "fleet: 3 sessions\nwith, commas and \"quotes\"";
+  EXPECT_EQ(decode_query_reply(encode_query_reply(r)), r);
+
+  // Unknown query kinds are rejected, not misinterpreted.
+  std::string bad = encode_query(q);
+  bad[0] = 9;
+  EXPECT_THROW(decode_query(bad), std::runtime_error);
+}
+
+TEST(Protocol, PhaseEventRoundTrip) {
+  PhaseEventPayload p;
+  p.interval = 17;
+  p.phase = 3;
+  p.new_phase = true;
+  p.transition = true;
+  p.distance = 0.6180339887;
+  EXPECT_EQ(decode_phase_event(encode_phase_event(p)), p);
+}
+
+TEST(Protocol, TruncatedPayloadsThrow) {
+  HelloPayload hello;
+  hello.client_name = "abc";
+  const std::string bytes = encode_hello(hello);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_hello(bytes.substr(0, cut)), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace incprof::service

@@ -1,0 +1,84 @@
+#include "service/transport.hpp"
+
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::service {
+namespace {
+
+std::string frame_bytes(FrameType type, std::uint32_t session,
+                        std::string payload) {
+  Frame f;
+  f.type = type;
+  f.session = session;
+  f.payload = std::move(payload);
+  return encode_frame(f);
+}
+
+TEST(FrameBuffer, ExtractsWholeFramesFromOneChunk) {
+  const std::string a = frame_bytes(FrameType::kHello, 0, "aaa");
+  const std::string b = frame_bytes(FrameType::kBye, 1, "");
+  FrameBuffer buf;
+  buf.append(a + b);
+  EXPECT_EQ(buf.next_frame(), a);
+  EXPECT_EQ(buf.next_frame(), b);
+  EXPECT_EQ(buf.next_frame(), std::nullopt);
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(FrameBuffer, ReassemblesAcrossArbitraryChunkBoundaries) {
+  // Concatenate several frames, then feed the stream one byte at a time
+  // — the worst segmentation TCP can produce.
+  std::string stream;
+  std::vector<std::string> frames;
+  for (int i = 0; i < 4; ++i) {
+    frames.push_back(frame_bytes(FrameType::kSnapshot,
+                                 static_cast<std::uint32_t>(i),
+                                 std::string(17 * i, 'p')));
+    stream += frames.back();
+  }
+  FrameBuffer buf;
+  std::vector<std::string> got;
+  for (const char c : stream) {
+    buf.append(std::string_view(&c, 1));
+    while (auto f = buf.next_frame()) got.push_back(*f);
+  }
+  EXPECT_EQ(got, frames);
+}
+
+TEST(FrameBuffer, PartialFrameStaysBuffered) {
+  const std::string a = frame_bytes(FrameType::kQuery, 3, "abcdef");
+  FrameBuffer buf;
+  buf.append(std::string_view(a).substr(0, a.size() - 1));
+  EXPECT_EQ(buf.next_frame(), std::nullopt);
+  EXPECT_EQ(buf.buffered(), a.size() - 1);
+  buf.append(std::string_view(a).substr(a.size() - 1));
+  EXPECT_EQ(buf.next_frame(), a);
+}
+
+TEST(FrameBuffer, ThrowsOnDesynchronizedStream) {
+  FrameBuffer buf;
+  buf.append("this is not a frame header!!");
+  EXPECT_THROW(buf.next_frame(), std::runtime_error);
+}
+
+TEST(FrameBuffer, SurvivesManyFramesWithoutUnboundedGrowth) {
+  // The compaction path: pump thousands of frames through one buffer.
+  const std::string f = frame_bytes(FrameType::kHeartbeatBatch, 9,
+                                    std::string(100, 'h'));
+  FrameBuffer buf;
+  std::size_t extracted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    buf.append(f);
+    while (auto got = buf.next_frame()) {
+      EXPECT_EQ(*got, f);
+      ++extracted;
+    }
+  }
+  EXPECT_EQ(extracted, 5000u);
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace incprof::service

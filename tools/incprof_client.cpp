@@ -1,0 +1,145 @@
+// incprof_client — replays an incprof_collect dump directory into a
+// running incprofd as one or more concurrent sessions: the stand-in for
+// a fleet of deployed, collector-instrumented processes all shipping
+// their per-interval profiles to the central monitor.
+//
+// Usage:
+//   incprof_client <dump_dir> [options]
+//
+// Options:
+//   --host <h>      daemon host (default 127.0.0.1)
+//   --port <n>      daemon port (default 7077)
+//   --sessions <n>  concurrent replay sessions (default 1)
+//   --name <s>      client name prefix in the hello (default dump dir)
+//   --no-events     do not subscribe to phase-event pushes
+//   --quiet         suppress the per-event log lines
+
+#include "service/replay.hpp"
+#include "service/tcp.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace incprof;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump_dir> [--host h] [--port n] [--sessions n] "
+               "[--name s] [--no-events] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string dump_dir = argv[1];
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7077;
+  std::size_t sessions = 1;
+  std::string name = dump_dir;
+  bool subscribe = true;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = need("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = static_cast<std::size_t>(std::atoll(need("--sessions")));
+    } else if (std::strcmp(argv[i], "--name") == 0) {
+      name = need("--name");
+    } else if (std::strcmp(argv[i], "--no-events") == 0) {
+      subscribe = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (sessions == 0) {
+    std::fprintf(stderr, "--sessions must be > 0\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    const auto snapshots = service::load_replay_dumps(dump_dir);
+    if (snapshots.empty()) {
+      std::fprintf(stderr, "no gmon-*.out dumps in %s\n", dump_dir.c_str());
+      return 1;
+    }
+    std::printf("replaying %zu dumps from %s as %zu session(s) -> %s:%u\n",
+                snapshots.size(), dump_dir.c_str(), sessions, host.c_str(),
+                port);
+
+    std::vector<service::ReplayResult> results(sessions);
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      threads.emplace_back([&, i] {
+        service::ReplayOptions opts;
+        opts.client_name = name + "#" + std::to_string(i);
+        opts.subscribe_events = subscribe;
+        opts.query_status = true;
+        try {
+          auto conn = service::tcp_connect(host, port);
+          results[i] = service::replay_session(*conn, snapshots, opts);
+        } catch (const std::exception& e) {
+          results[i].error = e.what();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < sessions; ++i) {
+      const auto& r = results[i];
+      if (!r.ok) {
+        ++failed;
+        std::fprintf(stderr, "session %zu failed: %s\n", i, r.error.c_str());
+        continue;
+      }
+      std::printf("session %u: %zu snapshots sent, %zu phase events\n",
+                  r.session_id, r.snapshots_sent, r.events.size());
+      if (!quiet) {
+        for (const auto& ev : r.events) {
+          if (ev.new_phase) {
+            std::printf("  t=%4us  NEW phase %u discovered\n", ev.interval,
+                        ev.phase);
+          } else if (ev.transition) {
+            std::printf("  t=%4us  transition -> phase %u (distance %.2f)\n",
+                        ev.interval, ev.phase, ev.distance);
+          }
+        }
+      }
+      if (!r.status_text.empty()) {
+        std::printf("  server: %s\n", r.status_text.c_str());
+      }
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "%zu/%zu sessions failed\n", failed, sessions);
+      return 1;
+    }
+    std::printf("all %zu sessions completed\n", sessions);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

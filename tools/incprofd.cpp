@@ -1,0 +1,235 @@
+// incprofd — the multi-session phase-detection daemon: the
+// monitoring-side endpoint of the framework (the paper ships AppEKG
+// records through LDMS; incprofd is that collector's stand-in). Clients
+// (incprof_client, or anything speaking service/protocol) stream
+// profile snapshots and heartbeat batches; the daemon tracks phases per
+// session and prints a periodic fleet report.
+//
+// Usage:
+//   incprofd [options]                     serve TCP
+//   incprofd --selftest <dump_dir> [opts]  end-to-end self check: serve
+//                                          on an ephemeral port, replay
+//                                          <dump_dir> over real sockets
+//                                          as N local sessions, report
+//
+// Options:
+//   --port <n>           TCP port (default 7077; 0 = ephemeral)
+//   --workers <n>        tracker worker threads (default 4)
+//   --queue-capacity <n> per-session frame queue bound (default 256)
+//   --report-every <s>   seconds between fleet reports (default 10)
+//   --max-seconds <s>    exit after this long (default: run until EOF
+//                        on stdin or SIGINT)
+//   --metrics-csv <path> write the metrics registry as CSV on exit
+//   --fleet-csv <path>   write the per-session fleet table on exit
+//   --sessions <n>       (selftest) parallel replay sessions, default 4
+
+#include "service/replay.hpp"
+#include "service/server.hpp"
+#include "service/tcp.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace incprof;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port n] [--workers n] [--queue-capacity n] "
+               "[--report-every s] [--max-seconds s] [--metrics-csv path] "
+               "[--fleet-csv path]\n"
+               "       %s --selftest <dump_dir> [--sessions n] [--workers n]\n",
+               argv0, argv0);
+  return 2;
+}
+
+void write_csv_file(const std::string& path, const auto& writer) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "incprofd: cannot write %s\n", path.c_str());
+    return;
+  }
+  writer(os);
+}
+
+int run_selftest(const std::string& dump_dir, std::size_t sessions,
+                 service::ServerConfig cfg) {
+  const auto snapshots = service::load_replay_dumps(dump_dir);
+  if (snapshots.empty()) {
+    std::fprintf(stderr, "incprofd: no dumps in %s\n", dump_dir.c_str());
+    return 1;
+  }
+
+  // The selftest asserts lossless delivery, so the queue bound must
+  // cover a whole replay arriving faster than the trackers drain it.
+  cfg.session.queue_capacity =
+      std::max(cfg.session.queue_capacity, snapshots.size() + 16);
+
+  service::TcpListener listener(0);
+  service::Server server(listener, cfg);
+  server.start();
+  std::printf("incprofd selftest: port %u, %zu dumps, %zu sessions\n",
+              listener.port(), snapshots.size(), sessions);
+
+  std::vector<service::ReplayResult> results(sessions);
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      service::ReplayOptions opts;
+      opts.client_name = "selftest-" + std::to_string(i);
+      opts.subscribe_events = true;
+      opts.query_status = true;
+      try {
+        auto conn = service::tcp_connect("127.0.0.1", listener.port());
+        results[i] = service::replay_session(*conn, snapshots, opts);
+      } catch (const std::exception& e) {
+        results[i].error = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto& r = results[i];
+    if (r.ok && r.events.size() == snapshots.size()) {
+      ++ok;
+    } else {
+      std::fprintf(stderr, "session %zu failed: %s (%zu/%zu events)\n", i,
+                   r.error.c_str(), r.events.size(), snapshots.size());
+    }
+    if (!r.status_text.empty()) std::printf("  %s\n", r.status_text.c_str());
+  }
+  std::printf("%s", server.fleet().render().c_str());
+  std::printf("selftest: %zu/%zu sessions ok, %llu frames, %llu dropped\n",
+              ok, sessions,
+              static_cast<unsigned long long>(
+                  server.metrics().counter_value("frames_received")),
+              static_cast<unsigned long long>(
+                  server.metrics().counter_value("frames_dropped")));
+  return ok == sessions ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7077;
+  double report_every = 10.0;
+  double max_seconds = 0.0;
+  std::size_t sessions = 4;
+  std::string metrics_csv;
+  std::string fleet_csv;
+  std::string selftest_dir;
+  service::ServerConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      cfg.worker_threads =
+          static_cast<std::size_t>(std::atoll(need("--workers")));
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      cfg.session.queue_capacity =
+          static_cast<std::size_t>(std::atoll(need("--queue-capacity")));
+    } else if (std::strcmp(argv[i], "--report-every") == 0) {
+      report_every = std::atof(need("--report-every"));
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
+      max_seconds = std::atof(need("--max-seconds"));
+    } else if (std::strcmp(argv[i], "--metrics-csv") == 0) {
+      metrics_csv = need("--metrics-csv");
+    } else if (std::strcmp(argv[i], "--fleet-csv") == 0) {
+      fleet_csv = need("--fleet-csv");
+    } else if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest_dir = need("--selftest");
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      sessions = static_cast<std::size_t>(std::atoll(need("--sessions")));
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.worker_threads == 0 || cfg.session.queue_capacity == 0 ||
+      sessions == 0) {
+    std::fprintf(stderr, "workers, queue-capacity and sessions must be > 0\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    if (!selftest_dir.empty()) {
+      return run_selftest(selftest_dir, sessions, cfg);
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    service::TcpListener listener(port);
+    service::Server server(listener, cfg);
+    server.start();
+    std::printf("incprofd: listening on port %u (%zu workers, queue %zu)\n",
+                listener.port(), cfg.worker_threads,
+                cfg.session.queue_capacity);
+    std::fflush(stdout);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto next_report =
+        start + std::chrono::duration<double>(report_every);
+    while (!g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const auto now = std::chrono::steady_clock::now();
+      if (max_seconds > 0.0 &&
+          now - start >= std::chrono::duration<double>(max_seconds)) {
+        break;
+      }
+      if (report_every > 0.0 && now >= next_report) {
+        std::printf("%s", server.fleet().render().c_str());
+        std::fflush(stdout);
+        next_report = now + std::chrono::duration<double>(report_every);
+      }
+    }
+
+    server.stop();
+    std::printf("%s", server.fleet().render().c_str());
+    if (!metrics_csv.empty()) {
+      write_csv_file(metrics_csv,
+                     [&](std::ostream& os) { server.metrics().write_csv(os); });
+    }
+    if (!fleet_csv.empty()) {
+      write_csv_file(fleet_csv,
+                     [&](std::ostream& os) { server.fleet().write_csv(os); });
+    }
+    std::printf("incprofd: served %llu sessions, %llu frames (%llu dropped)\n",
+                static_cast<unsigned long long>(
+                    server.metrics().counter_value("sessions_opened")),
+                static_cast<unsigned long long>(
+                    server.metrics().counter_value("frames_received")),
+                static_cast<unsigned long long>(
+                    server.metrics().counter_value("frames_dropped")));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
