@@ -12,6 +12,8 @@
 #include "core/pipeline.hpp"
 #include "gmon/binary_io.hpp"
 #include "gmon/flat_text.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "prof/collector.hpp"
 #include "util/rng.hpp"
 
@@ -174,6 +176,72 @@ void BM_CollectionRun(benchmark::State& state) {
 }
 BENCHMARK(BM_CollectionRun);
 
+// --- self-telemetry overhead ---------------------------------------------
+// The obs layer instruments the frame hot path, so its own cost is part
+// of the overhead budget the paper's Table I argues about. These three
+// give the per-record costs; the target is < 100 ns per span.
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram hist;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = (v * 2862933555777941757ull + 3037000493ull) & 0xFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsTraceRecord(benchmark::State& state) {
+  obs::TraceBuffer buffer(4096);
+  for (auto _ : state) {
+    buffer.record("bench.trace", "obs", 1, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceRecord);
+
+void BM_ObsScopedSpan(benchmark::State& state) {
+  // The full span as used on the frame path: two clock reads plus a
+  // histogram record plus a trace-ring record.
+  obs::Histogram hist;
+  obs::TraceBuffer buffer(4096);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "obs", &hist, &buffer);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedSpan);
+
+/// Per-stage latency percentiles accumulated by the pipeline's own
+/// instrumentation while BM_EndToEndAnalysis & friends ran — the
+/// stage-level view a single end-to-end wall-clock number hides.
+void report_stage_histograms() {
+  const auto snaps = obs::default_registry().histogram_snapshots();
+  bool printed_header = false;
+  for (const auto& [key, snap] : snaps) {
+    if (snap.count == 0) continue;
+    if (!printed_header) {
+      std::printf("\nper-stage latency from obs histograms (us)\n");
+      std::printf("%-44s %10s %10s %10s %12s\n", "histogram", "count",
+                  "p50", "p99", "max");
+      printed_header = true;
+    }
+    std::printf("%-44s %10llu %10.1f %10.1f %12.1f\n", key.c_str(),
+                static_cast<unsigned long long>(snap.count),
+                snap.quantile(0.50) / 1e3, snap.quantile(0.99) / 1e3,
+                static_cast<double>(snap.max) / 1e3);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_stage_histograms();
+  return 0;
+}

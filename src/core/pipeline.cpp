@@ -3,12 +3,23 @@
 #include "cluster/kselect.hpp"
 #include "gmon/flat_text.hpp"
 #include "gmon/scanner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 #include <stdexcept>
 
 namespace incprof::core {
 
 namespace {
+
+/// Stage-latency histogram in the global registry, shared by every
+/// analysis run in the process so benches and the daemon can report
+/// per-stage percentiles (references are stable; resolving per call is
+/// fine, the stages themselves are milliseconds).
+obs::Histogram& stage_hist(const char* stage) {
+  return obs::default_registry().histogram("pipeline_stage_ns",
+                                           {{"stage", stage}});
+}
 
 std::vector<gmon::ProfileSnapshot> round_trip_text(
     const std::vector<gmon::ProfileSnapshot>& snapshots,
@@ -38,24 +49,43 @@ PhaseAnalysis analyze_snapshots(
   }
 
   PhaseAnalysis a;
-  if (config.text_round_trip) {
-    a.intervals = IntervalData::from_cumulative(
-        round_trip_text(snapshots, config.sample_period_ns));
-  } else {
-    a.intervals = IntervalData::from_cumulative(snapshots);
+  {
+    obs::ScopedSpan span("pipeline.differencing", "analysis",
+                         &stage_hist("differencing"));
+    if (config.text_round_trip) {
+      a.intervals = IntervalData::from_cumulative(
+          round_trip_text(snapshots, config.sample_period_ns));
+    } else {
+      a.intervals = IntervalData::from_cumulative(snapshots);
+    }
   }
-
-  a.features = build_features(a.intervals, config.features);
-  a.detection = detect_phases(a.features, config.detector);
-  a.chosen_sweep_index =
-      config.detector.selection == cluster::KSelection::kElbow
-          ? cluster::select_elbow(a.detection.sweep)
-          : cluster::select_silhouette(a.detection.sweep);
-  a.ranks = RankTable::compute(a.intervals, a.detection);
-  a.sites = select_sites(a.intervals, a.features, a.detection, a.ranks,
-                         config.selector);
-  if (config.merge_phases) {
-    a.sites = merge_phases_by_sites(a.sites, a.intervals);
+  {
+    obs::ScopedSpan span("pipeline.features", "analysis",
+                         &stage_hist("features"));
+    a.features = build_features(a.intervals, config.features);
+  }
+  {
+    obs::ScopedSpan span("pipeline.kmeans_sweep", "analysis",
+                         &stage_hist("kmeans_sweep"));
+    a.detection = detect_phases(a.features, config.detector);
+  }
+  {
+    obs::ScopedSpan span("pipeline.k_select", "analysis",
+                         &stage_hist("k_select"));
+    a.chosen_sweep_index =
+        config.detector.selection == cluster::KSelection::kElbow
+            ? cluster::select_elbow(a.detection.sweep)
+            : cluster::select_silhouette(a.detection.sweep);
+    a.ranks = RankTable::compute(a.intervals, a.detection);
+  }
+  {
+    obs::ScopedSpan span("pipeline.site_selection", "analysis",
+                         &stage_hist("site_selection"));
+    a.sites = select_sites(a.intervals, a.features, a.detection, a.ranks,
+                           config.selector);
+    if (config.merge_phases) {
+      a.sites = merge_phases_by_sites(a.sites, a.intervals);
+    }
   }
   return a;
 }

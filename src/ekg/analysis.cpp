@@ -1,5 +1,8 @@
 #include "ekg/analysis.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -8,6 +11,9 @@ namespace incprof::ekg {
 
 std::vector<HeartbeatBaseline> build_baselines(
     const std::vector<HeartbeatRecord>& records) {
+  obs::ScopedSpan span(
+      "ekg.build_baselines", "ekg",
+      &obs::default_registry().histogram("ekg_baseline_build_ns"));
   std::map<HeartbeatId, HeartbeatBaseline> by_id;
   for (const auto& rec : records) {
     HeartbeatBaseline& b = by_id[rec.id];

@@ -1,5 +1,8 @@
 #include "ekg/heartbeat.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <stdexcept>
 
 namespace incprof::ekg {
@@ -71,6 +74,12 @@ void AppEkg::flush_through(sim::vtime_t now) {
 }
 
 void AppEkg::flush_interval() {
+  // Self-telemetry on the aggregation hop itself: the paper's overhead
+  // story (Table I) rests on per-interval aggregation being negligible
+  // next to the interval length, so we measure it.
+  obs::ScopedSpan span(
+      "ekg.flush_interval", "ekg",
+      &obs::default_registry().histogram("ekg_flush_ns"));
   for (auto& [id, st] : states_) {
     if (st.count == 0) continue;
     HeartbeatRecord rec;

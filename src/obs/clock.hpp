@@ -1,0 +1,26 @@
+// Monotonic time base for the observability layer. Everything in
+// src/obs stamps wall durations with the host's steady clock (not the
+// simulation's virtual clock): self-telemetry measures what *our* code
+// costs, which is exactly the quantity the paper's Table I overhead
+// methodology compares against the application's runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace incprof::obs {
+
+/// Nanoseconds on the steady clock (arbitrary epoch, monotonic).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Small dense per-thread tag (1, 2, 3, ... in first-use order) for
+/// trace events and log lines — std::thread::id is opaque and wide,
+/// while Chrome trace viewers want small integer tids.
+std::uint32_t thread_tag() noexcept;
+
+}  // namespace incprof::obs

@@ -1,0 +1,99 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace incprof::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Highest set bit selects the octave; the kSubBits bits below it
+  // select the linear sub-bucket within the octave.
+  const auto top = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const std::size_t sub = static_cast<std::size_t>(
+      (value >> (top - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (top - kSubBits) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t oct = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const std::size_t top = oct + kSubBits;
+  return (std::uint64_t{1} << top) +
+         (static_cast<std::uint64_t>(sub) << (top - kSubBits));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::size_t oct = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t top = oct + kSubBits;
+  return bucket_lower(index) + (std::uint64_t{1} << (top - kSubBits)) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !max_.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const std::uint64_t omax = other.max_value();
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < omax &&
+         !max_.compare_exchange_weak(cur, omax,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.counts.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count();
+  s.sum = sum();
+  s.max = max_value();
+  return s;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value among the `count` recorded ones (0-based).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1) + 0.5);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum > rank) {
+      const std::uint64_t lo = Histogram::bucket_lower(i);
+      const std::uint64_t hi =
+          std::min(Histogram::bucket_upper(i), max > 0 ? max : lo);
+      return lo == hi ? static_cast<double>(lo)
+                      : (static_cast<double>(lo) + static_cast<double>(hi)) /
+                            2.0;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+}  // namespace incprof::obs

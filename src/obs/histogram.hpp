@@ -1,0 +1,90 @@
+// Log-bucketed latency histogram: HdrHistogram-style power-of-two
+// octaves subdivided into 16 linear sub-buckets, so any recorded value
+// lands in a bucket whose width is at most 1/16th of its magnitude
+// (≤ ~6 % relative quantile error). Recording is a handful of relaxed
+// atomic ops — cheap enough for the per-frame service hot path — and
+// buckets are mergeable across histograms (worker-local → global), the
+// property flat counters lack and the one quantile sketches are built
+// around.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incprof::obs {
+
+/// Plain (non-atomic) copy of a histogram's state, safe to query and
+/// carry around while the source keeps recording.
+struct HistogramSnapshot {
+  /// Per-bucket counts, indexed like Histogram::bucket_index.
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  /// Quantile estimate, q in [0, 1]; 0 for an empty snapshot. Exact for
+  /// values < 16, otherwise the midpoint of the covering bucket.
+  double quantile(double q) const;
+
+  /// Mean of all recorded values; 0 when empty.
+  double mean() const;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Thread-safe log-bucketed histogram over non-negative integers
+/// (typically durations in ns).
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+  static constexpr std::size_t kSubBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Values below kSubBuckets get one exact bucket each; each of the
+  /// remaining 64 - kSubBits octaves gets kSubBuckets sub-buckets.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one value. Lock-free: a few relaxed atomic RMWs.
+  void record(std::uint64_t value) noexcept;
+
+  /// Folds another histogram's current contents into this one.
+  void merge(const Histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// Convenience quantile straight off the live buckets (one snapshot).
+  double quantile(double q) const { return snapshot().quantile(q); }
+
+  /// Consistent-enough copy for reporting (individual bucket loads are
+  /// relaxed; totals may trail concurrent recordings by a few events).
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket index a value lands in.
+  static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive value range [lower, upper] of a bucket.
+  static std::uint64_t bucket_lower(std::size_t index) noexcept;
+  static std::uint64_t bucket_upper(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace incprof::obs

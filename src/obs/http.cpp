@@ -1,0 +1,163 @@
+#include "obs/http.hpp"
+
+#include "obs/clock.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace incprof::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 400: return "Bad Request";
+  }
+  return "Internal Server Error";
+}
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the header terminator (we ignore bodies: GET only).
+std::string read_request(int fd) {
+  std::string req;
+  char chunk[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(chunk, static_cast<std::size_t>(n));
+  }
+  return req;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(std::uint16_t port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("obs http: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::runtime_error(std::string("obs http: bind/listen: ") +
+                             std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpEndpoint::~HttpEndpoint() {
+  stop();
+  ::close(fd_);
+}
+
+void HttpEndpoint::stop() {
+  if (stopped_.exchange(true)) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpEndpoint::serve_loop() {
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+
+    const std::string request = read_request(client);
+    HttpResponse resp;
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(
+        0, line_end == std::string::npos ? request.size() : line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "GET only\n"};
+    } else {
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      resp = handler_(path);
+    }
+
+    std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                       status_text(resp.status) +
+                       "\r\nContent-Type: " + resp.content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(resp.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    send_all(client, head);
+    send_all(client, resp.body);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+HttpHandler make_obs_handler(MetricsRegistry& registry,
+                             TraceBuffer& buffer) {
+  const std::uint64_t start_ns = now_ns();
+  return [&registry, &buffer, start_ns](const std::string& path) {
+    HttpResponse resp;
+    if (path == "/metrics" || path == "/metrics/") {
+      registry.counter("obs_scrapes").add();
+      registry.gauge("obs_uptime_seconds")
+          .set(static_cast<std::int64_t>((now_ns() - start_ns) /
+                                         1'000'000'000ull));
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = registry.render_prometheus();
+    } else if (path == "/healthz" || path == "/healthz/") {
+      resp.body = "ok\n";
+    } else if (path == "/trace.json") {
+      resp.content_type = "application/json";
+      resp.body = buffer.export_chrome_json();
+    } else {
+      resp.status = 404;
+      resp.body = "not found (try /metrics, /healthz, /trace.json)\n";
+    }
+    return resp;
+  };
+}
+
+}  // namespace incprof::obs

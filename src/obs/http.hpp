@@ -1,0 +1,71 @@
+// Minimal HTTP/1.1 GET server for the observability endpoints: one
+// accept thread, one request per connection, Connection: close. This is
+// deliberately not a web framework — it exists so `curl` and a
+// Prometheus scraper can reach a running incprofd (/metrics, /healthz,
+// /trace.json) over the same POSIX socket machinery the TCP frame
+// transport uses, without teaching the frame protocol to speak HTTP.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace incprof::obs {
+
+/// What a route handler returns.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics") to a response.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+/// Tiny blocking HTTP server bound to 0.0.0.0:<port>.
+class HttpEndpoint {
+ public:
+  /// Binds, listens and spawns the accept thread; `port == 0` picks an
+  /// ephemeral port (read it back with port()). Throws
+  /// std::runtime_error on bind failure.
+  HttpEndpoint(std::uint16_t port, HttpHandler handler);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  HttpHandler handler_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+/// The standard incprofd observability routes over a registry + trace
+/// ring: GET /metrics (Prometheus text), GET /healthz ("ok"), GET
+/// /trace.json (Chrome trace_event JSON), 404 otherwise. Each scrape
+/// bumps the registry's `obs_scrapes` counter and refreshes its
+/// `obs_uptime_seconds` gauge, so /metrics is never empty.
+HttpHandler make_obs_handler(MetricsRegistry& registry,
+                             TraceBuffer& buffer);
+
+}  // namespace incprof::obs

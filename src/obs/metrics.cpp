@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include "util/csv.hpp"
+
+#include <algorithm>
+
+namespace incprof::obs {
+
+namespace {
+
+/// Splits a full key into (family, label body without braces).
+std::pair<std::string_view, std::string_view> split_key(
+    std::string_view key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string_view::npos) return {key, {}};
+  std::string_view labels = key.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {key.substr(0, brace), labels};
+}
+
+template <typename Map, typename Factory>
+auto& find_or_create(Map& map, std::string_view key, Factory make) {
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::string(key), make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+std::string labeled_key(std::string_view name, Labels labels) {
+  std::string key(name);
+  if (labels.size() == 0) return key;
+  key.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key.push_back(',');
+    first = false;
+    key.append(k);
+    key += "=\"";
+    key.append(v);
+    key.push_back('"');
+  }
+  key.push_back('}');
+  return key;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return find_or_create(counters_, name,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return counter(labeled_key(name, labels));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return find_or_create(gauges_, name,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return gauge(labeled_key(name, labels));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return find_or_create(histograms_, name,
+                        [] { return std::make_unique<Histogram>(); });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      Labels labels) {
+  return histogram(labeled_key(name, labels));
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter",
+                   static_cast<std::int64_t>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", g->value()});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histogram_snapshots() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  util::CsvWriter w(os);
+  w.row({"metric", "kind", "value"});
+  for (const auto& s : samples()) {
+    w.row_of(s.name, s.kind, static_cast<long long>(s.value));
+  }
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  // Group every metric under its family so each family gets exactly one
+  // `# TYPE` line even when labeled variants interleave in sort order.
+  struct Family {
+    std::string kind;
+    std::vector<std::string> lines;
+  };
+  std::map<std::string, Family, std::less<>> families;
+
+  const auto family_of = [&](std::string_view key,
+                             const char* kind) -> Family& {
+    const auto [base, labels] = split_key(key);
+    (void)labels;
+    Family& fam = families[std::string(base)];
+    if (fam.kind.empty()) fam.kind = kind;
+    return fam;
+  };
+
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [key, c] : counters_) {
+      family_of(key, "counter")
+          .lines.push_back(key + " " + std::to_string(c->value()));
+    }
+    for (const auto& [key, g] : gauges_) {
+      family_of(key, "gauge")
+          .lines.push_back(key + " " + std::to_string(g->value()));
+    }
+    for (const auto& [key, h] : histograms_) {
+      Family& fam = family_of(key, "histogram");
+      const auto [base, labels] = split_key(key);
+      const HistogramSnapshot snap = h->snapshot();
+      const auto bucket_line = [&](const std::string& le,
+                                   std::uint64_t cum) {
+        std::string line(base);
+        line += "_bucket{";
+        if (!labels.empty()) {
+          line.append(labels);
+          line.push_back(',');
+        }
+        line += "le=\"" + le + "\"} " + std::to_string(cum);
+        fam.lines.push_back(std::move(line));
+      };
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+        if (snap.counts[i] == 0) continue;
+        cum += snap.counts[i];
+        bucket_line(std::to_string(Histogram::bucket_upper(i)), cum);
+      }
+      // Keep +Inf and _count consistent even if recordings raced the
+      // snapshot (bucket loads and the total are separate atomics).
+      const std::uint64_t total = std::max(cum, snap.count);
+      bucket_line("+Inf", total);
+      std::string suffix = labels.empty()
+                               ? std::string()
+                               : "{" + std::string(labels) + "}";
+      fam.lines.push_back(std::string(base) + "_sum" + suffix + " " +
+                          std::to_string(snap.sum));
+      fam.lines.push_back(std::string(base) + "_count" + suffix + " " +
+                          std::to_string(total));
+    }
+  }
+
+  std::string out;
+  for (const auto& [base, fam] : families) {
+    out += "# TYPE " + base + " " + fam.kind + "\n";
+    for (const auto& line : fam.lines) {
+      out += line;
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace incprof::obs

@@ -1,0 +1,133 @@
+// Operational metrics for the whole framework: named monotonic counters,
+// set/max gauges and log-bucketed histograms with stable addresses,
+// cheap enough to bump on the frame hot path (one relaxed atomic op),
+// dumpable as CSV and as Prometheus text exposition for the daemon's
+// scrape endpoint. Promoted from src/service (which re-exports these
+// names) so the analysis pipeline, ekg and the benches can share one
+// registry without depending on the service layer.
+#pragma once
+
+#include "obs/histogram.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace incprof::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, live sessions). `record_max`
+/// retains the high-water mark semantics some gauges want.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `v` if it is below (monotone high-water mark).
+  void record_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// One metric's exported row.
+struct MetricSample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge"
+  std::int64_t value = 0;
+};
+
+/// Prometheus-style label pairs, rendered as {k="v",...} in key order
+/// of appearance. Keep values free of '"' and '\'.
+using Labels =
+    std::initializer_list<std::pair<std::string_view, std::string_view>>;
+
+/// Create-on-first-use registry. Returned references stay valid for the
+/// registry's lifetime, so hot paths resolve a metric once and keep the
+/// pointer. All operations are thread-safe.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Counter& counter(std::string_view name, Labels labels);
+  Gauge& gauge(std::string_view name);
+  Gauge& gauge(std::string_view name, Labels labels);
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, Labels labels);
+
+  /// Current value of a named counter/gauge (0 when absent) — for tests
+  /// and reports that do not hold the reference. For labeled metrics
+  /// pass the full key, e.g. `frames{transport="tcp"}`.
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+
+  /// All counters and gauges, sorted by name, counters first.
+  std::vector<MetricSample> samples() const;
+
+  /// Snapshot of every histogram, sorted by full key.
+  std::vector<std::pair<std::string, HistogramSnapshot>>
+  histogram_snapshots() const;
+
+  /// Writes `metric,kind,value` rows (with header) via util::csv.
+  /// Counters and gauges only — histograms go through the Prometheus
+  /// exposition or histogram_snapshots().
+  void write_csv(std::ostream& os) const;
+
+  /// Prometheus text exposition (format 0.0.4): `# TYPE` line per
+  /// family, counters/gauges verbatim, histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count`.
+  std::string render_prometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// Render a full metric key from a base name and labels.
+std::string labeled_key(std::string_view name, Labels labels);
+
+/// Process-global registry for instrumentation that has no natural
+/// owner (the analysis pipeline's stage histograms, ekg aggregation
+/// timing). Daemon-owned components keep their own registry.
+MetricsRegistry& default_registry();
+
+}  // namespace incprof::obs

@@ -1,0 +1,69 @@
+// RAII timing helpers. A ScopedSpan stamps the wall time on entry and,
+// on destruction, records the elapsed ns into an optional Histogram and
+// the trace ring — one object serving both the aggregate (percentiles)
+// and the individual (Perfetto timeline) views of the same event. Names
+// must be string literals (the trace ring borrows the pointer).
+#pragma once
+
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace incprof::obs {
+
+/// Bare stopwatch for call sites that want the number itself.
+class Timer {
+ public:
+  Timer() noexcept : start_ns_(now_ns()) {}
+
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_ns_; }
+
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+  void restart() noexcept { start_ns_ = now_ns(); }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+/// Times a scope; records into `histogram` (if any) and `buffer` (if
+/// any) when the scope exits or stop() is called, whichever is first.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category,
+             Histogram* histogram = nullptr,
+             TraceBuffer* buffer = &trace()) noexcept
+      : name_(name),
+        category_(category),
+        histogram_(histogram),
+        buffer_(buffer),
+        start_ns_(now_ns()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { stop(); }
+
+  /// Ends the span early; later calls (and destruction) are no-ops.
+  void stop() noexcept {
+    if (done_) return;
+    done_ = true;
+    const std::uint64_t duration = now_ns() - start_ns_;
+    if (histogram_ != nullptr) histogram_->record(duration);
+    if (buffer_ != nullptr) {
+      buffer_->record(name_, category_, start_ns_, duration);
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* histogram_;
+  TraceBuffer* buffer_;
+  std::uint64_t start_ns_;
+  bool done_ = false;
+};
+
+}  // namespace incprof::obs

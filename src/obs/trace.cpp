@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include "obs/clock.hpp"
+
+#include <algorithm>
+
+namespace incprof::obs {
+
+namespace {
+
+constexpr std::uint64_t kWriting = ~std::uint64_t{0};
+
+std::atomic<std::uint32_t> g_next_thread_tag{0};
+
+/// Minimal JSON string escaping (names are literals, but be safe).
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0020";  // control chars have no business in span names
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t thread_tag() noexcept {
+  thread_local const std::uint32_t tag =
+      g_next_thread_tag.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tag;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : slots_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceBuffer::record(const char* name, const char* category,
+                         std::uint64_t start_ns,
+                         std::uint64_t duration_ns) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t index =
+      next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index % slots_.size()];
+  // Per-slot seqlock: mark writing, publish the fields, then stamp the
+  // slot with its global index so a concurrent reader can tell a torn
+  // slot (seq changed underneath it) from a settled one.
+  slot.seq.store(kWriting, std::memory_order_release);
+  slot.event.name = name;
+  slot.event.category = category;
+  slot.event.tid = thread_tag();
+  slot.event.start_ns = start_ns;
+  slot.event.duration_ns = duration_ns;
+  slot.seq.store(index + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent> TraceBuffer::events() const {
+  struct Tagged {
+    std::uint64_t seq;
+    SpanEvent event;
+  };
+  std::vector<Tagged> got;
+  got.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || before == kWriting) continue;
+    const SpanEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    got.push_back({before, copy});
+  }
+  std::sort(got.begin(), got.end(),
+            [](const Tagged& a, const Tagged& b) { return a.seq < b.seq; });
+  std::vector<SpanEvent> out;
+  out.reserve(got.size());
+  for (const Tagged& t : got) out.push_back(t.event);
+  return out;
+}
+
+std::string TraceBuffer::export_chrome_json() const {
+  const auto evs = events();
+  std::string out;
+  out.reserve(64 + evs.size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : evs) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    // Chrome trace timestamps are microseconds; keep ns precision via
+    // the fractional part.
+    out += ",\"ts\":";
+    out += std::to_string(ev.start_ns / 1000);
+    out.push_back('.');
+    const std::uint64_t ts_frac = ev.start_ns % 1000;
+    out += std::to_string(ts_frac / 100);
+    out += std::to_string((ts_frac / 10) % 10);
+    out += std::to_string(ts_frac % 10);
+    out += ",\"dur\":";
+    out += std::to_string(ev.duration_ns / 1000);
+    out.push_back('.');
+    const std::uint64_t dur_frac = ev.duration_ns % 1000;
+    out += std::to_string(dur_frac / 100);
+    out += std::to_string((dur_frac / 10) % 10);
+    out += std::to_string(dur_frac % 10);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceBuffer::clear() noexcept {
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+}
+
+TraceBuffer& trace() {
+  static TraceBuffer buffer(16384);
+  return buffer;
+}
+
+}  // namespace incprof::obs

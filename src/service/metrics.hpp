@@ -1,96 +1,18 @@
-// Operational metrics for the service layer: named monotonic counters
-// and set/max gauges with stable addresses, cheap enough to bump on the
-// frame hot path (one relaxed atomic op) and dumpable as CSV through
-// util::csv for the daemon's periodic report — the reproduction-scale
-// stand-in for LDMS's own collector telemetry.
+// Compatibility re-export: the metrics registry grew labels, histograms
+// and a Prometheus exposition and moved to src/obs (obs/metrics.hpp) so
+// the analysis pipeline and the benches can share it without pulling in
+// the service layer. Existing service-layer code and tests keep using
+// incprof::service::MetricsRegistry & friends through these aliases.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <ostream>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "obs/metrics.hpp"
 
 namespace incprof::service {
 
-/// Monotonic event counter.
-class Counter {
- public:
-  void add(std::uint64_t n = 1) noexcept {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
-
-  std::uint64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Instantaneous level (queue depth, live sessions). `record_max`
-/// retains the high-water mark semantics some gauges want.
-class Gauge {
- public:
-  void set(std::int64_t v) noexcept {
-    value_.store(v, std::memory_order_relaxed);
-  }
-
-  void add(std::int64_t delta) noexcept {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-
-  /// Raises the gauge to `v` if it is below (monotone high-water mark).
-  void record_max(std::int64_t v) noexcept {
-    std::int64_t cur = value_.load(std::memory_order_relaxed);
-    while (cur < v &&
-           !value_.compare_exchange_weak(cur, v,
-                                         std::memory_order_relaxed)) {
-    }
-  }
-
-  std::int64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::int64_t> value_{0};
-};
-
-/// One metric's exported row.
-struct MetricSample {
-  std::string name;
-  std::string kind;  // "counter" | "gauge"
-  std::int64_t value = 0;
-};
-
-/// Create-on-first-use registry. Returned references stay valid for the
-/// registry's lifetime, so hot paths resolve a metric once and keep the
-/// pointer. All operations are thread-safe.
-class MetricsRegistry {
- public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-
-  /// Current value of a named counter/gauge (0 when absent) — for tests
-  /// and reports that do not hold the reference.
-  std::uint64_t counter_value(std::string_view name) const;
-  std::int64_t gauge_value(std::string_view name) const;
-
-  /// All metrics, sorted by name, counters first per name clash.
-  std::vector<MetricSample> samples() const;
-
-  /// Writes `metric,kind,value` rows (with header) via util::csv.
-  void write_csv(std::ostream& os) const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-};
+using obs::Counter;
+using obs::Gauge;
+using obs::Labels;
+using obs::MetricSample;
+using obs::MetricsRegistry;
 
 }  // namespace incprof::service

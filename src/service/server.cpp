@@ -7,7 +7,13 @@ namespace incprof::service {
 Server::Server(Listener& listener, ServerConfig cfg)
     : listener_(listener),
       cfg_(cfg),
-      fleet_(cfg.transition_log_capacity) {}
+      fleet_(cfg.transition_log_capacity),
+      decode_hist_(metrics_.histogram("frame_stage_ns",
+                                      {{"stage", "decode"}})),
+      enqueue_hist_(metrics_.histogram("frame_stage_ns",
+                                       {{"stage", "enqueue"}})),
+      process_hist_(metrics_.histogram("frame_stage_ns",
+                                       {{"stage", "process"}})) {}
 
 Server::~Server() { stop(); }
 
@@ -72,6 +78,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
     while (auto bytes = handler->conn->receive()) {
       Frame frame;
       try {
+        obs::ScopedSpan span("frame.decode", "service", &decode_hist_);
         frame = decode_frame(*bytes);
       } catch (const std::exception&) {
         metrics_.counter("protocol_errors").add();
@@ -115,8 +122,12 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
 
       const bool is_bye = frame.type == FrameType::kBye;
       metrics_.counter("frames_received").add();
-      const auto result =
-          handler->session->enqueue(std::move(frame), /*force=*/is_bye);
+      Session::EnqueueResult result;
+      {
+        obs::ScopedSpan span("frame.enqueue", "service", &enqueue_hist_);
+        result =
+            handler->session->enqueue(std::move(frame), /*force=*/is_bye);
+      }
       if (result == Session::EnqueueResult::kDropped) {
         metrics_.counter("frames_dropped").add();
         fleet_.record_drops(handler->session->id(),
@@ -182,7 +193,10 @@ void Server::worker_loop() {
 void Server::process_round(const std::shared_ptr<Handler>& handler) {
   const auto frames = handler->session->take_pending();
   for (const auto& frame : frames) {
-    process_frame(handler, frame);
+    {
+      obs::ScopedSpan span("frame.process", "service", &process_hist_);
+      process_frame(handler, frame);
+    }
     if (frame.type == FrameType::kBye) break;
   }
   metrics_.gauge("max_queue_depth")

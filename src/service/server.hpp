@@ -7,6 +7,7 @@
 // monitoring-side endpoint for the paper's LDMS deployment story.
 #pragma once
 
+#include "obs/span.hpp"
 #include "service/fleet.hpp"
 #include "service/metrics.hpp"
 #include "service/session.hpp"
@@ -92,6 +93,12 @@ class Server {
   const ServerConfig cfg_;
   FleetAggregator fleet_;
   MetricsRegistry metrics_;
+
+  // Frame-path latency histograms, resolved once (registry references
+  // are stable) so the hot path never takes the registry lock.
+  obs::Histogram& decode_hist_;
+  obs::Histogram& enqueue_hist_;
+  obs::Histogram& process_hist_;
 
   std::atomic<std::uint32_t> next_session_id_{1};
   std::atomic<bool> started_{false};

@@ -1,14 +1,25 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 namespace incprof::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::function<void(LogLevel, std::string_view)> g_sink;
-std::mutex g_mutex;
+
+using Sink = std::function<void(LogLevel, std::string_view)>;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// The sink is held by shared_ptr and swapped under a mutex; log()
+// copies the pointer under the same lock but invokes the sink outside
+// it, so a slow sink never blocks a concurrent swap and a swap never
+// destroys a sink mid-call.
+std::mutex g_sink_mu;
+std::shared_ptr<const Sink> g_sink;  // null = default stderr sink
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -19,26 +30,66 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+double seconds_since_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::uint32_t log_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 void set_log_sink(std::function<void(LogLevel, std::string_view)> sink) {
-  std::lock_guard lock(g_mutex);
-  g_sink = std::move(sink);
+  std::shared_ptr<const Sink> next =
+      sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+  std::lock_guard lock(g_sink_mu);
+  g_sink.swap(next);
+  // `next` (the previous sink) is released outside the swap expression;
+  // any thread still running it keeps its own shared_ptr copy.
+}
+
+std::string format_log_line(LogLevel level, std::string_view msg) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[incprof +%.6fs %s tid=%u] ",
+                seconds_since_start(), level_name(level),
+                log_thread_id());
+  std::string line(prefix);
+  line.append(msg);
+  return line;
 }
 
 void log(LogLevel level, std::string_view msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::lock_guard lock(g_mutex);
-  if (g_sink) {
-    g_sink(level, msg);
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[incprof %s] %.*s\n", level_name(level),
-               static_cast<int>(msg.size()), msg.data());
+  std::shared_ptr<const Sink> sink;
+  {
+    std::lock_guard lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    (*sink)(level, msg);
+    return;
+  }
+  const std::string line = format_log_line(level, msg);
+  std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()),
+               line.data());
 }
 
 void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }

@@ -1,5 +1,8 @@
 // Tiny leveled logger. Analysis tools report progress through this so the
-// bench binaries can silence it; tests can capture it.
+// bench binaries can silence it; tests can capture it. The default
+// stderr sink prefixes every line with a monotonic timestamp (seconds
+// since process start), the level tag and a small per-thread id;
+// custom sinks receive the raw message and apply their own framing.
 #pragma once
 
 #include <functional>
@@ -12,22 +15,30 @@ namespace incprof::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level; messages below it are dropped. Default: kWarn,
-/// so library code is silent unless something is wrong.
+/// so library code is silent unless something is wrong. Thread-safe.
 void set_log_level(LogLevel level) noexcept;
 
 /// Current minimum level.
 LogLevel log_level() noexcept;
 
 /// Replaces the sink (default: stderr). Pass nullptr to restore stderr.
+/// Safe to call concurrently with log(): in-flight messages finish on
+/// whichever sink they started with.
 void set_log_sink(std::function<void(LogLevel, std::string_view)> sink);
 
 /// Emits one message at `level` if it passes the threshold.
 void log(LogLevel level, std::string_view msg);
 
-/// printf-style convenience wrappers.
+/// Convenience wrappers.
 void log_debug(std::string_view msg);
 void log_info(std::string_view msg);
 void log_warn(std::string_view msg);
 void log_error(std::string_view msg);
+
+/// The default sink's line framing, exposed for tests and custom sinks
+/// that want the standard prefix:
+///   [incprof +12.345678s WARN tid=2] message
+/// The timestamp is monotonic seconds since the first log call.
+std::string format_log_line(LogLevel level, std::string_view msg);
 
 }  // namespace incprof::util

@@ -1,0 +1,175 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace incprof::obs {
+namespace {
+
+/// Exact quantile of a sorted sample, same nearest-rank convention the
+/// histogram approximates.
+double exact_quantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(rank + 0.5);
+  return static_cast<double>(values[std::min(idx, values.size() - 1)]);
+}
+
+/// Asserts the histogram quantile is within the log-bucket resolution
+/// (one sub-bucket is 1/16th of the octave ≈ 6.25 %; allow 10 % to
+/// absorb the rank rounding on discrete samples).
+void expect_quantiles_close(const Histogram& hist,
+                            const std::vector<std::uint64_t>& values) {
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double expected = exact_quantile(values, q);
+    const double got = hist.quantile(q);
+    EXPECT_NEAR(got, expected, std::max(1.0, 0.10 * expected))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.snapshot().mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram hist;
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    hist.record(v);
+  }
+  // Values below kSubBuckets get one bucket each, so quantiles of the
+  // 0..15 sample are exact.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 15.0);
+  const double mid = hist.quantile(0.5);
+  EXPECT_GE(mid, 7.0);
+  EXPECT_LE(mid, 8.0);
+}
+
+TEST(Histogram, SingleValueInput) {
+  Histogram hist;
+  for (int i = 0; i < 1000; ++i) hist.record(123456);
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(hist.max_value(), 123456u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(hist.quantile(q), 123456.0, 0.10 * 123456.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, UniformInputMatchesSortedReference) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1'000'000);
+  Histogram hist;
+  std::vector<std::uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = dist(rng);
+    values.push_back(v);
+    hist.record(v);
+  }
+  expect_quantiles_close(hist, values);
+  EXPECT_EQ(hist.count(), values.size());
+  EXPECT_EQ(hist.max_value(),
+            *std::max_element(values.begin(), values.end()));
+}
+
+TEST(Histogram, ExponentialInputMatchesSortedReference) {
+  // Latencies are long-tailed; the log buckets must track the tail.
+  std::mt19937_64 rng(7);
+  std::exponential_distribution<double> dist(1.0 / 50'000.0);
+  Histogram hist;
+  std::vector<std::uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng)) + 1;
+    values.push_back(v);
+    hist.record(v);
+  }
+  expect_quantiles_close(hist, values);
+}
+
+TEST(Histogram, MeanAndSumAreExact) {
+  Histogram hist;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    hist.record(v * 977);
+    sum += v * 977;
+  }
+  EXPECT_EQ(hist.sum(), sum);
+  EXPECT_DOUBLE_EQ(hist.snapshot().mean(),
+                   static_cast<double>(sum) / 1000.0);
+}
+
+TEST(Histogram, MergeEqualsBulkRecorded) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 10'000'000);
+  Histogram a;
+  Histogram b;
+  Histogram bulk;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = dist(rng);
+    ((i % 2 == 0) ? a : b).record(v);
+    bulk.record(v);
+  }
+  Histogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.snapshot(), bulk.snapshot());
+}
+
+TEST(Histogram, BucketBoundsCoverEveryValue) {
+  // bucket_lower/bucket_upper must bracket the value that indexed them,
+  // across octave boundaries and at the extremes.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{15}, std::uint64_t{16},
+        std::uint64_t{17}, std::uint64_t{31}, std::uint64_t{32},
+        std::uint64_t{1000}, std::uint64_t{123456789},
+        std::uint64_t{1} << 40, (std::uint64_t{1} << 63) + 5,
+        ~std::uint64_t{0}}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBuckets) << "v=" << v;
+    EXPECT_LE(Histogram::bucket_lower(idx), v) << "v=" << v;
+    EXPECT_GE(Histogram::bucket_upper(idx), v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotone) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_GE(idx, prev) << "v=" << v;
+    prev = idx;
+  }
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t * 1000 + i % 997 + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace incprof::obs

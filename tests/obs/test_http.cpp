@@ -1,0 +1,151 @@
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace incprof::obs {
+namespace {
+
+/// Raw one-shot HTTP GET against 127.0.0.1:<port>; returns the full
+/// response (status line + headers + body). Deliberately independent of
+/// the code under test.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const auto n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get_path(std::uint16_t port, const std::string& path) {
+  return http_get(port,
+                  "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(HttpEndpoint, ServesHandlerResponseOnEphemeralPort) {
+  HttpEndpoint endpoint(0, [](const std::string& path) {
+    HttpResponse res;
+    res.body = "path=" + path + "\n";
+    return res;
+  });
+  ASSERT_GT(endpoint.port(), 0);
+  const std::string res = get_path(endpoint.port(), "/hello");
+  EXPECT_NE(res.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(res.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(res.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(res.find("path=/hello"), std::string::npos);
+  EXPECT_EQ(endpoint.requests_served(), 1u);
+}
+
+TEST(HttpEndpoint, StripsQueryString) {
+  HttpEndpoint endpoint(0, [](const std::string& path) {
+    HttpResponse res;
+    res.body = path;
+    return res;
+  });
+  const std::string res = get_path(endpoint.port(), "/metrics?x=1");
+  EXPECT_NE(res.find("/metrics"), std::string::npos);
+  EXPECT_EQ(res.find("x=1"), std::string::npos);
+}
+
+TEST(HttpEndpoint, RejectsNonGet) {
+  HttpEndpoint endpoint(0, [](const std::string&) {
+    return HttpResponse{};
+  });
+  const std::string res = http_get(
+      endpoint.port(),
+      "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(res.find("405"), std::string::npos);
+}
+
+TEST(HttpEndpoint, RejectsMalformedRequestLine) {
+  HttpEndpoint endpoint(0, [](const std::string&) {
+    return HttpResponse{};
+  });
+  const std::string res = http_get(endpoint.port(), "gibberish\r\n\r\n");
+  EXPECT_NE(res.find("400"), std::string::npos);
+}
+
+TEST(HttpEndpoint, StopIsIdempotentAndUnblocksAccept) {
+  auto endpoint = std::make_unique<HttpEndpoint>(
+      0, [](const std::string&) { return HttpResponse{}; });
+  endpoint->stop();
+  endpoint->stop();
+  endpoint.reset();  // destructor after explicit stop must be fine
+}
+
+TEST(HttpEndpoint, HandlerStatusIsPropagated) {
+  HttpEndpoint endpoint(0, [](const std::string&) {
+    HttpResponse res;
+    res.status = 404;
+    res.body = "nope\n";
+    return res;
+  });
+  const std::string res = get_path(endpoint.port(), "/missing");
+  EXPECT_NE(res.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(res.find("nope"), std::string::npos);
+}
+
+TEST(ObsHandler, ServesMetricsHealthzAndTrace) {
+  MetricsRegistry registry;
+  registry.counter("frames_received").add(41);
+  registry.gauge("sessions_live").set(2);
+  registry.histogram("lat_ns").record(1234);
+  TraceBuffer buffer(16);
+  buffer.record("stage", "analysis", 10, 20);
+
+  HttpEndpoint endpoint(0, make_obs_handler(registry, buffer));
+
+  const std::string metrics = get_path(endpoint.port(), "/metrics");
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("frames_received 41"), std::string::npos);
+  EXPECT_NE(metrics.find("sessions_live 2"), std::string::npos);
+  EXPECT_NE(metrics.find("lat_ns_count 1"), std::string::npos);
+  // The handler self-instruments, so scrapes show up in the scrape.
+  EXPECT_NE(metrics.find("obs_scrapes"), std::string::npos);
+  EXPECT_NE(metrics.find("obs_uptime_seconds"), std::string::npos);
+
+  const std::string healthz = get_path(endpoint.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string trace = get_path(endpoint.port(), "/trace.json");
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"stage\""), std::string::npos);
+
+  const std::string missing = get_path(endpoint.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  EXPECT_EQ(endpoint.requests_served(), 4u);
+}
+
+}  // namespace
+}  // namespace incprof::obs

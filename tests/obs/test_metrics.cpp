@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace incprof::obs {
+namespace {
+
+TEST(MetricsRegistry, LabeledKeyRendering) {
+  EXPECT_EQ(labeled_key("frames", {}), "frames");
+  EXPECT_EQ(labeled_key("frames", {{"transport", "tcp"}}),
+            "frames{transport=\"tcp\"}");
+  EXPECT_EQ(
+      labeled_key("lat", {{"stage", "decode"}, {"transport", "tcp"}}),
+      "lat{stage=\"decode\",transport=\"tcp\"}");
+}
+
+TEST(MetricsRegistry, LabeledMetricsAreDistinct) {
+  MetricsRegistry reg;
+  reg.counter("frames", {{"stage", "decode"}}).add(3);
+  reg.counter("frames", {{"stage", "process"}}).add(5);
+  EXPECT_EQ(reg.counter_value("frames{stage=\"decode\"}"), 3u);
+  EXPECT_EQ(reg.counter_value("frames{stage=\"process\"}"), 5u);
+  EXPECT_EQ(reg.counter_value("frames"), 0u);
+}
+
+TEST(MetricsRegistry, HistogramRegistration) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("lat_ns", {{"stage", "decode"}});
+  hist.record(100);
+  hist.record(200);
+  // Same name+labels resolves to the same histogram.
+  EXPECT_EQ(&reg.histogram("lat_ns", {{"stage", "decode"}}), &hist);
+  const auto snaps = reg.histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].first, "lat_ns{stage=\"decode\"}");
+  EXPECT_EQ(snaps[0].second.count, 2u);
+}
+
+// The satellite contention test: N threads create-and-bump overlapping
+// metric names; totals must be exact (no lost updates, no duplicate
+// metric instances) and references obtained early must stay valid.
+TEST(MetricsRegistry, ConcurrentCreateAndBumpIsExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  constexpr int kNames = 5;
+
+  Counter& early = reg.counter("shared_0");  // reference taken up front
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Overlapping names: every thread touches every name, so the
+        // create-on-first-use path races hard in the first iterations.
+        const std::string name =
+            "shared_" + std::to_string((i + t) % kNames);
+        reg.counter(name).add(1);
+        reg.gauge("depth_" + std::to_string(t % 2)).add(1);
+        reg.histogram("h_" + std::to_string(i % 3))
+            .record(static_cast<std::uint64_t>(i + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t counter_total = 0;
+  for (int n = 0; n < kNames; ++n) {
+    counter_total += reg.counter_value("shared_" + std::to_string(n));
+  }
+  EXPECT_EQ(counter_total,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.gauge_value("depth_0") + reg.gauge_value("depth_1"),
+            static_cast<std::int64_t>(kThreads) * kIters);
+  std::uint64_t hist_total = 0;
+  for (const auto& [key, snap] : reg.histogram_snapshots()) {
+    hist_total += snap.count;
+  }
+  EXPECT_EQ(hist_total, static_cast<std::uint64_t>(kThreads) * kIters);
+  // The early reference still points at the live metric.
+  EXPECT_EQ(early.value(), reg.counter_value("shared_0"));
+}
+
+TEST(MetricsRegistry, PrometheusRendersAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.counter("frames_total", {{"transport", "tcp"}}).add(7);
+  reg.gauge("sessions_live").set(3);
+  auto& hist = reg.histogram("latency_ns");
+  hist.record(10);
+  hist.record(100000);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE frames_total counter"), std::string::npos);
+  EXPECT_NE(text.find("frames_total{transport=\"tcp\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sessions_live gauge"), std::string::npos);
+  EXPECT_NE(text.find("sessions_live 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ns_sum 100010"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusBucketsAreCumulative) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  hist.record(1);
+  hist.record(1);
+  hist.record(1000000);
+
+  const std::string text = reg.render_prometheus();
+  // Parse every le bucket count and check monotonicity ending at count.
+  std::istringstream is(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  std::size_t buckets = 0;
+  while (std::getline(is, line)) {
+    const auto pos = line.find("h_bucket{le=");
+    if (pos == std::string::npos) continue;
+    const auto space = line.rfind(' ');
+    const auto value = std::stoull(line.substr(space + 1));
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 2u);
+  EXPECT_EQ(prev, 3u);  // +Inf bucket equals total count
+}
+
+TEST(MetricsRegistry, PrometheusTypeLinePrecedesEveryFamilyOnce) {
+  MetricsRegistry reg;
+  reg.counter("x_total", {{"a", "1"}}).add(1);
+  reg.counter("x_total", {{"a", "2"}}).add(1);
+  const std::string text = reg.render_prometheus();
+  const auto first = text.find("# TYPE x_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE x_total counter", first + 1),
+            std::string::npos);
+  // Both series appear after the single TYPE line.
+  EXPECT_NE(text.find("x_total{a=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("x_total{a=\"2\"} 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DefaultRegistryIsStable) {
+  auto& a = default_registry();
+  auto& b = default_registry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace incprof::obs

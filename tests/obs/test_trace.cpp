@@ -1,0 +1,152 @@
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace incprof::obs {
+namespace {
+
+TEST(TraceBuffer, RetainsSpansInOrder) {
+  TraceBuffer buffer(8);
+  buffer.record("a", "test", 100, 10);
+  buffer.record("b", "test", 200, 20);
+  buffer.record("c", "test", 300, 30);
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[2].name, "c");
+  EXPECT_EQ(events[1].start_ns, 200u);
+  EXPECT_EQ(events[1].duration_ns, 20u);
+  EXPECT_EQ(buffer.recorded(), 3u);
+}
+
+TEST(TraceBuffer, WrapsKeepingNewestSpans) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    buffer.record("span", "test", static_cast<std::uint64_t>(i), 1);
+  }
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the retained ones: starts 6, 7, 8, 9.
+  EXPECT_EQ(events.front().start_ns, 6u);
+  EXPECT_EQ(events.back().start_ns, 9u);
+  EXPECT_EQ(buffer.recorded(), 10u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+}
+
+TEST(TraceBuffer, DisableDropsRecordings) {
+  TraceBuffer buffer(8);
+  buffer.set_enabled(false);
+  buffer.record("a", "test", 1, 1);
+  EXPECT_TRUE(buffer.events().empty());
+  buffer.set_enabled(true);
+  buffer.record("b", "test", 2, 2);
+  EXPECT_EQ(buffer.events().size(), 1u);
+}
+
+TEST(TraceBuffer, ClearForgetsEverything) {
+  TraceBuffer buffer(8);
+  buffer.record("a", "test", 1, 1);
+  buffer.clear();
+  EXPECT_TRUE(buffer.events().empty());
+  buffer.record("b", "test", 2, 2);
+  EXPECT_EQ(buffer.events().size(), 1u);
+}
+
+TEST(TraceBuffer, ChromeJsonShape) {
+  TraceBuffer buffer(8);
+  buffer.record("stage \"one\"", "analysis", 1500, 2500);
+  const std::string json = buffer.export_chrome_json();
+  // The keys Perfetto / chrome://tracing require for "X" events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"analysis\""), std::string::npos);
+  // Quotes inside span names must be escaped.
+  EXPECT_NE(json.find("stage \\\"one\\\""), std::string::npos);
+  EXPECT_EQ(json.find("stage \"one\""), std::string::npos);
+  // ts/dur are microseconds: 1500 ns -> 1.500 us, 2500 ns -> 2.500 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+}
+
+TEST(TraceBuffer, EmptyJsonIsStillValidEnvelope) {
+  TraceBuffer buffer(4);
+  const std::string json = buffer.export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("]"), std::string::npos);
+}
+
+TEST(TraceBuffer, ConcurrentWritersNeverTearReads) {
+  TraceBuffer buffer(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&buffer, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        buffer.record("w", "test", i, i + 1);
+        ++i;
+      }
+    });
+  }
+  // Readers must only ever see fully written slots: duration == start+1.
+  for (int round = 0; round < 200; ++round) {
+    for (const auto& ev : buffer.events()) {
+      ASSERT_STREQ(ev.name, "w");
+      ASSERT_EQ(ev.duration_ns, ev.start_ns + 1);
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+TEST(ScopedSpan, RecordsIntoHistogramAndBuffer) {
+  Histogram hist;
+  TraceBuffer buffer(8);
+  {
+    ScopedSpan span("unit", "test", &hist, &buffer);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit");
+  EXPECT_STREQ(events[0].category, "test");
+}
+
+TEST(ScopedSpan, StopIsIdempotent) {
+  Histogram hist;
+  TraceBuffer buffer(8);
+  ScopedSpan span("unit", "test", &hist, &buffer);
+  span.stop();
+  span.stop();  // second stop and the destructor must not re-record
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(ScopedSpan, NullSinksAreFine) {
+  ScopedSpan span("unit", "test", nullptr, nullptr);
+  span.stop();
+}
+
+TEST(Timer, ElapsedIsMonotone) {
+  Timer timer;
+  const auto a = timer.elapsed_ns();
+  const auto b = timer.elapsed_ns();
+  EXPECT_GE(b, a);
+  timer.restart();
+  EXPECT_GE(timer.elapsed_seconds(), 0.0);
+}
+
+TEST(GlobalTrace, IsUsableAndHasCapacity) {
+  auto& ring = trace();
+  EXPECT_GT(ring.capacity(), 0u);
+  const auto before = ring.recorded();
+  ring.record("global", "test", 1, 1);
+  EXPECT_EQ(ring.recorded(), before + 1);
+}
+
+}  // namespace
+}  // namespace incprof::obs

@@ -11,21 +11,39 @@
 #include "gmon/binary_io.hpp"
 #include "gmon/flat_text.hpp"
 #include "gmon/scanner.hpp"
+#include "util/log.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
 using namespace incprof;
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <dump_dir | gmon-file>\n", argv[0]);
+  util::set_log_level(util::LogLevel::kInfo);
+  const char* target_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
+    } else if (target_arg == nullptr) {
+      target_arg = argv[i];
+    } else {
+      target_arg = nullptr;
+      break;
+    }
+  }
+  if (target_arg == nullptr) {
+    std::fprintf(stderr, "usage: %s <dump_dir | gmon-file> [--quiet]\n",
+                 argv[0]);
     return 2;
   }
-  const std::filesystem::path target = argv[1];
+  const std::filesystem::path target = target_arg;
   try {
     if (std::filesystem::is_directory(target)) {
+      util::log_info("converting dumps in " + target.string());
       const std::size_t n = gmon::convert_dumps_to_text(
           target, gmon::FlatTextOptions{}.sample_period_ns);
       std::printf("converted %zu dumps in %s\n", n,

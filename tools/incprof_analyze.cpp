@@ -29,6 +29,7 @@
 #include "gmon/callgraph.hpp"
 #include "gmon/scanner.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 #include <cstdio>
@@ -45,7 +46,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--text] [--merge] [--silhouette] [--online] "
                "[--standardize] [--threshold f] [--kmax n] "
-               "[--lift callgraph.bin] [--csv intervals.csv]\n",
+               "[--lift callgraph.bin] [--csv intervals.csv] "
+               "[--quiet] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -54,7 +56,7 @@ void write_intervals_csv(const core::IntervalData& data,
                          const std::string& path) {
   std::ofstream os(path, std::ios::trunc);
   if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    util::log_error("cannot write " + path);
     return;
   }
   util::CsvWriter w(os);
@@ -72,7 +74,7 @@ void write_intervals_csv(const core::IntervalData& data,
     }
     w.row(row);
   }
-  std::printf("interval matrix written to %s\n", path.c_str());
+  util::log_info("interval matrix written to " + path);
 }
 
 }  // namespace
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   std::string lift_path;
   std::string csv_path;
   bool online = false;
+  util::set_log_level(util::LogLevel::kInfo);
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--text") == 0) {
@@ -105,6 +108,10 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(arg, "--online") == 0) {
       online = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
     } else {
       return usage(argv[0]);
     }
@@ -132,7 +139,7 @@ int main(int argc, char** argv) {
     if (!lift_path.empty()) {
       std::ifstream is(lift_path, std::ios::binary);
       if (!is) {
-        std::fprintf(stderr, "cannot read %s\n", lift_path.c_str());
+        util::log_error("cannot read " + lift_path);
         return 1;
       }
       const std::string bytes((std::istreambuf_iterator<char>(is)),

@@ -16,6 +16,7 @@
 
 #include "service/replay.hpp"
 #include "service/tcp.hpp"
+#include "util/log.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +32,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--host h] [--port n] [--sessions n] "
-               "[--name s] [--no-events] [--quiet]\n",
+               "[--name s] [--no-events] [--quiet] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   std::string name = dump_dir;
   bool subscribe = true;
   bool quiet = false;
+  util::set_log_level(util::LogLevel::kInfo);
 
   for (int i = 2; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -68,6 +70,9 @@ int main(int argc, char** argv) {
       subscribe = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return usage(argv[0]);
@@ -112,7 +117,8 @@ int main(int argc, char** argv) {
       const auto& r = results[i];
       if (!r.ok) {
         ++failed;
-        std::fprintf(stderr, "session %zu failed: %s\n", i, r.error.c_str());
+        util::log_error("session " + std::to_string(i) + " failed: " +
+                        r.error);
         continue;
       }
       std::printf("session %u: %zu snapshots sent, %zu phase events\n",

@@ -16,6 +16,7 @@
 #include "prof/callgraph_profiler.hpp"
 #include "prof/collector.hpp"
 #include "prof/sampler.hpp"
+#include "util/log.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <app> <out_dir> [--interval seconds] "
-                 "[--seed n]\napps:",
+                 "[--seed n] [--quiet] [--verbose]\napps:",
                  argv[0]);
     for (const auto& n : apps::app_names()) {
       std::fprintf(stderr, " %s", n.c_str());
@@ -42,11 +43,16 @@ int main(int argc, char** argv) {
   const std::filesystem::path out_dir = argv[2];
   double interval_sec = 1.0;
   std::uint64_t seed = 7;
+  util::set_log_level(util::LogLevel::kInfo);
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
       interval_sec = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -58,6 +64,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    util::log_info("collecting " + app_name + " at " +
+                   std::to_string(interval_sec) + "s intervals -> " +
+                   out_dir.string());
     auto app = apps::make_app(app_name, {});
 
     sim::EngineConfig ec;

@@ -3,7 +3,9 @@
 // records through LDMS; incprofd is that collector's stand-in). Clients
 // (incprof_client, or anything speaking service/protocol) stream
 // profile snapshots and heartbeat batches; the daemon tracks phases per
-// session and prints a periodic fleet report.
+// session and prints a periodic fleet report. With --obs-port it also
+// serves its own telemetry over HTTP: Prometheus metrics, a health
+// probe, and a Chrome/Perfetto trace of the frame path.
 //
 // Usage:
 //   incprofd [options]                     serve TCP
@@ -14,6 +16,8 @@
 //
 // Options:
 //   --port <n>           TCP port (default 7077; 0 = ephemeral)
+//   --obs-port <n>       also serve GET /metrics, /healthz, /trace.json
+//                        over HTTP on this port (0 = ephemeral)
 //   --workers <n>        tracker worker threads (default 4)
 //   --queue-capacity <n> per-session frame queue bound (default 256)
 //   --report-every <s>   seconds between fleet reports (default 10)
@@ -22,10 +26,15 @@
 //   --metrics-csv <path> write the metrics registry as CSV on exit
 //   --fleet-csv <path>   write the per-session fleet table on exit
 //   --sessions <n>       (selftest) parallel replay sessions, default 4
+//   --quiet              only errors on stderr
+//   --verbose            debug-level diagnostics on stderr
 
+#include "obs/http.hpp"
+#include "obs/trace.hpp"
 #include "service/replay.hpp"
 #include "service/server.hpp"
 #include "service/tcp.hpp"
+#include "util/log.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -35,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,9 +59,10 @@ void on_signal(int) { g_interrupted.store(true); }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port n] [--workers n] [--queue-capacity n] "
-               "[--report-every s] [--max-seconds s] [--metrics-csv path] "
-               "[--fleet-csv path]\n"
+               "usage: %s [--port n] [--obs-port n] [--workers n] "
+               "[--queue-capacity n] [--report-every s] [--max-seconds s] "
+               "[--metrics-csv path] [--fleet-csv path] [--quiet] "
+               "[--verbose]\n"
                "       %s --selftest <dump_dir> [--sessions n] [--workers n]\n",
                argv0, argv0);
   return 2;
@@ -60,17 +71,30 @@ int usage(const char* argv0) {
 void write_csv_file(const std::string& path, const auto& writer) {
   std::ofstream os(path, std::ios::trunc);
   if (!os) {
-    std::fprintf(stderr, "incprofd: cannot write %s\n", path.c_str());
+    util::log_error("incprofd: cannot write " + path);
     return;
   }
   writer(os);
 }
 
+std::unique_ptr<obs::HttpEndpoint> start_obs_endpoint(
+    int obs_port, service::Server& server) {
+  if (obs_port < 0) return nullptr;
+  auto endpoint = std::make_unique<obs::HttpEndpoint>(
+      static_cast<std::uint16_t>(obs_port),
+      obs::make_obs_handler(server.metrics(), obs::trace()));
+  std::printf("incprofd: obs endpoint on port %u "
+              "(GET /metrics /healthz /trace.json)\n",
+              endpoint->port());
+  std::fflush(stdout);
+  return endpoint;
+}
+
 int run_selftest(const std::string& dump_dir, std::size_t sessions,
-                 service::ServerConfig cfg) {
+                 int obs_port, service::ServerConfig cfg) {
   const auto snapshots = service::load_replay_dumps(dump_dir);
   if (snapshots.empty()) {
-    std::fprintf(stderr, "incprofd: no dumps in %s\n", dump_dir.c_str());
+    util::log_error("incprofd: no dumps in " + dump_dir);
     return 1;
   }
 
@@ -82,6 +106,7 @@ int run_selftest(const std::string& dump_dir, std::size_t sessions,
   service::TcpListener listener(0);
   service::Server server(listener, cfg);
   server.start();
+  const auto obs_endpoint = start_obs_endpoint(obs_port, server);
   std::printf("incprofd selftest: port %u, %zu dumps, %zu sessions\n",
               listener.port(), snapshots.size(), sessions);
 
@@ -111,8 +136,9 @@ int run_selftest(const std::string& dump_dir, std::size_t sessions,
     if (r.ok && r.events.size() == snapshots.size()) {
       ++ok;
     } else {
-      std::fprintf(stderr, "session %zu failed: %s (%zu/%zu events)\n", i,
-                   r.error.c_str(), r.events.size(), snapshots.size());
+      util::log_error("session " + std::to_string(i) + " failed: " +
+                      r.error + " (" + std::to_string(r.events.size()) +
+                      "/" + std::to_string(snapshots.size()) + " events)");
     }
     if (!r.status_text.empty()) std::printf("  %s\n", r.status_text.c_str());
   }
@@ -130,6 +156,7 @@ int run_selftest(const std::string& dump_dir, std::size_t sessions,
 
 int main(int argc, char** argv) {
   std::uint16_t port = 7077;
+  int obs_port = -1;  // off unless --obs-port is given
   double report_every = 10.0;
   double max_seconds = 0.0;
   std::size_t sessions = 4;
@@ -137,6 +164,7 @@ int main(int argc, char** argv) {
   std::string fleet_csv;
   std::string selftest_dir;
   service::ServerConfig cfg;
+  util::set_log_level(util::LogLevel::kInfo);
 
   for (int i = 1; i < argc; ++i) {
     const auto need = [&](const char* flag) -> const char* {
@@ -148,6 +176,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--port") == 0) {
       port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+    } else if (std::strcmp(argv[i], "--obs-port") == 0) {
+      obs_port = std::atoi(need("--obs-port"));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       cfg.worker_threads =
           static_cast<std::size_t>(std::atoll(need("--workers")));
@@ -166,6 +196,10 @@ int main(int argc, char** argv) {
       selftest_dir = need("--selftest");
     } else if (std::strcmp(argv[i], "--sessions") == 0) {
       sessions = static_cast<std::size_t>(std::atoll(need("--sessions")));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return usage(argv[0]);
@@ -176,10 +210,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "workers, queue-capacity and sessions must be > 0\n");
     return usage(argv[0]);
   }
+  if (obs_port > 65535) {
+    std::fprintf(stderr, "--obs-port must be a port number\n");
+    return usage(argv[0]);
+  }
 
   try {
     if (!selftest_dir.empty()) {
-      return run_selftest(selftest_dir, sessions, cfg);
+      return run_selftest(selftest_dir, sessions, obs_port, cfg);
     }
 
     std::signal(SIGINT, on_signal);
@@ -188,6 +226,7 @@ int main(int argc, char** argv) {
     service::TcpListener listener(port);
     service::Server server(listener, cfg);
     server.start();
+    const auto obs_endpoint = start_obs_endpoint(obs_port, server);
     std::printf("incprofd: listening on port %u (%zu workers, queue %zu)\n",
                 listener.port(), cfg.worker_threads,
                 cfg.session.queue_capacity);
