@@ -6,10 +6,18 @@
 // check the service layer is judged on; the numbers size how many
 // deployed applications one daemon instance can watch.
 //
+// With --faulty, every connection is wrapped in the chaos-testing
+// FaultInjectingConnection with an EMPTY fault plan: same decorator the
+// fault tests use, zero scheduled faults, so the delta against a plain
+// run prices the injection layer itself (it must be close enough to
+// free that --selftest-chaos measures the server, not the harness).
+//
 // Usage: bench_service_throughput [--sessions n] [--intervals n]
 //                                 [--workers n] [--queue-capacity n]
+//                                 [--faulty]
 
 #include "obs/metrics.hpp"
+#include "service/faults.hpp"
 #include "service/loopback.hpp"
 #include "service/replay.hpp"
 #include "service/server.hpp"
@@ -18,6 +26,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +90,7 @@ std::vector<gmon::ProfileSnapshot> make_stream(std::size_t session,
 int main(int argc, char** argv) {
   std::size_t sessions = 64;
   std::size_t intervals = 200;
+  bool faulty = false;
   service::ServerConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,10 +109,12 @@ int main(int argc, char** argv) {
       cfg.worker_threads = next();
     } else if (arg == "--queue-capacity") {
       cfg.session.queue_capacity = next();
+    } else if (arg == "--faulty") {
+      faulty = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sessions n] [--intervals n] [--workers n] "
-                   "[--queue-capacity n]\n",
+                   "[--queue-capacity n] [--faulty]\n",
                    argv[0]);
       return 2;
     }
@@ -113,9 +125,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("==== Service throughput: %zu sessions x %zu intervals, "
-              "%zu workers, queue capacity %zu ====\n\n",
+              "%zu workers, queue capacity %zu%s ====\n\n",
               sessions, intervals, cfg.worker_threads,
-              cfg.session.queue_capacity);
+              cfg.session.queue_capacity,
+              faulty ? ", fault-injection passthrough" : "");
 
   service::LoopbackHub hub;
   auto listener = hub.make_listener();
@@ -130,8 +143,12 @@ int main(int argc, char** argv) {
     clients.emplace_back([&, i] {
       service::ReplayOptions opts;
       opts.client_name = "bench-" + std::to_string(i);
-      auto conn = hub.connect();
+      std::unique_ptr<service::Connection> conn = hub.connect();
       if (conn == nullptr) return;
+      if (faulty) {
+        conn = std::make_unique<service::FaultInjectingConnection>(
+            std::move(conn), service::FaultPlan{});
+      }
       results[i] = service::replay_session(
           *conn, make_stream(i, intervals), opts);
     });

@@ -4,9 +4,11 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -23,6 +25,8 @@ const char* status_text(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 400: return "Bad Request";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
   }
   return "Internal Server Error";
 }
@@ -40,24 +44,46 @@ void send_all(int fd, std::string_view bytes) {
   }
 }
 
-/// Reads until the header terminator (we ignore bodies: GET only).
-std::string read_request(int fd) {
-  std::string req;
+enum class ReadOutcome { kOk, kTimeout, kTooLarge, kClosed };
+
+/// Reads until the header terminator (we ignore bodies: GET only),
+/// under a total deadline so a drip-feeding client cannot hold the
+/// handler thread — each chunk waits only for the time remaining.
+ReadOutcome read_request(int fd, std::chrono::milliseconds deadline,
+                         std::string& req) {
+  const std::uint64_t start_ns = now_ns();
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(deadline.count()) * 1000000ull;
   char chunk[1024];
-  while (req.size() < kMaxRequestBytes &&
-         req.find("\r\n\r\n") == std::string::npos) {
+  while (req.find("\r\n\r\n") == std::string::npos) {
+    if (req.size() >= kMaxRequestBytes) return ReadOutcome::kTooLarge;
+    const std::uint64_t elapsed = now_ns() - start_ns;
+    if (elapsed >= deadline_ns) return ReadOutcome::kTimeout;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int wait_ms = static_cast<int>(
+        std::min<std::uint64_t>((deadline_ns - elapsed) / 1000000ull + 1,
+                                1000));
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kClosed;
+    }
+    if (rc == 0) continue;  // re-check the deadline
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
+    if (n <= 0) return ReadOutcome::kClosed;
     req.append(chunk, static_cast<std::size_t>(n));
   }
-  return req;
+  return ReadOutcome::kOk;
 }
 
 }  // namespace
 
-HttpEndpoint::HttpEndpoint(std::uint16_t port, HttpHandler handler)
-    : handler_(std::move(handler)) {
+HttpEndpoint::HttpEndpoint(std::uint16_t port, HttpHandler handler,
+                           std::chrono::milliseconds read_timeout)
+    : handler_(std::move(handler)), read_timeout_(read_timeout) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("obs http: socket: ") +
@@ -91,6 +117,28 @@ void HttpEndpoint::stop() {
   if (stopped_.exchange(true)) return;
   ::shutdown(fd_, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
+  // Kick any client still mid-request, then wait for its handler
+  // thread to finish with the fd before we return.
+  std::unique_lock lock(clients_mu_);
+  for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  clients_cv_.wait(lock, [&] { return active_clients_ == 0; });
+}
+
+bool HttpEndpoint::track_client(int client) {
+  std::lock_guard lock(clients_mu_);
+  if (stopped_.load(std::memory_order_relaxed)) return false;
+  client_fds_.push_back(client);
+  ++active_clients_;
+  return true;
+}
+
+void HttpEndpoint::untrack_client(int client) {
+  std::lock_guard lock(clients_mu_);
+  client_fds_.erase(
+      std::remove(client_fds_.begin(), client_fds_.end(), client),
+      client_fds_.end());
+  --active_clients_;
+  clients_cv_.notify_all();
 }
 
 void HttpEndpoint::serve_loop() {
@@ -100,39 +148,68 @@ void HttpEndpoint::serve_loop() {
       if (errno == EINTR) continue;
       return;  // listener shut down
     }
-
-    const std::string request = read_request(client);
-    HttpResponse resp;
-    const std::size_t line_end = request.find("\r\n");
-    const std::string line = request.substr(
-        0, line_end == std::string::npos ? request.size() : line_end);
-    const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos
-                                 : line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (line.substr(0, sp1) != "GET") {
-      resp = {405, "text/plain; charset=utf-8", "GET only\n"};
-    } else {
-      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-      const std::size_t query = path.find('?');
-      if (query != std::string::npos) path.resize(query);
-      resp = handler_(path);
+    if (!track_client(client)) {  // stop() already ran
+      ::close(client);
+      return;
     }
-
-    std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                       status_text(resp.status) +
-                       "\r\nContent-Type: " + resp.content_type +
-                       "\r\nContent-Length: " +
-                       std::to_string(resp.body.size()) +
-                       "\r\nConnection: close\r\n\r\n";
-    send_all(client, head);
-    send_all(client, resp.body);
-    served_.fetch_add(1, std::memory_order_relaxed);
-    ::shutdown(client, SHUT_RDWR);
-    ::close(client);
+    // One detached thread per request: a scraper stalled mid-headers
+    // blocks only its own thread, never the next /metrics scrape.
+    std::thread([this, client] {
+      handle_client(client);
+      ::shutdown(client, SHUT_RDWR);
+      ::close(client);
+      untrack_client(client);
+    }).detach();
   }
+}
+
+void HttpEndpoint::handle_client(int client) {
+  std::string request;
+  const ReadOutcome outcome =
+      read_request(client, read_timeout_, request);
+  HttpResponse resp;
+  switch (outcome) {
+    case ReadOutcome::kClosed:
+      return;  // nothing to answer
+    case ReadOutcome::kTimeout:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      resp = {408, "text/plain; charset=utf-8", "request timeout\n"};
+      break;
+    case ReadOutcome::kTooLarge:
+      resp = {431, "text/plain; charset=utf-8",
+              "request headers exceed 8192 bytes\n"};
+      break;
+    case ReadOutcome::kOk: {
+      const std::size_t line_end = request.find("\r\n");
+      const std::string line = request.substr(
+          0, line_end == std::string::npos ? request.size() : line_end);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+      } else if (line.substr(0, sp1) != "GET") {
+        resp = {405, "text/plain; charset=utf-8", "GET only\n"};
+      } else {
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+        resp = handler_(path);
+      }
+      break;
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(client, head);
+  send_all(client, resp.body);
+  served_.fetch_add(1, std::memory_order_relaxed);
 }
 
 HttpHandler make_obs_handler(MetricsRegistry& registry,

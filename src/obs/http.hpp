@@ -1,19 +1,27 @@
 // Minimal HTTP/1.1 GET server for the observability endpoints: one
-// accept thread, one request per connection, Connection: close. This is
-// deliberately not a web framework — it exists so `curl` and a
-// Prometheus scraper can reach a running incprofd (/metrics, /healthz,
-// /trace.json) over the same POSIX socket machinery the TCP frame
-// transport uses, without teaching the frame protocol to speak HTTP.
+// accept thread, one short-lived thread per connection, one request per
+// connection, Connection: close. This is deliberately not a web
+// framework — it exists so `curl` and a Prometheus scraper can reach a
+// running incprofd (/metrics, /healthz, /trace.json) over the same
+// POSIX socket machinery the TCP frame transport uses, without teaching
+// the frame protocol to speak HTTP. Requests are read under a deadline
+// (408 when the header never finishes, 431 when it exceeds 8 KiB), so a
+// stalled or malicious client can neither block other scrapers nor hold
+// a thread forever.
 #pragma once
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace incprof::obs {
 
@@ -31,9 +39,13 @@ using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 class HttpEndpoint {
  public:
   /// Binds, listens and spawns the accept thread; `port == 0` picks an
-  /// ephemeral port (read it back with port()). Throws
-  /// std::runtime_error on bind failure.
-  HttpEndpoint(std::uint16_t port, HttpHandler handler);
+  /// ephemeral port (read it back with port()). `read_timeout` bounds
+  /// how long one client may take to deliver its request headers before
+  /// it is answered 408 and disconnected. Throws std::runtime_error on
+  /// bind failure.
+  HttpEndpoint(std::uint16_t port, HttpHandler handler,
+               std::chrono::milliseconds read_timeout =
+                   std::chrono::milliseconds(5000));
   ~HttpEndpoint();
 
   HttpEndpoint(const HttpEndpoint&) = delete;
@@ -46,17 +58,34 @@ class HttpEndpoint {
     return served_.load(std::memory_order_relaxed);
   }
 
-  /// Stops accepting and joins the accept thread. Idempotent.
+  /// Requests dropped for taking too long to arrive (answered 408).
+  std::uint64_t requests_timed_out() const noexcept {
+    return timed_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, force-closes in-flight clients, and joins every
+  /// thread. Idempotent.
   void stop();
 
  private:
   void serve_loop();
+  void handle_client(int client);
+  bool track_client(int client);
+  void untrack_client(int client);
 
   int fd_ = -1;
   std::uint16_t port_ = 0;
   HttpHandler handler_;
+  const std::chrono::milliseconds read_timeout_;
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+
+  std::mutex clients_mu_;
+  std::condition_variable clients_cv_;
+  std::vector<int> client_fds_;  // in-flight connections
+  std::size_t active_clients_ = 0;
+
   std::thread thread_;
 };
 

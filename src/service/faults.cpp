@@ -1,0 +1,115 @@
+#include "service/faults.hpp"
+
+#include "service/protocol.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace incprof::service {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+FaultKind FaultPlan::action_for(std::size_t frame_index) const noexcept {
+  for (const auto& ev : events) {
+    if (ev.frame_index == frame_index) return ev.kind;
+  }
+  return FaultKind::kNone;
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed, double rate,
+                               std::size_t horizon) {
+  FaultPlan plan;
+  util::Rng rng(seed);
+  bool disconnected = false;
+  for (std::size_t i = 1; i < horizon; ++i) {  // frame 0: hello, kept clean
+    if (rng.next_double() >= rate) continue;
+    auto kind = static_cast<FaultKind>(
+        1 + rng.next_below(5));  // kDrop .. kDisconnect
+    if (kind == FaultKind::kDisconnect) {
+      if (disconnected) kind = FaultKind::kDrop;
+      disconnected = true;
+    }
+    plan.events.push_back({i, kind});
+  }
+  return plan;
+}
+
+std::size_t FaultPlan::count(FaultKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const FaultEvent& ev) { return ev.kind == kind; }));
+}
+
+FaultInjectingConnection::FaultInjectingConnection(
+    std::unique_ptr<Connection> inner, FaultPlan plan,
+    std::chrono::milliseconds delay)
+    : inner_(std::move(inner)), plan_(std::move(plan)), delay_(delay) {}
+
+bool FaultInjectingConnection::send(std::string_view frame_bytes) {
+  const std::size_t index =
+      send_index_.fetch_add(1, std::memory_order_relaxed);
+  if (disconnected_.load(std::memory_order_relaxed)) return false;
+  switch (plan_.action_for(index)) {
+    case FaultKind::kNone:
+      return inner_->send(frame_bytes);
+    case FaultKind::kDrop:
+      counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;  // the caller believes the frame left
+    case FaultKind::kTruncate: {
+      counters_.truncated.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t keep = std::max<std::size_t>(
+          1, std::min(frame_bytes.size() - 1, kFrameHeaderSize + 3));
+      return inner_->send(frame_bytes.substr(0, keep));
+    }
+    case FaultKind::kCorrupt: {
+      counters_.corrupted.fetch_add(1, std::memory_order_relaxed);
+      std::string bad(frame_bytes);
+      if (bad.size() >= kFrameHeaderSize) {
+        // Clobber the type field: still one well-delimited frame, but
+        // decode_frame rejects it — exercises the error-budget path
+        // rather than stream desynchronization.
+        bad[6] = static_cast<char>(0xff);
+        bad[7] = static_cast<char>(0xff);
+      }
+      return inner_->send(bad);
+    }
+    case FaultKind::kDelay:
+      counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(delay_);
+      return inner_->send(frame_bytes);
+    case FaultKind::kDisconnect:
+      counters_.disconnects.fetch_add(1, std::memory_order_relaxed);
+      disconnected_.store(true, std::memory_order_relaxed);
+      inner_->close();
+      return false;
+  }
+  return inner_->send(frame_bytes);
+}
+
+std::optional<std::string> FaultInjectingConnection::receive() {
+  return inner_->receive();
+}
+
+bool FaultInjectingConnection::set_receive_timeout(
+    std::chrono::milliseconds timeout) {
+  return inner_->set_receive_timeout(timeout);
+}
+
+void FaultInjectingConnection::close() { inner_->close(); }
+
+std::string FaultInjectingConnection::description() const {
+  return inner_->description() + "+faults";
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,115 @@
+// Deterministic fault injection for the service transport layer. A
+// FaultInjectingConnection decorates any Connection and perturbs its
+// send path according to a FaultPlan — drop, truncate, corrupt, delay
+// or disconnect on the Nth outgoing frame. Plans are either written
+// explicitly (the chaos acceptance test pins exact fault positions so
+// quarantine counters are predictable) or derived from a seed
+// (`FaultPlan::from_seed`, used by `incprofd --selftest-chaos` and the
+// randomized soak). The same seed always produces the same fault
+// schedule, so every chaos failure is replayable.
+#pragma once
+
+#include "service/transport.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace incprof::service {
+
+/// What to do to one outgoing frame.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Swallow the frame; report send success to the caller.
+  kDrop,
+  /// Send only a prefix of the frame's bytes. On a byte-stream
+  /// transport this desynchronizes the stream (the peer sees a corrupt
+  /// header next); on a message transport the peer sees one truncated
+  /// frame.
+  kTruncate,
+  /// Overwrite the frame-type field with 0xFFFF before sending: the
+  /// frame still parses as a unit (magic and length intact) but is
+  /// rejected by decode_frame — the recoverable kind of corruption.
+  kCorrupt,
+  /// Sleep before sending (a stalled/slow client).
+  kDelay,
+  /// Close the connection instead of sending; all later sends fail.
+  kDisconnect,
+};
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// One scheduled fault: apply `kind` to the `frame_index`-th send
+/// (0-based, counted per connection).
+struct FaultEvent {
+  std::size_t frame_index = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// A deterministic schedule of send-side faults.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// The fault scheduled for `frame_index` (kNone when clean).
+  FaultKind action_for(std::size_t frame_index) const noexcept;
+
+  /// Derives a reproducible plan from `seed`: each of the first
+  /// `horizon` frames is faulted with probability `rate`, the kind
+  /// drawn uniformly from {drop, truncate, corrupt, delay,
+  /// disconnect}. At most one disconnect is scheduled (it ends the
+  /// connection). Frame 0 (the hello) is never faulted so the session
+  /// always forms.
+  static FaultPlan from_seed(std::uint64_t seed, double rate,
+                             std::size_t horizon);
+
+  /// Faults of `kind` the plan schedules.
+  std::size_t count(FaultKind kind) const noexcept;
+};
+
+/// Injected-fault tallies, one counter per kind (thread-safe reads).
+struct FaultCounters {
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> truncated{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> disconnects{0};
+
+  std::uint64_t total() const noexcept {
+    return dropped.load() + truncated.load() + corrupted.load() +
+           delayed.load() + disconnects.load();
+  }
+};
+
+/// Connection decorator that applies a FaultPlan to outgoing frames.
+/// Receives pass through untouched — fault effects surface at the peer
+/// (rejected frames, desynchronized streams, half-open sessions).
+class FaultInjectingConnection : public Connection {
+ public:
+  FaultInjectingConnection(
+      std::unique_ptr<Connection> inner, FaultPlan plan,
+      std::chrono::milliseconds delay = std::chrono::milliseconds(5));
+
+  bool send(std::string_view frame_bytes) override;
+  std::optional<std::string> receive() override;
+  bool set_receive_timeout(std::chrono::milliseconds timeout) override;
+  void close() override;
+  std::string description() const override;
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+  /// Frames offered to send() so far (faulted or not).
+  std::size_t frames_sent() const noexcept {
+    return send_index_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  const FaultPlan plan_;
+  const std::chrono::milliseconds delay_;
+  std::atomic<std::size_t> send_index_{0};
+  std::atomic<bool> disconnected_{false};
+  FaultCounters counters_;
+};
+
+}  // namespace incprof::service

@@ -117,7 +117,7 @@ std::string frame_of(FrameType type, std::uint32_t session,
 
 bool is_known_frame_type(std::uint16_t t) noexcept {
   return t >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint16_t>(FrameType::kBye);
+         t <= static_cast<std::uint16_t>(FrameType::kProtocolError);
 }
 
 std::string encode_frame(const Frame& frame) {
@@ -188,6 +188,7 @@ std::string encode_hello(const HelloPayload& p) {
   out.append(p.client_name);
   put_u64(out, p.interval_ns);
   out.push_back(p.subscribe_events ? 1 : 0);
+  put_u32(out, p.resume_session_id);
   return out;
 }
 
@@ -198,6 +199,7 @@ HelloPayload decode_hello(std::string_view bytes) {
   p.client_name = r.str(name_len);
   p.interval_ns = r.u64();
   p.subscribe_events = r.u8() != 0;
+  p.resume_session_id = r.u32();
   r.expect_end("hello");
   return p;
 }
@@ -206,6 +208,7 @@ std::string encode_hello_ack(const HelloAckPayload& p) {
   std::string out;
   put_u32(out, p.session_id);
   put_u16(out, p.server_version);
+  put_u32(out, p.resume_next_interval);
   return out;
 }
 
@@ -214,6 +217,7 @@ HelloAckPayload decode_hello_ack(std::string_view bytes) {
   HelloAckPayload p;
   p.session_id = r.u32();
   p.server_version = r.u16();
+  p.resume_next_interval = r.u32();
   r.expect_end("hello-ack");
   return p;
 }
@@ -317,6 +321,34 @@ PhaseEventPayload decode_phase_event(std::string_view bytes) {
   return p;
 }
 
+std::string encode_protocol_error(const ProtocolErrorPayload& p) {
+  std::string out;
+  put_u16(out, static_cast<std::uint16_t>(p.code));
+  put_u32(out, p.errors);
+  put_u32(out, p.budget);
+  put_u32(out, static_cast<std::uint32_t>(p.message.size()));
+  out.append(p.message);
+  return out;
+}
+
+ProtocolErrorPayload decode_protocol_error(std::string_view bytes) {
+  Reader r(bytes);
+  ProtocolErrorPayload p;
+  const std::uint16_t code = r.u16();
+  if (code < static_cast<std::uint16_t>(ProtocolErrorCode::kMalformedFrame) ||
+      code > static_cast<std::uint16_t>(ProtocolErrorCode::kQuarantined)) {
+    throw std::runtime_error("service protocol: unknown error code " +
+                             std::to_string(code));
+  }
+  p.code = static_cast<ProtocolErrorCode>(code);
+  p.errors = r.u32();
+  p.budget = r.u32();
+  const std::uint32_t len = r.u32();
+  p.message = r.str(len);
+  r.expect_end("protocol-error");
+  return p;
+}
+
 std::string make_hello_frame(const HelloPayload& p) {
   return frame_of(FrameType::kHello, 0, encode_hello(p));
 }
@@ -353,6 +385,12 @@ std::string make_phase_event_frame(std::uint32_t session,
 
 std::string make_bye_frame(std::uint32_t session) {
   return frame_of(FrameType::kBye, session, std::string());
+}
+
+std::string make_protocol_error_frame(std::uint32_t session,
+                                      const ProtocolErrorPayload& p) {
+  return frame_of(FrameType::kProtocolError, session,
+                  encode_protocol_error(p));
 }
 
 }  // namespace incprof::service

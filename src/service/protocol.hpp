@@ -52,6 +52,11 @@ enum class FrameType : std::uint16_t {
   kPhaseEvent = 7,
   /// client -> server: orderly end of session (empty payload).
   kBye = 8,
+  /// server -> client: a frame was rejected (ProtocolErrorPayload).
+  /// Sent once per rejected frame; when the session's error budget is
+  /// exhausted the final one carries kQuarantined and the server
+  /// disconnects.
+  kProtocolError = 9,
 };
 
 /// True when `t` is a value this protocol version defines.
@@ -91,6 +96,12 @@ struct HelloPayload {
   /// When true the server pushes kPhaseEvent frames back on every new
   /// phase / transition; pure ingest clients leave it off.
   bool subscribe_events = false;
+  /// Non-zero: reattach to this previously-assigned session after a
+  /// connection loss instead of opening a new one. The server accepts
+  /// the resume only while the session is within its resume grace
+  /// window; otherwise it answers with a kProtocolError
+  /// (kUnknownSession) and the client must start fresh.
+  std::uint32_t resume_session_id = 0;
 
   bool operator==(const HelloPayload&) const = default;
 };
@@ -99,8 +110,41 @@ struct HelloPayload {
 struct HelloAckPayload {
   std::uint32_t session_id = 0;
   std::uint16_t server_version = kProtocolVersion;
+  /// Snapshot index the server expects next (count of snapshot frames
+  /// it has accepted for this session). 0 for a fresh session; after a
+  /// resume the client restarts its snapshot stream here, so frames
+  /// lost in flight are re-sent exactly once.
+  std::uint32_t resume_next_interval = 0;
 
   bool operator==(const HelloAckPayload&) const = default;
+};
+
+/// Why a frame was rejected.
+enum class ProtocolErrorCode : std::uint16_t {
+  /// The frame (or its payload) failed to decode.
+  kMalformedFrame = 1,
+  /// A well-formed frame arrived out of protocol order (e.g. a second
+  /// hello, or data before any hello).
+  kUnexpectedFrame = 2,
+  /// A resume named a session the server no longer holds.
+  kUnknownSession = 3,
+  /// The session's error budget is exhausted; the server disconnects
+  /// after sending this.
+  kQuarantined = 4,
+};
+
+/// kProtocolError: the server's typed rejection notice.
+struct ProtocolErrorPayload {
+  ProtocolErrorCode code = ProtocolErrorCode::kMalformedFrame;
+  /// Rejected frames this session so far (including this one).
+  std::uint32_t errors = 0;
+  /// The session's error budget (rejections tolerated before
+  /// quarantine).
+  std::uint32_t budget = 0;
+  /// Human-readable reason.
+  std::string message;
+
+  bool operator==(const ProtocolErrorPayload&) const = default;
 };
 
 /// kHeartbeatBatch: AppEKG records of one or more intervals, in order.
@@ -169,6 +213,9 @@ QueryReplyPayload decode_query_reply(std::string_view bytes);
 std::string encode_phase_event(const PhaseEventPayload& p);
 PhaseEventPayload decode_phase_event(std::string_view bytes);
 
+std::string encode_protocol_error(const ProtocolErrorPayload& p);
+ProtocolErrorPayload decode_protocol_error(std::string_view bytes);
+
 // --- whole-frame conveniences used throughout the service --------------
 
 std::string make_hello_frame(const HelloPayload& p);
@@ -184,5 +231,7 @@ std::string make_query_reply_frame(std::uint32_t session,
 std::string make_phase_event_frame(std::uint32_t session,
                                    const PhaseEventPayload& p);
 std::string make_bye_frame(std::uint32_t session);
+std::string make_protocol_error_frame(std::uint32_t session,
+                                      const ProtocolErrorPayload& p);
 
 }  // namespace incprof::service

@@ -10,7 +10,10 @@
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
 
+#include <chrono>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +49,10 @@ struct ReplayResult {
   std::vector<PhaseEventPayload> events;
   /// The kSessionStatus reply text (query_status only).
   std::string status_text;
+  /// Successful resumes after a lost connection (resilient replay only).
+  std::size_t reconnects = 0;
+  /// Connection attempts consumed, including the first (resilient only).
+  std::size_t connect_attempts = 0;
 };
 
 /// Replays `snapshots` (cumulative, in seq order) over `conn` as one
@@ -55,6 +62,38 @@ struct ReplayResult {
 ReplayResult replay_session(Connection& conn,
                             const std::vector<gmon::ProfileSnapshot>& snapshots,
                             const ReplayOptions& options = {});
+
+/// Reconnect policy for replay_session_resilient: exponential backoff
+/// with deterministic (seeded) jitter so retry schedules are replayable
+/// yet de-synchronized across clients.
+struct RetryPolicy {
+  /// Connection attempts in total, including the first. 1 = no retry.
+  std::size_t max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{20};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{2000};
+  /// Each delay is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.2;
+  /// Seed for the jitter stream (vary per client).
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Produces a fresh connection per attempt; return nullptr or throw to
+/// signal a failed attempt (it is retried with backoff).
+using ConnectFn = std::function<std::unique_ptr<Connection>()>;
+
+/// Like replay_session, but survives connection loss: on a failed send
+/// the client reconnects with exponential backoff + jitter and resumes
+/// the same session (hello.resume_session_id), rewinding to the
+/// server's snapshot cursor from the hello-ack so no interval is sent
+/// twice or skipped. A resume rejected with kUnknownSession (session
+/// quarantined, reaped, or never detached) falls back to a fresh
+/// session and replays from the start. Gives up — `ok == false` — when
+/// `policy.max_attempts` connection attempts are exhausted.
+ReplayResult replay_session_resilient(
+    const ConnectFn& connect,
+    const std::vector<gmon::ProfileSnapshot>& snapshots,
+    const ReplayOptions& options = {}, const RetryPolicy& policy = {});
 
 /// Loads a collector dump directory (gmon-NNNNNN.out files, seq order)
 /// for replay. Throws std::runtime_error on unreadable input.

@@ -1,6 +1,10 @@
 #include "service/server.hpp"
 
+#include "obs/clock.hpp"
+#include "util/log.hpp"
+
 #include <algorithm>
+#include <string>
 
 namespace incprof::service {
 
@@ -24,6 +28,9 @@ void Server::start() {
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (cfg_.resume_grace.count() > 0 || cfg_.idle_timeout.count() > 0) {
+    reaper_thread_ = std::thread([this] { reaper_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -31,17 +38,41 @@ void Server::stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   listener_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(reaper_mu_);
+    reaper_stop_ = true;
+    reaper_cv_.notify_all();
+  }
+  if (reaper_thread_.joinable()) reaper_thread_.join();
 
   // No new handlers can appear now; close every connection so readers
-  // unblock, synthesize their byes, and exit.
+  // unblock, synthesize their byes, and exit. Shutdown overrides any
+  // resume grace: readers see expired and end their sessions outright.
   std::vector<std::shared_ptr<Handler>> handlers;
   {
     std::lock_guard lock(handlers_mu_);
     handlers = handlers_;
   }
-  for (const auto& h : handlers) h->conn->close();
+  for (const auto& h : handlers) {
+    h->expired.store(true, std::memory_order_relaxed);
+    h->connection()->close();
+  }
   for (const auto& h : handlers) {
     if (h->reader.joinable()) h->reader.join();
+  }
+
+  // A session detached before shutdown has no reader left to end it;
+  // synthesize its bye here so the drain below closes it too.
+  for (const auto& h : handlers) {
+    bool claim = false;
+    {
+      std::lock_guard lock(handlers_mu_);
+      if (h->session && h->session->detached()) {
+        h->session->reattach();
+        claim = true;
+      }
+    }
+    if (claim) end_abandoned_session(h);
   }
 
   // Everything enqueued is final; drain it before releasing the pool so
@@ -61,8 +92,13 @@ void Server::stop() {
 void Server::accept_loop() {
   while (auto conn = listener_.accept()) {
     metrics_.counter("connections_accepted").add();
+    if (cfg_.read_timeout.count() > 0) {
+      conn->set_receive_timeout(cfg_.read_timeout);
+    }
     auto handler = std::make_shared<Handler>();
-    handler->conn = std::move(conn);
+    handler->rebind(std::shared_ptr<Connection>(std::move(conn)));
+    handler->last_activity_ns.store(obs::now_ns(),
+                                    std::memory_order_relaxed);
     // Register and spawn under the same lock so stop() never sees a
     // handler whose reader thread is still being constructed.
     std::lock_guard lock(handlers_mu_);
@@ -73,88 +109,322 @@ void Server::accept_loop() {
 }
 
 void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
+  // This handler's connection is fixed for the reader's lifetime: a
+  // resume rebinds *other* handlers (whose readers already exited) to
+  // the resuming connection, never a live reader's own.
+  const std::shared_ptr<Connection> conn = handler->connection();
   bool saw_bye = false;
-  try {
-    while (auto bytes = handler->conn->receive()) {
-      Frame frame;
-      try {
-        obs::ScopedSpan span("frame.decode", "service", &decode_hist_);
-        frame = decode_frame(*bytes);
-      } catch (const std::exception&) {
-        metrics_.counter("protocol_errors").add();
-        break;  // a desynchronized stream cannot be resynchronized
-      }
+  for (;;) {
+    std::optional<std::string> bytes;
+    try {
+      bytes = conn->receive();
+    } catch (const std::exception& e) {
+      // Peer vanished mid-frame: the byte stream is desynchronized and
+      // cannot be resynchronized, so the connection is done — but the
+      // session may still be resumable.
+      metrics_.counter("protocol_errors").add();
+      log_disconnect(handler, "mid_frame", e.what());
+      break;
+    }
+    if (!bytes) break;  // EOF, reset, deadline, or forced close
+    handler->last_activity_ns.store(obs::now_ns(),
+                                    std::memory_order_relaxed);
 
-      if (!handler->session) {
-        if (frame.type != FrameType::kHello) {
-          metrics_.counter("protocol_errors").add();
-          break;
-        }
-        HelloPayload hello;
-        try {
-          hello = decode_hello(frame.payload);
-        } catch (const std::exception&) {
-          metrics_.counter("protocol_errors").add();
-          break;
-        }
-        const std::uint32_t id = next_session_id_.fetch_add(1);
-        auto session = std::make_shared<Session>(id, cfg_.session);
-        session->open(hello.client_name,
-                      hello.subscribe_events && cfg_.send_phase_events,
-                      hello.interval_ns);
-        {
-          std::lock_guard lock(handlers_mu_);
-          handler->session = session;
-        }
-        fleet_.session_opened(id, hello.client_name);
-        metrics_.counter("sessions_opened").add();
-        metrics_.gauge("active_sessions").add(1);
-        HelloAckPayload ack;
-        ack.session_id = id;
-        handler->conn->send(make_hello_ack_frame(id, ack));
-        continue;
-      }
-
-      if (frame.type == FrameType::kHello) {
-        metrics_.counter("protocol_errors").add();  // duplicate hello
-        continue;
-      }
-
-      const bool is_bye = frame.type == FrameType::kBye;
-      metrics_.counter("frames_received").add();
-      Session::EnqueueResult result;
-      {
-        obs::ScopedSpan span("frame.enqueue", "service", &enqueue_hist_);
-        result =
-            handler->session->enqueue(std::move(frame), /*force=*/is_bye);
-      }
-      if (result == Session::EnqueueResult::kDropped) {
-        metrics_.counter("frames_dropped").add();
-        fleet_.record_drops(handler->session->id(),
-                            handler->session->dropped_frames());
-      } else if (result == Session::EnqueueResult::kScheduled) {
-        schedule(handler);
-      }
-      if (is_bye) {
-        saw_bye = true;
+    Frame frame;
+    try {
+      obs::ScopedSpan span("frame.decode", "service", &decode_hist_);
+      frame = decode_frame(*bytes);
+    } catch (const std::exception& e) {
+      // The transport delivered a delimited frame whose content is
+      // garbage; framing survives, so this is recoverable — budget it.
+      if (reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
+                       e.what())) {
         break;
       }
+      continue;
     }
-  } catch (const std::exception&) {
-    metrics_.counter("protocol_errors").add();  // e.g. EOF mid-frame
-  }
 
-  if (handler->session && !saw_bye) {
-    // Abrupt disconnect: close the session as if a bye had arrived.
-    Frame bye;
-    bye.type = FrameType::kBye;
-    bye.session = handler->session->id();
-    if (handler->session->enqueue(std::move(bye), /*force=*/true) ==
-        Session::EnqueueResult::kScheduled) {
+    if (!handler->session) {
+      if (frame.type != FrameType::kHello) {
+        // Unauthenticated peers get no budget: typed error, then out.
+        reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
+                     "expected hello");
+        break;
+      }
+      HelloPayload hello;
+      try {
+        hello = decode_hello(frame.payload);
+      } catch (const std::exception& e) {
+        reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
+                     e.what());
+        break;
+      }
+      if (hello.resume_session_id != 0) {
+        if (!resume_session(handler, hello)) break;
+        continue;
+      }
+      const std::uint32_t id = next_session_id_.fetch_add(1);
+      auto session = std::make_shared<Session>(id, cfg_.session);
+      session->open(hello.client_name,
+                    hello.subscribe_events && cfg_.send_phase_events,
+                    hello.interval_ns);
+      {
+        std::lock_guard lock(handlers_mu_);
+        handler->session = session;
+      }
+      fleet_.session_opened(id, hello.client_name);
+      metrics_.counter("sessions_opened").add();
+      metrics_.gauge("active_sessions").add(1);
+      HelloAckPayload ack;
+      ack.session_id = id;
+      conn->send(make_hello_ack_frame(id, ack));
+      continue;
+    }
+
+    if (frame.type == FrameType::kHello) {
+      if (reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
+                       "duplicate hello")) {
+        break;
+      }
+      continue;
+    }
+
+    const bool is_bye = frame.type == FrameType::kBye;
+    metrics_.counter("frames_received").add();
+    Session::EnqueueResult result;
+    {
+      obs::ScopedSpan span("frame.enqueue", "service", &enqueue_hist_);
+      result =
+          handler->session->enqueue(std::move(frame), /*force=*/is_bye);
+    }
+    if (result == Session::EnqueueResult::kDropped) {
+      metrics_.counter("frames_dropped").add();
+      fleet_.record_drops(handler->session->id(),
+                          handler->session->dropped_frames());
+    } else if (result == Session::EnqueueResult::kScheduled) {
       schedule(handler);
     }
+    if (is_bye) {
+      saw_bye = true;
+      break;
+    }
   }
-  if (!handler->session) handler->conn->close();
+
+  if (handler->session && !saw_bye) end_abandoned_session(handler);
+  // Without a bye there is nothing left to deliver, so close this
+  // reader's own connection: after an EOF or error that is a no-op, but
+  // after a read-deadline lapse (or a bye the network swallowed) the
+  // peer is still live and must learn the server is done, or it would
+  // block in its drain forever. After a real bye the worker still owes
+  // the client its queued events and query reply, and closes once the
+  // session drains. A resumed session has already rebound its handlers
+  // to the new connection, so this never touches a live successor.
+  if (!saw_bye) conn->close();
+  handler->retired.store(true, std::memory_order_release);
+}
+
+void Server::end_abandoned_session(
+    const std::shared_ptr<Handler>& handler) {
+  const auto session = handler->session;
+  if (session->closed()) return;
+  if (cfg_.resume_grace.count() > 0 &&
+      !handler->expired.load(std::memory_order_relaxed)) {
+    // Leave the session waiting for its client to reconnect; the
+    // reaper ends it if the grace window lapses first.
+    session->detach(obs::now_ns());
+    metrics_.counter("sessions_detached").add();
+    log_disconnect(handler, "detached", "awaiting resume");
+    return;
+  }
+  // Close the session as if a bye had arrived.
+  Frame bye;
+  bye.type = FrameType::kBye;
+  bye.session = session->id();
+  if (session->enqueue(std::move(bye), /*force=*/true) ==
+      Session::EnqueueResult::kScheduled) {
+    schedule(handler);
+  }
+}
+
+bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
+                          ProtocolErrorCode code,
+                          const std::string& reason) {
+  metrics_.counter("frames_rejected").add();
+  metrics_.counter("protocol_errors").add();
+  const auto conn = handler->connection();
+  const auto session = handler->session;
+  std::uint32_t errors = 0;
+  std::uint32_t budget = cfg_.protocol_error_budget;
+  std::uint32_t session_id = 0;
+  if (session) {
+    errors = session->note_protocol_error();
+    session_id = session->id();
+  } else {
+    errors = ++handler->pre_hello_errors;
+    budget = 0;  // no hello, no credit
+  }
+  const bool quarantine = errors > budget;
+
+  ProtocolErrorPayload err;
+  err.code = (quarantine && session) ? ProtocolErrorCode::kQuarantined
+                                     : code;
+  err.errors = errors;
+  err.budget = budget;
+  err.message = reason;
+  conn->send(make_protocol_error_frame(session_id, err));
+  if (!quarantine) return false;
+
+  obs::ScopedSpan span("session.quarantine", "service");
+  handler->expired.store(true, std::memory_order_relaxed);
+  if (session) {
+    metrics_.counter("sessions_quarantined").add();
+    util::log_warn("incprofd: session " + std::to_string(session_id) +
+                   " (" + conn->description() + ") quarantined after " +
+                   std::to_string(errors) + " protocol errors: " + reason);
+  } else {
+    util::log_warn("incprofd: connection " + conn->description() +
+                   " rejected before hello: " + reason);
+  }
+  metrics_.counter("disconnects", {{"cause", "quarantine"}}).add();
+  conn->close();
+  return true;
+}
+
+bool Server::resume_session(const std::shared_ptr<Handler>& handler,
+                            const HelloPayload& hello) {
+  const auto conn = handler->connection();
+  std::shared_ptr<Session> session;
+  std::vector<std::shared_ptr<Handler>> stale;
+  {
+    std::lock_guard lock(handlers_mu_);
+    for (const auto& h : handlers_) {
+      if (h.get() == handler.get() || !h->session) continue;
+      if (h->session->id() != hello.resume_session_id) continue;
+      session = h->session;
+      stale.push_back(h);
+    }
+    // The detached flag is only flipped under handlers_mu_, so the
+    // reaper and a racing resume cannot both claim the session.
+    if (session && session->detached() && !session->closed()) {
+      session->reattach();
+    } else {
+      session = nullptr;
+    }
+  }
+  if (!session) {
+    metrics_.counter("frames_rejected").add();
+    metrics_.counter("protocol_errors").add();
+    ProtocolErrorPayload err;
+    err.code = ProtocolErrorCode::kUnknownSession;
+    err.errors = 1;
+    err.budget = 0;
+    err.message = "no resumable session " +
+                  std::to_string(hello.resume_session_id);
+    conn->send(make_protocol_error_frame(hello.resume_session_id, err));
+    conn->close();
+    return false;
+  }
+
+  obs::ScopedSpan span("session.resume", "service");
+  // Point every stale handler for this session at the live connection:
+  // a queued worker round pushing phase events through an old handler
+  // must not write into the dead socket.
+  for (const auto& h : stale) h->rebind(conn);
+  {
+    std::lock_guard lock(handlers_mu_);
+    handler->session = session;
+  }
+  session->open(hello.client_name,
+                hello.subscribe_events && cfg_.send_phase_events,
+                hello.interval_ns);
+  metrics_.counter("reconnects").add();
+  util::log_info("incprofd: session " + std::to_string(session->id()) +
+                 " resumed by " + conn->description() + " at interval " +
+                 std::to_string(session->snapshots_accepted()));
+  HelloAckPayload ack;
+  ack.session_id = session->id();
+  ack.resume_next_interval = session->snapshots_accepted();
+  conn->send(make_hello_ack_frame(session->id(), ack));
+  return true;
+}
+
+void Server::reaper_loop() {
+  const auto grace_ns =
+      static_cast<std::uint64_t>(cfg_.resume_grace.count()) * 1000000ull;
+  const auto idle_ns =
+      static_cast<std::uint64_t>(cfg_.idle_timeout.count()) * 1000000ull;
+  std::unique_lock lock(reaper_mu_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                        [&] { return reaper_stop_; });
+    if (reaper_stop_) break;
+    lock.unlock();
+
+    const std::uint64_t now = obs::now_ns();
+    std::vector<std::shared_ptr<Handler>> lapsed;  // grace expired
+    std::vector<std::shared_ptr<Handler>> idle;    // attached but silent
+    {
+      std::lock_guard handlers_lock(handlers_mu_);
+      for (const auto& h : handlers_) {
+        if (h->session && h->session->detached()) {
+          if (grace_ns > 0 &&
+              now - h->session->detached_since_ns() > grace_ns) {
+            h->session->reattach();  // claimed; no resume can win now
+            lapsed.push_back(h);
+          }
+          continue;
+        }
+        if (idle_ns == 0 || h->retired.load(std::memory_order_acquire)) {
+          continue;
+        }
+        if (h->session && h->session->closed()) continue;
+        if (now - h->last_activity_ns.load(std::memory_order_relaxed) >
+            idle_ns) {
+          idle.push_back(h);
+        }
+      }
+    }
+
+    for (const auto& h : lapsed) {
+      obs::ScopedSpan span("session.reap", "service");
+      metrics_.counter("sessions_reaped", {{"cause", "grace_expired"}})
+          .add();
+      log_disconnect(h, "grace_expired", "client never resumed");
+      // Mark the handler expired so end_abandoned_session ends the
+      // session outright instead of detaching it again with a fresh
+      // timestamp (which would re-lapse forever).
+      h->expired.store(true, std::memory_order_relaxed);
+      end_abandoned_session(h);
+    }
+    for (const auto& h : idle) {
+      obs::ScopedSpan span("session.reap", "service");
+      h->expired.store(true, std::memory_order_relaxed);
+      if (h->session) {
+        metrics_.counter("sessions_reaped", {{"cause", "idle"}}).add();
+      }
+      log_disconnect(h, "idle", "no traffic within idle timeout");
+      // The reader unblocks, sees expired, and ends the session.
+      h->connection()->close();
+    }
+
+    lock.lock();
+  }
+}
+
+void Server::log_disconnect(const std::shared_ptr<Handler>& handler,
+                            std::string_view cause,
+                            std::string_view detail) {
+  metrics_.counter("disconnects", {{"cause", cause}}).add();
+  std::string msg = "incprofd: connection ";
+  msg += handler->connection()->description();
+  if (handler->session) {
+    msg += " (session " + std::to_string(handler->session->id()) + ")";
+  }
+  msg += " disconnected, cause=";
+  msg += cause;
+  msg += ": ";
+  msg += detail;
+  util::log_warn(msg);
 }
 
 void Server::schedule(const std::shared_ptr<Handler>& handler) {
@@ -212,8 +482,9 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
       gmon::ProfileSnapshot snap;
       try {
         snap = decode_snapshot(frame.payload);
-      } catch (const std::exception&) {
-        metrics_.counter("protocol_errors").add();
+      } catch (const std::exception& e) {
+        reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
+                     e.what());
         return;
       }
       const core::OnlineObservation obs = session.tracker().observe(snap);
@@ -228,7 +499,7 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
         event.new_phase = obs.new_phase;
         event.transition = obs.transition;
         event.distance = obs.distance;
-        if (handler->conn->send(
+        if (handler->connection()->send(
                 make_phase_event_frame(session.id(), event))) {
           metrics_.counter("phase_events_sent").add();
         }
@@ -239,8 +510,9 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
       HeartbeatBatchPayload batch;
       try {
         batch = decode_heartbeat_batch(frame.payload);
-      } catch (const std::exception&) {
-        metrics_.counter("protocol_errors").add();
+      } catch (const std::exception& e) {
+        reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
+                     e.what());
         return;
       }
       session.note_heartbeats(batch.records.size());
@@ -252,16 +524,22 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
       handle_query(handler, frame);
       return;
     case FrameType::kBye:
+      // A real bye and a synthesized one can both be queued (quarantine
+      // or reap racing the client's own farewell); close only once.
+      if (session.closed()) return;
       session.mark_closed();
       fleet_.session_closed(session.id());
       fleet_.record_drops(session.id(), session.dropped_frames());
       metrics_.counter("sessions_closed").add();
       metrics_.gauge("active_sessions").add(-1);
-      handler->conn->close();
+      handler->connection()->close();
       return;
     default:
       // Server-to-client frame types arriving here are client bugs.
-      metrics_.counter("protocol_errors").add();
+      reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
+                   "frame type " +
+                       std::to_string(static_cast<unsigned>(frame.type)) +
+                       " is server-to-client");
       return;
   }
 }
@@ -271,8 +549,8 @@ void Server::handle_query(const std::shared_ptr<Handler>& handler,
   QueryPayload query;
   try {
     query = decode_query(frame.payload);
-  } catch (const std::exception&) {
-    metrics_.counter("protocol_errors").add();
+  } catch (const std::exception& e) {
+    reject_frame(handler, ProtocolErrorCode::kMalformedFrame, e.what());
     return;
   }
   QueryReplyPayload reply;
@@ -280,8 +558,8 @@ void Server::handle_query(const std::shared_ptr<Handler>& handler,
   reply.text = query.kind == QueryKind::kFleetSummary
                    ? fleet_.render()
                    : handler->session->status_line();
-  if (handler->conn->send(make_query_reply_frame(handler->session->id(),
-                                                 reply))) {
+  if (handler->connection()->send(
+          make_query_reply_frame(handler->session->id(), reply))) {
     metrics_.counter("query_replies").add();
   }
 }

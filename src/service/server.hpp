@@ -34,6 +34,26 @@ struct ServerConfig {
   bool send_phase_events = true;
   /// Retained fleet transition-log tail.
   std::size_t transition_log_capacity = 1024;
+
+  // --- fault tolerance --------------------------------------------------
+
+  /// Malformed/unexpected frames tolerated per session; one more and
+  /// the session is quarantined (typed kProtocolError, then
+  /// disconnect). Frames before the hello get no budget — an
+  /// unauthenticated peer is disconnected on the first bad frame.
+  std::uint32_t protocol_error_budget = 4;
+  /// After an abrupt disconnect, how long the session stays resumable
+  /// (a reconnecting client reattaches via hello.resume_session_id).
+  /// Zero disables resume: an abrupt disconnect closes the session
+  /// immediately, as before.
+  std::chrono::milliseconds resume_grace{0};
+  /// Attached sessions with no traffic for this long are reaped
+  /// (connection closed, session ended). Zero disables reaping.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Receive deadline armed on every accepted connection when the
+  /// transport supports one (TCP does; the loopback relies on the
+  /// reaper). Zero leaves reads unbounded.
+  std::chrono::milliseconds read_timeout{0};
 };
 
 /// Multi-session phase-detection server. Lifecycle: construct over a
@@ -74,20 +94,64 @@ class Server {
 
  private:
   struct Handler {
-    std::shared_ptr<Connection> conn;
     std::shared_ptr<Session> session;  // set at hello
     std::thread reader;
+    /// Timestamp of the last frame read off this connection (steady
+    /// ns), maintained for the idle reaper.
+    std::atomic<std::uint64_t> last_activity_ns{0};
+    /// Set when the reaper or a quarantine force-closed the
+    /// connection: the reader must end the session rather than leave
+    /// it resumable.
+    std::atomic<bool> expired{false};
+    /// Set when the reader thread has exited; the reaper skips retired
+    /// handlers (their last_activity_ns stops advancing but their
+    /// connection may have been rebound to a live successor).
+    std::atomic<bool> retired{false};
+    /// Rejected frames before any hello (no session to budget them).
+    std::uint32_t pre_hello_errors = 0;
+
+    /// The live connection. Swapped on resume (the worker keeps
+    /// pushing events through whatever connection is current), hence
+    /// the lock.
+    std::shared_ptr<Connection> connection() const {
+      std::lock_guard lock(conn_mu_);
+      return conn_;
+    }
+    void rebind(std::shared_ptr<Connection> conn) {
+      std::lock_guard lock(conn_mu_);
+      conn_ = std::move(conn);
+    }
+
+   private:
+    mutable std::mutex conn_mu_;
+    std::shared_ptr<Connection> conn_;
   };
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Handler>& handler);
   void worker_loop();
+  void reaper_loop();
   void schedule(const std::shared_ptr<Handler>& handler);
   void process_round(const std::shared_ptr<Handler>& handler);
   void process_frame(const std::shared_ptr<Handler>& handler,
                      const Frame& frame);
   void handle_query(const std::shared_ptr<Handler>& handler,
                     const Frame& frame);
+
+  /// Counts one rejected frame against the handler's budget, answers
+  /// with a typed kProtocolError, and quarantines (disconnect) once
+  /// the budget is spent. Returns true when the connection was closed.
+  bool reject_frame(const std::shared_ptr<Handler>& handler,
+                    ProtocolErrorCode code, const std::string& reason);
+  /// Handles a hello carrying resume_session_id. Returns false when
+  /// the resume was rejected (connection closed).
+  bool resume_session(const std::shared_ptr<Handler>& handler,
+                      const HelloPayload& hello);
+  /// Ends an abruptly-disconnected session: detaches it when resume is
+  /// enabled and allowed, else synthesizes its bye.
+  void end_abandoned_session(const std::shared_ptr<Handler>& handler);
+  void log_disconnect(const std::shared_ptr<Handler>& handler,
+                      std::string_view cause, std::string_view detail);
 
   Listener& listener_;
   const ServerConfig cfg_;
@@ -114,7 +178,12 @@ class Server {
   std::size_t busy_workers_ = 0;
   bool stopping_workers_ = false;
 
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+
   std::thread accept_thread_;
+  std::thread reaper_thread_;
   std::vector<std::thread> workers_;
 };
 

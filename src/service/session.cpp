@@ -23,6 +23,7 @@ Session::EnqueueResult Session::enqueue(Frame frame, bool force) {
     ++dropped_;
     return EnqueueResult::kDropped;
   }
+  if (frame.type == FrameType::kSnapshot) ++snapshots_accepted_;
   frames_.push_back(std::move(frame));
   if (frames_.size() > max_depth_) max_depth_ = frames_.size();
   if (scheduled_) return EnqueueResult::kQueued;
@@ -63,6 +64,36 @@ void Session::note_heartbeats(std::uint64_t n) {
 void Session::mark_closed() {
   std::lock_guard lock(status_mu_);
   closed_ = true;
+}
+
+std::uint32_t Session::note_protocol_error() {
+  return protocol_errors_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint32_t Session::protocol_errors() const {
+  return protocol_errors_.load(std::memory_order_relaxed);
+}
+
+std::uint32_t Session::snapshots_accepted() const {
+  std::lock_guard lock(queue_mu_);
+  return snapshots_accepted_;
+}
+
+void Session::detach(std::uint64_t now_ns) {
+  detached_since_ns_.store(now_ns, std::memory_order_relaxed);
+  detached_.store(true, std::memory_order_release);
+}
+
+void Session::reattach() {
+  detached_.store(false, std::memory_order_release);
+}
+
+bool Session::detached() const {
+  return detached_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Session::detached_since_ns() const {
+  return detached_since_ns_.load(std::memory_order_relaxed);
 }
 
 std::string Session::client_name() const {

@@ -74,6 +74,27 @@ class Session {
   void note_heartbeats(std::uint64_t n);
   void mark_closed();
 
+  // --- fault handling (reader/worker/reaper threads) --------------------
+
+  /// Counts one rejected frame against the session's error budget;
+  /// returns the new total.
+  std::uint32_t note_protocol_error();
+  std::uint32_t protocol_errors() const;
+
+  /// Snapshot frames accepted into the queue so far — the resume
+  /// cursor handed back in a hello-ack, so a reconnecting client
+  /// re-sends exactly the frames the server never took.
+  std::uint32_t snapshots_accepted() const;
+
+  /// Marks the session as waiting for its client to reconnect (abrupt
+  /// disconnect inside the resume grace window).
+  void detach(std::uint64_t now_ns);
+  /// Reattaches after a successful resume hello.
+  void reattach();
+  bool detached() const;
+  /// When detach() was last called (steady ns); 0 if never.
+  std::uint64_t detached_since_ns() const;
+
   // --- any thread -------------------------------------------------------
   std::string client_name() const;
   std::uint64_t dropped_frames() const;
@@ -100,6 +121,12 @@ class Session {
   bool scheduled_ = false;
   std::uint64_t dropped_ = 0;
   std::size_t max_depth_ = 0;
+  std::uint32_t snapshots_accepted_ = 0;
+
+  // Fault-handling state (reader / reaper / resume path).
+  std::atomic<std::uint32_t> protocol_errors_{0};
+  std::atomic<bool> detached_{false};
+  std::atomic<std::uint64_t> detached_since_ns_{0};
 
   // Tracker: worker-only.
   core::OnlinePhaseTracker tracker_;

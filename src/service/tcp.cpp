@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -66,6 +67,22 @@ class TcpConnection : public Connection {
   std::optional<std::string> receive() override {
     for (;;) {
       if (auto frame = buffer_.next_frame()) return frame;
+      const int timeout_ms =
+          receive_timeout_ms_.load(std::memory_order_relaxed);
+      if (timeout_ms > 0) {
+        // Poll-based deadline: a peer that goes silent mid-stream
+        // surfaces as EOF after `timeout` instead of holding the
+        // reader thread hostage forever.
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          return std::nullopt;
+        }
+        if (rc == 0) return std::nullopt;  // deadline expired
+      }
       char chunk[4096];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (n < 0) {
@@ -74,12 +91,20 @@ class TcpConnection : public Connection {
       }
       if (n == 0) {
         if (buffer_.buffered() != 0) {
-          throw std::runtime_error("tcp: peer closed mid-frame");
+          throw std::runtime_error(
+              "tcp: peer " + label_ + " closed mid-frame (" +
+              std::to_string(buffer_.buffered()) + " bytes buffered)");
         }
         return std::nullopt;
       }
       buffer_.append(std::string_view(chunk, static_cast<std::size_t>(n)));
     }
+  }
+
+  bool set_receive_timeout(std::chrono::milliseconds timeout) override {
+    receive_timeout_ms_.store(static_cast<int>(timeout.count()),
+                              std::memory_order_relaxed);
+    return true;
   }
 
   void close() override {
@@ -95,6 +120,7 @@ class TcpConnection : public Connection {
   const std::string label_;
   std::mutex send_mu_;
   std::atomic<bool> closed_{false};
+  std::atomic<int> receive_timeout_ms_{0};
   FrameBuffer buffer_;
 };
 

@@ -6,6 +6,7 @@
 // socket transports and its in-memory test harness.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -29,6 +30,16 @@ class Connection {
   /// Blocks for the next complete frame; nullopt once the channel is
   /// closed and drained. Throws std::runtime_error on malformed bytes.
   virtual std::optional<std::string> receive() = 0;
+
+  /// Arms a receive deadline: receive() returns nullopt (indistinct
+  /// from EOF — in both cases the caller abandons the channel) when no
+  /// bytes arrive for `timeout`. Zero disarms. Returns false when the
+  /// transport cannot enforce deadlines (the loopback relies on the
+  /// server's idle reaper instead).
+  virtual bool set_receive_timeout(std::chrono::milliseconds timeout) {
+    (void)timeout;
+    return false;
+  }
 
   /// Initiates shutdown of both directions; wakes blocked peers. Safe to
   /// call more than once and concurrently with send/receive.

@@ -107,6 +107,20 @@ bool parse_u64(std::string_view s, std::uint64_t& out) noexcept {
   return true;
 }
 
+bool parse_int(std::string_view s, std::int64_t lo, std::int64_t hi,
+               std::int64_t& out) noexcept {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return false;
+  if (v < lo || v > hi) return false;
+  out = v;
+  return true;
+}
+
 std::string format_fixed(double v, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);

@@ -42,6 +42,14 @@ bool parse_double(std::string_view s, double& out) noexcept;
 /// input or overflow.
 bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
 
+/// Parses a signed integer with full-string validation; returns false
+/// (leaving `out` untouched) on malformed input, overflow, or a value
+/// outside [lo, hi]. This is the checked replacement for std::atoi in
+/// the tool flag parsers, where "--port banana" must be an error, not
+/// port 0.
+bool parse_int(std::string_view s, std::int64_t lo, std::int64_t hi,
+               std::int64_t& out) noexcept;
+
 /// Formats `v` with `prec` digits after the decimal point.
 std::string format_fixed(double v, int prec);
 

@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 namespace incprof::obs {
 namespace {
@@ -111,6 +113,82 @@ TEST(HttpEndpoint, HandlerStatusIsPropagated) {
   const std::string res = get_path(endpoint.port(), "/missing");
   EXPECT_NE(res.find("HTTP/1.1 404"), std::string::npos);
   EXPECT_NE(res.find("nope"), std::string::npos);
+}
+
+TEST(HttpEndpoint, OversizedRequestHeadersAreRejectedWith431) {
+  HttpEndpoint endpoint(0, [](const std::string&) {
+    return HttpResponse{};
+  });
+  // 16 KiB of header lines: twice the 8 KiB cap, never a terminator
+  // until the end — the endpoint must cut it off at the cap.
+  std::string request = "GET / HTTP/1.1\r\n";
+  while (request.size() < 16 * 1024) {
+    request += "X-Padding: " + std::string(1000, 'p') + "\r\n";
+  }
+  request += "\r\n";
+  const std::string res = http_get(endpoint.port(), request);
+  EXPECT_NE(res.find("431"), std::string::npos);
+  EXPECT_EQ(endpoint.requests_served(), 1u);
+}
+
+TEST(HttpEndpoint, StalledClientIsAnswered408UnderTheDeadline) {
+  HttpEndpoint endpoint(
+      0, [](const std::string&) { return HttpResponse{}; },
+      std::chrono::milliseconds(100));
+  // Send half a request line and then go silent; the endpoint must not
+  // wait forever for the terminator.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_GT(::send(fd, "GET /slow", 9, 0), 0);
+  std::string response;
+  char buf[1024];
+  while (true) {
+    const auto n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("408"), std::string::npos);
+  EXPECT_EQ(endpoint.requests_timed_out(), 1u);
+}
+
+TEST(HttpEndpoint, StalledClientDoesNotBlockConcurrentRequests) {
+  HttpEndpoint endpoint(
+      0, [](const std::string& path) {
+        HttpResponse res;
+        res.body = "served " + path;
+        return res;
+      },
+      std::chrono::milliseconds(2000));
+  // Open a connection that never completes its request...
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_GT(::send(stalled, "GET /stall", 10, 0), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // ...while real requests go through immediately on other threads.
+  const auto start = std::chrono::steady_clock::now();
+  const std::string res = get_path(endpoint.port(), "/fast");
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+  EXPECT_NE(res.find("served /fast"), std::string::npos);
+  EXPECT_LT(elapsed.count(), 1000);
+  ::close(stalled);
 }
 
 TEST(ObsHandler, ServesMetricsHealthzAndTrace) {

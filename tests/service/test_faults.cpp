@@ -1,0 +1,142 @@
+#include "service/faults.hpp"
+
+#include "service/loopback.hpp"
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace incprof::service {
+namespace {
+
+std::string frame_bytes(FrameType type, std::uint32_t session) {
+  Frame f;
+  f.type = type;
+  f.session = session;
+  f.payload = "payload";
+  return encode_frame(f);
+}
+
+TEST(FaultPlan, FromSeedIsDeterministic) {
+  const auto a = FaultPlan::from_seed(42, 0.3, 64);
+  const auto b = FaultPlan::from_seed(42, 0.3, 64);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].frame_index, b.events[i].frame_index);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+  // A different seed must not reproduce the same schedule (with rate
+  // 0.3 over 64 frames, identical plans are astronomically unlikely).
+  const auto c = FaultPlan::from_seed(43, 0.3, 64);
+  bool differs = a.events.size() != c.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].frame_index != c.events[i].frame_index ||
+              a.events[i].kind != c.events[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, NeverFaultsTheHelloAndLimitsDisconnects) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto plan = FaultPlan::from_seed(seed, 0.8, 32);
+    EXPECT_EQ(plan.action_for(0), FaultKind::kNone) << "seed " << seed;
+    EXPECT_LE(plan.count(FaultKind::kDisconnect), 1u) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, ActionForReturnsScheduledKind) {
+  FaultPlan plan;
+  plan.events = {{3, FaultKind::kDrop}, {5, FaultKind::kCorrupt}};
+  EXPECT_EQ(plan.action_for(3), FaultKind::kDrop);
+  EXPECT_EQ(plan.action_for(5), FaultKind::kCorrupt);
+  EXPECT_EQ(plan.action_for(4), FaultKind::kNone);
+  EXPECT_EQ(plan.count(FaultKind::kDrop), 1u);
+  EXPECT_EQ(plan.count(FaultKind::kDelay), 0u);
+}
+
+TEST(FaultInjection, DropReportsSuccessButPeerSeesNothing) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  FaultPlan plan;
+  plan.events = {{1, FaultKind::kDrop}};
+  FaultInjectingConnection conn(hub.connect(), plan);
+  auto peer = listener->accept();
+
+  EXPECT_TRUE(conn.send(frame_bytes(FrameType::kHello, 0)));
+  EXPECT_TRUE(conn.send(frame_bytes(FrameType::kSnapshot, 1)));  // dropped
+  EXPECT_TRUE(conn.send(frame_bytes(FrameType::kBye, 1)));
+  conn.close();
+
+  EXPECT_EQ(decode_frame(*peer->receive()).type, FrameType::kHello);
+  EXPECT_EQ(decode_frame(*peer->receive()).type, FrameType::kBye);
+  EXPECT_EQ(peer->receive(), std::nullopt);
+  EXPECT_EQ(conn.counters().dropped.load(), 1u);
+  EXPECT_EQ(conn.frames_sent(), 3u);
+}
+
+TEST(FaultInjection, CorruptDeliversARejectableFrame) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  FaultPlan plan;
+  plan.events = {{0, FaultKind::kCorrupt}};
+  FaultInjectingConnection conn(hub.connect(), plan);
+  auto peer = listener->accept();
+
+  EXPECT_TRUE(conn.send(frame_bytes(FrameType::kSnapshot, 7)));
+  const auto bytes = peer->receive();
+  ASSERT_TRUE(bytes.has_value());
+  // Magic and length survive (the frame is still delimited)...
+  EXPECT_EQ(frame_payload_length(*bytes), 7u);
+  // ...but the type field is destroyed, so decoding rejects it.
+  EXPECT_THROW(decode_frame(*bytes), std::runtime_error);
+  EXPECT_EQ(conn.counters().corrupted.load(), 1u);
+}
+
+TEST(FaultInjection, TruncateShortensTheFrame) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  FaultPlan plan;
+  plan.events = {{0, FaultKind::kTruncate}};
+  FaultInjectingConnection conn(hub.connect(), plan);
+  auto peer = listener->accept();
+
+  const std::string full = frame_bytes(FrameType::kSnapshot, 2);
+  EXPECT_TRUE(conn.send(full));
+  const auto bytes = peer->receive();
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_LT(bytes->size(), full.size());
+  EXPECT_GT(bytes->size(), 0u);
+  EXPECT_EQ(conn.counters().truncated.load(), 1u);
+}
+
+TEST(FaultInjection, DisconnectFailsAllLaterSends) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  FaultPlan plan;
+  plan.events = {{1, FaultKind::kDisconnect}};
+  FaultInjectingConnection conn(hub.connect(), plan);
+  auto peer = listener->accept();
+
+  EXPECT_TRUE(conn.send(frame_bytes(FrameType::kHello, 0)));
+  EXPECT_FALSE(conn.send(frame_bytes(FrameType::kSnapshot, 1)));
+  EXPECT_FALSE(conn.send(frame_bytes(FrameType::kSnapshot, 1)));
+  EXPECT_EQ(decode_frame(*peer->receive()).type, FrameType::kHello);
+  EXPECT_EQ(peer->receive(), std::nullopt);  // inner connection closed
+  EXPECT_EQ(conn.counters().disconnects.load(), 1u);
+}
+
+TEST(FaultInjection, CleanPlanPassesEverythingThrough) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  FaultInjectingConnection conn(hub.connect(), FaultPlan{});
+  auto peer = listener->accept();
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(conn.send(frame_bytes(FrameType::kSnapshot, i)));
+  }
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(decode_frame(*peer->receive()).session, i);
+  }
+  EXPECT_EQ(conn.counters().total(), 0u);
+}
+
+}  // namespace
+}  // namespace incprof::service

@@ -97,6 +97,51 @@ TEST(Protocol, HelloAckRoundTrip) {
   EXPECT_EQ(decode_hello_ack(encode_hello_ack(p)), p);
 }
 
+TEST(Protocol, HelloResumeFieldsRoundTrip) {
+  HelloPayload p;
+  p.client_name = "reconnecting-client";
+  p.interval_ns = 500'000'000;
+  p.subscribe_events = true;
+  p.resume_session_id = 42;
+  const HelloPayload back = decode_hello(encode_hello(p));
+  EXPECT_EQ(back, p);
+  EXPECT_EQ(back.resume_session_id, 42u);
+
+  HelloAckPayload ack;
+  ack.session_id = 42;
+  ack.resume_next_interval = 137;
+  const HelloAckPayload ack_back = decode_hello_ack(encode_hello_ack(ack));
+  EXPECT_EQ(ack_back, ack);
+  EXPECT_EQ(ack_back.resume_next_interval, 137u);
+}
+
+TEST(Protocol, ProtocolErrorRoundTrip) {
+  ProtocolErrorPayload p;
+  p.code = ProtocolErrorCode::kQuarantined;
+  p.errors = 5;
+  p.budget = 4;
+  p.message = "too many malformed frames";
+  EXPECT_EQ(decode_protocol_error(encode_protocol_error(p)), p);
+
+  const std::string frame_bytes = make_protocol_error_frame(7, p);
+  const Frame f = decode_frame(frame_bytes);
+  EXPECT_EQ(f.type, FrameType::kProtocolError);
+  EXPECT_EQ(f.session, 7u);
+  EXPECT_EQ(decode_protocol_error(f.payload), p);
+
+  // Unknown error codes are rejected, not misinterpreted.
+  std::string bad = encode_protocol_error(p);
+  bad[0] = 99;
+  EXPECT_THROW(decode_protocol_error(bad), std::runtime_error);
+
+  // Truncations at every byte boundary throw.
+  const std::string bytes = encode_protocol_error(p);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_protocol_error(bytes.substr(0, cut)),
+                 std::runtime_error);
+  }
+}
+
 TEST(Protocol, SnapshotPayloadIsTheGmonBinaryFormat) {
   const auto snap = sample_snapshot();
   const std::string frame_bytes = make_snapshot_frame(5, snap);

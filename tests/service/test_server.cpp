@@ -262,12 +262,21 @@ TEST(Server, RejectsConnectionsThatDoNotStartWithHello) {
 
   auto conn = hub.connect();
   ASSERT_TRUE(conn->send(make_bye_frame(0)));  // not a hello
-  EXPECT_EQ(conn->receive(), std::nullopt);    // server hung up
+  // The server explains itself with a typed error frame, then hangs up.
+  const auto reply = conn->receive();
+  ASSERT_TRUE(reply.has_value());
+  const Frame frame = decode_frame(*reply);
+  EXPECT_EQ(frame.type, FrameType::kProtocolError);
+  const ProtocolErrorPayload err = decode_protocol_error(frame.payload);
+  EXPECT_EQ(err.code, ProtocolErrorCode::kUnexpectedFrame);
+  EXPECT_EQ(err.budget, 0u);  // no budget before the hello
+  EXPECT_EQ(conn->receive(), std::nullopt);  // server hung up
   ASSERT_TRUE(wait_for([&] {
     return server.metrics().counter_value("protocol_errors") > 0;
   }));
   server.stop();
   EXPECT_EQ(server.metrics().counter_value("sessions_opened"), 0u);
+  EXPECT_EQ(server.metrics().counter_value("frames_rejected"), 1u);
 }
 
 TEST(Server, StopDrainsEverythingAlreadyQueued) {

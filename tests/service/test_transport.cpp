@@ -63,6 +63,48 @@ TEST(FrameBuffer, ThrowsOnDesynchronizedStream) {
   EXPECT_THROW(buf.next_frame(), std::runtime_error);
 }
 
+TEST(FrameBuffer, GoodFramesBeforeGarbageAreStillExtracted) {
+  // A stream that desynchronizes after two valid frames: both must come
+  // out before the buffer reports the corruption.
+  const std::string a = frame_bytes(FrameType::kHello, 0, "hi");
+  const std::string b = frame_bytes(FrameType::kSnapshot, 1, "snap");
+  FrameBuffer buf;
+  buf.append(a + b + "garbage that is long enough to parse");
+  EXPECT_EQ(buf.next_frame(), a);
+  EXPECT_EQ(buf.next_frame(), b);
+  EXPECT_THROW(buf.next_frame(), std::runtime_error);
+}
+
+TEST(FrameBuffer, ThrowsOnOversizedDeclaredLength) {
+  // An intact magic with an absurd declared payload length must be
+  // rejected at the header, not answered with a giant allocation.
+  std::string wire = frame_bytes(FrameType::kSnapshot, 2, "x");
+  wire[12] = '\xff';
+  wire[13] = '\xff';
+  wire[14] = '\xff';
+  wire[15] = '\x7f';
+  FrameBuffer buf;
+  buf.append(wire);
+  EXPECT_THROW(buf.next_frame(), std::runtime_error);
+}
+
+TEST(FrameBuffer, CorruptTypeFieldStaysDelimited) {
+  // A frame whose type bytes are destroyed is still length-delimited:
+  // the buffer hands it out whole (so the server can reject just that
+  // frame) and the next frame is unaffected.
+  std::string bad = frame_bytes(FrameType::kSnapshot, 3, "payload");
+  bad[6] = '\xff';
+  bad[7] = '\xff';
+  const std::string good = frame_bytes(FrameType::kBye, 3, "");
+  FrameBuffer buf;
+  buf.append(bad + good);
+  const auto first = buf.next_frame();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, bad);
+  EXPECT_THROW(decode_frame(*first), std::runtime_error);
+  EXPECT_EQ(buf.next_frame(), good);
+}
+
 TEST(FrameBuffer, SurvivesManyFramesWithoutUnboundedGrowth) {
   // The compaction path: pump thousands of frames through one buffer.
   const std::string f = frame_bytes(FrameType::kHeartbeatBatch, 9,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace incprof::util {
 namespace {
 
@@ -100,6 +103,35 @@ TEST(ParseU64, AcceptsValidRejectsJunk) {
   EXPECT_FALSE(parse_u64("3.5", keep));
   EXPECT_FALSE(parse_u64("99999999999999999999999", keep));  // overflow
   EXPECT_EQ(keep, 99u);
+}
+
+TEST(ParseInt, AcceptsValidRejectsJunk) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("12345", 0, 100000, v));
+  EXPECT_EQ(v, 12345);
+  EXPECT_TRUE(parse_int("-42", -100, 100, v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(parse_int(" 7 ", 0, 10, v));  // surrounding whitespace ok
+  EXPECT_EQ(v, 7);
+
+  std::int64_t keep = 99;
+  EXPECT_FALSE(parse_int("", 0, 10, keep));
+  EXPECT_FALSE(parse_int("abc", 0, 10, keep));
+  EXPECT_FALSE(parse_int("3.5", 0, 10, keep));   // trailing junk
+  EXPECT_FALSE(parse_int("12x", 0, 100, keep));  // partial consumption
+  EXPECT_FALSE(parse_int("99999999999999999999999", 0,
+                         std::numeric_limits<std::int64_t>::max(),
+                         keep));  // overflow
+  EXPECT_EQ(keep, 99);
+}
+
+TEST(ParseInt, EnforcesTheInclusiveRange) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("1", 1, 65535, v));
+  EXPECT_TRUE(parse_int("65535", 1, 65535, v));
+  EXPECT_FALSE(parse_int("0", 1, 65535, v));      // below lo
+  EXPECT_FALSE(parse_int("65536", 1, 65535, v));  // above hi
+  EXPECT_FALSE(parse_int("-1", 0, 10, v));
 }
 
 TEST(FormatFixed, RoundsToPrecision) {

@@ -101,7 +101,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--threshold") == 0 && i + 1 < argc) {
       cfg.selector.coverage_threshold = std::atof(argv[++i]);
     } else if (std::strcmp(arg, "--kmax") == 0 && i + 1 < argc) {
-      cfg.detector.k_max = static_cast<std::size_t>(std::atoi(argv[++i]));
+      std::int64_t kmax = 0;
+      if (!util::parse_int(argv[++i], 1, 1024, kmax)) {
+        std::fprintf(stderr,
+                     "--kmax: invalid value '%s' (expected integer in "
+                     "[1, 1024])\n",
+                     argv[i]);
+        return 2;
+      }
+      cfg.detector.k_max = static_cast<std::size_t>(kmax);
     } else if (std::strcmp(arg, "--lift") == 0 && i + 1 < argc) {
       lift_path = argv[++i];
     } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {

@@ -7,16 +7,21 @@
 //   incprof_client <dump_dir> [options]
 //
 // Options:
-//   --host <h>      daemon host (default 127.0.0.1)
-//   --port <n>      daemon port (default 7077)
-//   --sessions <n>  concurrent replay sessions (default 1)
-//   --name <s>      client name prefix in the hello (default dump dir)
-//   --no-events     do not subscribe to phase-event pushes
-//   --quiet         suppress the per-event log lines
+//   --host <h>        daemon host (default 127.0.0.1)
+//   --port <n>        daemon port (default 7077)
+//   --sessions <n>    concurrent replay sessions (default 1)
+//   --name <s>        client name prefix in the hello (default dump dir)
+//   --retries <n>     connection attempts per session (default 1 = no
+//                     retry); with more, a lost connection reconnects
+//                     with exponential backoff and resumes the session
+//   --backoff-ms <n>  initial reconnect backoff (default 20)
+//   --no-events       do not subscribe to phase-event pushes
+//   --quiet           suppress the per-event log lines
 
 #include "service/replay.hpp"
 #include "service/tcp.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,9 +37,26 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--host h] [--port n] [--sessions n] "
-               "[--name s] [--no-events] [--quiet] [--verbose]\n",
+               "[--name s] [--retries n] [--backoff-ms n] [--no-events] "
+               "[--quiet] [--verbose]\n",
                argv0);
   return 2;
+}
+
+/// Parses an integer flag value or exits 2 with a message naming the
+/// flag, the offending value, and the accepted range.
+std::int64_t flag_int(const char* flag, const char* value,
+                      std::int64_t lo, std::int64_t hi) {
+  std::int64_t out = 0;
+  if (!util::parse_int(value, lo, hi, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (expected integer in [%lld, "
+                 "%lld])\n",
+                 flag, value, static_cast<long long>(lo),
+                 static_cast<long long>(hi));
+    std::exit(2);
+  }
+  return out;
 }
 
 }  // namespace
@@ -46,6 +68,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 7077;
   std::size_t sessions = 1;
   std::string name = dump_dir;
+  std::size_t retries = 1;
+  std::chrono::milliseconds backoff{20};
   bool subscribe = true;
   bool quiet = false;
   util::set_log_level(util::LogLevel::kInfo);
@@ -61,9 +85,17 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--host") == 0) {
       host = need("--host");
     } else if (std::strcmp(argv[i], "--port") == 0) {
-      port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+      port = static_cast<std::uint16_t>(
+          flag_int("--port", need("--port"), 1, 65535));
     } else if (std::strcmp(argv[i], "--sessions") == 0) {
-      sessions = static_cast<std::size_t>(std::atoll(need("--sessions")));
+      sessions = static_cast<std::size_t>(
+          flag_int("--sessions", need("--sessions"), 1, 4096));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      retries = static_cast<std::size_t>(
+          flag_int("--retries", need("--retries"), 1, 1000));
+    } else if (std::strcmp(argv[i], "--backoff-ms") == 0) {
+      backoff = std::chrono::milliseconds(
+          flag_int("--backoff-ms", need("--backoff-ms"), 1, 60000));
     } else if (std::strcmp(argv[i], "--name") == 0) {
       name = need("--name");
     } else if (std::strcmp(argv[i], "--no-events") == 0) {
@@ -78,11 +110,6 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (sessions == 0) {
-    std::fprintf(stderr, "--sessions must be > 0\n");
-    return usage(argv[0]);
-  }
-
   try {
     const auto snapshots = service::load_replay_dumps(dump_dir);
     if (snapshots.empty()) {
@@ -103,8 +130,18 @@ int main(int argc, char** argv) {
         opts.subscribe_events = subscribe;
         opts.query_status = true;
         try {
-          auto conn = service::tcp_connect(host, port);
-          results[i] = service::replay_session(*conn, snapshots, opts);
+          if (retries > 1) {
+            service::RetryPolicy policy;
+            policy.max_attempts = retries;
+            policy.initial_backoff = backoff;
+            policy.seed = 0x5eed5eedULL + i;
+            results[i] = service::replay_session_resilient(
+                [&] { return service::tcp_connect(host, port); },
+                snapshots, opts, policy);
+          } else {
+            auto conn = service::tcp_connect(host, port);
+            results[i] = service::replay_session(*conn, snapshots, opts);
+          }
         } catch (const std::exception& e) {
           results[i].error = e.what();
         }
@@ -121,8 +158,12 @@ int main(int argc, char** argv) {
                         r.error);
         continue;
       }
-      std::printf("session %u: %zu snapshots sent, %zu phase events\n",
+      std::printf("session %u: %zu snapshots sent, %zu phase events",
                   r.session_id, r.snapshots_sent, r.events.size());
+      if (r.reconnects > 0) {
+        std::printf(" (%zu reconnects)", r.reconnects);
+      }
+      std::printf("\n");
       if (!quiet) {
         for (const auto& ev : r.events) {
           if (ev.new_phase) {

@@ -13,6 +13,12 @@
 //                                          on an ephemeral port, replay
 //                                          <dump_dir> over real sockets
 //                                          as N local sessions, report
+//   incprofd --selftest-chaos <dump_dir>   same, but half the sessions
+//                                          send through a seeded
+//                                          fault-injecting transport
+//                                          (drops, corruption, truncation,
+//                                          disconnects); asserts the
+//                                          clean half is undisturbed
 //
 // Options:
 //   --port <n>           TCP port (default 7077; 0 = ephemeral)
@@ -20,21 +26,32 @@
 //                        over HTTP on this port (0 = ephemeral)
 //   --workers <n>        tracker worker threads (default 4)
 //   --queue-capacity <n> per-session frame queue bound (default 256)
+//   --error-budget <n>   malformed frames tolerated per session before
+//                        quarantine (default 4)
+//   --resume-grace-ms <n>  keep abruptly-disconnected sessions resumable
+//                        for this long (default 0 = off)
+//   --idle-timeout-ms <n>  reap sessions silent for this long (0 = off)
+//   --read-timeout-ms <n>  per-connection receive deadline (0 = off)
 //   --report-every <s>   seconds between fleet reports (default 10)
 //   --max-seconds <s>    exit after this long (default: run until EOF
 //                        on stdin or SIGINT)
 //   --metrics-csv <path> write the metrics registry as CSV on exit
 //   --fleet-csv <path>   write the per-session fleet table on exit
 //   --sessions <n>       (selftest) parallel replay sessions, default 4
+//   --chaos-seed <n>     (selftest-chaos) fault schedule seed, default 1
+//   --chaos-rate <f>     (selftest-chaos) per-frame fault probability,
+//                        default 0.15
 //   --quiet              only errors on stderr
 //   --verbose            debug-level diagnostics on stderr
 
 #include "obs/http.hpp"
 #include "obs/trace.hpp"
+#include "service/faults.hpp"
 #include "service/replay.hpp"
 #include "service/server.hpp"
 #include "service/tcp.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -44,6 +61,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -60,12 +78,32 @@ void on_signal(int) { g_interrupted.store(true); }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port n] [--obs-port n] [--workers n] "
-               "[--queue-capacity n] [--report-every s] [--max-seconds s] "
+               "[--queue-capacity n] [--error-budget n] "
+               "[--resume-grace-ms n] [--idle-timeout-ms n] "
+               "[--read-timeout-ms n] [--report-every s] [--max-seconds s] "
                "[--metrics-csv path] [--fleet-csv path] [--quiet] "
                "[--verbose]\n"
-               "       %s --selftest <dump_dir> [--sessions n] [--workers n]\n",
-               argv0, argv0);
+               "       %s --selftest <dump_dir> [--sessions n] [--workers n]\n"
+               "       %s --selftest-chaos <dump_dir> [--sessions n] "
+               "[--chaos-seed n] [--chaos-rate f]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+/// Parses an integer flag value or exits 2 with a message naming the
+/// flag, the offending value, and the accepted range.
+std::int64_t flag_int(const char* flag, const char* value,
+                      std::int64_t lo, std::int64_t hi) {
+  std::int64_t out = 0;
+  if (!util::parse_int(value, lo, hi, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (expected integer in [%lld, "
+                 "%lld])\n",
+                 flag, value, static_cast<long long>(lo),
+                 static_cast<long long>(hi));
+    std::exit(2);
+  }
+  return out;
 }
 
 void write_csv_file(const std::string& path, const auto& writer) {
@@ -152,6 +190,109 @@ int run_selftest(const std::string& dump_dir, std::size_t sessions,
   return ok == sessions ? 0 : 1;
 }
 
+/// Chaos self check: N parallel replay sessions against a real TCP
+/// server, the odd-numbered half sending through a seeded
+/// FaultInjectingConnection on their first attempt (reconnects are
+/// clean, so every session eventually converges). Passes when every
+/// session completes and every clean session got a phase event per
+/// snapshot — injected faults must never disturb healthy neighbors.
+int run_selftest_chaos(const std::string& dump_dir, std::size_t sessions,
+                       int obs_port, service::ServerConfig cfg,
+                       std::uint64_t seed, double rate) {
+  const auto snapshots = service::load_replay_dumps(dump_dir);
+  if (snapshots.empty()) {
+    util::log_error("incprofd: no dumps in " + dump_dir);
+    return 1;
+  }
+  cfg.session.queue_capacity =
+      std::max(cfg.session.queue_capacity, snapshots.size() + 16);
+  // Chaos needs the fault-tolerance machinery on; keep explicit flags.
+  if (cfg.resume_grace.count() == 0) {
+    cfg.resume_grace = std::chrono::milliseconds(2000);
+  }
+  if (cfg.read_timeout.count() == 0) {
+    cfg.read_timeout = std::chrono::milliseconds(2000);
+  }
+
+  service::TcpListener listener(0);
+  service::Server server(listener, cfg);
+  server.start();
+  const auto obs_endpoint = start_obs_endpoint(obs_port, server);
+  std::printf("incprofd chaos selftest: port %u, %zu dumps, %zu sessions "
+              "(seed %llu, rate %.2f)\n",
+              listener.port(), snapshots.size(), sessions,
+              static_cast<unsigned long long>(seed), rate);
+
+  std::vector<service::ReplayResult> results(sessions);
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const bool faulty = (i % 2) == 1;
+    clients.emplace_back([&, i, faulty] {
+      service::ReplayOptions opts;
+      opts.client_name =
+          std::string(faulty ? "chaos-" : "clean-") + std::to_string(i);
+      opts.subscribe_events = !faulty;
+      opts.query_status = true;
+      service::RetryPolicy policy;
+      policy.max_attempts = 8;
+      policy.initial_backoff = std::chrono::milliseconds(10);
+      policy.seed = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      std::size_t attempts = 0;
+      results[i] = service::replay_session_resilient(
+          [&]() -> std::unique_ptr<service::Connection> {
+            auto conn = service::tcp_connect("127.0.0.1", listener.port());
+            if (faulty && attempts++ == 0) {
+              return std::make_unique<service::FaultInjectingConnection>(
+                  std::move(conn),
+                  service::FaultPlan::from_seed(seed + i, rate,
+                                                snapshots.size() + 8),
+                  std::chrono::milliseconds(2));
+            }
+            return conn;
+          },
+          snapshots, opts, policy);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  std::size_t ok = 0;
+  std::size_t clean_ok = 0;
+  const std::size_t clean_total = (sessions + 1) / 2;  // even indices
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const bool faulty = (i % 2) == 1;
+    const auto& r = results[i];
+    if (!r.ok) {
+      util::log_error("session " + std::to_string(i) + " failed: " +
+                      r.error);
+      continue;
+    }
+    ++ok;
+    if (!faulty) {
+      if (r.events.size() == snapshots.size()) {
+        ++clean_ok;
+      } else {
+        util::log_error("clean session " + std::to_string(i) + " got " +
+                        std::to_string(r.events.size()) + "/" +
+                        std::to_string(snapshots.size()) + " events");
+      }
+    }
+  }
+
+  const auto& m = server.metrics();
+  std::printf("%s", server.fleet().render().c_str());
+  std::printf(
+      "chaos: %zu/%zu sessions ok, clean %zu/%zu undisturbed, "
+      "%llu rejected, %llu quarantined, %llu reconnects\n",
+      ok, sessions, clean_ok, clean_total,
+      static_cast<unsigned long long>(m.counter_value("frames_rejected")),
+      static_cast<unsigned long long>(
+          m.counter_value("sessions_quarantined")),
+      static_cast<unsigned long long>(m.counter_value("reconnects")));
+  return (ok == sessions && clean_ok == clean_total) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,9 +301,12 @@ int main(int argc, char** argv) {
   double report_every = 10.0;
   double max_seconds = 0.0;
   std::size_t sessions = 4;
+  std::uint64_t chaos_seed = 1;
+  double chaos_rate = 0.15;
   std::string metrics_csv;
   std::string fleet_csv;
   std::string selftest_dir;
+  std::string chaos_dir;
   service::ServerConfig cfg;
   util::set_log_level(util::LogLevel::kInfo);
 
@@ -175,15 +319,29 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(argv[i], "--port") == 0) {
-      port = static_cast<std::uint16_t>(std::atoi(need("--port")));
+      port = static_cast<std::uint16_t>(
+          flag_int("--port", need("--port"), 0, 65535));
     } else if (std::strcmp(argv[i], "--obs-port") == 0) {
-      obs_port = std::atoi(need("--obs-port"));
+      obs_port = static_cast<int>(
+          flag_int("--obs-port", need("--obs-port"), 0, 65535));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
-      cfg.worker_threads =
-          static_cast<std::size_t>(std::atoll(need("--workers")));
+      cfg.worker_threads = static_cast<std::size_t>(
+          flag_int("--workers", need("--workers"), 1, 1024));
     } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
-      cfg.session.queue_capacity =
-          static_cast<std::size_t>(std::atoll(need("--queue-capacity")));
+      cfg.session.queue_capacity = static_cast<std::size_t>(flag_int(
+          "--queue-capacity", need("--queue-capacity"), 1, 1 << 24));
+    } else if (std::strcmp(argv[i], "--error-budget") == 0) {
+      cfg.protocol_error_budget = static_cast<std::uint32_t>(
+          flag_int("--error-budget", need("--error-budget"), 0, 1 << 20));
+    } else if (std::strcmp(argv[i], "--resume-grace-ms") == 0) {
+      cfg.resume_grace = std::chrono::milliseconds(flag_int(
+          "--resume-grace-ms", need("--resume-grace-ms"), 0, 86400000));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      cfg.idle_timeout = std::chrono::milliseconds(flag_int(
+          "--idle-timeout-ms", need("--idle-timeout-ms"), 0, 86400000));
+    } else if (std::strcmp(argv[i], "--read-timeout-ms") == 0) {
+      cfg.read_timeout = std::chrono::milliseconds(flag_int(
+          "--read-timeout-ms", need("--read-timeout-ms"), 0, 86400000));
     } else if (std::strcmp(argv[i], "--report-every") == 0) {
       report_every = std::atof(need("--report-every"));
     } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
@@ -194,8 +352,21 @@ int main(int argc, char** argv) {
       fleet_csv = need("--fleet-csv");
     } else if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest_dir = need("--selftest");
+    } else if (std::strcmp(argv[i], "--selftest-chaos") == 0) {
+      chaos_dir = need("--selftest-chaos");
     } else if (std::strcmp(argv[i], "--sessions") == 0) {
-      sessions = static_cast<std::size_t>(std::atoll(need("--sessions")));
+      sessions = static_cast<std::size_t>(
+          flag_int("--sessions", need("--sessions"), 1, 4096));
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      chaos_seed = static_cast<std::uint64_t>(flag_int(
+          "--chaos-seed", need("--chaos-seed"), 0,
+          std::numeric_limits<std::int64_t>::max()));
+    } else if (std::strcmp(argv[i], "--chaos-rate") == 0) {
+      chaos_rate = std::atof(need("--chaos-rate"));
+      if (chaos_rate < 0.0 || chaos_rate > 1.0) {
+        std::fprintf(stderr, "--chaos-rate must be in [0, 1]\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       util::set_log_level(util::LogLevel::kError);
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -205,17 +376,11 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (cfg.worker_threads == 0 || cfg.session.queue_capacity == 0 ||
-      sessions == 0) {
-    std::fprintf(stderr, "workers, queue-capacity and sessions must be > 0\n");
-    return usage(argv[0]);
-  }
-  if (obs_port > 65535) {
-    std::fprintf(stderr, "--obs-port must be a port number\n");
-    return usage(argv[0]);
-  }
-
   try {
+    if (!chaos_dir.empty()) {
+      return run_selftest_chaos(chaos_dir, sessions, obs_port, cfg,
+                                chaos_seed, chaos_rate);
+    }
     if (!selftest_dir.empty()) {
       return run_selftest(selftest_dir, sessions, obs_port, cfg);
     }
