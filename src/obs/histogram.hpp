@@ -81,6 +81,11 @@ class Histogram {
   static std::uint64_t bucket_upper(std::size_t index) noexcept;
 
  private:
+  // Concurrency: wait-free by construction — every field is an atomic
+  // bumped with relaxed RMWs and there is no cross-field invariant to
+  // protect (a snapshot may see a bucket increment whose matching
+  // count_/sum_ bump has not landed yet, which reporting tolerates).
+  // No mutex, nothing to annotate.
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};

@@ -117,28 +117,45 @@ void HttpEndpoint::stop() {
   if (stopped_.exchange(true)) return;
   ::shutdown(fd_, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
-  // Kick any client still mid-request, then wait for its handler
-  // thread to finish with the fd before we return.
-  std::unique_lock lock(clients_mu_);
-  for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
-  clients_cv_.wait(lock, [&] { return active_clients_ == 0; });
+  // Kick any client still mid-request, then join its worker. Once the
+  // accept thread has exited nobody adds to clients_, so moving the
+  // vector out and joining outside the lock cannot miss a worker.
+  std::vector<std::unique_ptr<ClientWorker>> workers;
+  {
+    util::MutexLock lock(clients_mu_);
+    for (const auto& w : clients_) ::shutdown(w->fd, SHUT_RDWR);
+    workers.swap(clients_);
+  }
+  for (auto& w : workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
 }
 
-bool HttpEndpoint::track_client(int client) {
-  std::lock_guard lock(clients_mu_);
+bool HttpEndpoint::spawn_client(int client) {
+  util::MutexLock lock(clients_mu_);
   if (stopped_.load(std::memory_order_relaxed)) return false;
-  client_fds_.push_back(client);
-  ++active_clients_;
+  // Join and discard workers that already finished, so the list stays
+  // bounded by in-flight requests rather than requests ever served.
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto worker = std::make_unique<ClientWorker>(client);
+  ClientWorker* w = worker.get();
+  // The worker object outlives the thread: it leaves clients_ only via
+  // a join() (here or in stop()), and `done` is flipped last.
+  w->thread = std::thread([this, w] {
+    handle_client(w->fd);
+    ::shutdown(w->fd, SHUT_RDWR);
+    ::close(w->fd);
+    w->done.store(true, std::memory_order_release);
+  });
+  clients_.push_back(std::move(worker));
   return true;
-}
-
-void HttpEndpoint::untrack_client(int client) {
-  std::lock_guard lock(clients_mu_);
-  client_fds_.erase(
-      std::remove(client_fds_.begin(), client_fds_.end(), client),
-      client_fds_.end());
-  --active_clients_;
-  clients_cv_.notify_all();
 }
 
 void HttpEndpoint::serve_loop() {
@@ -148,18 +165,12 @@ void HttpEndpoint::serve_loop() {
       if (errno == EINTR) continue;
       return;  // listener shut down
     }
-    if (!track_client(client)) {  // stop() already ran
+    // One tracked thread per request: a scraper stalled mid-headers
+    // blocks only its own thread, never the next /metrics scrape.
+    if (!spawn_client(client)) {  // stop() already ran
       ::close(client);
       return;
     }
-    // One detached thread per request: a scraper stalled mid-headers
-    // blocks only its own thread, never the next /metrics scrape.
-    std::thread([this, client] {
-      handle_client(client);
-      ::shutdown(client, SHUT_RDWR);
-      ::close(client);
-      untrack_client(client);
-    }).detach();
   }
 }
 

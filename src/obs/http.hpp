@@ -12,13 +12,13 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,10 +68,21 @@ class HttpEndpoint {
   void stop();
 
  private:
+  /// One in-flight request: its socket and the thread serving it. The
+  /// worker flips `done` when finished; the accept loop joins and
+  /// discards finished workers before spawning the next one, and stop()
+  /// joins whatever is left — no thread is ever detach()ed.
+  struct ClientWorker {
+    explicit ClientWorker(int fd_in) : fd(fd_in) {}
+    const int fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void serve_loop();
   void handle_client(int client);
-  bool track_client(int client);
-  void untrack_client(int client);
+  /// Registers + spawns a worker for `client`; false once stopped.
+  bool spawn_client(int client);
 
   int fd_ = -1;
   std::uint16_t port_ = 0;
@@ -81,10 +92,10 @@ class HttpEndpoint {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> timed_out_{0};
 
-  std::mutex clients_mu_;
-  std::condition_variable clients_cv_;
-  std::vector<int> client_fds_;  // in-flight connections
-  std::size_t active_clients_ = 0;
+  /// Leaf lock guarding the in-flight worker list.
+  util::Mutex clients_mu_;
+  std::vector<std::unique_ptr<ClientWorker>> clients_
+      INCPROF_GUARDED_BY(clients_mu_);
 
   std::thread thread_;
 };

@@ -47,7 +47,7 @@ std::string labeled_key(std::string_view name, Labels labels) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return find_or_create(counters_, name,
                         [] { return std::make_unique<Counter>(); });
 }
@@ -57,7 +57,7 @@ Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return find_or_create(gauges_, name,
                         [] { return std::make_unique<Gauge>(); });
 }
@@ -67,7 +67,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return find_or_create(histograms_, name,
                         [] { return std::make_unique<Histogram>(); });
 }
@@ -78,19 +78,19 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second->value();
 }
 
 std::vector<MetricSample> MetricsRegistry::samples() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size());
   for (const auto& [name, c] : counters_) {
@@ -105,7 +105,7 @@ std::vector<MetricSample> MetricsRegistry::samples() const {
 
 std::vector<std::pair<std::string, HistogramSnapshot>>
 MetricsRegistry::histogram_snapshots() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::pair<std::string, HistogramSnapshot>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -141,7 +141,7 @@ std::string MetricsRegistry::render_prometheus() const {
   };
 
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [key, c] : counters_) {
       family_of(key, "counter")
           .lines.push_back(key + " " + std::to_string(c->value()));

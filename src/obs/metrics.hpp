@@ -8,13 +8,13 @@
 #pragma once
 
 #include "obs/histogram.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -115,11 +115,16 @@ class MetricsRegistry {
   std::string render_prometheus() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // mu_ guards only the name→metric maps; the metrics themselves are
+  // atomics with stable addresses, so hot paths resolve once and bump
+  // without the lock. Leaf lock: nothing is acquired while held.
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      INCPROF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      INCPROF_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-      histograms_;
+      histograms_ INCPROF_GUARDED_BY(mu_);
 };
 
 /// Render a full metric key from a base name and labels.

@@ -48,12 +48,24 @@ void TraceBuffer::record(const char* name, const char* category,
   // Per-slot seqlock: mark writing, publish the fields, then stamp the
   // slot with its global index so a concurrent reader can tell a torn
   // slot (seq changed underneath it) from a settled one.
-  slot.seq.store(kWriting, std::memory_order_release);
-  slot.event.name = name;
-  slot.event.category = category;
-  slot.event.tid = thread_tag();
-  slot.event.start_ns = start_ns;
-  slot.event.duration_ns = duration_ns;
+  //
+  // The release *fence* (not a release store) is what makes the mark
+  // effective: it keeps the relaxed payload stores from becoming
+  // visible before the kWriting mark, so a reader that managed to load
+  // any of this writer's payload is guaranteed to observe seq !=
+  // `before` on its re-read and discard the copy. A release order on
+  // the kWriting store alone would order the *preceding* accesses, not
+  // the payload stores that follow it — the original form of this
+  // writer had exactly that bug.
+  slot.seq.store(kWriting, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.category.store(category, std::memory_order_relaxed);
+  slot.tid.store(thread_tag(), std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  // The release store pairs with the reader's acquire load of seq: a
+  // reader that sees index + 1 sees every payload store above.
   slot.seq.store(index + 1, std::memory_order_release);
 }
 
@@ -65,9 +77,19 @@ std::vector<SpanEvent> TraceBuffer::events() const {
   std::vector<Tagged> got;
   got.reserve(slots_.size());
   for (const Slot& slot : slots_) {
+    // Seqlock read side: acquire load of seq (pairs with the writer's
+    // final release store), relaxed payload loads, acquire fence, then
+    // a relaxed re-read of seq. If a writer touched the slot while we
+    // copied, the fence guarantees the re-read observes its kWriting
+    // mark (or a newer stamp) and the torn copy is discarded.
     const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
     if (before == 0 || before == kWriting) continue;
-    const SpanEvent copy = slot.event;
+    SpanEvent copy;
+    copy.name = slot.name.load(std::memory_order_relaxed);
+    copy.category = slot.category.load(std::memory_order_relaxed);
+    copy.tid = slot.tid.load(std::memory_order_relaxed);
+    copy.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    copy.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != before) continue;
     got.push_back({before, copy});

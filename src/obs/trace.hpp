@@ -67,7 +67,18 @@ class TraceBuffer {
   struct Slot {
     /// 0 = empty, ~0 = being written, otherwise 1 + global span index.
     std::atomic<std::uint64_t> seq{0};
-    SpanEvent event;
+    // Seqlock payload. Each field is individually atomic and accessed
+    // with relaxed order: a reader racing a writer may observe a torn
+    // *event* (mixed fields), but never a torn *load* or a C++ data
+    // race — tearing is detected and discarded via the seq re-read.
+    // Ordering comes from the fences in record()/events(), following
+    // Boehm's seqlock construction (HotPar'12), so the ring is clean
+    // under TSan with no suppressions.
+    std::atomic<const char*> name{""};
+    std::atomic<const char*> category{""};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
   };
 
   std::vector<Slot> slots_;

@@ -104,6 +104,12 @@ class FaultInjectingConnection : public Connection {
   }
 
  private:
+  // Concurrency: no mutex on purpose. All mutable state is atomic
+  // (send_index_, disconnected_, the counters), and the inner
+  // connection is only handed send()/close() calls its own class
+  // already allows concurrently — so the decorator adds no locking of
+  // its own and cannot introduce an ordering that the undecorated
+  // connection would not have had.
   std::unique_ptr<Connection> inner_;
   const FaultPlan plan_;
   const std::chrono::milliseconds delay_;

@@ -22,21 +22,21 @@ FleetSessionInfo& FleetAggregator::row(std::uint32_t id) {
 
 void FleetAggregator::session_opened(std::uint32_t id,
                                      std::string client_name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto& s = row(id);
   s.client_name = std::move(client_name);
   s.closed = false;
 }
 
 void FleetAggregator::session_closed(std::uint32_t id) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   row(id).closed = true;
 }
 
 void FleetAggregator::record_observation(std::uint32_t id,
                                          const core::OnlineObservation& obs,
                                          std::size_t total_phases) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto& s = row(id);
   ++s.intervals;
   s.phases = total_phases;
@@ -51,28 +51,28 @@ void FleetAggregator::record_observation(std::uint32_t id,
 }
 
 void FleetAggregator::record_heartbeats(std::uint32_t id, std::uint64_t n) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   row(id).heartbeat_records += n;
 }
 
 void FleetAggregator::record_drops(std::uint32_t id,
                                    std::uint64_t dropped_total) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   row(id).dropped_frames = dropped_total;
 }
 
 std::vector<FleetSessionInfo> FleetAggregator::sessions() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return sessions_;
 }
 
 std::vector<FleetTransition> FleetAggregator::transition_log() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return {log_.begin(), log_.end()};
 }
 
 std::vector<std::size_t> FleetAggregator::phase_count_histogram() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::size_t> hist;
   for (const auto& s : sessions_) {
     if (s.phases >= hist.size()) hist.resize(s.phases + 1, 0);
@@ -82,26 +82,26 @@ std::vector<std::size_t> FleetAggregator::phase_count_histogram() const {
 }
 
 std::size_t FleetAggregator::open_sessions() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<std::size_t>(
       std::count_if(sessions_.begin(), sessions_.end(),
                     [](const FleetSessionInfo& s) { return !s.closed; }));
 }
 
 std::size_t FleetAggregator::total_intervals() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const auto& s : sessions_) total += s.intervals;
   return total;
 }
 
 std::uint64_t FleetAggregator::total_transitions() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return total_transitions_;
 }
 
 std::string FleetAggregator::render() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream os;
   os << "fleet: " << sessions_.size() << " sessions ("
      << std::count_if(sessions_.begin(), sessions_.end(),

@@ -7,10 +7,10 @@
 #pragma once
 
 #include "core/online.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -83,13 +83,15 @@ class FleetAggregator {
   void write_csv(std::ostream& os) const;
 
  private:
-  FleetSessionInfo& row(std::uint32_t id);
+  FleetSessionInfo& row(std::uint32_t id) INCPROF_REQUIRES(mu_);
 
   const std::size_t log_capacity_;
-  mutable std::mutex mu_;
-  std::vector<FleetSessionInfo> sessions_;  // ordered by id
-  std::deque<FleetTransition> log_;
-  std::uint64_t total_transitions_ = 0;
+  // mu_ is a leaf lock: nothing else is acquired while it is held.
+  mutable util::Mutex mu_;
+  std::vector<FleetSessionInfo> sessions_
+      INCPROF_GUARDED_BY(mu_);  // ordered by id
+  std::deque<FleetTransition> log_ INCPROF_GUARDED_BY(mu_);
+  std::uint64_t total_transitions_ INCPROF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace incprof::service

@@ -1,8 +1,8 @@
 #include "service/loopback.hpp"
 
-#include <condition_variable>
+#include "util/thread_annotations.hpp"
+
 #include <deque>
-#include <mutex>
 #include <string>
 
 namespace incprof::service {
@@ -16,9 +16,8 @@ class FrameQueue {
   explicit FrameQueue(std::size_t capacity) : capacity_(capacity) {}
 
   bool push(std::string frame) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || frames_.size() < capacity_; });
+    util::MutexLock lock(mu_);
+    while (!closed_ && frames_.size() >= capacity_) not_full_.wait(mu_);
     if (closed_) return false;
     frames_.push_back(std::move(frame));
     not_empty_.notify_one();
@@ -26,8 +25,8 @@ class FrameQueue {
   }
 
   std::optional<std::string> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+    util::MutexLock lock(mu_);
+    while (!closed_ && frames_.empty()) not_empty_.wait(mu_);
     if (frames_.empty()) return std::nullopt;
     std::string frame = std::move(frames_.front());
     frames_.pop_front();
@@ -36,7 +35,7 @@ class FrameQueue {
   }
 
   void close() {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -44,11 +43,11 @@ class FrameQueue {
 
  private:
   const std::size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::string> frames_;
-  bool closed_ = false;
+  util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<std::string> frames_ INCPROF_GUARDED_BY(mu_);
+  bool closed_ INCPROF_GUARDED_BY(mu_) = false;
 };
 
 class LoopbackConnection : public Connection {
@@ -87,14 +86,15 @@ struct HubState {
   explicit HubState(std::size_t capacity) : queue_capacity(capacity) {}
 
   const std::size_t queue_capacity;
-  std::mutex mu;
-  std::condition_variable pending_cv;
-  std::deque<std::unique_ptr<Connection>> pending;
-  std::size_t next_id = 0;
-  bool closed = false;
+  util::Mutex mu;
+  util::CondVar pending_cv;
+  std::deque<std::unique_ptr<Connection>> pending
+      INCPROF_GUARDED_BY(mu);
+  std::size_t next_id INCPROF_GUARDED_BY(mu) = 0;
+  bool closed INCPROF_GUARDED_BY(mu) = false;
 
   std::unique_ptr<Connection> connect() {
-    std::unique_lock lock(mu);
+    util::MutexLock lock(mu);
     if (closed) return nullptr;
     const std::size_t id = next_id++;
     auto client_to_server = std::make_shared<FrameQueue>(queue_capacity);
@@ -109,8 +109,8 @@ struct HubState {
   }
 
   std::unique_ptr<Connection> accept() {
-    std::unique_lock lock(mu);
-    pending_cv.wait(lock, [&] { return closed || !pending.empty(); });
+    util::MutexLock lock(mu);
+    while (!closed && pending.empty()) pending_cv.wait(mu);
     if (pending.empty()) return nullptr;
     auto conn = std::move(pending.front());
     pending.pop_front();
@@ -118,7 +118,7 @@ struct HubState {
   }
 
   void shutdown() {
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     closed = true;
     // Unaccepted peers: closing them makes the matching client ends
     // see EOF instead of hanging forever.

@@ -39,7 +39,7 @@ void Server::stop() {
   listener_.shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard lock(reaper_mu_);
+    util::MutexLock lock(reaper_mu_);
     reaper_stop_ = true;
     reaper_cv_.notify_all();
   }
@@ -50,7 +50,7 @@ void Server::stop() {
   // resume grace: readers see expired and end their sessions outright.
   std::vector<std::shared_ptr<Handler>> handlers;
   {
-    std::lock_guard lock(handlers_mu_);
+    util::MutexLock lock(handlers_mu_);
     handlers = handlers_;
   }
   for (const auto& h : handlers) {
@@ -62,13 +62,16 @@ void Server::stop() {
   }
 
   // A session detached before shutdown has no reader left to end it;
-  // synthesize its bye here so the drain below closes it too.
+  // synthesize its bye here so the drain below closes it too. The
+  // claim (reattach after seeing detached) stays under handlers_mu_ so
+  // it cannot race the reaper's own claim.
   for (const auto& h : handlers) {
     bool claim = false;
     {
-      std::lock_guard lock(handlers_mu_);
-      if (h->session && h->session->detached()) {
-        h->session->reattach();
+      util::MutexLock lock(handlers_mu_);
+      const auto session = h->session();
+      if (session && session->detached()) {
+        session->reattach();
         claim = true;
       }
     }
@@ -78,9 +81,10 @@ void Server::stop() {
   // Everything enqueued is final; drain it before releasing the pool so
   // post-stop inspection sees complete per-session streams.
   {
-    std::unique_lock lock(ready_mu_);
-    idle_cv_.wait(lock,
-                  [&] { return ready_.empty() && busy_workers_ == 0; });
+    util::MutexLock lock(ready_mu_);
+    while (!(ready_.empty() && busy_workers_ == 0)) {
+      idle_cv_.wait(ready_mu_);
+    }
     stopping_workers_ = true;
     ready_cv_.notify_all();
   }
@@ -101,7 +105,7 @@ void Server::accept_loop() {
                                     std::memory_order_relaxed);
     // Register and spawn under the same lock so stop() never sees a
     // handler whose reader thread is still being constructed.
-    std::lock_guard lock(handlers_mu_);
+    util::MutexLock lock(handlers_mu_);
     handlers_.push_back(handler);
     handler->reader =
         std::thread([this, handler] { reader_loop(handler); });
@@ -113,6 +117,9 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
   // resume rebinds *other* handlers (whose readers already exited) to
   // the resuming connection, never a live reader's own.
   const std::shared_ptr<Connection> conn = handler->connection();
+  // The reader is the only thread that binds this handler's session;
+  // the local copy avoids re-taking the handler lock per frame.
+  std::shared_ptr<Session> session;
   bool saw_bye = false;
   for (;;) {
     std::optional<std::string> bytes;
@@ -144,7 +151,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
       continue;
     }
 
-    if (!handler->session) {
+    if (!session) {
       if (frame.type != FrameType::kHello) {
         // Unauthenticated peers get no budget: typed error, then out.
         reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
@@ -161,17 +168,15 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
       }
       if (hello.resume_session_id != 0) {
         if (!resume_session(handler, hello)) break;
+        session = handler->session();
         continue;
       }
       const std::uint32_t id = next_session_id_.fetch_add(1);
-      auto session = std::make_shared<Session>(id, cfg_.session);
+      session = std::make_shared<Session>(id, cfg_.session);
       session->open(hello.client_name,
                     hello.subscribe_events && cfg_.send_phase_events,
                     hello.interval_ns);
-      {
-        std::lock_guard lock(handlers_mu_);
-        handler->session = session;
-      }
+      handler->bind_session(session);
       fleet_.session_opened(id, hello.client_name);
       metrics_.counter("sessions_opened").add();
       metrics_.gauge("active_sessions").add(1);
@@ -194,13 +199,11 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
     Session::EnqueueResult result;
     {
       obs::ScopedSpan span("frame.enqueue", "service", &enqueue_hist_);
-      result =
-          handler->session->enqueue(std::move(frame), /*force=*/is_bye);
+      result = session->enqueue(std::move(frame), /*force=*/is_bye);
     }
     if (result == Session::EnqueueResult::kDropped) {
       metrics_.counter("frames_dropped").add();
-      fleet_.record_drops(handler->session->id(),
-                          handler->session->dropped_frames());
+      fleet_.record_drops(session->id(), session->dropped_frames());
     } else if (result == Session::EnqueueResult::kScheduled) {
       schedule(handler);
     }
@@ -210,7 +213,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
     }
   }
 
-  if (handler->session && !saw_bye) end_abandoned_session(handler);
+  if (session && !saw_bye) end_abandoned_session(handler);
   // Without a bye there is nothing left to deliver, so close this
   // reader's own connection: after an EOF or error that is a no-op, but
   // after a read-deadline lapse (or a bye the network swallowed) the
@@ -225,7 +228,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
 
 void Server::end_abandoned_session(
     const std::shared_ptr<Handler>& handler) {
-  const auto session = handler->session;
+  const auto session = handler->session();
   if (session->closed()) return;
   if (cfg_.resume_grace.count() > 0 &&
       !handler->expired.load(std::memory_order_relaxed)) {
@@ -252,7 +255,7 @@ bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
   metrics_.counter("frames_rejected").add();
   metrics_.counter("protocol_errors").add();
   const auto conn = handler->connection();
-  const auto session = handler->session;
+  const auto session = handler->session();
   std::uint32_t errors = 0;
   std::uint32_t budget = cfg_.protocol_error_budget;
   std::uint32_t session_id = 0;
@@ -296,11 +299,14 @@ bool Server::resume_session(const std::shared_ptr<Handler>& handler,
   std::shared_ptr<Session> session;
   std::vector<std::shared_ptr<Handler>> stale;
   {
-    std::lock_guard lock(handlers_mu_);
+    util::MutexLock lock(handlers_mu_);
     for (const auto& h : handlers_) {
-      if (h.get() == handler.get() || !h->session) continue;
-      if (h->session->id() != hello.resume_session_id) continue;
-      session = h->session;
+      if (h.get() == handler.get()) continue;
+      const auto candidate = h->session();
+      if (!candidate || candidate->id() != hello.resume_session_id) {
+        continue;
+      }
+      session = candidate;
       stale.push_back(h);
     }
     // The detached flag is only flipped under handlers_mu_, so the
@@ -330,10 +336,7 @@ bool Server::resume_session(const std::shared_ptr<Handler>& handler,
   // a queued worker round pushing phase events through an old handler
   // must not write into the dead socket.
   for (const auto& h : stale) h->rebind(conn);
-  {
-    std::lock_guard lock(handlers_mu_);
-    handler->session = session;
-  }
+  handler->bind_session(session);
   session->open(hello.client_name,
                 hello.subscribe_events && cfg_.send_phase_events,
                 hello.interval_ns);
@@ -353,10 +356,11 @@ void Server::reaper_loop() {
       static_cast<std::uint64_t>(cfg_.resume_grace.count()) * 1000000ull;
   const auto idle_ns =
       static_cast<std::uint64_t>(cfg_.idle_timeout.count()) * 1000000ull;
-  std::unique_lock lock(reaper_mu_);
+  util::MutexLock lock(reaper_mu_);
   while (!reaper_stop_) {
-    reaper_cv_.wait_for(lock, std::chrono::milliseconds(50),
-                        [&] { return reaper_stop_; });
+    // Plain timed wait (no predicate): a spurious wakeup only makes the
+    // cheap scan below run early, and stop() is re-checked every pass.
+    reaper_cv_.wait_for(reaper_mu_, std::chrono::milliseconds(50));
     if (reaper_stop_) break;
     lock.unlock();
 
@@ -364,12 +368,13 @@ void Server::reaper_loop() {
     std::vector<std::shared_ptr<Handler>> lapsed;  // grace expired
     std::vector<std::shared_ptr<Handler>> idle;    // attached but silent
     {
-      std::lock_guard handlers_lock(handlers_mu_);
+      util::MutexLock handlers_lock(handlers_mu_);
       for (const auto& h : handlers_) {
-        if (h->session && h->session->detached()) {
+        const auto session = h->session();
+        if (session && session->detached()) {
           if (grace_ns > 0 &&
-              now - h->session->detached_since_ns() > grace_ns) {
-            h->session->reattach();  // claimed; no resume can win now
+              now - session->detached_since_ns() > grace_ns) {
+            session->reattach();  // claimed; no resume can win now
             lapsed.push_back(h);
           }
           continue;
@@ -377,7 +382,7 @@ void Server::reaper_loop() {
         if (idle_ns == 0 || h->retired.load(std::memory_order_acquire)) {
           continue;
         }
-        if (h->session && h->session->closed()) continue;
+        if (session && session->closed()) continue;
         if (now - h->last_activity_ns.load(std::memory_order_relaxed) >
             idle_ns) {
           idle.push_back(h);
@@ -399,7 +404,7 @@ void Server::reaper_loop() {
     for (const auto& h : idle) {
       obs::ScopedSpan span("session.reap", "service");
       h->expired.store(true, std::memory_order_relaxed);
-      if (h->session) {
+      if (h->session()) {
         metrics_.counter("sessions_reaped", {{"cause", "idle"}}).add();
       }
       log_disconnect(h, "idle", "no traffic within idle timeout");
@@ -417,8 +422,8 @@ void Server::log_disconnect(const std::shared_ptr<Handler>& handler,
   metrics_.counter("disconnects", {{"cause", cause}}).add();
   std::string msg = "incprofd: connection ";
   msg += handler->connection()->description();
-  if (handler->session) {
-    msg += " (session " + std::to_string(handler->session->id()) + ")";
+  if (const auto session = handler->session()) {
+    msg += " (session " + std::to_string(session->id()) + ")";
   }
   msg += " disconnected, cause=";
   msg += cause;
@@ -428,7 +433,7 @@ void Server::log_disconnect(const std::shared_ptr<Handler>& handler,
 }
 
 void Server::schedule(const std::shared_ptr<Handler>& handler) {
-  std::lock_guard lock(ready_mu_);
+  util::MutexLock lock(ready_mu_);
   ready_.push_back(handler);
   ready_cv_.notify_one();
 }
@@ -437,9 +442,10 @@ void Server::worker_loop() {
   for (;;) {
     std::shared_ptr<Handler> handler;
     {
-      std::unique_lock lock(ready_mu_);
-      ready_cv_.wait(
-          lock, [&] { return stopping_workers_ || !ready_.empty(); });
+      util::MutexLock lock(ready_mu_);
+      while (!stopping_workers_ && ready_.empty()) {
+        ready_cv_.wait(ready_mu_);
+      }
       if (ready_.empty()) return;  // stopping and fully drained
       handler = std::move(ready_.front());
       ready_.pop_front();
@@ -447,9 +453,9 @@ void Server::worker_loop() {
     }
 
     process_round(handler);
-    const bool again = handler->session->finish_round();
+    const bool again = handler->session()->finish_round();
 
-    std::lock_guard lock(ready_mu_);
+    util::MutexLock lock(ready_mu_);
     --busy_workers_;
     if (again) {
       ready_.push_back(handler);
@@ -461,7 +467,8 @@ void Server::worker_loop() {
 }
 
 void Server::process_round(const std::shared_ptr<Handler>& handler) {
-  const auto frames = handler->session->take_pending();
+  const auto session = handler->session();
+  const auto frames = session->take_pending();
   for (const auto& frame : frames) {
     {
       obs::ScopedSpan span("frame.process", "service", &process_hist_);
@@ -471,12 +478,13 @@ void Server::process_round(const std::shared_ptr<Handler>& handler) {
   }
   metrics_.gauge("max_queue_depth")
       .record_max(
-          static_cast<std::int64_t>(handler->session->max_queue_depth()));
+          static_cast<std::int64_t>(session->max_queue_depth()));
 }
 
 void Server::process_frame(const std::shared_ptr<Handler>& handler,
                            const Frame& frame) {
-  Session& session = *handler->session;
+  const auto session_ptr = handler->session();
+  Session& session = *session_ptr;
   switch (frame.type) {
     case FrameType::kSnapshot: {
       gmon::ProfileSnapshot snap;
@@ -553,23 +561,25 @@ void Server::handle_query(const std::shared_ptr<Handler>& handler,
     reject_frame(handler, ProtocolErrorCode::kMalformedFrame, e.what());
     return;
   }
+  const auto session = handler->session();
   QueryReplyPayload reply;
   reply.kind = query.kind;
   reply.text = query.kind == QueryKind::kFleetSummary
                    ? fleet_.render()
-                   : handler->session->status_line();
+                   : session->status_line();
   if (handler->connection()->send(
-          make_query_reply_frame(handler->session->id(), reply))) {
+          make_query_reply_frame(session->id(), reply))) {
     metrics_.counter("query_replies").add();
   }
 }
 
 std::vector<std::size_t> Server::session_assignments(
     std::uint32_t id) const {
-  std::lock_guard lock(handlers_mu_);
+  util::MutexLock lock(handlers_mu_);
   for (const auto& h : handlers_) {
-    if (h->session && h->session->id() == id) {
-      return h->session->assignments();
+    const auto session = h->session();
+    if (session && session->id() == id) {
+      return session->assignments();
     }
   }
   return {};
@@ -580,11 +590,11 @@ std::size_t Server::session_count() const {
 }
 
 std::size_t Server::max_observed_queue_depth() const {
-  std::lock_guard lock(handlers_mu_);
+  util::MutexLock lock(handlers_mu_);
   std::size_t depth = 0;
   for (const auto& h : handlers_) {
-    if (h->session) {
-      depth = std::max(depth, h->session->max_queue_depth());
+    if (const auto session = h->session()) {
+      depth = std::max(depth, session->max_queue_depth());
     }
   }
   return depth;

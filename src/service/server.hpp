@@ -12,12 +12,11 @@
 #include "service/metrics.hpp"
 #include "service/session.hpp"
 #include "service/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -94,7 +93,6 @@ class Server {
 
  private:
   struct Handler {
-    std::shared_ptr<Session> session;  // set at hello
     std::thread reader;
     /// Timestamp of the last frame read off this connection (steady
     /// ns), maintained for the idle reaper.
@@ -108,23 +106,38 @@ class Server {
     /// connection may have been rebound to a live successor).
     std::atomic<bool> retired{false};
     /// Rejected frames before any hello (no session to budget them).
+    /// Touched by the handler's own reader thread only.
     std::uint32_t pre_hello_errors = 0;
 
     /// The live connection. Swapped on resume (the worker keeps
     /// pushing events through whatever connection is current), hence
     /// the lock.
     std::shared_ptr<Connection> connection() const {
-      std::lock_guard lock(conn_mu_);
+      util::MutexLock lock(mu_);
       return conn_;
     }
     void rebind(std::shared_ptr<Connection> conn) {
-      std::lock_guard lock(conn_mu_);
+      util::MutexLock lock(mu_);
       conn_ = std::move(conn);
     }
 
+    /// The session bound at hello (or resume); null before. Written by
+    /// the handler's own reader thread, read by workers and the reaper.
+    std::shared_ptr<Session> session() const {
+      util::MutexLock lock(mu_);
+      return session_;
+    }
+    void bind_session(std::shared_ptr<Session> session) {
+      util::MutexLock lock(mu_);
+      session_ = std::move(session);
+    }
+
    private:
-    mutable std::mutex conn_mu_;
-    std::shared_ptr<Connection> conn_;
+    /// Leaf lock (acquired after Server::handlers_mu_ on scan paths,
+    /// never the other way; nothing is acquired while it is held).
+    mutable util::Mutex mu_;
+    std::shared_ptr<Connection> conn_ INCPROF_GUARDED_BY(mu_);
+    std::shared_ptr<Session> session_ INCPROF_GUARDED_BY(mu_);
   };
 
   void accept_loop();
@@ -168,19 +181,27 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
-  mutable std::mutex handlers_mu_;
-  std::vector<std::shared_ptr<Handler>> handlers_;
+  // Lock hierarchy (outer → inner): handlers_mu_ → Handler::mu_ /
+  // Session::status_mu_ → Session::queue_mu_. ready_mu_ and reaper_mu_
+  // are leaves — no other lock is ever acquired while one is held.
+  // Handler detach-claims (Session::reattach after detached()) happen
+  // only under handlers_mu_, so the reaper, a racing resume, and stop()
+  // cannot all claim the same session.
+  mutable util::Mutex handlers_mu_;
+  std::vector<std::shared_ptr<Handler>> handlers_
+      INCPROF_GUARDED_BY(handlers_mu_);
 
-  std::mutex ready_mu_;
-  std::condition_variable ready_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::shared_ptr<Handler>> ready_;
-  std::size_t busy_workers_ = 0;
-  bool stopping_workers_ = false;
+  util::Mutex ready_mu_;
+  util::CondVar ready_cv_;
+  util::CondVar idle_cv_;
+  std::deque<std::shared_ptr<Handler>> ready_
+      INCPROF_GUARDED_BY(ready_mu_);
+  std::size_t busy_workers_ INCPROF_GUARDED_BY(ready_mu_) = 0;
+  bool stopping_workers_ INCPROF_GUARDED_BY(ready_mu_) = false;
 
-  std::mutex reaper_mu_;
-  std::condition_variable reaper_cv_;
-  bool reaper_stop_ = false;
+  util::Mutex reaper_mu_;
+  util::CondVar reaper_cv_;
+  bool reaper_stop_ INCPROF_GUARDED_BY(reaper_mu_) = false;
 
   std::thread accept_thread_;
   std::thread reaper_thread_;

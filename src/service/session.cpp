@@ -10,7 +10,7 @@ Session::Session(std::uint32_t id, const SessionConfig& cfg)
 void Session::open(std::string client_name, bool subscribe_events,
                    std::uint64_t interval_ns) {
   {
-    std::lock_guard lock(status_mu_);
+    util::MutexLock lock(status_mu_);
     client_name_ = std::move(client_name);
     interval_ns_ = interval_ns;
   }
@@ -18,7 +18,7 @@ void Session::open(std::string client_name, bool subscribe_events,
 }
 
 Session::EnqueueResult Session::enqueue(Frame frame, bool force) {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   if (!force && frames_.size() >= queue_capacity_) {
     ++dropped_;
     return EnqueueResult::kDropped;
@@ -32,7 +32,7 @@ Session::EnqueueResult Session::enqueue(Frame frame, bool force) {
 }
 
 std::vector<Frame> Session::take_pending() {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   std::vector<Frame> out(std::make_move_iterator(frames_.begin()),
                          std::make_move_iterator(frames_.end()));
   frames_.clear();
@@ -40,7 +40,7 @@ std::vector<Frame> Session::take_pending() {
 }
 
 bool Session::finish_round() {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   if (frames_.empty()) {
     scheduled_ = false;
     return false;
@@ -49,7 +49,7 @@ bool Session::finish_round() {
 }
 
 void Session::note_observation(const core::OnlineObservation& obs) {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   assignments_.push_back(obs.phase);
   phases_ = tracker_.num_phases();
   current_phase_ = obs.phase;
@@ -57,12 +57,12 @@ void Session::note_observation(const core::OnlineObservation& obs) {
 }
 
 void Session::note_heartbeats(std::uint64_t n) {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   heartbeat_records_ += n;
 }
 
 void Session::mark_closed() {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   closed_ = true;
 }
 
@@ -75,7 +75,7 @@ std::uint32_t Session::protocol_errors() const {
 }
 
 std::uint32_t Session::snapshots_accepted() const {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   return snapshots_accepted_;
 }
 
@@ -97,60 +97,60 @@ std::uint64_t Session::detached_since_ns() const {
 }
 
 std::string Session::client_name() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return client_name_;
 }
 
 std::uint64_t Session::dropped_frames() const {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   return dropped_;
 }
 
 std::size_t Session::max_queue_depth() const {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   return max_depth_;
 }
 
 std::size_t Session::queue_depth() const {
-  std::lock_guard lock(queue_mu_);
+  util::MutexLock lock(queue_mu_);
   return frames_.size();
 }
 
 bool Session::closed() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return closed_;
 }
 
 std::uint64_t Session::heartbeat_records() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return heartbeat_records_;
 }
 
 std::size_t Session::intervals_observed() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return assignments_.size();
 }
 
 std::size_t Session::transitions() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return transitions_;
 }
 
 std::vector<std::size_t> Session::assignments() const {
-  std::lock_guard lock(status_mu_);
+  util::MutexLock lock(status_mu_);
   return assignments_;
 }
 
 std::string Session::status_line() const {
   std::ostringstream os;
-  std::lock_guard status(status_mu_);
+  util::MutexLock status(status_mu_);
   os << "session " << id_ << " ("
      << (client_name_.empty() ? "?" : client_name_)
      << "): " << assignments_.size() << " intervals, " << phases_
      << " phases, current phase " << current_phase_ << ", " << transitions_
      << " transitions, " << heartbeat_records_ << " hb records";
   {
-    std::lock_guard queue(queue_mu_);
+    util::MutexLock queue(queue_mu_);
     os << ", " << dropped_ << " dropped";
   }
   if (closed_) os << " [closed]";

@@ -7,11 +7,11 @@
 
 #include "core/online.hpp"
 #include "service/protocol.hpp"
+#include "util/thread_annotations.hpp"
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -115,13 +115,15 @@ class Session {
   const std::uint32_t id_;
   const std::size_t queue_capacity_;
 
-  // Queue state (reader + scheduler + worker).
-  mutable std::mutex queue_mu_;
-  std::deque<Frame> frames_;
-  bool scheduled_ = false;
-  std::uint64_t dropped_ = 0;
-  std::size_t max_depth_ = 0;
-  std::uint32_t snapshots_accepted_ = 0;
+  // Queue state (reader + scheduler + worker). Lock order: queue_mu_
+  // is a leaf, but status_mu_ may be held while acquiring it
+  // (status_line) — never the other way around.
+  mutable util::Mutex queue_mu_;
+  std::deque<Frame> frames_ INCPROF_GUARDED_BY(queue_mu_);
+  bool scheduled_ INCPROF_GUARDED_BY(queue_mu_) = false;
+  std::uint64_t dropped_ INCPROF_GUARDED_BY(queue_mu_) = 0;
+  std::size_t max_depth_ INCPROF_GUARDED_BY(queue_mu_) = 0;
+  std::uint32_t snapshots_accepted_ INCPROF_GUARDED_BY(queue_mu_) = 0;
 
   // Fault-handling state (reader / reaper / resume path).
   std::atomic<std::uint32_t> protocol_errors_{0};
@@ -132,15 +134,15 @@ class Session {
   core::OnlinePhaseTracker tracker_;
 
   // Published status (worker writes, anyone reads).
-  mutable std::mutex status_mu_;
-  std::string client_name_;
-  std::uint64_t interval_ns_ = 0;
-  std::vector<std::size_t> assignments_;
-  std::size_t phases_ = 0;
-  std::size_t current_phase_ = 0;
-  std::size_t transitions_ = 0;
-  std::uint64_t heartbeat_records_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex status_mu_;
+  std::string client_name_ INCPROF_GUARDED_BY(status_mu_);
+  std::uint64_t interval_ns_ INCPROF_GUARDED_BY(status_mu_) = 0;
+  std::vector<std::size_t> assignments_ INCPROF_GUARDED_BY(status_mu_);
+  std::size_t phases_ INCPROF_GUARDED_BY(status_mu_) = 0;
+  std::size_t current_phase_ INCPROF_GUARDED_BY(status_mu_) = 0;
+  std::size_t transitions_ INCPROF_GUARDED_BY(status_mu_) = 0;
+  std::uint64_t heartbeat_records_ INCPROF_GUARDED_BY(status_mu_) = 0;
+  bool closed_ INCPROF_GUARDED_BY(status_mu_) = false;
 
   std::atomic<bool> subscribed_{false};
 };

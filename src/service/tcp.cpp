@@ -1,5 +1,7 @@
 #include "service/tcp.hpp"
 
+#include "util/thread_annotations.hpp"
+
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -11,7 +13,6 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 namespace incprof::service {
@@ -49,7 +50,7 @@ class TcpConnection : public Connection {
   }
 
   bool send(std::string_view frame_bytes) override {
-    std::lock_guard lock(send_mu_);
+    util::MutexLock lock(send_mu_);
     std::size_t sent = 0;
     while (sent < frame_bytes.size()) {
       const ssize_t n =
@@ -118,7 +119,10 @@ class TcpConnection : public Connection {
  private:
   const int fd_;
   const std::string label_;
-  std::mutex send_mu_;
+  /// Serializes ::send syscalls so interleaved frames from the reader
+  /// (query replies) and a worker (phase events) never tear on the
+  /// wire. Guards no fields — the capability is the socket write side.
+  util::Mutex send_mu_;
   std::atomic<bool> closed_{false};
   std::atomic<int> receive_timeout_ms_{0};
   FrameBuffer buffer_;

@@ -1,10 +1,11 @@
 #include "util/log.hpp"
 
+#include "util/thread_annotations.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 
 namespace incprof::util {
 
@@ -18,8 +19,9 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 // copies the pointer under the same lock but invokes the sink outside
 // it, so a slow sink never blocks a concurrent swap and a swap never
 // destroys a sink mid-call.
-std::mutex g_sink_mu;
-std::shared_ptr<const Sink> g_sink;  // null = default stderr sink
+Mutex g_sink_mu;
+std::shared_ptr<const Sink> g_sink INCPROF_GUARDED_BY(
+    g_sink_mu);  // null = default stderr sink
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -58,7 +60,7 @@ LogLevel log_level() noexcept {
 void set_log_sink(std::function<void(LogLevel, std::string_view)> sink) {
   std::shared_ptr<const Sink> next =
       sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
-  std::lock_guard lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   g_sink.swap(next);
   // `next` (the previous sink) is released outside the swap expression;
   // any thread still running it keeps its own shared_ptr copy.
@@ -80,7 +82,7 @@ void log(LogLevel level, std::string_view msg) {
   }
   std::shared_ptr<const Sink> sink;
   {
-    std::lock_guard lock(g_sink_mu);
+    MutexLock lock(g_sink_mu);
     sink = g_sink;
   }
   if (sink) {

@@ -1,0 +1,159 @@
+// Clang Thread Safety Analysis, wired for the whole codebase. The
+// INCPROF_* macros expand to clang's capability attributes when the
+// compiler supports them and to nothing elsewhere (GCC builds the same
+// sources unannotated), so locking discipline is machine-checked under
+// `clang++ -Werror=thread-safety` (the CI `lint` lane) and free
+// everywhere else.
+//
+// Usage pattern, enforced by tools/incprof_lint across src/:
+//   - never declare a bare std::mutex; declare util::Mutex and mark the
+//     fields it guards with INCPROF_GUARDED_BY(mu_)
+//   - take it with util::MutexLock (scoped) and block on util::CondVar
+//   - annotate functions that expect the caller to hold a mutex with
+//     INCPROF_REQUIRES(mu_), and public entry points that must NOT be
+//     called with it held with INCPROF_EXCLUDES(mu_)
+//
+// Condition-variable waits are written as explicit while loops around
+// CondVar::wait rather than predicate lambdas: the analysis checks each
+// function body separately, and a predicate lambda reading guarded
+// fields would need its own annotations, which lambdas cannot carry
+// portably.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define INCPROF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef INCPROF_THREAD_ANNOTATION
+#define INCPROF_THREAD_ANNOTATION(x)  // no-op: GCC and older clang
+#endif
+
+/// Marks a class as a capability (a thing that can be held).
+#define INCPROF_CAPABILITY(name) \
+  INCPROF_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose lifetime equals the hold of a capability.
+#define INCPROF_SCOPED_CAPABILITY \
+  INCPROF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read/written while holding `x`.
+#define INCPROF_GUARDED_BY(x) INCPROF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x`.
+#define INCPROF_PT_GUARDED_BY(x) \
+  INCPROF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to hold the given capabilities.
+#define INCPROF_REQUIRES(...) \
+  INCPROF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the given capabilities held (it will
+/// acquire them itself; calling with them held would deadlock).
+#define INCPROF_EXCLUDES(...) \
+  INCPROF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capabilities and holds them on return.
+#define INCPROF_ACQUIRE(...) \
+  INCPROF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases capabilities the caller held.
+#define INCPROF_RELEASE(...) \
+  INCPROF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define INCPROF_TRY_ACQUIRE(ret, ...) \
+  INCPROF_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Escape hatch for functions the analysis cannot model. Every use must
+/// carry a comment saying why.
+#define INCPROF_NO_THREAD_SAFETY_ANALYSIS \
+  INCPROF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace incprof::util {
+
+/// The repo's one blessed mutex: std::mutex wearing the capability
+/// attribute so clang can track who holds it.
+/// incprof-lint: allow(bare-mutex) — this wrapper is the one place a
+/// bare std::mutex may live.
+class INCPROF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() INCPROF_ACQUIRE() { mu_.lock(); }
+  void unlock() INCPROF_RELEASE() { mu_.unlock(); }
+  bool try_lock() INCPROF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over util::Mutex (the std::lock_guard / std::unique_lock
+/// replacement). Supports mid-scope unlock()/lock() for wait loops that
+/// drop the lock to do slow work.
+class INCPROF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) INCPROF_ACQUIRE(mu)
+      : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+
+  ~MutexLock() INCPROF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() INCPROF_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+  void lock() INCPROF_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to util::Mutex. Waits take the Mutex (which
+/// the caller must hold, typically via a MutexLock on the same object)
+/// so the REQUIRES annotation names the real capability.
+/// incprof-lint: allow(bare-mutex) — wraps the one blessed
+/// std::condition_variable_any.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (spurious wakeups possible — always wrap in
+  /// a while loop re-checking the guarded condition).
+  void wait(Mutex& mu) INCPROF_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Blocks until notified or `d` elapsed.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      INCPROF_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace incprof::util

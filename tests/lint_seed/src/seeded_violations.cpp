@@ -1,0 +1,19 @@
+// Deliberately non-conforming file for the Lint.SeededViolationFails
+// ctest entry: incprof_lint must exit non-zero on this tree. Never
+// compiled — it only exists to prove the lint gate still bites.
+#include <mutex>
+#include <thread>
+
+namespace seeded {
+
+std::mutex g_bad_mutex;  // bare-mutex
+
+void spawn() {
+  std::thread([] {}).detach();  // detach
+}
+
+void* leak() {
+  return new int[4];  // naked-new
+}
+
+}  // namespace seeded

@@ -1,0 +1,374 @@
+// incprof_lint: the repo's concurrency/style gate. A deliberately
+// libclang-free, regex-grade scanner over src/ that enforces the
+// invariants the thread-safety annotations rely on:
+//
+//   bare-mutex   no std::mutex / lock_guard / unique_lock /
+//                condition_variable outside util/thread_annotations.hpp
+//                — everything must go through util::Mutex so Clang's
+//                thread-safety analysis can see every acquisition.
+//   detach       no zero-argument .detach() calls: a detached thread
+//                outlives stop()/join accounting and is unprovable.
+//                (Session::detach(now_ns) takes an argument and is a
+//                different, resumable-session concept — not matched.)
+//   metric-name  every literal registered via counter("...") /
+//                gauge("...") / histogram("...") matches
+//                [a-z_]+(\{.*\})?, keeping the Prometheus exposition
+//                valid without per-name escaping.
+//   naked-new    no naked `new` / `malloc(` — ownership goes through
+//                make_unique/make_shared/containers.
+//
+// False positives are silenced in place with a trailing
+//   // incprof-lint: allow(<rule>)
+// comment on the offending line. Exit status: 0 when clean, 1 when any
+// finding is reported, 2 on usage/IO errors.
+//
+// Usage: incprof_lint [repo-root]    (default: .)
+//        incprof_lint --self-test    (prove each rule fires on a
+//                                     seeded violation; exits non-zero
+//                                     if any rule failed to fire)
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// Per-line views of one translation unit. `code` has comments and
+/// string/char literals blanked (structure preserved so columns still
+/// line up); `no_comments` keeps the literals, for the metric-name
+/// rule which must read them.
+struct FileViews {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> no_comments;
+};
+
+/// One-pass lexer: good enough C++ tokenization to blank comments,
+/// string literals ("...", with escapes), char literals and raw
+/// strings (R"delim(...)delim"), all of which may span lines.
+FileViews make_views(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString,
+                     kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the )delim" terminator
+  std::string line_raw, line_code, line_nc;
+  FileViews views;
+
+  auto flush_line = [&] {
+    views.raw.push_back(line_raw);
+    views.code.push_back(line_code);
+    views.no_comments.push_back(line_nc);
+    line_raw.clear();
+    line_code.clear();
+    line_nc.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    line_raw.push_back(c);
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line_code += ' ';
+          line_nc += ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line_raw.push_back(next);
+          line_code += "  ";
+          line_nc += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The R must directly precede the quote and not
+          // be part of an identifier (LR"..." etc. treated the same).
+          std::size_t j = line_code.size();
+          if (j >= 1 && line_code[j - 1] == 'R' &&
+              (j < 2 || (!std::isalnum(static_cast<unsigned char>(
+                             line_code[j - 2])) &&
+                         line_code[j - 2] != '_'))) {
+            state = State::kRawString;
+            raw_delim = ")";
+            for (std::size_t k = i + 1;
+                 k < text.size() && text[k] != '(' && text[k] != '\n';
+                 ++k) {
+              raw_delim.push_back(text[k]);
+            }
+            raw_delim.push_back('"');
+          } else {
+            state = State::kString;
+          }
+          line_code.push_back('"');
+          line_nc.push_back('"');
+        } else if (c == '\'') {
+          state = State::kChar;
+          line_code.push_back('\'');
+          line_nc.push_back('\'');
+        } else {
+          line_code.push_back(c);
+          line_nc.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        line_code += ' ';
+        line_nc += ' ';
+        break;
+      case State::kBlockComment:
+        line_code += ' ';
+        line_nc += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line_raw.push_back(next);
+          line_code += ' ';
+          line_nc += ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+        line_nc.push_back(c);
+        if (c == '\\' && next != '\0') {
+          line_raw.push_back(next);
+          line_nc.push_back(next);
+          line_code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          line_code.push_back('"');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        line_nc.push_back(c);
+        if (c == '\\' && next != '\0') {
+          line_raw.push_back(next);
+          line_nc.push_back(next);
+          line_code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line_code.push_back('\'');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        line_nc.push_back(c);
+        line_code.push_back(c == '"' ? '"' : ' ');
+        if (c == raw_delim.back() && line_raw.size() >= raw_delim.size() &&
+            line_raw.compare(line_raw.size() - raw_delim.size(),
+                             raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  flush_line();
+  return views;
+}
+
+bool suppressed(const std::string& raw_line, std::string_view rule) {
+  const std::string marker =
+      "incprof-lint: allow(" + std::string(rule) + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+const std::regex kBareMutexRe(
+    R"(std\s*::\s*(recursive_mutex|recursive_timed_mutex|timed_mutex|shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)\b)");
+const std::regex kDetachRe(R"((\.|->)\s*detach\s*\(\s*\))");
+const std::regex kMetricCallRe(
+    R"(\b(counter|gauge|histogram)\s*\(\s*"((?:[^"\\]|\\.)*)\")");
+const std::regex kMetricNameRe(R"([a-z_]+(\{.*\})?)");
+const std::regex kNakedNewRe(R"(\bnew\b)");
+const std::regex kMallocRe(R"(\b(malloc|calloc|realloc|free)\s*\()");
+
+void lint_file(const std::string& display_path, const FileViews& views,
+               bool is_annotations_header,
+               std::vector<Finding>& findings) {
+  for (std::size_t n = 0; n < views.code.size(); ++n) {
+    const std::string& raw = views.raw[n];
+    const std::string& code = views.code[n];
+    const std::string& nc = views.no_comments[n];
+    const std::size_t line_no = n + 1;
+    std::smatch m;
+
+    if (!is_annotations_header &&
+        std::regex_search(code, m, kBareMutexRe) &&
+        !suppressed(raw, "bare-mutex")) {
+      findings.push_back(
+          {display_path, line_no, "bare-mutex",
+           "use util::Mutex / util::MutexLock / util::CondVar from "
+           "util/thread_annotations.hpp instead of std::" +
+               m[1].str()});
+    }
+
+    if (std::regex_search(code, m, kDetachRe) &&
+        !suppressed(raw, "detach")) {
+      findings.push_back({display_path, line_no, "detach",
+                          "detached threads escape join accounting; "
+                          "track and join the thread instead"});
+    }
+
+    // Metric names live in string literals, so match against the
+    // comment-stripped (literal-preserving) view.
+    for (auto it = std::sregex_iterator(nc.begin(), nc.end(),
+                                        kMetricCallRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[2].str();
+      if (!std::regex_match(name, kMetricNameRe) &&
+          !suppressed(raw, "metric-name")) {
+        findings.push_back(
+            {display_path, line_no, "metric-name",
+             "metric name \"" + name +
+                 "\" does not match [a-z_]+(\\{.*\\})?"});
+      }
+    }
+
+    if ((std::regex_search(code, m, kNakedNewRe) ||
+         std::regex_search(code, m, kMallocRe)) &&
+        !suppressed(raw, "naked-new")) {
+      findings.push_back({display_path, line_no, "naked-new",
+                          "allocate through make_unique/make_shared "
+                          "or a container"});
+    }
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+int lint_tree(const fs::path& root) {
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "incprof_lint: no src/ directory under " << root
+              << "\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "incprof_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string display =
+        fs::relative(path, root).generic_string();
+    const bool is_annotations_header =
+        display == "src/util/thread_annotations.hpp";
+    lint_file(display, make_views(buf.str()), is_annotations_header,
+              findings);
+  }
+  for (const Finding& f : findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.detail << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "incprof_lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << "incprof_lint: " << findings.size() << " finding(s) in "
+            << files.size() << " files\n";
+  return 1;
+}
+
+/// Each rule must fire on its seeded violation and stay silent on the
+/// idiomatic replacement — the lint gate proves itself before it is
+/// allowed to gate anything.
+int self_test() {
+  struct Case {
+    const char* rule;       // expected rule, "" = expect clean
+    const char* snippet;
+  };
+  const Case cases[] = {
+      {"bare-mutex", "std::mutex mu_;\n"},
+      {"bare-mutex", "std::lock_guard lock(mu_);\n"},
+      {"bare-mutex", "std::condition_variable cv_;\n"},
+      {"", "util::Mutex mu_;\nutil::MutexLock lock(mu_);\n"},
+      {"", "// std::mutex in a comment is fine\n"},
+      {"", "const char* s = \"std::mutex\";\n"},
+      {"detach", "worker.detach();\n"},
+      {"detach", "thread_->detach( );\n"},
+      {"", "session->detach(obs::now_ns());\n"},  // resumable session
+      {"metric-name", "registry.counter(\"Bad-Name\").add();\n"},
+      {"metric-name", "registry.gauge(\"camelCase\").set(1);\n"},
+      {"", "registry.counter(\"frames_received\").add();\n"},
+      {"", "registry.histogram(\"frame_stage_ns\").record(1);\n"},
+      {"naked-new", "auto* p = new Widget();\n"},
+      {"naked-new", "void* p = malloc(64);\n"},
+      {"", "auto p = std::make_unique<Widget>();\n"},
+      {"", "std::mutex mu_;  // incprof-lint: allow(bare-mutex)\n"},
+  };
+  int failures = 0;
+  for (const Case& c : cases) {
+    std::vector<Finding> findings;
+    lint_file("<self-test>", make_views(c.snippet), false, findings);
+    const bool flagged =
+        !findings.empty() && findings.front().rule == c.rule;
+    const bool ok = *c.rule == '\0' ? findings.empty() : flagged;
+    if (!ok) {
+      ++failures;
+      std::cerr << "self-test FAILED for snippet: " << c.snippet
+                << "  expected "
+                << (*c.rule == '\0' ? std::string("clean")
+                                    : std::string(c.rule))
+                << ", got "
+                << (findings.empty() ? std::string("clean")
+                                     : findings.front().rule)
+                << "\n";
+    }
+  }
+  if (failures == 0) {
+    std::cout << "incprof_lint: self-test passed ("
+              << sizeof(cases) / sizeof(cases[0]) << " cases)\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::cerr << "usage: incprof_lint [repo-root | --self-test]\n";
+    return 2;
+  }
+  const std::string arg = argc == 2 ? argv[1] : ".";
+  if (arg == "--self-test") return self_test();
+  if (arg == "--help" || arg == "-h") {
+    std::cout << "usage: incprof_lint [repo-root | --self-test]\n";
+    return 0;
+  }
+  return lint_tree(fs::path(arg));
+}
