@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 
 #include "cluster/dbscan.hpp"
+#include "cluster/distance_cache.hpp"
 #include "cluster/quality.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -29,19 +30,24 @@ int main() {
         *app, bench::paper_run_config(), bench::paper_pipeline_config());
     const auto& points = analysis.features.features;
 
+    // One pairwise-distance computation serves the eps heuristic, the
+    // DBSCAN neighborhood scans, and the silhouette score.
+    const auto cache = cluster::DistanceCache::build(points);
+
     cluster::DbscanConfig cfg;
     cfg.min_pts = 4;
-    cfg.eps = cluster::suggest_eps(points, cfg.min_pts);
-    const auto db = cluster::dbscan(points, cfg);
+    cfg.eps = cluster::suggest_eps(points, cfg.min_pts, 0.9, &cache);
+    const auto db = cluster::dbscan(points, cfg, &cache);
     const auto absorbed = db.labels_noise_absorbed(points);
 
     const double ari = db.num_clusters > 0
                            ? cluster::adjusted_rand_index(
                                  analysis.detection.assignments, absorbed)
                            : 0.0;
-    const double silh = db.num_clusters > 1
-                            ? cluster::mean_silhouette(points, absorbed)
-                            : 0.0;
+    const double silh =
+        db.num_clusters > 1
+            ? cluster::mean_silhouette(points, absorbed, &cache)
+            : 0.0;
     t.add_row({name, std::to_string(analysis.detection.num_phases),
                std::to_string(db.num_clusters),
                std::to_string(db.num_noise), util::format_fixed(ari, 3),

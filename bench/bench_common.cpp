@@ -8,9 +8,20 @@
 #include "util/sparkline.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 namespace incprof::bench {
+
+std::string artifact_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create bench/out: %s\n",
+                 ec.message().c_str());
+  }
+  return "bench/out/" + name;
+}
 
 core::PipelineConfig paper_pipeline_config() {
   core::PipelineConfig cfg;
@@ -126,14 +137,16 @@ void run_figure_bench(const std::string& app_name,
   const apps::HeartbeatRun run_d =
       apps::run_with_heartbeats(*app_d, discovered, paper_run_config());
   print_series(run_d.series, "-- discovered instrumentation sites --");
-  write_series_csv(run_d.series, "fig_" + app_name + "_discovered.csv");
+  write_series_csv(run_d.series,
+                   artifact_path("fig_" + app_name + "_discovered.csv"));
 
   auto app_m = apps::make_app(app_name, {});
   const auto manual = apps::to_ekg_sites(app_m->manual_sites());
   const apps::HeartbeatRun run_m =
       apps::run_with_heartbeats(*app_m, manual, paper_run_config());
   print_series(run_m.series, "-- manual instrumentation sites --");
-  write_series_csv(run_m.series, "fig_" + app_name + "_manual.csv");
+  write_series_csv(run_m.series,
+                   artifact_path("fig_" + app_name + "_manual.csv"));
 
   // Quantify the overlap contrast the paper discusses for MiniAMR and
   // Gadget2: discovery avoids simultaneously-active heartbeats, manual

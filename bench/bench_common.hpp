@@ -33,10 +33,15 @@ core::PhaseAnalysis run_table_bench(const std::string& app_name,
 /// Runs the heartbeat-figure bench for `app_name`: discovers sites,
 /// re-runs the app instrumented with (a) the discovered sites and (b)
 /// the paper's manual sites, prints ASCII series for both, and writes
-/// CSV series next to the binary (fig_<app>_discovered.csv /
+/// CSV series under bench/out/ (fig_<app>_discovered.csv /
 /// fig_<app>_manual.csv).
 void run_figure_bench(const std::string& app_name,
                       const std::string& figure_name,
                       const std::string& paper_note);
+
+/// Path for a regenerated bench artifact: bench/out/<name> relative to
+/// the working directory, creating the directory on demand. bench/out/
+/// is gitignored; the committed reference copies live in bench/ref/.
+std::string artifact_path(const std::string& name);
 
 }  // namespace incprof::bench

@@ -4,10 +4,15 @@
 // per-stage costs: engine event dispatch (the collection side), snapshot
 // encode/format/parse (the gprof text path), interval differencing,
 // k-means sweeps, and the end-to-end analysis of a paper-sized run.
+// With --json [--threads n] it instead runs the serial-vs-parallel
+// engine comparison (same seeds, bit-identical results required) and
+// writes the machine-readable baseline bench/out/BENCH_pipeline.json.
 #include <benchmark/benchmark.h>
 
 #include "apps/harness.hpp"
 #include "apps/miniapp.hpp"
+#include "bench_common.hpp"
+#include "cluster/distance_cache.hpp"
 #include "cluster/kselect.hpp"
 #include "core/pipeline.hpp"
 #include "gmon/binary_io.hpp"
@@ -16,6 +21,14 @@
 #include "obs/span.hpp"
 #include "prof/collector.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 namespace {
 
@@ -235,11 +248,183 @@ void report_stage_histograms() {
   }
 }
 
+// --- serial vs parallel engine baseline (--json) -------------------------
+
+/// Synthetic Gaussian blobs: `centers` well-separated cluster means,
+/// points round-robined over them. Big enough (n x k_max x restarts)
+/// that the parallel sweep has a 64-way grid to chew on.
+cluster::Matrix synthetic_blobs(std::size_t n, std::size_t d,
+                                std::size_t centers) {
+  util::Rng rng(99);
+  std::vector<std::vector<double>> mu(centers, std::vector<double>(d));
+  for (auto& m : mu) {
+    for (auto& v : m) v = rng.next_double() * 40.0;
+  }
+  cluster::Matrix pts(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& m = mu[r % centers];
+    for (std::size_t j = 0; j < d; ++j) {
+      pts.at(r, j) = m[j] + rng.next_gaussian();
+    }
+  }
+  return pts;
+}
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Best-of-`reps` wall time (minimum is the usual noise-robust choice
+/// for a smoke baseline).
+double best_wall_ms(int reps, const std::function<void()>& fn) {
+  double best = wall_ms(fn);
+  for (int i = 1; i < reps; ++i) best = std::min(best, wall_ms(fn));
+  return best;
+}
+
+bool sweeps_identical(const cluster::KSweep& a, const cluster::KSweep& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& ea = a.entries[i];
+    const auto& eb = b.entries[i];
+    if (ea.k != eb.k || ea.result.assignments != eb.result.assignments ||
+        ea.result.inertia != eb.result.inertia ||
+        ea.silhouette != eb.silhouette) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs the serial-vs-parallel comparison and writes BENCH_pipeline.json.
+/// Returns 0 when the parallel engine reproduced the serial results
+/// bit-for-bit (speedup is reported, not asserted: the available core
+/// count is the machine's business).
+int run_json_bench(std::size_t threads, const std::string& path) {
+  const std::size_t n = 1200, d = 12, k_max = 8, restarts = 8;
+  const cluster::Matrix pts = synthetic_blobs(n, d, 4);
+  cluster::KMeansConfig base;
+  base.n_init = restarts;
+  base.seed = 42;
+
+  auto pool = incprof::util::ThreadPool::create(threads);
+  const std::size_t threads_resolved =
+      incprof::util::ThreadPool::resolve(threads);
+
+  std::printf("sweep: n=%zu d=%zu k_max=%zu restarts=%zu threads=%zu\n", n,
+              d, k_max, restarts, threads_resolved);
+  cluster::KSweep serial_sweep, parallel_sweep;
+  const double sweep_serial_ms = best_wall_ms(
+      3, [&] { serial_sweep = cluster::sweep_k(pts, k_max, base); });
+  const double sweep_parallel_ms = best_wall_ms(3, [&] {
+    parallel_sweep = cluster::sweep_k(pts, k_max, base, pool.get());
+  });
+  const bool sweep_identical = sweeps_identical(serial_sweep, parallel_sweep);
+
+  // End-to-end analysis of a paper-sized run, serial vs parallel config.
+  const auto snaps = app_snapshots();
+  core::PipelineConfig serial_cfg;
+  serial_cfg.threads = 1;
+  core::PipelineConfig parallel_cfg;
+  parallel_cfg.threads = threads_resolved;
+  core::PhaseAnalysis serial_an, parallel_an;
+  const double an_serial_ms = best_wall_ms(
+      2, [&] { serial_an = core::analyze_snapshots(snaps, serial_cfg); });
+  const double an_parallel_ms = best_wall_ms(
+      2, [&] { parallel_an = core::analyze_snapshots(snaps, parallel_cfg); });
+  const bool an_identical =
+      serial_an.detection.assignments == parallel_an.detection.assignments &&
+      serial_an.detection.num_phases == parallel_an.detection.num_phases &&
+      sweeps_identical(serial_an.detection.sweep,
+                       parallel_an.detection.sweep);
+
+  const double sweep_speedup =
+      sweep_parallel_ms > 0.0 ? sweep_serial_ms / sweep_parallel_ms : 0.0;
+  const double an_speedup =
+      an_parallel_ms > 0.0 ? an_serial_ms / an_parallel_ms : 0.0;
+
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"pipeline_parallel\",\n"
+      "  \"threads\": %zu,\n"
+      "  \"hardware_concurrency\": %zu,\n"
+      "  \"sweep\": {\"n\": %zu, \"d\": %zu, \"k_max\": %zu, "
+      "\"restarts\": %zu,\n"
+      "    \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+      "\"speedup\": %.3f, \"identical\": %s},\n"
+      "  \"analyze\": {\"intervals\": %zu,\n"
+      "    \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+      "\"speedup\": %.3f, \"identical\": %s}\n"
+      "}\n",
+      threads_resolved, incprof::util::ThreadPool::hardware_threads(), n, d,
+      k_max, restarts, sweep_serial_ms, sweep_parallel_ms, sweep_speedup,
+      sweep_identical ? "true" : "false",
+      serial_an.intervals.num_intervals(), an_serial_ms, an_parallel_ms,
+      an_speedup, an_identical ? "true" : "false");
+  os << buf;
+  os.close();
+
+  std::printf("sweep:   serial %.1f ms, parallel %.1f ms, speedup %.2fx, "
+              "identical=%s\n",
+              sweep_serial_ms, sweep_parallel_ms, sweep_speedup,
+              sweep_identical ? "yes" : "NO");
+  std::printf("analyze: serial %.1f ms, parallel %.1f ms, speedup %.2fx, "
+              "identical=%s\n",
+              an_serial_ms, an_parallel_ms, an_speedup,
+              an_identical ? "yes" : "NO");
+  std::printf("baseline written to %s\n", path.c_str());
+  return (sweep_identical && an_identical) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Pre-parse our own flags (--json[=path], --threads n) and strip them
+  // before google-benchmark sees the command line.
+  bool json = false;
+  std::string json_path;
+  std::size_t threads = 0;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      std::int64_t v = 0;
+      if (!incprof::util::parse_int(argv[++i], 0, 1024, v)) {
+        std::fprintf(stderr, "--threads: invalid value '%s'\n", argv[i]);
+        return 2;
+      }
+      threads = static_cast<std::size_t>(v);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (json) {
+    if (json_path.empty()) {
+      json_path = incprof::bench::artifact_path("BENCH_pipeline.json");
+    }
+    return run_json_bench(threads, json_path);
+  }
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_stage_histograms();

@@ -1,6 +1,7 @@
 #include "cluster/dbscan.hpp"
 
 #include "cluster/distance.hpp"
+#include "cluster/distance_cache.hpp"
 #include "util/stats.hpp"
 
 #include <algorithm>
@@ -31,7 +32,8 @@ std::vector<std::size_t> DbscanResult::labels_noise_absorbed(
   return out;
 }
 
-DbscanResult dbscan(const Matrix& points, const DbscanConfig& config) {
+DbscanResult dbscan(const Matrix& points, const DbscanConfig& config,
+                    const DistanceCache* cache) {
   if (config.eps <= 0.0) {
     throw std::invalid_argument("dbscan: eps must be positive");
   }
@@ -41,17 +43,21 @@ DbscanResult dbscan(const Matrix& points, const DbscanConfig& config) {
   if (n == 0) return res;
 
   const double eps2 = config.eps * config.eps;
+  auto pair_dist2 = [&](std::size_t i, std::size_t j) {
+    return cache != nullptr ? cache->dist2(i, j)
+                            : squared_euclidean(points.row(i),
+                                                points.row(j));
+  };
   auto neighbors = [&](std::size_t i) {
     std::vector<std::size_t> out;
     for (std::size_t j = 0; j < n; ++j) {
-      if (squared_euclidean(points.row(i), points.row(j)) <= eps2) {
-        out.push_back(j);
-      }
+      if (pair_dist2(i, j) <= eps2) out.push_back(j);
     }
     return out;
   };
 
   std::vector<bool> visited(n, false);
+  std::vector<bool> queued(n, false);
   std::size_t next_label = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (visited[i]) continue;
@@ -61,16 +67,33 @@ DbscanResult dbscan(const Matrix& points, const DbscanConfig& config) {
 
     const std::size_t label = next_label++;
     res.labels[i] = label;
-    std::deque<std::size_t> frontier(nb.begin(), nb.end());
+    std::deque<std::size_t> frontier;
+    // Admission filter: a point enters the frontier at most once per
+    // cluster expansion. A visited point would only get its noise label
+    // absorbed on dequeue, so do that here instead of queueing it —
+    // dense data used to inflate the frontier to O(n^2) entries, one
+    // per (core point, neighbor) edge.
+    auto admit = [&](std::size_t j) {
+      if (visited[j]) {
+        if (res.labels[j] == DbscanResult::kNoise) res.labels[j] = label;
+        return;
+      }
+      if (queued[j]) return;
+      queued[j] = true;
+      frontier.push_back(j);
+      res.peak_frontier = std::max(res.peak_frontier, frontier.size());
+    };
+    for (auto j : nb) admit(j);
     while (!frontier.empty()) {
       const std::size_t j = frontier.front();
       frontier.pop_front();
+      queued[j] = false;
       if (res.labels[j] == DbscanResult::kNoise) res.labels[j] = label;
       if (visited[j]) continue;
       visited[j] = true;
       auto nb2 = neighbors(j);
       if (nb2.size() >= config.min_pts) {
-        frontier.insert(frontier.end(), nb2.begin(), nb2.end());
+        for (auto q : nb2) admit(q);
       }
     }
   }
@@ -82,7 +105,7 @@ DbscanResult dbscan(const Matrix& points, const DbscanConfig& config) {
 }
 
 double suggest_eps(const Matrix& points, std::size_t min_pts,
-                   double quantile) {
+                   double quantile, const DistanceCache* cache) {
   const std::size_t n = points.rows();
   if (n == 0) return 1.0;
   const std::size_t k = std::min(min_pts, n - 1);
@@ -93,7 +116,8 @@ double suggest_eps(const Matrix& points, std::size_t min_pts,
   std::vector<double> d(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      d[j] = euclidean(points.row(i), points.row(j));
+      d[j] = cache != nullptr ? cache->dist(i, j)
+                              : euclidean(points.row(i), points.row(j));
     }
     std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k),
                      d.end());

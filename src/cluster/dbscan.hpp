@@ -10,6 +10,8 @@
 
 namespace incprof::cluster {
 
+class DistanceCache;
+
 /// DBSCAN parameters.
 struct DbscanConfig {
   /// Neighborhood radius (Euclidean).
@@ -28,6 +30,10 @@ struct DbscanResult {
   std::size_t num_clusters = 0;
   /// Number of points labelled noise.
   std::size_t num_noise = 0;
+  /// Largest BFS frontier observed during any cluster expansion. The
+  /// admission filter bounds this by n (each point queues at most once
+  /// per expansion); tests assert the bound on dense data.
+  std::size_t peak_frontier = 0;
 
   /// Labels with noise points reassigned to their nearest cluster (by
   /// nearest labelled neighbor); lets ARI-style comparisons against
@@ -36,12 +42,18 @@ struct DbscanResult {
 };
 
 /// Runs DBSCAN over the rows of `points` with Euclidean distance.
-/// O(n^2) neighborhood search — fine for hundreds of intervals.
-DbscanResult dbscan(const Matrix& points, const DbscanConfig& config);
+/// O(n^2) neighborhood search — fine for hundreds of intervals. When a
+/// DistanceCache built over the same rows is supplied, neighborhood
+/// scans read it instead of recomputing distances (bit-identical
+/// results either way).
+DbscanResult dbscan(const Matrix& points, const DbscanConfig& config,
+                    const DistanceCache* cache = nullptr);
 
 /// Heuristic eps: the `quantile` (e.g. 0.9) of each point's distance to
 /// its min_pts-th nearest neighbor — the standard k-distance heuristic.
+/// Shares the optional DistanceCache with dbscan().
 double suggest_eps(const Matrix& points, std::size_t min_pts,
-                   double quantile = 0.9);
+                   double quantile = 0.9,
+                   const DistanceCache* cache = nullptr);
 
 }  // namespace incprof::cluster

@@ -37,7 +37,12 @@ double cosine(std::span<const double> a, std::span<const double> b) noexcept {
     na += a[i] * a[i];
     nb += b[i] * b[i];
   }
-  if (na == 0.0 || nb == 0.0) return 0.0;
+  // A zero vector has no direction: against another zero vector it is
+  // identical (distance 0), but against any busy interval it must be
+  // maximally distant — returning 0 here made every idle interval look
+  // identical to every busy one.
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return 1.0;
   double sim = dot / (std::sqrt(na) * std::sqrt(nb));
   if (sim > 1.0) sim = 1.0;
   if (sim < -1.0) sim = -1.0;

@@ -1,0 +1,34 @@
+#include "cluster/distance_cache.hpp"
+
+#include "cluster/distance.hpp"
+#include "util/thread_pool.hpp"
+
+namespace incprof::cluster {
+
+DistanceCache DistanceCache::build(const Matrix& points,
+                                   util::ThreadPool* pool) {
+  DistanceCache cache;
+  const std::size_t n = points.rows();
+  cache.n_ = n;
+  if (n < 2) return cache;
+  cache.d2_.resize(n * (n - 1) / 2);
+
+  auto fill_row = [&](std::size_t i) {
+    const std::size_t base = i * (2 * n - i - 1) / 2;
+    const auto ri = points.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cache.d2_[base + (j - i - 1)] = squared_euclidean(ri, points.row(j));
+    }
+  };
+
+  if (pool != nullptr) {
+    // One task per row: early rows carry more columns, but the pool's
+    // index-claiming balances the tail automatically.
+    pool->parallel_for(n - 1, fill_row);
+  } else {
+    for (std::size_t i = 0; i + 1 < n; ++i) fill_row(i);
+  }
+  return cache;
+}
+
+}  // namespace incprof::cluster

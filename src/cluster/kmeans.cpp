@@ -2,6 +2,7 @@
 
 #include "cluster/distance.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -18,6 +19,11 @@ std::size_t KMeansResult::cluster_size(std::size_t c) const noexcept {
 }
 
 namespace {
+
+/// Rows per parallel assignment task; fixed (never derived from the
+/// thread count) so the work decomposition — and therefore every
+/// floating-point reduction order — is identical at any pool size.
+constexpr std::size_t kAssignBlock = 256;
 
 /// k-means++ seeding: first centroid uniform, each next centroid chosen
 /// with probability proportional to squared distance from nearest chosen.
@@ -66,34 +72,69 @@ struct LloydRun {
   std::size_t iterations = 0;
 };
 
+/// Nearest-centroid search for one row.
+inline void assign_row(const Matrix& pts, const Matrix& centroids,
+                       std::size_t r, std::size_t k, double& best,
+                       std::size_t& besti) {
+  best = std::numeric_limits<double>::max();
+  besti = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
+    if (d2 < best) {
+      best = d2;
+      besti = c;
+    }
+  }
+}
+
+/// One full assignment pass. With a pool, rows are computed in fixed
+/// kAssignBlock tasks (per-row results are independent slots) and the
+/// inertia is then reduced serially in row order — bit-identical to the
+/// serial loop, which accumulates in that same order.
+double assignment_pass(const Matrix& pts, const Matrix& centroids,
+                       std::size_t k, std::vector<std::size_t>& assignments,
+                       std::vector<double>& best_dist,
+                       util::ThreadPool* pool) {
+  const std::size_t n = pts.rows();
+  if (pool != nullptr && n >= 2 * kAssignBlock) {
+    const std::size_t blocks = (n + kAssignBlock - 1) / kAssignBlock;
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t lo = b * kAssignBlock;
+      const std::size_t hi = std::min(n, lo + kAssignBlock);
+      for (std::size_t r = lo; r < hi; ++r) {
+        assign_row(pts, centroids, r, k, best_dist[r], assignments[r]);
+      }
+    });
+    double inertia = 0.0;
+    for (std::size_t r = 0; r < n; ++r) inertia += best_dist[r];
+    return inertia;
+  }
+  double inertia = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    assign_row(pts, centroids, r, k, best_dist[r], assignments[r]);
+    inertia += best_dist[r];
+  }
+  return inertia;
+}
+
 LloydRun lloyd(const Matrix& pts, Matrix centroids,
-               const KMeansConfig& cfg, util::Rng& rng) {
+               const KMeansConfig& cfg, util::Rng& rng,
+               util::ThreadPool* pool) {
   const std::size_t n = pts.rows();
   const std::size_t d = pts.cols();
   const std::size_t k = centroids.rows();
 
   LloydRun run;
   run.assignments.assign(n, 0);
+  std::vector<double> best_dist(n, 0.0);
   std::vector<std::size_t> counts(k, 0);
 
   for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
     run.iterations = iter + 1;
 
     // Assignment step.
-    run.inertia = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      double best = std::numeric_limits<double>::max();
-      std::size_t besti = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
-        if (d2 < best) {
-          best = d2;
-          besti = c;
-        }
-      }
-      run.assignments[r] = besti;
-      run.inertia += best;
-    }
+    run.inertia =
+        assignment_pass(pts, centroids, k, run.assignments, best_dist, pool);
 
     // Update step.
     Matrix next(k, d);
@@ -124,27 +165,35 @@ LloydRun lloyd(const Matrix& pts, Matrix centroids,
 
   // Final assignment against the last centroids so assignments and
   // centroids are mutually consistent.
-  run.inertia = 0.0;
-  for (std::size_t r = 0; r < n; ++r) {
-    double best = std::numeric_limits<double>::max();
-    std::size_t besti = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
-      if (d2 < best) {
-        best = d2;
-        besti = c;
-      }
-    }
-    run.assignments[r] = besti;
-    run.inertia += best;
-  }
+  run.inertia =
+      assignment_pass(pts, centroids, k, run.assignments, best_dist, pool);
   run.centroids = std::move(centroids);
   return run;
 }
 
 }  // namespace
 
-KMeansResult kmeans(const Matrix& points, const KMeansConfig& config) {
+KMeansResult kmeans_run(const Matrix& points, const KMeansConfig& config,
+                        util::Rng& rng, util::ThreadPool* pool) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    throw std::invalid_argument("kmeans: empty input matrix");
+  }
+  if (config.k == 0) {
+    throw std::invalid_argument("kmeans: k must be >= 1");
+  }
+  const std::size_t k = std::min(config.k, points.rows());
+  Matrix seeds = seed_centroids(points, k, rng);
+  LloydRun run = lloyd(points, std::move(seeds), config, rng, pool);
+  KMeansResult result;
+  result.assignments = std::move(run.assignments);
+  result.centroids = std::move(run.centroids);
+  result.inertia = run.inertia;
+  result.iterations = run.iterations;
+  return result;
+}
+
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& config,
+                    util::ThreadPool* pool) {
   if (points.rows() == 0 || points.cols() == 0) {
     throw std::invalid_argument("kmeans: empty input matrix");
   }
@@ -160,13 +209,9 @@ KMeansResult kmeans(const Matrix& points, const KMeansConfig& config) {
   const std::size_t restarts = std::max<std::size_t>(1, config.n_init);
   for (std::size_t s = 0; s < restarts; ++s) {
     util::Rng run_rng = rng.split();
-    Matrix seeds = seed_centroids(points, k, run_rng);
-    LloydRun run = lloyd(points, std::move(seeds), config, run_rng);
+    KMeansResult run = kmeans_run(points, config, run_rng, pool);
     if (run.inertia < best.inertia) {
-      best.assignments = std::move(run.assignments);
-      best.centroids = std::move(run.centroids);
-      best.inertia = run.inertia;
-      best.iterations = run.iterations;
+      best = std::move(run);
     }
   }
 

@@ -8,6 +8,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace incprof::util {
+class Rng;
+class ThreadPool;
+}  // namespace incprof::util
+
 namespace incprof::cluster {
 
 /// k-means configuration.
@@ -45,6 +50,18 @@ struct KMeansResult {
 /// Runs k-means on `points` (rows = observations). Throws
 /// std::invalid_argument if points is empty or config.k == 0.
 /// k larger than the number of rows is clamped to the row count.
-KMeansResult kmeans(const Matrix& points, const KMeansConfig& config);
+/// A ThreadPool parallelizes the Lloyd assignment step for large inputs;
+/// results are bit-identical to the serial path (per-row distances are
+/// independent slots, the inertia is reduced serially in row order).
+KMeansResult kmeans(const Matrix& points, const KMeansConfig& config,
+                    util::ThreadPool* pool = nullptr);
+
+/// One restart: k-means++ seeding plus Lloyd iteration driven by the
+/// caller's RNG stream. This is the unit the parallel k-sweep fans out —
+/// derive one Rng per restart serially (rng.split() in restart order),
+/// then each grid cell runs independently. `populated_clusters` is left
+/// at 0; multi-restart wrappers fill it for the winning run.
+KMeansResult kmeans_run(const Matrix& points, const KMeansConfig& config,
+                        util::Rng& rng, util::ThreadPool* pool = nullptr);
 
 }  // namespace incprof::cluster

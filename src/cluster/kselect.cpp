@@ -1,11 +1,25 @@
 #include "cluster/kselect.hpp"
 
+#include "cluster/distance_cache.hpp"
 #include "cluster/quality.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace incprof::cluster {
+
+namespace {
+
+/// Largest input for which sweep_k builds a DistanceCache on its own:
+/// 16384 rows is a ~1 GB condensed buffer, the most we silently spend.
+/// Callers with bigger inputs (or tighter budgets) pass their own cache
+/// or live with the O(n^2 d) recomputation.
+constexpr std::size_t kAutoCacheMaxRows = 16384;
+
+}  // namespace
 
 std::vector<double> KSweep::inertia_curve() const {
   std::vector<double> out;
@@ -16,17 +30,72 @@ std::vector<double> KSweep::inertia_curve() const {
 
 KSweep sweep_k(const Matrix& points, std::size_t k_max,
                const KMeansConfig& base) {
+  return sweep_k(points, k_max, base, nullptr, nullptr);
+}
+
+KSweep sweep_k(const Matrix& points, std::size_t k_max,
+               const KMeansConfig& base, util::ThreadPool* pool,
+               const DistanceCache* cache) {
   if (k_max == 0) throw std::invalid_argument("sweep_k: k_max must be >= 1");
   KSweep sweep;
   const std::size_t top = std::min(k_max, points.rows());
+  if (top == 0) return sweep;
+
+  DistanceCache local_cache;
+  if (cache == nullptr && points.rows() >= 2 &&
+      points.rows() <= kAutoCacheMaxRows) {
+    local_cache = DistanceCache::build(points, pool);
+    cache = &local_cache;
+  }
+
+  // Derive every restart's RNG stream serially, in exactly the order the
+  // serial path consumes them (fresh Rng(seed) per k, split() in restart
+  // order), before anything fans out — the grid can then run the cells
+  // in any interleaving without perturbing seeding.
+  const std::size_t restarts = std::max<std::size_t>(1, base.n_init);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(top * restarts);
   for (std::size_t k = 1; k <= top; ++k) {
+    util::Rng rng(base.seed);
+    for (std::size_t s = 0; s < restarts; ++s) rngs.push_back(rng.split());
+  }
+
+  // Fan out the k x restart grid: each cell is one independent restart
+  // writing its own slot. Inside a grid task a nested parallel_for runs
+  // inline, so passing the pool down is harmless; it only buys extra
+  // parallelism on the serial-grid path.
+  std::vector<KMeansResult> grid(top * restarts);
+  auto run_cell = [&](std::size_t idx) {
     KMeansConfig cfg = base;
-    cfg.k = k;
+    cfg.k = idx / restarts + 1;
+    util::Rng rng = rngs[idx];
+    grid[idx] = kmeans_run(points, cfg, rng, pool);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(grid.size(), run_cell);
+  } else {
+    for (std::size_t idx = 0; idx < grid.size(); ++idx) run_cell(idx);
+  }
+
+  // Pick each k's winner by strict `<` in restart order — the same
+  // tie-breaking the serial restart loop applies.
+  for (std::size_t ki = 0; ki < top; ++ki) {
+    std::size_t best = ki * restarts;
+    for (std::size_t s = 1; s < restarts; ++s) {
+      const std::size_t idx = ki * restarts + s;
+      if (grid[idx].inertia < grid[best].inertia) best = idx;
+    }
     KSweepEntry entry;
-    entry.k = k;
-    entry.result = kmeans(points, cfg);
+    entry.k = ki + 1;
+    entry.result = std::move(grid[best]);
+    std::vector<bool> seen(entry.k, false);
+    for (auto a : entry.result.assignments) seen[a] = true;
+    entry.result.populated_clusters = static_cast<std::size_t>(
+        std::count(seen.begin(), seen.end(), true));
     entry.silhouette =
-        k >= 2 ? mean_silhouette(points, entry.result.assignments) : 0.0;
+        entry.k >= 2
+            ? mean_silhouette(points, entry.result.assignments, cache, pool)
+            : 0.0;
     sweep.entries.push_back(std::move(entry));
   }
   return sweep;
@@ -35,6 +104,15 @@ KSweep sweep_k(const Matrix& points, std::size_t k_max,
 std::size_t select_elbow(const KSweep& sweep) {
   const auto& es = sweep.entries;
   if (es.empty()) throw std::invalid_argument("select_elbow: empty sweep");
+
+  // A flat curve (WCSS barely improves with k) means one phase. This
+  // guard must run before any short-sweep shortcut: returning the last
+  // entry unconditionally made a structureless 2-entry sweep report
+  // k=2 every time.
+  if (es.front().result.inertia - es.back().result.inertia <=
+      1e-9 * std::max(std::fabs(es.front().result.inertia), 1.0)) {
+    return 0;
+  }
   if (es.size() <= 2) return es.size() - 1;
 
   // WCSS decays roughly geometrically in k for well-separated phases, so
@@ -52,10 +130,8 @@ std::size_t select_elbow(const KSweep& sweep) {
   const double y1 = logy(es.size() - 1);
 
   const double span = y0 - y1;
-  if (es.front().result.inertia - es.back().result.inertia <=
-          1e-9 * std::max(std::fabs(es.front().result.inertia), 1.0) ||
-      span <= 1e-12) {
-    // WCSS barely improves with k: one phase.
+  if (span <= 1e-12) {
+    // Degenerate on the log curve too: one phase.
     return 0;
   }
 

@@ -10,6 +10,8 @@
 
 namespace incprof::cluster {
 
+class DistanceCache;
+
 /// Which quantitative k-selection rule to apply to the sweep.
 enum class KSelection { kElbow, kSilhouette };
 
@@ -34,10 +36,23 @@ struct KSweep {
 KSweep sweep_k(const Matrix& points, std::size_t k_max,
                const KMeansConfig& base);
 
+/// Parallel sweep: fans the full (k, restart) grid out over `pool` and
+/// scores silhouettes through `cache`. Per-restart RNG streams are
+/// derived serially in the same order the serial path uses and the best
+/// restart per k is selected by strict `<` in restart order, so the
+/// result is bit-identical to the serial sweep for the same seed. When
+/// `cache` is null one is built automatically for inputs small enough
+/// that its n^2/2 buffer is cheap (see DistanceCache::bytes_required);
+/// pass an explicit cache to share it with DBSCAN or other consumers.
+KSweep sweep_k(const Matrix& points, std::size_t k_max,
+               const KMeansConfig& base, util::ThreadPool* pool,
+               const DistanceCache* cache = nullptr);
+
 /// Elbow selection: the k whose point on the (k, WCSS) curve is farthest
 /// from the chord joining the curve's endpoints (the standard geometric
 /// "maximum curvature" formulation of the elbow heuristic). Returns the
-/// index into sweep.entries. A flat curve (no structure) returns 0 (k=1).
+/// index into sweep.entries. A flat curve (no structure) returns 0 (k=1),
+/// whatever the sweep length — two-entry sweeps included.
 std::size_t select_elbow(const KSweep& sweep);
 
 /// Silhouette selection: the k (>= 2) with maximal mean silhouette;

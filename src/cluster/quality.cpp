@@ -1,6 +1,8 @@
 #include "cluster/quality.hpp"
 
 #include "cluster/distance.hpp"
+#include "cluster/distance_cache.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -9,13 +11,38 @@
 
 namespace incprof::cluster {
 
-double mean_silhouette(const Matrix& points,
-                       const std::vector<std::size_t>& assignments) {
-  const std::size_t n = points.rows();
-  if (assignments.size() != n) {
-    throw std::invalid_argument("mean_silhouette: size mismatch");
+namespace {
+
+/// Silhouette of point i against its clustering; `dist(i, j)` supplies
+/// the pairwise Euclidean distance (direct or cached — both compute the
+/// same IEEE expression, see DistanceCache). Self-contained per point so
+/// the parallel path can compute each i into its own slot.
+template <typename DistFn>
+double point_silhouette(const DistFn& dist, std::size_t n, std::size_t k,
+                        const std::vector<std::size_t>& assignments,
+                        const std::vector<std::size_t>& sizes,
+                        std::size_t i, std::vector<double>& mean_dist) {
+  mean_dist.assign(k, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (i == j) continue;
+    mean_dist[assignments[j]] += dist(i, j);
   }
-  if (n == 0) return 0.0;
+  const std::size_t ci = assignments[i];
+  if (sizes[ci] <= 1) return 0.0;  // singleton: silhouette defined as 0
+  const double a = mean_dist[ci] / static_cast<double>(sizes[ci] - 1);
+  double b = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    if (c == ci || sizes[c] == 0) continue;
+    b = std::min(b, mean_dist[c] / static_cast<double>(sizes[c]));
+  }
+  const double denom = std::max(a, b);
+  return denom > 0.0 ? (b - a) / denom : 0.0;
+}
+
+template <typename DistFn>
+double mean_silhouette_impl(const DistFn& dist, std::size_t n,
+                            const std::vector<std::size_t>& assignments,
+                            util::ThreadPool* pool) {
   const std::size_t k =
       1 + *std::max_element(assignments.begin(), assignments.end());
   if (k <= 1 || n <= k) return 0.0;
@@ -23,32 +50,53 @@ double mean_silhouette(const Matrix& points,
   std::vector<std::size_t> sizes(k, 0);
   for (auto a : assignments) ++sizes[a];
 
-  double total = 0.0;
-  std::size_t counted = 0;
-  std::vector<double> mean_dist(k);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      mean_dist[assignments[j]] += euclidean(points.row(i), points.row(j));
+  std::vector<double> sil(n, 0.0);
+  if (pool != nullptr) {
+    pool->parallel_for(n, [&](std::size_t i) {
+      std::vector<double> mean_dist;
+      sil[i] = point_silhouette(dist, n, k, assignments, sizes, i, mean_dist);
+    });
+  } else {
+    std::vector<double> mean_dist;
+    for (std::size_t i = 0; i < n; ++i) {
+      sil[i] = point_silhouette(dist, n, k, assignments, sizes, i, mean_dist);
     }
-    const std::size_t ci = assignments[i];
-    if (sizes[ci] <= 1) {
-      // Singleton: silhouette defined as 0.
-      ++counted;
-      continue;
-    }
-    const double a = mean_dist[ci] / static_cast<double>(sizes[ci] - 1);
-    double b = std::numeric_limits<double>::max();
-    for (std::size_t c = 0; c < k; ++c) {
-      if (c == ci || sizes[c] == 0) continue;
-      b = std::min(b, mean_dist[c] / static_cast<double>(sizes[c]));
-    }
-    const double denom = std::max(a, b);
-    total += denom > 0.0 ? (b - a) / denom : 0.0;
-    ++counted;
   }
-  return counted ? total / static_cast<double>(counted) : 0.0;
+
+  // Serial reduction in row order — the same addition sequence as the
+  // historical single-loop implementation, so parallel == serial bitwise.
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sizes[assignments[i]] > 1) total += sil[i];
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+double mean_silhouette(const Matrix& points,
+                       const std::vector<std::size_t>& assignments) {
+  return mean_silhouette(points, assignments, nullptr, nullptr);
+}
+
+double mean_silhouette(const Matrix& points,
+                       const std::vector<std::size_t>& assignments,
+                       const DistanceCache* cache, util::ThreadPool* pool) {
+  const std::size_t n = points.rows();
+  if (assignments.size() != n) {
+    throw std::invalid_argument("mean_silhouette: size mismatch");
+  }
+  if (n == 0) return 0.0;
+  if (cache != nullptr && cache->size() == n) {
+    return mean_silhouette_impl(
+        [cache](std::size_t i, std::size_t j) { return cache->dist(i, j); },
+        n, assignments, pool);
+  }
+  return mean_silhouette_impl(
+      [&points](std::size_t i, std::size_t j) {
+        return euclidean(points.row(i), points.row(j));
+      },
+      n, assignments, pool);
 }
 
 double adjusted_rand_index(const std::vector<std::size_t>& a,

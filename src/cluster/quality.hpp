@@ -8,13 +8,28 @@
 #include <cstddef>
 #include <vector>
 
+namespace incprof::util {
+class ThreadPool;
+}  // namespace incprof::util
+
 namespace incprof::cluster {
+
+class DistanceCache;
 
 /// Mean silhouette coefficient over all points, in [-1, 1]. Returns 0 for
 /// k <= 1 or n <= k (silhouette is undefined there; 0 is the conventional
 /// "no structure" score, which makes the k-sweep comparable).
 double mean_silhouette(const Matrix& points,
                        const std::vector<std::size_t>& assignments);
+
+/// Same measure served from a DistanceCache built over the same rows
+/// and/or fanned out over a ThreadPool. Each point's silhouette is an
+/// independent slot and the mean is reduced serially in row order, so
+/// every combination of {cache, pool} returns the bit-identical value.
+double mean_silhouette(const Matrix& points,
+                       const std::vector<std::size_t>& assignments,
+                       const DistanceCache* cache,
+                       util::ThreadPool* pool = nullptr);
 
 /// Adjusted Rand index between two labelings of the same points; 1 for
 /// identical partitions, ~0 for independent ones. Label values need not

@@ -3,14 +3,16 @@
 namespace incprof::core {
 
 PhaseDetection detect_phases(const FeatureSpace& space,
-                             const DetectorConfig& config) {
+                             const DetectorConfig& config,
+                             util::ThreadPool* pool,
+                             const cluster::DistanceCache* cache) {
   cluster::KMeansConfig base;
   base.n_init = config.kmeans_restarts;
   base.max_iters = config.kmeans_max_iters;
   base.seed = config.seed;
 
   PhaseDetection det;
-  det.sweep = cluster::sweep_k(space.features, config.k_max, base);
+  det.sweep = cluster::sweep_k(space.features, config.k_max, base, pool, cache);
   const cluster::KSweepEntry& chosen =
       cluster::select_k(det.sweep, config.selection);
 

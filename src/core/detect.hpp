@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace incprof::util {
+class ThreadPool;
+}  // namespace incprof::util
+
 namespace incprof::core {
 
 /// Detector configuration.
@@ -43,8 +47,13 @@ struct PhaseDetection {
   double silhouette = 0.0;
 };
 
-/// Runs the sweep and k selection over a prepared feature space.
+/// Runs the sweep and k selection over a prepared feature space. A
+/// ThreadPool fans the sweep's (k, restart) grid out; a DistanceCache
+/// built over space.features serves silhouette scoring. Both are
+/// optional and neither changes any result bit (see cluster::sweep_k).
 PhaseDetection detect_phases(const FeatureSpace& space,
-                             const DetectorConfig& config = {});
+                             const DetectorConfig& config = {},
+                             util::ThreadPool* pool = nullptr,
+                             const cluster::DistanceCache* cache = nullptr);
 
 }  // namespace incprof::core

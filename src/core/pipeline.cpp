@@ -1,16 +1,24 @@
 #include "core/pipeline.hpp"
 
+#include "cluster/distance_cache.hpp"
 #include "cluster/kselect.hpp"
 #include "gmon/flat_text.hpp"
 #include "gmon/scanner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/thread_pool.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace incprof::core {
 
 namespace {
+
+/// Most heap the pipeline silently spends on the pairwise-distance
+/// cache (~1 GB, reached around 16k intervals). Larger inputs fall back
+/// to recomputing distances on the fly.
+constexpr std::size_t kCacheBudget = std::size_t{1} << 30;
 
 /// Stage-latency histogram in the global registry, shared by every
 /// analysis run in the process so benches and the daemon can report
@@ -64,10 +72,26 @@ PhaseAnalysis analyze_snapshots(
                          &stage_hist("features"));
     a.features = build_features(a.intervals, config.features);
   }
+  // Pool for the clustering stages (nullptr = serial engine); the
+  // distance cache is built once here and shared by every consumer of
+  // this feature space.
+  std::unique_ptr<util::ThreadPool> pool =
+      util::ThreadPool::create(config.threads);
+  cluster::DistanceCache cache;
+  {
+    obs::ScopedSpan span("pipeline.distance_cache", "analysis",
+                         &stage_hist("distance_cache"));
+    const std::size_t n = a.features.features.rows();
+    if (n >= 2 && cluster::DistanceCache::bytes_required(n) <= kCacheBudget) {
+      cache = cluster::DistanceCache::build(a.features.features, pool.get());
+    }
+  }
   {
     obs::ScopedSpan span("pipeline.kmeans_sweep", "analysis",
                          &stage_hist("kmeans_sweep"));
-    a.detection = detect_phases(a.features, config.detector);
+    a.detection =
+        detect_phases(a.features, config.detector, pool.get(),
+                      cache.size() > 0 ? &cache : nullptr);
   }
   {
     obs::ScopedSpan span("pipeline.k_select", "analysis",

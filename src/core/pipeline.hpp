@@ -33,6 +33,10 @@ struct PipelineConfig {
   /// Apply merge_phases_by_sites postprocessing (off by default: the
   /// paper reports results without it and lists it as future work).
   bool merge_phases = false;
+  /// Analysis threads: 0 = hardware concurrency, 1 = the serial engine
+  /// (the historical code path). Results are bit-identical at any value
+  /// for the same seed; threads only change wall time.
+  std::size_t threads = 0;
 };
 
 /// Everything the analysis produced, kept together for reporting.

@@ -2,6 +2,7 @@
 
 #include "obs/clock.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <string>
@@ -23,7 +24,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (started_.exchange(true)) return;
-  const std::size_t n = std::max<std::size_t>(1, cfg_.worker_threads);
+  const std::size_t n = util::ThreadPool::resolve(cfg_.worker_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -24,8 +24,9 @@ namespace incprof::service {
 
 /// Daemon configuration.
 struct ServerConfig {
-  /// Tracker workers shared across all sessions.
-  std::size_t worker_threads = 4;
+  /// Tracker workers shared across all sessions. 0 = hardware
+  /// concurrency (resolved at start()); 1 = a single worker.
+  std::size_t worker_threads = 0;
   /// Per-session queue + tracker parameters.
   SessionConfig session;
   /// Master switch for pushing kPhaseEvent frames to subscribed
@@ -90,6 +91,10 @@ class Server {
 
   /// Largest per-session queue depth observed since start.
   std::size_t max_observed_queue_depth() const;
+
+  /// Tracker workers actually running (resolves worker_threads == 0);
+  /// meaningful after start().
+  std::size_t worker_count() const noexcept { return workers_.size(); }
 
  private:
   struct Handler {

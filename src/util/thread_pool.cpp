@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace incprof::util {
+
+namespace {
+
+/// True on threads that are currently inside a job body; a nested
+/// parallel_for from such a thread runs inline (fanning out again would
+/// deadlock on the pool's own barrier).
+thread_local bool t_inside_job = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::resolve(std::size_t requested) noexcept {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+std::unique_ptr<ThreadPool> ThreadPool::create(std::size_t requested) {
+  const std::size_t n = resolve(requested);
+  if (n <= 1) return nullptr;
+  // The caller participates in every job, so n threads of compute need
+  // only n - 1 pool workers.
+  return std::make_unique<ThreadPool>(n - 1);
+}
+
+void ThreadPool::run_indices(const std::function<void(std::size_t)>& fn,
+                             std::size_t n) noexcept {
+  const bool was_inside = t_inside_job;
+  t_inside_job = true;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    if (failed_.load(std::memory_order_relaxed)) continue;
+    try {
+      fn(i);
+    } catch (...) {
+      MutexLock lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+  t_inside_job = was_inside;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_inside_job) {
+    // Serial fast path: no workers, a single index, or a nested call
+    // from inside a job body (inline keeps the outer barrier sound).
+    const bool was_inside = t_inside_job;
+    t_inside_job = true;
+    struct Restore {
+      bool* flag;
+      bool value;
+      ~Restore() { *flag = value; }
+    } restore{&t_inside_job, was_inside};
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  MutexLock call_lock(call_mu_);
+  {
+    MutexLock lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    finished_ = 0;
+    error_ = nullptr;
+    failed_.store(false, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    work_cv_.notify_all();
+  }
+
+  run_indices(fn, n);
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    // Every worker acknowledges the generation exactly once, so this
+    // wait is a full barrier: when it returns, no thread still holds a
+    // reference to fn and all job writes are visible to the caller.
+    while (finished_ < workers_.size()) done_cv_.wait(mu_);
+    job_fn_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_cv_.wait(mu_);
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    run_indices(*fn, n);
+    MutexLock lock(mu_);
+    ++finished_;
+    if (finished_ == workers_.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace incprof::util

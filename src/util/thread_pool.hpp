@@ -1,0 +1,98 @@
+// Fork-join worker pool for the parallel analysis engine. The design
+// goal is *determinism*, not general task scheduling: parallel_for(n, fn)
+// runs fn(i) exactly once for every i in [0, n), each index computes an
+// independent result into its own slot, and every reduction over those
+// slots is performed by the caller in canonical index order afterwards —
+// so the outcome is bit-identical to a serial loop regardless of thread
+// count or interleaving. The pool is annotated with the repo's
+// thread-safety machinery (util::Mutex / INCPROF_GUARDED_BY) so the
+// clang analysis and the TSan lane cover it like the daemon.
+#pragma once
+
+#include "util/thread_annotations.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace incprof::util {
+
+/// Persistent worker pool executing one indexed fork-join job at a time.
+/// Thread roles: any external thread may call parallel_for (concurrent
+/// callers are serialized); pool workers only ever run job bodies. A
+/// parallel_for issued *from inside* a job body runs inline on the
+/// calling worker (no nested fan-out, no deadlock).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. Zero workers is valid and makes every
+  /// parallel_for run inline on the caller (the serial engine).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers. No parallel_for may be in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool worker threads (the caller participates too, so up
+  /// to size() + 1 threads execute a job).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) exactly once for each i in [0, n), distributing indices
+  /// over the workers plus the calling thread, and returns when all have
+  /// completed. Exceptions thrown by fn are captured (first one wins),
+  /// remaining indices are skipped, and the exception is rethrown here.
+  /// All writes made by fn happen-before the return.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads() noexcept;
+
+  /// Resolves a --threads style request: 0 means hardware_threads().
+  static std::size_t resolve(std::size_t requested) noexcept;
+
+  /// Pool for a --threads request, or nullptr when the resolved count is
+  /// 1 (serial: no pool, no worker threads, the old code path).
+  static std::unique_ptr<ThreadPool> create(std::size_t requested);
+
+ private:
+  void worker_loop();
+  /// Claims and runs indices of the current job until none remain.
+  void run_indices(const std::function<void(std::size_t)>& fn,
+                   std::size_t n) noexcept;
+
+  // Serializes concurrent parallel_for callers: acquired first, held for
+  // the whole job (lock order: call_mu_ -> mu_; workers take only mu_).
+  Mutex call_mu_;
+
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// Current job body; valid from publication until every worker has
+  /// reported finished_ for its generation.
+  const std::function<void(std::size_t)>* job_fn_
+      INCPROF_GUARDED_BY(mu_) = nullptr;
+  std::size_t job_n_ INCPROF_GUARDED_BY(mu_) = 0;
+  /// Bumped once per job; workers acknowledge each generation exactly
+  /// once, so the caller's finished_ wait is a full barrier.
+  std::uint64_t generation_ INCPROF_GUARDED_BY(mu_) = 0;
+  std::size_t finished_ INCPROF_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ INCPROF_GUARDED_BY(mu_);
+  bool stop_ INCPROF_GUARDED_BY(mu_) = false;
+
+  /// Next unclaimed job index; relaxed fetch_add, slots are disjoint.
+  std::atomic<std::size_t> next_{0};
+  /// Set on the first job-body exception so the rest of the grid is
+  /// drained without running.
+  std::atomic<bool> failed_{false};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace incprof::util

@@ -1,5 +1,6 @@
 #include "cluster/dbscan.hpp"
 
+#include "cluster/distance_cache.hpp"
 #include "cluster/quality.hpp"
 #include "util/rng.hpp"
 
@@ -132,6 +133,41 @@ TEST(Dbscan, BorderPointJoinsCluster) {
   EXPECT_EQ(res.num_noise, 0u);
 }
 
+TEST(Dbscan, FrontierStaysBoundedOnDenseData) {
+  // Worst case for the old frontier: every point is a core point and a
+  // neighbor of every other, so each expansion used to push one entry
+  // per (core, neighbor) edge — O(n^2) queue entries. The admission
+  // filter admits each point at most once, so the frontier peaks at n.
+  util::Rng rng(6);
+  const std::size_t n = 200;
+  Matrix m(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    m.at(r, 0) = rng.next_gaussian() * 0.1;
+    m.at(r, 1) = rng.next_gaussian() * 0.1;
+  }
+  DbscanConfig cfg;
+  cfg.eps = 10.0;  // everyone neighbors everyone
+  cfg.min_pts = 2;
+  const auto res = dbscan(m, cfg);
+  EXPECT_EQ(res.num_clusters, 1u);
+  EXPECT_GT(res.peak_frontier, 0u);
+  EXPECT_LE(res.peak_frontier, n);
+}
+
+TEST(Dbscan, DistanceCacheGivesIdenticalResult) {
+  const Blobs b = two_blobs_with_noise(7);
+  const auto cache = DistanceCache::build(b.points);
+  DbscanConfig cfg;
+  cfg.eps = 2.0;
+  cfg.min_pts = 4;
+  const auto direct = dbscan(b.points, cfg);
+  const auto cached = dbscan(b.points, cfg, &cache);
+  EXPECT_EQ(direct.labels, cached.labels);
+  EXPECT_EQ(direct.num_clusters, cached.num_clusters);
+  EXPECT_EQ(direct.num_noise, cached.num_noise);
+  EXPECT_EQ(direct.peak_frontier, cached.peak_frontier);
+}
+
 TEST(SuggestEps, ScalesWithSpread) {
   const Blobs tight = two_blobs_with_noise(5);
   const double eps = suggest_eps(tight.points, 4);
@@ -146,6 +182,14 @@ TEST(SuggestEps, DegenerateInputs) {
   EXPECT_EQ(suggest_eps(empty, 4), 1.0);
   Matrix one(1, 1, {3.0});
   EXPECT_EQ(suggest_eps(one, 4), 1.0);
+}
+
+TEST(SuggestEps, DistanceCacheGivesIdenticalValue) {
+  const Blobs b = two_blobs_with_noise(8);
+  const auto cache = DistanceCache::build(b.points);
+  // Bitwise equality: the cache serves sqrt(squared_euclidean), the
+  // same expression the direct path computes.
+  EXPECT_EQ(suggest_eps(b.points, 4), suggest_eps(b.points, 4, 0.9, &cache));
 }
 
 }  // namespace

@@ -36,9 +36,12 @@ TEST(Distance, CosineOppositeIsTwo) {
 }
 
 TEST(Distance, CosineZeroVectorConvention) {
+  // A zero vector has no direction: identical to another zero vector,
+  // maximally distant from anything with one. (An idle interval must
+  // never look identical to a busy one.)
   const std::vector<double> z{0, 0}, b{1, 2};
-  EXPECT_EQ(cosine(z, b), 0.0);
-  EXPECT_EQ(cosine(b, z), 0.0);
+  EXPECT_EQ(cosine(z, b), 1.0);
+  EXPECT_EQ(cosine(b, z), 1.0);
   EXPECT_EQ(cosine(z, z), 0.0);
 }
 

@@ -99,6 +99,36 @@ TEST(SelectElbow, FlatCurveMeansOnePhase) {
   EXPECT_EQ(sweep.entries[select_elbow(sweep)].k, 1u);
 }
 
+TEST(SelectElbow, TwoEntryFlatSweepMeansOnePhase) {
+  // Identical points: k=2 cannot improve on k=1. The short-sweep path
+  // used to return the last entry unconditionally, reporting two phases
+  // for structureless data whenever k_max was clamped to 2.
+  Matrix m(2, 2);
+  for (std::size_t r = 0; r < 2; ++r) {
+    m.at(r, 0) = 3.0;
+    m.at(r, 1) = 3.0;
+  }
+  const KSweep sweep = sweep_k(m, 2, {});
+  ASSERT_EQ(sweep.entries.size(), 2u);
+  EXPECT_EQ(select_elbow(sweep), 0u);
+}
+
+TEST(SelectElbow, TwoEntrySweepWithStructurePicksTwo) {
+  // Two genuinely distinct groups: WCSS collapses at k=2, so a 2-entry
+  // sweep should still pick it.
+  const Matrix m = blobs(2, 10, 20.0, 9);
+  const KSweep sweep = sweep_k(m, 2, {});
+  ASSERT_EQ(sweep.entries.size(), 2u);
+  EXPECT_EQ(select_elbow(sweep), 1u);
+  EXPECT_EQ(sweep.entries[1].k, 2u);
+}
+
+TEST(SweepK, EmptyMatrixYieldsEmptySweep) {
+  Matrix m(0, 0);
+  const KSweep sweep = sweep_k(m, 8, {});
+  EXPECT_TRUE(sweep.entries.empty());
+}
+
 TEST(SelectElbow, SingleEntrySweep) {
   Matrix m(1, 1, {1.0});
   const KSweep sweep = sweep_k(m, 1, {});

@@ -81,6 +81,32 @@ TEST(Pipeline, TextRoundTripMatchesBinaryAnalysis) {
   }
 }
 
+TEST(Pipeline, ThreadCountNeverChangesTheAnswer) {
+  // The parallel engine's contract: --threads trades wall time only.
+  // Detection (assignments, phase count, every sweep entry) must be
+  // bit-identical between the serial engine and a pooled run.
+  const auto snaps = cumulative_from_intervals(three_phase_workload(18));
+  PipelineConfig serial;
+  serial.threads = 1;
+  PipelineConfig pooled;
+  pooled.threads = 4;
+  const PhaseAnalysis a = analyze_snapshots(snaps, serial);
+  const PhaseAnalysis b = analyze_snapshots(snaps, pooled);
+  EXPECT_EQ(a.detection.num_phases, b.detection.num_phases);
+  EXPECT_EQ(a.detection.assignments, b.detection.assignments);
+  EXPECT_EQ(a.chosen_sweep_index, b.chosen_sweep_index);
+  ASSERT_EQ(a.detection.sweep.entries.size(),
+            b.detection.sweep.entries.size());
+  for (std::size_t i = 0; i < a.detection.sweep.entries.size(); ++i) {
+    const auto& ea = a.detection.sweep.entries[i];
+    const auto& eb = b.detection.sweep.entries[i];
+    EXPECT_EQ(ea.k, eb.k);
+    EXPECT_EQ(ea.silhouette, eb.silhouette);
+    EXPECT_EQ(ea.result.inertia, eb.result.inertia);
+    EXPECT_EQ(ea.result.assignments, eb.result.assignments);
+  }
+}
+
 TEST(Pipeline, MergeOptionCombinesSameSitePhases) {
   // Alternating A/B segments: k-means may split A into two clusters; the
   // merge postprocessing must leave at most one phase per site set.

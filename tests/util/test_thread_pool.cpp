@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace incprof::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // single-threaded: no race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroIndicesIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WritesToDisjointSlotsAreVisibleAfterReturn) {
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<std::size_t> out(n, 0);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, BackToBackJobsStayCorrect) {
+  // Exercises the generation barrier: a stale worker from job g must
+  // never contribute to (or corrupt) job g+1.
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 17 + static_cast<std::size_t>(round);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must be reusable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a job body must not deadlock on
+  // the pool's own barrier; it runs inline on the issuing thread.
+  ThreadPool pool(2);
+  const std::size_t outer = 8, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(outer, [&](std::size_t o) {
+    pool.parallel_for(inner, [&](std::size_t i) {
+      hits[o * inner + i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ResolveAndCreateSemantics) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+  EXPECT_EQ(ThreadPool::resolve(0), ThreadPool::hardware_threads());
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+  // 1 thread = the serial engine: no pool at all.
+  EXPECT_EQ(ThreadPool::create(1), nullptr);
+  // The caller participates, so a 4-thread request spawns 3 workers.
+  auto pool = ThreadPool::create(4);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 3u);
+}
+
+}  // namespace
+}  // namespace incprof::util

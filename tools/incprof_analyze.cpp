@@ -15,6 +15,9 @@
 //   --standardize      z-score feature columns before clustering
 //   --threshold <f>    coverage threshold for site selection (default .95)
 //   --kmax <n>         upper bound of the k sweep (default 8)
+//   --threads <n>      analysis threads: 0 = hardware concurrency
+//                      (default), 1 = serial; results are identical at
+//                      any value, only wall time changes
 //   --lift <file>      lift sites using a binary call-graph snapshot
 //   --csv <file>       also write the per-interval feature matrix as CSV
 //   --online           additionally replay the dumps through the
@@ -45,7 +48,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--text] [--merge] [--silhouette] [--online] "
-               "[--standardize] [--threshold f] [--kmax n] "
+               "[--standardize] [--threshold f] [--kmax n] [--threads n] "
                "[--lift callgraph.bin] [--csv intervals.csv] "
                "[--quiet] [--verbose]\n",
                argv0);
@@ -110,6 +113,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.detector.k_max = static_cast<std::size_t>(kmax);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      std::int64_t threads = 0;
+      if (!util::parse_int(argv[++i], 0, 1024, threads)) {
+        std::fprintf(stderr,
+                     "--threads: invalid value '%s' (expected integer in "
+                     "[0, 1024]; 0 = hardware concurrency)\n",
+                     argv[i]);
+        return 2;
+      }
+      cfg.threads = static_cast<std::size_t>(threads);
     } else if (std::strcmp(arg, "--lift") == 0 && i + 1 < argc) {
       lift_path = argv[++i];
     } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {

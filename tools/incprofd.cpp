@@ -24,7 +24,10 @@
 //   --port <n>           TCP port (default 7077; 0 = ephemeral)
 //   --obs-port <n>       also serve GET /metrics, /healthz, /trace.json
 //                        over HTTP on this port (0 = ephemeral)
-//   --workers <n>        tracker worker threads (default 4)
+//   --threads <n>        tracker worker threads: 0 = hardware
+//                        concurrency (default), 1 = single worker
+//   --workers <n>        alias for --threads (kept for old scripts;
+//                        accepts 1..1024 only)
 //   --queue-capacity <n> per-session frame queue bound (default 256)
 //   --error-budget <n>   malformed frames tolerated per session before
 //                        quarantine (default 4)
@@ -77,7 +80,7 @@ void on_signal(int) { g_interrupted.store(true); }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port n] [--obs-port n] [--workers n] "
+               "usage: %s [--port n] [--obs-port n] [--threads n] [--workers n] "
                "[--queue-capacity n] [--error-budget n] "
                "[--resume-grace-ms n] [--idle-timeout-ms n] "
                "[--read-timeout-ms n] [--report-every s] [--max-seconds s] "
@@ -324,6 +327,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--obs-port") == 0) {
       obs_port = static_cast<int>(
           flag_int("--obs-port", need("--obs-port"), 0, 65535));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.worker_threads = static_cast<std::size_t>(
+          flag_int("--threads", need("--threads"), 0, 1024));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       cfg.worker_threads = static_cast<std::size_t>(
           flag_int("--workers", need("--workers"), 1, 1024));
@@ -393,7 +399,7 @@ int main(int argc, char** argv) {
     server.start();
     const auto obs_endpoint = start_obs_endpoint(obs_port, server);
     std::printf("incprofd: listening on port %u (%zu workers, queue %zu)\n",
-                listener.port(), cfg.worker_threads,
+                listener.port(), server.worker_count(),
                 cfg.session.queue_capacity);
     std::fflush(stdout);
 
