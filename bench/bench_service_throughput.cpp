@@ -12,20 +12,35 @@
 // run prices the injection layer itself (it must be close enough to
 // free that --selftest-chaos measures the server, not the harness).
 //
+// With --shards N, the bench becomes the fleet acceptance run: N real
+// incprofd Servers on ephemeral TCP ports behind an incprof_gateway,
+// with the replay sessions connecting only to the gateway. It reports
+// per-shard and aggregate throughput, writes a JSON summary (--json),
+// and fails — non-zero exit — unless the gateway's merged fleet phase
+// counts equal the sum of the per-shard counts exactly (the clean-run
+// aggregation-consistency contract).
+//
 // Usage: bench_service_throughput [--sessions n] [--intervals n]
 //                                 [--workers n] [--queue-capacity n]
 //                                 [--faulty]
+//                                 [--shards n] [--concurrency n]
+//                                 [--json path]
 
+#include "fleet/gateway.hpp"
 #include "obs/metrics.hpp"
 #include "service/faults.hpp"
 #include "service/loopback.hpp"
 #include "service/replay.hpp"
 #include "service/server.hpp"
+#include "service/tcp.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -85,11 +100,204 @@ std::vector<gmon::ProfileSnapshot> make_stream(std::size_t session,
   return snaps;
 }
 
+// Elementwise sum of the per-shard states, for the clean-run
+// consistency check against the gateway's merged view.
+bool merged_matches_sum(const service::ShardState& merged,
+                        const std::vector<service::ShardState>& per_shard) {
+  std::uint64_t intervals = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t open = 0;
+  std::vector<std::uint64_t> hist;
+  for (const auto& s : per_shard) {
+    intervals += s.total_intervals;
+    transitions += s.total_transitions;
+    open += s.open_sessions;
+    if (s.phase_count_histogram.size() > hist.size()) {
+      hist.resize(s.phase_count_histogram.size(), 0);
+    }
+    for (std::size_t k = 0; k < s.phase_count_histogram.size(); ++k) {
+      hist[k] += s.phase_count_histogram[k];
+    }
+  }
+  std::vector<std::uint64_t> merged_hist = merged.phase_count_histogram;
+  merged_hist.resize(std::max(merged_hist.size(), hist.size()), 0);
+  hist.resize(merged_hist.size(), 0);
+  return merged.total_intervals == intervals &&
+         merged.total_transitions == transitions &&
+         merged.open_sessions == open && merged_hist == hist;
+}
+
+// The fleet acceptance run: N TCP shards behind a gateway, sessions
+// dispatched in waves of `concurrency` resilient replay clients that
+// know only the gateway's address. Returns the process exit code.
+int run_fleet_bench(std::size_t shards, std::size_t sessions,
+                    std::size_t intervals, std::size_t concurrency,
+                    service::ServerConfig cfg, const std::string& json_path) {
+  std::printf("==== Fleet throughput: %zu sessions x %zu intervals across "
+              "%zu shards, %zu concurrent clients ====\n\n",
+              sessions, intervals, shards, concurrency);
+
+  std::vector<std::unique_ptr<service::TcpListener>> listeners;
+  std::vector<std::unique_ptr<service::Server>> servers;
+  for (std::size_t s = 0; s < shards; ++s) {
+    cfg.shard_id = static_cast<std::uint32_t>(s + 1);
+    listeners.push_back(std::make_unique<service::TcpListener>(0));
+    servers.push_back(
+        std::make_unique<service::Server>(*listeners.back(), cfg));
+    servers.back()->start();
+  }
+
+  service::TcpListener front(0);
+  fleet::GatewayConfig gcfg;
+  gcfg.pull_period = std::chrono::milliseconds(0);  // final poll by hand
+  gcfg.pull_timeout = std::chrono::milliseconds(5000);
+  fleet::Gateway gateway(front, gcfg);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::uint16_t port = listeners[s]->port();
+    gateway.add_shard(static_cast<std::uint32_t>(s + 1), [port] {
+      return service::tcp_connect("127.0.0.1", port);
+    });
+  }
+  gateway.start();
+  const std::uint16_t gw_port = front.port();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::ReplayResult> results(sessions);
+  for (std::size_t base = 0; base < sessions; base += concurrency) {
+    const std::size_t wave_end = std::min(sessions, base + concurrency);
+    std::vector<std::thread> wave;
+    wave.reserve(wave_end - base);
+    for (std::size_t i = base; i < wave_end; ++i) {
+      wave.emplace_back([&, i] {
+        service::ReplayOptions opts;
+        opts.client_name = "fleet-" + std::to_string(i);
+        service::RetryPolicy policy;
+        policy.seed = 0x5eed5eedULL + i;
+        results[i] = service::replay_session_resilient(
+            [gw_port] { return service::tcp_connect("127.0.0.1", gw_port); },
+            make_stream(i, intervals), opts, policy);
+      });
+    }
+    for (auto& t : wave) t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t failed = 0;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "session failed: %s\n", r.error.c_str());
+    }
+  }
+
+  // Quiesced fleet: pull every shard once more so the merged view folds
+  // final (not mid-run) snapshots, then compare against the exact sum.
+  gateway.poll_once();
+  const fleet::FleetView view = gateway.view();
+  std::vector<service::ShardState> per_shard;
+  per_shard.reserve(shards);
+  for (const auto& server : servers) {
+    per_shard.push_back(server->shard_state());
+  }
+  const bool consistent = merged_matches_sum(view.merged, per_shard);
+
+  std::uint64_t total_frames = 0;
+  for (const auto& server : servers) {
+    total_frames += server->metrics().counter_value("frames_received");
+  }
+
+  std::printf("elapsed             %.3f s\n", elapsed);
+  std::printf("aggregate frames    %llu (%.0f frames/s)\n",
+              static_cast<unsigned long long>(total_frames),
+              static_cast<double>(total_frames) / elapsed);
+  std::printf("merged intervals    %llu (transitions %llu)\n",
+              static_cast<unsigned long long>(view.merged.total_intervals),
+              static_cast<unsigned long long>(view.merged.total_transitions));
+  std::printf("merged == sum       %s\n", consistent ? "yes" : "NO");
+  std::printf("\n%-8s %10s %12s %12s %14s\n", "shard", "sessions",
+              "intervals", "frames", "frames/s");
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto& st = per_shard[s];
+    const std::uint64_t frames =
+        servers[s]->metrics().counter_value("frames_received");
+    std::printf("%-8u %10zu %12llu %12llu %14.0f\n", st.shard_id,
+                st.sessions.size(),
+                static_cast<unsigned long long>(st.total_intervals),
+                static_cast<unsigned long long>(frames),
+                static_cast<double>(frames) / elapsed);
+  }
+
+  gateway.stop();
+  for (auto& server : servers) server->stop();
+
+  // Machine-readable summary for CI (uploaded as the BENCH_fleet
+  // artifact).
+  if (!json_path.empty()) {
+    const std::filesystem::path out(json_path);
+    if (out.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(out.parent_path(), ec);
+    }
+    std::ofstream js(out);
+    js << "{\n"
+       << "  \"bench\": \"fleet\",\n"
+       << "  \"shards\": " << shards << ",\n"
+       << "  \"sessions\": " << sessions << ",\n"
+       << "  \"intervals\": " << intervals << ",\n"
+       << "  \"concurrency\": " << concurrency << ",\n"
+       << "  \"sessions_failed\": " << failed << ",\n"
+       << "  \"elapsed_s\": " << elapsed << ",\n"
+       << "  \"aggregate\": {\n"
+       << "    \"frames\": " << total_frames << ",\n"
+       << "    \"frames_per_s\": "
+       << static_cast<double>(total_frames) / elapsed << ",\n"
+       << "    \"total_intervals\": " << view.merged.total_intervals << ",\n"
+       << "    \"total_transitions\": " << view.merged.total_transitions
+       << "\n  },\n"
+       << "  \"merged_equals_sum\": " << (consistent ? "true" : "false")
+       << ",\n"
+       << "  \"per_shard\": [\n";
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto& st = per_shard[s];
+      const std::uint64_t frames =
+          servers[s]->metrics().counter_value("frames_received");
+      js << "    {\"id\": " << st.shard_id
+         << ", \"sessions\": " << st.sessions.size()
+         << ", \"intervals\": " << st.total_intervals
+         << ", \"frames\": " << frames << ", \"frames_per_s\": "
+         << static_cast<double>(frames) / elapsed << "}"
+         << (s + 1 < shards ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    if (!js) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\njson -> %s\n", json_path.c_str());
+  }
+
+  if (!consistent) {
+    std::fprintf(stderr, "FLEET CONSISTENCY FAILURE: merged view does not "
+                         "equal the sum of per-shard states\n");
+  }
+  std::printf("\nexpectation: every session completes through the gateway, "
+              "the routing spreads sessions across all %zu shards, and the "
+              "merged fleet counts equal the per-shard sums exactly.\n",
+              shards);
+  return (failed == 0 && consistent) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t sessions = 64;
+  bool sessions_set = false;
   std::size_t intervals = 200;
+  std::size_t shards = 0;
+  std::size_t concurrency = 32;
+  std::string json_path = "bench/out/BENCH_fleet.json";
   bool faulty = false;
   service::ServerConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -103,37 +311,59 @@ int main(int argc, char** argv) {
     };
     if (arg == "--sessions") {
       sessions = next();
+      sessions_set = true;
     } else if (arg == "--intervals") {
       intervals = next();
     } else if (arg == "--workers") {
       cfg.worker_threads = next();
     } else if (arg == "--queue-capacity") {
       cfg.session.queue_capacity = next();
+    } else if (arg == "--shards") {
+      shards = next();
+    } else if (arg == "--concurrency") {
+      concurrency = next();
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a value\n");
+        return 2;
+      }
+      json_path = argv[++i];
     } else if (arg == "--faulty") {
       faulty = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sessions n] [--intervals n] [--workers n] "
-                   "[--queue-capacity n] [--faulty]\n",
+                   "[--queue-capacity n] [--faulty] [--shards n] "
+                   "[--concurrency n] [--json path]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (sessions == 0 || intervals == 0 || cfg.worker_threads == 0) {
+  // worker_threads == 0 is legal (hardware concurrency, resolved at
+  // Server::start()) — it is the config default.
+  if (sessions == 0 || intervals == 0 || concurrency == 0) {
     std::fprintf(stderr, "all sizes must be positive\n");
     return 2;
   }
 
-  std::printf("==== Service throughput: %zu sessions x %zu intervals, "
-              "%zu workers, queue capacity %zu%s ====\n\n",
-              sessions, intervals, cfg.worker_threads,
-              cfg.session.queue_capacity,
-              faulty ? ", fault-injection passthrough" : "");
+  if (shards > 0) {
+    // Fleet mode defaults to the acceptance scale (256 sessions) unless
+    // the caller asked for a specific count.
+    if (!sessions_set) sessions = 256;
+    return run_fleet_bench(shards, sessions, intervals, concurrency, cfg,
+                           json_path);
+  }
 
   service::LoopbackHub hub;
   auto listener = hub.make_listener();
   service::Server server(*listener, cfg);
   server.start();
+
+  std::printf("==== Service throughput: %zu sessions x %zu intervals, "
+              "%zu workers, queue capacity %zu%s ====\n\n",
+              sessions, intervals, server.worker_count(),
+              cfg.session.queue_capacity,
+              faulty ? ", fault-injection passthrough" : "");
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<service::ReplayResult> results(sessions);

@@ -1,0 +1,528 @@
+#include "fleet/gateway.hpp"
+
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace incprof::fleet {
+
+namespace {
+
+/// Shuttles complete wire frames from `from` into `to` until either
+/// side closes (or the stream desynchronizes, which is unrecoverable —
+/// the client's resume path takes over from there).
+void pump(service::Connection& from, service::Connection& to) {
+  try {
+    while (auto bytes = from.receive()) {
+      if (!to.send(*bytes)) break;
+    }
+  } catch (const std::exception&) {
+  }
+}
+
+/// "name{labels}" -> "fleet_name<suffix>{labels}".
+std::string fleet_key(const std::string& key, const char* suffix) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return "fleet_" + key + suffix;
+  return "fleet_" + key.substr(0, brace) + suffix + key.substr(brace);
+}
+
+std::string render_merged_prometheus(const FleetView& v) {
+  std::string out;
+  const auto gauge_line = [&out](const char* name, std::uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ' + std::to_string(value) + '\n';
+  };
+  std::size_t alive = 0;
+  for (const auto& s : v.shards) {
+    if (s.alive) ++alive;
+  }
+  gauge_line("fleet_shards", v.shards.size());
+  gauge_line("fleet_shards_alive", alive);
+  out += "# TYPE fleet_shard_up gauge\n";
+  for (const auto& s : v.shards) {
+    out += "fleet_shard_up{shard=\"" + std::to_string(s.id) + "\"} " +
+           (s.alive ? "1" : "0") + '\n';
+  }
+  gauge_line("fleet_open_sessions", v.merged.open_sessions);
+  gauge_line("fleet_total_intervals", v.merged.total_intervals);
+  gauge_line("fleet_total_transitions", v.merged.total_transitions);
+
+  // Merged per-shard registries, prefixed fleet_ so they never collide
+  // with the gateway's own families. Rows are sorted so labeled series
+  // of one family sit under a single # TYPE line.
+  auto counters = v.merged.counters;
+  std::sort(counters.begin(), counters.end());
+  std::string family;
+  for (const auto& [key, value] : counters) {
+    std::string fam = "fleet_" + key.substr(0, key.find('{'));
+    if (fam != family) {
+      out += "# TYPE " + fam + " counter\n";
+      family = std::move(fam);
+    }
+    out += "fleet_" + key + ' ' + std::to_string(value) + '\n';
+  }
+  auto gauges = v.merged.gauges;
+  std::sort(gauges.begin(), gauges.end());
+  family.clear();
+  for (const auto& [key, value] : gauges) {
+    std::string fam = "fleet_" + key.substr(0, key.find('{'));
+    if (fam != family) {
+      out += "# TYPE " + fam + " gauge\n";
+      family = std::move(fam);
+    }
+    out += "fleet_" + key + ' ' + std::to_string(value) + '\n';
+  }
+  // Histograms reduced to count/sum/max series (buckets live in
+  // /fleet.json consumers via the shard-state codec).
+  for (const auto& [key, snap] : v.merged.histograms) {
+    out += fleet_key(key, "_count") + ' ' + std::to_string(snap.count) +
+           '\n';
+    out += fleet_key(key, "_sum") + ' ' + std::to_string(snap.sum) + '\n';
+    out += fleet_key(key, "_max") + ' ' + std::to_string(snap.max) + '\n';
+  }
+  return out;
+}
+
+std::string render_fleet_json(const FleetView& v) {
+  std::string out = "{\"shards\":[";
+  bool first = true;
+  for (const auto& s : v.shards) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(s.id) +
+           ",\"alive\":" + (s.alive ? "true" : "false") +
+           ",\"draining\":" + (s.draining ? "true" : "false") +
+           ",\"open_sessions\":" + std::to_string(s.open_sessions) +
+           ",\"total_intervals\":" + std::to_string(s.total_intervals) +
+           ",\"pulls\":" + std::to_string(s.pulls) +
+           ",\"pull_failures\":" + std::to_string(s.pull_failures) + "}";
+  }
+  out += "],\"merged\":{\"open_sessions\":" +
+         std::to_string(v.merged.open_sessions) +
+         ",\"total_intervals\":" + std::to_string(v.merged.total_intervals) +
+         ",\"total_transitions\":" +
+         std::to_string(v.merged.total_transitions) +
+         ",\"sessions\":" + std::to_string(v.merged.sessions.size()) +
+         ",\"phase_count_histogram\":[";
+  first = true;
+  for (const std::uint64_t n : v.merged.phase_count_histogram) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(n);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace
+
+Gateway::Gateway(service::Listener& frontend, GatewayConfig cfg)
+    : frontend_(frontend), cfg_(cfg) {}
+
+Gateway::~Gateway() { stop(); }
+
+void Gateway::add_shard(std::uint32_t shard_id, service::ConnectFn connect) {
+  util::MutexLock lock(state_mu_);
+  ShardEntry& entry = shards_[shard_id];
+  entry.connect = std::move(connect);
+  entry.alive = true;
+  entry.draining = false;
+  if (!ring_.contains(shard_id)) ring_.add_shard(shard_id);
+}
+
+void Gateway::start() {
+  if (started_.exchange(true)) return;
+  // Prime the view so routing and /healthz reflect shard reality from
+  // the first request on.
+  poll_once();
+  if (cfg_.pull_period.count() > 0) {
+    agg_thread_ = std::thread([this] { aggregator_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Gateway::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  frontend_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    util::MutexLock lock(agg_mu_);
+    agg_stop_ = true;
+    agg_cv_.notify_all();
+  }
+  if (agg_thread_.joinable()) agg_thread_.join();
+
+  // No new workers can appear now (accept loop is gone). Close both
+  // ends of every proxied pair so pumps unblock, then join.
+  std::vector<std::unique_ptr<ProxyWorker>> workers;
+  std::vector<std::shared_ptr<service::Connection>> to_close;
+  {
+    util::MutexLock lock(workers_mu_);
+    workers.swap(workers_);
+    for (const auto& w : workers) {
+      to_close.push_back(w->client);
+      if (w->backend) to_close.push_back(w->backend);
+    }
+  }
+  for (const auto& c : to_close) c->close();
+  for (const auto& w : workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Gateway::accept_loop() {
+  while (auto conn = frontend_.accept()) {
+    reap_finished_workers();
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("connections_accepted").add();
+    auto worker = std::make_unique<ProxyWorker>();
+    worker->client = std::shared_ptr<service::Connection>(std::move(conn));
+    ProxyWorker* raw = worker.get();
+    // Register and spawn under the same lock so stop() never sees a
+    // worker whose thread is still being constructed.
+    util::MutexLock lock(workers_mu_);
+    workers_.push_back(std::move(worker));
+    workers_.back()->thread = std::thread([this, raw] { proxy(raw); });
+  }
+}
+
+void Gateway::reap_finished_workers() {
+  std::vector<std::unique_ptr<ProxyWorker>> finished;
+  {
+    util::MutexLock lock(workers_mu_);
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& w : finished) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Gateway::proxy(ProxyWorker* worker) {
+  const auto client = worker->client;
+  std::optional<std::string> first;
+  try {
+    first = client->receive();
+  } catch (const std::exception&) {
+    first.reset();
+  }
+  service::HelloPayload hello;
+  bool have_hello = false;
+  if (first) {
+    try {
+      const auto frame = service::decode_frame(*first);
+      if (frame.type == service::FrameType::kHello) {
+        hello = service::decode_hello(frame.payload);
+        have_hello = true;
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  if (!have_hello) {
+    if (first) {
+      metrics_.counter("front_rejects").add();
+      service::ProtocolErrorPayload err;
+      err.code = service::ProtocolErrorCode::kUnexpectedFrame;
+      err.message = "gateway expects a hello first";
+      client->send(service::make_protocol_error_frame(0, err));
+    }
+    client->close();
+    worker->done.store(true, std::memory_order_release);
+    return;
+  }
+
+  auto backend = route(*client, hello);
+  if (backend && !backend->send(*first)) {
+    // The shard died between connect and hello; dropping the client
+    // makes its resilient replay retry through us, and the next pull
+    // will mark the shard dead.
+    backend->close();
+    backend = nullptr;
+  }
+  if (!backend) {
+    client->close();
+    worker->done.store(true, std::memory_order_release);
+    return;
+  }
+  {
+    // Publish the backend so stop() can force-close it (workers_mu_
+    // covers the field; the worker writes it exactly once).
+    util::MutexLock lock(workers_mu_);
+    worker->backend = backend;
+  }
+
+  // Both directions pump raw frames verbatim until either side closes;
+  // the backward pump is joined here, never detached.
+  std::thread backward([client, backend] {
+    pump(*backend, *client);
+    client->close();
+    backend->close();
+  });
+  pump(*client, *backend);
+  backend->close();
+  client->close();
+  backward.join();
+  worker->done.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<service::Connection> Gateway::route(
+    service::Connection& client, const service::HelloPayload& hello) {
+  if (hello.resume_session_id != 0) {
+    // Session ids are partitioned by shard, so the owner is a pure
+    // function of the id.
+    const std::uint32_t owner =
+        service::session_id_shard(hello.resume_session_id);
+    bool routable = false;
+    {
+      util::MutexLock lock(state_mu_);
+      const auto it = shards_.find(owner);
+      routable = it != shards_.end() && !it->second.draining;
+    }
+    if (routable) {
+      if (auto backend = try_connect(owner)) {
+        metrics_.counter("resumes_routed").add();
+        return backend;
+      }
+    }
+    // The owner is gone or draining: answer in its stead so the
+    // client's resilient replay falls back to a fresh session — which
+    // routes to a surviving shard and re-sends the whole stream.
+    metrics_.counter("resumes_rerouted").add();
+    service::ProtocolErrorPayload err;
+    err.code = service::ProtocolErrorCode::kUnknownSession;
+    err.message =
+        "shard " + std::to_string(owner) + " unavailable; restart stream";
+    client.send(
+        service::make_protocol_error_frame(hello.resume_session_id, err));
+    client.close();
+    return nullptr;
+  }
+
+  // Fresh session: consistent-hash placement by client name (the only
+  // stable identity before the shard assigns an id). A failed connect
+  // marks the shard dead and re-picks on the shrunken ring.
+  for (;;) {
+    std::optional<std::uint32_t> owner;
+    {
+      util::MutexLock lock(state_mu_);
+      owner = ring_.owner(hello.client_name);
+    }
+    if (!owner) break;
+    if (auto backend = try_connect(*owner)) {
+      const std::string shard_label = std::to_string(*owner);
+      metrics_.counter("sessions_routed", {{"shard", shard_label}}).add();
+      return backend;
+    }
+  }
+  metrics_.counter("front_redirects").add();
+  service::ProtocolErrorPayload err;
+  err.code = service::ProtocolErrorCode::kRedirect;
+  err.message = "no serving shards; retry later";
+  client.send(service::make_protocol_error_frame(0, err));
+  client.close();
+  return nullptr;
+}
+
+std::shared_ptr<service::Connection> Gateway::try_connect(
+    std::uint32_t shard_id) {
+  service::ConnectFn connect;
+  {
+    util::MutexLock lock(state_mu_);
+    const auto it = shards_.find(shard_id);
+    if (it == shards_.end() || it->second.draining) return nullptr;
+    connect = it->second.connect;
+  }
+  std::unique_ptr<service::Connection> conn;
+  try {
+    conn = connect();
+  } catch (const std::exception&) {
+    conn = nullptr;
+  }
+  if (conn) return std::shared_ptr<service::Connection>(std::move(conn));
+  metrics_.counter("shard_connect_failures").add();
+  util::MutexLock lock(state_mu_);
+  const auto it = shards_.find(shard_id);
+  if (it != shards_.end() && it->second.alive) {
+    it->second.alive = false;
+    util::log_warn("incprof_gateway: shard " + std::to_string(shard_id) +
+                   " unreachable; removed from ring");
+  }
+  ring_.remove_shard(shard_id);
+  return nullptr;
+}
+
+std::uint32_t Gateway::drain_shard(std::uint32_t shard_id) {
+  service::ConnectFn connect;
+  {
+    // Out of the ring before the drain order goes out, so no client
+    // reconnect can race back onto the draining shard.
+    util::MutexLock lock(state_mu_);
+    const auto it = shards_.find(shard_id);
+    if (it == shards_.end()) return 0;
+    it->second.draining = true;
+    connect = it->second.connect;
+    ring_.remove_shard(shard_id);
+  }
+  metrics_.counter("shard_drains").add();
+  try {
+    auto conn = connect();
+    if (!conn) return 0;
+    conn->set_receive_timeout(cfg_.pull_timeout);
+    if (conn->send(service::make_drain_frame())) {
+      while (auto bytes = conn->receive()) {
+        const auto frame = service::decode_frame(*bytes);
+        if (frame.type != service::FrameType::kDrainAck) continue;
+        const auto ack = service::decode_drain_ack(frame.payload);
+        conn->close();
+        return ack.sessions_closed;
+      }
+    }
+    conn->close();
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+void Gateway::poll_once() {
+  std::vector<std::pair<std::uint32_t, service::ConnectFn>> targets;
+  {
+    util::MutexLock lock(state_mu_);
+    for (const auto& [id, entry] : shards_) {
+      targets.emplace_back(id, entry.connect);
+    }
+  }
+  for (const auto& [id, connect] : targets) {
+    bool ok = false;
+    service::ShardState state;
+    try {
+      auto conn = connect();
+      if (conn) {
+        conn->set_receive_timeout(cfg_.pull_timeout);
+        service::QueryPayload query;
+        query.kind = service::QueryKind::kFleetState;
+        if (conn->send(service::make_query_frame(0, query))) {
+          while (auto bytes = conn->receive()) {
+            const auto frame = service::decode_frame(*bytes);
+            if (frame.type != service::FrameType::kQueryReply) continue;
+            const auto reply = service::decode_query_reply(frame.payload);
+            state = service::decode_shard_state(reply.text);
+            ok = true;
+            break;
+          }
+        }
+        conn->close();
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+
+    util::MutexLock lock(state_mu_);
+    const auto it = shards_.find(id);
+    if (it == shards_.end()) continue;  // removed while we pulled
+    ShardEntry& entry = it->second;
+    if (ok) {
+      ++entry.pulls;
+      metrics_.counter("shard_pulls").add();
+      if (!entry.alive) {
+        util::log_info("incprof_gateway: shard " + std::to_string(id) +
+                       " back; rejoining ring");
+      }
+      entry.alive = true;
+      // A drain is sticky until the shard is re-added: either side
+      // (gateway order or shard self-report) marks it.
+      entry.draining = entry.draining || state.draining;
+      entry.last_state = std::move(state);
+      entry.has_state = true;
+      if (!entry.draining && !ring_.contains(id)) ring_.add_shard(id);
+    } else {
+      ++entry.pull_failures;
+      metrics_.counter("shard_pull_failures").add();
+      if (entry.alive) {
+        entry.alive = false;
+        util::log_warn("incprof_gateway: shard " + std::to_string(id) +
+                       " unreachable; removed from ring");
+      }
+      ring_.remove_shard(id);
+    }
+  }
+}
+
+void Gateway::aggregator_loop() {
+  util::MutexLock lock(agg_mu_);
+  while (!agg_stop_) {
+    // Plain timed wait: a spurious wakeup just pulls early, and the
+    // stop flag is re-checked every pass.
+    agg_cv_.wait_for(agg_mu_, cfg_.pull_period);
+    if (agg_stop_) break;
+    lock.unlock();
+    poll_once();
+    lock.lock();
+  }
+}
+
+FleetView Gateway::view() const {
+  util::MutexLock lock(state_mu_);
+  FleetView v;
+  for (const auto& [id, entry] : shards_) {
+    ShardHealth h;
+    h.id = id;
+    h.alive = entry.alive;
+    h.draining = entry.draining;
+    if (entry.has_state) {
+      h.open_sessions = entry.last_state.open_sessions;
+      h.total_intervals = entry.last_state.total_intervals;
+    }
+    h.pulls = entry.pulls;
+    h.pull_failures = entry.pull_failures;
+    v.shards.push_back(h);
+    if (entry.alive && entry.has_state) {
+      service::merge_shard_state(v.merged, entry.last_state);
+    }
+  }
+  return v;
+}
+
+obs::HttpHandler Gateway::http_handler() {
+  return [this](const std::string& path) -> obs::HttpResponse {
+    obs::HttpResponse resp;
+    if (path == "/metrics") {
+      metrics_.counter("obs_scrapes").add();
+      resp.body =
+          metrics_.render_prometheus() + render_merged_prometheus(view());
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/healthz") {
+      const FleetView v = view();
+      std::size_t down = 0;
+      std::string body;
+      for (const auto& s : v.shards) {
+        body += "shard " + std::to_string(s.id) + ' ';
+        body += !s.alive ? "down" : (s.draining ? "draining" : "up");
+        body += '\n';
+        if (!s.alive) ++down;
+      }
+      resp.status = down == 0 ? 200 : 503;
+      resp.body = (down == 0 ? std::string("ok\n") : "degraded\n") + body;
+    } else if (path == "/fleet.json") {
+      resp.body = render_fleet_json(view());
+      resp.content_type = "application/json";
+    } else {
+      resp.status = 404;
+      resp.body = "not found\n";
+    }
+    return resp;
+  };
+}
+
+}  // namespace incprof::fleet

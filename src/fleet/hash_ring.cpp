@@ -1,0 +1,86 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace incprof::fleet {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche bijection on u64, so vnode
+/// points spread uniformly however clustered the (shard, vnode) inputs.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes_per_shard)
+    : vnodes_(vnodes_per_shard == 0 ? 1 : vnodes_per_shard) {}
+
+std::uint64_t HashRing::hash_key(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  // Raw FNV-1a leaves near-identical short keys ("app-0", "app-1", ...)
+  // within a ~2^-24 arc of each other — one multiply per byte cannot
+  // reach the top bits — so a fleet of sequentially named clients would
+  // pile onto one shard. The splitmix64 finalizer is a full-avalanche
+  // bijection, restoring uniform placement without losing determinism.
+  return mix64(h);
+}
+
+std::uint64_t HashRing::vnode_point(std::uint32_t shard_id,
+                                    std::uint32_t vnode) noexcept {
+  return mix64((static_cast<std::uint64_t>(shard_id) << 32) | vnode);
+}
+
+void HashRing::add_shard(std::uint32_t shard_id) {
+  if (contains(shard_id)) return;
+  points_.reserve(points_.size() + vnodes_);
+  for (std::uint32_t v = 0; v < vnodes_; ++v) {
+    points_.emplace_back(vnode_point(shard_id, v), shard_id);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::remove_shard(std::uint32_t shard_id) {
+  std::erase_if(points_,
+                [shard_id](const auto& p) { return p.second == shard_id; });
+}
+
+bool HashRing::contains(std::uint32_t shard_id) const {
+  return std::any_of(points_.begin(), points_.end(), [shard_id](
+                         const auto& p) { return p.second == shard_id; });
+}
+
+std::size_t HashRing::shard_count() const { return shards().size(); }
+
+std::vector<std::uint32_t> HashRing::shards() const {
+  std::vector<std::uint32_t> ids;
+  for (const auto& [point, shard] : points_) ids.push_back(shard);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::optional<std::uint32_t> HashRing::owner(std::string_view key) const {
+  return owner_of_hash(hash_key(key));
+}
+
+std::optional<std::uint32_t> HashRing::owner_of_hash(
+    std::uint64_t h) const {
+  if (points_.empty()) return std::nullopt;
+  // First point strictly clockwise of h, wrapping past the top.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t value, const auto& p) { return value < p.first; });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+}  // namespace incprof::fleet

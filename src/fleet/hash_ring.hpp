@@ -1,0 +1,69 @@
+// Consistent-hash ring over shard ids: the gateway's routing table.
+// Each shard contributes `vnodes_per_shard` points on a 64-bit ring
+// (the classic Karger construction); a key is owned by the first point
+// clockwise from its hash. Adding or removing one shard of N remaps
+// only ~1/N of the key space — the property that makes shard drain and
+// crash migration cheap — and the virtual nodes smooth per-shard load
+// to within a few percent of uniform.
+//
+// Everything here is fixed-point integer arithmetic (splitmix64-style
+// mixing for vnode points, FNV-1a for string keys): no floating point,
+// no platform-dependent std::hash, so placements are bit-identical
+// across runs and machines and tests can assert exact golden owners.
+//
+// Not thread-safe by itself; the Gateway guards its ring with its own
+// annotated mutex.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace incprof::fleet {
+
+class HashRing {
+ public:
+  /// ≥64 keeps the max/mean shard load under ~1.35 for up to 16 shards
+  /// (asserted by tests/fleet/test_hash_ring).
+  static constexpr std::size_t kDefaultVnodesPerShard = 64;
+
+  explicit HashRing(std::size_t vnodes_per_shard = kDefaultVnodesPerShard);
+
+  /// Adds a shard's virtual nodes. Adding an id twice is a no-op.
+  void add_shard(std::uint32_t shard_id);
+
+  /// Removes every point of the shard; unknown ids are a no-op.
+  void remove_shard(std::uint32_t shard_id);
+
+  bool contains(std::uint32_t shard_id) const;
+  std::size_t shard_count() const;
+  /// Distinct shard ids on the ring, ascending.
+  std::vector<std::uint32_t> shards() const;
+
+  /// The shard owning `key`; nullopt on an empty ring.
+  std::optional<std::uint32_t> owner(std::string_view key) const;
+
+  /// Owner of a precomputed 64-bit hash (for non-string keys).
+  std::optional<std::uint32_t> owner_of_hash(std::uint64_t h) const;
+
+  /// FNV-1a 64 over the bytes of `key`, finalized with splitmix64 so
+  /// near-identical keys ("app-0", "app-1", ...) still land uniformly
+  /// on the ring — deterministic across platforms, unlike std::hash.
+  static std::uint64_t hash_key(std::string_view key) noexcept;
+
+  /// The ring point of one virtual node (a splitmix64 finalizer over
+  /// shard id and vnode index).
+  static std::uint64_t vnode_point(std::uint32_t shard_id,
+                                   std::uint32_t vnode) noexcept;
+
+ private:
+  const std::size_t vnodes_;
+  /// (point, shard) sorted by point; ties broken by shard id so the
+  /// ring is deterministic even under (astronomically unlikely) point
+  /// collisions.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace incprof::fleet

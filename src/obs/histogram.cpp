@@ -90,6 +90,18 @@ double HistogramSnapshot::quantile(double q) const {
   return static_cast<double>(max);
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.counts.size() > counts.size()) {
+    counts.resize(other.counts.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
 double HistogramSnapshot::mean() const {
   return count == 0
              ? 0.0

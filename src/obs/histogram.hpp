@@ -32,6 +32,12 @@ struct HistogramSnapshot {
   /// Mean of all recorded values; 0 when empty.
   double mean() const;
 
+  /// Folds another snapshot in: buckets and totals add, max takes the
+  /// larger. This is the wire-level counterpart of Histogram::merge —
+  /// a fleet gateway merges snapshots it pulled from remote shards,
+  /// where no live Histogram exists on this side.
+  void merge(const HistogramSnapshot& other);
+
   bool operator==(const HistogramSnapshot&) const = default;
 };
 

@@ -2,6 +2,7 @@
 
 #include "obs/clock.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -89,6 +90,11 @@ HttpEndpoint::HttpEndpoint(std::uint16_t port, HttpHandler handler,
     throw std::runtime_error(std::string("obs http: socket: ") +
                              std::strerror(errno));
   }
+  // Close-on-exec: an exec'd child must not inherit (and keep bound)
+  // the scrape port. SO_REUSEADDR so a rapid restart never hits
+  // EADDRINUSE on TIME_WAIT remnants.
+  const int fdflags = ::fcntl(fd_, F_GETFD);
+  if (fdflags >= 0) ::fcntl(fd_, F_SETFD, fdflags | FD_CLOEXEC);
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -165,6 +171,8 @@ void HttpEndpoint::serve_loop() {
       if (errno == EINTR) continue;
       return;  // listener shut down
     }
+    const int cflags = ::fcntl(client, F_GETFD);
+    if (cflags >= 0) ::fcntl(client, F_SETFD, cflags | FD_CLOEXEC);
     // One tracked thread per request: a scraper stalled mid-headers
     // blocks only its own thread, never the next /metrics scrape.
     if (!spawn_client(client)) {  // stop() already ran

@@ -117,7 +117,7 @@ std::string frame_of(FrameType type, std::uint32_t session,
 
 bool is_known_frame_type(std::uint16_t t) noexcept {
   return t >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint16_t>(FrameType::kProtocolError);
+         t <= static_cast<std::uint16_t>(FrameType::kDrainAck);
 }
 
 std::string encode_frame(const Frame& frame) {
@@ -271,8 +271,8 @@ QueryPayload decode_query(std::string_view bytes) {
   Reader r(bytes);
   QueryPayload p;
   const std::uint16_t kind = r.u16();
-  if (kind != static_cast<std::uint16_t>(QueryKind::kSessionStatus) &&
-      kind != static_cast<std::uint16_t>(QueryKind::kFleetSummary)) {
+  if (kind < static_cast<std::uint16_t>(QueryKind::kSessionStatus) ||
+      kind > static_cast<std::uint16_t>(QueryKind::kFleetState)) {
     throw std::runtime_error("service protocol: unknown query kind " +
                              std::to_string(kind));
   }
@@ -336,7 +336,7 @@ ProtocolErrorPayload decode_protocol_error(std::string_view bytes) {
   ProtocolErrorPayload p;
   const std::uint16_t code = r.u16();
   if (code < static_cast<std::uint16_t>(ProtocolErrorCode::kMalformedFrame) ||
-      code > static_cast<std::uint16_t>(ProtocolErrorCode::kQuarantined)) {
+      code > static_cast<std::uint16_t>(ProtocolErrorCode::kRedirect)) {
     throw std::runtime_error("service protocol: unknown error code " +
                              std::to_string(code));
   }
@@ -391,6 +391,28 @@ std::string make_protocol_error_frame(std::uint32_t session,
                                       const ProtocolErrorPayload& p) {
   return frame_of(FrameType::kProtocolError, session,
                   encode_protocol_error(p));
+}
+
+std::string encode_drain_ack(const DrainAckPayload& p) {
+  std::string out;
+  put_u32(out, p.sessions_closed);
+  return out;
+}
+
+DrainAckPayload decode_drain_ack(std::string_view bytes) {
+  Reader r(bytes);
+  DrainAckPayload p;
+  p.sessions_closed = r.u32();
+  r.expect_end("drain-ack");
+  return p;
+}
+
+std::string make_drain_frame() {
+  return frame_of(FrameType::kDrain, 0, std::string());
+}
+
+std::string make_drain_ack_frame(const DrainAckPayload& p) {
+  return frame_of(FrameType::kDrainAck, 0, encode_drain_ack(p));
 }
 
 }  // namespace incprof::service

@@ -57,6 +57,14 @@ enum class FrameType : std::uint16_t {
   /// exhausted the final one carries kQuarantined and the server
   /// disconnects.
   kProtocolError = 9,
+  /// gateway -> shard: begin draining (empty payload, valid before any
+  /// hello — a control-plane frame). The shard stops accepting fresh
+  /// sessions (they are answered kRedirect) and force-closes every
+  /// attached client connection so those clients reconnect through the
+  /// gateway and land on surviving shards.
+  kDrain = 10,
+  /// shard -> gateway: drain acknowledged (DrainAckPayload).
+  kDrainAck = 11,
 };
 
 /// True when `t` is a value this protocol version defines.
@@ -131,6 +139,10 @@ enum class ProtocolErrorCode : std::uint16_t {
   /// The session's error budget is exhausted; the server disconnects
   /// after sending this.
   kQuarantined = 4,
+  /// The endpoint is draining and takes no new sessions; reconnect (a
+  /// gateway will route the retry to another shard). `message` carries
+  /// a human-readable hint.
+  kRedirect = 5,
 };
 
 /// kProtocolError: the server's typed rejection notice.
@@ -160,6 +172,11 @@ enum class QueryKind : std::uint16_t {
   kSessionStatus = 1,
   /// The whole-fleet report the daemon would print.
   kFleetSummary = 2,
+  /// Machine-readable shard state (the fleet_state text codec): the
+  /// FleetAggregator's rows plus the metrics registry's counters,
+  /// gauges, and histogram buckets — everything a gateway needs to
+  /// merge shards. Valid before any hello (control plane).
+  kFleetState = 3,
 };
 
 struct QueryPayload {
@@ -174,6 +191,15 @@ struct QueryReplyPayload {
   std::string text;
 
   bool operator==(const QueryReplyPayload&) const = default;
+};
+
+/// kDrainAck: the shard's answer to a kDrain control frame.
+struct DrainAckPayload {
+  /// Sessions that were attached when the drain began and have been
+  /// force-closed (their clients will reconnect elsewhere).
+  std::uint32_t sessions_closed = 0;
+
+  bool operator==(const DrainAckPayload&) const = default;
 };
 
 /// kPhaseEvent: one OnlinePhaseTracker observation.
@@ -216,6 +242,9 @@ PhaseEventPayload decode_phase_event(std::string_view bytes);
 std::string encode_protocol_error(const ProtocolErrorPayload& p);
 ProtocolErrorPayload decode_protocol_error(std::string_view bytes);
 
+std::string encode_drain_ack(const DrainAckPayload& p);
+DrainAckPayload decode_drain_ack(std::string_view bytes);
+
 // --- whole-frame conveniences used throughout the service --------------
 
 std::string make_hello_frame(const HelloPayload& p);
@@ -233,5 +262,33 @@ std::string make_phase_event_frame(std::uint32_t session,
 std::string make_bye_frame(std::uint32_t session);
 std::string make_protocol_error_frame(std::uint32_t session,
                                       const ProtocolErrorPayload& p);
+std::string make_drain_frame();
+std::string make_drain_ack_frame(const DrainAckPayload& p);
+
+// --- session-id shard partitioning -------------------------------------
+//
+// In fleet mode every shard allocates session ids from a disjoint range
+// so a gateway can recover a session's owner from the id alone: shard k
+// hands out ids (k << kSessionShardShift) + 1, +2, ... . Shard 0 (the
+// standalone daemon) therefore keeps the historical 1, 2, 3, ...
+// numbering, and the id space gives each shard 2^20 sessions before the
+// ranges could collide — far beyond a daemon lifetime.
+
+inline constexpr std::uint32_t kSessionShardShift = 20;
+/// Highest usable shard id: 12 bits remain above the shift, minus the
+/// all-ones value so first_session_id_for_shard cannot overflow u32.
+inline constexpr std::uint32_t kMaxShardId =
+    (1u << (32 - kSessionShardShift)) - 2;
+
+/// First session id shard `shard_id` hands out.
+constexpr std::uint32_t first_session_id_for_shard(
+    std::uint32_t shard_id) noexcept {
+  return (shard_id << kSessionShardShift) + 1;
+}
+
+/// The shard that assigned `session_id` (inverse of the above).
+constexpr std::uint32_t session_id_shard(std::uint32_t session_id) noexcept {
+  return session_id >> kSessionShardShift;
+}
 
 }  // namespace incprof::service

@@ -18,7 +18,10 @@ Server::Server(Listener& listener, ServerConfig cfg)
       enqueue_hist_(metrics_.histogram("frame_stage_ns",
                                        {{"stage", "enqueue"}})),
       process_hist_(metrics_.histogram("frame_stage_ns",
-                                       {{"stage", "process"}})) {}
+                                       {{"stage", "process"}})) {
+  next_session_id_.store(first_session_id_for_shard(cfg_.shard_id),
+                         std::memory_order_relaxed);
+}
 
 Server::~Server() { stop(); }
 
@@ -153,6 +156,40 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
     }
 
     if (!session) {
+      // Control-plane frames (a gateway's aggregator pull or drain
+      // order) are valid before any hello: they concern the shard, not
+      // a session, and are answered sessionless so they never pollute
+      // the fleet aggregate they report on.
+      if (frame.type == FrameType::kQuery) {
+        QueryPayload query;
+        try {
+          query = decode_query(frame.payload);
+        } catch (const std::exception& e) {
+          reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
+                       e.what());
+          break;
+        }
+        if (query.kind == QueryKind::kSessionStatus) {
+          reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
+                       "session-status query before hello");
+          break;
+        }
+        QueryReplyPayload reply;
+        reply.kind = query.kind;
+        reply.text = query.kind == QueryKind::kFleetState
+                         ? encode_shard_state(shard_state())
+                         : fleet_.render();
+        if (conn->send(make_query_reply_frame(0, reply))) {
+          metrics_.counter("control_queries").add();
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kDrain) {
+        DrainAckPayload ack;
+        ack.sessions_closed = begin_drain();
+        conn->send(make_drain_ack_frame(ack));
+        continue;
+      }
       if (frame.type != FrameType::kHello) {
         // Unauthenticated peers get no budget: typed error, then out.
         reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
@@ -165,6 +202,19 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
       } catch (const std::exception& e) {
         reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
                      e.what());
+        break;
+      }
+      if (hello.resume_session_id == 0 &&
+          draining_.load(std::memory_order_relaxed)) {
+        // A draining shard takes no fresh sessions; the typed redirect
+        // tells the client (or gateway) to reconnect, where routing
+        // will land it on a serving shard.
+        metrics_.counter("redirects_sent").add();
+        ProtocolErrorPayload err;
+        err.code = ProtocolErrorCode::kRedirect;
+        err.message = "shard draining; reconnect";
+        conn->send(make_protocol_error_frame(0, err));
+        conn->close();
         break;
       }
       if (hello.resume_session_id != 0) {
@@ -299,7 +349,11 @@ bool Server::resume_session(const std::shared_ptr<Handler>& handler,
   const auto conn = handler->connection();
   std::shared_ptr<Session> session;
   std::vector<std::shared_ptr<Handler>> stale;
-  {
+  // A draining shard refuses resumes too (the scan below is skipped, so
+  // the reply is kUnknownSession): the client's resilient replay then
+  // restarts the stream as a fresh session, which routing places on a
+  // serving shard — the migration path, losing no intervals.
+  if (!draining_.load(std::memory_order_relaxed)) {
     util::MutexLock lock(handlers_mu_);
     for (const auto& h : handlers_) {
       if (h.get() == handler.get()) continue;
@@ -350,6 +404,53 @@ bool Server::resume_session(const std::shared_ptr<Handler>& handler,
   ack.resume_next_interval = session->snapshots_accepted();
   conn->send(make_hello_ack_frame(session->id(), ack));
   return true;
+}
+
+std::uint32_t Server::begin_drain() {
+  // First the flag, then the closes: any hello that races the drain
+  // either lands before the flag (session accepted, then force-closed
+  // below or by a later scan — its client resumes elsewhere) or after
+  // (redirected immediately).
+  const bool already = draining_.exchange(true);
+  if (!already) {
+    metrics_.counter("drains_started").add();
+    util::log_info("incprofd: shard " + std::to_string(cfg_.shard_id) +
+                   " draining");
+  }
+
+  std::vector<std::shared_ptr<Handler>> attached;
+  std::vector<std::shared_ptr<Handler>> orphaned;  // detached sessions
+  {
+    util::MutexLock lock(handlers_mu_);
+    for (const auto& h : handlers_) {
+      const auto session = h->session();
+      if (!session || session->closed()) continue;
+      if (session->detached()) {
+        // Claim under handlers_mu_, like stop(): no racing resume or
+        // reaper pass can end the same session twice.
+        session->reattach();
+        orphaned.push_back(h);
+      } else if (!h->expired.load(std::memory_order_relaxed)) {
+        attached.push_back(h);
+      }
+    }
+  }
+  // expired makes the reader end the session outright instead of
+  // detaching it into resume limbo nobody will ever claim.
+  for (const auto& h : attached) {
+    h->expired.store(true, std::memory_order_relaxed);
+    h->connection()->close();
+  }
+  for (const auto& h : orphaned) {
+    h->expired.store(true, std::memory_order_relaxed);
+    end_abandoned_session(h);
+  }
+  const auto closed =
+      static_cast<std::uint32_t>(attached.size() + orphaned.size());
+  if (closed > 0) {
+    metrics_.counter("sessions_drained").add(closed);
+  }
+  return closed;
 }
 
 void Server::reaper_loop() {
@@ -565,9 +666,17 @@ void Server::handle_query(const std::shared_ptr<Handler>& handler,
   const auto session = handler->session();
   QueryReplyPayload reply;
   reply.kind = query.kind;
-  reply.text = query.kind == QueryKind::kFleetSummary
-                   ? fleet_.render()
-                   : session->status_line();
+  switch (query.kind) {
+    case QueryKind::kFleetSummary:
+      reply.text = fleet_.render();
+      break;
+    case QueryKind::kFleetState:
+      reply.text = encode_shard_state(shard_state());
+      break;
+    case QueryKind::kSessionStatus:
+      reply.text = session->status_line();
+      break;
+  }
   if (handler->connection()->send(
           make_query_reply_frame(session->id(), reply))) {
     metrics_.counter("query_replies").add();

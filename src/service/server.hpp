@@ -9,6 +9,7 @@
 
 #include "obs/span.hpp"
 #include "service/fleet.hpp"
+#include "service/fleet_state.hpp"
 #include "service/metrics.hpp"
 #include "service/session.hpp"
 #include "service/transport.hpp"
@@ -34,6 +35,11 @@ struct ServerConfig {
   bool send_phase_events = true;
   /// Retained fleet transition-log tail.
   std::size_t transition_log_capacity = 1024;
+  /// This daemon's shard id in a gateway fleet (0 = standalone). Session
+  /// ids are allocated from the shard's disjoint range
+  /// (first_session_id_for_shard), so a gateway can derive a session's
+  /// owner from the id alone. Must be ≤ kMaxShardId.
+  std::uint32_t shard_id = 0;
 
   // --- fault tolerance --------------------------------------------------
 
@@ -74,6 +80,24 @@ class Server {
   /// Graceful shutdown: stops accepting, closes every connection,
   /// processes everything already queued, joins all threads. Idempotent.
   void stop();
+
+  /// Begins draining: no new sessions are accepted (fresh hellos get a
+  /// kRedirect error, resumes get kUnknownSession) and every attached
+  /// or detached session is force-closed so its client reconnects
+  /// elsewhere. Returns the number of sessions closed. Idempotent; also
+  /// reachable over the wire via the kDrain control frame.
+  std::uint32_t begin_drain();
+
+  /// True once begin_drain() has run.
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// This shard's mergeable state snapshot (what a kFleetState control
+  /// query returns, pre-encoding).
+  ShardState shard_state() const {
+    return capture_shard_state(cfg_.shard_id, draining(), fleet_, metrics_);
+  }
 
   /// Cross-session aggregate view (thread-safe).
   const FleetAggregator& fleet() const noexcept { return fleet_; }
@@ -185,6 +209,7 @@ class Server {
   std::atomic<std::uint32_t> next_session_id_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> draining_{false};
 
   // Lock hierarchy (outer → inner): handlers_mu_ → Handler::mu_ /
   // Session::status_mu_ → Session::queue_mu_. ready_mu_ and reaper_mu_

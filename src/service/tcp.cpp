@@ -3,6 +3,7 @@
 #include "util/thread_annotations.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -24,6 +25,15 @@ namespace {
                            std::string(std::strerror(errno)));
 }
 
+/// Every service socket is close-on-exec: a daemon that forks a child
+/// (collector launch, CI harness) must not leak its listening or
+/// session descriptors into it — a child holding the listener would
+/// keep the port bound after the daemon exits.
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
 std::string peer_label(int fd) {
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
@@ -38,6 +48,7 @@ std::string peer_label(int fd) {
 class TcpConnection : public Connection {
  public:
   explicit TcpConnection(int fd) : fd_(fd), label_(peer_label(fd)) {
+    set_cloexec(fd_);
     const int one = 1;
     // Frames are small and latency matters for phase events; disable
     // Nagle coalescing.
@@ -133,6 +144,9 @@ class TcpConnection : public Connection {
 TcpListener::TcpListener(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
+  set_cloexec(fd_);
+  // SO_REUSEADDR so a rapid restart (tests, CI, supervised respawn)
+  // rebinding the port never hits EADDRINUSE on lingering TIME_WAIT.
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};

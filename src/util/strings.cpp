@@ -121,6 +121,20 @@ bool parse_int(std::string_view s, std::int64_t lo, std::int64_t hi,
   return true;
 }
 
+bool parse_endpoint(std::string_view s, std::string& host,
+                    std::uint16_t& port) {
+  s = trim(s);
+  // Last colon splits host from port, so a future bracketed-IPv6 form
+  // stays representable; today hosts are names or IPv4 literals.
+  const auto colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::int64_t p = 0;
+  if (!parse_int(s.substr(colon + 1), 1, 65535, p)) return false;
+  host = std::string(s.substr(0, colon));
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
 std::string format_fixed(double v, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);

@@ -4,6 +4,7 @@
 // fast path.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,13 @@ bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
 /// port 0.
 bool parse_int(std::string_view s, std::int64_t lo, std::int64_t hi,
                std::int64_t& out) noexcept;
+
+/// Parses a "host:port" endpoint: non-empty host, port in [1, 65535]
+/// validated via parse_int. Returns false (leaving the outputs
+/// untouched) on a missing colon, empty host, or bad port — the tool
+/// flag parsers turn that into exit 2.
+bool parse_endpoint(std::string_view s, std::string& host,
+                    std::uint16_t& port);
 
 /// Formats `v` with `prec` digits after the decimal point.
 std::string format_fixed(double v, int prec);

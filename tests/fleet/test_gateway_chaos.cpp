@@ -1,0 +1,214 @@
+// The fleet chaos acceptance scenario: three TCP shards behind a TCP
+// gateway, nine resilient clients held mid-stream by fault-injected
+// frame delays, and shard 1 hard-killed while its sessions are live.
+// Every client must finish — the killed shard's sessions resume through
+// the gateway, are refused (owner unreachable), fall back to fresh
+// sessions and replay their complete streams on a survivor — and the
+// gateway's /healthz must report the dead shard. Client names are
+// picked against the real routing ring, so the test does not depend on
+// luck to place sessions on the doomed shard.
+#include "fleet/gateway.hpp"
+#include "fleet/hash_ring.hpp"
+
+#include "service/faults.hpp"
+#include "service/replay.hpp"
+#include "service/server.hpp"
+#include "service/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../core/synthetic.hpp"
+
+namespace incprof::fleet {
+namespace {
+
+using service::ReplayOptions;
+using service::ReplayResult;
+using service::Server;
+using service::ServerConfig;
+
+std::vector<gmon::ProfileSnapshot> synthetic_stream(std::size_t index) {
+  auto specs = core::testing::three_phase_workload(6 + index % 5);
+  for (auto& spec : specs) {
+    for (auto& [name, sc] : spec) {
+      sc.first *= 1.0 + 0.05 * static_cast<double>(index);
+    }
+  }
+  return core::testing::cumulative_from_intervals(specs);
+}
+
+bool wait_for(const std::function<bool()>& pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Client names whose ring placement is known in advance: `per_shard`
+/// names owned by each of shards 1..3 on the default ring.
+std::vector<std::pair<std::string, std::uint32_t>> routed_names(
+    std::size_t per_shard) {
+  HashRing ring;
+  for (std::uint32_t s = 1; s <= 3; ++s) ring.add_shard(s);
+  std::map<std::uint32_t, std::size_t> have;
+  std::vector<std::pair<std::string, std::uint32_t>> names;
+  for (std::size_t i = 0; names.size() < 3 * per_shard && i < 10000; ++i) {
+    const std::string name = "chaos-" + std::to_string(i);
+    const std::uint32_t owner = *ring.owner(name);
+    if (have[owner] < per_shard) {
+      ++have[owner];
+      names.emplace_back(name, owner);
+    }
+  }
+  return names;
+}
+
+TEST(GatewayChaos, ShardDeathMidReplayLosesNoIntervals) {
+  constexpr std::uint32_t kShards = 3;
+  constexpr std::uint32_t kDoomed = 1;
+  ServerConfig cfg;
+  cfg.resume_grace = std::chrono::milliseconds(3000);
+  cfg.read_timeout = std::chrono::milliseconds(3000);
+
+  std::vector<std::unique_ptr<service::TcpListener>> listeners;
+  std::vector<std::unique_ptr<Server>> servers;
+  for (std::uint32_t s = 1; s <= kShards; ++s) {
+    listeners.push_back(std::make_unique<service::TcpListener>(0));
+    ServerConfig shard_cfg = cfg;
+    shard_cfg.shard_id = s;
+    servers.push_back(
+        std::make_unique<Server>(*listeners.back(), shard_cfg));
+    servers.back()->start();
+  }
+
+  service::TcpListener front(0);
+  GatewayConfig gw_cfg;
+  gw_cfg.pull_period = std::chrono::milliseconds(0);  // polled by hand
+  gw_cfg.pull_timeout = std::chrono::milliseconds(2000);
+  Gateway gateway(front, gw_cfg);
+  for (std::uint32_t s = 1; s <= kShards; ++s) {
+    const std::uint16_t port = listeners[s - 1]->port();
+    gateway.add_shard(
+        s, [port] { return service::tcp_connect("127.0.0.1", port); });
+  }
+  gateway.start();
+
+  // Three clients per shard, names pre-placed on the ring; every first
+  // connection delays each post-hello frame so no session can finish
+  // before the kill.
+  const auto names = routed_names(3);
+  ASSERT_EQ(names.size(), 9u);
+  service::FaultPlan slow;
+  for (std::size_t f = 1; f <= 32; ++f) {
+    slow.events.push_back({f, service::FaultKind::kDelay});
+  }
+
+  const std::uint16_t front_port = front.port();
+  std::vector<std::vector<gmon::ProfileSnapshot>> streams(names.size());
+  std::vector<ReplayResult> results(names.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    streams[i] = synthetic_stream(i);
+    clients.emplace_back([&, i] {
+      ReplayOptions opts;
+      opts.client_name = names[i].first;
+      opts.subscribe_events = true;
+      service::RetryPolicy policy;
+      policy.max_attempts = 8;
+      policy.initial_backoff = std::chrono::milliseconds(10);
+      policy.seed = 1000 + i;
+      bool first = true;
+      results[i] = service::replay_session_resilient(
+          [&, i]() -> std::unique_ptr<service::Connection> {
+            auto conn = service::tcp_connect("127.0.0.1", front_port);
+            if (first) {
+              first = false;
+              return std::make_unique<service::FaultInjectingConnection>(
+                  std::move(conn), slow, std::chrono::milliseconds(30));
+            }
+            return conn;
+          },
+          streams[i], opts, policy);
+    });
+  }
+
+  // Once the doomed shard holds its three live sessions, kill it hard:
+  // stop the server and close its listening socket, mid-replay.
+  ASSERT_TRUE(wait_for([&] {
+    return servers[kDoomed - 1]->metrics().counter_value(
+               "sessions_opened") == 3;
+  }));
+  servers[kDoomed - 1]->stop();
+  listeners[kDoomed - 1]->shutdown();
+
+  for (auto& t : clients) t.join();
+  // Clients saw EOF after their byes; give the survivors' workers a
+  // beat to finish folding the tails before comparing totals.
+  ASSERT_TRUE(wait_for([&] {
+    std::uint64_t closed = 0;
+    for (std::uint32_t s = 2; s <= kShards; ++s) {
+      closed += servers[s - 1]->metrics().counter_value("sessions_closed");
+    }
+    return closed == names.size();
+  }));
+
+  // Every session finished with its full stream; none on the dead
+  // shard. The doomed shard's clients each reconnected at least once.
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& r = results[i];
+    ASSERT_TRUE(r.ok) << names[i].first << ": " << r.error;
+    EXPECT_EQ(r.snapshots_sent, streams[i].size()) << names[i].first;
+    const std::uint32_t final_shard =
+        service::session_id_shard(r.session_id);
+    EXPECT_NE(final_shard, kDoomed) << names[i].first;
+    if (names[i].second == kDoomed) {
+      EXPECT_GE(r.connect_attempts, 2u) << names[i].first;
+    } else {
+      // Survivor sessions were never disturbed: same shard, no
+      // reconnects, every phase event delivered.
+      EXPECT_EQ(final_shard, names[i].second) << names[i].first;
+      EXPECT_EQ(r.reconnects, 0u) << names[i].first;
+      EXPECT_EQ(r.events.size(), streams[i].size()) << names[i].first;
+    }
+    // No lost intervals: the owning shard holds every interval of the
+    // stream.
+    EXPECT_EQ(
+        servers[final_shard - 1]->session_assignments(r.session_id).size(),
+        streams[i].size())
+        << names[i].first;
+  }
+
+  // The gateway noticed: /healthz degrades and names the dead shard,
+  // and the merged view still carries the survivors' full totals.
+  gateway.poll_once();
+  auto handler = gateway.http_handler();
+  const auto health = handler("/healthz");
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("shard 1 down"), std::string::npos);
+  EXPECT_NE(health.body.find("shard 2 up"), std::string::npos);
+  EXPECT_NE(health.body.find("shard 3 up"), std::string::npos);
+
+  const FleetView view = gateway.view();
+  std::uint64_t survivor_intervals = 0;
+  for (std::uint32_t s = 2; s <= kShards; ++s) {
+    survivor_intervals += servers[s - 1]->shard_state().total_intervals;
+  }
+  EXPECT_EQ(view.merged.total_intervals, survivor_intervals);
+
+  gateway.stop();
+  for (std::uint32_t s = 1; s <= kShards; ++s) {
+    servers[s - 1]->stop();
+  }
+}
+
+}  // namespace
+}  // namespace incprof::fleet

@@ -194,6 +194,49 @@ TEST(Protocol, PhaseEventRoundTrip) {
   EXPECT_EQ(decode_phase_event(encode_phase_event(p)), p);
 }
 
+TEST(Protocol, DrainAndDrainAckRoundTrip) {
+  const std::string drain = make_drain_frame();
+  const Frame f = decode_frame(drain);
+  EXPECT_EQ(f.type, FrameType::kDrain);
+  EXPECT_EQ(f.session, 0u);  // sessionless control frame
+  EXPECT_TRUE(f.payload.empty());
+
+  DrainAckPayload ack;
+  ack.sessions_closed = 17;
+  EXPECT_EQ(decode_drain_ack(encode_drain_ack(ack)).sessions_closed, 17u);
+  const Frame g = decode_frame(make_drain_ack_frame(ack));
+  EXPECT_EQ(g.type, FrameType::kDrainAck);
+  EXPECT_EQ(decode_drain_ack(g.payload).sessions_closed, 17u);
+  EXPECT_THROW(decode_drain_ack(""), std::runtime_error);
+  EXPECT_THROW(decode_drain_ack(g.payload + "x"), std::runtime_error);
+}
+
+TEST(Protocol, FleetStateQueryKindRoundTrips) {
+  QueryPayload q;
+  q.kind = QueryKind::kFleetState;
+  EXPECT_EQ(decode_query(encode_query(q)), q);
+  QueryReplyPayload r;
+  r.kind = QueryKind::kFleetState;
+  r.text = "incprof-shard-state v1\nshard 3 serving\n";
+  EXPECT_EQ(decode_query_reply(encode_query_reply(r)), r);
+}
+
+TEST(Protocol, SessionIdShardPartitioning) {
+  // The gateway derives a resume's owner from the id alone; these
+  // identities are the wire contract behind that.
+  EXPECT_EQ(session_id_shard(first_session_id_for_shard(0)), 0u);
+  EXPECT_EQ(session_id_shard(first_session_id_for_shard(7)), 7u);
+  EXPECT_EQ(session_id_shard(first_session_id_for_shard(kMaxShardId)),
+            kMaxShardId);
+  // A shard may mint a full block of ids before leaking into the next
+  // shard's space.
+  const std::uint32_t first = first_session_id_for_shard(3);
+  EXPECT_EQ(session_id_shard(first + (1u << kSessionShardShift) - 2),
+            3u);
+  EXPECT_EQ(session_id_shard(first + (1u << kSessionShardShift) - 1),
+            4u);
+}
+
 TEST(Protocol, TruncatedPayloadsThrow) {
   HelloPayload hello;
   hello.client_name = "abc";

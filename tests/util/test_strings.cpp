@@ -134,6 +134,43 @@ TEST(ParseInt, EnforcesTheInclusiveRange) {
   EXPECT_FALSE(parse_int("-1", 0, 10, v));
 }
 
+TEST(ParseEndpoint, SplitsHostAndValidatedPort) {
+  std::string host;
+  std::uint16_t port = 0;
+  EXPECT_TRUE(parse_endpoint("gw.local:7077", host, port));
+  EXPECT_EQ(host, "gw.local");
+  EXPECT_EQ(port, 7077);
+  EXPECT_TRUE(parse_endpoint("127.0.0.1:1", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 1);
+  EXPECT_TRUE(parse_endpoint("  h:65535  ", host, port));  // trimmed
+  EXPECT_EQ(host, "h");
+  EXPECT_EQ(port, 65535);
+}
+
+TEST(ParseEndpoint, RejectsMalformedInputWithoutTouchingOutputs) {
+  std::string host = "keep";
+  std::uint16_t port = 42;
+  EXPECT_FALSE(parse_endpoint("", host, port));
+  EXPECT_FALSE(parse_endpoint("nocolon", host, port));
+  EXPECT_FALSE(parse_endpoint(":7077", host, port));       // empty host
+  EXPECT_FALSE(parse_endpoint("h:", host, port));          // empty port
+  EXPECT_FALSE(parse_endpoint("h:0", host, port));         // below range
+  EXPECT_FALSE(parse_endpoint("h:65536", host, port));     // above range
+  EXPECT_FALSE(parse_endpoint("h:banana", host, port));
+  EXPECT_FALSE(parse_endpoint("h:70x", host, port));       // partial
+  EXPECT_EQ(host, "keep");
+  EXPECT_EQ(port, 42);
+}
+
+TEST(ParseEndpoint, LastColonWinsForFutureIpv6Forms) {
+  std::string host;
+  std::uint16_t port = 0;
+  EXPECT_TRUE(parse_endpoint("a:b:7077", host, port));
+  EXPECT_EQ(host, "a:b");
+  EXPECT_EQ(port, 7077);
+}
+
 TEST(FormatFixed, RoundsToPrecision) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker's-independent snprintf

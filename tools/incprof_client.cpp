@@ -9,6 +9,9 @@
 // Options:
 //   --host <h>        daemon host (default 127.0.0.1)
 //   --port <n>        daemon port (default 7077)
+//   --endpoint <h:p>  host and port in one flag ("gw.local:7077") — the
+//                     form gateway redirect hints use; exit 2 when
+//                     malformed
 //   --sessions <n>    concurrent replay sessions (default 1)
 //   --name <s>        client name prefix in the hello (default dump dir)
 //   --retries <n>     connection attempts per session (default 1 = no
@@ -36,9 +39,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <dump_dir> [--host h] [--port n] [--sessions n] "
-               "[--name s] [--retries n] [--backoff-ms n] [--no-events] "
-               "[--quiet] [--verbose]\n",
+               "usage: %s <dump_dir> [--host h] [--port n] "
+               "[--endpoint h:p] [--sessions n] [--name s] [--retries n] "
+               "[--backoff-ms n] [--no-events] [--quiet] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -87,6 +90,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--port") == 0) {
       port = static_cast<std::uint16_t>(
           flag_int("--port", need("--port"), 1, 65535));
+    } else if (std::strcmp(argv[i], "--endpoint") == 0) {
+      const char* value = need("--endpoint");
+      if (!util::parse_endpoint(value, host, port)) {
+        std::fprintf(stderr,
+                     "--endpoint: invalid value '%s' (expected "
+                     "host:port with port in [1, 65535])\n",
+                     value);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--sessions") == 0) {
       sessions = static_cast<std::size_t>(
           flag_int("--sessions", need("--sessions"), 1, 4096));

@@ -1,0 +1,256 @@
+// incprof_gateway — the fleet coordinator: N incprofd shards behind one
+// client-facing port. Clients (incprof_client, or anything speaking
+// service/protocol) connect here exactly as they would to a single
+// daemon; the gateway routes each session to a shard by consistent
+// hash, proxies frames verbatim, migrates sessions off dead or drained
+// shards via the protocol's resume path, and serves the merged fleet
+// telemetry over HTTP.
+//
+// Usage:
+//   incprof_gateway --shard <id>=<host:port> [--shard ...] [options]
+//
+// Options:
+//   --shard <spec>      one backend incprofd; <spec> is "<id>=<host:port>"
+//                       (<id> must equal that daemon's --shard-id) or
+//                       plain "<host:port>" (ids auto-assigned 1, 2, ...
+//                       in flag order). Repeatable; at least one.
+//   --port <n>          frontend port clients dial (default 7078;
+//                       0 = ephemeral)
+//   --obs-port <n>      serve merged GET /metrics, /healthz, /fleet.json
+//                       on this port (0 = ephemeral; off unless given)
+//   --pull-ms <n>       aggregator pull cadence (default 1000)
+//   --pull-timeout-ms <n> per-shard control deadline (default 1000)
+//   --vnodes <n>        virtual nodes per shard on the ring (default 64)
+//   --port-file <path>  write bound ports ("port <n>", "obs_port <n>")
+//   --report-every <s>  seconds between fleet reports (default 10)
+//   --max-seconds <s>   exit after this long (default: until SIGINT)
+//   --quiet / --verbose log level
+
+#include "fleet/gateway.hpp"
+#include "obs/http.hpp"
+#include "service/tcp.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace incprof;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shard <id>=<host:port> [--shard ...] "
+               "[--port n] [--obs-port n] [--pull-ms n] "
+               "[--pull-timeout-ms n] [--vnodes n] [--port-file path] "
+               "[--report-every s] [--max-seconds s] [--quiet] "
+               "[--verbose]\n",
+               argv0);
+  return 2;
+}
+
+/// Parses an integer flag value or exits 2 with a message naming the
+/// flag, the offending value, and the accepted range.
+std::int64_t flag_int(const char* flag, const char* value,
+                      std::int64_t lo, std::int64_t hi) {
+  std::int64_t out = 0;
+  if (!util::parse_int(value, lo, hi, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value '%s' (expected integer in [%lld, "
+                 "%lld])\n",
+                 flag, value, static_cast<long long>(lo),
+                 static_cast<long long>(hi));
+    std::exit(2);
+  }
+  return out;
+}
+
+struct ShardSpec {
+  std::uint32_t id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// "<id>=<host:port>" or "<host:port>" (id auto-assigned by the caller).
+bool parse_shard_spec(std::string_view value, std::uint32_t auto_id,
+                      ShardSpec& out) {
+  ShardSpec spec;
+  std::string_view endpoint = value;
+  const auto eq = value.find('=');
+  if (eq != std::string_view::npos) {
+    std::int64_t id = 0;
+    if (!util::parse_int(value.substr(0, eq), 0, service::kMaxShardId,
+                         id)) {
+      return false;
+    }
+    spec.id = static_cast<std::uint32_t>(id);
+    endpoint = value.substr(eq + 1);
+  } else {
+    spec.id = auto_id;
+  }
+  if (!util::parse_endpoint(endpoint, spec.host, spec.port)) return false;
+  out = spec;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7078;
+  int obs_port = -1;
+  double report_every = 10.0;
+  double max_seconds = 0.0;
+  std::string port_file;
+  std::vector<ShardSpec> shards;
+  fleet::GatewayConfig cfg;
+  util::set_log_level(util::LogLevel::kInfo);
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shard") == 0) {
+      const char* value = need("--shard");
+      ShardSpec spec;
+      if (!parse_shard_spec(
+              value, static_cast<std::uint32_t>(shards.size() + 1), spec)) {
+        std::fprintf(stderr,
+                     "--shard: invalid value '%s' (expected "
+                     "[id=]host:port)\n",
+                     value);
+        return 2;
+      }
+      shards.push_back(std::move(spec));
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(
+          flag_int("--port", need("--port"), 0, 65535));
+    } else if (std::strcmp(argv[i], "--obs-port") == 0) {
+      obs_port = static_cast<int>(
+          flag_int("--obs-port", need("--obs-port"), 0, 65535));
+    } else if (std::strcmp(argv[i], "--pull-ms") == 0) {
+      cfg.pull_period = std::chrono::milliseconds(
+          flag_int("--pull-ms", need("--pull-ms"), 1, 3600000));
+    } else if (std::strcmp(argv[i], "--pull-timeout-ms") == 0) {
+      cfg.pull_timeout = std::chrono::milliseconds(flag_int(
+          "--pull-timeout-ms", need("--pull-timeout-ms"), 1, 3600000));
+    } else if (std::strcmp(argv[i], "--vnodes") == 0) {
+      cfg.vnodes_per_shard = static_cast<std::size_t>(
+          flag_int("--vnodes", need("--vnodes"), 1, 4096));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = need("--port-file");
+    } else if (std::strcmp(argv[i], "--report-every") == 0) {
+      report_every = std::atof(need("--report-every"));
+    } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
+      max_seconds = std::atof(need("--max-seconds"));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      util::set_log_level(util::LogLevel::kError);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      util::set_log_level(util::LogLevel::kDebug);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "at least one --shard is required\n");
+    return usage(argv[0]);
+  }
+
+  try {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    service::TcpListener frontend(port);
+    fleet::Gateway gateway(frontend, cfg);
+    for (const auto& spec : shards) {
+      gateway.add_shard(spec.id,
+                        [host = spec.host, backend_port = spec.port] {
+                          return service::tcp_connect(host, backend_port);
+                        });
+      std::printf("incprof_gateway: shard %u at %s:%u\n", spec.id,
+                  spec.host.c_str(), spec.port);
+    }
+    gateway.start();
+
+    std::unique_ptr<obs::HttpEndpoint> obs_endpoint;
+    if (obs_port >= 0) {
+      obs_endpoint = std::make_unique<obs::HttpEndpoint>(
+          static_cast<std::uint16_t>(obs_port), gateway.http_handler());
+      std::printf("incprof_gateway: obs endpoint on port %u "
+                  "(GET /metrics /healthz /fleet.json)\n",
+                  obs_endpoint->port());
+    }
+    std::printf("incprof_gateway: listening on port %u (%zu shards)\n",
+                frontend.port(), shards.size());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      if (!pf) {
+        std::fprintf(stderr, "incprof_gateway: cannot write %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+      pf << "port " << frontend.port() << '\n';
+      if (obs_endpoint) pf << "obs_port " << obs_endpoint->port() << '\n';
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto next_report = start + std::chrono::duration<double>(report_every);
+    while (!g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const auto now = std::chrono::steady_clock::now();
+      if (max_seconds > 0.0 &&
+          now - start >= std::chrono::duration<double>(max_seconds)) {
+        break;
+      }
+      if (report_every > 0.0 && now >= next_report) {
+        const auto view = gateway.view();
+        std::size_t alive = 0;
+        for (const auto& s : view.shards) {
+          if (s.alive) ++alive;
+        }
+        std::printf("fleet: %zu/%zu shards up, %llu open sessions, "
+                    "%llu intervals\n",
+                    alive, view.shards.size(),
+                    static_cast<unsigned long long>(
+                        view.merged.open_sessions),
+                    static_cast<unsigned long long>(
+                        view.merged.total_intervals));
+        std::fflush(stdout);
+        next_report = now + std::chrono::duration<double>(report_every);
+      }
+    }
+
+    gateway.stop();
+    if (obs_endpoint) obs_endpoint->stop();
+    const auto view = gateway.view();
+    std::printf("incprof_gateway: proxied %llu connections; fleet saw "
+                "%llu intervals across %zu shards\n",
+                static_cast<unsigned long long>(
+                    gateway.connections_accepted()),
+                static_cast<unsigned long long>(
+                    view.merged.total_intervals),
+                view.shards.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -24,6 +24,13 @@
 //   --port <n>           TCP port (default 7077; 0 = ephemeral)
 //   --obs-port <n>       also serve GET /metrics, /healthz, /trace.json
 //                        over HTTP on this port (0 = ephemeral)
+//   --shard-id <n>       this daemon's shard id behind incprof_gateway
+//                        (default 0 = standalone); session ids come from
+//                        the shard's disjoint range so the gateway can
+//                        route resumes by id alone
+//   --port-file <path>   after binding, write the bound ports ("port
+//                        <n>", "obs_port <n>" lines) — how scripts find
+//                        ephemeral (--port 0) listeners
 //   --threads <n>        tracker worker threads: 0 = hardware
 //                        concurrency (default), 1 = single worker
 //   --workers <n>        alias for --threads (kept for old scripts;
@@ -80,7 +87,8 @@ void on_signal(int) { g_interrupted.store(true); }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port n] [--obs-port n] [--threads n] [--workers n] "
+               "usage: %s [--port n] [--obs-port n] [--shard-id n] "
+               "[--port-file path] [--threads n] [--workers n] "
                "[--queue-capacity n] [--error-budget n] "
                "[--resume-grace-ms n] [--idle-timeout-ms n] "
                "[--read-timeout-ms n] [--report-every s] [--max-seconds s] "
@@ -310,6 +318,7 @@ int main(int argc, char** argv) {
   std::string fleet_csv;
   std::string selftest_dir;
   std::string chaos_dir;
+  std::string port_file;
   service::ServerConfig cfg;
   util::set_log_level(util::LogLevel::kInfo);
 
@@ -327,6 +336,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--obs-port") == 0) {
       obs_port = static_cast<int>(
           flag_int("--obs-port", need("--obs-port"), 0, 65535));
+    } else if (std::strcmp(argv[i], "--shard-id") == 0) {
+      cfg.shard_id = static_cast<std::uint32_t>(
+          flag_int("--shard-id", need("--shard-id"), 0,
+                   service::kMaxShardId));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = need("--port-file");
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       cfg.worker_threads = static_cast<std::size_t>(
           flag_int("--threads", need("--threads"), 0, 1024));
@@ -398,10 +413,21 @@ int main(int argc, char** argv) {
     service::Server server(listener, cfg);
     server.start();
     const auto obs_endpoint = start_obs_endpoint(obs_port, server);
-    std::printf("incprofd: listening on port %u (%zu workers, queue %zu)\n",
+    std::printf("incprofd: listening on port %u (%zu workers, queue %zu, "
+                "shard %u)\n",
                 listener.port(), server.worker_count(),
-                cfg.session.queue_capacity);
+                cfg.session.queue_capacity, cfg.shard_id);
     std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      if (!pf) {
+        std::fprintf(stderr, "incprofd: cannot write %s\n",
+                     port_file.c_str());
+        return 1;
+      }
+      pf << "port " << listener.port() << '\n';
+      if (obs_endpoint) pf << "obs_port " << obs_endpoint->port() << '\n';
+    }
 
     const auto start = std::chrono::steady_clock::now();
     auto next_report =
