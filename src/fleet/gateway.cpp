@@ -78,14 +78,32 @@ std::string render_merged_prometheus(const FleetView& v) {
     }
     out += "fleet_" + key + ' ' + std::to_string(value) + '\n';
   }
-  // Histograms reduced to count/sum/max series (buckets live in
-  // /fleet.json consumers via the shard-state codec).
-  for (const auto& [key, snap] : v.merged.histograms) {
-    out += fleet_key(key, "_count") + ' ' + std::to_string(snap.count) +
-           '\n';
-    out += fleet_key(key, "_sum") + ' ' + std::to_string(snap.sum) + '\n';
-    out += fleet_key(key, "_max") + ' ' + std::to_string(snap.max) + '\n';
-  }
+  // Histograms reduced to count/sum/max series (full buckets travel to
+  // /fleet.json consumers via the shard-state codec). One suffix family
+  // at a time, sorted, so each family's labeled series sit under a
+  // single # TYPE line like the counter/gauge loops above.
+  auto hists = v.merged.histograms;
+  std::sort(hists.begin(), hists.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto hist_series = [&](const char* suffix, const char* kind,
+                               auto pick) {
+    std::string fam_seen;
+    for (const auto& [key, snap] : hists) {
+      std::string fam = "fleet_" + key.substr(0, key.find('{')) + suffix;
+      if (fam != fam_seen) {
+        out += "# TYPE " + fam + ' ' + kind + '\n';
+        fam_seen = std::move(fam);
+      }
+      out +=
+          fleet_key(key, suffix) + ' ' + std::to_string(pick(snap)) + '\n';
+    }
+  };
+  hist_series("_count", "counter",
+              [](const obs::HistogramSnapshot& s) { return s.count; });
+  hist_series("_sum", "counter",
+              [](const obs::HistogramSnapshot& s) { return s.sum; });
+  hist_series("_max", "gauge",
+              [](const obs::HistogramSnapshot& s) { return s.max; });
   return out;
 }
 
@@ -123,7 +141,7 @@ std::string render_fleet_json(const FleetView& v) {
 }  // namespace
 
 Gateway::Gateway(service::Listener& frontend, GatewayConfig cfg)
-    : frontend_(frontend), cfg_(cfg) {}
+    : frontend_(frontend), cfg_(cfg), ring_(cfg_.vnodes_per_shard) {}
 
 Gateway::~Gateway() { stop(); }
 

@@ -37,6 +37,20 @@ bool key_is_token(std::string_view key) {
          !key.empty();
 }
 
+/// The client name is the one client-controlled string in the codec and
+/// rides as the final field of a line-oriented row. A raw newline would
+/// split the row — letting a client inject or corrupt other rows — and
+/// an empty (or all-whitespace) name would drop the token entirely,
+/// making the row too short to decode. Neither may reach the wire.
+std::string sanitize_name(std::string_view name) {
+  std::string out(name);
+  std::replace_if(
+      out.begin(), out.end(),
+      [](char c) { return c == '\n' || c == '\r'; }, ' ');
+  if (util::trim(out).empty()) return "?";
+  return out;
+}
+
 /// Offset of the n-th whitespace-separated token in `line` (for rows
 /// whose final field — the client name — may itself contain spaces).
 std::size_t token_offset(std::string_view line, std::size_t n) {
@@ -100,7 +114,8 @@ std::string encode_shard_state(const ShardState& s) {
            std::to_string(row.transitions) + ' ' +
            std::to_string(row.heartbeat_records) + ' ' +
            std::to_string(row.dropped_frames) + ' ' +
-           (row.closed ? "1" : "0") + ' ' + row.client_name + '\n';
+           (row.closed ? "1" : "0") + ' ' + sanitize_name(row.client_name) +
+           '\n';
   }
   for (const auto& [name, value] : s.counters) {
     out += "counter " + name + ' ' + std::to_string(value) + '\n';
@@ -146,7 +161,7 @@ ShardState decode_shard_state(std::string_view text) {
         s.phase_count_histogram.push_back(field_u64(tok[i], "phasehist"));
       }
     } else if (kw == "session") {
-      if (tok.size() < 10) bad("short session row");
+      if (tok.size() < 9) bad("short session row");
       FleetSessionInfo row;
       row.id = static_cast<std::uint32_t>(field_u64(tok[1], "session id"));
       row.intervals = static_cast<std::size_t>(field_u64(tok[2], "intervals"));
@@ -159,8 +174,11 @@ ShardState decode_shard_state(std::string_view text) {
       row.dropped_frames = field_u64(tok[7], "dropped");
       row.closed = field_u64(tok[8], "closed") != 0;
       // The client name is everything after the 9th token — it may
-      // contain spaces.
-      row.client_name = std::string(line.substr(token_offset(line, 9)));
+      // contain spaces. Tolerate a missing name (pre-sanitizer
+      // emitters could drop it) rather than rejecting the whole state.
+      row.client_name = tok.size() >= 10
+                            ? std::string(line.substr(token_offset(line, 9)))
+                            : "?";
       s.sessions.push_back(std::move(row));
     } else if (kw == "counter") {
       if (tok.size() != 3) bad("short counter row");

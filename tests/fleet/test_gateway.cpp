@@ -17,6 +17,8 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -161,6 +163,155 @@ TEST(Gateway, SpreadsFreshSessionsAndMergedViewEqualsSum) {
     hist_total += n;
   }
   EXPECT_EQ(hist_total, kSessions);  // every closed session binned once
+}
+
+TEST(Gateway, MergedMetricsDeclareATypeForEveryFamily) {
+  Shard shard(1);
+  LoopbackHub front;
+  auto front_listener = front.make_listener();
+  Gateway gateway(*front_listener, manual_poll_config());
+  gateway.add_shard(1, [&shard] { return shard.hub.connect(); });
+  gateway.start();
+
+  // One real session so the shard's stage histograms have samples and
+  // surface in the merged exposition.
+  auto conn = front.connect();
+  ReplayOptions opts;
+  opts.client_name = "typed";
+  const auto result =
+      service::replay_session(*conn, synthetic_stream(0), opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(wait_for([&] {
+    return shard.server->fleet().total_intervals() ==
+           synthetic_stream(0).size();
+  }));
+  gateway.poll_once();
+
+  const auto resp = gateway.http_handler()("/metrics");
+  EXPECT_NE(resp.body.find("# TYPE fleet_frame_stage_ns_count counter"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("# TYPE fleet_frame_stage_ns_max gauge"),
+            std::string::npos);
+
+  // Lint the whole exposition: strict scrapers reject any series whose
+  // family lacks a # TYPE declaration. A histogram declaration for `x`
+  // covers `x_bucket`/`x_sum`/`x_count` per the exposition format.
+  std::set<std::string> declared;
+  std::istringstream decl_lines(resp.body);
+  std::string line;
+  while (std::getline(decl_lines, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const std::string rest = line.substr(7);
+    declared.insert(rest.substr(0, rest.find(' ')));
+  }
+  const auto is_declared = [&declared](const std::string& family) {
+    if (declared.count(family)) return true;
+    for (const char* suffix : {"_bucket", "_sum", "_count", "_max"}) {
+      const std::string s = suffix;
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          declared.count(family.substr(0, family.size() - s.size()))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::istringstream series_lines(resp.body);
+  while (std::getline(series_lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string family = line.substr(0, line.find_first_of("{ "));
+    EXPECT_TRUE(is_declared(family)) << "undeclared family: " << family;
+  }
+  gateway.stop();
+  shard.server->stop();
+}
+
+TEST(Gateway, HostileClientNamesDoNotPoisonTheAggregatorPull) {
+  // An empty or newline-bearing client name used to make the shard's
+  // encoded state undecodable (short row / injected rows); the gateway
+  // treated the decode throw as a pull failure and ejected the healthy
+  // shard from the ring.
+  Shard shard(1);
+  LoopbackHub front;
+  auto front_listener = front.make_listener();
+  Gateway gateway(*front_listener, manual_poll_config());
+  gateway.add_shard(1, [&shard] { return shard.hub.connect(); });
+  gateway.start();
+
+  std::size_t expected_intervals = 0;
+  for (const std::string name : {"", "evil\ntotals 9 9 9"}) {
+    auto conn = front.connect();
+    ReplayOptions opts;
+    opts.client_name = name;
+    const auto result =
+        service::replay_session(*conn, synthetic_stream(0), opts);
+    ASSERT_TRUE(result.ok) << result.error;
+    expected_intervals += synthetic_stream(0).size();
+  }
+  ASSERT_TRUE(wait_for([&] {
+    return shard.server->fleet().total_intervals() == expected_intervals;
+  }));
+
+  gateway.poll_once();
+  const FleetView v = gateway.view();
+  ASSERT_EQ(v.shards.size(), 1u);
+  EXPECT_TRUE(v.shards[0].alive);
+  EXPECT_EQ(v.shards[0].pull_failures, 0u);
+  ASSERT_EQ(v.merged.sessions.size(), 2u);
+  EXPECT_EQ(v.merged.total_intervals, expected_intervals);
+  for (const auto& row : v.merged.sessions) {
+    EXPECT_EQ(row.client_name.find('\n'), std::string::npos);
+    EXPECT_FALSE(row.client_name.empty());
+  }
+  gateway.stop();
+  shard.server->stop();
+}
+
+TEST(Gateway, HonorsConfiguredVnodesPerShard) {
+  Shard shard1(1);
+  Shard shard2(2);
+
+  GatewayConfig cfg = manual_poll_config();
+  cfg.vnodes_per_shard = 1;  // deliberately non-default
+  LoopbackHub front;
+  auto front_listener = front.make_listener();
+  Gateway gateway(*front_listener, cfg);
+  gateway.add_shard(1, [&shard1] { return shard1.hub.connect(); });
+  gateway.add_shard(2, [&shard2] { return shard2.hub.connect(); });
+  gateway.start();
+
+  // The gateway's placements must match a reference ring built with the
+  // configured vnode count — not the default one (the ring is
+  // deterministic, so exact owners are assertable).
+  HashRing configured(1);
+  configured.add_shard(1);
+  configured.add_shard(2);
+  HashRing fallback;  // kDefaultVnodesPerShard
+  fallback.add_shard(1);
+  fallback.add_shard(2);
+
+  bool rings_disagree_somewhere = false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::string name = "vnode-client-" + std::to_string(i);
+    auto conn = front.connect();
+    ReplayOptions opts;
+    opts.client_name = name;
+    const auto result =
+        service::replay_session(*conn, synthetic_stream(i), opts);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(service::session_id_shard(result.session_id),
+              *configured.owner(name))
+        << name;
+    if (configured.owner(name) != fallback.owner(name)) {
+      rings_disagree_somewhere = true;
+    }
+  }
+  // The assertions above are only meaningful if a 1-vnode ring actually
+  // places some probed name differently from the default ring.
+  EXPECT_TRUE(rings_disagree_somewhere);
+  gateway.stop();
+  shard1.server->stop();
+  shard2.server->stop();
 }
 
 TEST(Gateway, RejectsNonHelloFirstFrames) {

@@ -85,6 +85,42 @@ TEST(ShardState, EncodeDecodeRoundTrips) {
   EXPECT_EQ(d.histograms[0].second.counts[20], 1u);
 }
 
+TEST(ShardState, HostileClientNamesCannotBreakTheCodec) {
+  // The client name is the one client-controlled string in the codec;
+  // decode_hello imposes no charset restrictions, so the encoder must
+  // neutralize row-splitting and row-shortening names. A raw newline
+  // would otherwise let one client inject rows (e.g. a second totals
+  // line) or make the gateway's pull throw and eject a healthy shard.
+  ShardState s = sample_state();
+  s.sessions[0].client_name = "";
+  FleetSessionInfo evil = s.sessions[0];
+  evil.id += 1;
+  evil.client_name = "evil\ntotals 999 999 999";
+  s.sessions.push_back(evil);
+  FleetSessionInfo blank = s.sessions[0];
+  blank.id += 2;
+  blank.client_name = " \r\n ";
+  s.sessions.push_back(blank);
+
+  const ShardState d = decode_shard_state(encode_shard_state(s));
+  ASSERT_EQ(d.sessions.size(), 3u);
+  EXPECT_EQ(d.sessions[0].client_name, "?");
+  EXPECT_EQ(d.sessions[1].client_name, "evil totals 999 999 999");
+  EXPECT_EQ(d.sessions[2].client_name, "?");
+  // The injected totals line never materialized.
+  EXPECT_EQ(d.total_intervals, 41u);
+  EXPECT_EQ(d.open_sessions, 2u);
+}
+
+TEST(ShardState, DecoderToleratesMissingClientName) {
+  const std::string text =
+      "incprof-shard-state v1\nsession 1 2 3 4 5 6 7 0\n";
+  const ShardState d = decode_shard_state(text);
+  ASSERT_EQ(d.sessions.size(), 1u);
+  EXPECT_EQ(d.sessions[0].client_name, "?");
+  EXPECT_EQ(d.sessions[0].intervals, 2u);
+}
+
 TEST(ShardState, DrainingFlagRoundTrips) {
   ShardState s = sample_state();
   s.draining = true;
