@@ -227,6 +227,22 @@ void BM_ObsScopedSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsScopedSpan);
 
+void BM_ObsScopedSpanTraced(benchmark::State& state) {
+  // Same span, but under an installed trace context — the traced frame
+  // path: the span additionally mints its id (one relaxed fetch_add)
+  // and installs/restores the thread-local context. The <100 ns budget
+  // must hold here too, or tracing would tax every traced interval.
+  obs::Histogram hist;
+  obs::TraceBuffer buffer(4096);
+  obs::ScopedTraceContext trace_scope({0xbe7cebe7cull, 1});
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "obs", &hist, &buffer);
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedSpanTraced);
+
 /// Per-stage latency percentiles accumulated by the pipeline's own
 /// instrumentation while BM_EndToEndAnalysis & friends ran — the
 /// stage-level view a single end-to-end wall-clock number hides.

@@ -1,5 +1,7 @@
 #include "core/online.hpp"
 
+#include "obs/span.hpp"
+
 #include <cmath>
 #include <limits>
 
@@ -15,70 +17,89 @@ std::size_t OnlinePhaseTracker::column_for(const std::string& name) {
 
 OnlineObservation OnlinePhaseTracker::observe(
     const gmon::ProfileSnapshot& snap) {
+  // The five stage spans mirror the offline pipeline.* set; under the
+  // daemon they run on a worker thread that carries the interval's
+  // trace context, so each stage lands in the client's end-to-end
+  // trace as a child of frame.process.
   // Difference against the previous cumulative dump.
-  const gmon::ProfileSnapshot delta =
-      has_previous_ ? gmon::difference(snap, previous_)
-                    : gmon::difference(snap, gmon::ProfileSnapshot{});
-  previous_ = snap;
-  has_previous_ = true;
+  gmon::ProfileSnapshot delta;
+  {
+    obs::ScopedSpan span("online.differencing", "analysis");
+    delta = has_previous_ ? gmon::difference(snap, previous_)
+                          : gmon::difference(snap, gmon::ProfileSnapshot{});
+    previous_ = snap;
+    has_previous_ = true;
+  }
 
   // Build the interval vector in the (growing) column space.
   std::vector<double> v(columns_.size(), 0.0);
-  for (const auto& fp : delta.functions()) {
-    const std::size_t col = column_for(fp.name);
-    if (col >= v.size()) v.resize(columns_.size(), 0.0);
-    v[col] = static_cast<double>(fp.self_ns) / 1e9;
+  {
+    obs::ScopedSpan span("online.vectorize", "analysis");
+    for (const auto& fp : delta.functions()) {
+      const std::size_t col = column_for(fp.name);
+      if (col >= v.size()) v.resize(columns_.size(), 0.0);
+      v[col] = static_cast<double>(fp.self_ns) / 1e9;
+    }
   }
 
   // Nearest centroid (missing trailing columns read as zero).
   double best = std::numeric_limits<double>::max();
   std::size_t best_phase = 0;
-  for (std::size_t p = 0; p < centroids_.size(); ++p) {
-    const auto& c = centroids_[p];
-    double d2 = 0.0;
-    const std::size_t n = v.size();
-    for (std::size_t j = 0; j < n; ++j) {
-      const double cj = j < c.size() ? c[j] : 0.0;
-      const double diff = v[j] - cj;
-      d2 += diff * diff;
-    }
-    const double d = std::sqrt(d2);
-    if (d < best) {
-      best = d;
-      best_phase = p;
+  {
+    obs::ScopedSpan span("online.assign", "analysis");
+    for (std::size_t p = 0; p < centroids_.size(); ++p) {
+      const auto& c = centroids_[p];
+      double d2 = 0.0;
+      const std::size_t n = v.size();
+      for (std::size_t j = 0; j < n; ++j) {
+        const double cj = j < c.size() ? c[j] : 0.0;
+        const double diff = v[j] - cj;
+        d2 += diff * diff;
+      }
+      const double d = std::sqrt(d2);
+      if (d < best) {
+        best = d;
+        best_phase = p;
+      }
     }
   }
 
   OnlineObservation obs;
   obs.interval = assignments_.size();
-  const bool open_new =
-      centroids_.empty() || (best > config_.new_phase_distance &&
-                             centroids_.size() < config_.max_phases);
-  if (open_new) {
-    obs.phase = centroids_.size();
-    obs.new_phase = true;
-    obs.distance = centroids_.empty() ? 0.0 : best;
-    centroids_.push_back(v);
-    counts_.push_back(1);
-  } else {
-    obs.phase = best_phase;
-    obs.distance = best;
-    auto& c = centroids_[best_phase];
-    if (c.size() < v.size()) c.resize(v.size(), 0.0);
-    ++counts_[best_phase];
-    const double alpha =
-        config_.ewma_alpha > 0.0
-            ? config_.ewma_alpha
-            : 1.0 / static_cast<double>(counts_[best_phase]);
-    for (std::size_t j = 0; j < c.size(); ++j) {
-      const double vj = j < v.size() ? v[j] : 0.0;
-      c[j] += alpha * (vj - c[j]);
+  {
+    obs::ScopedSpan span("online.update", "analysis");
+    const bool open_new =
+        centroids_.empty() || (best > config_.new_phase_distance &&
+                               centroids_.size() < config_.max_phases);
+    if (open_new) {
+      obs.phase = centroids_.size();
+      obs.new_phase = true;
+      obs.distance = centroids_.empty() ? 0.0 : best;
+      centroids_.push_back(v);
+      counts_.push_back(1);
+    } else {
+      obs.phase = best_phase;
+      obs.distance = best;
+      auto& c = centroids_[best_phase];
+      if (c.size() < v.size()) c.resize(v.size(), 0.0);
+      ++counts_[best_phase];
+      const double alpha =
+          config_.ewma_alpha > 0.0
+              ? config_.ewma_alpha
+              : 1.0 / static_cast<double>(counts_[best_phase]);
+      for (std::size_t j = 0; j < c.size(); ++j) {
+        const double vj = j < v.size() ? v[j] : 0.0;
+        c[j] += alpha * (vj - c[j]);
+      }
     }
   }
 
-  obs.transition =
-      !assignments_.empty() && assignments_.back() != obs.phase;
-  assignments_.push_back(obs.phase);
+  {
+    obs::ScopedSpan span("online.classify", "analysis");
+    obs.transition =
+        !assignments_.empty() && assignments_.back() != obs.phase;
+    assignments_.push_back(obs.phase);
+  }
   return obs;
 }
 

@@ -1,5 +1,10 @@
 #include "fleet/gateway.hpp"
 
+#include "fleet/trace_merge.hpp"
+#include "obs/build_info.hpp"
+#include "obs/clock.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "util/log.hpp"
 
 #include <algorithm>
@@ -119,7 +124,11 @@ std::string render_fleet_json(const FleetView& v) {
            ",\"open_sessions\":" + std::to_string(s.open_sessions) +
            ",\"total_intervals\":" + std::to_string(s.total_intervals) +
            ",\"pulls\":" + std::to_string(s.pulls) +
-           ",\"pull_failures\":" + std::to_string(s.pull_failures) + "}";
+           ",\"pull_failures\":" + std::to_string(s.pull_failures) +
+           ",\"last_pull_age_ms\":" +
+           (s.ever_pulled ? std::to_string(s.last_pull_age_ns / 1000000)
+                          : std::string("null")) +
+           "}";
   }
   out += "],\"merged\":{\"open_sessions\":" +
          std::to_string(v.merged.open_sessions) +
@@ -141,7 +150,13 @@ std::string render_fleet_json(const FleetView& v) {
 }  // namespace
 
 Gateway::Gateway(service::Listener& frontend, GatewayConfig cfg)
-    : frontend_(frontend), cfg_(cfg), ring_(cfg_.vnodes_per_shard) {}
+    : frontend_(frontend),
+      cfg_(cfg),
+      route_hist_(metrics_.histogram("gateway_stage_ns",
+                                     {{"stage", "route"}})),
+      proxy_hist_(metrics_.histogram("gateway_stage_ns",
+                                     {{"stage", "proxy"}})),
+      ring_(cfg_.vnodes_per_shard) {}
 
 Gateway::~Gateway() { stop(); }
 
@@ -261,8 +276,25 @@ void Gateway::proxy(ProxyWorker* worker) {
     return;
   }
 
-  auto backend = route(*client, hello);
-  if (backend && !backend->send(*first)) {
+  // Adopt the hello's wire trace context for this worker: the route and
+  // proxy spans below join the client's end-to-end trace, and the fleet
+  // merger links them to the shard's spans via the shared trace id.
+  const service::WireTraceContext wire = service::peek_trace_context(*first);
+  obs::ScopedTraceContext trace_scope({wire.trace_id, wire.parent_span});
+
+  std::shared_ptr<service::Connection> backend;
+  std::string forward;
+  {
+    obs::ScopedSpan route_span("gateway.route", "gateway", &route_hist_);
+    backend = route(*client, hello);
+    // Re-encode the hello inside the route span's scope: frame_of
+    // stamps the thread's current context, so the forwarded hello names
+    // the route span as parent and the shard's decode/process spans
+    // hang off the gateway's in the merged trace. Frames after the
+    // hello are pumped verbatim and keep the client's own parent ids.
+    forward = service::make_hello_frame(hello);
+  }
+  if (backend && !backend->send(forward)) {
     // The shard died between connect and hello; dropping the client
     // makes its resilient replay retry through us, and the next pull
     // will mark the shard dead.
@@ -282,7 +314,9 @@ void Gateway::proxy(ProxyWorker* worker) {
   }
 
   // Both directions pump raw frames verbatim until either side closes;
-  // the backward pump is joined here, never detached.
+  // the backward pump is joined here, never detached. The proxy span
+  // covers the whole pumped lifetime of the connection pair.
+  obs::ScopedSpan proxy_span("gateway.proxy", "gateway", &proxy_hist_);
   std::thread backward([client, backend] {
     pump(*backend, *client);
     client->close();
@@ -463,6 +497,7 @@ void Gateway::poll_once() {
       entry.draining = entry.draining || state.draining;
       entry.last_state = std::move(state);
       entry.has_state = true;
+      entry.last_pull_ns = obs::now_ns();
       if (!entry.draining && !ring_.contains(id)) ring_.add_shard(id);
     } else {
       ++entry.pull_failures;
@@ -491,6 +526,7 @@ void Gateway::aggregator_loop() {
 }
 
 FleetView Gateway::view() const {
+  const std::uint64_t now = obs::now_ns();
   util::MutexLock lock(state_mu_);
   FleetView v;
   for (const auto& [id, entry] : shards_) {
@@ -504,6 +540,11 @@ FleetView Gateway::view() const {
     }
     h.pulls = entry.pulls;
     h.pull_failures = entry.pull_failures;
+    if (entry.last_pull_ns != 0) {
+      h.ever_pulled = true;
+      h.last_pull_age_ns =
+          now > entry.last_pull_ns ? now - entry.last_pull_ns : 0;
+    }
     v.shards.push_back(h);
     if (entry.alive && entry.has_state) {
       service::merge_shard_state(v.merged, entry.last_state);
@@ -512,21 +553,88 @@ FleetView Gateway::view() const {
   return v;
 }
 
+std::string Gateway::merged_trace_json() {
+  // Fresh pull per request (no caching): a trace view is a debugging
+  // artifact, and the reader wants the rings as they are now. No lock
+  // is held across the pulls — the shard table is copied first.
+  std::vector<std::pair<std::uint32_t, service::ConnectFn>> targets;
+  {
+    util::MutexLock lock(state_mu_);
+    for (const auto& [id, entry] : shards_) {
+      targets.emplace_back(id, entry.connect);
+    }
+  }
+  std::vector<ShardTrace> dumps;
+  for (const auto& [id, connect] : targets) {
+    bool ok = false;
+    ShardTrace st;
+    st.pid = id;
+    st.label = "incprofd shard " + std::to_string(id);
+    try {
+      auto conn = connect();
+      if (conn) {
+        conn->set_receive_timeout(cfg_.pull_timeout);
+        service::QueryPayload query;
+        query.kind = service::QueryKind::kTraceDump;
+        if (conn->send(service::make_query_frame(0, query))) {
+          while (auto bytes = conn->receive()) {
+            const auto frame = service::decode_frame(*bytes);
+            if (frame.type != service::FrameType::kQueryReply) continue;
+            const auto reply = service::decode_query_reply(frame.payload);
+            st.dump = service::decode_trace_dump(reply.text);
+            ok = true;
+            break;
+          }
+        }
+        conn->close();
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok) {
+      metrics_.counter("trace_pulls").add();
+      dumps.push_back(std::move(st));
+    } else {
+      // An unreachable shard is simply absent from this trace view; the
+      // aggregator's next pull handles the liveness consequences.
+      metrics_.counter("trace_pull_failures").add();
+    }
+  }
+  return merge_chrome_trace(obs::trace().events(), dumps);
+}
+
 obs::HttpHandler Gateway::http_handler() {
+  obs::register_build_info(metrics_);
   return [this](const std::string& path) -> obs::HttpResponse {
     obs::HttpResponse resp;
     if (path == "/metrics") {
       metrics_.counter("obs_scrapes").add();
+      obs::update_process_uptime(metrics_);
       resp.body =
           metrics_.render_prometheus() + render_merged_prometheus(view());
       resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     } else if (path == "/healthz") {
       const FleetView v = view();
+      // Stale = alive (the last probe worked) but the last successful
+      // pull is older than three cadences: the shard answers probes yet
+      // its contribution to the merged view has stopped advancing.
+      const std::uint64_t stale_ns =
+          static_cast<std::uint64_t>(cfg_.pull_period.count()) *
+          3'000'000ull;
       std::size_t down = 0;
       std::string body;
       for (const auto& s : v.shards) {
         body += "shard " + std::to_string(s.id) + ' ';
         body += !s.alive ? "down" : (s.draining ? "draining" : "up");
+        if (s.ever_pulled) {
+          body +=
+              " pull_age_ms=" + std::to_string(s.last_pull_age_ns / 1000000);
+          if (s.alive && stale_ns > 0 && s.last_pull_age_ns > stale_ns) {
+            body += " stale";
+          }
+        } else {
+          body += " never_pulled";
+        }
         body += '\n';
         if (!s.alive) ++down;
       }
@@ -534,6 +642,9 @@ obs::HttpHandler Gateway::http_handler() {
       resp.body = (down == 0 ? std::string("ok\n") : "degraded\n") + body;
     } else if (path == "/fleet.json") {
       resp.body = render_fleet_json(view());
+      resp.content_type = "application/json";
+    } else if (path == "/trace.json") {
+      resp.body = merged_trace_json();
       resp.content_type = "application/json";
     } else {
       resp.status = 404;

@@ -70,6 +70,12 @@ struct ShardHealth {
   std::uint64_t total_intervals = 0;
   std::uint64_t pulls = 0;
   std::uint64_t pull_failures = 0;
+  /// Age of the last successful state pull (ns at view() time); only
+  /// meaningful when ever_pulled. Surfaces the stale-but-not-dead shard:
+  /// alive (last probe worked) yet with data older than the pull cadence
+  /// should allow.
+  std::uint64_t last_pull_age_ns = 0;
+  bool ever_pulled = false;
 };
 
 /// A point-in-time copy of the gateway's merged knowledge.
@@ -123,8 +129,15 @@ class Gateway {
   /// Routes for the gateway's obs HttpEndpoint: GET /metrics (gateway
   /// registry + merged per-shard metrics, Prometheus text), /healthz
   /// (per-shard liveness; 503 while any registered shard is down),
-  /// /fleet.json (machine-readable view), 404 otherwise.
+  /// /fleet.json (machine-readable view), /trace.json (fleet-merged
+  /// Chrome trace), 404 otherwise.
   obs::HttpHandler http_handler();
+
+  /// Fleet-merged Chrome trace JSON: pulls every shard's span ring on
+  /// demand (kTraceDump control query) and folds it with the gateway's
+  /// own ring — per-process pid lanes plus flow events linking gateway
+  /// spans to shard spans. What /trace.json serves.
+  std::string merged_trace_json();
 
   /// The gateway's own operational metrics (sessions routed, redirects,
   /// pull failures, ...).
@@ -146,6 +159,8 @@ class Gateway {
     /// Last successfully pulled state (fold input for the merged view).
     service::ShardState last_state;
     bool has_state = false;
+    /// obs::now_ns() of the last successful pull (0 = never).
+    std::uint64_t last_pull_ns = 0;
   };
 
   /// One proxied client: the worker thread routes the hello, then the
@@ -173,6 +188,11 @@ class Gateway {
   service::Listener& frontend_;
   const GatewayConfig cfg_;
   obs::MetricsRegistry metrics_;
+
+  // Proxy-path latency histograms, resolved once so the per-connection
+  // path never takes the registry lock (the Server ctor pattern).
+  obs::Histogram& route_hist_;
+  obs::Histogram& proxy_hist_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

@@ -1,0 +1,184 @@
+#include "fleet/trace_merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+namespace incprof::fleet {
+
+namespace {
+
+/// Minimal JSON string escaping (mirrors the obs trace exporter).
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      out += "\\u00";
+      out.push_back("0123456789abcdef"[u >> 4]);
+      out.push_back("0123456789abcdef"[u & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  char buf[19];
+  int at = 18;
+  buf[at] = '\0';
+  do {
+    buf[--at] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  out += "0x";
+  out += &buf[at];
+}
+
+/// Chrome trace timestamps are microseconds; keep ns precision via the
+/// fractional digits (same formatting as TraceBuffer::export_chrome_json).
+void append_micros(std::string& out, std::uint64_t ns) {
+  out += std::to_string(ns / 1000);
+  out.push_back('.');
+  const std::uint64_t frac = ns % 1000;
+  out += std::to_string(frac / 100);
+  out += std::to_string((frac / 10) % 10);
+  out += std::to_string(frac % 10);
+}
+
+void append_process_name(std::string& out, bool& first, std::uint32_t pid,
+                         std::string_view label) {
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+  append_escaped(out, label);
+  out += "\"}}";
+}
+
+/// One "X" complete event in pid lane `pid`.
+void append_span(std::string& out, bool& first, std::uint32_t pid,
+                 std::string_view name, std::string_view category,
+                 std::uint32_t tid, std::uint64_t start_ns,
+                 std::uint64_t duration_ns, std::uint64_t trace_id,
+                 std::uint32_t span_id, std::uint32_t parent_span) {
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"name\":\"";
+  append_escaped(out, name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, category);
+  out += "\",\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"ts\":";
+  append_micros(out, start_ns);
+  out += ",\"dur\":";
+  append_micros(out, duration_ns);
+  if (trace_id != 0) {
+    out += ",\"args\":{\"trace_id\":\"";
+    append_hex_u64(out, trace_id);
+    out += "\",\"span\":" + std::to_string(span_id) +
+           ",\"parent\":" + std::to_string(parent_span) + "}";
+  }
+  out += "}";
+}
+
+/// The anchor a flow endpoint binds to: the earliest span carrying a
+/// given trace id within one process. Flow events attach to whatever
+/// slice is open at (pid, tid, ts), so anchoring at the earliest span's
+/// start puts the arrow on the first thing that happened there.
+struct FlowAnchor {
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  bool set = false;
+
+  void offer(std::uint32_t t, std::uint64_t s) {
+    if (!set || s < start_ns) {
+      tid = t;
+      start_ns = s;
+      set = true;
+    }
+  }
+};
+
+void append_flow(std::string& out, bool& first, const char* ph,
+                 const std::string& flow_id, std::uint32_t pid,
+                 const FlowAnchor& at) {
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"name\":\"trace\",\"cat\":\"flow\",\"id\":\"";
+  append_escaped(out, flow_id);
+  out += "\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(at.tid) + ",\"ts\":";
+  append_micros(out, at.start_ns);
+  if (ph[0] == 'f') out += ",\"bp\":\"e\"";
+  out += "}";
+}
+
+}  // namespace
+
+std::string merge_chrome_trace(
+    const std::vector<obs::SpanEvent>& gateway_events,
+    const std::vector<ShardTrace>& shards) {
+  std::string out;
+  std::size_t spans = gateway_events.size();
+  for (const auto& s : shards) spans += s.dump.spans.size();
+  out.reserve(256 + spans * 128);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+
+  append_process_name(out, first, 0, "incprof_gateway");
+  for (const auto& s : shards) {
+    append_process_name(out, first, s.pid, s.label);
+  }
+
+  // Gateway spans (pid 0), collecting each trace id's earliest span as
+  // the outgoing flow anchor.
+  std::map<std::uint64_t, FlowAnchor> gateway_anchor;
+  for (const obs::SpanEvent& ev : gateway_events) {
+    append_span(out, first, 0, ev.name, ev.category, ev.tid, ev.start_ns,
+                ev.duration_ns, ev.trace_id, ev.span_id, ev.parent_span);
+    if (ev.trace_id != 0) {
+      gateway_anchor[ev.trace_id].offer(ev.tid, ev.start_ns);
+    }
+  }
+
+  // Shard spans, each lane keeping its own per-trace anchor.
+  std::vector<std::map<std::uint64_t, FlowAnchor>> shard_anchor(
+      shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardTrace& shard = shards[i];
+    for (const service::TraceSpanRow& row : shard.dump.spans) {
+      append_span(out, first, shard.pid, row.name, row.category, row.tid,
+                  row.start_ns, row.duration_ns, row.trace_id, row.span_id,
+                  row.parent_span);
+      if (row.trace_id != 0) {
+        shard_anchor[i][row.trace_id].offer(row.tid, row.start_ns);
+      }
+    }
+  }
+
+  // Flow pairs: every trace id observed both at the gateway and on a
+  // shard gets an s/f arrow per shard, keyed uniquely by
+  // "<trace>-><pid>" so resumed sessions that touched two shards render
+  // as two distinct arrows.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    for (const auto& [trace_id, to] : shard_anchor[i]) {
+      const auto from = gateway_anchor.find(trace_id);
+      if (from == gateway_anchor.end()) continue;
+      std::string flow_id;
+      append_hex_u64(flow_id, trace_id);
+      flow_id += "->" + std::to_string(shards[i].pid);
+      append_flow(out, first, "s", flow_id, 0, from->second);
+      append_flow(out, first, "f", flow_id, shards[i].pid, to);
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace incprof::fleet

@@ -1,0 +1,38 @@
+// Fleet trace merging: fold the gateway's own span ring and every
+// shard's kTraceDump reply into one Chrome trace_event JSON document.
+// Each process gets its own pid lane (gateway = pid 0, shard = its
+// shard id) with a process_name metadata row, and every trace id seen
+// on both sides of a gateway→shard hop gets a flow-event pair
+// (ph "s" on the gateway span, ph "f"/bp "e" on the shard span) so
+// Perfetto draws the arrow that makes one client interval traceable
+// gateway → shard → pipeline stage.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "service/trace_wire.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incprof::fleet {
+
+/// One shard's contribution to the merged trace.
+struct ShardTrace {
+  /// pid lane in the merged document. Fleet shard ids start at 1
+  /// (shard 0 means "standalone daemon"), so the gateway can keep pid 0
+  /// without collision.
+  std::uint32_t pid = 0;
+  /// process_name metadata ("incprofd shard 3").
+  std::string label;
+  service::TraceDump dump;
+};
+
+/// Merges the gateway's span events (pid 0) with every shard dump into
+/// a Chrome trace_event JSON document ({"traceEvents": [...]}),
+/// loadable in Perfetto / chrome://tracing.
+std::string merge_chrome_trace(
+    const std::vector<obs::SpanEvent>& gateway_events,
+    const std::vector<ShardTrace>& shards);
+
+}  // namespace incprof::fleet

@@ -1,0 +1,49 @@
+#include "obs/build_info.hpp"
+
+#include "obs/clock.hpp"
+
+// Baked in per-build by src/obs/CMakeLists.txt; the fallbacks keep the
+// translation unit compilable standalone (and honest: "unknown", not a
+// stale value).
+#ifndef INCPROF_VERSION
+#define INCPROF_VERSION "unknown"
+#endif
+#ifndef INCPROF_GIT_SHA
+#define INCPROF_GIT_SHA "unknown"
+#endif
+#ifndef INCPROF_BUILD_TYPE
+#define INCPROF_BUILD_TYPE "unknown"
+#endif
+
+namespace incprof::obs {
+
+namespace {
+
+/// Captured at static initialization — as close to process start as a
+/// library can observe without main() cooperation.
+const std::uint64_t g_process_start_ns = now_ns();
+
+}  // namespace
+
+BuildInfo build_info() noexcept {
+  return {INCPROF_VERSION, INCPROF_GIT_SHA, INCPROF_BUILD_TYPE};
+}
+
+std::uint64_t process_start_ns() noexcept { return g_process_start_ns; }
+
+void register_build_info(MetricsRegistry& registry) {
+  const BuildInfo info = build_info();
+  registry
+      .gauge("incprof_build_info", {{"version", info.version},
+                                    {"git_sha", info.git_sha},
+                                    {"build_type", info.build_type}})
+      .set(1);
+}
+
+void update_process_uptime(MetricsRegistry& registry) {
+  registry.gauge("process_uptime_seconds")
+      .set(static_cast<std::int64_t>((now_ns() - g_process_start_ns) /
+                                     1'000'000'000ull));
+}
+
+}  // namespace incprof::obs

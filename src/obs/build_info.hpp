@@ -1,0 +1,40 @@
+// Build identity and process lifetime for the observability endpoints.
+// Every /metrics exposition should answer two operator questions before
+// any other: *which build is this* (incprof_build_info with version /
+// git sha / build type as labels, the Prometheus info-metric idiom:
+// constant value 1, identity in the labels) and *how long has it been
+// up* (process_uptime_seconds — a restart shows as the gauge snapping
+// back to zero even when every counter happens to survive in a
+// dashboard's rate window).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+
+namespace incprof::obs {
+
+/// Compile-time build identity (values baked in by CMake; "unknown"
+/// when building outside the repo or without git).
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+  const char* build_type;
+};
+
+BuildInfo build_info() noexcept;
+
+/// Steady-clock stamp taken at process start (static init), the
+/// reference point for process_uptime_seconds.
+std::uint64_t process_start_ns() noexcept;
+
+/// Registers the constant incprof_build_info{version,git_sha,build_type}
+/// = 1 gauge on `registry`. Call once per registry at startup; calling
+/// again is harmless (same series, same value).
+void register_build_info(MetricsRegistry& registry);
+
+/// Refreshes the process_uptime_seconds gauge on `registry` (call per
+/// scrape so the exposition is current).
+void update_process_uptime(MetricsRegistry& registry);
+
+}  // namespace incprof::obs

@@ -1,5 +1,6 @@
 #include "obs/http.hpp"
 
+#include "obs/build_info.hpp"
 #include "obs/clock.hpp"
 
 #include <fcntl.h>
@@ -10,8 +11,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 namespace incprof::obs {
@@ -234,13 +237,26 @@ void HttpEndpoint::handle_client(int client) {
 HttpHandler make_obs_handler(MetricsRegistry& registry,
                              TraceBuffer& buffer) {
   const std::uint64_t start_ns = now_ns();
-  return [&registry, &buffer, start_ns](const std::string& path) {
+  register_build_info(registry);
+  // Counter is add-only, but TraceBuffer::dropped() is a running total —
+  // export the delta since the previous scrape so the series stays
+  // monotonic and equal to the buffer's count.
+  auto dropped_seen = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [&registry, &buffer, start_ns,
+          dropped_seen](const std::string& path) {
     HttpResponse resp;
     if (path == "/metrics" || path == "/metrics/") {
       registry.counter("obs_scrapes").add();
       registry.gauge("obs_uptime_seconds")
           .set(static_cast<std::int64_t>((now_ns() - start_ns) /
                                          1'000'000'000ull));
+      update_process_uptime(registry);
+      const std::uint64_t dropped = buffer.dropped();
+      const std::uint64_t seen =
+          dropped_seen->exchange(dropped, std::memory_order_relaxed);
+      auto& dropped_total = registry.counter("obs_trace_dropped_total");
+      if (dropped > seen) dropped_total.add(dropped - seen);
+      else dropped_total.add(0);  // materialize the series at zero
       resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
       resp.body = registry.render_prometheus();
     } else if (path == "/healthz" || path == "/healthz/") {

@@ -3,11 +3,19 @@
 // the trace ring — one object serving both the aggregate (percentiles)
 // and the individual (Perfetto timeline) views of the same event. Names
 // must be string literals (the trace ring borrows the pointer).
+//
+// Spans participate in distributed tracing automatically: when the
+// thread carries a TraceContext (see trace_context.hpp) the span mints
+// its own id, records the carrier's trace/parent ids, and installs
+// itself as the thread's current context for its lifetime — so nested
+// spans chain parent→child with no plumbing at the call sites. Outside
+// a context the only extra cost is one thread-local read.
 #pragma once
 
 #include "obs/clock.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 
 namespace incprof::obs {
 
@@ -38,8 +46,17 @@ class ScopedSpan {
       : name_(name),
         category_(category),
         histogram_(histogram),
-        buffer_(buffer),
-        start_ns_(now_ns()) {}
+        buffer_(buffer) {
+    const TraceContext ctx = current_trace_context();
+    if (ctx.trace_id != 0) {
+      trace_id_ = ctx.trace_id;
+      parent_span_ = ctx.span_id;
+      span_id_ = next_span_id();
+      set_current_trace_context({trace_id_, span_id_});
+    }
+    // Clock read last so context bookkeeping is not billed to the span.
+    start_ns_ = now_ns();
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -51,11 +68,22 @@ class ScopedSpan {
     if (done_) return;
     done_ = true;
     const std::uint64_t duration = now_ns() - start_ns_;
+    if (span_id_ != 0) {
+      // Pop self: children created after this span ends attach to the
+      // same parent this span had. Spans nest strictly (stack order),
+      // so the restore cannot clobber an unrelated context.
+      set_current_trace_context({trace_id_, parent_span_});
+    }
     if (histogram_ != nullptr) histogram_->record(duration);
     if (buffer_ != nullptr) {
-      buffer_->record(name_, category_, start_ns_, duration);
+      buffer_->record(name_, category_, start_ns_, duration, trace_id_,
+                      span_id_, parent_span_);
     }
   }
+
+  /// This span's trace context (zeros when created outside a trace).
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  std::uint32_t span_id() const noexcept { return span_id_; }
 
  private:
   const char* name_;
@@ -63,6 +91,9 @@ class ScopedSpan {
   Histogram* histogram_;
   TraceBuffer* buffer_;
   std::uint64_t start_ns_;
+  std::uint64_t trace_id_ = 0;
+  std::uint32_t span_id_ = 0;
+  std::uint32_t parent_span_ = 0;
   bool done_ = false;
 };
 

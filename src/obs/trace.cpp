@@ -27,6 +27,18 @@ void append_escaped(std::string& out, const char* s) {
   }
 }
 
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  char buf[19];
+  int at = 18;
+  buf[at] = '\0';
+  do {
+    buf[--at] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  out += "0x";
+  out += &buf[at];
+}
+
 }  // namespace
 
 std::uint32_t thread_tag() noexcept {
@@ -39,8 +51,9 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
     : slots_(std::max<std::size_t>(1, capacity)) {}
 
 void TraceBuffer::record(const char* name, const char* category,
-                         std::uint64_t start_ns,
-                         std::uint64_t duration_ns) noexcept {
+                         std::uint64_t start_ns, std::uint64_t duration_ns,
+                         std::uint64_t trace_id, std::uint32_t span_id,
+                         std::uint32_t parent_span) noexcept {
   if (!enabled()) return;
   const std::uint64_t index =
       next_.fetch_add(1, std::memory_order_relaxed);
@@ -64,6 +77,9 @@ void TraceBuffer::record(const char* name, const char* category,
   slot.tid.store(thread_tag(), std::memory_order_relaxed);
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_span.store(parent_span, std::memory_order_relaxed);
   // The release store pairs with the reader's acquire load of seq: a
   // reader that sees index + 1 sees every payload store above.
   slot.seq.store(index + 1, std::memory_order_release);
@@ -90,6 +106,9 @@ std::vector<SpanEvent> TraceBuffer::events() const {
     copy.tid = slot.tid.load(std::memory_order_relaxed);
     copy.start_ns = slot.start_ns.load(std::memory_order_relaxed);
     copy.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    copy.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    copy.span_id = slot.span_id.load(std::memory_order_relaxed);
+    copy.parent_span = slot.parent_span.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != before) continue;
     got.push_back({before, copy});
@@ -133,6 +152,18 @@ std::string TraceBuffer::export_chrome_json() const {
     out += std::to_string(dur_frac / 100);
     out += std::to_string((dur_frac / 10) % 10);
     out += std::to_string(dur_frac % 10);
+    if (ev.trace_id != 0) {
+      // Distributed-trace context: Perfetto shows these in the args
+      // pane, and the fleet merger joins spans across processes on
+      // trace_id.
+      out += ",\"args\":{\"trace_id\":\"";
+      append_hex_u64(out, ev.trace_id);
+      out += "\",\"span\":";
+      out += std::to_string(ev.span_id);
+      out += ",\"parent\":";
+      out += std::to_string(ev.parent_span);
+      out += "}";
+    }
     out += "}";
   }
   out += "]}";

@@ -24,6 +24,12 @@ struct SpanEvent {
   std::uint32_t tid = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  /// Distributed-trace context (all zero when the span was recorded
+  /// outside any trace): the end-to-end trace this span belongs to, its
+  /// own id, and its parent span (0 = a root within the trace).
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
 };
 
 /// Concurrent fixed-capacity span ring.
@@ -36,7 +42,16 @@ class TraceBuffer {
 
   /// Records one span (no-op while disabled). Thread-safe, lock-free.
   void record(const char* name, const char* category,
-              std::uint64_t start_ns, std::uint64_t duration_ns) noexcept;
+              std::uint64_t start_ns, std::uint64_t duration_ns) noexcept {
+    record(name, category, start_ns, duration_ns, 0, 0, 0);
+  }
+
+  /// Records one span carrying distributed-trace context (zeros =
+  /// untraced). Thread-safe, lock-free.
+  void record(const char* name, const char* category,
+              std::uint64_t start_ns, std::uint64_t duration_ns,
+              std::uint64_t trace_id, std::uint32_t span_id,
+              std::uint32_t parent_span) noexcept;
 
   /// Spans currently retained, oldest first. Slots being overwritten
   /// concurrently are skipped rather than returned torn.
@@ -48,6 +63,14 @@ class TraceBuffer {
   /// Total spans ever recorded (including those overwritten since).
   std::uint64_t recorded() const noexcept {
     return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans overwritten (dropped from the ring) since construction /
+  /// clear(): everything recorded beyond capacity displaced an older
+  /// span. Monotonic, so it exports cleanly as a counter.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = next_.load(std::memory_order_relaxed);
+    return n > slots_.size() ? n - slots_.size() : 0;
   }
 
   std::size_t capacity() const noexcept { return slots_.size(); }
@@ -79,6 +102,9 @@ class TraceBuffer {
     std::atomic<std::uint32_t> tid{0};
     std::atomic<std::uint64_t> start_ns{0};
     std::atomic<std::uint64_t> duration_ns{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint32_t> span_id{0};
+    std::atomic<std::uint32_t> parent_span{0};
   };
 
   std::vector<Slot> slots_;

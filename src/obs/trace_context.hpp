@@ -1,0 +1,76 @@
+// Thread-local distributed-trace context. A context is the pair
+// (trace_id, span_id): trace_id names one end-to-end trace (a client
+// session crossing gateway and shard), span_id the innermost live span
+// on this thread — the parent every new child span attaches to. The
+// context is carried per-thread, installed/restored RAII-style, so
+// instrumentation composes with zero signature changes: a ScopedSpan
+// created while a context is active inherits it automatically, and the
+// service layer stamps the current context into outgoing wire frames.
+//
+// Everything here is header-only and branch-light on purpose: the
+// no-context fast path of a ScopedSpan adds one thread-local read, and
+// the traced path two thread-local writes plus one relaxed fetch_add —
+// the ≤100 ns span budget holds either way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace incprof::obs {
+
+/// The (trace, parent span) pair a thread is currently working under.
+struct TraceContext {
+  /// 0 = not inside any trace.
+  std::uint64_t trace_id = 0;
+  /// The innermost live span on this thread (0 = root: children of
+  /// this context have no parent).
+  std::uint32_t span_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+namespace detail {
+inline thread_local TraceContext t_trace_context;
+inline std::atomic<std::uint32_t> g_next_span_id{1};
+}  // namespace detail
+
+/// The calling thread's current context ({0, 0} outside any trace).
+inline TraceContext current_trace_context() noexcept {
+  return detail::t_trace_context;
+}
+
+inline void set_current_trace_context(TraceContext ctx) noexcept {
+  detail::t_trace_context = ctx;
+}
+
+/// Allocates a process-unique nonzero span id.
+inline std::uint32_t next_span_id() noexcept {
+  const std::uint32_t id =
+      detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  // The counter wrapping to 0 (after 4 billion spans) would mint an id
+  // that means "no span"; skip it.
+  return id != 0
+             ? id
+             : detail::g_next_span_id.fetch_add(1,
+                                                std::memory_order_relaxed);
+}
+
+/// RAII context installer: saves the thread's current context, installs
+/// `ctx`, restores on destruction. Must nest strictly (stack order).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx) noexcept
+      : saved_(current_trace_context()) {
+    set_current_trace_context(ctx);
+  }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  ~ScopedTraceContext() { set_current_trace_context(saved_); }
+
+ private:
+  const TraceContext saved_;
+};
+
+}  // namespace incprof::obs

@@ -1,0 +1,142 @@
+#include "service/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace incprof::service {
+
+namespace {
+
+/// JSON string escaping for fields that may carry client bytes (the
+/// detail field holds hex dumps and error text, the client name comes
+/// off the wire). Control characters are emitted as \u00XX rather than
+/// dropped so a postmortem never silently loses evidence.
+void append_escaped(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u00";
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  char buf[19];
+  int at = 18;
+  buf[at] = '\0';
+  do {
+    buf[--at] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  out += "0x";
+  out += &buf[at];
+}
+
+}  // namespace
+
+std::string_view flight_event_kind_name(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kIntervalReceived:
+      return "interval";
+    case FlightEventKind::kPhaseTransition:
+      return "phase";
+    case FlightEventKind::kProtocolError:
+      return "protocol_error";
+    case FlightEventKind::kResume:
+      return "resume";
+    case FlightEventKind::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t t_ns,
+                            std::uint64_t a, std::uint64_t b,
+                            std::string detail) {
+  FlightEvent ev;
+  ev.kind = kind;
+  ev.t_ns = t_ns;
+  ev.a = a;
+  ev.b = b;
+  ev.detail = std::move(detail);
+  util::MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<std::size_t>(next_ % capacity_)] = std::move(ev);
+  }
+  ++next_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  util::MutexLock lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: slot next_ % capacity_ holds the oldest event.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(
+          ring_[static_cast<std::size_t>((next_ + i) % capacity_)]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  util::MutexLock lock(mu_);
+  return next_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  util::MutexLock lock(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+std::string flight_recorder_json(const FlightRecorder& recorder,
+                                 std::uint32_t session_id,
+                                 std::string_view client_name,
+                                 std::string_view reason,
+                                 std::uint64_t trace_id) {
+  // Snapshot counters after the events so a racing writer can only make
+  // `recorded`/`dropped` conservative, never smaller than the list.
+  const auto events = recorder.events();
+  const std::uint64_t recorded = recorder.recorded();
+  const std::uint64_t dropped = recorder.dropped();
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"session\":" + std::to_string(session_id) + ",\"client\":\"";
+  append_escaped(out, client_name);
+  out += "\",\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"trace_id\":\"";
+  append_hex_u64(out, trace_id);
+  out += "\",\"recorded\":" + std::to_string(recorded) +
+         ",\"dropped\":" + std::to_string(dropped) + ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"kind\":\"";
+    out += flight_event_kind_name(ev.kind);
+    out += "\",\"t_ns\":" + std::to_string(ev.t_ns) +
+           ",\"a\":" + std::to_string(ev.a) +
+           ",\"b\":" + std::to_string(ev.b) + ",\"detail\":\"";
+    append_escaped(out, ev.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,94 @@
+// Per-session flight recorder: a small bounded ring of structured
+// events (interval received, phase transition, protocol error, resume,
+// quarantine) that is cheap enough to run always-on and is dumped as
+// JSON the moment a session is quarantined or its error budget runs
+// out — the "what were the last N things this session did" record that
+// aggregate metrics cannot answer.
+//
+// Unlike the lock-free obs::TraceBuffer (process-global, written from
+// hot span paths), a flight recorder is per-session and written only
+// from that session's frame path, so a plain leaf mutex is the simpler
+// and equally cheap construction. The lock is a leaf in the server's
+// documented hierarchy: nothing else is ever acquired while holding it.
+#pragma once
+
+#include "util/thread_annotations.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::service {
+
+enum class FlightEventKind : std::uint8_t {
+  kIntervalReceived = 0,
+  kPhaseTransition = 1,
+  kProtocolError = 2,
+  kResume = 3,
+  kQuarantine = 4,
+};
+
+/// Human-readable tag for JSON output ("interval", "phase", ...).
+std::string_view flight_event_kind_name(FlightEventKind kind) noexcept;
+
+/// One recorded event. `a`/`b` are kind-specific small integers
+/// (interval index, phase ids, error counts); `detail` carries the
+/// free-form part (error text, offending frame bytes as hex).
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kIntervalReceived;
+  std::uint64_t t_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+
+  bool operator==(const FlightEvent&) const = default;
+};
+
+/// Bounded ring of the last `capacity` events. Thread-safe; all methods
+/// take a leaf mutex.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(FlightEventKind kind, std::uint64_t t_ns, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::string detail = {})
+      INCPROF_EXCLUDES(mu_);
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> events() const INCPROF_EXCLUDES(mu_);
+
+  /// Total events ever recorded (retained + evicted).
+  std::uint64_t recorded() const INCPROF_EXCLUDES(mu_);
+
+  /// Events evicted by the ring bound.
+  std::uint64_t dropped() const INCPROF_EXCLUDES(mu_);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mu_;
+  /// Ring storage; `next_ % capacity_` is the next write slot once the
+  /// ring is full.
+  std::vector<FlightEvent> ring_ INCPROF_GUARDED_BY(mu_);
+  std::uint64_t next_ INCPROF_GUARDED_BY(mu_) = 0;
+};
+
+/// Renders a recorder dump as a JSON object:
+///   {"session": 7, "client": "...", "reason": "quarantine",
+///    "recorded": 12, "dropped": 0, "events": [
+///      {"kind": "interval", "t_ns": ..., "a": ..., "b": ...,
+///       "detail": "..."}, ...]}
+/// This is both the /sessions/<id>.json body and the postmortem file
+/// format.
+std::string flight_recorder_json(const FlightRecorder& recorder,
+                                 std::uint32_t session_id,
+                                 std::string_view client_name,
+                                 std::string_view reason,
+                                 std::uint64_t trace_id);
+
+}  // namespace incprof::service

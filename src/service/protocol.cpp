@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include "gmon/binary_io.hpp"
+#include "obs/trace_context.hpp"
 
 #include <bit>
 #include <stdexcept>
@@ -109,6 +110,13 @@ std::string frame_of(FrameType type, std::uint32_t session,
   Frame f;
   f.type = type;
   f.session = session;
+  // Every frame built through the conveniences carries the sender
+  // thread's trace context: a client replaying under a ScopedTraceContext
+  // stamps its frames, and a server worker answering under the frame's
+  // own context propagates it back — no per-call-site plumbing.
+  const obs::TraceContext ctx = obs::current_trace_context();
+  f.trace_id = ctx.trace_id;
+  f.parent_span = ctx.span_id;
   f.payload = std::move(payload);
   return encode_frame(f);
 }
@@ -131,6 +139,23 @@ std::string encode_frame(const Frame& frame) {
   put_u16(out, static_cast<std::uint16_t>(frame.type));
   put_u32(out, frame.session);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u64(out, frame.trace_id);
+  put_u32(out, frame.parent_span);
+  out.append(frame.payload);
+  return out;
+}
+
+std::string encode_frame_v1(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::runtime_error("service protocol: payload too large");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderSizeV1 + frame.payload.size());
+  put_u32(out, kProtocolMagic);
+  put_u16(out, kLegacyProtocolVersion);
+  put_u16(out, static_cast<std::uint16_t>(frame.type));
+  put_u32(out, frame.session);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.append(frame.payload);
   return out;
 }
@@ -141,7 +166,7 @@ Frame decode_frame(std::string_view bytes) {
     throw std::runtime_error("service protocol: bad magic");
   }
   const std::uint16_t version = r.u16();
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersion && version != kLegacyProtocolVersion) {
     throw std::runtime_error("service protocol: unsupported version " +
                              std::to_string(version));
   }
@@ -158,16 +183,20 @@ Frame decode_frame(std::string_view bytes) {
     throw std::runtime_error("service protocol: payload length " +
                              std::to_string(len) + " exceeds bound");
   }
+  if (version >= 2) {
+    f.trace_id = r.u64();
+    f.parent_span = r.u32();
+  }
   f.payload = r.str(len);
   r.expect_end("frame");
   return f;
 }
 
 std::uint32_t frame_payload_length(std::string_view header) {
-  if (header.size() < kFrameHeaderSize) {
+  if (header.size() < kFrameHeaderPrefixSize) {
     throw std::runtime_error("service protocol: short frame header");
   }
-  Reader r(header.substr(0, kFrameHeaderSize));
+  Reader r(header.substr(0, kFrameHeaderPrefixSize));
   if (r.u32() != kProtocolMagic) {
     throw std::runtime_error("service protocol: bad magic");
   }
@@ -180,6 +209,41 @@ std::uint32_t frame_payload_length(std::string_view header) {
                              std::to_string(len) + " exceeds bound");
   }
   return len;
+}
+
+std::size_t frame_header_size(std::string_view prefix) {
+  if (prefix.size() < kFrameHeaderPrefixSize) {
+    throw std::runtime_error("service protocol: short frame header");
+  }
+  Reader r(prefix.substr(0, kFrameHeaderPrefixSize));
+  if (r.u32() != kProtocolMagic) {
+    throw std::runtime_error("service protocol: bad magic");
+  }
+  const std::uint16_t version = r.u16();
+  // Version 1 is the only 16-byte header; anything newer (including
+  // versions this build does not speak) frames with the current size so
+  // a corrupted version byte stays a decode_frame error — recoverable,
+  // budgeted — rather than a stream desynchronization.
+  return version == kLegacyProtocolVersion ? kFrameHeaderSizeV1
+                                           : kFrameHeaderSize;
+}
+
+WireTraceContext peek_trace_context(std::string_view bytes) noexcept {
+  WireTraceContext ctx;
+  if (bytes.size() < kFrameHeaderSize) return ctx;
+  Reader r(bytes.substr(0, kFrameHeaderSize));
+  try {
+    if (r.u32() != kProtocolMagic) return ctx;
+    if (r.u16() < 2) return ctx;  // version 1: no trace fields
+    r.u16();                      // type
+    r.u32();                      // session
+    r.u32();                      // payload_len
+    ctx.trace_id = r.u64();
+    ctx.parent_span = r.u32();
+  } catch (...) {
+    return WireTraceContext{};
+  }
+  return ctx;
 }
 
 std::string encode_hello(const HelloPayload& p) {
@@ -272,7 +336,7 @@ QueryPayload decode_query(std::string_view bytes) {
   QueryPayload p;
   const std::uint16_t kind = r.u16();
   if (kind < static_cast<std::uint16_t>(QueryKind::kSessionStatus) ||
-      kind > static_cast<std::uint16_t>(QueryKind::kFleetState)) {
+      kind > static_cast<std::uint16_t>(QueryKind::kTraceDump)) {
     throw std::runtime_error("service protocol: unknown query kind " +
                              std::to_string(kind));
   }

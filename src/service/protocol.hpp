@@ -3,14 +3,23 @@
 // (Section III-A); incprofd is the reproduction's stand-in for that
 // monitoring-side endpoint, and this header defines the byte format the
 // endpoint speaks. Every message is one self-delimiting frame: a fixed
-// 16-byte little-endian header followed by `payload_len` payload bytes.
+// little-endian header followed by `payload_len` payload bytes.
 //
 //   magic       u32  'IPSV' (0x56535049)
-//   version     u16  (currently 1)
+//   version     u16  (currently 2; 1 still decoded)
 //   type        u16  FrameType
 //   session     u32  server-assigned session id (0 before hello-ack)
 //   payload_len u32
+//   -- version >= 2 only ------------------------------------------------
+//   trace_id    u64  distributed-trace id (0 = untraced)
+//   parent_span u32  sender's innermost span when the frame was built
+//   ---------------------------------------------------------------------
 //   payload     ...  type-specific, see the structs below
+//
+// The first 16 bytes are layout-identical across versions, so a stream
+// framer can always learn the version and payload length from that
+// prefix alone; version 2 extends the header to 28 bytes with the trace
+// context, and a version-1 frame decodes as trace_id = parent_span = 0.
 //
 // Snapshot payloads reuse the gmon binary codec verbatim, so a dump file
 // written by the collector is shippable without re-encoding.
@@ -27,8 +36,16 @@
 namespace incprof::service {
 
 inline constexpr std::uint32_t kProtocolMagic = 0x56535049;  // "IPSV"
-inline constexpr std::uint16_t kProtocolVersion = 1;
-inline constexpr std::size_t kFrameHeaderSize = 16;
+/// The version encode_frame emits. decode_frame also accepts version 1
+/// (the pre-tracing header) so old clients keep working unchanged.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kLegacyProtocolVersion = 1;
+/// Bytes shared by every header version (magic..payload_len): the
+/// prefix a stream framer needs to delimit any frame.
+inline constexpr std::size_t kFrameHeaderPrefixSize = 16;
+inline constexpr std::size_t kFrameHeaderSizeV1 = 16;
+/// Current (version 2) header size — what encode_frame emits.
+inline constexpr std::size_t kFrameHeaderSize = 28;
 /// Upper bound on a single frame's payload; a decoder refuses anything
 /// larger before allocating (a corrupt length must not OOM the daemon).
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
@@ -71,27 +88,53 @@ enum class FrameType : std::uint16_t {
 bool is_known_frame_type(std::uint16_t t) noexcept;
 
 /// One decoded frame. `payload` is still type-opaque; decode it with the
-/// matching payload decoder below.
+/// matching payload decoder below. `trace_id`/`parent_span` are the
+/// sender's distributed-trace context (zero on version-1 frames and
+/// untraced senders); they ride the frame through the daemon's session
+/// queue so workers process it under the originating trace.
 struct Frame {
   FrameType type = FrameType::kBye;
   std::uint32_t session = 0;
+  std::uint64_t trace_id = 0;
+  std::uint32_t parent_span = 0;
   std::string payload;
 
   bool operator==(const Frame&) const = default;
 };
 
-/// Serializes header + payload into wire bytes.
+/// Serializes header + payload into wire bytes (current version).
 std::string encode_frame(const Frame& frame);
 
-/// Parses one complete frame. Throws std::runtime_error on bad magic,
-/// unsupported version, unknown type, oversized or mismatched length,
-/// or trailing bytes.
+/// Serializes with the legacy version-1 header (no trace context) —
+/// what a pre-tracing client puts on the wire. Kept so mixed-version
+/// deployments stay testable.
+std::string encode_frame_v1(const Frame& frame);
+
+/// Parses one complete frame (version 1 or 2). Throws
+/// std::runtime_error on bad magic, unsupported version, unknown type,
+/// oversized or mismatched length, or trailing bytes.
 Frame decode_frame(std::string_view bytes);
 
-/// Reads the payload length out of a complete 16-byte header (for
+/// Reads the payload length out of a header prefix (≥ 16 bytes; for
 /// stream transports that must know how many bytes to wait for).
 /// Validates magic and the payload bound; throws std::runtime_error.
 std::uint32_t frame_payload_length(std::string_view header);
+
+/// Header size of the frame starting at `prefix` (≥ 16 bytes):
+/// 16 for version 1, 28 otherwise. Unknown future versions are framed
+/// with the current header so decode_frame — not the framer — rejects
+/// them with a budgetable typed error instead of desynchronizing the
+/// stream. Validates magic; throws std::runtime_error.
+std::size_t frame_header_size(std::string_view prefix);
+
+/// Trace context read straight off wire bytes, without decoding the
+/// frame. Never throws: short, malformed, or version-1 bytes yield
+/// zeros — exactly the "untraced" context.
+struct WireTraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t parent_span = 0;
+};
+WireTraceContext peek_trace_context(std::string_view bytes) noexcept;
 
 // --- typed payloads ----------------------------------------------------
 
@@ -177,6 +220,10 @@ enum class QueryKind : std::uint16_t {
   /// gauges, and histogram buckets — everything a gateway needs to
   /// merge shards. Valid before any hello (control plane).
   kFleetState = 3,
+  /// The shard's retained trace-ring spans (the trace_wire text codec):
+  /// what a gateway pulls to build the fleet-merged /trace.json. Valid
+  /// before any hello (control plane).
+  kTraceDump = 4,
 };
 
 struct QueryPayload {

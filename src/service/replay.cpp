@@ -1,18 +1,54 @@
 #include "service/replay.hpp"
 
 #include "gmon/scanner.hpp"
+#include "obs/trace_context.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
 namespace incprof::service {
 
+namespace {
+
+/// Derives a nonzero per-session trace id: a hash of the client name
+/// mixed (splitmix64 finalizer) with a process-wide counter, so
+/// concurrent sessions of one client get distinct ids and the same
+/// client is still recognizable across runs by its high bits' flavor.
+std::uint64_t derive_trace_id(const std::string& client_name) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : client_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t z =
+      h + 0x9e3779b97f4a7c15ull *
+              (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+std::uint64_t resolve_trace_id(const ReplayOptions& options) {
+  return options.trace_id != 0 ? options.trace_id
+                               : derive_trace_id(options.client_name);
+}
+
+}  // namespace
+
 ReplayResult replay_session(
     Connection& conn, const std::vector<gmon::ProfileSnapshot>& snapshots,
     const ReplayOptions& options) {
   ReplayResult result;
+  // Originate the trace: with the context installed, every frame built
+  // below (frame_of) carries the id on the wire, and the daemon's spans
+  // for this session's frames join one end-to-end trace.
+  result.trace_id = resolve_trace_id(options);
+  obs::ScopedTraceContext trace_scope({result.trace_id, 0});
 
   HelloPayload hello;
   hello.client_name = options.client_name;
@@ -121,6 +157,8 @@ ReplayResult replay_session_resilient(
     const std::vector<gmon::ProfileSnapshot>& snapshots,
     const ReplayOptions& options, const RetryPolicy& policy) {
   ReplayResult result;
+  result.trace_id = resolve_trace_id(options);
+  obs::ScopedTraceContext trace_scope({result.trace_id, 0});
   util::Rng rng(policy.seed);
   std::unique_ptr<Connection> conn;
   std::size_t snap_cursor = 0;  // next snapshot index to send

@@ -34,6 +34,11 @@ struct ReplayOptions {
   std::vector<ekg::HeartbeatRecord> heartbeats;
   /// Records per kHeartbeatBatch frame.
   std::size_t heartbeat_batch_size = 64;
+  /// Distributed-trace id stamped into every frame this replay sends
+  /// (v2 header). 0 = derive a fresh nonzero id from the client name
+  /// and a process-wide counter; the id actually used is reported in
+  /// ReplayResult::trace_id.
+  std::uint64_t trace_id = 0;
 };
 
 /// What came back.
@@ -53,6 +58,10 @@ struct ReplayResult {
   std::size_t reconnects = 0;
   /// Connection attempts consumed, including the first (resilient only).
   std::size_t connect_attempts = 0;
+  /// The trace id this session's frames carried (options.trace_id, or
+  /// the derived one when that was 0). Grep for it in daemon logs or
+  /// the merged /trace.json.
+  std::uint64_t trace_id = 0;
 };
 
 /// Replays `snapshots` (cumulative, in seq order) over `conn` as one

@@ -1,13 +1,56 @@
 #include "service/server.hpp"
 
 #include "obs/clock.hpp"
+#include "obs/trace_context.hpp"
+#include "service/trace_wire.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <string>
 
 namespace incprof::service {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  int at = 18;
+  buf[at] = '\0';
+  do {
+    buf[--at] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  return std::string("0x") + &buf[at];
+}
+
+/// Hex prefix of an offending wire frame for the flight recorder:
+/// enough to see the header and the first payload bytes, bounded so a
+/// hostile frame cannot bloat the postmortem.
+std::string hex_prefix(std::string_view bytes, std::size_t max_bytes = 32) {
+  std::string out;
+  const std::size_t n = std::min(bytes.size(), max_bytes);
+  out.reserve(n * 2 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<unsigned char>(bytes[i]);
+    out.push_back("0123456789abcdef"[b >> 4]);
+    out.push_back("0123456789abcdef"[b & 0xf]);
+  }
+  if (bytes.size() > max_bytes) out += "..";
+  return out;
+}
+
+/// "trace=0x... " when the session carries a trace id, else "". The
+/// correlation handle between a log line and the fleet-merged
+/// /trace.json view.
+std::string trace_tag(const Session& session) {
+  const std::uint64_t id = session.trace_id();
+  if (id == 0) return {};
+  return " trace=" + hex_u64(id);
+}
+
+}  // namespace
 
 Server::Server(Listener& listener, ServerConfig cfg)
     : listener_(listener),
@@ -141,6 +184,13 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
     handler->last_activity_ns.store(obs::now_ns(),
                                     std::memory_order_relaxed);
 
+    // Adopt the frame's wire trace context for the rest of this
+    // iteration: the decode and enqueue spans become children of the
+    // sender's span, joining the client's end-to-end trace (zeros for
+    // v1 peers — the spans still record, just untraced).
+    const WireTraceContext wire = peek_trace_context(*bytes);
+    obs::ScopedTraceContext trace_scope({wire.trace_id, wire.parent_span});
+
     Frame frame;
     try {
       obs::ScopedSpan span("frame.decode", "service", &decode_hist_);
@@ -149,7 +199,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
       // The transport delivered a delimited frame whose content is
       // garbage; framing survives, so this is recoverable — budget it.
       if (reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
-                       e.what())) {
+                       e.what(), *bytes)) {
         break;
       }
       continue;
@@ -166,7 +216,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
           query = decode_query(frame.payload);
         } catch (const std::exception& e) {
           reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
-                       e.what());
+                       e.what(), *bytes);
           break;
         }
         if (query.kind == QueryKind::kSessionStatus) {
@@ -176,9 +226,15 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
         }
         QueryReplyPayload reply;
         reply.kind = query.kind;
-        reply.text = query.kind == QueryKind::kFleetState
-                         ? encode_shard_state(shard_state())
-                         : fleet_.render();
+        if (query.kind == QueryKind::kFleetState) {
+          reply.text = encode_shard_state(shard_state());
+        } else if (query.kind == QueryKind::kTraceDump) {
+          reply.text =
+              encode_trace_dump(capture_trace_dump(cfg_.shard_id,
+                                                   obs::trace()));
+        } else {
+          reply.text = fleet_.render();
+        }
         if (conn->send(make_query_reply_frame(0, reply))) {
           metrics_.counter("control_queries").add();
         }
@@ -201,7 +257,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
         hello = decode_hello(frame.payload);
       } catch (const std::exception& e) {
         reject_frame(handler, ProtocolErrorCode::kMalformedFrame,
-                     e.what());
+                     e.what(), *bytes);
         break;
       }
       if (hello.resume_session_id == 0 &&
@@ -227,6 +283,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
       session->open(hello.client_name,
                     hello.subscribe_events && cfg_.send_phase_events,
                     hello.interval_ns);
+      session->note_trace_id(frame.trace_id);
       handler->bind_session(session);
       fleet_.session_opened(id, hello.client_name);
       metrics_.counter("sessions_opened").add();
@@ -239,7 +296,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
 
     if (frame.type == FrameType::kHello) {
       if (reject_frame(handler, ProtocolErrorCode::kUnexpectedFrame,
-                       "duplicate hello")) {
+                       "duplicate hello", *bytes)) {
         break;
       }
       continue;
@@ -247,6 +304,7 @@ void Server::reader_loop(const std::shared_ptr<Handler>& handler) {
 
     const bool is_bye = frame.type == FrameType::kBye;
     metrics_.counter("frames_received").add();
+    session->note_trace_id(frame.trace_id);
     Session::EnqueueResult result;
     {
       obs::ScopedSpan span("frame.enqueue", "service", &enqueue_hist_);
@@ -302,7 +360,8 @@ void Server::end_abandoned_session(
 
 bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
                           ProtocolErrorCode code,
-                          const std::string& reason) {
+                          const std::string& reason,
+                          std::string_view frame_bytes) {
   metrics_.counter("frames_rejected").add();
   metrics_.counter("protocol_errors").add();
   const auto conn = handler->connection();
@@ -313,6 +372,16 @@ bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
   if (session) {
     errors = session->note_protocol_error();
     session_id = session->id();
+    // The offending bytes go into the flight recorder, not the log: a
+    // postmortem must show the evidence, a log line must stay short.
+    std::string detail = reason;
+    if (!frame_bytes.empty()) {
+      detail += " frame=";
+      detail += hex_prefix(frame_bytes);
+    }
+    session->flight_recorder().record(
+        FlightEventKind::kProtocolError, obs::now_ns(), errors,
+        static_cast<std::uint64_t>(code), std::move(detail));
   } else {
     errors = ++handler->pre_hello_errors;
     budget = 0;  // no hello, no credit
@@ -331,10 +400,15 @@ bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
   obs::ScopedSpan span("session.quarantine", "service");
   handler->expired.store(true, std::memory_order_relaxed);
   if (session) {
+    session->flight_recorder().record(FlightEventKind::kQuarantine,
+                                      obs::now_ns(), errors, budget,
+                                      reason);
     metrics_.counter("sessions_quarantined").add();
     util::log_warn("incprofd: session " + std::to_string(session_id) +
                    " (" + conn->description() + ") quarantined after " +
-                   std::to_string(errors) + " protocol errors: " + reason);
+                   std::to_string(errors) + " protocol errors" +
+                   trace_tag(*session) + ": " + reason);
+    write_postmortem(*session, "quarantine");
   } else {
     util::log_warn("incprofd: connection " + conn->description() +
                    " rejected before hello: " + reason);
@@ -342,6 +416,24 @@ bool Server::reject_frame(const std::shared_ptr<Handler>& handler,
   metrics_.counter("disconnects", {{"cause", "quarantine"}}).add();
   conn->close();
   return true;
+}
+
+void Server::write_postmortem(const Session& session,
+                              std::string_view reason) {
+  if (cfg_.postmortem_dir.empty()) return;
+  const std::string path = cfg_.postmortem_dir + "/postmortem-session-" +
+                           std::to_string(session.id()) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    util::log_warn("incprofd: cannot write postmortem " + path);
+    return;
+  }
+  out << flight_recorder_json(session.flight_recorder(), session.id(),
+                              session.client_name(), reason,
+                              session.trace_id());
+  metrics_.counter("postmortems_written").add();
+  util::log_info("incprofd: session " + std::to_string(session.id()) +
+                 " postmortem written to " + path);
 }
 
 bool Server::resume_session(const std::shared_ptr<Handler>& handler,
@@ -395,10 +487,15 @@ bool Server::resume_session(const std::shared_ptr<Handler>& handler,
   session->open(hello.client_name,
                 hello.subscribe_events && cfg_.send_phase_events,
                 hello.interval_ns);
+  session->flight_recorder().record(FlightEventKind::kResume,
+                                    obs::now_ns(),
+                                    session->snapshots_accepted(), 0,
+                                    conn->description());
   metrics_.counter("reconnects").add();
   util::log_info("incprofd: session " + std::to_string(session->id()) +
                  " resumed by " + conn->description() + " at interval " +
-                 std::to_string(session->snapshots_accepted()));
+                 std::to_string(session->snapshots_accepted()) +
+                 trace_tag(*session));
   HelloAckPayload ack;
   ack.session_id = session->id();
   ack.resume_next_interval = session->snapshots_accepted();
@@ -525,7 +622,8 @@ void Server::log_disconnect(const std::shared_ptr<Handler>& handler,
   std::string msg = "incprofd: connection ";
   msg += handler->connection()->description();
   if (const auto session = handler->session()) {
-    msg += " (session " + std::to_string(session->id()) + ")";
+    msg += " (session " + std::to_string(session->id()) +
+           trace_tag(*session) + ")";
   }
   msg += " disconnected, cause=";
   msg += cause;
@@ -573,6 +671,11 @@ void Server::process_round(const std::shared_ptr<Handler>& handler) {
   const auto frames = session->take_pending();
   for (const auto& frame : frames) {
     {
+      // Re-adopt the frame's wire context on this worker thread: the
+      // process span (and the analysis-pipeline spans under it) join
+      // the same trace the reader's decode/enqueue spans recorded.
+      obs::ScopedTraceContext trace_scope(
+          {frame.trace_id, frame.parent_span});
       obs::ScopedSpan span("frame.process", "service", &process_hist_);
       process_frame(handler, frame);
     }
@@ -597,8 +700,16 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
                      e.what());
         return;
       }
+      // now_ns is read before `obs` shadows the namespace below.
+      const std::uint64_t now = obs::now_ns();
       const core::OnlineObservation obs = session.tracker().observe(snap);
       session.note_observation(obs);
+      session.flight_recorder().record(FlightEventKind::kIntervalReceived,
+                                       now, obs.interval, obs.phase);
+      if (obs.transition) {
+        session.flight_recorder().record(FlightEventKind::kPhaseTransition,
+                                         now, obs.interval, obs.phase);
+      }
       fleet_.record_observation(session.id(), obs,
                                 session.tracker().num_phases());
       metrics_.counter("snapshots_observed").add();
@@ -676,6 +787,10 @@ void Server::handle_query(const std::shared_ptr<Handler>& handler,
     case QueryKind::kSessionStatus:
       reply.text = session->status_line();
       break;
+    case QueryKind::kTraceDump:
+      reply.text = encode_trace_dump(
+          capture_trace_dump(cfg_.shard_id, obs::trace()));
+      break;
   }
   if (handler->connection()->send(
           make_query_reply_frame(session->id(), reply))) {
@@ -693,6 +808,26 @@ std::vector<std::size_t> Server::session_assignments(
     }
   }
   return {};
+}
+
+std::string Server::session_flight_json(std::uint32_t id) const {
+  std::shared_ptr<Session> found;
+  {
+    util::MutexLock lock(handlers_mu_);
+    for (const auto& h : handlers_) {
+      const auto session = h->session();
+      if (session && session->id() == id) {
+        found = session;
+        break;
+      }
+    }
+  }
+  if (!found) return {};
+  // Render outside handlers_mu_: the recorder has its own leaf lock and
+  // JSON assembly has no business extending the scan's critical section.
+  return flight_recorder_json(found->flight_recorder(), found->id(),
+                              found->client_name(), "live",
+                              found->trace_id());
 }
 
 std::size_t Server::session_count() const {

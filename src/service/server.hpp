@@ -18,6 +18,8 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -60,6 +62,15 @@ struct ServerConfig {
   /// transport supports one (TCP does; the loopback relies on the
   /// reaper). Zero leaves reads unbounded.
   std::chrono::milliseconds read_timeout{0};
+
+  // --- observability ----------------------------------------------------
+
+  /// Directory for flight-recorder postmortems: when non-empty, a
+  /// session that is quarantined (error budget exhausted) dumps its
+  /// last-N event ring to `<dir>/postmortem-session-<id>.json` before
+  /// the disconnect. Empty disables the dump (the live
+  /// /sessions/<id>.json view still works).
+  std::string postmortem_dir;
 };
 
 /// Multi-session phase-detection server. Lifecycle: construct over a
@@ -109,6 +120,10 @@ class Server {
   /// Phase assignments a session's tracker has produced so far; empty
   /// when the id is unknown. Deterministic once the session closed.
   std::vector<std::size_t> session_assignments(std::uint32_t id) const;
+
+  /// Live flight-recorder dump for one session as JSON (the
+  /// /sessions/<id>.json body); empty when the id is unknown.
+  std::string session_flight_json(std::uint32_t id) const;
 
   /// Sessions ever opened (fleet rows include closed ones).
   std::size_t session_count() const;
@@ -182,9 +197,16 @@ class Server {
 
   /// Counts one rejected frame against the handler's budget, answers
   /// with a typed kProtocolError, and quarantines (disconnect) once
-  /// the budget is spent. Returns true when the connection was closed.
+  /// the budget is spent. `frame_bytes` (when available) is the
+  /// offending wire frame; a hex prefix of it lands in the session's
+  /// flight recorder so a postmortem shows the evidence. Returns true
+  /// when the connection was closed.
   bool reject_frame(const std::shared_ptr<Handler>& handler,
-                    ProtocolErrorCode code, const std::string& reason);
+                    ProtocolErrorCode code, const std::string& reason,
+                    std::string_view frame_bytes = {});
+  /// Dumps `session`'s flight recorder to cfg_.postmortem_dir (no-op
+  /// when the directory is unset).
+  void write_postmortem(const Session& session, std::string_view reason);
   /// Handles a hello carrying resume_session_id. Returns false when
   /// the resume was rejected (connection closed).
   bool resume_session(const std::shared_ptr<Handler>& handler,

@@ -5,7 +5,10 @@
 namespace incprof::service {
 
 Session::Session(std::uint32_t id, const SessionConfig& cfg)
-    : id_(id), queue_capacity_(cfg.queue_capacity), tracker_(cfg.tracker) {}
+    : id_(id),
+      queue_capacity_(cfg.queue_capacity),
+      flight_(cfg.flight_recorder_capacity),
+      tracker_(cfg.tracker) {}
 
 void Session::open(std::string client_name, bool subscribe_events,
                    std::uint64_t interval_ns) {

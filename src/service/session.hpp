@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/online.hpp"
+#include "service/flight_recorder.hpp"
 #include "service/protocol.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -23,6 +24,9 @@ struct SessionConfig {
   /// beyond this, data frames are dropped and counted. Control frames
   /// (bye) bypass the bound so sessions always close cleanly.
   std::size_t queue_capacity = 256;
+  /// Last-N structured events retained per session for postmortems and
+  /// the /sessions/<id>.json live view.
+  std::size_t flight_recorder_capacity = 64;
   /// Streaming-tracker parameters for this session's tracker.
   core::OnlineConfig tracker;
 };
@@ -108,6 +112,22 @@ class Session {
   /// Copy of the per-interval phase assignments published so far.
   std::vector<std::size_t> assignments() const;
 
+  /// The session's flight recorder (internally synchronized).
+  FlightRecorder& flight_recorder() noexcept { return flight_; }
+  const FlightRecorder& flight_recorder() const noexcept { return flight_; }
+
+  /// Distributed-trace id of the session's client, captured from the
+  /// first traced frame (0 until one arrives). Correlates postmortems
+  /// and log lines with the fleet-merged trace view.
+  void note_trace_id(std::uint64_t trace_id) noexcept {
+    if (trace_id != 0) {
+      trace_id_.store(trace_id, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t trace_id() const noexcept {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
   /// One-line status ("session 3 (minife): 45 intervals, 3 phases, ...").
   std::string status_line() const;
 
@@ -125,7 +145,12 @@ class Session {
   std::size_t max_depth_ INCPROF_GUARDED_BY(queue_mu_) = 0;
   std::uint32_t snapshots_accepted_ INCPROF_GUARDED_BY(queue_mu_) = 0;
 
+  // Flight recorder (internally synchronized leaf; written from the
+  // reader and worker, drained by postmortem dumps and HTTP queries).
+  FlightRecorder flight_;
+
   // Fault-handling state (reader / reaper / resume path).
+  std::atomic<std::uint64_t> trace_id_{0};
   std::atomic<std::uint32_t> protocol_errors_{0};
   std::atomic<bool> detached_{false};
   std::atomic<std::uint64_t> detached_since_ns_{0};

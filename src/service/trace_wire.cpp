@@ -1,0 +1,145 @@
+#include "service/trace_wire.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace incprof::service {
+
+namespace {
+
+constexpr std::string_view kHeader = "incprof-trace v1";
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::runtime_error("trace-dump: " + why);
+}
+
+std::uint64_t field_u64(std::string_view tok, const char* what) {
+  std::uint64_t v = 0;
+  if (!util::parse_u64(tok, v)) {
+    bad(std::string("bad ") + what + " '" + std::string(tok) + "'");
+  }
+  return v;
+}
+
+/// The category sits mid-row, so unlike the name it must stay a single
+/// token: any whitespace would shift the name offset and corrupt the
+/// row. Span categories are string literals today, but the codec does
+/// not get to assume that forever.
+std::string sanitize_category(std::string_view category) {
+  std::string out(category);
+  std::replace_if(
+      out.begin(), out.end(),
+      [](char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; },
+      '_');
+  if (out.empty()) return "?";
+  return out;
+}
+
+/// Same contract as the fleet_state client-name sanitizer: the span
+/// name is the final field and may contain spaces, but a newline would
+/// split the row and an all-whitespace name would vanish under the
+/// tokenizer.
+std::string sanitize_span_name(std::string_view name) {
+  std::string out(name);
+  std::replace_if(
+      out.begin(), out.end(),
+      [](char c) { return c == '\n' || c == '\r'; }, ' ');
+  if (util::trim(out).empty()) return "?";
+  return out;
+}
+
+/// Offset of the n-th whitespace-separated token in `line` (for the
+/// span row, whose final field — the name — may itself contain spaces).
+std::size_t token_offset(std::string_view line, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t tok = 0; tok < n; ++tok) {
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+TraceDump capture_trace_dump(std::uint32_t shard_id,
+                             const obs::TraceBuffer& buffer) {
+  TraceDump d;
+  d.shard_id = shard_id;
+  // Read the drop counter before the snapshot so a concurrent recorder
+  // can only make the reported count conservative, never overstated
+  // relative to the spans shipped.
+  d.dropped = buffer.dropped();
+  for (const obs::SpanEvent& ev : buffer.events()) {
+    TraceSpanRow row;
+    row.trace_id = ev.trace_id;
+    row.span_id = ev.span_id;
+    row.parent_span = ev.parent_span;
+    row.tid = ev.tid;
+    row.start_ns = ev.start_ns;
+    row.duration_ns = ev.duration_ns;
+    row.category = ev.category;
+    row.name = ev.name;
+    d.spans.push_back(std::move(row));
+  }
+  return d;
+}
+
+std::string encode_trace_dump(const TraceDump& dump) {
+  std::string out(kHeader);
+  out += '\n';
+  out += "shard " + std::to_string(dump.shard_id) + " dropped " +
+         std::to_string(dump.dropped) + '\n';
+  for (const TraceSpanRow& row : dump.spans) {
+    out += "span " + std::to_string(row.trace_id) + ' ' +
+           std::to_string(row.span_id) + ' ' +
+           std::to_string(row.parent_span) + ' ' + std::to_string(row.tid) +
+           ' ' + std::to_string(row.start_ns) + ' ' +
+           std::to_string(row.duration_ns) + ' ' +
+           sanitize_category(row.category) + ' ' +
+           sanitize_span_name(row.name) + '\n';
+  }
+  return out;
+}
+
+TraceDump decode_trace_dump(std::string_view text) {
+  const auto lines = util::split_lines(text);
+  if (lines.empty() || util::trim(lines[0]) != kHeader) {
+    bad("missing header");
+  }
+  TraceDump d;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const std::string_view line = lines[li];
+    const auto tok = util::split_ws(line);
+    if (tok.empty()) continue;
+    const std::string_view kw = tok[0];
+    if (kw == "shard") {
+      if (tok.size() != 4 || tok[2] != "dropped") bad("short shard row");
+      d.shard_id = static_cast<std::uint32_t>(field_u64(tok[1], "shard id"));
+      d.dropped = field_u64(tok[3], "dropped");
+    } else if (kw == "span") {
+      if (tok.size() < 9) bad("short span row");
+      TraceSpanRow row;
+      row.trace_id = field_u64(tok[1], "trace id");
+      row.span_id = static_cast<std::uint32_t>(field_u64(tok[2], "span id"));
+      row.parent_span =
+          static_cast<std::uint32_t>(field_u64(tok[3], "parent span"));
+      row.tid = static_cast<std::uint32_t>(field_u64(tok[4], "tid"));
+      row.start_ns = field_u64(tok[5], "start_ns");
+      row.duration_ns = field_u64(tok[6], "duration_ns");
+      row.category = std::string(tok[7]);
+      // The name is everything from the 9th token on — it may contain
+      // spaces (the encoder guarantees it carries no newline).
+      row.name = std::string(line.substr(token_offset(line, 8)));
+      d.spans.push_back(std::move(row));
+    } else {
+      // Unknown keyword: skip, for forward compatibility with v1.x
+      // emitters that add rows.
+    }
+  }
+  return d;
+}
+
+}  // namespace incprof::service

@@ -1,0 +1,55 @@
+// Line-oriented text codec for shipping one shard's trace-ring spans to
+// the gateway over a kTraceDump control query — the trace-side sibling
+// of the fleet_state shard-state codec, and deliberately the same
+// shape: a header line, keyword rows, client-influenced strings
+// sanitized at encode time and placed last on their row, unknown
+// keywords skipped for forward compatibility.
+//
+//   incprof-trace v1
+//   shard <id> dropped <n>
+//   span <trace_id> <span_id> <parent> <tid> <start_ns> <dur_ns> <cat> <name>
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace incprof::service {
+
+/// One span row with owned strings (the obs::SpanEvent it came from
+/// only borrows its name/category pointers).
+struct TraceSpanRow {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::string category;
+  std::string name;
+
+  bool operator==(const TraceSpanRow&) const = default;
+};
+
+/// Everything one kTraceDump reply carries.
+struct TraceDump {
+  std::uint32_t shard_id = 0;
+  /// Spans the ring overwrote before this dump (TraceBuffer::dropped).
+  std::uint64_t dropped = 0;
+  /// Oldest first, as the ring returned them.
+  std::vector<TraceSpanRow> spans;
+};
+
+/// Snapshot of `buffer` (events + drop count) as a shippable dump.
+TraceDump capture_trace_dump(std::uint32_t shard_id,
+                             const obs::TraceBuffer& buffer);
+
+std::string encode_trace_dump(const TraceDump& dump);
+
+/// Throws std::runtime_error on malformed input.
+TraceDump decode_trace_dump(std::string_view text);
+
+}  // namespace incprof::service

@@ -9,13 +9,15 @@ void FrameBuffer::append(std::string_view bytes) {
 }
 
 std::optional<std::string> FrameBuffer::next_frame() {
-  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  if (buffered() < kFrameHeaderPrefixSize) return std::nullopt;
   const std::string_view view =
       std::string_view(buffer_).substr(pos_);
   // Throws on bad magic / oversize — a byte-stream that desynchronizes
-  // is unrecoverable, so fail loudly at the first corrupt header.
+  // is unrecoverable, so fail loudly at the first corrupt header. The
+  // header size is version-dependent (16 bytes for legacy v1 frames, 28
+  // for v2+), but both facts live in the shared 16-byte prefix.
   const std::uint32_t payload_len = frame_payload_length(view);
-  const std::size_t total = kFrameHeaderSize + payload_len;
+  const std::size_t total = frame_header_size(view) + payload_len;
   if (view.size() < total) return std::nullopt;
   std::string frame(view.substr(0, total));
   pos_ += total;

@@ -574,5 +574,60 @@ TEST(Gateway, PollMarksDeadShardsAndHealthzReports) {
   live.server->stop();
 }
 
+// The stale-but-not-dead satellite: before any pull a shard reports
+// never_pulled; after a successful pull both /healthz and /fleet.json
+// carry the age of that pull, so a shard whose data stopped advancing
+// is visible even while its probes still succeed.
+TEST(Gateway, HealthzAndFleetJsonReportPullAge) {
+  Shard shard(1);
+  LoopbackHub front;
+  auto front_listener = front.make_listener();
+  Gateway gateway(*front_listener, manual_poll_config());
+  gateway.add_shard(1, [&shard] { return shard.hub.connect(); });
+
+  // Before the first pull (start() primes the view with one) the shard
+  // honestly reports that no state has ever been fetched.
+  auto handler = gateway.http_handler();
+  {
+    const auto resp = handler("/healthz");
+    EXPECT_NE(resp.body.find("shard 1 up never_pulled"), std::string::npos);
+  }
+  {
+    const auto resp = handler("/fleet.json");
+    EXPECT_NE(resp.body.find("\"last_pull_age_ms\":null"),
+              std::string::npos);
+  }
+
+  gateway.start();
+  {
+    const FleetView view = gateway.view();
+    ASSERT_EQ(view.shards.size(), 1u);
+    EXPECT_TRUE(view.shards[0].ever_pulled);
+    // A fresh pull is young: well under a second on any machine.
+    EXPECT_LT(view.shards[0].last_pull_age_ns, 60'000'000'000ull);
+  }
+  {
+    const auto resp = handler("/healthz");
+    EXPECT_NE(resp.body.find("shard 1 up pull_age_ms="), std::string::npos);
+    EXPECT_EQ(resp.body.find("never_pulled"), std::string::npos);
+  }
+  {
+    const auto resp = handler("/fleet.json");
+    EXPECT_NE(resp.body.find("\"last_pull_age_ms\":"), std::string::npos);
+    EXPECT_EQ(resp.body.find("\"last_pull_age_ms\":null"),
+              std::string::npos);
+  }
+  // The gateway's own exposition carries build identity and uptime,
+  // like the daemon's.
+  {
+    const auto resp = handler("/metrics");
+    EXPECT_NE(resp.body.find("incprof_build_info{"), std::string::npos);
+    EXPECT_NE(resp.body.find("process_uptime_seconds"), std::string::npos);
+  }
+
+  gateway.stop();
+  shard.server->stop();
+}
+
 }  // namespace
 }  // namespace incprof::fleet

@@ -1,0 +1,188 @@
+// Fleet trace merging: every process gets a named pid lane, spans keep
+// their trace context, and a trace id seen at both the gateway and a
+// shard produces a bound s/f flow pair — verified first on hand-built
+// inputs, then end to end through a real gateway and shards.
+#include "fleet/trace_merge.hpp"
+
+#include "core/online.hpp"
+#include "fleet/gateway.hpp"
+#include "obs/trace.hpp"
+#include "service/loopback.hpp"
+#include "service/replay.hpp"
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../core/synthetic.hpp"
+
+namespace incprof::fleet {
+namespace {
+
+using service::LoopbackHub;
+using service::Server;
+using service::ServerConfig;
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TraceMerge, EmptyInputsProduceValidEnvelope) {
+  const std::string json = merge_chrome_trace({}, {});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // The gateway lane is always announced, even with nothing to show.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("incprof_gateway"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceMerge, FlowPairLinksGatewayToShard) {
+  constexpr std::uint64_t kTrace = 0xabc123;
+  std::vector<obs::SpanEvent> gateway_events;
+  gateway_events.push_back(
+      {"gateway.route", "gateway", 1, 1000, 200, kTrace, 11, 0});
+  gateway_events.push_back(
+      {"gateway.proxy", "gateway", 1, 1300, 5000, kTrace, 12, 0});
+
+  ShardTrace shard;
+  shard.pid = 2;
+  shard.label = "incprofd shard 2";
+  shard.dump.shard_id = 2;
+  shard.dump.spans.push_back(
+      {kTrace, 21, 11, 3, 2000, 400, "service", "frame.process"});
+  shard.dump.spans.push_back(
+      {kTrace, 22, 21, 3, 2100, 100, "analysis", "online.assign"});
+
+  const std::string json = merge_chrome_trace(gateway_events, {shard});
+
+  // Both lanes are named.
+  EXPECT_NE(json.find("incprof_gateway"), std::string::npos);
+  EXPECT_NE(json.find("incprofd shard 2"), std::string::npos);
+  // All four spans survive with their context args.
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 4u);
+  EXPECT_EQ(count_of(json, "\"trace_id\":\"0xabc123\""), 4u);
+  EXPECT_NE(json.find("\"name\":\"online.assign\""), std::string::npos);
+  // Exactly one flow pair, bound by the same id string, step out of the
+  // gateway lane and step into the shard lane.
+  EXPECT_EQ(count_of(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"f\""), 1u);
+  EXPECT_EQ(count_of(json, "\"id\":\"0xabc123->2\""), 2u);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // The s anchor binds at the gateway's earliest span for the trace
+  // (gateway.route, ts 1000 ns = 1.000 us) in pid lane 0.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"name\":\"trace\",\"cat\":\"flow\","
+                      "\"id\":\"0xabc123->2\",\"pid\":0,\"tid\":1,"
+                      "\"ts\":1.000"),
+            std::string::npos);
+}
+
+TEST(TraceMerge, UnmatchedTraceIdsDrawNoArrows) {
+  std::vector<obs::SpanEvent> gateway_events;
+  gateway_events.push_back(
+      {"gateway.route", "gateway", 1, 1000, 200, 0x111, 11, 0});
+  ShardTrace shard;
+  shard.pid = 1;
+  shard.label = "incprofd shard 1";
+  shard.dump.spans.push_back(
+      {0x222, 21, 0, 3, 2000, 400, "service", "frame.process"});
+  const std::string json = merge_chrome_trace(gateway_events, {shard});
+  EXPECT_EQ(count_of(json, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"f\""), 0u);
+}
+
+TEST(TraceMerge, TwoShardsGetDistinctFlowIds) {
+  constexpr std::uint64_t kTrace = 0x77;
+  std::vector<obs::SpanEvent> gateway_events;
+  gateway_events.push_back(
+      {"gateway.route", "gateway", 1, 1000, 200, kTrace, 11, 0});
+  std::vector<ShardTrace> shards(2);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    shards[i].pid = i + 1;
+    shards[i].label = "incprofd shard " + std::to_string(i + 1);
+    shards[i].dump.spans.push_back(
+        {kTrace, 20 + i, 11, 3, 2000, 400, "service", "frame.process"});
+  }
+  const std::string json = merge_chrome_trace(gateway_events, shards);
+  EXPECT_EQ(count_of(json, "\"id\":\"0x77->1\""), 2u);
+  EXPECT_EQ(count_of(json, "\"id\":\"0x77->2\""), 2u);
+}
+
+/// One in-process shard behind the gateway (the test_gateway idiom).
+struct Shard {
+  explicit Shard(std::uint32_t id) {
+    ServerConfig cfg;
+    cfg.shard_id = id;
+    listener = hub.make_listener();
+    server = std::make_unique<Server>(*listener, cfg);
+    server->start();
+  }
+  LoopbackHub hub;
+  std::unique_ptr<service::Listener> listener;
+  std::unique_ptr<Server> server;
+};
+
+// The acceptance scenario: a client interval streamed through the
+// gateway must be traceable gateway → shard → pipeline stage in the
+// merged /trace.json — same trace id on both sides of at least one
+// bound flow pair, with the shard-side analysis spans present.
+TEST(TraceMerge, GatewayMergedTraceLinksClientIntervalAcrossProcesses) {
+  // The global ring is shared with every other test in this binary;
+  // clear it so this scenario's spans dominate.
+  obs::trace().clear();
+
+  constexpr std::size_t kShards = 2;
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (std::uint32_t s = 1; s <= kShards; ++s) {
+    shards.push_back(std::make_unique<Shard>(s));
+  }
+  LoopbackHub front;
+  auto front_listener = front.make_listener();
+  GatewayConfig gcfg;
+  gcfg.pull_period = std::chrono::milliseconds(0);
+  gcfg.pull_timeout = std::chrono::milliseconds(2000);
+  Gateway gateway(*front_listener, gcfg);
+  for (std::uint32_t s = 1; s <= kShards; ++s) {
+    gateway.add_shard(s,
+                      [&shards, s] { return shards[s - 1]->hub.connect(); });
+  }
+  gateway.start();
+
+  const auto snapshots = core::testing::cumulative_from_intervals(
+      core::testing::three_phase_workload(6));
+  service::ReplayOptions opts;
+  opts.client_name = "traced-client";
+  opts.trace_id = 0xc0ffee;
+  auto conn = front.connect();
+  ASSERT_NE(conn, nullptr);
+  const auto result = service::replay_session(*conn, snapshots, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.trace_id, 0xc0ffeeu);
+
+  const std::string json = gateway.merged_trace_json();
+  gateway.stop();
+
+  // Both processes of the pair appear as named lanes...
+  EXPECT_NE(json.find("incprof_gateway"), std::string::npos);
+  EXPECT_NE(json.find("incprofd shard"), std::string::npos);
+  // ...the client's trace id shows up on spans from both sides...
+  EXPECT_GE(count_of(json, "\"trace_id\":\"0xc0ffee\""), 2u);
+  EXPECT_NE(json.find("\"name\":\"gateway.route\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"frame.process\""), std::string::npos);
+  // ...including the analysis pipeline under the daemon...
+  EXPECT_NE(json.find("\"name\":\"online.assign\""), std::string::npos);
+  // ...and at least one bound cross-process flow pair links them.
+  EXPECT_GE(count_of(json, "\"id\":\"0xc0ffee->"), 2u);
+  EXPECT_GE(count_of(json, "\"ph\":\"s\""), 1u);
+  EXPECT_GE(count_of(json, "\"ph\":\"f\""), 1u);
+}
+
+}  // namespace
+}  // namespace incprof::fleet

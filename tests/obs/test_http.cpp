@@ -225,5 +225,30 @@ TEST(ObsHandler, ServesMetricsHealthzAndTrace) {
   EXPECT_EQ(endpoint.requests_served(), 4u);
 }
 
+TEST(ObsHandler, ExposesBuildInfoUptimeAndTraceDrops) {
+  MetricsRegistry registry;
+  TraceBuffer buffer(4);
+  // Six records through a four-slot ring: two spans dropped already.
+  for (int i = 0; i < 6; ++i) buffer.record("stage", "test", 10, 20);
+
+  HttpEndpoint endpoint(0, make_obs_handler(registry, buffer));
+  const std::string metrics = get_path(endpoint.port(), "/metrics");
+
+  // Build identity: the info-metric idiom, constant 1 with the identity
+  // in the labels. Values are build-dependent; the label keys are not.
+  EXPECT_NE(metrics.find("incprof_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.find("version=\""), std::string::npos);
+  EXPECT_NE(metrics.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(metrics.find("build_type=\""), std::string::npos);
+  EXPECT_NE(metrics.find("process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(metrics.find("obs_trace_dropped_total 2"), std::string::npos);
+
+  // The dropped counter tracks the buffer across scrapes (delta-added,
+  // so it never double-counts).
+  for (int i = 0; i < 3; ++i) buffer.record("stage", "test", 10, 20);
+  const std::string again = get_path(endpoint.port(), "/metrics");
+  EXPECT_NE(again.find("obs_trace_dropped_total 5"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace incprof::obs

@@ -1,0 +1,201 @@
+// The per-session flight recorder: a bounded ring that keeps the last N
+// structured events, renders them as JSON, and is dumped to a
+// postmortem file the moment the server quarantines the session — with
+// the offending frame bytes preserved in hex.
+#include "service/flight_recorder.hpp"
+
+#include "service/loopback.hpp"
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace incprof::service {
+namespace {
+
+TEST(FlightRecorder, KeepsEventsInOrder) {
+  FlightRecorder rec(8);
+  rec.record(FlightEventKind::kIntervalReceived, 100, 0, 2);
+  rec.record(FlightEventKind::kPhaseTransition, 200, 1, 3);
+  rec.record(FlightEventKind::kResume, 300, 5, 0, "conn");
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kIntervalReceived);
+  EXPECT_EQ(events[1].t_ns, 200u);
+  EXPECT_EQ(events[2].detail, "conn");
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorder, BoundsEvictOldestFirst) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(FlightEventKind::kIntervalReceived, i, i);
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four, still oldest-first.
+  EXPECT_EQ(events[0].a, 6u);
+  EXPECT_EQ(events[3].a, 9u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  EXPECT_EQ(rec.capacity(), 4u);
+}
+
+TEST(FlightRecorder, ConcurrentRecordersNeverLoseCount) {
+  FlightRecorder rec(16);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        rec.record(FlightEventKind::kIntervalReceived, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kThreads) * kEach);
+  EXPECT_EQ(rec.events().size(), 16u);
+}
+
+TEST(FlightRecorder, KindNamesAreStable) {
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kIntervalReceived),
+            "interval");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kPhaseTransition),
+            "phase");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kProtocolError),
+            "protocol_error");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kResume), "resume");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kQuarantine),
+            "quarantine");
+}
+
+TEST(FlightRecorderJson, RendersShapeAndEscapes) {
+  FlightRecorder rec(8);
+  rec.record(FlightEventKind::kProtocolError, 50, 1, 4,
+             "bad \"frame\"\nctrl\x01");
+  const std::string json =
+      flight_recorder_json(rec, 7, "client \"x\"", "quarantine", 0xbeef);
+  EXPECT_NE(json.find("\"session\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"client\":\"client \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0xbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"protocol_error\""), std::string::npos);
+  // Control characters and quotes in the detail are escaped, never raw.
+  EXPECT_NE(json.find("\\\"frame\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\u000a"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+// --- server integration ------------------------------------------------
+
+std::uint32_t handshake(Connection& conn, const std::string& name) {
+  HelloPayload hello;
+  hello.client_name = name;
+  EXPECT_TRUE(conn.send(make_hello_frame(hello)));
+  const auto ack = conn.receive();
+  EXPECT_TRUE(ack.has_value());
+  const Frame frame = decode_frame(*ack);
+  EXPECT_EQ(frame.type, FrameType::kHelloAck);
+  return decode_hello_ack(frame.payload).session_id;
+}
+
+bool wait_for(const std::function<bool()>& pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// An intact envelope whose type field is destroyed.
+std::string corrupt_frame(std::uint32_t session) {
+  Frame f;
+  f.type = FrameType::kHeartbeatBatch;
+  f.session = session;
+  f.payload = "xx";
+  std::string wire = encode_frame(f);
+  wire[6] = '\xff';
+  wire[7] = '\xff';
+  return wire;
+}
+
+TEST(FlightRecorderServer, QuarantineWritesPostmortemWithOffendingFrames) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "incprof-postmortem";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  ServerConfig cfg;
+  cfg.protocol_error_budget = 1;
+  cfg.postmortem_dir = dir.string();
+  Server server(*listener, cfg);
+  server.start();
+
+  auto conn = hub.connect();
+  const std::uint32_t id = handshake(*conn, "doomed");
+  ASSERT_NE(id, 0u);
+
+  // Two strikes against a budget of one: reject, then quarantine.
+  ASSERT_TRUE(conn->send(corrupt_frame(id)));
+  ASSERT_TRUE(conn->receive().has_value());
+  ASSERT_TRUE(conn->send(corrupt_frame(id)));
+  ASSERT_TRUE(conn->receive().has_value());
+  ASSERT_TRUE(wait_for([&] {
+    return server.metrics().counter_value("postmortems_written") == 1;
+  }));
+  server.stop();
+
+  const std::filesystem::path file =
+      dir / ("postmortem-session-" + std::to_string(id) + ".json");
+  ASSERT_TRUE(std::filesystem::exists(file));
+  std::ifstream in(file);
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::string json = body.str();
+  EXPECT_NE(json.find("\"reason\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("\"client\":\"doomed\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"protocol_error\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"quarantine\""), std::string::npos);
+  // The offending frame's bytes survive as a hex prefix: the corrupted
+  // type field ffff sits at offset 6 of the recorded bytes.
+  EXPECT_NE(json.find("frame="), std::string::npos);
+  EXPECT_NE(json.find("ffff"), std::string::npos);
+}
+
+TEST(FlightRecorderServer, LiveSessionJsonIsQueryable) {
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  Server server(*listener, ServerConfig{});
+  server.start();
+
+  auto conn = hub.connect();
+  const std::uint32_t id = handshake(*conn, "live-session");
+  ASSERT_NE(id, 0u);
+
+  const std::string json = server.session_flight_json(id);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"session\":" + std::to_string(id)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"live\""), std::string::npos);
+  EXPECT_NE(json.find("\"client\":\"live-session\""), std::string::npos);
+
+  // Unknown sessions render nothing — the HTTP layer turns that into
+  // its 404.
+  EXPECT_TRUE(server.session_flight_json(id + 999).empty());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace incprof::service

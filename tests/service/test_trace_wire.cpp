@@ -1,0 +1,93 @@
+// The kTraceDump text codec: lossless roundtrip for sane spans,
+// sanitization (not corruption) for hostile names, forward-compatible
+// decode, and typed failure on garbage.
+#include "service/trace_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace incprof::service {
+namespace {
+
+TraceDump sample_dump() {
+  TraceDump dump;
+  dump.shard_id = 3;
+  dump.dropped = 17;
+  dump.spans.push_back({0xdeadbeefcafeull, 42, 7, 2, 1000, 250,
+                        "service", "frame.process"});
+  dump.spans.push_back(
+      {0xdeadbeefcafeull, 43, 42, 2, 1100, 90, "analysis", "online.assign"});
+  dump.spans.push_back({0, 0, 0, 1, 500, 10, "bench", "untraced"});
+  return dump;
+}
+
+TEST(TraceWire, RoundTripsLosslessly) {
+  const TraceDump dump = sample_dump();
+  const TraceDump back = decode_trace_dump(encode_trace_dump(dump));
+  EXPECT_EQ(back.shard_id, dump.shard_id);
+  EXPECT_EQ(back.dropped, dump.dropped);
+  EXPECT_EQ(back.spans, dump.spans);
+}
+
+TEST(TraceWire, CapturesBufferContents) {
+  obs::TraceBuffer buffer(8);
+  buffer.record("frame.decode", "service", 100, 20, 0x99, 5, 0);
+  buffer.record("frame.process", "service", 130, 40, 0x99, 6, 5);
+  const TraceDump dump = capture_trace_dump(4, buffer);
+  EXPECT_EQ(dump.shard_id, 4u);
+  EXPECT_EQ(dump.dropped, 0u);
+  ASSERT_EQ(dump.spans.size(), 2u);
+  EXPECT_EQ(dump.spans[0].name, "frame.decode");
+  EXPECT_EQ(dump.spans[1].parent_span, 5u);
+  EXPECT_EQ(dump.spans[1].trace_id, 0x99u);
+}
+
+TEST(TraceWire, HostileNamesAreSanitizedNotCorrupting) {
+  TraceDump dump;
+  dump.shard_id = 1;
+  // A category with spaces would shift every later token; a name with
+  // newlines would forge extra rows. Both must be defanged.
+  dump.spans.push_back({1, 2, 0, 0, 10, 5, "evil cat\tx",
+                        "name with spaces\nspan 9 9 9 9 9 9 forged row"});
+  dump.spans.push_back({1, 3, 2, 0, 20, 5, "", ""});
+  const TraceDump back = decode_trace_dump(encode_trace_dump(dump));
+  ASSERT_EQ(back.spans.size(), 2u);  // the forged row must not appear
+  EXPECT_EQ(back.spans[0].category, "evil_cat_x");
+  EXPECT_EQ(back.spans[0].name.find('\n'), std::string::npos);
+  // Spaces survive in the name (it is the final field on its row).
+  EXPECT_NE(back.spans[0].name.find("name with spaces"), std::string::npos);
+  EXPECT_EQ(back.spans[1].category, "?");
+  EXPECT_EQ(back.spans[1].name, "?");
+  EXPECT_EQ(back.spans[1].span_id, 3u);
+}
+
+TEST(TraceWire, UnknownKeywordRowsAreSkipped) {
+  std::string text = encode_trace_dump(sample_dump());
+  text += "futurestat 12 34\n";
+  const TraceDump back = decode_trace_dump(text);
+  EXPECT_EQ(back.spans.size(), 3u);
+}
+
+TEST(TraceWire, RejectsGarbage) {
+  EXPECT_THROW(decode_trace_dump(""), std::runtime_error);
+  EXPECT_THROW(decode_trace_dump("not-a-trace v1\n"), std::runtime_error);
+  EXPECT_THROW(decode_trace_dump("incprof-trace v2\n"), std::runtime_error);
+  EXPECT_THROW(decode_trace_dump("incprof-trace v1\nshard x dropped 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      decode_trace_dump("incprof-trace v1\nshard 1 dropped 0\nspan 1 2\n"),
+      std::runtime_error);
+}
+
+TEST(TraceWire, EmptyDumpRoundTrips) {
+  TraceDump dump;
+  dump.shard_id = 9;
+  const TraceDump back = decode_trace_dump(encode_trace_dump(dump));
+  EXPECT_EQ(back.shard_id, 9u);
+  EXPECT_TRUE(back.spans.empty());
+}
+
+}  // namespace
+}  // namespace incprof::service

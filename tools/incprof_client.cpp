@@ -19,6 +19,10 @@
 //                     with exponential backoff and resumes the session
 //   --backoff-ms <n>  initial reconnect backoff (default 20)
 //   --no-events       do not subscribe to phase-event pushes
+//   --trace-id <n>    originate this 64-bit trace id (hex with 0x prefix
+//                     or decimal) instead of deriving one per session —
+//                     lets an operator pin a known id to grep for in the
+//                     fleet-merged /trace.json
 //   --quiet           suppress the per-event log lines
 
 #include "service/replay.hpp"
@@ -26,6 +30,8 @@
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +47,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--host h] [--port n] "
                "[--endpoint h:p] [--sessions n] [--name s] [--retries n] "
-               "[--backoff-ms n] [--no-events] [--quiet] [--verbose]\n",
+               "[--backoff-ms n] [--no-events] [--trace-id n] [--quiet] "
+               "[--verbose]\n",
                argv0);
   return 2;
 }
@@ -75,6 +82,7 @@ int main(int argc, char** argv) {
   std::chrono::milliseconds backoff{20};
   bool subscribe = true;
   bool quiet = false;
+  std::uint64_t trace_id = 0;  // 0 = derive per session
   util::set_log_level(util::LogLevel::kInfo);
 
   for (int i = 2; i < argc; ++i) {
@@ -112,6 +120,18 @@ int main(int argc, char** argv) {
       name = need("--name");
     } else if (std::strcmp(argv[i], "--no-events") == 0) {
       subscribe = false;
+    } else if (std::strcmp(argv[i], "--trace-id") == 0) {
+      const char* value = need("--trace-id");
+      char* end = nullptr;
+      errno = 0;
+      trace_id = std::strtoull(value, &end, 0);  // 0x.. hex or decimal
+      if (errno != 0 || end == value || *end != '\0' || trace_id == 0) {
+        std::fprintf(stderr,
+                     "--trace-id: invalid value '%s' (expected nonzero "
+                     "u64, hex with 0x prefix or decimal)\n",
+                     value);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
       util::set_log_level(util::LogLevel::kError);
@@ -141,6 +161,9 @@ int main(int argc, char** argv) {
         opts.client_name = name + "#" + std::to_string(i);
         opts.subscribe_events = subscribe;
         opts.query_status = true;
+        // Pinned id + session index keeps concurrent sessions'
+        // traces distinct while still grep-able from the flag value.
+        opts.trace_id = trace_id == 0 ? 0 : trace_id + i;
         try {
           if (retries > 1) {
             service::RetryPolicy policy;
@@ -170,8 +193,10 @@ int main(int argc, char** argv) {
                         r.error);
         continue;
       }
-      std::printf("session %u: %zu snapshots sent, %zu phase events",
-                  r.session_id, r.snapshots_sent, r.events.size());
+      std::printf("session %u: %zu snapshots sent, %zu phase events, "
+                  "trace 0x%llx",
+                  r.session_id, r.snapshots_sent, r.events.size(),
+                  static_cast<unsigned long long>(r.trace_id));
       if (r.reconnects > 0) {
         std::printf(" (%zu reconnects)", r.reconnects);
       }

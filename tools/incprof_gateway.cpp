@@ -16,7 +16,8 @@
 //                       in flag order). Repeatable; at least one.
 //   --port <n>          frontend port clients dial (default 7078;
 //                       0 = ephemeral)
-//   --obs-port <n>      serve merged GET /metrics, /healthz, /fleet.json
+//   --obs-port <n>      serve merged GET /metrics, /healthz, /fleet.json,
+//                       /trace.json
 //                       on this port (0 = ephemeral; off unless given)
 //   --pull-ms <n>       aggregator pull cadence (default 1000)
 //   --pull-timeout-ms <n> per-shard control deadline (default 1000)
@@ -194,7 +195,7 @@ int main(int argc, char** argv) {
       obs_endpoint = std::make_unique<obs::HttpEndpoint>(
           static_cast<std::uint16_t>(obs_port), gateway.http_handler());
       std::printf("incprof_gateway: obs endpoint on port %u "
-                  "(GET /metrics /healthz /fleet.json)\n",
+                  "(GET /metrics /healthz /fleet.json /trace.json)\n",
                   obs_endpoint->port());
     }
     std::printf("incprof_gateway: listening on port %u (%zu shards)\n",

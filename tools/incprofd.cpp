@@ -42,6 +42,9 @@
 //                        for this long (default 0 = off)
 //   --idle-timeout-ms <n>  reap sessions silent for this long (0 = off)
 //   --read-timeout-ms <n>  per-connection receive deadline (0 = off)
+//   --postmortem-dir <path>  write a flight-recorder postmortem JSON
+//                        (last events, offending frames) here whenever a
+//                        session is quarantined; empty = off
 //   --report-every <s>   seconds between fleet reports (default 10)
 //   --max-seconds <s>    exit after this long (default: run until EOF
 //                        on stdin or SIGINT)
@@ -74,6 +77,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -91,7 +95,8 @@ int usage(const char* argv0) {
                "[--port-file path] [--threads n] [--workers n] "
                "[--queue-capacity n] [--error-budget n] "
                "[--resume-grace-ms n] [--idle-timeout-ms n] "
-               "[--read-timeout-ms n] [--report-every s] [--max-seconds s] "
+               "[--read-timeout-ms n] [--postmortem-dir path] "
+               "[--report-every s] [--max-seconds s] "
                "[--metrics-csv path] [--fleet-csv path] [--quiet] "
                "[--verbose]\n"
                "       %s --selftest <dump_dir> [--sessions n] [--workers n]\n"
@@ -129,11 +134,36 @@ void write_csv_file(const std::string& path, const auto& writer) {
 std::unique_ptr<obs::HttpEndpoint> start_obs_endpoint(
     int obs_port, service::Server& server) {
   if (obs_port < 0) return nullptr;
+  // The stock obs routes plus the live flight-recorder view:
+  // GET /sessions/<id>.json dumps session <id>'s last-events ring.
+  auto base = obs::make_obs_handler(server.metrics(), obs::trace());
+  auto handler = [base = std::move(base),
+                  &server](const std::string& path) -> obs::HttpResponse {
+    constexpr std::string_view kPrefix = "/sessions/";
+    constexpr std::string_view kSuffix = ".json";
+    if (path.size() > kPrefix.size() + kSuffix.size() &&
+        path.compare(0, kPrefix.size(), kPrefix) == 0 &&
+        path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) == 0) {
+      const std::string id_text = path.substr(
+          kPrefix.size(), path.size() - kPrefix.size() - kSuffix.size());
+      std::int64_t id = 0;
+      if (util::parse_int(id_text, 1, std::numeric_limits<std::uint32_t>::max(),
+                          id)) {
+        std::string body =
+            server.session_flight_json(static_cast<std::uint32_t>(id));
+        if (!body.empty()) {
+          return {200, "application/json", std::move(body)};
+        }
+      }
+      return {404, "text/plain; charset=utf-8", "no such session\n"};
+    }
+    return base(path);
+  };
   auto endpoint = std::make_unique<obs::HttpEndpoint>(
-      static_cast<std::uint16_t>(obs_port),
-      obs::make_obs_handler(server.metrics(), obs::trace()));
+      static_cast<std::uint16_t>(obs_port), std::move(handler));
   std::printf("incprofd: obs endpoint on port %u "
-              "(GET /metrics /healthz /trace.json)\n",
+              "(GET /metrics /healthz /trace.json /sessions/<id>.json)\n",
               endpoint->port());
   std::fflush(stdout);
   return endpoint;
@@ -363,6 +393,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--read-timeout-ms") == 0) {
       cfg.read_timeout = std::chrono::milliseconds(flag_int(
           "--read-timeout-ms", need("--read-timeout-ms"), 0, 86400000));
+    } else if (std::strcmp(argv[i], "--postmortem-dir") == 0) {
+      cfg.postmortem_dir = need("--postmortem-dir");
     } else if (std::strcmp(argv[i], "--report-every") == 0) {
       report_every = std::atof(need("--report-every"));
     } else if (std::strcmp(argv[i], "--max-seconds") == 0) {
