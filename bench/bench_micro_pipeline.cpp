@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "cluster/distance_cache.hpp"
 #include "cluster/kselect.hpp"
+#include "core/online.hpp"
 #include "core/pipeline.hpp"
 #include "gmon/binary_io.hpp"
 #include "gmon/flat_text.hpp"
@@ -188,6 +189,85 @@ void BM_CollectionRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CollectionRun);
+
+// --- online tracker observe() -------------------------------------------
+// The per-dump cost of the deployment-side tracker, three ways: the
+// copying observe (re-copies each cumulative snapshot into previous_),
+// the move observe (retires the caller's snapshot in place, the daemon
+// path), and the move observe in sketched streaming mode. Copy vs move
+// isolates the win from difference_into + previous_ reuse.
+
+std::vector<gmon::ProfileSnapshot> cumulative_stream(std::size_t functions,
+                                                     std::size_t intervals) {
+  util::Rng rng(23);
+  std::vector<std::int64_t> totals(functions, 0);
+  std::vector<gmon::ProfileSnapshot> snaps;
+  for (std::size_t i = 0; i < intervals; ++i) {
+    gmon::ProfileSnapshot snap(static_cast<std::uint32_t>(i),
+                               static_cast<std::int64_t>(i + 1) *
+                                   1'000'000'000);
+    for (std::size_t f = 0; f < functions; ++f) {
+      totals[f] += static_cast<std::int64_t>(rng.next_below(30'000'000));
+      gmon::FunctionProfile fp;
+      fp.name = "function_" + std::to_string(f);
+      fp.self_ns = totals[f];
+      fp.calls = static_cast<std::int64_t>(i + 1);
+      fp.inclusive_ns = totals[f];
+      snap.upsert(std::move(fp));
+    }
+    snaps.push_back(std::move(snap));
+  }
+  return snaps;
+}
+
+constexpr std::size_t kObserveBatch = 64;
+
+void BM_OnlineObserveCopy(benchmark::State& state) {
+  const auto base = cumulative_stream(
+      static_cast<std::size_t>(state.range(0)), kObserveBatch);
+  core::OnlinePhaseTracker tracker;
+  for (auto _ : state) {
+    for (const auto& s : base) tracker.observe(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kObserveBatch));
+}
+BENCHMARK(BM_OnlineObserveCopy)->Arg(64)->Arg(256);
+
+void BM_OnlineObserveMove(benchmark::State& state) {
+  const auto base = cumulative_stream(
+      static_cast<std::size_t>(state.range(0)), kObserveBatch);
+  core::OnlinePhaseTracker tracker;
+  std::vector<gmon::ProfileSnapshot> batch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch = base;  // untimed re-copy so each round can cede ownership
+    state.ResumeTiming();
+    for (auto& s : batch) tracker.observe(std::move(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kObserveBatch));
+}
+BENCHMARK(BM_OnlineObserveMove)->Arg(64)->Arg(256);
+
+void BM_OnlineObserveStreaming(benchmark::State& state) {
+  const auto base = cumulative_stream(
+      static_cast<std::size_t>(state.range(0)), kObserveBatch);
+  core::OnlineConfig cfg;
+  cfg.streaming = true;
+  cfg.sketch_width = 256;
+  core::OnlinePhaseTracker tracker(cfg);
+  std::vector<gmon::ProfileSnapshot> batch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch = base;
+    state.ResumeTiming();
+    for (auto& s : batch) tracker.observe(std::move(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kObserveBatch));
+}
+BENCHMARK(BM_OnlineObserveStreaming)->Arg(64)->Arg(256);
 
 // --- self-telemetry overhead ---------------------------------------------
 // The obs layer instruments the frame hot path, so its own cost is part

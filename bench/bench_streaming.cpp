@@ -1,0 +1,450 @@
+// Streaming-tracker bench: the bounded-deployment claims, measured.
+//
+// 1. Flat per-interval latency: one 100k-interval streaming session over
+//    a function-churn workload (a fixed hot set plus fresh one-shot
+//    names every interval, so the exact mode's feature universe grows
+//    without bound while the sketch stays fixed). Per-interval observe()
+//    latency is sampled over the chunks [0,1k), [9k,10k) and [99k,100k);
+//    the run FAILS if p99 at 100k exceeds 2x p99 at 1k, or if tracker
+//    state grew between the 1k and 100k checkpoints.
+// 2. Exact-mode reference at small interval counts (1k/4k), showing the
+//    per-interval cost growing with the universe — the bug this bench
+//    guards against reintroducing.
+// 3. Batch parity: streaming assignments vs the offline k-means pipeline
+//    on seeded multi-phase synthetic workloads (gated: boundary-F1 with
+//    +-1 interval tolerance must reach 0.9) and on the paper's mini-apps
+//    (reported).
+//
+// With --json[=path] the results are also written to
+// bench/out/BENCH_streaming.json (default path) for CI trending.
+#include "bench_common.hpp"
+
+#include "cluster/quality.hpp"
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "gmon/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace incprof;
+
+// --- churn workload ------------------------------------------------------
+
+/// Produces sparse cumulative dumps: `kHot` persistent functions whose
+/// cumulative self time grows every interval, plus `kFresh` brand-new
+/// one-shot names per interval. A dump lists only the functions active
+/// in this or an earlier interval that still accumulate — fresh names
+/// from older intervals stop appearing (difference() drops them), which
+/// keeps every dump small while the *universe* of distinct names grows
+/// by kFresh per interval.
+class ChurnStream {
+ public:
+  static constexpr std::size_t kHot = 32;
+  static constexpr std::size_t kFresh = 2;
+
+  explicit ChurnStream(std::uint64_t seed) : rng_(seed) {
+    cumulative_self_ns_.assign(kHot, 0);
+    cumulative_calls_.assign(kHot, 0);
+  }
+
+  gmon::ProfileSnapshot next() {
+    gmon::ProfileSnapshot snap(static_cast<std::uint32_t>(interval_),
+                               static_cast<std::int64_t>(interval_ + 1) *
+                                   1'000'000'000);
+    char name[32];
+    for (std::size_t f = 0; f < kHot; ++f) {
+      // Per-interval share wobbles deterministically so intervals are
+      // not all identical vectors.
+      cumulative_self_ns_[f] += static_cast<std::int64_t>(
+          10'000'000 + rng_.next_below(20'000'000));
+      cumulative_calls_[f] += static_cast<std::int64_t>(
+          1 + rng_.next_below(100));
+      std::snprintf(name, sizeof(name), "hot_%02zu", f);
+      gmon::FunctionProfile fp;
+      fp.name = name;
+      fp.self_ns = cumulative_self_ns_[f];
+      fp.calls = cumulative_calls_[f];
+      fp.inclusive_ns = fp.self_ns;
+      snap.upsert(std::move(fp));
+    }
+    for (std::size_t f = 0; f < kFresh; ++f) {
+      std::snprintf(name, sizeof(name), "churn_%08zu",
+                    interval_ * kFresh + f);
+      gmon::FunctionProfile fp;
+      fp.name = name;
+      fp.self_ns = static_cast<std::int64_t>(
+          1'000'000 + rng_.next_below(5'000'000));
+      fp.calls = 1;
+      fp.inclusive_ns = fp.self_ns;
+      snap.upsert(std::move(fp));
+    }
+    ++interval_;
+    return snap;
+  }
+
+ private:
+  util::Rng rng_;
+  std::size_t interval_ = 0;
+  std::vector<std::int64_t> cumulative_self_ns_;
+  std::vector<std::int64_t> cumulative_calls_;
+};
+
+// --- latency statistics --------------------------------------------------
+
+struct Checkpoint {
+  std::size_t at = 0;           // interval count at the checkpoint
+  double p50_ns = 0.0;          // over the preceding 1k-interval chunk
+  double p99_ns = 0.0;
+  std::size_t state_bytes = 0;  // tracker state right at the checkpoint
+};
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Replays `total` churn intervals through a tracker, sampling the
+/// per-interval observe() latency over the 1000 intervals that precede
+/// each checkpoint.
+std::vector<Checkpoint> run_latency(core::OnlinePhaseTracker& tracker,
+                                    const std::vector<std::size_t>& marks,
+                                    std::uint64_t seed) {
+  constexpr std::size_t kChunk = 1000;
+  ChurnStream stream(seed);
+  std::vector<Checkpoint> out;
+  std::vector<double> chunk;
+  chunk.reserve(kChunk);
+  const std::size_t total = marks.empty() ? 0 : marks.back();
+  std::size_t next_mark = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    auto snap = stream.next();
+    const bool timed = marks[next_mark] - i <= kChunk;
+    if (timed) {
+      const auto t0 = std::chrono::steady_clock::now();
+      tracker.observe(std::move(snap));
+      const auto t1 = std::chrono::steady_clock::now();
+      chunk.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    } else {
+      tracker.observe(std::move(snap));
+    }
+    if (i + 1 == marks[next_mark]) {
+      Checkpoint cp;
+      cp.at = marks[next_mark];
+      cp.p50_ns = percentile(chunk, 0.50);
+      cp.p99_ns = percentile(chunk, 0.99);
+      cp.state_bytes = tracker.state_bytes();
+      out.push_back(cp);
+      chunk.clear();
+      ++next_mark;
+      if (next_mark >= marks.size()) break;
+    }
+  }
+  return out;
+}
+
+// --- batch parity --------------------------------------------------------
+
+/// Phase-boundary positions of an assignment sequence (indices whose
+/// phase differs from the previous interval's).
+std::vector<std::size_t> boundaries(const std::vector<std::size_t>& a) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] != a[i - 1]) out.push_back(i);
+  }
+  return out;
+}
+
+/// Boundary F1 with +-`tol` interval tolerance: a predicted boundary
+/// matches an unmatched reference boundary within tol. 1.0 when both
+/// sequences have no boundaries at all.
+double boundary_f1(const std::vector<std::size_t>& reference,
+                   const std::vector<std::size_t>& predicted,
+                   std::size_t tol) {
+  const auto ref = boundaries(reference);
+  const auto pred = boundaries(predicted);
+  if (ref.empty() && pred.empty()) return 1.0;
+  if (ref.empty() || pred.empty()) return 0.0;
+  std::vector<bool> used(ref.size(), false);
+  std::size_t matched = 0;
+  for (const std::size_t p : pred) {
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+      const std::size_t d = p > ref[r] ? p - ref[r] : ref[r] - p;
+      if (!used[r] && d <= tol) {
+        used[r] = true;
+        ++matched;
+        break;
+      }
+    }
+  }
+  const double precision =
+      static_cast<double>(matched) / static_cast<double>(pred.size());
+  const double recall =
+      static_cast<double>(matched) / static_cast<double>(ref.size());
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+/// A seeded multi-phase workload: `phases` blocks of `per` intervals,
+/// each block dominated by its own disjoint function set, with
+/// deterministic per-interval wobble.
+std::vector<gmon::ProfileSnapshot> phased_workload(std::uint64_t seed,
+                                                   std::size_t phases,
+                                                   std::size_t per) {
+  constexpr std::size_t kFuncsPerPhase = 4;
+  util::Rng rng(seed);
+  std::vector<std::int64_t> totals(phases * kFuncsPerPhase, 0);
+  std::vector<std::int64_t> calls(phases * kFuncsPerPhase, 0);
+  std::vector<gmon::ProfileSnapshot> snaps;
+  char name[32];
+  for (std::size_t i = 0; i < phases * per; ++i) {
+    const std::size_t phase = i / per;
+    for (std::size_t f = 0; f < kFuncsPerPhase; ++f) {
+      const std::size_t idx = phase * kFuncsPerPhase + f;
+      totals[idx] += static_cast<std::int64_t>(
+          (f + 1) * 150'000'000 + rng.next_below(30'000'000));
+      calls[idx] += static_cast<std::int64_t>(1 + rng.next_below(50));
+    }
+    gmon::ProfileSnapshot snap(static_cast<std::uint32_t>(i),
+                               static_cast<std::int64_t>(i + 1) *
+                                   1'000'000'000);
+    for (std::size_t idx = 0; idx < totals.size(); ++idx) {
+      if (totals[idx] == 0) continue;
+      std::snprintf(name, sizeof(name), "phase%zu_fn%zu",
+                    idx / kFuncsPerPhase, idx % kFuncsPerPhase);
+      gmon::FunctionProfile fp;
+      fp.name = name;
+      fp.self_ns = totals[idx];
+      fp.calls = calls[idx];
+      fp.inclusive_ns = fp.self_ns;
+      snap.upsert(std::move(fp));
+    }
+    snaps.push_back(std::move(snap));
+  }
+  return snaps;
+}
+
+struct Parity {
+  std::string name;
+  double ari = 0.0;
+  double f1 = 0.0;
+  std::size_t offline_k = 0;
+  std::size_t online_k = 0;
+};
+
+Parity parity_on(const std::string& name,
+                 const std::vector<gmon::ProfileSnapshot>& snaps,
+                 std::size_t sketch_width) {
+  const auto offline = core::analyze_snapshots(snaps);
+
+  core::OnlineConfig cfg;
+  cfg.streaming = true;
+  cfg.sketch_width = sketch_width;
+  cfg.assignment_window = snaps.size();
+  core::OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap : snaps) tracker.observe(snap);
+  const auto assignments = tracker.recent_assignments();
+
+  Parity p;
+  p.name = name;
+  p.ari = cluster::adjusted_rand_index(offline.detection.assignments,
+                                       assignments);
+  p.f1 = boundary_f1(offline.detection.assignments, assignments, 1);
+  p.offline_k = offline.detection.num_phases;
+  p.online_k = tracker.num_phases();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  std::size_t sketch_width = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--sketch-width") == 0 && i + 1 < argc) {
+      std::int64_t v = 0;
+      if (!util::parse_int(argv[++i], 1, 1 << 20, v)) {
+        std::fprintf(stderr, "--sketch-width: invalid value '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      sketch_width = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json[=path]] [--sketch-width n]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("==== Streaming tracker: bounded latency and batch parity "
+              "====\n\n");
+
+  // --- 1. flat latency over 100k churn intervals -------------------------
+  core::OnlineConfig scfg;
+  scfg.streaming = true;
+  scfg.sketch_width = sketch_width;
+  core::OnlinePhaseTracker streaming(scfg);
+  const std::vector<std::size_t> marks{1'000, 10'000, 100'000};
+  const auto stream_cps = run_latency(streaming, marks, /*seed=*/7);
+
+  // Exact-mode reference, small counts only: per-interval cost grows
+  // with the churn universe, so 100k intervals would take O(n^2) work.
+  core::OnlinePhaseTracker exact;
+  const std::vector<std::size_t> exact_marks{1'000, 4'000};
+  const auto exact_cps = run_latency(exact, exact_marks, /*seed=*/7);
+
+  util::TextTable lt;
+  lt.set_header({"mode", "intervals", "p50 (us)", "p99 (us)",
+                 "state (KiB)"});
+  for (std::size_t c = 1; c < 5; ++c) lt.set_align(c, util::Align::kRight);
+  for (const auto& cp : stream_cps) {
+    lt.add_row({"streaming", std::to_string(cp.at),
+                util::format_fixed(cp.p50_ns / 1e3, 2),
+                util::format_fixed(cp.p99_ns / 1e3, 2),
+                std::to_string(cp.state_bytes / 1024)});
+  }
+  for (const auto& cp : exact_cps) {
+    lt.add_row({"exact", std::to_string(cp.at),
+                util::format_fixed(cp.p50_ns / 1e3, 2),
+                util::format_fixed(cp.p99_ns / 1e3, 2),
+                std::to_string(cp.state_bytes / 1024)});
+  }
+  std::printf("%s\n", lt.render().c_str());
+
+  const double p99_1k = stream_cps.front().p99_ns;
+  const double p99_100k = stream_cps.back().p99_ns;
+  const double latency_ratio = p99_1k > 0.0 ? p99_100k / p99_1k : 0.0;
+  const bool latency_flat = latency_ratio <= 2.0;
+  const std::size_t state_1k = stream_cps.front().state_bytes;
+  const std::size_t state_100k = stream_cps.back().state_bytes;
+  const bool state_bounded = state_100k <= state_1k;
+  std::printf("p99 ratio 100k/1k: %.2fx (gate: <= 2.0) -> %s\n",
+              latency_ratio, latency_flat ? "ok" : "FAIL");
+  std::printf("state 1k -> 100k: %zu -> %zu bytes (gate: no growth) -> "
+              "%s\n\n",
+              state_1k, state_100k, state_bounded ? "ok" : "FAIL");
+
+  // --- 2. batch parity ---------------------------------------------------
+  std::vector<Parity> synthetic;
+  synthetic.push_back(
+      parity_on("synthetic/4x40", phased_workload(21, 4, 40),
+                sketch_width));
+  synthetic.push_back(
+      parity_on("synthetic/3x60", phased_workload(22, 3, 60),
+                sketch_width));
+  synthetic.push_back(
+      parity_on("synthetic/6x25", phased_workload(23, 6, 25),
+                sketch_width));
+
+  std::vector<Parity> real;
+  for (const auto& name : apps::app_names()) {
+    auto app = apps::make_app(name, {});
+    const apps::ProfiledRun run =
+        apps::run_profiled(*app, bench::paper_run_config());
+    real.push_back(parity_on("app/" + name, run.snapshots, sketch_width));
+  }
+
+  util::TextTable pt;
+  pt.set_header({"workload", "offline k", "online k", "ARI",
+                 "boundary F1 (+-1)"});
+  for (std::size_t c = 1; c < 5; ++c) pt.set_align(c, util::Align::kRight);
+  double min_synth_f1 = 1.0;
+  for (const auto& p : synthetic) {
+    min_synth_f1 = std::min(min_synth_f1, p.f1);
+    pt.add_row({p.name, std::to_string(p.offline_k),
+                std::to_string(p.online_k), util::format_fixed(p.ari, 3),
+                util::format_fixed(p.f1, 3)});
+  }
+  for (const auto& p : real) {
+    pt.add_row({p.name, std::to_string(p.offline_k),
+                std::to_string(p.online_k), util::format_fixed(p.ari, 3),
+                util::format_fixed(p.f1, 3)});
+  }
+  std::printf("%s\n", pt.render().c_str());
+  const bool parity_ok = min_synth_f1 >= 0.9;
+  std::printf("min synthetic boundary F1: %.3f (gate: >= 0.9) -> %s\n",
+              min_synth_f1, parity_ok ? "ok" : "FAIL");
+
+  const bool pass = latency_flat && state_bounded && parity_ok;
+
+  if (json) {
+    if (json_path.empty()) {
+      json_path = bench::artifact_path("BENCH_streaming.json");
+    }
+    std::ofstream os(json_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    os << "{\n  \"bench\": \"streaming_tracker\",\n";
+    os << "  \"sketch_width\": " << sketch_width << ",\n";
+    auto write_cps = [&os](const char* key,
+                           const std::vector<Checkpoint>& cps) {
+      os << "  \"" << key << "\": [";
+      for (std::size_t i = 0; i < cps.size(); ++i) {
+        if (i) os << ", ";
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"at\": %zu, \"p50_ns\": %.1f, \"p99_ns\": %.1f, "
+                      "\"state_bytes\": %zu}",
+                      cps[i].at, cps[i].p50_ns, cps[i].p99_ns,
+                      cps[i].state_bytes);
+        os << buf;
+      }
+      os << "],\n";
+    };
+    write_cps("streaming", stream_cps);
+    write_cps("exact_reference", exact_cps);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"p99_ratio_100k_over_1k\": %.3f,\n", latency_ratio);
+    os << buf;
+    auto write_parity = [&os](const char* key,
+                              const std::vector<Parity>& ps,
+                              bool trailing_comma) {
+      os << "  \"" << key << "\": [";
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (i) os << ", ";
+        char b[200];
+        std::snprintf(b, sizeof(b),
+                      "{\"name\": \"%s\", \"offline_k\": %zu, "
+                      "\"online_k\": %zu, \"ari\": %.3f, "
+                      "\"boundary_f1\": %.3f}",
+                      ps[i].name.c_str(), ps[i].offline_k, ps[i].online_k,
+                      ps[i].ari, ps[i].f1);
+        os << b;
+      }
+      os << "]" << (trailing_comma ? ",\n" : "\n");
+    };
+    write_parity("synthetic", synthetic, true);
+    write_parity("apps", real, true);
+    os << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+    os.close();
+    std::printf("results written to %s\n", json_path.c_str());
+  }
+
+  return pass ? 0 : 1;
+}

@@ -1,59 +1,105 @@
 #include "core/online.hpp"
 
 #include "obs/span.hpp"
+#include "util/hash.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 namespace incprof::core {
 
 OnlinePhaseTracker::OnlinePhaseTracker(OnlineConfig config)
-    : config_(config) {}
+    : config_(config) {
+  if (config_.sketch_width == 0) config_.sketch_width = 1;
+  if (config_.assignment_window == 0) config_.assignment_window = 1;
+  if (config_.streaming) {
+    // Pre-size the bounded state once: the ring never grows, the
+    // interval vector is always sketch_width wide, and at most
+    // max_phases centroids of that width ever exist.
+    ring_.assign(config_.assignment_window, 0);
+    v_.reserve(config_.sketch_width);
+    centroids_.reserve(config_.max_phases);
+    phases_.reserve(config_.max_phases);
+  }
+}
 
 std::size_t OnlinePhaseTracker::column_for(const std::string& name) {
   const auto [it, inserted] = columns_.try_emplace(name, columns_.size());
   return it->second;
 }
 
+void OnlinePhaseTracker::vectorize(const gmon::ProfileSnapshot& delta) {
+  if (config_.streaming) {
+    // Fixed-width sketch: bucket by the fleet-convention string hash
+    // (FNV-1a + splitmix64); colliding functions accumulate. A session
+    // discovering 100k distinct functions still does fixed work here.
+    v_.assign(config_.sketch_width, 0.0);
+    for (const auto& fp : delta.functions()) {
+      const std::size_t bucket = static_cast<std::size_t>(
+          util::hash_string(fp.name) % config_.sketch_width);
+      v_[bucket] += static_cast<double>(fp.self_ns) / 1e9;
+    }
+    return;
+  }
+  // Exact reference mode: one column per distinct name, growing forever.
+  v_.assign(columns_.size(), 0.0);
+  for (const auto& fp : delta.functions()) {
+    const std::size_t col = column_for(fp.name);
+    if (col >= v_.size()) v_.resize(columns_.size(), 0.0);
+    v_[col] = static_cast<double>(fp.self_ns) / 1e9;
+  }
+}
+
 OnlineObservation OnlinePhaseTracker::observe(
     const gmon::ProfileSnapshot& snap) {
+  return observe_impl(snap, nullptr);
+}
+
+OnlineObservation OnlinePhaseTracker::observe(gmon::ProfileSnapshot&& snap) {
+  return observe_impl(snap, &snap);
+}
+
+OnlineObservation OnlinePhaseTracker::observe_impl(
+    const gmon::ProfileSnapshot& snap, gmon::ProfileSnapshot* movable) {
   // The five stage spans mirror the offline pipeline.* set; under the
   // daemon they run on a worker thread that carries the interval's
   // trace context, so each stage lands in the client's end-to-end
   // trace as a child of frame.process.
-  // Difference against the previous cumulative dump.
-  gmon::ProfileSnapshot delta;
   {
     obs::ScopedSpan span("online.differencing", "analysis");
-    delta = has_previous_ ? gmon::difference(snap, previous_)
-                          : gmon::difference(snap, gmon::ProfileSnapshot{});
-    previous_ = snap;
-    has_previous_ = true;
-  }
-
-  // Build the interval vector in the (growing) column space.
-  std::vector<double> v(columns_.size(), 0.0);
-  {
-    obs::ScopedSpan span("online.vectorize", "analysis");
-    for (const auto& fp : delta.functions()) {
-      const std::size_t col = column_for(fp.name);
-      if (col >= v.size()) v.resize(columns_.size(), 0.0);
-      v[col] = static_cast<double>(fp.self_ns) / 1e9;
+    // Difference against the previous cumulative dump into the reused
+    // delta buffer (first dump differences against the empty snapshot,
+    // yielding the dump itself), then retire `snap` into previous_ —
+    // moved when the caller ceded ownership, copy-assigned (reusing
+    // previous_'s storage) otherwise. The old code deep-copied the full
+    // cumulative snapshot every interval.
+    gmon::difference_into(snap, previous_, delta_);
+    if (movable != nullptr) {
+      previous_ = std::move(*movable);
+    } else {
+      previous_ = snap;
     }
   }
 
-  // Nearest centroid (missing trailing columns read as zero).
+  {
+    obs::ScopedSpan span("online.vectorize", "analysis");
+    vectorize(delta_);
+  }
+
+  // Nearest live centroid (missing trailing columns read as zero).
   double best = std::numeric_limits<double>::max();
-  std::size_t best_phase = 0;
+  std::size_t best_phase = kNoPhase;
   {
     obs::ScopedSpan span("online.assign", "analysis");
     for (std::size_t p = 0; p < centroids_.size(); ++p) {
+      if (phases_[p].merged_into != kNoPhase) continue;
       const auto& c = centroids_[p];
       double d2 = 0.0;
-      const std::size_t n = v.size();
+      const std::size_t n = v_.size();
       for (std::size_t j = 0; j < n; ++j) {
         const double cj = j < c.size() ? c[j] : 0.0;
-        const double diff = v[j] - cj;
+        const double diff = v_[j] - cj;
         d2 += diff * diff;
       }
       const double d = std::sqrt(d2);
@@ -65,48 +111,210 @@ OnlineObservation OnlinePhaseTracker::observe(
   }
 
   OnlineObservation obs;
-  obs.interval = assignments_.size();
+  obs.interval = num_intervals_;
+  std::size_t slot = 0;
   {
     obs::ScopedSpan span("online.update", "analysis");
     const bool open_new =
-        centroids_.empty() || (best > config_.new_phase_distance &&
-                               centroids_.size() < config_.max_phases);
+        live_phases_ == 0 || (best > config_.new_phase_distance &&
+                              live_phases_ < config_.max_phases);
     if (open_new) {
-      obs.phase = centroids_.size();
+      slot = phases_.size();
       obs.new_phase = true;
-      obs.distance = centroids_.empty() ? 0.0 : best;
-      centroids_.push_back(v);
-      counts_.push_back(1);
+      obs.distance = live_phases_ == 0 ? 0.0 : best;
+      centroids_.push_back(v_);
+      phases_.push_back(PhaseState{1, 0.0, kNoPhase});
+      ++live_phases_;
     } else {
-      obs.phase = best_phase;
+      slot = best_phase;
       obs.distance = best;
-      auto& c = centroids_[best_phase];
-      if (c.size() < v.size()) c.resize(v.size(), 0.0);
-      ++counts_[best_phase];
+      auto& c = centroids_[slot];
+      PhaseState& ph = phases_[slot];
+      if (c.size() < v_.size()) c.resize(v_.size(), 0.0);
+      ++ph.count;
       const double alpha =
           config_.ewma_alpha > 0.0
               ? config_.ewma_alpha
-              : 1.0 / static_cast<double>(counts_[best_phase]);
+              : 1.0 / static_cast<double>(ph.count);
       for (std::size_t j = 0; j < c.size(); ++j) {
-        const double vj = j < v.size() ? v[j] : 0.0;
+        const double vj = j < v_.size() ? v_[j] : 0.0;
         c[j] += alpha * (vj - c[j]);
       }
+      ph.dispersion += alpha * (best - ph.dispersion);
+      if (config_.streaming && config_.merge_ratio > 0.0) {
+        merge_overlapping_phases();
+        slot = resolve_phase(slot);
+      }
     }
+    obs.phase = slot;
   }
 
   {
     obs::ScopedSpan span("online.classify", "analysis");
     obs.transition =
-        !assignments_.empty() && assignments_.back() != obs.phase;
-    assignments_.push_back(obs.phase);
+        num_intervals_ > 0 && resolve_phase(last_phase_) != slot;
+    if (obs.transition) ++transitions_;
+    last_phase_ = slot;
+    if (config_.streaming) {
+      ring_[num_intervals_ % ring_.size()] = slot;
+    } else {
+      history_.push_back(slot);
+    }
+    ++num_intervals_;
   }
   return obs;
 }
 
+double OnlinePhaseTracker::centroid_distance(std::size_t a,
+                                             std::size_t b) const {
+  const auto& ca = centroids_[a];
+  const auto& cb = centroids_[b];
+  const std::size_t n = std::max(ca.size(), cb.size());
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = j < ca.size() ? ca[j] : 0.0;
+    const double y = j < cb.size() ? cb[j] : 0.0;
+    d2 += (x - y) * (x - y);
+  }
+  return std::sqrt(d2);
+}
+
+void OnlinePhaseTracker::merge_overlapping_phases() {
+  if (live_phases_ < 2) return;
+  // Worst simplified-Davies-Bouldin pair among mature live phases; one
+  // merge per interval keeps the cost bounded and the sequence
+  // deterministic. O(k^2) with k <= max_phases — constant work.
+  double worst = 0.0;
+  std::size_t wi = kNoPhase;
+  std::size_t wj = kNoPhase;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].merged_into != kNoPhase ||
+        phases_[i].count < OnlineConfig::kMergeMinCount) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < phases_.size(); ++j) {
+      if (phases_[j].merged_into != kNoPhase ||
+          phases_[j].count < OnlineConfig::kMergeMinCount) {
+        continue;
+      }
+      const double d = std::max(centroid_distance(i, j), 1e-12);
+      const double ratio =
+          (phases_[i].dispersion + phases_[j].dispersion) / d;
+      if (ratio > worst) {
+        worst = ratio;
+        wi = i;
+        wj = j;
+      }
+    }
+  }
+  if (wi != kNoPhase && worst > config_.merge_ratio) {
+    merge_phases(wi, wj);
+  }
+}
+
+void OnlinePhaseTracker::merge_phases(std::size_t survivor,
+                                      std::size_t victim) {
+  PhaseState& s = phases_[survivor];
+  PhaseState& t = phases_[victim];
+  const double ws = static_cast<double>(s.count);
+  const double wt = static_cast<double>(t.count);
+  const double w = ws + wt;
+  const double d = centroid_distance(survivor, victim);
+  auto& cs = centroids_[survivor];
+  auto& ct = centroids_[victim];
+  if (cs.size() < ct.size()) cs.resize(ct.size(), 0.0);
+  for (std::size_t j = 0; j < cs.size(); ++j) {
+    const double y = j < ct.size() ? ct[j] : 0.0;
+    cs[j] = (ws * cs[j] + wt * y) / w;
+  }
+  // Combined dispersion: count-weighted member dispersions plus each
+  // side's centroid shift toward the merged mean.
+  s.dispersion = (ws * s.dispersion + wt * t.dispersion) / w +
+                 2.0 * ws * wt * d / (w * w);
+  s.count += t.count;
+  t.count = 0;
+  t.dispersion = 0.0;
+  t.merged_into = survivor;
+  std::vector<double>().swap(centroids_[victim]);  // release the slot
+  --live_phases_;
+}
+
+std::size_t OnlinePhaseTracker::resolve_phase(std::size_t phase) const {
+  while (phase < phases_.size() &&
+         phases_[phase].merged_into != kNoPhase) {
+    phase = phases_[phase].merged_into;
+  }
+  return phase;
+}
+
 std::vector<std::size_t> OnlinePhaseTracker::phase_sizes() const {
-  std::vector<std::size_t> sizes(centroids_.size(), 0);
-  for (const auto a : assignments_) ++sizes[a];
+  std::vector<std::size_t> sizes(phases_.size(), 0);
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    sizes[p] = phases_[p].count;
+  }
   return sizes;
+}
+
+std::vector<std::size_t> OnlinePhaseTracker::recent_assignments() const {
+  if (!config_.streaming) {
+    const std::size_t n =
+        std::min(history_.size(), config_.assignment_window);
+    return {history_.end() - static_cast<std::ptrdiff_t>(n),
+            history_.end()};
+  }
+  const std::size_t n = std::min(num_intervals_, ring_.size());
+  std::vector<std::size_t> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = ring_[(num_intervals_ - n + k) % ring_.size()];
+  }
+  return out;
+}
+
+std::vector<double> OnlinePhaseTracker::centroid(std::size_t phase) const {
+  return centroids_.at(phase);
+}
+
+double OnlinePhaseTracker::davies_bouldin() const {
+  if (live_phases_ < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].merged_into != kNoPhase || phases_[i].count == 0) {
+      continue;
+    }
+    double r = 0.0;
+    for (std::size_t j = 0; j < phases_.size(); ++j) {
+      if (j == i || phases_[j].merged_into != kNoPhase ||
+          phases_[j].count == 0) {
+        continue;
+      }
+      const double d = std::max(centroid_distance(i, j), 1e-12);
+      r = std::max(r, (phases_[i].dispersion + phases_[j].dispersion) / d);
+    }
+    sum += r;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+std::size_t OnlinePhaseTracker::state_bytes() const {
+  const auto snap_bytes = [](const gmon::ProfileSnapshot& s) {
+    std::size_t b = s.functions().size() * sizeof(gmon::FunctionProfile);
+    for (const auto& fp : s.functions()) b += fp.name.capacity();
+    return b;
+  };
+  std::size_t b = sizeof(*this);
+  b += snap_bytes(previous_) + snap_bytes(delta_);
+  for (const auto& [name, col] : columns_) {
+    // Rough per-node cost of a std::map<string, size_t> entry.
+    b += name.capacity() + sizeof(std::size_t) + 48;
+  }
+  b += v_.capacity() * sizeof(double);
+  for (const auto& c : centroids_) b += c.capacity() * sizeof(double);
+  b += phases_.capacity() * sizeof(PhaseState);
+  b += history_.capacity() * sizeof(std::size_t);
+  b += ring_.capacity() * sizeof(std::size_t);
+  return b;
 }
 
 std::vector<std::string> OnlinePhaseTracker::function_names() const {

@@ -1,42 +1,27 @@
 #include "fleet/hash_ring.hpp"
 
+#include "util/hash.hpp"
+
 #include <algorithm>
 
 namespace incprof::fleet {
-
-namespace {
-
-/// splitmix64 finalizer: a full-avalanche bijection on u64, so vnode
-/// points spread uniformly however clustered the (shard, vnode) inputs.
-std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 HashRing::HashRing(std::size_t vnodes_per_shard)
     : vnodes_(vnodes_per_shard == 0 ? 1 : vnodes_per_shard) {}
 
 std::uint64_t HashRing::hash_key(std::string_view key) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
-  for (const char c : key) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;  // FNV prime
-  }
-  // Raw FNV-1a leaves near-identical short keys ("app-0", "app-1", ...)
-  // within a ~2^-24 arc of each other — one multiply per byte cannot
-  // reach the top bits — so a fleet of sequentially named clients would
-  // pile onto one shard. The splitmix64 finalizer is a full-avalanche
-  // bijection, restoring uniform placement without losing determinism.
-  return mix64(h);
+  // FNV-1a + splitmix64 finalizer (util/hash.hpp) — see there for why
+  // the finalizer matters for sequentially named clients. The golden
+  // placements in tests/fleet pin this construction.
+  return util::hash_string(key);
 }
 
 std::uint64_t HashRing::vnode_point(std::uint32_t shard_id,
                                     std::uint32_t vnode) noexcept {
-  return mix64((static_cast<std::uint64_t>(shard_id) << 32) | vnode);
+  // splitmix64 spreads vnode points uniformly however clustered the
+  // (shard, vnode) inputs are.
+  return util::splitmix64_mix(
+      (static_cast<std::uint64_t>(shard_id) << 32) | vnode);
 }
 
 void HashRing::add_shard(std::uint32_t shard_id) {

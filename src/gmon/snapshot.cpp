@@ -38,18 +38,37 @@ std::int64_t ProfileSnapshot::total_self_ns() const noexcept {
 
 ProfileSnapshot difference(const ProfileSnapshot& cur,
                            const ProfileSnapshot& prev) {
-  ProfileSnapshot out(cur.seq(), cur.timestamp_ns());
-  for (const auto& fp : cur.functions()) {
-    FunctionProfile d = fp;
-    if (const FunctionProfile* p = prev.find(fp.name)) {
-      d.self_ns = std::max<std::int64_t>(0, fp.self_ns - p->self_ns);
-      d.calls = std::max<std::int64_t>(0, fp.calls - p->calls);
-      d.inclusive_ns =
-          std::max<std::int64_t>(0, fp.inclusive_ns - p->inclusive_ns);
-    }
-    out.upsert(std::move(d));
-  }
+  ProfileSnapshot out;
+  difference_into(cur, prev, out);
   return out;
+}
+
+void difference_into(const ProfileSnapshot& cur, const ProfileSnapshot& prev,
+                     ProfileSnapshot& out) {
+  out.seq_ = cur.seq();
+  out.timestamp_ns_ = cur.timestamp_ns();
+  // Both function lists are sorted by name (class invariant), so one
+  // merge-walk finds every prev counterpart; the output inherits cur's
+  // order and stays sorted. resize + copy-assign reuse out's vector and
+  // string capacity from the previous call.
+  out.functions_.resize(cur.functions_.size());
+  auto pit = prev.functions_.begin();
+  const auto pend = prev.functions_.end();
+  for (std::size_t i = 0; i < cur.functions_.size(); ++i) {
+    const FunctionProfile& fp = cur.functions_[i];
+    FunctionProfile& d = out.functions_[i];
+    d.name = fp.name;
+    d.self_ns = fp.self_ns;
+    d.calls = fp.calls;
+    d.inclusive_ns = fp.inclusive_ns;
+    while (pit != pend && pit->name < fp.name) ++pit;
+    if (pit != pend && pit->name == fp.name) {
+      d.self_ns = std::max<std::int64_t>(0, fp.self_ns - pit->self_ns);
+      d.calls = std::max<std::int64_t>(0, fp.calls - pit->calls);
+      d.inclusive_ns =
+          std::max<std::int64_t>(0, fp.inclusive_ns - pit->inclusive_ns);
+    }
+  }
 }
 
 }  // namespace incprof::gmon

@@ -69,6 +69,10 @@ class ProfileSnapshot {
   bool operator==(const ProfileSnapshot&) const = default;
 
  private:
+  friend void difference_into(const ProfileSnapshot& cur,
+                              const ProfileSnapshot& prev,
+                              ProfileSnapshot& out);
+
   std::uint32_t seq_ = 0;
   std::int64_t timestamp_ns_ = 0;
   std::vector<FunctionProfile> functions_;  // sorted by name
@@ -82,5 +86,14 @@ class ProfileSnapshot {
 /// The result's seq/timestamp are taken from `cur`.
 ProfileSnapshot difference(const ProfileSnapshot& cur,
                            const ProfileSnapshot& prev);
+
+/// As difference(), but writes the result into `out`, reusing its
+/// function and string storage — the allocation-free steady path for
+/// per-interval consumers (the online tracker differences every dump
+/// it sees). Single merge-walk over both sorted function lists, so it
+/// is also O(|cur| + |prev|) instead of difference()'s per-name binary
+/// search. `out` must not alias `cur` or `prev`.
+void difference_into(const ProfileSnapshot& cur, const ProfileSnapshot& prev,
+                     ProfileSnapshot& out);
 
 }  // namespace incprof::gmon

@@ -702,7 +702,11 @@ void Server::process_frame(const std::shared_ptr<Handler>& handler,
       }
       // now_ns is read before `obs` shadows the namespace below.
       const std::uint64_t now = obs::now_ns();
-      const core::OnlineObservation obs = session.tracker().observe(snap);
+      // The decoded snapshot is dead after this frame: hand it to the
+      // tracker, which keeps it as its previous-dump state instead of
+      // deep-copying the whole cumulative profile every interval.
+      const core::OnlineObservation obs =
+          session.tracker().observe(std::move(snap));
       session.note_observation(obs);
       session.flight_recorder().record(FlightEventKind::kIntervalReceived,
                                        now, obs.interval, obs.phase);

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace incprof::service {
@@ -7,6 +8,13 @@ namespace incprof::service {
 Session::Session(std::uint32_t id, const SessionConfig& cfg)
     : id_(id),
       queue_capacity_(cfg.queue_capacity),
+      // Published history cap mirrors the tracker contract: unbounded in
+      // exact mode, assignment_window in streaming mode — otherwise the
+      // status copy would undo the tracker's bounded-memory guarantee.
+      history_cap_(cfg.tracker.streaming
+                       ? std::max<std::size_t>(cfg.tracker.assignment_window,
+                                               1)
+                       : 0),
       flight_(cfg.flight_recorder_capacity),
       tracker_(cfg.tracker) {}
 
@@ -54,6 +62,14 @@ bool Session::finish_round() {
 void Session::note_observation(const core::OnlineObservation& obs) {
   util::MutexLock lock(status_mu_);
   assignments_.push_back(obs.phase);
+  if (history_cap_ != 0 && assignments_.size() >= history_cap_ * 2) {
+    // Amortized trim: drop the stale front half in one move instead of
+    // shifting the vector every interval.
+    assignments_.erase(assignments_.begin(),
+                       assignments_.end() -
+                           static_cast<std::ptrdiff_t>(history_cap_));
+  }
+  ++intervals_observed_;
   phases_ = tracker_.num_phases();
   current_phase_ = obs.phase;
   if (obs.transition) ++transitions_;
@@ -131,7 +147,7 @@ std::uint64_t Session::heartbeat_records() const {
 
 std::size_t Session::intervals_observed() const {
   util::MutexLock lock(status_mu_);
-  return assignments_.size();
+  return intervals_observed_;
 }
 
 std::size_t Session::transitions() const {
@@ -141,6 +157,11 @@ std::size_t Session::transitions() const {
 
 std::vector<std::size_t> Session::assignments() const {
   util::MutexLock lock(status_mu_);
+  if (history_cap_ != 0 && assignments_.size() > history_cap_) {
+    return {assignments_.end() -
+                static_cast<std::ptrdiff_t>(history_cap_),
+            assignments_.end()};
+  }
   return assignments_;
 }
 
@@ -149,7 +170,7 @@ std::string Session::status_line() const {
   util::MutexLock status(status_mu_);
   os << "session " << id_ << " ("
      << (client_name_.empty() ? "?" : client_name_)
-     << "): " << assignments_.size() << " intervals, " << phases_
+     << "): " << intervals_observed_ << " intervals, " << phases_
      << " phases, current phase " << current_phase_ << ", " << transitions_
      << " transitions, " << heartbeat_records_ << " hb records";
   {

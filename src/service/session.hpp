@@ -109,7 +109,10 @@ class Session {
   std::size_t intervals_observed() const;
   std::size_t transitions() const;
 
-  /// Copy of the per-interval phase assignments published so far.
+  /// Copy of the per-interval phase assignments published so far. With
+  /// a streaming tracker this is bounded: only the last
+  /// assignment_window entries are retained (intervals_observed() keeps
+  /// the exact total).
   std::vector<std::size_t> assignments() const;
 
   /// The session's flight recorder (internally synchronized).
@@ -134,6 +137,7 @@ class Session {
  private:
   const std::uint32_t id_;
   const std::size_t queue_capacity_;
+  const std::size_t history_cap_;  // 0 = unbounded (exact tracker mode)
 
   // Queue state (reader + scheduler + worker). Lock order: queue_mu_
   // is a leaf, but status_mu_ may be held while acquiring it
@@ -163,6 +167,7 @@ class Session {
   std::string client_name_ INCPROF_GUARDED_BY(status_mu_);
   std::uint64_t interval_ns_ INCPROF_GUARDED_BY(status_mu_) = 0;
   std::vector<std::size_t> assignments_ INCPROF_GUARDED_BY(status_mu_);
+  std::size_t intervals_observed_ INCPROF_GUARDED_BY(status_mu_) = 0;
   std::size_t phases_ INCPROF_GUARDED_BY(status_mu_) = 0;
   std::size_t current_phase_ INCPROF_GUARDED_BY(status_mu_) = 0;
   std::size_t transitions_ INCPROF_GUARDED_BY(status_mu_) = 0;

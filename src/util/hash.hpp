@@ -1,0 +1,39 @@
+// Deterministic 64-bit hashing shared by every subsystem that needs
+// platform-stable placement: FNV-1a over the bytes, finished with the
+// splitmix64 finalizer. Raw FNV-1a leaves near-identical short keys
+// ("app-0", "app-1", ...) within a tiny arc of each other — one multiply
+// per byte cannot reach the top bits — so anything that buckets by the
+// high bits (the fleet hash ring, the online tracker's feature sketch)
+// would see sequential names pile into one bucket. The splitmix64
+// finalizer is a full-avalanche bijection, restoring uniformity without
+// losing determinism. No std::hash anywhere: results are bit-identical
+// across runs, platforms, and standard libraries, so tests can pin
+// golden placements.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace incprof::util {
+
+/// splitmix64 finalizer: a full-avalanche bijection on u64.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a-then-splitmix64 over a byte string. This is the fleet
+/// HashRing key hash (golden-pinned there); keep the construction
+/// stable.
+constexpr std::uint64_t hash_string(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return splitmix64_mix(h);
+}
+
+}  // namespace incprof::util

@@ -122,6 +122,66 @@ TEST(OnlineTracker, UniverseGrowsWithNewFunctions) {
   EXPECT_EQ(names.size(), 5u);
 }
 
+TEST(OnlineTracker, PhaseSizesMatchAssignmentRecount) {
+  // phase_sizes() comes from exact incremental counters; pin it against
+  // a brute-force recount of the retained history so the counters can
+  // never drift from the assignment stream.
+  OnlinePhaseTracker tracker;
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(12))) {
+    tracker.observe(snap);
+  }
+  const auto sizes = tracker.phase_sizes();
+  std::vector<std::size_t> recount(tracker.num_phase_slots(), 0);
+  for (const std::size_t a : tracker.assignments()) ++recount[a];
+  EXPECT_EQ(sizes, recount);
+  std::size_t total = 0;
+  for (const std::size_t s : sizes) total += s;
+  EXPECT_EQ(total, tracker.num_intervals());
+}
+
+TEST(OnlineTracker, EwmaDecayMatchesHandComputedReference) {
+  // One function, alpha = 0.25, interval values 1.0, 2.0, 3.0 seconds.
+  // The phase opens at c = 1.0, then c <- c + alpha * (v - c):
+  //   c1 = 1.0 + 0.25 * (2.0 - 1.0)    = 1.25
+  //   c2 = 1.25 + 0.25 * (3.0 - 1.25)  = 1.6875
+  OnlineConfig cfg;
+  cfg.new_phase_distance = 1e9;  // everything joins phase 0
+  cfg.ewma_alpha = 0.25;
+  OnlinePhaseTracker tracker(cfg);
+  const auto snaps = cumulative_from_intervals({
+      {{"f", {1.0, 1}}},
+      {{"f", {2.0, 1}}},
+      {{"f", {3.0, 1}}},
+  });
+  for (const auto& snap : snaps) tracker.observe(snap);
+  ASSERT_EQ(tracker.num_phases(), 1u);
+  const auto c = tracker.centroid(0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 1.6875, 1e-9);
+}
+
+TEST(OnlineTracker, ForceJoinAtCapDragsCentroidTowardMember) {
+  // With the cap reached, a far interval joins the nearest phase and
+  // must still pull its centroid: cap=1, alpha=0.5, values 1.0 then 5.0
+  // leave the single centroid at the midpoint 3.0.
+  OnlineConfig cfg;
+  cfg.max_phases = 1;
+  cfg.ewma_alpha = 0.5;
+  OnlinePhaseTracker tracker(cfg);
+  const auto snaps = cumulative_from_intervals({
+      {{"f", {1.0, 1}}},
+      {{"f", {5.0, 1}}},
+  });
+  tracker.observe(snaps[0]);
+  const auto obs = tracker.observe(snaps[1]);
+  EXPECT_FALSE(obs.new_phase);
+  EXPECT_NEAR(obs.distance, 4.0, 1e-9);
+  const auto c = tracker.centroid(0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c[0], 3.0, 1e-9);
+}
+
 TEST(OnlineTracker, EwmaCentroidsTrackDrift) {
   // A slowly drifting single behaviour must remain one phase when the
   // centroid follows it (EWMA), even though first and last intervals

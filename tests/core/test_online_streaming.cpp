@@ -1,0 +1,249 @@
+// Streaming-mode tracker tests: bounded state, sketch behavior,
+// online merges, the move-observe path, and the ring/counter contract.
+// Exact mode is covered by test_online.cpp; everything here runs with
+// OnlineConfig::streaming = true unless it is explicitly comparing the
+// two modes.
+#include "core/online.hpp"
+
+#include "cluster/quality.hpp"
+#include "synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace incprof::core {
+namespace {
+
+using core::testing::IntervalSpec;
+using core::testing::cumulative_from_intervals;
+using core::testing::three_phase_workload;
+
+OnlineConfig streaming_config(std::size_t sketch_width = 256) {
+  OnlineConfig cfg;
+  cfg.streaming = true;
+  cfg.sketch_width = sketch_width;
+  return cfg;
+}
+
+TEST(OnlineStreaming, StateStaysFlatOverLongSession) {
+  // Same fixed function universe forever: after warm-up, observe() must
+  // not grow any buffer — state_bytes() is *identical* at interval 1000
+  // and interval 3000. The exact tracker keeps the full history, so its
+  // state keeps growing on the same input.
+  // Sample at whole-cycle boundaries: previous_/delta_ mirror the last
+  // cumulative dump, whose function count varies *within* a cycle.
+  const auto cycle = cumulative_from_intervals(three_phase_workload(5));
+  const std::size_t n = cycle.size();  // 15 intervals per cycle
+  auto replay = [&](OnlinePhaseTracker& t, std::size_t cycles) {
+    for (std::size_t i = 0; i < cycles * n; ++i) {
+      t.observe(cycle[i % n]);
+    }
+  };
+
+  OnlinePhaseTracker streaming(streaming_config(64));
+  replay(streaming, 20);
+  const std::size_t warm = streaming.state_bytes();
+  replay(streaming, 100);
+  EXPECT_EQ(streaming.state_bytes(), warm);
+  EXPECT_EQ(streaming.num_intervals(), 120 * n);
+
+  OnlinePhaseTracker exact;
+  replay(exact, 20);
+  const std::size_t exact_warm = exact.state_bytes();
+  replay(exact, 100);
+  EXPECT_GT(exact.state_bytes(), exact_warm);
+}
+
+TEST(OnlineStreaming, SketchStateIsFixedWidthUnderFunctionChurn) {
+  // Every interval introduces a fresh function name. The exact tracker
+  // grows a column (and widens centroids) per name; the sketch keeps
+  // every centroid at sketch_width and learns no name table.
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 400; ++i) {
+    IntervalSpec spec{{"main_loop", {0.8, 10}}};
+    spec["tmp_" + std::to_string(i)] = {0.1, 1};
+    intervals.push_back(spec);
+  }
+  const auto snaps = cumulative_from_intervals(intervals);
+
+  OnlinePhaseTracker streaming(streaming_config(32));
+  OnlinePhaseTracker exact;
+  for (const auto& snap : snaps) {
+    streaming.observe(snap);
+    exact.observe(snap);
+  }
+  EXPECT_TRUE(streaming.function_names().empty());
+  for (std::size_t p = 0; p < streaming.num_phase_slots(); ++p) {
+    EXPECT_EQ(streaming.centroid(p).size(), 32u);
+  }
+  EXPECT_EQ(exact.function_names().size(), 401u);
+  // Both pay for the cumulative input snapshots; only the exact tracker
+  // pays for the name table, ragged centroids, and full history on top.
+  EXPECT_LT(streaming.state_bytes(), exact.state_bytes());
+}
+
+TEST(OnlineStreaming, RecoversThreePhaseWorkloadLikeExactMode) {
+  // With 5 distinct functions in 256 buckets, collisions are unlikely
+  // and the sketched distances match the exact ones closely — the two
+  // modes should produce (near-)identical assignment streams.
+  const auto snaps = cumulative_from_intervals(three_phase_workload(20));
+  auto cfg = streaming_config(256);
+  cfg.assignment_window = snaps.size();
+  OnlinePhaseTracker streaming(cfg);
+  OnlinePhaseTracker exact;
+  for (const auto& snap : snaps) {
+    streaming.observe(snap);
+    exact.observe(snap);
+  }
+  EXPECT_EQ(streaming.num_phases(), 3u);
+  EXPECT_GT(cluster::adjusted_rand_index(streaming.recent_assignments(),
+                                         exact.assignments()),
+            0.95);
+}
+
+TEST(OnlineStreaming, WidthOneCollapsesEveryFunctionIntoOneBucket) {
+  // Degenerate sketch: all names share the single bucket, so intervals
+  // with similar *total* self time are indistinguishable and the
+  // three-phase workload collapses into one phase. This is the
+  // worst-case collision behavior documented in DESIGN.md.
+  auto cfg = streaming_config(1);
+  OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap :
+       cumulative_from_intervals(three_phase_workload(10))) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 1u);
+  EXPECT_EQ(tracker.centroid(0).size(), 1u);
+}
+
+// Two behaviors that start far apart (1.0 vs 3.0 on one axis) and
+// drift toward each other until they coincide at 2.0 — the EWMA
+// centroids follow, their separation shrinks below the (still-finite)
+// tracking dispersions, and the Davies-Bouldin pair term crosses the
+// merge ratio.
+std::vector<IntervalSpec> drifting_together_workload() {
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i <= 20; ++i) {
+    const double step = 0.05 * static_cast<double>(i);
+    intervals.push_back({{"x", {1.0 + step, 1}}});
+    intervals.push_back({{"x", {3.0 - step, 1}}});
+  }
+  for (int i = 0; i < 8; ++i) {
+    intervals.push_back({{"x", {2.0, 1}}});
+  }
+  return intervals;
+}
+
+TEST(OnlineStreaming, MergesOverlappingPhasesAndRedirectsSlots) {
+  // The victim slot must redirect to the survivor, report size 0, and
+  // the live count must drop to 1 with no members lost.
+  auto cfg = streaming_config(8);
+  cfg.max_phases = 2;
+  cfg.new_phase_distance = 0.5;
+  cfg.ewma_alpha = 0.5;
+  cfg.merge_ratio = 0.6;
+  OnlinePhaseTracker tracker(cfg);
+  const auto snaps =
+      cumulative_from_intervals(drifting_together_workload());
+  for (const auto& snap : snaps) tracker.observe(snap);
+
+  EXPECT_EQ(tracker.num_phases(), 1u);
+  EXPECT_EQ(tracker.num_phase_slots(), 2u);
+  const std::size_t survivor = tracker.resolve_phase(0);
+  EXPECT_EQ(tracker.resolve_phase(1), survivor);
+  const auto sizes = tracker.phase_sizes();
+  EXPECT_EQ(sizes[1 - survivor], 0u);
+  EXPECT_EQ(sizes[survivor], tracker.num_intervals());
+}
+
+TEST(OnlineStreaming, MergeRatioZeroDisablesMerging) {
+  auto cfg = streaming_config(8);
+  cfg.max_phases = 2;
+  cfg.new_phase_distance = 0.5;
+  cfg.ewma_alpha = 0.5;
+  cfg.merge_ratio = 0.0;
+  OnlinePhaseTracker tracker(cfg);
+  for (const auto& snap :
+       cumulative_from_intervals(drifting_together_workload())) {
+    tracker.observe(snap);
+  }
+  EXPECT_EQ(tracker.num_phases(), 2u);
+  EXPECT_EQ(tracker.resolve_phase(0), 0u);
+  EXPECT_EQ(tracker.resolve_phase(1), 1u);
+}
+
+TEST(OnlineStreaming, MoveObserveMatchesCopyObserve) {
+  // observe(&&) is a pure ownership optimization: assignments, phase
+  // counts, and centroids must be bit-identical to the copying path.
+  const auto snaps = cumulative_from_intervals(three_phase_workload(10));
+  auto cfg = streaming_config(64);
+  cfg.assignment_window = snaps.size();
+  OnlinePhaseTracker copied(cfg);
+  OnlinePhaseTracker moved(cfg);
+  for (const auto& snap : snaps) {
+    copied.observe(snap);
+    gmon::ProfileSnapshot own = snap;  // deliberate copy to move from
+    moved.observe(std::move(own));
+  }
+  EXPECT_EQ(copied.recent_assignments(), moved.recent_assignments());
+  EXPECT_EQ(copied.num_phases(), moved.num_phases());
+  EXPECT_EQ(copied.transitions(), moved.transitions());
+  ASSERT_EQ(copied.num_phase_slots(), moved.num_phase_slots());
+  for (std::size_t p = 0; p < copied.num_phase_slots(); ++p) {
+    EXPECT_EQ(copied.centroid(p), moved.centroid(p));
+  }
+}
+
+TEST(OnlineStreaming, RingKeepsOnlyTheWindowTail) {
+  // window = 4 over 10 alternating intervals: the full history would be
+  // 0,1,0,1,... — recent_assignments() must return exactly the last 4,
+  // oldest first, while the exact counters keep counting past the ring.
+  auto cfg = streaming_config(4);
+  cfg.max_phases = 2;
+  cfg.assignment_window = 4;
+  OnlinePhaseTracker tracker(cfg);
+  std::vector<IntervalSpec> intervals;
+  for (int i = 0; i < 10; ++i) {
+    intervals.push_back({{"x", {i % 2 == 0 ? 1.0 : 2.0, 1}}});
+  }
+  for (const auto& snap : cumulative_from_intervals(intervals)) {
+    tracker.observe(snap);
+  }
+  EXPECT_TRUE(tracker.assignments().empty());  // streaming: no history
+  const std::vector<std::size_t> expected{0, 1, 0, 1};
+  EXPECT_EQ(tracker.recent_assignments(), expected);
+  EXPECT_EQ(tracker.num_intervals(), 10u);
+  EXPECT_EQ(tracker.transitions(), 9u);
+  const auto sizes = tracker.phase_sizes();
+  EXPECT_EQ(sizes[0], 5u);
+  EXPECT_EQ(sizes[1], 5u);
+}
+
+TEST(OnlineStreaming, TransitionCountingSurvivesMerges) {
+  // After a merge, intervals alternating between the two old behaviors
+  // are one phase — they must stop counting as transitions even though
+  // their slot ids in the ring differ pre-merge.
+  auto cfg = streaming_config(8);
+  cfg.max_phases = 2;
+  cfg.new_phase_distance = 0.5;
+  cfg.ewma_alpha = 0.5;
+  cfg.merge_ratio = 0.6;
+  OnlinePhaseTracker tracker(cfg);
+  std::size_t transitions_after_merge = 0;
+  bool merged = false;
+  for (const auto& snap :
+       cumulative_from_intervals(drifting_together_workload())) {
+    const auto obs = tracker.observe(snap);
+    if (merged && obs.transition) ++transitions_after_merge;
+    if (tracker.num_phase_slots() == 2 && tracker.num_phases() == 1) {
+      merged = true;
+    }
+  }
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(transitions_after_merge, 0u);
+}
+
+}  // namespace
+}  // namespace incprof::core

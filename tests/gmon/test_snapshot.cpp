@@ -118,5 +118,76 @@ TEST(Difference, IdenticalSnapshotsGiveAllZeroDeltas) {
   EXPECT_EQ(d.find("f")->calls, 0);
 }
 
+TEST(DifferenceInto, MatchesDifferenceOnInterleavedNames) {
+  // Names unique to cur, unique to prev, and shared — the merge-walk
+  // must line up counterparts exactly as the allocating overload does.
+  ProfileSnapshot prev(0, 1000);
+  prev.upsert(fp("bravo", 10, 1));
+  prev.upsert(fp("charlie", 20, 2));
+  prev.upsert(fp("delta", 30, 3));
+  ProfileSnapshot cur(1, 2000);
+  cur.upsert(fp("alpha", 5, 1));
+  cur.upsert(fp("charlie", 45, 6));
+  cur.upsert(fp("echo", 7, 2));
+
+  ProfileSnapshot out;
+  difference_into(cur, prev, out);
+  const ProfileSnapshot ref = difference(cur, prev);
+  EXPECT_EQ(out.seq(), ref.seq());
+  EXPECT_EQ(out.timestamp_ns(), ref.timestamp_ns());
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.functions()[i].name, ref.functions()[i].name);
+    EXPECT_EQ(out.functions()[i].self_ns, ref.functions()[i].self_ns);
+    EXPECT_EQ(out.functions()[i].calls, ref.functions()[i].calls);
+    EXPECT_EQ(out.functions()[i].inclusive_ns,
+              ref.functions()[i].inclusive_ns);
+  }
+  EXPECT_EQ(out.find("charlie")->self_ns, 25);
+  EXPECT_EQ(out.find("delta"), nullptr);
+}
+
+TEST(DifferenceInto, ReusesOutputStorageAcrossCalls) {
+  ProfileSnapshot prev(0, 0);
+  prev.upsert(fp("f", 10, 1));
+  prev.upsert(fp("g", 20, 2));
+  ProfileSnapshot cur(1, 10);
+  cur.upsert(fp("f", 30, 3));
+  cur.upsert(fp("g", 50, 5));
+
+  ProfileSnapshot out;
+  difference_into(cur, prev, out);
+  const FunctionProfile* const stable = out.functions().data();
+  ProfileSnapshot cur2(2, 20);
+  cur2.upsert(fp("f", 100, 7));
+  cur2.upsert(fp("g", 90, 9));
+  difference_into(cur2, cur, out);
+  // Same element count: the second call must not reallocate the vector.
+  EXPECT_EQ(out.functions().data(), stable);
+  EXPECT_EQ(out.seq(), 2u);
+  EXPECT_EQ(out.find("f")->self_ns, 70);
+  EXPECT_EQ(out.find("g")->self_ns, 40);
+}
+
+TEST(DifferenceInto, OverwritesStaleRowsWhenOutputShrinks) {
+  ProfileSnapshot prev(0, 0);
+  ProfileSnapshot big(1, 10);
+  big.upsert(fp("a", 1, 1));
+  big.upsert(fp("b", 2, 2));
+  big.upsert(fp("c", 3, 3));
+  ProfileSnapshot out;
+  difference_into(big, prev, out);
+  ASSERT_EQ(out.size(), 3u);
+
+  ProfileSnapshot small(2, 20);
+  small.upsert(fp("b", 5, 4));
+  difference_into(small, big, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.functions()[0].name, "b");
+  EXPECT_EQ(out.functions()[0].self_ns, 3);
+  EXPECT_EQ(out.find("a"), nullptr);
+  EXPECT_EQ(out.find("c"), nullptr);
+}
+
 }  // namespace
 }  // namespace incprof::gmon

@@ -118,6 +118,51 @@ TEST(Server, EightConcurrentSessionsMatchDirectTrackers) {
   }
 }
 
+TEST(Server, StreamingTrackerSessionsStayBoundedAndMatchDirect) {
+  // Same end-to-end story with the bounded streaming tracker: pushed
+  // phase events must match a directly-driven streaming tracker, and
+  // the session's published history must be capped at the assignment
+  // window while the counters keep the exact totals.
+  LoopbackHub hub;
+  auto listener = hub.make_listener();
+  ServerConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.session.tracker.streaming = true;
+  cfg.session.tracker.sketch_width = 128;
+  cfg.session.tracker.assignment_window = 8;
+  Server server(*listener, cfg);
+  server.start();
+
+  const auto stream = synthetic_stream(0);
+  ASSERT_GT(stream.size(), 2 * cfg.session.tracker.assignment_window);
+  ReplayOptions opts;
+  opts.client_name = "streaming-client";
+  opts.subscribe_events = true;
+  auto conn = hub.connect();
+  ASSERT_NE(conn, nullptr);
+  const ReplayResult r = replay_session(*conn, stream, opts);
+  server.stop();
+  ASSERT_TRUE(r.ok) << r.error;
+
+  core::OnlinePhaseTracker direct(cfg.session.tracker);
+  std::vector<std::size_t> expected;
+  for (const auto& snap : stream) {
+    expected.push_back(direct.observe(snap).phase);
+  }
+
+  // Client-side events carry the full per-interval story.
+  ASSERT_EQ(r.events.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(r.events[k].interval, k);
+    EXPECT_EQ(r.events[k].phase, expected[k]);
+  }
+
+  // Server-side publication is the bounded tail of that story.
+  EXPECT_EQ(server.session_assignments(r.session_id),
+            direct.recent_assignments());
+  EXPECT_EQ(server.fleet().total_intervals(), stream.size());
+}
+
 TEST(Server, OverflowDropsAreCountedAndConserved) {
   LoopbackHub hub(/*queue_capacity=*/2048);
   auto listener = hub.make_listener();

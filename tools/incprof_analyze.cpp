@@ -21,7 +21,12 @@
 //   --lift <file>      lift sites using a binary call-graph snapshot
 //   --csv <file>       also write the per-interval feature matrix as CSV
 //   --online           additionally replay the dumps through the
-//                      streaming tracker and print the transition model
+//                      online tracker and print the transition model
+//   --streaming        use the bounded streaming tracker for the
+//                      --online replay (hash-sketched features, EWMA
+//                      centroids, online merges); implies --online
+//   --sketch-width <n> feature sketch width with --streaming
+//                      (default 256)
 
 #include "core/fastphase.hpp"
 #include "core/lift.hpp"
@@ -35,6 +40,7 @@
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +54,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> [--text] [--merge] [--silhouette] [--online] "
+               "[--streaming] [--sketch-width n] "
                "[--standardize] [--threshold f] [--kmax n] [--threads n] "
                "[--lift callgraph.bin] [--csv intervals.csv] "
                "[--quiet] [--verbose]\n",
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
   const std::string dump_dir = argv[1];
 
   core::PipelineConfig cfg;
+  core::OnlineConfig online_cfg;
   std::string lift_path;
   std::string csv_path;
   bool online = false;
@@ -129,6 +137,19 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(arg, "--online") == 0) {
       online = true;
+    } else if (std::strcmp(arg, "--streaming") == 0) {
+      online = true;
+      online_cfg.streaming = true;
+    } else if (std::strcmp(arg, "--sketch-width") == 0 && i + 1 < argc) {
+      std::int64_t width = 0;
+      if (!util::parse_int(argv[++i], 1, 1 << 20, width)) {
+        std::fprintf(stderr,
+                     "--sketch-width: invalid value '%s' (expected "
+                     "integer in [1, %d])\n",
+                     argv[i], 1 << 20);
+        return 2;
+      }
+      online_cfg.sketch_width = static_cast<std::size_t>(width);
     } else if (std::strcmp(arg, "--quiet") == 0) {
       util::set_log_level(util::LogLevel::kError);
     } else if (std::strcmp(arg, "--verbose") == 0) {
@@ -181,15 +202,27 @@ int main(int argc, char** argv) {
     }
 
     if (online) {
-      core::OnlinePhaseTracker tracker;
-      for (const auto& snap : gmon::load_binary_dumps(dump_dir)) {
-        tracker.observe(snap);
-      }
+      auto dumps = gmon::load_binary_dumps(dump_dir);
+      // The offline tool replays bounded sessions: size the streaming
+      // window to cover the whole replay so the transition model sees
+      // every interval.
+      online_cfg.assignment_window =
+          std::max<std::size_t>(online_cfg.assignment_window, dumps.size());
+      core::OnlinePhaseTracker tracker(online_cfg);
+      for (auto& snap : dumps) tracker.observe(std::move(snap));
+      // Model over phase *slots*: streaming merges keep historical slot
+      // ids in the assignment stream.
       const auto model = core::PhaseTransitionModel::from_assignments(
-          tracker.assignments(), tracker.num_phases());
-      std::printf("streaming replay: %zu phases, %zu transitions\n",
+          tracker.recent_assignments(), tracker.num_phase_slots());
+      std::printf("streaming replay (%s): %zu phases, %zu transitions",
+                  online_cfg.streaming ? "sketched" : "exact",
                   tracker.num_phases(), model.num_transitions());
-      std::printf("%s\n", model.render().c_str());
+      if (online_cfg.streaming) {
+        std::printf(", sketch width %zu, DB %.3f, ~%zu KiB state",
+                    online_cfg.sketch_width, tracker.davies_bouldin(),
+                    tracker.state_bytes() / 1024);
+      }
+      std::printf("\n%s\n", model.render().c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -28,6 +28,15 @@
 //                        (default 0 = standalone); session ids come from
 //                        the shard's disjoint range so the gateway can
 //                        route resumes by id alone
+//   --streaming          bounded per-session trackers: hash-sketched
+//                        fixed-width feature vectors, EWMA centroids
+//                        with online phase merging, and a bounded
+//                        assignment ring — O(1) work and memory per
+//                        interval regardless of session length (the
+//                        fleet-scale mode; default off = exact
+//                        growing-column reference trackers)
+//   --sketch-width <n>   feature sketch width with --streaming
+//                        (default 256)
 //   --port-file <path>   after binding, write the bound ports ("port
 //                        <n>", "obs_port <n>" lines) — how scripts find
 //                        ephemeral (--port 0) listeners
@@ -93,6 +102,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port n] [--obs-port n] [--shard-id n] "
                "[--port-file path] [--threads n] [--workers n] "
+               "[--streaming] [--sketch-width n] "
                "[--queue-capacity n] [--error-budget n] "
                "[--resume-grace-ms n] [--idle-timeout-ms n] "
                "[--read-timeout-ms n] [--postmortem-dir path] "
@@ -378,6 +388,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       cfg.worker_threads = static_cast<std::size_t>(
           flag_int("--workers", need("--workers"), 1, 1024));
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      cfg.session.tracker.streaming = true;
+    } else if (std::strcmp(argv[i], "--sketch-width") == 0) {
+      cfg.session.tracker.sketch_width = static_cast<std::size_t>(
+          flag_int("--sketch-width", need("--sketch-width"), 1, 1 << 20));
     } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
       cfg.session.queue_capacity = static_cast<std::size_t>(flag_int(
           "--queue-capacity", need("--queue-capacity"), 1, 1 << 24));
@@ -446,9 +461,10 @@ int main(int argc, char** argv) {
     server.start();
     const auto obs_endpoint = start_obs_endpoint(obs_port, server);
     std::printf("incprofd: listening on port %u (%zu workers, queue %zu, "
-                "shard %u)\n",
+                "shard %u, %s trackers)\n",
                 listener.port(), server.worker_count(),
-                cfg.session.queue_capacity, cfg.shard_id);
+                cfg.session.queue_capacity, cfg.shard_id,
+                cfg.session.tracker.streaming ? "streaming" : "exact");
     std::fflush(stdout);
     if (!port_file.empty()) {
       std::ofstream pf(port_file, std::ios::trunc);
