@@ -1,0 +1,328 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analysis/lexer.hpp"
+#include "analysis/lock_order.hpp"
+#include "analysis/rules.hpp"
+#include "analysis/scope.hpp"
+
+namespace incprof::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Fixture trees that are deliberately dirty; scanned only when passed
+/// as the root themselves.
+bool is_excluded(const std::string& rel) {
+  return starts_with(rel, "tests/lint_seed/") ||
+         starts_with(rel, "tests/analysis/corpus/");
+}
+
+/// Intersects a profile with the --rules selection (empty = all).
+void restrict_to(RuleSet& rules, bool& collect_registry,
+                 const std::set<std::string>& enabled) {
+  if (enabled.empty()) return;
+  rules.bare_mutex &= enabled.count(kRuleBareMutex) != 0;
+  rules.detach &= enabled.count(kRuleDetach) != 0;
+  rules.metric_name &= enabled.count(kRuleMetricName) != 0;
+  rules.naked_new &= enabled.count(kRuleNakedNew) != 0;
+  rules.lock_order &= enabled.count(kRuleLockOrder) != 0;
+  rules.lock_across_io &= enabled.count(kRuleLockAcrossIo) != 0;
+  rules.determinism &= enabled.count(kRuleDeterminism) != 0;
+  collect_registry &= enabled.count(kRuleMetricRegistry) != 0;
+}
+
+bool any_lock_rule(const RuleSet& r) {
+  return r.lock_order || r.lock_across_io;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FileProfile profile_for_path(const std::string& rel) {
+  FileProfile p;
+  if (starts_with(rel, "src/")) {
+    p.rules.bare_mutex = true;
+    p.rules.detach = true;
+    p.rules.metric_name = true;
+    p.rules.naked_new = true;
+    p.rules.lock_order = true;
+    p.rules.lock_across_io = true;
+    p.rules.determinism = starts_with(rel, "src/cluster/") ||
+                          starts_with(rel, "src/core/");
+    p.collect_registry = true;
+  } else if (starts_with(rel, "tools/")) {
+    p.rules.bare_mutex = true;
+    p.rules.detach = true;
+    p.rules.metric_name = true;
+    p.rules.naked_new = true;
+    p.rules.lock_order = true;
+    p.rules.lock_across_io = true;
+    p.collect_registry = true;
+  } else if (starts_with(rel, "tests/")) {
+    p.rules.bare_mutex = true;
+    p.rules.detach = true;
+    p.rules.metric_name = true;
+    p.rules.lock_order = true;
+    p.rules.lock_across_io = true;
+  }
+  return p;
+}
+
+AnalyzeResult analyze_tree(const std::string& root,
+                           const AnalyzeOptions& options) {
+  AnalyzeResult result;
+  const fs::path root_path(root);
+
+  LockOrder order;
+  bool have_order = false;
+  const fs::path manifest_path =
+      root_path / "src" / "analysis" / "lock_order.txt";
+  if (fs::exists(manifest_path)) {
+    std::string text;
+    if (!read_file(manifest_path, &text)) {
+      result.errors.push_back("cannot read " + manifest_path.string());
+    } else {
+      std::string error;
+      order = LockOrder::parse(text, &error);
+      if (!error.empty()) {
+        result.errors.push_back(error);
+      } else {
+        have_order = true;
+      }
+    }
+  }
+
+  MetricRegistryCheck registry;
+  bool registry_used = false;
+
+  std::vector<fs::path> files;
+  for (const char* subdir : {"src", "tools", "tests"}) {
+    const fs::path dir = root_path / subdir;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    const std::string rel =
+        fs::relative(path, root_path).generic_string();
+    if (is_excluded(rel)) continue;
+    std::string text;
+    if (!read_file(path, &text)) {
+      result.errors.push_back("cannot read " + path.string());
+      continue;
+    }
+    ++result.files_scanned;
+    const FileViews views = make_views(text);
+
+    FileProfile profile = profile_for_path(rel);
+    restrict_to(profile.rules, profile.collect_registry, options.rules);
+    if (!have_order) profile.rules.lock_order = false;
+
+    LockAnalysis locks;
+    if (any_lock_rule(profile.rules)) {
+      locks = analyze_locks(views);
+    }
+
+    FileCheckInput input;
+    input.display_path = rel;
+    input.views = &views;
+    input.locks = any_lock_rule(profile.rules) ? &locks : nullptr;
+    input.order = have_order ? &order : nullptr;
+    input.rules = profile.rules;
+    input.is_annotations_header =
+        rel == "src/util/thread_annotations.hpp";
+    check_file(input, result.findings);
+
+    if (profile.collect_registry) {
+      registry.scan_source(rel, views);
+      registry_used = true;
+    }
+  }
+
+  if (registry_used) {
+    for (const char* doc : {"README.md", "DESIGN.md"}) {
+      const fs::path doc_path = root_path / doc;
+      std::string text;
+      if (fs::exists(doc_path) && read_file(doc_path, &text)) {
+        registry.scan_docs(doc, text);
+      }
+    }
+    registry.finish(result.findings);
+  }
+
+  std::sort(result.findings.begin(), result.findings.end());
+  return result;
+}
+
+std::string baseline_key(const Finding& finding) {
+  return finding.file + "\t" + finding.rule + "\t" + finding.detail;
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::string& baseline_text) {
+  std::multiset<std::string> accepted;
+  std::istringstream is(baseline_text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    accepted.insert(line);
+  }
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    auto it = accepted.find(baseline_key(f));
+    if (it != accepted.end()) {
+      accepted.erase(it);  // each entry absolves one finding
+    } else {
+      kept.push_back(f);
+    }
+  }
+  return kept;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "# incprof_lint baseline: one accepted finding per line,\n"
+     << "# file<TAB>rule<TAB>detail. Regenerate with --write-baseline.\n";
+  for (const Finding& f : findings) {
+    os << baseline_key(f) << "\n";
+  }
+  return os.str();
+}
+
+std::string format_text(const AnalyzeResult& result) {
+  std::ostringstream os;
+  for (const std::string& error : result.errors) {
+    os << "error: " << error << "\n";
+  }
+  for (const Finding& f : result.findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.detail
+       << "\n";
+  }
+  os << result.findings.size() << " finding(s) in "
+     << result.files_scanned << " file(s)\n";
+  return os.str();
+}
+
+std::string format_json(const AnalyzeResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"rule\": \""
+       << json_escape(f.rule) << "\", \"detail\": \""
+       << json_escape(f.detail) << "\"}";
+  }
+  os << (result.findings.empty() ? "" : "\n  ") << "],\n"
+     << "  \"errors\": [";
+  for (std::size_t i = 0; i < result.errors.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(result.errors[i])
+       << "\"";
+  }
+  os << "],\n  \"files_scanned\": " << result.files_scanned << "\n}\n";
+  return os.str();
+}
+
+std::string format_sarif(const AnalyzeResult& result) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"incprof_lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/incprof\",\n"
+     << "          \"rules\": [";
+  const auto& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i ? "," : "") << "\n            {\"id\": \""
+       << json_escape(rules[i]) << "\"}";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    os << (i ? "," : "") << "\n        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(f.detail)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"},\n"
+       << "                \"region\": {\"startLine\": "
+       << (f.line == 0 ? 1 : f.line) << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+  }
+  os << (result.findings.empty() ? "" : "\n      ") << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace incprof::analysis

@@ -1,0 +1,63 @@
+// Whole-tree analysis: walks a repo root, applies the per-directory
+// rule profiles, accumulates the cross-file metric registry, and
+// renders findings as text, JSON, or SARIF 2.1.0.
+//
+// Directory profiles (relative to the scanned root):
+//   src/    all rules; determinism only under src/cluster/ + src/core/
+//   tools/  all rules except determinism
+//   tests/  bare-mutex, detach, metric-name, lock-order, lock-across-io
+//           (tests may allocate freely and keep scratch registries)
+// The metric registry is collected from src/ and tools/ only; doc
+// citations come from README.md and DESIGN.md at the root.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/rules.hpp"
+
+namespace incprof::analysis {
+
+struct AnalyzeOptions {
+  /// Rule ids to run; empty means all eight.
+  std::set<std::string> rules;
+};
+
+/// The per-file rule profile for a repo-relative path (the table at
+/// the top of this header). Paths outside src/, tools/ and tests/ get
+/// an empty profile.
+struct FileProfile {
+  RuleSet rules;
+  bool collect_registry = false;
+};
+FileProfile profile_for_path(const std::string& rel_path);
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::vector<std::string> errors;  ///< I/O or manifest problems
+  std::size_t files_scanned = 0;
+};
+
+/// Scans `root`/{src,tools,tests} plus README.md / DESIGN.md. The
+/// seeded-violation fixtures (tests/lint_seed, tests/analysis/corpus)
+/// are excluded so they can stay deliberately dirty; pass one of them
+/// AS the root to lint it.
+AnalyzeResult analyze_tree(const std::string& root,
+                           const AnalyzeOptions& options = {});
+
+/// Baselines are one finding per line, `file<TAB>rule<TAB>detail` (no
+/// line number, so unrelated edits don't invalidate them). Applying a
+/// baseline removes one matching finding per entry (multiset
+/// semantics).
+std::string baseline_key(const Finding& finding);
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::string& baseline_text);
+std::string render_baseline(const std::vector<Finding>& findings);
+
+std::string format_text(const AnalyzeResult& result);
+std::string format_json(const AnalyzeResult& result);
+std::string format_sarif(const AnalyzeResult& result);
+
+}  // namespace incprof::analysis

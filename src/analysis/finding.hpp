@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace incprof::analysis {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+inline bool operator==(const Finding& a, const Finding& b) {
+  return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+         a.detail == b.detail;
+}
+
+inline bool operator<(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.detail < b.detail;
+}
+
+}  // namespace incprof::analysis

@@ -1,0 +1,166 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace incprof::analysis {
+
+namespace {
+
+/// True when a `'` at the end of `line_code` would continue a numeric
+/// literal rather than open a char literal. The preceding token is the
+/// maximal [0-9a-zA-Z_.] run (pp-number characters); if it starts with
+/// a digit the quote is a C++14 digit separator (1'000'000, 0xff'ff).
+/// A run starting with a letter (L, u8, x) means a char literal or an
+/// identifier, never a number.
+bool is_digit_separator(const std::string& line_code) {
+  std::size_t begin = line_code.size();
+  while (begin > 0) {
+    const unsigned char c =
+        static_cast<unsigned char>(line_code[begin - 1]);
+    if (std::isalnum(c) || c == '_' || c == '.') {
+      --begin;
+    } else {
+      break;
+    }
+  }
+  if (begin == line_code.size()) return false;  // no preceding token
+  return std::isdigit(static_cast<unsigned char>(line_code[begin])) != 0;
+}
+
+}  // namespace
+
+FileViews make_views(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString,
+                     kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the )delim" terminator
+  std::string line_raw, line_code, line_nc;
+  FileViews views;
+
+  auto flush_line = [&] {
+    views.raw.push_back(line_raw);
+    views.code.push_back(line_code);
+    views.no_comments.push_back(line_nc);
+    line_raw.clear();
+    line_code.clear();
+    line_nc.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    line_raw.push_back(c);
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line_code += ' ';
+          line_nc += ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line_raw.push_back(next);
+          line_code += "  ";
+          line_nc += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The R must directly precede the quote and not
+          // be part of an identifier (LR"..." etc. treated the same).
+          std::size_t j = line_code.size();
+          if (j >= 1 && line_code[j - 1] == 'R' &&
+              (j < 2 || (!std::isalnum(static_cast<unsigned char>(
+                             line_code[j - 2])) &&
+                         line_code[j - 2] != '_'))) {
+            state = State::kRawString;
+            raw_delim = ")";
+            for (std::size_t k = i + 1;
+                 k < text.size() && text[k] != '(' && text[k] != '\n';
+                 ++k) {
+              raw_delim.push_back(text[k]);
+            }
+            raw_delim.push_back('"');
+          } else {
+            state = State::kString;
+          }
+          line_code.push_back('"');
+          line_nc.push_back('"');
+        } else if (c == '\'') {
+          if (is_digit_separator(line_code)) {
+            // Part of a numeric literal (1'000'000): stay in code so
+            // the rest of the line is not mistaken for a char literal.
+            line_code.push_back('\'');
+            line_nc.push_back('\'');
+          } else {
+            state = State::kChar;
+            line_code.push_back('\'');
+            line_nc.push_back('\'');
+          }
+        } else {
+          line_code.push_back(c);
+          line_nc.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        line_code += ' ';
+        line_nc += ' ';
+        break;
+      case State::kBlockComment:
+        line_code += ' ';
+        line_nc += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line_raw.push_back(next);
+          line_code += ' ';
+          line_nc += ' ';
+          ++i;
+        }
+        break;
+      case State::kString:
+        line_nc.push_back(c);
+        if (c == '\\' && next != '\0') {
+          line_raw.push_back(next);
+          line_nc.push_back(next);
+          line_code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          line_code.push_back('"');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        line_nc.push_back(c);
+        if (c == '\\' && next != '\0') {
+          line_raw.push_back(next);
+          line_nc.push_back(next);
+          line_code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line_code.push_back('\'');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        line_nc.push_back(c);
+        line_code.push_back(c == '"' ? '"' : ' ');
+        if (c == raw_delim.back() && line_raw.size() >= raw_delim.size() &&
+            line_raw.compare(line_raw.size() - raw_delim.size(),
+                             raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  flush_line();
+  return views;
+}
+
+}  // namespace incprof::analysis

@@ -1,0 +1,38 @@
+// The comment/string-blanking lexer behind incprof_lint, extracted so
+// the scope tracker and the rules can share one tokenization and so it
+// can be unit-tested on its own (tests/analysis/test_lexer.cpp).
+//
+// The lexer is deliberately not a C++ parser: it is a one-pass state
+// machine good enough to decide, for every byte of a translation unit,
+// whether it is code, comment, or literal. Everything downstream
+// (scope recovery, every lint rule) works on the views it produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace incprof::analysis {
+
+/// Per-line views of one translation unit. All three vectors have the
+/// same length and each entry the same column layout as the input, so
+/// a (line, column) position means the same place in every view:
+///   raw          the untouched source line
+///   code         comments and string/char literal *contents* blanked
+///                (delimiters kept), so identifier/keyword scans never
+///                match inside text
+///   no_comments  comments blanked but literals preserved, for rules
+///                that must read string contents (metric names)
+struct FileViews {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> no_comments;
+};
+
+/// One-pass lexer: good enough C++ tokenization to blank comments,
+/// string literals ("...", with escapes), char literals and raw
+/// strings (R"delim(...)delim"), all of which may span lines. Digit
+/// separators (1'000'000) are recognized as part of the number, not as
+/// char-literal starts.
+FileViews make_views(const std::string& text);
+
+}  // namespace incprof::analysis

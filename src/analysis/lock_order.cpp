@@ -1,0 +1,93 @@
+#include "analysis/lock_order.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace incprof::analysis {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+LockOrder LockOrder::parse(const std::string& text, std::string* error) {
+  LockOrder order;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error) {
+      *error = "lock_order.txt:" + std::to_string(line_no) + ": " + why;
+    }
+    return LockOrder{};
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "leaf") {
+      if (tokens.size() != 2) return fail("expected: leaf <mutex>");
+      order.known_.insert(tokens[1]);
+    } else if (tokens[0] == "order") {
+      // order A > B [> C ...] — a chain of direct edges.
+      if (tokens.size() < 4 || tokens.size() % 2 != 0) {
+        return fail("expected: order <mutex> > <mutex> [> <mutex> ...]");
+      }
+      for (std::size_t i = 2; i < tokens.size(); i += 2) {
+        if (tokens[i] != ">") return fail("expected '>' separator");
+        const std::string& outer = tokens[i - 1];
+        const std::string& inner = tokens[i + 1];
+        if (outer == inner) return fail("self-edge " + outer);
+        order.known_.insert(outer);
+        order.known_.insert(inner);
+        order.may_acquire_[outer].insert(inner);
+      }
+    } else {
+      return fail("unknown declaration '" + tokens[0] + "'");
+    }
+  }
+  // Transitive closure (the inventory is tiny; fixpoint is fine).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [outer, inners] : order.may_acquire_) {
+      std::set<std::string> grown = inners;
+      for (const std::string& mid : inners) {
+        auto it = order.may_acquire_.find(mid);
+        if (it == order.may_acquire_.end()) continue;
+        grown.insert(it->second.begin(), it->second.end());
+      }
+      if (grown.size() != inners.size()) {
+        inners = std::move(grown);
+        changed = true;
+      }
+    }
+  }
+  // A cycle would make the "hierarchy" vacuous; reject it.
+  for (const auto& [outer, inners] : order.may_acquire_) {
+    if (inners.count(outer)) {
+      line_no = 0;
+      return fail("cycle through " + outer);
+    }
+  }
+  if (error) error->clear();
+  return order;
+}
+
+bool LockOrder::allows(const std::string& outer,
+                       const std::string& inner) const {
+  auto it = may_acquire_.find(outer);
+  return it != may_acquire_.end() && it->second.count(inner) != 0;
+}
+
+}  // namespace incprof::analysis

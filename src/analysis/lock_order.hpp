@@ -1,0 +1,43 @@
+// Machine-readable mirror of the DESIGN §5.3 lock hierarchy
+// (src/analysis/lock_order.txt). The lock-order rule checks every
+// lexically nested acquisition against this partial order, and every
+// acquisition against the manifest's mutex inventory, so the document
+// and the code cannot drift apart silently.
+//
+// Grammar (one declaration per line; `#` starts a comment):
+//   order A > B [> C ...]   A may be held while acquiring B (and B
+//                           while acquiring C); closed transitively.
+//   leaf X                  nothing may be acquired while X is held.
+// Every mutex named in either form is "known"; acquiring a mutex that
+// is absent from the manifest is a finding.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace incprof::analysis {
+
+class LockOrder {
+ public:
+  /// Parses manifest text. On grammar errors returns an empty order
+  /// and sets `error` (first offending line).
+  static LockOrder parse(const std::string& text, std::string* error);
+
+  bool empty() const { return known_.empty(); }
+  bool knows(const std::string& mutex) const {
+    return known_.count(mutex) != 0;
+  }
+
+  /// True when `outer` may be held while acquiring `inner`
+  /// (transitive closure of the declared edges).
+  bool allows(const std::string& outer, const std::string& inner) const;
+
+  const std::set<std::string>& known() const { return known_; }
+
+ private:
+  std::map<std::string, std::set<std::string>> may_acquire_;
+  std::set<std::string> known_;
+};
+
+}  // namespace incprof::analysis

@@ -1,0 +1,351 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <regex>
+
+namespace incprof::analysis {
+
+namespace {
+
+const std::regex kBareMutexRe(
+    R"(std\s*::\s*(recursive_mutex|recursive_timed_mutex|timed_mutex|shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)\b)");
+const std::regex kDetachRe(R"((\.|->)\s*detach\s*\(\s*\))");
+const std::regex kMetricCallRe(
+    R"(\b(counter|gauge|histogram)\s*\(\s*"((?:[^"\\]|\\.)*)\")");
+const std::regex kSpanRe(R"(\bScopedSpan\s+\w+\s*\(\s*"([^"]*)\")");
+// Prometheus-compatible: lowercase, digits allowed after the first
+// character (tests register names like shared_0).
+const std::regex kMetricNameRe(R"([a-z_][a-z0-9_]*(\{.*\})?)");
+const std::regex kSpanNameRe(R"([a-z_][a-z0-9_.]*)");
+const std::regex kNakedNewRe(R"(\bnew\b)");
+const std::regex kMallocRe(R"(\b(malloc|calloc|realloc|free)\s*\()");
+// The §6 determinism contract: the clustering kernels must not read
+// wall clocks, process entropy, or the environment.
+const std::regex kDeterminismRe(
+    R"(\b(random_device|system_clock|getenv)\b|\b(rand|srand|time)\s*\()");
+// Calls that can block on the outside world (or another thread).
+// `join()` matches only the zero-argument thread join.
+const std::regex kBlockingCallRe(
+    R"(\b(send|recv|sendto|recvfrom|read|write|poll|select|accept|connect|sleep_for|flush)\s*\(|\bjoin\s*\(\s*\))");
+// Fleet-synthesized exposition names (string literals in src/fleet).
+const std::regex kFleetLiteralRe(R"re("(fleet_[a-z][a-z0-9_]*)")re");
+// Inline markdown code span.
+const std::regex kDocSpanRe(R"(`([^`]+)`)");
+// A doc token that claims to be a metric: name with optional labels.
+const std::regex kDocMetricRe(R"(^([a-z][a-z0-9_]*)(\{[^}]*\})?$)");
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Is this inline-code doc token plausibly a metric citation (rather
+/// than a function, flag, or file name)? Tight on purpose: a label
+/// block, a unit suffix, or a reserved exposition prefix. Tokens with
+/// a trailing underscore are prefix mentions (`fleet_`), not names.
+bool doc_token_is_metric(const std::string& name, bool has_labels) {
+  if (name.empty() || name.back() == '_') return false;
+  if (has_labels) return true;
+  static constexpr std::string_view kSuffixes[] = {
+      "_total", "_seconds", "_ns", "_ms", "_bytes"};
+  for (const auto s : kSuffixes) {
+    if (ends_with(name, s)) return true;
+  }
+  return starts_with(name, "fleet_") || starts_with(name, "obs_");
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> rules = {
+      kRuleBareMutex,  kRuleDetach,        kRuleMetricName,
+      kRuleNakedNew,   kRuleLockOrder,     kRuleLockAcrossIo,
+      kRuleDeterminism, kRuleMetricRegistry};
+  return rules;
+}
+
+bool suppressed(const std::string& raw_line, std::string_view rule) {
+  const std::string marker =
+      "incprof-lint: allow(" + std::string(rule) + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+void check_file(const FileCheckInput& input,
+                std::vector<Finding>& findings) {
+  const FileViews& views = *input.views;
+  for (std::size_t n = 0; n < views.code.size(); ++n) {
+    const std::string& raw = views.raw[n];
+    const std::string& code = views.code[n];
+    const std::string& nc = views.no_comments[n];
+    const std::size_t line_no = n + 1;
+    std::smatch m;
+
+    if (input.rules.bare_mutex && !input.is_annotations_header &&
+        std::regex_search(code, m, kBareMutexRe) &&
+        !suppressed(raw, kRuleBareMutex)) {
+      findings.push_back(
+          {input.display_path, line_no, kRuleBareMutex,
+           "use util::Mutex / util::MutexLock / util::CondVar from "
+           "util/thread_annotations.hpp instead of std::" +
+               m[1].str()});
+    }
+
+    if (input.rules.detach && std::regex_search(code, m, kDetachRe) &&
+        !suppressed(raw, kRuleDetach)) {
+      findings.push_back({input.display_path, line_no, kRuleDetach,
+                          "detached threads escape join accounting; "
+                          "track and join the thread instead"});
+    }
+
+    // Metric names live in string literals, so match against the
+    // comment-stripped (literal-preserving) view.
+    if (input.rules.metric_name) {
+      for (auto it = std::sregex_iterator(nc.begin(), nc.end(),
+                                          kMetricCallRe);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[2].str();
+        if (!std::regex_match(name, kMetricNameRe) &&
+            !suppressed(raw, kRuleMetricName)) {
+          findings.push_back(
+              {input.display_path, line_no, kRuleMetricName,
+               "metric name \"" + name +
+                   "\" does not match [a-z_][a-z0-9_]*(\\{.*\\})?"});
+        }
+      }
+    }
+
+    if (input.rules.naked_new &&
+        (std::regex_search(code, m, kNakedNewRe) ||
+         std::regex_search(code, m, kMallocRe)) &&
+        !suppressed(raw, kRuleNakedNew)) {
+      findings.push_back({input.display_path, line_no, kRuleNakedNew,
+                          "allocate through make_unique/make_shared "
+                          "or a container"});
+    }
+
+    if (input.rules.determinism &&
+        std::regex_search(code, m, kDeterminismRe) &&
+        !suppressed(raw, kRuleDeterminism)) {
+      const std::string what =
+          m[1].matched ? m[1].str() : m[2].str() + "(";
+      findings.push_back(
+          {input.display_path, line_no, kRuleDeterminism,
+           "`" + what +
+               "` in a deterministic kernel — the §6 contract forbids "
+               "wall clocks, process entropy, and the environment; "
+               "thread seeded util::Rng / virtual time through instead"});
+    }
+
+    if (input.rules.lock_across_io && input.locks != nullptr) {
+      for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                          kBlockingCallRe);
+           it != std::sregex_iterator(); ++it) {
+        const auto col = static_cast<std::size_t>(it->position());
+        const auto held = input.locks->held_keys_at(line_no, col);
+        if (held.empty() || suppressed(raw, kRuleLockAcrossIo)) {
+          continue;
+        }
+        std::string held_list;
+        for (const auto& k : held) {
+          if (!held_list.empty()) held_list += ", ";
+          held_list += k;
+        }
+        std::string call = it->str();
+        call.erase(std::remove_if(call.begin(), call.end(),
+                                  [](char c) {
+                                    return c == ' ' || c == '(' ||
+                                           c == ')';
+                                  }),
+                   call.end());
+        findings.push_back(
+            {input.display_path, line_no, kRuleLockAcrossIo,
+             "blocking call `" + call + "()` while holding " +
+                 held_list +
+                 " — release the lock before I/O (copy state out "
+                 "under the lock, act on it outside)"});
+      }
+    }
+  }
+
+  if (input.rules.lock_order && input.locks != nullptr) {
+    const LockOrder* order = input.order;
+    auto raw_of = [&](std::size_t line) -> const std::string& {
+      static const std::string empty;
+      return line >= 1 && line <= views.raw.size() ? views.raw[line - 1]
+                                                   : empty;
+    };
+    for (const LockAcquisition& acq : input.locks->acquisitions) {
+      const bool known = order != nullptr && order->knows(acq.key);
+      if (!known && !suppressed(raw_of(acq.line), kRuleLockOrder)) {
+        findings.push_back(
+            {input.display_path, acq.line, kRuleLockOrder,
+             "mutex " + acq.key + " (in " +
+                 (acq.function.empty() ? std::string("?")
+                                       : acq.function) +
+                 ") is not declared in src/analysis/lock_order.txt — "
+                 "add it to the manifest (and DESIGN §5.3)"});
+      }
+    }
+    if (order != nullptr) {
+      for (const LockNesting& nest : input.locks->nestings) {
+        if (!order->knows(nest.outer_key) ||
+            !order->knows(nest.inner_key)) {
+          continue;  // already reported as unknown above
+        }
+        if (order->allows(nest.outer_key, nest.inner_key)) continue;
+        if (suppressed(raw_of(nest.line), kRuleLockOrder)) continue;
+        const std::string why =
+            nest.inner_key == nest.outer_key
+                ? "re-acquiring " + nest.outer_key + " while held"
+                : "acquiring " + nest.inner_key + " while holding " +
+                      nest.outer_key +
+                      " violates the declared partial order";
+        findings.push_back({input.display_path, nest.line,
+                            kRuleLockOrder,
+                            why + " (in " + nest.function +
+                                "; see src/analysis/lock_order.txt)"});
+      }
+    }
+  }
+}
+
+void MetricRegistryCheck::scan_source(const std::string& display_path,
+                                      const FileViews& views) {
+  const bool in_fleet = display_path.rfind("src/fleet/", 0) == 0;
+  for (std::size_t n = 0; n < views.no_comments.size(); ++n) {
+    const std::string& nc = views.no_comments[n];
+    const std::string& raw = views.raw[n];
+    const std::size_t line_no = n + 1;
+    for (auto it = std::sregex_iterator(nc.begin(), nc.end(),
+                                        kMetricCallRe);
+         it != std::sregex_iterator(); ++it) {
+      std::string name = (*it)[2].str();
+      const std::size_t brace = name.find('{');
+      if (brace != std::string::npos) name = name.substr(0, brace);
+      if (name.empty()) continue;
+      auto& kinds = names_[name];
+      kinds.emplace((*it)[1].str(), Site{display_path, line_no, raw});
+    }
+    for (auto it =
+             std::sregex_iterator(nc.begin(), nc.end(), kSpanRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (name.empty()) continue;
+      names_[name].emplace("span", Site{display_path, line_no, raw});
+    }
+    if (in_fleet) {
+      for (auto it = std::sregex_iterator(nc.begin(), nc.end(),
+                                          kFleetLiteralRe);
+           it != std::sregex_iterator(); ++it) {
+        synthesized_.insert((*it)[1].str());
+      }
+    }
+  }
+}
+
+void MetricRegistryCheck::scan_docs(const std::string& display_path,
+                                    const std::string& text) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    ++line_no;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kDocSpanRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::string token = (*it)[1].str();
+      std::smatch m;
+      if (!std::regex_match(token, m, kDocMetricRe)) continue;
+      const std::string name = m[1].str();
+      if (!doc_token_is_metric(name, m[2].matched)) continue;
+      cites_.push_back({display_path, line_no, name, line});
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+}
+
+void MetricRegistryCheck::finish(std::vector<Finding>& findings) const {
+  for (const auto& [name, kinds] : names_) {
+    // The fleet_ namespace is reserved for the merged exposition the
+    // gateway synthesizes; a shard-level registration would collide
+    // with the prefixed merge of some other metric.
+    if (starts_with(name, "fleet_")) {
+      for (const auto& [kind, site] : kinds) {
+        if (kind == "span") continue;
+        if (suppressed(site.raw, kRuleMetricRegistry)) continue;
+        findings.push_back(
+            {site.file, site.line, kRuleMetricRegistry,
+             "metric \"" + name + "\" registered as a " + kind +
+                 " — the fleet_ prefix is reserved for the gateway's "
+                 "merged exposition (src/fleet)"});
+      }
+    }
+    if (kinds.size() < 2) continue;
+    // One name, several kinds: report every site after the first so
+    // the finding points at the drift, not the original.
+    const auto& first = *kinds.begin();
+    for (auto it = std::next(kinds.begin()); it != kinds.end(); ++it) {
+      const Site& site = it->second;
+      if (suppressed(site.raw, kRuleMetricRegistry)) continue;
+      findings.push_back(
+          {site.file, site.line, kRuleMetricRegistry,
+           "\"" + name + "\" registered as a " + it->first +
+               " but already a " + first.first + " (" + first.second.file +
+               ":" + std::to_string(first.second.line) +
+               ") — metric/span names must keep one type"});
+    }
+  }
+
+  for (const Cite& cite : cites_) {
+    bool known = names_.count(cite.name) != 0 ||
+                 synthesized_.count(cite.name) != 0;
+    if (!known && starts_with(cite.name, "fleet_")) {
+      // The merged exposition prefixes every shard series with fleet_
+      // (and derives _count/_sum/_max families from histograms).
+      std::string base = cite.name.substr(6);
+      known = names_.count(base) != 0;
+      for (const std::string_view suffix :
+           {"_count", "_sum", "_max", "_bucket"}) {
+        if (known) break;
+        if (ends_with(base, suffix)) {
+          const std::string stem =
+              base.substr(0, base.size() - suffix.size());
+          auto it = names_.find(stem);
+          known = it != names_.end() && it->second.count("histogram");
+        }
+      }
+    }
+    if (!known && !starts_with(cite.name, "fleet_")) {
+      // Daemon-side derived histogram families (exposition suffixes).
+      for (const std::string_view suffix :
+           {"_count", "_sum", "_max", "_bucket"}) {
+        if (ends_with(cite.name, suffix)) {
+          const std::string stem =
+              cite.name.substr(0, cite.name.size() - suffix.size());
+          auto it = names_.find(stem);
+          if (it != names_.end() && it->second.count("histogram")) {
+            known = true;
+            break;
+          }
+        }
+      }
+    }
+    if (known || suppressed(cite.raw, kRuleMetricRegistry)) continue;
+    findings.push_back(
+        {cite.file, cite.line, kRuleMetricRegistry,
+         "doc cites metric `" + cite.name +
+             "` but no such metric/span is registered in src/ or "
+             "tools/ — fix the doc or register the metric"});
+  }
+  std::sort(findings.begin(), findings.end());
+}
+
+}  // namespace incprof::analysis

@@ -1,0 +1,105 @@
+// The incprof_lint rule set, as a library. Per-file rules (the four
+// legacy regex rules plus the scope-aware lock-order / lock-across-io
+// and the determinism rule) run over one translation unit's views;
+// the metric-registry rule is cross-file and accumulates state across
+// the whole tree before reporting.
+//
+// Every rule honors the in-place escape
+//   // incprof-lint: allow(<rule>)
+// on the offending line (docs use <!-- incprof-lint: allow(...) -->).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/lexer.hpp"
+#include "analysis/lock_order.hpp"
+#include "analysis/scope.hpp"
+
+namespace incprof::analysis {
+
+/// Rule identifiers, as they appear in findings, allow() escapes and
+/// --rules filters.
+inline constexpr const char* kRuleBareMutex = "bare-mutex";
+inline constexpr const char* kRuleDetach = "detach";
+inline constexpr const char* kRuleMetricName = "metric-name";
+inline constexpr const char* kRuleNakedNew = "naked-new";
+inline constexpr const char* kRuleLockOrder = "lock-order";
+inline constexpr const char* kRuleLockAcrossIo = "lock-across-io";
+inline constexpr const char* kRuleDeterminism = "determinism";
+inline constexpr const char* kRuleMetricRegistry = "metric-registry";
+
+/// All eight rule ids, in reporting order.
+const std::vector<std::string>& all_rules();
+
+/// Which per-file rules to run on one file (a per-directory profile
+/// row; see analyzer.cpp for the directory -> profile mapping).
+struct RuleSet {
+  bool bare_mutex = false;
+  bool detach = false;
+  bool metric_name = false;
+  bool naked_new = false;
+  bool lock_order = false;
+  bool lock_across_io = false;
+  bool determinism = false;
+};
+
+/// True when `raw_line` carries the escape comment for `rule`.
+bool suppressed(const std::string& raw_line, std::string_view rule);
+
+struct FileCheckInput {
+  std::string display_path;
+  const FileViews* views = nullptr;
+  const LockAnalysis* locks = nullptr;   ///< required for lock rules
+  const LockOrder* order = nullptr;      ///< null = no manifest loaded
+  RuleSet rules;
+  /// src/util/thread_annotations.hpp hosts the blessed primitives.
+  bool is_annotations_header = false;
+};
+
+/// Runs the enabled per-file rules, appending to `findings`.
+void check_file(const FileCheckInput& input,
+                std::vector<Finding>& findings);
+
+/// Cross-file metric/span name registry: uniqueness across kinds, the
+/// fleet_ prefix reservation, and doc drift (every metric cited in
+/// README.md / DESIGN.md must exist in code).
+class MetricRegistryCheck {
+ public:
+  /// Collects counter()/gauge()/histogram() registrations and
+  /// ScopedSpan names from one source file.
+  void scan_source(const std::string& display_path,
+                   const FileViews& views);
+
+  /// Collects metric citations (inline `code` spans) from one
+  /// markdown document.
+  void scan_docs(const std::string& display_path,
+                 const std::string& text);
+
+  /// Emits the cross-file findings.
+  void finish(std::vector<Finding>& findings) const;
+
+ private:
+  struct Site {
+    std::string file;
+    std::size_t line = 0;
+    std::string raw;  // for allow() suppression
+  };
+  /// name -> kind ("counter"/"gauge"/"histogram"/"span") -> first site.
+  std::map<std::string, std::map<std::string, Site>> names_;
+  /// fleet_* literals synthesized by the merged exposition (src/fleet).
+  std::set<std::string> synthesized_;
+  struct Cite {
+    std::string file;
+    std::size_t line = 0;
+    std::string name;
+    std::string raw;
+  };
+  std::vector<Cite> cites_;
+};
+
+}  // namespace incprof::analysis

@@ -1,0 +1,307 @@
+#include "analysis/scope.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace incprof::analysis {
+
+namespace {
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind;
+  std::string name;  // class or function name; empty for blocks
+  int depth;         // brace depth of this scope's body
+};
+
+struct ActiveLock {
+  std::string key;
+  std::string var;
+  std::string function;
+  int decl_depth;
+  bool active;
+  std::size_t seg_line;
+  std::size_t seg_col;
+};
+
+const std::regex kLockDeclRe(
+    R"(\b(?:util\s*::\s*)?MutexLock(?:Maybe)?\s+(\w+)\s*\(\s*([^)]*?)\s*\))");
+const std::regex kToggleRe(R"(\b(\w+)\s*\.\s*(unlock|lock)\s*\(\s*\))");
+const std::regex kTemplatePrefixRe(R"(^template\s*<[^<>]*>\s*)");
+const std::regex kAccessPrefixRe(
+    R"(^(?:public|private|protected)\s*:\s*)");
+const std::regex kClassHeadRe(
+    R"(^(?:typedef\s+)?(?:class|struct|union|enum)\b)");
+const std::regex kTrailingIdRe(R"(([A-Za-z_~][A-Za-z0-9_:~]*)\s*$)");
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Last identifier of `text` (possibly ::-qualified); empty if none.
+std::string trailing_identifier(const std::string& text) {
+  std::smatch m;
+  if (std::regex_search(text, m, kTrailingIdRe)) return m[1].str();
+  return "";
+}
+
+/// Class name from a class/struct header: the last identifier before
+/// any base-clause colon (a `:` that is not part of `::`).
+std::string class_name_of(const std::string& header) {
+  std::string head = header;
+  for (std::size_t i = 0; i + 1 <= head.size(); ++i) {
+    if (head[i] != ':') continue;
+    const bool part_of_scope =
+        (i + 1 < head.size() && head[i + 1] == ':') ||
+        (i > 0 && head[i - 1] == ':');
+    if (!part_of_scope) {
+      head = head.substr(0, i);
+      break;
+    }
+  }
+  return trailing_identifier(trim(head));
+}
+
+/// Function name from a function header: the identifier immediately
+/// before the parameter list's `(`.
+std::string function_name_of(const std::string& header) {
+  const std::size_t paren = header.find('(');
+  if (paren == std::string::npos) return "";
+  return trailing_identifier(header.substr(0, paren));
+}
+
+struct Event {
+  enum Kind { kDecl, kToggle } kind;
+  std::size_t col;
+  std::size_t end_col;
+  // kDecl: var + mutex expression; kToggle: var + "lock"/"unlock".
+  std::string a;
+  std::string b;
+};
+
+}  // namespace
+
+bool LockAnalysis::held_at(std::size_t line, std::size_t col) const {
+  return !held_keys_at(line, col).empty();
+}
+
+std::vector<std::string> LockAnalysis::held_keys_at(
+    std::size_t line, std::size_t col) const {
+  std::vector<std::string> keys;
+  for (const LockSpan& s : spans) {
+    const bool after_begin =
+        line > s.begin_line || (line == s.begin_line && col > s.begin_col);
+    const bool before_end =
+        line < s.end_line || (line == s.end_line && col < s.end_col);
+    if (after_begin && before_end) keys.push_back(s.key);
+  }
+  return keys;
+}
+
+LockAnalysis analyze_locks(const FileViews& views) {
+  LockAnalysis out;
+  std::vector<Scope> scopes;
+  std::vector<ActiveLock> locks;
+  std::string header;  // code since the last ; { } — the next brace's
+                       // declaration header, accumulated across lines
+  int depth = 0;
+  bool in_preproc = false;
+
+  auto innermost_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass) return it->name;
+    }
+    return "";
+  };
+  auto innermost_function = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == ScopeKind::kFunction) return it->name;
+    }
+    return "";
+  };
+
+  auto qualify = [&](const std::string& expr) -> std::string {
+    // Only simple identifiers get class-qualified; anything with an
+    // explicit object path is reported as written.
+    std::string e = expr;
+    if (e.rfind("this->", 0) == 0) e = e.substr(6);
+    const bool simple =
+        !e.empty() && std::all_of(e.begin(), e.end(), [](char c) {
+          return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+        });
+    if (!simple) return e;
+    std::string cls = innermost_class();
+    if (cls.empty()) {
+      // Out-of-line member function: qualify with the class part of
+      // the function's own name (Server::stop -> Server).
+      const std::string fn = innermost_function();
+      const std::size_t sep = fn.rfind("::");
+      if (sep != std::string::npos) cls = fn.substr(0, sep);
+    }
+    return cls.empty() ? e : cls + "::" + e;
+  };
+
+  auto close_segment = [&](ActiveLock& lk, std::size_t line_no,
+                           std::size_t col) {
+    if (!lk.active) return;
+    lk.active = false;
+    out.spans.push_back({lk.key, lk.var, lk.function, lk.seg_line,
+                         lk.seg_col, line_no, col});
+  };
+
+  for (std::size_t n = 0; n < views.code.size(); ++n) {
+    const std::string& code = views.code[n];
+    const std::string& raw = views.raw[n];
+    const std::size_t line_no = n + 1;
+
+    const std::string t = trim(code);
+    if (in_preproc || (!t.empty() && t[0] == '#')) {
+      in_preproc = !raw.empty() && raw.back() == '\\';
+      continue;
+    }
+
+    // Collect in-line events (lock declarations and toggles), then
+    // walk the line character by character, applying each event at its
+    // column so brace scoping and lock lifetimes interleave correctly.
+    std::vector<Event> events;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        kLockDeclRe);
+         it != std::sregex_iterator(); ++it) {
+      events.push_back({Event::kDecl,
+                        static_cast<std::size_t>(it->position()),
+                        static_cast<std::size_t>(it->position()) +
+                            it->length(),
+                        (*it)[1].str(), (*it)[2].str()});
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        kToggleRe);
+         it != std::sregex_iterator(); ++it) {
+      events.push_back({Event::kToggle,
+                        static_cast<std::size_t>(it->position()),
+                        static_cast<std::size_t>(it->position()) +
+                            it->length(),
+                        (*it)[1].str(), (*it)[2].str()});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& x, const Event& y) { return x.col < y.col; });
+    std::size_t next_event = 0;
+
+    for (std::size_t col = 0; col <= code.size(); ++col) {
+      while (next_event < events.size() &&
+             events[next_event].col == col) {
+        const Event& ev = events[next_event++];
+        if (ev.kind == Event::kDecl) {
+          const std::string key = qualify(ev.b);
+          const std::string fn = innermost_function();
+          out.acquisitions.push_back({key, line_no, fn});
+          for (const ActiveLock& held : locks) {
+            if (held.active) {
+              out.nestings.push_back({held.key, key, line_no, fn});
+            }
+          }
+          locks.push_back({key, ev.a, fn, depth, true, line_no, ev.col});
+        } else if (ev.b == "unlock") {
+          for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+            if (it->var == ev.a && it->active) {
+              close_segment(*it, line_no, ev.end_col);
+              break;
+            }
+          }
+        } else {  // re-lock of a previously unlock()ed MutexLock
+          for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+            if (it->var == ev.a && !it->active) {
+              it->active = true;
+              it->seg_line = line_no;
+              it->seg_col = ev.col;
+              out.acquisitions.push_back(
+                  {it->key, line_no, it->function});
+              for (const ActiveLock& held : locks) {
+                if (held.active && &held != &*it) {
+                  out.nestings.push_back(
+                      {held.key, it->key, line_no, it->function});
+                }
+              }
+              break;
+            }
+          }
+        }
+      }
+      if (col == code.size()) break;
+      const char c = code[col];
+      if (c == '{') {
+        const std::string head = trim(header);
+        header.clear();
+        ++depth;
+        std::string stripped =
+            std::regex_replace(head, kTemplatePrefixRe, "");
+        // An access label glued to the header ("private: struct
+        // Handler") must not hide the class head.
+        std::smatch access;
+        while (std::regex_search(stripped, access, kAccessPrefixRe)) {
+          stripped = stripped.substr(access[0].length());
+        }
+        ScopeKind kind = ScopeKind::kBlock;
+        std::string name;
+        if (stripped.rfind("namespace", 0) == 0) {
+          kind = ScopeKind::kNamespace;
+        } else if (std::regex_search(stripped, kClassHeadRe) &&
+                   stripped.find('=') == std::string::npos) {
+          kind = ScopeKind::kClass;
+          name = class_name_of(stripped);
+        } else if (stripped.find('(') != std::string::npos &&
+                   stripped.find('=') == std::string::npos) {
+          // A parenthesized header at namespace/class scope is a
+          // function definition; inside a function it is control flow.
+          const bool in_code = !scopes.empty() &&
+                               (scopes.back().kind == ScopeKind::kFunction ||
+                                scopes.back().kind == ScopeKind::kBlock);
+          if (!in_code) {
+            kind = ScopeKind::kFunction;
+            name = function_name_of(stripped);
+            const std::string cls = innermost_class();
+            if (!cls.empty() && name.find("::") == std::string::npos) {
+              name = cls + "::" + name;
+            }
+          }
+        }
+        scopes.push_back({kind, name, depth});
+      } else if (c == '}') {
+        header.clear();
+        // Locks declared directly in the closing scope die here.
+        for (auto it = locks.begin(); it != locks.end();) {
+          if (it->decl_depth == depth) {
+            close_segment(*it, line_no, col);
+            it = locks.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (!scopes.empty() && scopes.back().depth == depth) {
+          scopes.pop_back();
+        }
+        if (depth > 0) --depth;
+      } else if (c == ';') {
+        header.clear();
+      } else {
+        header.push_back(c);
+      }
+    }
+    header.push_back(' ');  // line break separates header tokens
+  }
+
+  // Malformed input (unbalanced braces): close dangling segments at
+  // EOF so spans are always well-formed.
+  const std::size_t last = views.code.size();
+  for (ActiveLock& lk : locks) {
+    close_segment(lk, last == 0 ? 1 : last,
+                  last == 0 ? 0 : views.code[last - 1].size());
+  }
+  return out;
+}
+
+}  // namespace incprof::analysis

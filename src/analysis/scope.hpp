@@ -1,0 +1,70 @@
+// Brace/scope recovery over the blanked code view: which function each
+// line belongs to, and where every util::MutexLock / MutexLockMaybe
+// region begins, ends, and toggles (mid-scope unlock()/lock()).
+//
+// This is lexical analysis, not symbol resolution: a lock taken behind
+// a function call is invisible, and a lambda body is attributed to its
+// enclosing function. That is exactly the subset DESIGN §5.3 commits
+// to keeping analyzable — straight-line RAII locking with the mutex
+// named at the acquisition site — and the lock-order / lock-across-io
+// rules are defined over it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+
+namespace incprof::analysis {
+
+/// One contiguous stretch of held lock. A MutexLock that is
+/// mid-scope unlock()ed and later re-lock()ed produces one span per
+/// held stretch (the reaper pattern in server.cpp).
+struct LockSpan {
+  /// Hierarchy key: `Class::member` when the acquisition site sits in
+  /// a member function (in-class or out-of-line), the bare expression
+  /// otherwise (file-scope mutexes like g_sink_mu).
+  std::string key;
+  std::string var;       ///< the MutexLock variable name
+  std::string function;  ///< enclosing function, as written (qualified)
+  std::size_t begin_line = 0;  ///< 1-based, inclusive
+  std::size_t begin_col = 0;   ///< 0-based column of the acquisition
+  std::size_t end_line = 0;    ///< 1-based, inclusive
+  std::size_t end_col = 0;     ///< column one past the release point
+};
+
+/// A lock acquired while other locks are held: one record per
+/// (held, acquired) pair, in hierarchy keys.
+struct LockNesting {
+  std::string outer_key;
+  std::string inner_key;
+  std::size_t line = 0;  ///< line of the inner acquisition
+  std::string function;
+};
+
+/// Every acquisition site (for manifest-membership checks).
+struct LockAcquisition {
+  std::string key;
+  std::size_t line = 0;
+  std::string function;
+};
+
+struct LockAnalysis {
+  std::vector<LockSpan> spans;
+  std::vector<LockNesting> nestings;
+  std::vector<LockAcquisition> acquisitions;
+
+  /// True when any lock span covers (line, col). `line` is 1-based,
+  /// `col` a 0-based column in that line.
+  bool held_at(std::size_t line, std::size_t col) const;
+
+  /// Keys of the spans covering (line, col).
+  std::vector<std::string> held_keys_at(std::size_t line,
+                                        std::size_t col) const;
+};
+
+/// Runs the brace/scope tracker over the blanked code view.
+LockAnalysis analyze_locks(const FileViews& views);
+
+}  // namespace incprof::analysis

@@ -141,29 +141,37 @@ void HttpEndpoint::stop() {
 }
 
 bool HttpEndpoint::spawn_client(int client) {
-  util::MutexLock lock(clients_mu_);
-  if (stopped_.load(std::memory_order_relaxed)) return false;
-  // Join and discard workers that already finished, so the list stays
-  // bounded by in-flight requests rather than requests ever served.
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      (*it)->thread.join();
-      it = clients_.erase(it);
-    } else {
-      ++it;
+  // Discard workers that already finished, so the list stays bounded
+  // by in-flight requests rather than requests ever served. They are
+  // unhooked under the lock but joined outside it: clients_mu_ is a
+  // leaf and a join (however brief) must not run under it.
+  std::vector<std::unique_ptr<ClientWorker>> finished;
+  {
+    util::MutexLock lock(clients_mu_);
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    for (auto it = clients_.begin(); it != clients_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    auto worker = std::make_unique<ClientWorker>(client);
+    ClientWorker* w = worker.get();
+    // The worker object outlives the thread: it leaves clients_ only
+    // via a join (here or in stop()), and `done` is flipped last.
+    w->thread = std::thread([this, w] {
+      handle_client(w->fd);
+      ::shutdown(w->fd, SHUT_RDWR);
+      ::close(w->fd);
+      w->done.store(true, std::memory_order_release);
+    });
+    clients_.push_back(std::move(worker));
   }
-  auto worker = std::make_unique<ClientWorker>(client);
-  ClientWorker* w = worker.get();
-  // The worker object outlives the thread: it leaves clients_ only via
-  // a join() (here or in stop()), and `done` is flipped last.
-  w->thread = std::thread([this, w] {
-    handle_client(w->fd);
-    ::shutdown(w->fd, SHUT_RDWR);
-    ::close(w->fd);
-    w->done.store(true, std::memory_order_release);
-  });
-  clients_.push_back(std::move(worker));
+  for (auto& w : finished) {
+    if (w->thread.joinable()) w->thread.join();
+  }
   return true;
 }
 

@@ -64,9 +64,13 @@ class TcpConnection : public Connection {
     util::MutexLock lock(send_mu_);
     std::size_t sent = 0;
     while (sent < frame_bytes.size()) {
-      const ssize_t n =
-          ::send(fd_, frame_bytes.data() + sent, frame_bytes.size() - sent,
-                 MSG_NOSIGNAL);
+      // Holding send_mu_ across ::send is the point of this mutex: it
+      // serializes whole frames onto the socket so concurrent writers
+      // cannot interleave partial frames. send_mu_ is a leaf, so the
+      // blocked writer can never hold up another lock.
+      const ssize_t n = ::send(  // incprof-lint: allow(lock-across-io)
+          fd_, frame_bytes.data() + sent, frame_bytes.size() - sent,
+          MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         return false;

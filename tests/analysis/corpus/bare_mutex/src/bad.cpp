@@ -1,0 +1,11 @@
+#include <mutex>
+
+namespace corpus {
+
+std::mutex g_mu;
+
+void touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}
+
+}  // namespace corpus

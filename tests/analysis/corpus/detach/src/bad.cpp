@@ -1,0 +1,10 @@
+#include <thread>
+
+namespace corpus {
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace corpus

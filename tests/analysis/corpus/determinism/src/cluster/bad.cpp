@@ -1,0 +1,10 @@
+#include <random>
+
+namespace corpus {
+
+unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace corpus

@@ -1,0 +1,15 @@
+#include "util/thread_annotations.hpp"
+
+namespace corpus {
+
+void Pipeline::step() {
+  util::MutexLock inner(mu_);
+  util::MutexLock outer(call_mu_);
+}
+
+void Registry::flush() {
+  util::MutexLock lock(mu_);
+  util::MutexLock rogue(scratch_mu_);
+}
+
+}  // namespace corpus

@@ -1,0 +1,8 @@
+namespace corpus {
+
+void register_metrics(Registry& r) {
+  r.counter("Frames-Received").add();
+  r.gauge("openSessions").set(1);
+}
+
+}  // namespace corpus

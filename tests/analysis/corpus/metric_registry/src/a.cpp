@@ -1,0 +1,9 @@
+namespace corpus {
+
+void register_all(Registry& r) {
+  r.counter("frames_seen_total").add();
+  r.gauge("frames_seen_total").set(1);
+  r.counter("fleet_rogue_total").add();
+}
+
+}  // namespace corpus

@@ -1,0 +1,11 @@
+namespace corpus {
+
+int* leak() {
+  return new int(42);
+}
+
+void* raw_buffer() {
+  return malloc(64);
+}
+
+}  // namespace corpus

@@ -1,0 +1,88 @@
+// The lexer's three aligned views, and the C++14 digit-separator
+// regression: v1 treated the ' in 10'000 as the start of a char
+// literal and blanked everything until the next apostrophe — which
+// could be pages later.
+#include "analysis/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using incprof::analysis::FileViews;
+using incprof::analysis::make_views;
+
+TEST(Lexer, BlanksLineComments) {
+  const FileViews v = make_views("int x;  // std::mutex here\n");
+  ASSERT_EQ(v.code.size(), 2u);  // trailing newline yields empty line
+  EXPECT_EQ(v.raw[0], "int x;  // std::mutex here");
+  EXPECT_EQ(v.code[0].find("std::mutex"), std::string::npos);
+  EXPECT_EQ(v.no_comments[0].find("std::mutex"), std::string::npos);
+  EXPECT_NE(v.code[0].find("int x;"), std::string::npos);
+}
+
+TEST(Lexer, BlanksBlockCommentsAcrossLines) {
+  const FileViews v =
+      make_views("a(); /* std::mutex\nstd::mutex */ b();\n");
+  EXPECT_EQ(v.code[0].find("std::mutex"), std::string::npos);
+  EXPECT_EQ(v.code[1].find("std::mutex"), std::string::npos);
+  EXPECT_NE(v.code[1].find("b();"), std::string::npos);
+}
+
+TEST(Lexer, StringContentsBlankedInCodeKeptInNoComments) {
+  const FileViews v = make_views("f(\"std::mutex\");\n");
+  EXPECT_EQ(v.code[0].find("std::mutex"), std::string::npos);
+  EXPECT_NE(v.no_comments[0].find("std::mutex"), std::string::npos);
+}
+
+TEST(Lexer, RawStringsBlankedInCodeView) {
+  const FileViews v =
+      make_views("auto re = R\"(std::mutex \" quote)\"; g();\n");
+  EXPECT_EQ(v.code[0].find("std::mutex"), std::string::npos);
+  EXPECT_NE(v.code[0].find("g();"), std::string::npos);
+  EXPECT_NE(v.no_comments[0].find("std::mutex"), std::string::npos);
+}
+
+TEST(Lexer, CharLiteralContentsBlanked) {
+  const FileViews v = make_views("if (c == '{') depth++;\n");
+  EXPECT_EQ(v.code[0].find('{'), std::string::npos);
+  EXPECT_NE(v.code[0].find("depth++"), std::string::npos);
+}
+
+TEST(Lexer, DigitSeparatorIsNotACharLiteral) {
+  const FileViews v =
+      make_views("long long budget = 10'000;\nstd::mutex m_;\n");
+  // The separator must not open a char literal that swallows line 2.
+  EXPECT_NE(v.code[1].find("std::mutex"), std::string::npos);
+}
+
+TEST(Lexer, GroupedAndHexSeparators) {
+  const FileViews v = make_views(
+      "int a = 1'000'000;\nint b = 0xff'ff;\nint c = tail();\n");
+  EXPECT_NE(v.code[2].find("tail()"), std::string::npos);
+}
+
+TEST(Lexer, PrefixedCharLiteralIsStillACharLiteral) {
+  // U'"' is a char literal, not a digit separator: its quote must not
+  // open a string state.
+  const FileViews v = make_views("auto q = U'\"';\nint after = 1;\n");
+  EXPECT_EQ(v.code[0].find('"'), std::string::npos);
+  EXPECT_NE(v.code[1].find("after"), std::string::npos);
+}
+
+TEST(Lexer, ViewsStayAligned) {
+  const std::string text =
+      "int a; // comment\n"
+      "f(\"literal \\\" esc\"); /* block\n"
+      "still block */ g('x');\n"
+      "long long n = 10'000;\n";
+  const FileViews v = make_views(text);
+  ASSERT_EQ(v.raw.size(), v.code.size());
+  ASSERT_EQ(v.raw.size(), v.no_comments.size());
+  for (std::size_t i = 0; i < v.raw.size(); ++i) {
+    EXPECT_EQ(v.raw[i].size(), v.code[i].size()) << "line " << i + 1;
+    EXPECT_EQ(v.raw[i].size(), v.no_comments[i].size())
+        << "line " << i + 1;
+  }
+}
+
+}  // namespace

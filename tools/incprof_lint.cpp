@@ -1,374 +1,594 @@
-// incprof_lint: the repo's concurrency/style gate. A deliberately
-// libclang-free, regex-grade scanner over src/ that enforces the
-// invariants the thread-safety annotations rely on:
+// incprof_lint v2: the repo's static-analysis gate, built on the
+// src/analysis library (lexer -> scope/lock tracker -> rules). Still
+// deliberately libclang-free; DESIGN §10 documents what that buys and
+// what it costs. Eight rules:
 //
-//   bare-mutex   no std::mutex / lock_guard / unique_lock /
-//                condition_variable outside util/thread_annotations.hpp
-//                — everything must go through util::Mutex so Clang's
-//                thread-safety analysis can see every acquisition.
-//   detach       no zero-argument .detach() calls: a detached thread
-//                outlives stop()/join accounting and is unprovable.
-//                (Session::detach(now_ns) takes an argument and is a
-//                different, resumable-session concept — not matched.)
-//   metric-name  every literal registered via counter("...") /
-//                gauge("...") / histogram("...") matches
-//                [a-z_]+(\{.*\})?, keeping the Prometheus exposition
-//                valid without per-name escaping.
-//   naked-new    no naked `new` / `malloc(` — ownership goes through
-//                make_unique/make_shared/containers.
+//   bare-mutex       no std::mutex / lock_guard / unique_lock /
+//                    condition_variable outside
+//                    util/thread_annotations.hpp — everything goes
+//                    through util::Mutex so Clang's thread-safety
+//                    analysis can see every acquisition.
+//   detach           no zero-argument .detach(): a detached thread
+//                    outlives stop()/join accounting.
+//   metric-name      every literal registered via counter("...") /
+//                    gauge("...") / histogram("...") matches
+//                    [a-z_][a-z0-9_]*(\{.*\})?.
+//   naked-new        no naked `new` / `malloc(` — ownership goes
+//                    through make_unique/make_shared/containers.
+//   lock-order       every util::MutexLock acquisition names a mutex
+//                    declared in src/analysis/lock_order.txt, and
+//                    nested acquisitions follow its partial order
+//                    (the machine-readable DESIGN §5.3 hierarchy).
+//   lock-across-io   no blocking call (send/recv/read/write/poll/
+//                    select/accept/connect/sleep_for/flush/join)
+//                    inside a live lock region.
+//   determinism      src/cluster + src/core must not read wall
+//                    clocks, process entropy, or the environment
+//                    (random_device, rand(, time(, system_clock,
+//                    getenv) — the §6 replay contract.
+//   metric-registry  cross-file: metric/span names keep one type,
+//                    the fleet_ prefix stays reserved for the
+//                    gateway's merged exposition, and every metric
+//                    cited in README.md / DESIGN.md exists in code.
 //
-// False positives are silenced in place with a trailing
+// Scans src/, tools/ and tests/ with per-directory profiles (see
+// src/analysis/analyzer.hpp); the seeded fixtures under
+// tests/lint_seed and tests/analysis/corpus are skipped unless passed
+// as the root themselves. False positives are silenced in place with
 //   // incprof-lint: allow(<rule>)
-// comment on the offending line. Exit status: 0 when clean, 1 when any
-// finding is reported, 2 on usage/IO errors.
+// on the offending line. Exit status: 0 clean, 1 findings, 2 on
+// usage/IO errors.
 //
-// Usage: incprof_lint [repo-root]    (default: .)
-//        incprof_lint --self-test    (prove each rule fires on a
-//                                     seeded violation; exits non-zero
-//                                     if any rule failed to fire)
+// Usage: incprof_lint [repo-root]
+//            [--format text|json|sarif]
+//            [--rules r1,r2,...]
+//            [--baseline FILE] [--write-baseline FILE]
+//        incprof_lint --self-test
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <regex>
+#include <set>
 #include <sstream>
 #include <string>
-#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/lexer.hpp"
+#include "analysis/lock_order.hpp"
+#include "analysis/rules.hpp"
+#include "analysis/scope.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
+namespace analysis = incprof::analysis;
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string detail;
+// ---------------------------------------------------------------------------
+// Self-test: every rule must fire on its seeded violation, stay silent
+// on the idiomatic replacement, and — unlike v1, which only looked at
+// the first finding's rule — produce EXACTLY the expected finding set.
+
+struct Expected {
+  std::size_t line;
+  const char* rule;
 };
 
-/// Per-line views of one translation unit. `code` has comments and
-/// string/char literals blanked (structure preserved so columns still
-/// line up); `no_comments` keeps the literals, for the metric-name
-/// rule which must read them.
-struct FileViews {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> no_comments;
+struct Case {
+  const char* name;
+  const char* path;      // pseudo repo-relative path; drives the profile
+  const char* snippet;
+  const char* manifest;  // lock-order manifest; nullptr = none loaded
+  std::vector<Expected> expect;
 };
 
-/// One-pass lexer: good enough C++ tokenization to blank comments,
-/// string literals ("...", with escapes), char literals and raw
-/// strings (R"delim(...)delim"), all of which may span lines.
-FileViews make_views(const std::string& text) {
-  enum class State { kCode, kLineComment, kBlockComment, kString,
-                     kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: the )delim" terminator
-  std::string line_raw, line_code, line_nc;
-  FileViews views;
-
-  auto flush_line = [&] {
-    views.raw.push_back(line_raw);
-    views.code.push_back(line_code);
-    views.no_comments.push_back(line_nc);
-    line_raw.clear();
-    line_code.clear();
-    line_nc.clear();
+const std::vector<Case>& cases() {
+  static const std::vector<Case> kCases = {
+      // --- bare-mutex -----------------------------------------------------
+      {"bare-mutex/mutex", "src/core/selftest.cpp", "std::mutex mu_;\n",
+       nullptr, {{1, "bare-mutex"}}},
+      {"bare-mutex/lock_guard", "src/core/selftest.cpp",
+       "std::lock_guard lock(mu_);\n", nullptr, {{1, "bare-mutex"}}},
+      {"bare-mutex/condvar", "src/core/selftest.cpp",
+       "std::condition_variable cv_;\n", nullptr, {{1, "bare-mutex"}}},
+      {"bare-mutex/wrapped-clean", "src/core/selftest.cpp",
+       "util::Mutex mu_;\nutil::MutexLock lock(mu_);\n", "leaf mu_\n", {}},
+      {"bare-mutex/comment-clean", "src/core/selftest.cpp",
+       "// std::mutex in a comment is fine\n", nullptr, {}},
+      {"bare-mutex/string-clean", "src/core/selftest.cpp",
+       "const char* s = \"std::mutex\";\n", nullptr, {}},
+      {"bare-mutex/allow", "src/core/selftest.cpp",
+       "std::mutex mu_;  // incprof-lint: allow(bare-mutex)\n", nullptr,
+       {}},
+      {"bare-mutex/annotations-header-exempt",
+       "src/util/thread_annotations.hpp", "std::mutex raw_;\n", nullptr,
+       {}},
+      // The C++14 digit-separator regression: the v1 lexer treated the
+      // ' in 10'000 as the start of a char literal and swallowed the
+      // rest of the file, hiding the violation on the next line.
+      {"lexer/digit-separator", "src/core/selftest.cpp",
+       "long long budget = 10'000;\nstd::mutex late_mu_;\n", nullptr,
+       {{2, "bare-mutex"}}},
+      {"lexer/char-literal-still-blanked", "src/core/selftest.cpp",
+       "char c = 'x'; std::mutex m_;\n", nullptr, {{1, "bare-mutex"}}},
+      {"lexer/prefixed-char-literal", "src/core/selftest.cpp",
+       "auto q = U'\"'; std::mutex m_;\n", nullptr, {{1, "bare-mutex"}}},
+      // --- detach ---------------------------------------------------------
+      {"detach/dot", "src/core/selftest.cpp", "worker.detach();\n",
+       nullptr, {{1, "detach"}}},
+      {"detach/arrow", "src/core/selftest.cpp",
+       "thread_->detach( );\n", nullptr, {{1, "detach"}}},
+      {"detach/session-clean", "src/core/selftest.cpp",
+       "session->detach(obs::now_ns());\n", nullptr, {}},
+      // --- metric-name ----------------------------------------------------
+      {"metric-name/dash", "src/core/selftest.cpp",
+       "registry.counter(\"Bad-Name\").add();\n", nullptr,
+       {{1, "metric-name"}}},
+      {"metric-name/camel", "src/core/selftest.cpp",
+       "registry.gauge(\"camelCase\").set(1);\n", nullptr,
+       {{1, "metric-name"}}},
+      {"metric-name/leading-digit", "src/core/selftest.cpp",
+       "registry.counter(\"2fast\").add();\n", nullptr,
+       {{1, "metric-name"}}},
+      {"metric-name/digits-clean", "src/core/selftest.cpp",
+       "registry.counter(\"shared_0\").add();\n", nullptr, {}},
+      {"metric-name/labels-clean", "src/core/selftest.cpp",
+       "registry.histogram(\"frame_stage_ns\").record(1);\n", nullptr,
+       {}},
+      // --- naked-new ------------------------------------------------------
+      {"naked-new/new", "src/core/selftest.cpp",
+       "auto* p = new Widget();\n", nullptr, {{1, "naked-new"}}},
+      {"naked-new/malloc", "src/core/selftest.cpp",
+       "void* p = malloc(64);\n", nullptr, {{1, "naked-new"}}},
+      {"naked-new/make-unique-clean", "src/core/selftest.cpp",
+       "auto p = std::make_unique<Widget>();\n", nullptr, {}},
+      {"naked-new/tests-profile-clean", "tests/selftest.cpp",
+       "auto* p = new Widget();\n", nullptr, {}},
+      // --- determinism ----------------------------------------------------
+      {"determinism/random-device", "src/cluster/selftest.cpp",
+       "auto seed = std::random_device{}();\n", nullptr,
+       {{1, "determinism"}}},
+      {"determinism/srand-time", "src/cluster/selftest.cpp",
+       "std::srand(time(nullptr));\n", nullptr, {{1, "determinism"}}},
+      {"determinism/system-clock", "src/core/selftest.cpp",
+       "auto t = std::chrono::system_clock::now();\n", nullptr,
+       {{1, "determinism"}}},
+      {"determinism/getenv", "src/cluster/selftest.cpp",
+       "const char* home = getenv(\"HOME\");\n", nullptr,
+       {{1, "determinism"}}},
+      {"determinism/comment-clean", "src/cluster/selftest.cpp",
+       "// system_clock would break replay here\n", nullptr, {}},
+      {"determinism/rng-clean", "src/cluster/selftest.cpp",
+       "util::Rng rng(seed);\n", nullptr, {}},
+      {"determinism/outside-kernel-clean", "src/service/selftest.cpp",
+       "auto t = std::chrono::system_clock::now();\n", nullptr, {}},
+      {"determinism/tools-clean", "tools/selftest.cpp",
+       "auto t = std::chrono::system_clock::now();\n", nullptr, {}},
+      // --- lock-order -----------------------------------------------------
+      {"lock-order/in-order-clean", "src/service/selftest.cpp",
+       "void Pipeline::step() {\n"
+       "  util::MutexLock a(call_mu_);\n"
+       "  util::MutexLock b(mu_);\n"
+       "}\n",
+       "order Pipeline::call_mu_ > Pipeline::mu_\n", {}},
+      {"lock-order/reversed", "src/service/selftest.cpp",
+       "void Pipeline::step() {\n"
+       "  util::MutexLock b(mu_);\n"
+       "  util::MutexLock a(call_mu_);\n"
+       "}\n",
+       "order Pipeline::call_mu_ > Pipeline::mu_\n",
+       {{3, "lock-order"}}},
+      {"lock-order/leaf-violated", "src/service/selftest.cpp",
+       "void Sink::flush_all() {\n"
+       "  util::MutexLock l(mu_);\n"
+       "  util::MutexLock m(aux_mu_);\n"
+       "}\n",
+       "leaf Sink::mu_\nleaf Sink::aux_mu_\n", {{3, "lock-order"}}},
+      {"lock-order/unknown-mutex", "src/service/selftest.cpp",
+       "void Sink::flush_all() {\n"
+       "  util::MutexLock l(rogue_mu_);\n"
+       "}\n",
+       "leaf Sink::mu_\n", {{2, "lock-order"}}},
+      {"lock-order/in-class-key", "src/service/selftest.cpp",
+       "class Handler {\n"
+       "  void bump() {\n"
+       "    util::MutexLock lock(mu_);\n"
+       "  }\n"
+       "};\n",
+       "leaf Handler::mu_\n", {}},
+      {"lock-order/file-scope-key", "src/util/selftest.cpp",
+       "util::Mutex g_sink_mu;\n"
+       "void log_line() {\n"
+       "  util::MutexLock lock(g_sink_mu);\n"
+       "}\n",
+       "leaf g_sink_mu\n", {}},
+      // The server.cpp reaper pattern: unlock before taking the other
+      // leaf, re-lock after — two disjoint regions, no nesting.
+      {"lock-order/unlock-splits-region", "src/service/selftest.cpp",
+       "void Server::reaper_loop() {\n"
+       "  util::MutexLock lock(reaper_mu_);\n"
+       "  lock.unlock();\n"
+       "  {\n"
+       "    util::MutexLock handlers(handlers_mu_);\n"
+       "    prune();\n"
+       "  }\n"
+       "  lock.lock();\n"
+       "}\n",
+       "leaf Server::reaper_mu_\nleaf Server::handlers_mu_\n", {}},
+      {"lock-order/no-unlock-nests", "src/service/selftest.cpp",
+       "void Server::reaper_loop() {\n"
+       "  util::MutexLock lock(reaper_mu_);\n"
+       "  {\n"
+       "    util::MutexLock handlers(handlers_mu_);\n"
+       "    prune();\n"
+       "  }\n"
+       "}\n",
+       "leaf Server::reaper_mu_\nleaf Server::handlers_mu_\n",
+       {{4, "lock-order"}}},
+      {"lock-order/allow", "src/service/selftest.cpp",
+       "void Sink::flush_all() {\n"
+       "  util::MutexLock l(mu_);\n"
+       "  util::MutexLock m(aux_mu_);  // incprof-lint: "
+       "allow(lock-order)\n"
+       "}\n",
+       "leaf Sink::mu_\nleaf Sink::aux_mu_\n", {}},
+      // --- lock-across-io -------------------------------------------------
+      {"lock-across-io/send", "src/service/selftest.cpp",
+       "void Worker::run() {\n"
+       "  util::MutexLock lock(mu_);\n"
+       "  ::send(fd_, buf, n, 0);\n"
+       "}\n",
+       "leaf Worker::mu_\n", {{3, "lock-across-io"}}},
+      {"lock-across-io/join", "src/service/selftest.cpp",
+       "void Worker::stop() {\n"
+       "  util::MutexLock lock(mu_);\n"
+       "  t.join();\n"
+       "}\n",
+       "leaf Worker::mu_\n", {{3, "lock-across-io"}}},
+      {"lock-across-io/release-first-clean", "src/service/selftest.cpp",
+       "void Worker::run() {\n"
+       "  {\n"
+       "    util::MutexLock lock(mu_);\n"
+       "    n = fill(buf);\n"
+       "  }\n"
+       "  ::send(fd_, buf, n, 0);\n"
+       "}\n",
+       "leaf Worker::mu_\n", {}},
+      {"lock-across-io/unlock-toggle-clean", "src/service/selftest.cpp",
+       "void Worker::run() {\n"
+       "  util::MutexLock lock(mu_);\n"
+       "  prepare();\n"
+       "  lock.unlock();\n"
+       "  ::send(fd_, buf, n, 0);\n"
+       "  lock.lock();\n"
+       "  done_ = true;\n"
+       "}\n",
+       "leaf Worker::mu_\n", {}},
+      {"lock-across-io/allow", "src/service/selftest.cpp",
+       "void Worker::run() {\n"
+       "  util::MutexLock lock(mu_);\n"
+       "  ::send(fd_, buf, n, 0);  // incprof-lint: "
+       "allow(lock-across-io)\n"
+       "}\n",
+       "leaf Worker::mu_\n", {}},
   };
+  return kCases;
+}
 
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush_line();
+std::vector<analysis::Finding> run_case(const Case& c,
+                                        std::string* manifest_error) {
+  const analysis::FileViews views = analysis::make_views(c.snippet);
+  const analysis::LockAnalysis locks = analysis::analyze_locks(views);
+  analysis::LockOrder order;
+  bool have_order = false;
+  if (c.manifest != nullptr) {
+    std::string err;
+    order = analysis::LockOrder::parse(c.manifest, &err);
+    if (!err.empty()) {
+      *manifest_error = err;
+    } else {
+      have_order = true;
+    }
+  }
+  analysis::FileProfile profile = analysis::profile_for_path(c.path);
+  if (!have_order) profile.rules.lock_order = false;
+
+  analysis::FileCheckInput input;
+  input.display_path = c.path;
+  input.views = &views;
+  input.locks = &locks;
+  input.order = have_order ? &order : nullptr;
+  input.rules = profile.rules;
+  input.is_annotations_header =
+      std::string(c.path) == "src/util/thread_annotations.hpp";
+  std::vector<analysis::Finding> findings;
+  analysis::check_file(input, findings);
+  return findings;
+}
+
+std::string finding_set_string(
+    const std::vector<std::pair<std::size_t, std::string>>& set) {
+  if (set.empty()) return "clean";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    os << (i ? ", " : "") << set[i].first << ":" << set[i].second;
+  }
+  return os.str();
+}
+
+/// Cross-file metric-registry self-test: feed pseudo files through the
+/// same MetricRegistryCheck the tree scan uses.
+struct RegistryCase {
+  const char* name;
+  std::vector<std::pair<const char*, const char*>> sources;
+  std::vector<std::pair<const char*, const char*>> docs;
+  // expected findings as (file, line); the rule is always metric-registry
+  std::vector<std::pair<const char*, std::size_t>> expect;
+};
+
+const std::vector<RegistryCase>& registry_cases() {
+  static const std::vector<RegistryCase> kCases = {
+      {"registry/cited-and-registered-clean",
+       {{"src/obs/a.cpp", "r.counter(\"obs_scrapes\").add();\n"}},
+       {{"README.md", "Scrapes show up in `obs_scrapes`.\n"}},
+       {}},
+      {"registry/type-drift",
+       {{"src/obs/a.cpp", "r.counter(\"queue_depth\").add();\n"},
+        {"src/obs/b.cpp", "r.gauge(\"queue_depth\").set(3);\n"}},
+       {},
+       {{"src/obs/b.cpp", 1}}},
+      {"registry/span-metric-collision",
+       {{"src/prof/a.cpp", "obs::ScopedSpan span(\"session.reap\");\n"},
+        {"src/prof/b.cpp", "r.counter(\"session.reap\").add();\n"}},
+       {},
+       {{"src/prof/a.cpp", 1}}},
+      {"registry/fleet-prefix-reserved",
+       {{"src/core/m.cpp", "r.counter(\"fleet_rogue_total\").add();\n"}},
+       {},
+       {{"src/core/m.cpp", 1}}},
+      {"registry/doc-drift",
+       {{"src/obs/a.cpp", "r.counter(\"obs_scrapes\").add();\n"}},
+       {{"DESIGN.md",
+         "Intro line.\nWatch `ghost_metric_total` for trouble.\n"}},
+       {{"DESIGN.md", 2}}},
+      {"registry/fleet-synthesis-and-derivation-clean",
+       {{"src/service/a.cpp",
+         "r.histogram(\"frame_stage_ns\").record(1);\n"},
+        {"src/fleet/g.cpp",
+         "out += gauge_line(\"fleet_shards\", n);\n"}},
+       {{"README.md",
+         "The gateway exposes `fleet_shards` and "
+         "`fleet_frame_stage_ns_count`.\n"}},
+       {}},
+      {"registry/doc-labels-clean",
+       {{"src/service/a.cpp",
+         "r.histogram(\"frame_stage_ns\").record(1);\n"}},
+       {{"DESIGN.md",
+         "Stage cost lands in `frame_stage_ns{stage=\"decode\"}`.\n"}},
+       {}},
+  };
+  return kCases;
+}
+
+int self_test() {
+  int failures = 0;
+
+  for (const Case& c : cases()) {
+    std::string manifest_error;
+    const std::vector<analysis::Finding> findings =
+        run_case(c, &manifest_error);
+    if (!manifest_error.empty()) {
+      ++failures;
+      std::cerr << "self-test FAILED [" << c.name
+                << "]: manifest did not parse: " << manifest_error
+                << "\n";
       continue;
     }
-    line_raw.push_back(c);
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          line_code += ' ';
-          line_nc += ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          line_raw.push_back(next);
-          line_code += "  ";
-          line_nc += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string? The R must directly precede the quote and not
-          // be part of an identifier (LR"..." etc. treated the same).
-          std::size_t j = line_code.size();
-          if (j >= 1 && line_code[j - 1] == 'R' &&
-              (j < 2 || (!std::isalnum(static_cast<unsigned char>(
-                             line_code[j - 2])) &&
-                         line_code[j - 2] != '_'))) {
-            state = State::kRawString;
-            raw_delim = ")";
-            for (std::size_t k = i + 1;
-                 k < text.size() && text[k] != '(' && text[k] != '\n';
-                 ++k) {
-              raw_delim.push_back(text[k]);
-            }
-            raw_delim.push_back('"');
-          } else {
-            state = State::kString;
-          }
-          line_code.push_back('"');
-          line_nc.push_back('"');
-        } else if (c == '\'') {
-          state = State::kChar;
-          line_code.push_back('\'');
-          line_nc.push_back('\'');
-        } else {
-          line_code.push_back(c);
-          line_nc.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        line_code += ' ';
-        line_nc += ' ';
-        break;
-      case State::kBlockComment:
-        line_code += ' ';
-        line_nc += ' ';
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          line_raw.push_back(next);
-          line_code += ' ';
-          line_nc += ' ';
-          ++i;
-        }
-        break;
-      case State::kString:
-        line_nc.push_back(c);
-        if (c == '\\' && next != '\0') {
-          line_raw.push_back(next);
-          line_nc.push_back(next);
-          line_code += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          line_code.push_back('"');
-        } else {
-          line_code.push_back(' ');
-        }
-        break;
-      case State::kChar:
-        line_nc.push_back(c);
-        if (c == '\\' && next != '\0') {
-          line_raw.push_back(next);
-          line_nc.push_back(next);
-          line_code += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          line_code.push_back('\'');
-        } else {
-          line_code.push_back(' ');
-        }
-        break;
-      case State::kRawString:
-        line_nc.push_back(c);
-        line_code.push_back(c == '"' ? '"' : ' ');
-        if (c == raw_delim.back() && line_raw.size() >= raw_delim.size() &&
-            line_raw.compare(line_raw.size() - raw_delim.size(),
-                             raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-        }
-        break;
+    std::vector<std::pair<std::size_t, std::string>> got, want;
+    for (const analysis::Finding& f : findings) {
+      got.emplace_back(f.line, f.rule);
     }
-  }
-  flush_line();
-  return views;
-}
-
-bool suppressed(const std::string& raw_line, std::string_view rule) {
-  const std::string marker =
-      "incprof-lint: allow(" + std::string(rule) + ")";
-  return raw_line.find(marker) != std::string::npos;
-}
-
-const std::regex kBareMutexRe(
-    R"(std\s*::\s*(recursive_mutex|recursive_timed_mutex|timed_mutex|shared_mutex|shared_timed_mutex|mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable_any|condition_variable)\b)");
-const std::regex kDetachRe(R"((\.|->)\s*detach\s*\(\s*\))");
-const std::regex kMetricCallRe(
-    R"(\b(counter|gauge|histogram)\s*\(\s*"((?:[^"\\]|\\.)*)\")");
-const std::regex kMetricNameRe(R"([a-z_]+(\{.*\})?)");
-const std::regex kNakedNewRe(R"(\bnew\b)");
-const std::regex kMallocRe(R"(\b(malloc|calloc|realloc|free)\s*\()");
-
-void lint_file(const std::string& display_path, const FileViews& views,
-               bool is_annotations_header,
-               std::vector<Finding>& findings) {
-  for (std::size_t n = 0; n < views.code.size(); ++n) {
-    const std::string& raw = views.raw[n];
-    const std::string& code = views.code[n];
-    const std::string& nc = views.no_comments[n];
-    const std::size_t line_no = n + 1;
-    std::smatch m;
-
-    if (!is_annotations_header &&
-        std::regex_search(code, m, kBareMutexRe) &&
-        !suppressed(raw, "bare-mutex")) {
-      findings.push_back(
-          {display_path, line_no, "bare-mutex",
-           "use util::Mutex / util::MutexLock / util::CondVar from "
-           "util/thread_annotations.hpp instead of std::" +
-               m[1].str()});
+    for (const Expected& e : c.expect) {
+      want.emplace_back(e.line, e.rule);
     }
-
-    if (std::regex_search(code, m, kDetachRe) &&
-        !suppressed(raw, "detach")) {
-      findings.push_back({display_path, line_no, "detach",
-                          "detached threads escape join accounting; "
-                          "track and join the thread instead"});
-    }
-
-    // Metric names live in string literals, so match against the
-    // comment-stripped (literal-preserving) view.
-    for (auto it = std::sregex_iterator(nc.begin(), nc.end(),
-                                        kMetricCallRe);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[2].str();
-      if (!std::regex_match(name, kMetricNameRe) &&
-          !suppressed(raw, "metric-name")) {
-        findings.push_back(
-            {display_path, line_no, "metric-name",
-             "metric name \"" + name +
-                 "\" does not match [a-z_]+(\\{.*\\})?"});
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      ++failures;
+      std::cerr << "self-test FAILED [" << c.name << "]: expected {"
+                << finding_set_string(want) << "}, got {"
+                << finding_set_string(got) << "}\n";
+      for (const analysis::Finding& f : findings) {
+        std::cerr << "    " << f.line << ": [" << f.rule << "] "
+                  << f.detail << "\n";
       }
     }
+  }
 
-    if ((std::regex_search(code, m, kNakedNewRe) ||
-         std::regex_search(code, m, kMallocRe)) &&
-        !suppressed(raw, "naked-new")) {
-      findings.push_back({display_path, line_no, "naked-new",
-                          "allocate through make_unique/make_shared "
-                          "or a container"});
+  for (const RegistryCase& c : registry_cases()) {
+    analysis::MetricRegistryCheck registry;
+    for (const auto& [path, text] : c.sources) {
+      registry.scan_source(path, analysis::make_views(text));
     }
-  }
-}
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
-}
-
-int lint_tree(const fs::path& root) {
-  const fs::path src = root / "src";
-  if (!fs::is_directory(src)) {
-    std::cerr << "incprof_lint: no src/ directory under " << root
-              << "\n";
-    return 2;
-  }
-  std::vector<Finding> findings;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (entry.is_regular_file() && lintable(entry.path())) {
-      files.push_back(entry.path());
+    for (const auto& [path, text] : c.docs) {
+      registry.scan_docs(path, text);
     }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::cerr << "incprof_lint: cannot read " << path << "\n";
-      return 2;
+    std::vector<analysis::Finding> findings;
+    registry.finish(findings);
+    std::vector<std::pair<std::string, std::size_t>> got, want;
+    for (const analysis::Finding& f : findings) {
+      got.emplace_back(f.file, f.line);
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string display =
-        fs::relative(path, root).generic_string();
-    const bool is_annotations_header =
-        display == "src/util/thread_annotations.hpp";
-    lint_file(display, make_views(buf.str()), is_annotations_header,
-              findings);
-  }
-  for (const Finding& f : findings) {
-    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.detail << "\n";
-  }
-  if (findings.empty()) {
-    std::cout << "incprof_lint: " << files.size() << " files clean\n";
-    return 0;
-  }
-  std::cerr << "incprof_lint: " << findings.size() << " finding(s) in "
-            << files.size() << " files\n";
-  return 1;
-}
-
-/// Each rule must fire on its seeded violation and stay silent on the
-/// idiomatic replacement — the lint gate proves itself before it is
-/// allowed to gate anything.
-int self_test() {
-  struct Case {
-    const char* rule;       // expected rule, "" = expect clean
-    const char* snippet;
-  };
-  const Case cases[] = {
-      {"bare-mutex", "std::mutex mu_;\n"},
-      {"bare-mutex", "std::lock_guard lock(mu_);\n"},
-      {"bare-mutex", "std::condition_variable cv_;\n"},
-      {"", "util::Mutex mu_;\nutil::MutexLock lock(mu_);\n"},
-      {"", "// std::mutex in a comment is fine\n"},
-      {"", "const char* s = \"std::mutex\";\n"},
-      {"detach", "worker.detach();\n"},
-      {"detach", "thread_->detach( );\n"},
-      {"", "session->detach(obs::now_ns());\n"},  // resumable session
-      {"metric-name", "registry.counter(\"Bad-Name\").add();\n"},
-      {"metric-name", "registry.gauge(\"camelCase\").set(1);\n"},
-      {"", "registry.counter(\"frames_received\").add();\n"},
-      {"", "registry.histogram(\"frame_stage_ns\").record(1);\n"},
-      {"naked-new", "auto* p = new Widget();\n"},
-      {"naked-new", "void* p = malloc(64);\n"},
-      {"", "auto p = std::make_unique<Widget>();\n"},
-      {"", "std::mutex mu_;  // incprof-lint: allow(bare-mutex)\n"},
-  };
-  int failures = 0;
-  for (const Case& c : cases) {
-    std::vector<Finding> findings;
-    lint_file("<self-test>", make_views(c.snippet), false, findings);
-    const bool flagged =
-        !findings.empty() && findings.front().rule == c.rule;
-    const bool ok = *c.rule == '\0' ? findings.empty() : flagged;
-    if (!ok) {
+    for (const auto& [file, line] : c.expect) {
+      want.emplace_back(file, line);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) {
       ++failures;
-      std::cerr << "self-test FAILED for snippet: " << c.snippet
-                << "  expected "
-                << (*c.rule == '\0' ? std::string("clean")
-                                    : std::string(c.rule))
-                << ", got "
-                << (findings.empty() ? std::string("clean")
-                                     : findings.front().rule)
-                << "\n";
+      std::cerr << "self-test FAILED [" << c.name << "]:\n";
+      for (const analysis::Finding& f : findings) {
+        std::cerr << "    " << f.file << ":" << f.line << ": ["
+                  << f.rule << "] " << f.detail << "\n";
+      }
+      if (findings.empty()) std::cerr << "    (clean)\n";
     }
   }
+
   if (failures == 0) {
     std::cout << "incprof_lint: self-test passed ("
-              << sizeof(cases) / sizeof(cases[0]) << " cases)\n";
+              << cases().size() + registry_cases().size()
+              << " cases)\n";
     return 0;
   }
+  std::cerr << "incprof_lint: self-test: " << failures
+            << " case(s) failed\n";
   return 1;
+}
+
+// ---------------------------------------------------------------------------
+
+int usage(int exit_code) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: incprof_lint [repo-root]\n"
+         "           [--format text|json|sarif]\n"
+         "           [--rules rule1,rule2,...]\n"
+         "           [--baseline FILE] [--write-baseline FILE]\n"
+         "       incprof_lint --self-test\n";
+  return exit_code;
+}
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 2) {
-    std::cerr << "usage: incprof_lint [repo-root | --self-test]\n";
+  std::string root = ".";
+  bool root_set = false;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  analysis::AnalyzeOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "incprof_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--self-test") {
+      return self_test();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (arg == "--format") {
+      const char* v = value("--format");
+      if (v == nullptr) return 2;
+      format = v;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "incprof_lint: unknown format '" << format
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value("--write-baseline");
+      if (v == nullptr) return 2;
+      write_baseline_path = v;
+    } else if (arg == "--rules") {
+      const char* v = value("--rules");
+      if (v == nullptr) return 2;
+      std::istringstream is(v);
+      std::string rule;
+      while (std::getline(is, rule, ',')) {
+        if (rule.empty()) continue;
+        const auto& all = analysis::all_rules();
+        if (std::find(all.begin(), all.end(), rule) == all.end()) {
+          std::cerr << "incprof_lint: unknown rule '" << rule << "'\n";
+          return 2;
+        }
+        options.rules.insert(rule);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "incprof_lint: unknown flag '" << arg << "'\n";
+      return usage(2);
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return usage(2);
+    }
+  }
+
+  const analysis::AnalyzeResult result =
+      analysis::analyze_tree(root, options);
+  if (result.files_scanned == 0 && result.errors.empty()) {
+    std::cerr << "incprof_lint: nothing to scan under " << root
+              << " (no src/, tools/ or tests/ sources)\n";
     return 2;
   }
-  const std::string arg = argc == 2 ? argv[1] : ".";
-  if (arg == "--self-test") return self_test();
-  if (arg == "--help" || arg == "-h") {
-    std::cout << "usage: incprof_lint [repo-root | --self-test]\n";
+  for (const std::string& error : result.errors) {
+    std::cerr << "incprof_lint: " << error << "\n";
+  }
+  if (!result.errors.empty()) return 2;
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << analysis::render_baseline(result.findings);
+    if (!out) {
+      std::cerr << "incprof_lint: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cout << "incprof_lint: wrote " << result.findings.size()
+              << " baseline entr"
+              << (result.findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << "\n";
     return 0;
   }
-  return lint_tree(fs::path(arg));
+
+  std::vector<analysis::Finding> findings = result.findings;
+  if (!baseline_path.empty()) {
+    std::string baseline_text;
+    if (!read_text_file(baseline_path, &baseline_text)) {
+      std::cerr << "incprof_lint: cannot read baseline "
+                << baseline_path << "\n";
+      return 2;
+    }
+    findings = analysis::apply_baseline(findings, baseline_text);
+  }
+
+  analysis::AnalyzeResult reported = result;
+  reported.findings = findings;
+  if (format == "json") {
+    std::cout << analysis::format_json(reported);
+  } else if (format == "sarif") {
+    std::cout << analysis::format_sarif(reported);
+  } else {
+    for (const analysis::Finding& f : findings) {
+      std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.detail << "\n";
+    }
+    if (findings.empty()) {
+      std::cout << "incprof_lint: " << result.files_scanned
+                << " files clean\n";
+    } else {
+      std::cerr << "incprof_lint: " << findings.size()
+                << " finding(s) in " << result.files_scanned
+                << " files\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
 }
