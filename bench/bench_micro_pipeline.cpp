@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "cluster/distance_cache.hpp"
 #include "cluster/kselect.hpp"
+#include "cluster/simd/simd.hpp"
 #include "core/online.hpp"
 #include "core/pipeline.hpp"
 #include "gmon/binary_io.hpp"
@@ -25,7 +26,9 @@
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -366,6 +369,61 @@ cluster::Matrix synthetic_blobs(std::size_t n, std::size_t d,
   return pts;
 }
 
+// --- SIMD batch-kernel throughput -----------------------------------
+// One query row against the other 511 rows of a 512 x d blob matrix —
+// the DistanceCache::build / Lloyd-assignment shape. Reported both as
+// google-benchmark rows (active tier) and, under --json, as per-kernel
+// scalar-vs-active comparison rows with a bitwise-identity verdict.
+
+struct KernelBatch {
+  cluster::Matrix pts;
+  std::vector<const double*> rows;  // rows 1..n-1; row 0 is the query
+};
+
+KernelBatch make_kernel_batch(std::size_t n, std::size_t d);
+
+void BM_BatchSquaredEuclidean(benchmark::State& state) {
+  const auto b = make_kernel_batch(512, static_cast<std::size_t>(state.range(0)));
+  const auto& k = cluster::simd::kernels();
+  std::vector<double> out(b.rows.size());
+  for (auto _ : state) {
+    k.squared_euclidean(b.pts.row_ptr(0), b.rows.data(), b.rows.size(),
+                        b.pts.cols(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.rows.size()));
+}
+BENCHMARK(BM_BatchSquaredEuclidean)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BatchManhattan(benchmark::State& state) {
+  const auto b = make_kernel_batch(512, static_cast<std::size_t>(state.range(0)));
+  const auto& k = cluster::simd::kernels();
+  std::vector<double> out(b.rows.size());
+  for (auto _ : state) {
+    k.manhattan(b.pts.row_ptr(0), b.rows.data(), b.rows.size(), b.pts.cols(),
+                out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.rows.size()));
+}
+BENCHMARK(BM_BatchManhattan)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BatchCosine(benchmark::State& state) {
+  const auto b = make_kernel_batch(512, static_cast<std::size_t>(state.range(0)));
+  const auto& k = cluster::simd::kernels();
+  std::vector<double> out(b.rows.size());
+  for (auto _ : state) {
+    k.cosine(b.pts.row_ptr(0), b.rows.data(), b.rows.size(), b.pts.cols(),
+             out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(b.rows.size()));
+}
+BENCHMARK(BM_BatchCosine)->Arg(16)->Arg(64)->Arg(256);
+
 double wall_ms(const std::function<void()>& fn) {
   const auto t0 = std::chrono::steady_clock::now();
   fn();
@@ -379,6 +437,87 @@ double best_wall_ms(int reps, const std::function<void()>& fn) {
   double best = wall_ms(fn);
   for (int i = 1; i < reps; ++i) best = std::min(best, wall_ms(fn));
   return best;
+}
+
+KernelBatch make_kernel_batch(std::size_t n, std::size_t d) {
+  KernelBatch b{synthetic_blobs(n, d, 4), {}};
+  b.rows.reserve(n - 1);
+  for (std::size_t r = 1; r < n; ++r) b.rows.push_back(b.pts.row_ptr(r));
+  return b;
+}
+
+// FNV-1a over 64-bit words — the results_checksum the simd-parity CI
+// leg diffs between --simd scalar and --simd auto runs.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, double v) {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t sweep_checksum(std::uint64_t h, const cluster::KSweep& s) {
+  for (const auto& e : s.entries) {
+    h = fnv1a(h, static_cast<std::uint64_t>(e.k));
+    h = fnv1a(h, e.result.inertia);
+    h = fnv1a(h, e.silhouette);
+    for (const auto a : e.result.assignments) {
+      h = fnv1a(h, static_cast<std::uint64_t>(a));
+    }
+  }
+  return h;
+}
+
+struct KernelRow {
+  const char* name;
+  double scalar_ns_per_pair;
+  double simd_ns_per_pair;
+  double speedup;
+  bool identical;
+};
+
+/// Times one batch kernel at both tiers over `reps` passes of the 511
+/// pair x 256 dim batch, folds the active tier's result bits into the
+/// checksum, and reports the scalar-vs-active comparison row.
+template <typename KernelFn>
+KernelRow time_kernel_row(const char* name, const KernelBatch& batch,
+                          KernelFn fn, std::uint64_t& checksum) {
+  const std::size_t pairs = batch.rows.size();
+  const std::size_t d = batch.pts.cols();
+  const int reps = 200;
+  const auto& scalar_k = cluster::simd::kernels(cluster::simd::Tier::kScalar);
+  const auto& active_k = cluster::simd::kernels();
+  std::vector<double> out_scalar(pairs), out_simd(pairs);
+  const double scalar_ms = best_wall_ms(3, [&] {
+    for (int r = 0; r < reps; ++r) {
+      fn(scalar_k, batch.pts.row_ptr(0), batch.rows.data(), pairs, d,
+         out_scalar.data());
+    }
+  });
+  const double simd_ms = best_wall_ms(3, [&] {
+    for (int r = 0; r < reps; ++r) {
+      fn(active_k, batch.pts.row_ptr(0), batch.rows.data(), pairs, d,
+         out_simd.data());
+    }
+  });
+  bool identical = true;
+  for (std::size_t t = 0; t < pairs; ++t) {
+    if (std::bit_cast<std::uint64_t>(out_scalar[t]) !=
+        std::bit_cast<std::uint64_t>(out_simd[t])) {
+      identical = false;
+      break;
+    }
+  }
+  for (const double v : out_simd) checksum = fnv1a(checksum, v);
+  const double per_pair = 1e6 / (static_cast<double>(reps) * pairs);
+  return {name, scalar_ms * per_pair, simd_ms * per_pair,
+          simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0, identical};
 }
 
 bool sweeps_identical(const cluster::KSweep& a, const cluster::KSweep& b) {
@@ -442,6 +581,38 @@ int run_json_bench(std::size_t threads, const std::string& path) {
   const double an_speedup =
       an_parallel_ms > 0.0 ? an_serial_ms / an_parallel_ms : 0.0;
 
+  // Per-kernel scalar-vs-active rows on the cache/assignment shape,
+  // plus the checksum over every active-tier result bit this run
+  // produced. --simd scalar and --simd auto must agree on it exactly.
+  const KernelBatch batch = make_kernel_batch(512, 256);
+  std::uint64_t checksum = kFnvOffset;
+  KernelRow kernel_rows[3];
+  kernel_rows[0] = time_kernel_row(
+      "squared_euclidean", batch,
+      [](const cluster::simd::BatchKernels& k, const double* q,
+         const double* const* rows, std::size_t pairs, std::size_t dims,
+         double* out) { k.squared_euclidean(q, rows, pairs, dims, out); },
+      checksum);
+  kernel_rows[1] = time_kernel_row(
+      "manhattan", batch,
+      [](const cluster::simd::BatchKernels& k, const double* q,
+         const double* const* rows, std::size_t pairs, std::size_t dims,
+         double* out) { k.manhattan(q, rows, pairs, dims, out); },
+      checksum);
+  kernel_rows[2] = time_kernel_row(
+      "cosine", batch,
+      [](const cluster::simd::BatchKernels& k, const double* q,
+         const double* const* rows, std::size_t pairs, std::size_t dims,
+         double* out) { k.cosine(q, rows, pairs, dims, out); },
+      checksum);
+  bool kernels_identical = true;
+  for (const auto& row : kernel_rows) kernels_identical &= row.identical;
+  checksum = sweep_checksum(checksum, serial_sweep);
+  checksum = sweep_checksum(checksum, serial_an.detection.sweep);
+  for (const auto a : serial_an.detection.assignments) {
+    checksum = fnv1a(checksum, static_cast<std::uint64_t>(a));
+  }
+
   std::ofstream os(path, std::ios::trunc);
   if (!os) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -460,13 +631,30 @@ int run_json_bench(std::size_t threads, const std::string& path) {
       "\"speedup\": %.3f, \"identical\": %s},\n"
       "  \"analyze\": {\"intervals\": %zu,\n"
       "    \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
-      "\"speedup\": %.3f, \"identical\": %s}\n"
-      "}\n",
+      "\"speedup\": %.3f, \"identical\": %s},\n",
       threads_resolved, incprof::util::ThreadPool::hardware_threads(), n, d,
       k_max, restarts, sweep_serial_ms, sweep_parallel_ms, sweep_speedup,
       sweep_identical ? "true" : "false",
       serial_an.intervals.num_intervals(), an_serial_ms, an_parallel_ms,
       an_speedup, an_identical ? "true" : "false");
+  os << buf;
+  os << "  \"simd\": {\"tier\": \""
+     << cluster::simd::tier_name(cluster::simd::active_tier())
+     << "\", \"kernels\": [\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& row = kernel_rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"kernel\": \"%s\", \"scalar_ns_per_pair\": %.2f, "
+                  "\"simd_ns_per_pair\": %.2f, \"speedup\": %.3f, "
+                  "\"identical\": %s}%s\n",
+                  row.name, row.scalar_ns_per_pair, row.simd_ns_per_pair,
+                  row.speedup, row.identical ? "true" : "false",
+                  i + 1 < 3 ? "," : "");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ], \"results_checksum\": \"%016llx\"}\n}\n",
+                static_cast<unsigned long long>(checksum));
   os << buf;
   os.close();
 
@@ -478,15 +666,25 @@ int run_json_bench(std::size_t threads, const std::string& path) {
               "identical=%s\n",
               an_serial_ms, an_parallel_ms, an_speedup,
               an_identical ? "yes" : "NO");
+  for (const auto& row : kernel_rows) {
+    std::printf("kernel %-18s (512x256): scalar %.2f ns/pair, %s %.2f "
+                "ns/pair, speedup %.2fx, identical=%s\n",
+                row.name, row.scalar_ns_per_pair,
+                cluster::simd::tier_name(cluster::simd::active_tier()),
+                row.simd_ns_per_pair, row.speedup,
+                row.identical ? "yes" : "NO");
+  }
+  std::printf("results_checksum %016llx\n",
+              static_cast<unsigned long long>(checksum));
   std::printf("baseline written to %s\n", path.c_str());
-  return (sweep_identical && an_identical) ? 0 : 1;
+  return (sweep_identical && an_identical && kernels_identical) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pre-parse our own flags (--json[=path], --threads n) and strip them
-  // before google-benchmark sees the command line.
+  // Pre-parse our own flags (--json[=path], --threads n, --simd tier)
+  // and strip them before google-benchmark sees the command line.
   bool json = false;
   std::string json_path;
   std::size_t threads = 0;
@@ -498,6 +696,17 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json = true;
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
+      incprof::cluster::simd::Tier tier;
+      if (!incprof::cluster::simd::parse_tier(argv[++i], tier)) {
+        std::fprintf(stderr, "--simd: invalid tier '%s'\n", argv[i]);
+        return 2;
+      }
+      if (!incprof::cluster::simd::set_active_tier(tier)) {
+        std::fprintf(stderr, "--simd: tier '%s' not supported on this CPU\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       std::int64_t v = 0;
       if (!incprof::util::parse_int(argv[++i], 0, 1024, v)) {

@@ -19,10 +19,19 @@ const std::regex kMetricNameRe(R"([a-z_][a-z0-9_]*(\{.*\})?)");
 const std::regex kSpanNameRe(R"([a-z_][a-z0-9_.]*)");
 const std::regex kNakedNewRe(R"(\bnew\b)");
 const std::regex kMallocRe(R"(\b(malloc|calloc|realloc|free)\s*\()");
+// `#include <new>` names the header, not an allocation.
+const std::regex kIncludeLineRe(R"(^\s*#\s*include\b)");
 // The §6 determinism contract: the clustering kernels must not read
 // wall clocks, process entropy, or the environment.
 const std::regex kDeterminismRe(
     R"(\b(random_device|system_clock|getenv)\b|\b(rand|srand|time)\s*\()");
+// Fast-math opt-ins (flag spellings in macros/strings, float_control
+// or GCC optimize pragmas) would let the compiler reassociate the
+// kernels' reductions, silently voiding the scalar/SIMD bitwise
+// parity the §6 dispatch tiers promise. Matched on the
+// comment-stripped literal-preserving view: pragma string arguments
+// count, prose in comments does not.
+const std::regex kFastMathRe(R"(fast-math|\bfloat_control\b)");
 // Calls that can block on the outside world (or another thread).
 // `join()` matches only the zero-argument thread join.
 const std::regex kBlockingCallRe(
@@ -121,6 +130,7 @@ void check_file(const FileCheckInput& input,
     if (input.rules.naked_new &&
         (std::regex_search(code, m, kNakedNewRe) ||
          std::regex_search(code, m, kMallocRe)) &&
+        !std::regex_search(code, kIncludeLineRe) &&
         !suppressed(raw, kRuleNakedNew)) {
       findings.push_back({input.display_path, line_no, kRuleNakedNew,
                           "allocate through make_unique/make_shared "
@@ -138,6 +148,16 @@ void check_file(const FileCheckInput& input,
                "` in a deterministic kernel — the §6 contract forbids "
                "wall clocks, process entropy, and the environment; "
                "thread seeded util::Rng / virtual time through instead"});
+    }
+
+    if (input.rules.determinism && std::regex_search(nc, m, kFastMathRe) &&
+        !suppressed(raw, kRuleDeterminism)) {
+      findings.push_back(
+          {input.display_path, line_no, kRuleDeterminism,
+           "`" + m.str() +
+               "` in a deterministic kernel — fast-math reassociation "
+               "voids the §6 scalar/SIMD bitwise parity contract; keep "
+               "strict FP semantics (-ffp-contract=off at most)"});
     }
 
     if (input.rules.lock_across_io && input.locks != nullptr) {

@@ -1,0 +1,45 @@
+// Minimal over-aligned allocator for the kernel layer's storage.
+// Matrix rows start on 64-byte boundaries (cache line == one ymm pair)
+// so vector loads never straddle rows or lines; std::allocator only
+// guarantees alignof(double).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace incprof::cluster {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc();
+    // Raw aligned form — the allocator IS the owning abstraction here.
+    return static_cast<T*>(::operator new(  // incprof-lint: allow(naked-new)
+        n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace incprof::cluster

@@ -1,0 +1,42 @@
+// Overflow-checked size arithmetic for the kernel layer. Matrix shapes
+// and DistanceCache sizes come from client-supplied snapshot counts;
+// `rows * cols` and `n * (n - 1) / 2` silently wrap for adversarial
+// inputs and then resize() either UB-indexes or throws bad_alloc from
+// deep inside a worker. Every size computation in src/cluster routes
+// through these helpers instead.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+
+namespace incprof::cluster {
+
+/// a * b, or nullopt on size_t overflow.
+constexpr std::optional<std::size_t> checked_mul(std::size_t a,
+                                                 std::size_t b) noexcept {
+  if (a != 0 && b > std::numeric_limits<std::size_t>::max() / a) {
+    return std::nullopt;
+  }
+  return a * b;
+}
+
+/// a + b, or nullopt on size_t overflow.
+constexpr std::optional<std::size_t> checked_add(std::size_t a,
+                                                 std::size_t b) noexcept {
+  if (b > std::numeric_limits<std::size_t>::max() - a) return std::nullopt;
+  return a + b;
+}
+
+/// n * (n - 1) / 2 — the condensed pair count — or nullopt on
+/// overflow. Divides the even factor first so the intermediate never
+/// exceeds the result.
+constexpr std::optional<std::size_t> checked_pair_count(
+    std::size_t n) noexcept {
+  if (n < 2) return 0;
+  const std::size_t half = (n % 2 == 0) ? n / 2 : (n - 1) / 2;
+  const std::size_t other = (n % 2 == 0) ? n - 1 : n;
+  return checked_mul(half, other);
+}
+
+}  // namespace incprof::cluster

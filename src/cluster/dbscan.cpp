@@ -2,7 +2,10 @@
 
 #include "cluster/distance.hpp"
 #include "cluster/distance_cache.hpp"
+#include "cluster/simd/simd.hpp"
 #include "util/stats.hpp"
+
+#include <cmath>
 
 #include <algorithm>
 #include <deque>
@@ -15,15 +18,24 @@ std::vector<std::size_t> DbscanResult::labels_noise_absorbed(
     const Matrix& points) const {
   std::vector<std::size_t> out = labels;
   if (num_clusters == 0) return out;
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  const std::size_t n = out.size();
+  // One batched distance row per noise point; the strict-< first-wins
+  // scan over non-noise j in index order is unchanged, so winners match
+  // the historical per-pair loop bitwise.
+  std::vector<const double*> row_ptrs(n);
+  for (std::size_t j = 0; j < n; ++j) row_ptrs[j] = points.row_ptr(j);
+  std::vector<double> d2(n);
+  const simd::BatchKernels& kern = simd::kernels();
+  for (std::size_t i = 0; i < n; ++i) {
     if (out[i] != kNoise) continue;
+    kern.squared_euclidean(points.row_ptr(i), row_ptrs.data(), n,
+                           points.cols(), d2.data());
     double best = std::numeric_limits<double>::max();
     std::size_t best_label = 0;
-    for (std::size_t j = 0; j < out.size(); ++j) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (labels[j] == kNoise) continue;
-      const double d = squared_euclidean(points.row(i), points.row(j));
-      if (d < best) {
-        best = d;
+      if (d2[j] < best) {
+        best = d2[j];
         best_label = labels[j];
       }
     }
@@ -43,15 +55,28 @@ DbscanResult dbscan(const Matrix& points, const DbscanConfig& config,
   if (n == 0) return res;
 
   const double eps2 = config.eps * config.eps;
-  auto pair_dist2 = [&](std::size_t i, std::size_t j) {
-    return cache != nullptr ? cache->dist2(i, j)
-                            : squared_euclidean(points.row(i),
-                                                points.row(j));
-  };
+  // Uncached scans batch one full distance row per query point; the
+  // cached path reads the precomputed condensed entries (same IEEE
+  // values either way, see DistanceCache).
+  std::vector<const double*> row_ptrs;
+  std::vector<double> d2_row(n);
+  if (cache == nullptr) {
+    row_ptrs.resize(n);
+    for (std::size_t j = 0; j < n; ++j) row_ptrs[j] = points.row_ptr(j);
+  }
+  const simd::BatchKernels& kern = simd::kernels();
   auto neighbors = [&](std::size_t i) {
     std::vector<std::size_t> out;
+    if (cache != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (cache->dist2(i, j) <= eps2) out.push_back(j);
+      }
+      return out;
+    }
+    kern.squared_euclidean(points.row_ptr(i), row_ptrs.data(), n,
+                           points.cols(), d2_row.data());
     for (std::size_t j = 0; j < n; ++j) {
-      if (pair_dist2(i, j) <= eps2) out.push_back(j);
+      if (d2_row[j] <= eps2) out.push_back(j);
     }
     return out;
   };
@@ -114,10 +139,20 @@ double suggest_eps(const Matrix& points, std::size_t min_pts,
   std::vector<double> kdist;
   kdist.reserve(n);
   std::vector<double> d(n);
+  std::vector<const double*> row_ptrs;
+  if (cache == nullptr) {
+    row_ptrs.resize(n);
+    for (std::size_t j = 0; j < n; ++j) row_ptrs[j] = points.row_ptr(j);
+  }
+  const simd::BatchKernels& kern = simd::kernels();
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      d[j] = cache != nullptr ? cache->dist(i, j)
-                              : euclidean(points.row(i), points.row(j));
+    if (cache != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) d[j] = cache->dist(i, j);
+    } else {
+      // Batched d2 row, then the same per-entry sqrt euclidean() takes.
+      kern.squared_euclidean(points.row_ptr(i), row_ptrs.data(), n,
+                             points.cols(), d.data());
+      for (std::size_t j = 0; j < n; ++j) d[j] = std::sqrt(d[j]);
     }
     std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k),
                      d.end());

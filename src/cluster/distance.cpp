@@ -1,19 +1,37 @@
 #include "cluster/distance.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/simd/kernels_ref.hpp"
 
 namespace incprof::cluster {
+namespace {
+
+// Always-on precondition check. The old assert() vanished in release
+// builds and a mismatched pair of spans silently read out of bounds;
+// the cost of this branch is one predicted-not-taken compare per call
+// (measured in bench_micro_pipeline's per-kernel rows). Aborting is
+// deliberate: a width mismatch is a caller bug, not an input error,
+// and continuing would cluster on garbage.
+inline void check_same_size(std::span<const double> a,
+                            std::span<const double> b,
+                            const char* kernel) noexcept {
+  if (a.size() != b.size()) [[unlikely]] {
+    std::fprintf(stderr,
+                 "incprof: %s called with mismatched spans (%zu vs %zu)\n",
+                 kernel, a.size(), b.size());
+    std::abort();
+  }
+}
+
+}  // namespace
 
 double squared_euclidean(std::span<const double> a,
                          std::span<const double> b) noexcept {
-  assert(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  check_same_size(a, b, "squared_euclidean");
+  return simd::ref::squared_euclidean(a.data(), b.data(), a.size());
 }
 
 double euclidean(std::span<const double> a,
@@ -23,30 +41,13 @@ double euclidean(std::span<const double> a,
 
 double manhattan(std::span<const double> a,
                  std::span<const double> b) noexcept {
-  assert(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
-  return s;
+  check_same_size(a, b, "manhattan");
+  return simd::ref::manhattan(a.data(), b.data(), a.size());
 }
 
 double cosine(std::span<const double> a, std::span<const double> b) noexcept {
-  assert(a.size() == b.size());
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  // A zero vector has no direction: against another zero vector it is
-  // identical (distance 0), but against any busy interval it must be
-  // maximally distant — returning 0 here made every idle interval look
-  // identical to every busy one.
-  if (na == 0.0 && nb == 0.0) return 0.0;
-  if (na == 0.0 || nb == 0.0) return 1.0;
-  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
-  if (sim > 1.0) sim = 1.0;
-  if (sim < -1.0) sim = -1.0;
-  return 1.0 - sim;
+  check_same_size(a, b, "cosine");
+  return simd::ref::cosine(a.data(), b.data(), a.size());
 }
 
 }  // namespace incprof::cluster

@@ -10,17 +10,24 @@
 // Exactness: entries are squared_euclidean(row(i), row(j)) values, the
 // very expression the uncached code paths evaluate ((a-b)^2 is
 // symmetric in IEEE arithmetic), so cached and uncached analyses are
-// bit-identical.
+// bit-identical. The fill runs through the SIMD batch kernels, which
+// are lane-per-pair bitwise-identical to the scalar reference, so this
+// holds at every dispatch tier.
 //
 // Memory bound: n*(n-1)/2 doubles — ~4 MB for the paper's 1000-interval
 // scale, ~400 MB at n = 10^4.5; bytes_required(n) lets callers gate the
-// trade (sweep_k skips the cache above kAutoCacheMaxRows).
+// trade (sweep_k skips the cache above kAutoCacheMaxRows). All size
+// arithmetic is overflow-checked: adversarial n makes build() return an
+// empty cache (and log) instead of wrapping into UB, and
+// bytes_required saturates to SIZE_MAX so budget gates fail closed.
 #pragma once
 
+#include "cluster/checked.hpp"
 #include "cluster/matrix.hpp"
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace incprof::util {
@@ -39,13 +46,34 @@ class DistanceCache {
 
   /// Computes all n*(n-1)/2 pairwise squared distances, fanning the row
   /// blocks out over `pool` when one is given (build is deterministic
-  /// either way: every entry is an independent slot).
+  /// either way: every entry is an independent slot). Returns an empty
+  /// cache (size() == 0) and logs when the condensed size overflows or
+  /// cannot be allocated.
   static DistanceCache build(const Matrix& points,
                              util::ThreadPool* pool = nullptr);
 
-  /// Heap bytes a cache over n rows requires.
+  /// fp32 twin for the opt-in --fp32 path: distances are computed in
+  /// float (from a float copy of the rows) and widened into the same
+  /// condensed layout. NOT covered by the bitwise fp64 contract —
+  /// callers gate it explicitly and may verify with
+  /// max_relative_divergence().
+  static DistanceCache build_fp32(const Matrix& points,
+                                  util::ThreadPool* pool = nullptr);
+
+  /// Largest |a - b| / max(|b|, 1e-12) over all condensed entries of
+  /// two same-size caches (fp32 vs fp64 verify). Returns 0 for empty
+  /// or mismatched caches.
+  static double max_relative_divergence(const DistanceCache& a,
+                                        const DistanceCache& b) noexcept;
+
+  /// Heap bytes a cache over n rows requires; saturates to SIZE_MAX
+  /// when the count overflows, so "fits under budget" gates fail
+  /// closed for adversarial n.
   static std::size_t bytes_required(std::size_t n) noexcept {
-    return n < 2 ? 0 : (n * (n - 1) / 2) * sizeof(double);
+    const auto pairs = checked_pair_count(n);
+    if (!pairs) return std::numeric_limits<std::size_t>::max();
+    const auto bytes = checked_mul(*pairs, sizeof(double));
+    return bytes ? *bytes : std::numeric_limits<std::size_t>::max();
   }
 
   /// Number of rows the cache was built over.

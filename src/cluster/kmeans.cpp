@@ -1,6 +1,7 @@
 #include "cluster/kmeans.hpp"
 
 #include "cluster/distance.hpp"
+#include "cluster/simd/simd.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,11 +37,21 @@ Matrix seed_centroids(const Matrix& pts, std::size_t k, util::Rng& rng) {
   std::size_t first = static_cast<std::size_t>(rng.next_below(n));
   for (std::size_t c = 0; c < d; ++c) centroids.at(0, c) = pts.at(first, c);
 
+  // Batched distance-to-last-centroid scan. The SIMD kernels evaluate
+  // squared_euclidean(centroid, point): fl(a-b) == -fl(b-a) exactly, so
+  // the squared terms — and the whole reduction — are bitwise-identical
+  // to the historical (point, centroid) orientation.
+  std::vector<const double*> row_ptrs(n);
+  for (std::size_t r = 0; r < n; ++r) row_ptrs[r] = pts.row_ptr(r);
+  std::vector<double> d2_scan(n);
+  const simd::BatchKernels& kern = simd::kernels();
+
   for (std::size_t ci = 1; ci < k; ++ci) {
+    kern.squared_euclidean(centroids.row_ptr(ci - 1), row_ptrs.data(), n, d,
+                           d2_scan.data());
     double total = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
-      const double d2 = squared_euclidean(pts.row(r), centroids.row(ci - 1));
-      dist2[r] = std::min(dist2[r], d2);
+      dist2[r] = std::min(dist2[r], d2_scan[r]);
       total += dist2[r];
     }
     std::size_t chosen = 0;
@@ -72,48 +83,59 @@ struct LloydRun {
   std::size_t iterations = 0;
 };
 
-/// Nearest-centroid search for one row.
-inline void assign_row(const Matrix& pts, const Matrix& centroids,
-                       std::size_t r, std::size_t k, double& best,
-                       std::size_t& besti) {
-  best = std::numeric_limits<double>::max();
-  besti = 0;
+/// Nearest-centroid search for one fixed block of rows, batched: one
+/// SIMD kernel call per centroid over the whole block, then a strict-<
+/// argmin per row in centroid order — the exact comparison sequence
+/// (including the max() sentinel start) the historical per-row scalar
+/// loop performed, so winners and distances are bitwise-identical.
+inline void assign_block(const Matrix& pts, const Matrix& centroids,
+                         std::size_t k, std::size_t lo, std::size_t hi,
+                         double* best, std::size_t* besti) {
+  const simd::BatchKernels& kern = simd::kernels();
+  const std::size_t cnt = hi - lo;
+  const std::size_t d = pts.cols();
+  const double* rows[kAssignBlock];
+  double cur[kAssignBlock];
+  for (std::size_t i = 0; i < cnt; ++i) rows[i] = pts.row_ptr(lo + i);
+  for (std::size_t i = 0; i < cnt; ++i) {
+    best[i] = std::numeric_limits<double>::max();
+    besti[i] = 0;
+  }
   for (std::size_t c = 0; c < k; ++c) {
-    const double d2 = squared_euclidean(pts.row(r), centroids.row(c));
-    if (d2 < best) {
-      best = d2;
-      besti = c;
+    kern.squared_euclidean(centroids.row_ptr(c), rows, cnt, d, cur);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      if (cur[i] < best[i]) {
+        best[i] = cur[i];
+        besti[i] = c;
+      }
     }
   }
 }
 
-/// One full assignment pass. With a pool, rows are computed in fixed
-/// kAssignBlock tasks (per-row results are independent slots) and the
-/// inertia is then reduced serially in row order — bit-identical to the
-/// serial loop, which accumulates in that same order.
+/// One full assignment pass. Rows are always processed in fixed
+/// kAssignBlock chunks (per-row results are independent slots) whether
+/// the blocks run serially or on the pool, and the inertia is then
+/// reduced serially in row order — so the answer is bit-identical at
+/// any pool size.
 double assignment_pass(const Matrix& pts, const Matrix& centroids,
                        std::size_t k, std::vector<std::size_t>& assignments,
                        std::vector<double>& best_dist,
                        util::ThreadPool* pool) {
   const std::size_t n = pts.rows();
+  const std::size_t blocks = (n + kAssignBlock - 1) / kAssignBlock;
+  auto run_block = [&](std::size_t b) {
+    const std::size_t lo = b * kAssignBlock;
+    const std::size_t hi = std::min(n, lo + kAssignBlock);
+    assign_block(pts, centroids, k, lo, hi, best_dist.data() + lo,
+                 assignments.data() + lo);
+  };
   if (pool != nullptr && n >= 2 * kAssignBlock) {
-    const std::size_t blocks = (n + kAssignBlock - 1) / kAssignBlock;
-    pool->parallel_for(blocks, [&](std::size_t b) {
-      const std::size_t lo = b * kAssignBlock;
-      const std::size_t hi = std::min(n, lo + kAssignBlock);
-      for (std::size_t r = lo; r < hi; ++r) {
-        assign_row(pts, centroids, r, k, best_dist[r], assignments[r]);
-      }
-    });
-    double inertia = 0.0;
-    for (std::size_t r = 0; r < n; ++r) inertia += best_dist[r];
-    return inertia;
+    pool->parallel_for(blocks, run_block);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b);
   }
   double inertia = 0.0;
-  for (std::size_t r = 0; r < n; ++r) {
-    assign_row(pts, centroids, r, k, best_dist[r], assignments[r]);
-    inertia += best_dist[r];
-  }
+  for (std::size_t r = 0; r < n; ++r) inertia += best_dist[r];
   return inertia;
 }
 

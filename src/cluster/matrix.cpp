@@ -1,13 +1,45 @@
 #include "cluster/matrix.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace incprof::cluster {
 
+std::size_t Matrix::padded_stride(std::size_t cols) {
+  if (cols == 0) return 0;
+  const auto rounded = checked_add(cols, kRowAlignDoubles - 1);
+  if (!rounded) {
+    throw ShapeError("Matrix: column count " + std::to_string(cols) +
+                     " cannot be stride-padded without overflow");
+  }
+  return *rounded / kRowAlignDoubles * kRowAlignDoubles;
+}
+
+std::size_t Matrix::checked_extent(std::size_t rows, std::size_t stride) {
+  const auto extent = checked_mul(rows, stride);
+  if (!extent || !checked_mul(*extent, sizeof(double))) {
+    throw ShapeError("Matrix: shape " + std::to_string(rows) + " x " +
+                     std::to_string(stride) +
+                     " (padded) overflows addressable size");
+  }
+  return *extent;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), stride_(padded_stride(cols)) {
+  data_.resize(checked_extent(rows_, stride_), 0.0);
+}
+
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  if (data_.size() != rows_ * cols_) {
+    : rows_(rows), cols_(cols), stride_(padded_stride(cols)) {
+  const auto flat = checked_mul(rows_, cols_);
+  if (!flat || data.size() != *flat) {
     throw std::invalid_argument("Matrix: data size does not match shape");
+  }
+  data_.resize(checked_extent(rows_, stride_), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy_n(data.data() + r * cols_, cols_, data_.data() + r * stride_);
   }
 }
 
@@ -21,10 +53,14 @@ std::vector<double> Matrix::column(std::size_t c) const {
 void Matrix::append_row(std::span<const double> row) {
   if (rows_ == 0 && cols_ == 0) {
     cols_ = row.size();
+    stride_ = padded_stride(cols_);
   } else if (row.size() != cols_) {
     throw std::invalid_argument("Matrix::append_row: width mismatch");
   }
-  data_.insert(data_.end(), row.begin(), row.end());
+  data_.resize(checked_extent(rows_ + 1, stride_), 0.0);
+  if (!row.empty()) {
+    std::copy_n(row.data(), row.size(), data_.data() + rows_ * stride_);
+  }
   ++rows_;
 }
 

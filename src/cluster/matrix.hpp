@@ -1,67 +1,110 @@
 // Row-major dense matrix of doubles. This is the interval-by-function
 // feature matrix that the phase detector clusters: one row per profiling
 // interval, one column per observed function.
+//
+// Storage is 64-byte-aligned with the row stride padded up to a whole
+// cache line (8 doubles), so every row starts on an aligned boundary
+// and the SIMD kernels' vector loads never straddle rows. The padding
+// is storage-only: row() spans stay cols() wide and the kernels iterate
+// exactly cols() dimensions, so the pad lanes never enter a reduction
+// (summing even a +0.0 pad would flip a -0.0 accumulator's sign bit
+// and break the §6 bitwise contract).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "cluster/aligned.hpp"
+#include "cluster/checked.hpp"
+
 namespace incprof::cluster {
+
+/// Thrown for shapes whose element count does not fit in memory
+/// arithmetic (rows * stride overflowing size_t). Typed so the
+/// pipeline boundary can report "impossible shape" distinctly from
+/// allocation failure.
+class ShapeError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Dense row-major matrix. Rows are observations (intervals), columns are
 /// features (per-function self seconds). Value semantics throughout.
 class Matrix {
  public:
+  /// Row stride granularity in doubles: one 64-byte cache line.
+  static constexpr std::size_t kRowAlignDoubles = 8;
+
   Matrix() = default;
 
-  /// Creates a rows x cols matrix of zeros.
-  Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Creates a rows x cols matrix of zeros. Throws ShapeError when the
+  /// padded element count overflows size_t.
+  Matrix(std::size_t rows, std::size_t cols);
 
-  /// Creates from explicit row-major data; data.size() must equal
-  /// rows * cols.
+  /// Creates from explicit row-major (unpadded) data; data.size() must
+  /// equal rows * cols.
   Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
 
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
 
+  /// Doubles between consecutive row starts (cols() rounded up to a
+  /// cache line; 0 for a matrix with no columns).
+  std::size_t stride() const noexcept { return stride_; }
+
   /// Element access (bounds-checked in debug builds).
   double& at(std::size_t r, std::size_t c) noexcept {
     assert(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
   double at(std::size_t r, std::size_t c) const noexcept {
     assert(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
 
-  /// One full row as a contiguous span.
+  /// One full row as a contiguous span of cols() doubles (the stride
+  /// padding is not part of the row).
   std::span<const double> row(std::size_t r) const noexcept {
     assert(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
   }
   std::span<double> row(std::size_t r) noexcept {
     assert(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data_.data() + r * stride_, cols_};
+  }
+
+  /// Raw 64-byte-aligned pointer to row r, for the batch kernels.
+  const double* row_ptr(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return data_.data() + r * stride_;
   }
 
   /// Copies one column into a fresh vector.
   std::vector<double> column(std::size_t c) const;
 
   /// Appends a row; row.size() must equal cols() (or the matrix must be
-  /// empty, in which case it fixes the column count).
+  /// empty, in which case it fixes the column count). Throws ShapeError
+  /// when the grown storage size would overflow.
   void append_row(std::span<const double> row);
 
-  /// Underlying row-major storage.
-  std::span<const double> data() const noexcept { return data_; }
+  /// Underlying padded storage (rows() * stride() doubles). Rows are
+  /// separated by zeroed pad lanes — iterate row() spans, not this,
+  /// when summing values.
+  std::span<const double> storage() const noexcept { return data_; }
 
  private:
+  static std::size_t padded_stride(std::size_t cols);
+  /// rows * stride elements, or throws ShapeError.
+  static std::size_t checked_extent(std::size_t rows, std::size_t stride);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t stride_ = 0;
+  std::vector<double, AlignedAllocator<double, 64>> data_;
 };
 
 }  // namespace incprof::cluster

@@ -2,9 +2,11 @@
 
 #include "cluster/distance.hpp"
 #include "cluster/distance_cache.hpp"
+#include "cluster/simd/simd.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -13,19 +15,20 @@ namespace incprof::cluster {
 
 namespace {
 
-/// Silhouette of point i against its clustering; `dist(i, j)` supplies
-/// the pairwise Euclidean distance (direct or cached — both compute the
-/// same IEEE expression, see DistanceCache). Self-contained per point so
-/// the parallel path can compute each i into its own slot.
-template <typename DistFn>
-double point_silhouette(const DistFn& dist, std::size_t n, std::size_t k,
+/// Silhouette of point i given its full distance row (row_dist[j] is
+/// the Euclidean distance i<->j; the diagonal entry is skipped). The
+/// accumulation walks j in index order — the same addition sequence as
+/// the historical per-pair loop — so cached, uncached, and batched
+/// fills all produce bitwise-identical silhouettes.
+double point_silhouette(const std::vector<double>& row_dist, std::size_t n,
+                        std::size_t k,
                         const std::vector<std::size_t>& assignments,
                         const std::vector<std::size_t>& sizes,
                         std::size_t i, std::vector<double>& mean_dist) {
   mean_dist.assign(k, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
     if (i == j) continue;
-    mean_dist[assignments[j]] += dist(i, j);
+    mean_dist[assignments[j]] += row_dist[j];
   }
   const std::size_t ci = assignments[i];
   if (sizes[ci] <= 1) return 0.0;  // singleton: silhouette defined as 0
@@ -39,8 +42,9 @@ double point_silhouette(const DistFn& dist, std::size_t n, std::size_t k,
   return denom > 0.0 ? (b - a) / denom : 0.0;
 }
 
-template <typename DistFn>
-double mean_silhouette_impl(const DistFn& dist, std::size_t n,
+/// `fill(i, row_dist)` writes point i's full Euclidean distance row.
+template <typename FillFn>
+double mean_silhouette_impl(const FillFn& fill, std::size_t n,
                             const std::vector<std::size_t>& assignments,
                             util::ThreadPool* pool) {
   const std::size_t k =
@@ -53,13 +57,19 @@ double mean_silhouette_impl(const DistFn& dist, std::size_t n,
   std::vector<double> sil(n, 0.0);
   if (pool != nullptr) {
     pool->parallel_for(n, [&](std::size_t i) {
+      std::vector<double> row_dist(n);
       std::vector<double> mean_dist;
-      sil[i] = point_silhouette(dist, n, k, assignments, sizes, i, mean_dist);
+      fill(i, row_dist);
+      sil[i] = point_silhouette(row_dist, n, k, assignments, sizes, i,
+                                mean_dist);
     });
   } else {
+    std::vector<double> row_dist(n);
     std::vector<double> mean_dist;
     for (std::size_t i = 0; i < n; ++i) {
-      sil[i] = point_silhouette(dist, n, k, assignments, sizes, i, mean_dist);
+      fill(i, row_dist);
+      sil[i] = point_silhouette(row_dist, n, k, assignments, sizes, i,
+                                mean_dist);
     }
   }
 
@@ -89,12 +99,21 @@ double mean_silhouette(const Matrix& points,
   if (n == 0) return 0.0;
   if (cache != nullptr && cache->size() == n) {
     return mean_silhouette_impl(
-        [cache](std::size_t i, std::size_t j) { return cache->dist(i, j); },
+        [cache, n](std::size_t i, std::vector<double>& row_dist) {
+          for (std::size_t j = 0; j < n; ++j) row_dist[j] = cache->dist(i, j);
+        },
         n, assignments, pool);
   }
+  // Uncached: one batched d2 row per point, then the same per-entry
+  // sqrt that euclidean() applies.
+  std::vector<const double*> row_ptrs(n);
+  for (std::size_t j = 0; j < n; ++j) row_ptrs[j] = points.row_ptr(j);
+  const simd::BatchKernels& kern = simd::kernels();
   return mean_silhouette_impl(
-      [&points](std::size_t i, std::size_t j) {
-        return euclidean(points.row(i), points.row(j));
+      [&](std::size_t i, std::vector<double>& row_dist) {
+        kern.squared_euclidean(points.row_ptr(i), row_ptrs.data(), n,
+                               points.cols(), row_dist.data());
+        for (std::size_t j = 0; j < n; ++j) row_dist[j] = std::sqrt(row_dist[j]);
       },
       n, assignments, pool);
 }

@@ -1,0 +1,14 @@
+// Per-tier kernel table providers. The arch-specific TUs are always
+// compiled; on the wrong architecture their internal #if guards leave
+// only a stub returning nullptr, which the dispatcher treats as "tier
+// not available" and falls back to scalar.
+#pragma once
+
+namespace incprof::cluster::simd {
+
+struct BatchKernels;
+
+const BatchKernels* avx2_kernels() noexcept;
+const BatchKernels* neon_kernels() noexcept;
+
+}  // namespace incprof::cluster::simd

@@ -61,7 +61,11 @@ int IntervalData::function_index(std::string_view name) const noexcept {
 
 double IntervalData::total_self_seconds() const noexcept {
   double total = 0.0;
-  for (double v : self_seconds_.data()) total += v;
+  // Row by row: Matrix storage is stride-padded, so the raw span holds
+  // pad lanes that must not enter the sum.
+  for (std::size_t r = 0; r < self_seconds_.rows(); ++r) {
+    for (double v : self_seconds_.row(r)) total += v;
+  }
   return total;
 }
 

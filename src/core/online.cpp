@@ -1,5 +1,6 @@
 #include "core/online.hpp"
 
+#include "cluster/simd/simd.hpp"
 #include "obs/span.hpp"
 #include "util/hash.hpp"
 
@@ -21,6 +22,9 @@ OnlinePhaseTracker::OnlinePhaseTracker(OnlineConfig config)
     v_.reserve(config_.sketch_width);
     centroids_.reserve(config_.max_phases);
     phases_.reserve(config_.max_phases);
+    assign_ptrs_.reserve(config_.max_phases);
+    assign_slots_.reserve(config_.max_phases);
+    assign_d2_.reserve(config_.max_phases);
   }
 }
 
@@ -92,20 +96,52 @@ OnlineObservation OnlinePhaseTracker::observe_impl(
   std::size_t best_phase = kNoPhase;
   {
     obs::ScopedSpan span("online.assign", "analysis");
-    for (std::size_t p = 0; p < centroids_.size(); ++p) {
+    // Fast path: when every live centroid is exactly v_.size() wide
+    // (always true in streaming mode; true in exact mode until a new
+    // function appears), one batched SIMD call computes all squared
+    // distances. The sqrt still runs per-candidate *before* the
+    // strict-< compare: two distinct d2 can round to the same d, and
+    // comparing d2 directly would then pick a different first winner.
+    assign_ptrs_.clear();
+    assign_slots_.clear();
+    bool uniform = true;
+    for (std::size_t p = 0; p < centroids_.size() && uniform; ++p) {
       if (phases_[p].merged_into != kNoPhase) continue;
-      const auto& c = centroids_[p];
-      double d2 = 0.0;
-      const std::size_t n = v_.size();
-      for (std::size_t j = 0; j < n; ++j) {
-        const double cj = j < c.size() ? c[j] : 0.0;
-        const double diff = v_[j] - cj;
-        d2 += diff * diff;
+      if (centroids_[p].size() != v_.size()) {
+        uniform = false;
+        break;
       }
-      const double d = std::sqrt(d2);
-      if (d < best) {
-        best = d;
-        best_phase = p;
+      assign_ptrs_.push_back(centroids_[p].data());
+      assign_slots_.push_back(p);
+    }
+    if (uniform && !assign_ptrs_.empty()) {
+      assign_d2_.resize(assign_ptrs_.size());
+      cluster::simd::kernels().squared_euclidean(
+          v_.data(), assign_ptrs_.data(), assign_ptrs_.size(), v_.size(),
+          assign_d2_.data());
+      for (std::size_t t = 0; t < assign_slots_.size(); ++t) {
+        const double d = std::sqrt(assign_d2_[t]);
+        if (d < best) {
+          best = d;
+          best_phase = assign_slots_[t];
+        }
+      }
+    } else if (!uniform) {
+      for (std::size_t p = 0; p < centroids_.size(); ++p) {
+        if (phases_[p].merged_into != kNoPhase) continue;
+        const auto& c = centroids_[p];
+        double d2 = 0.0;
+        const std::size_t n = v_.size();
+        for (std::size_t j = 0; j < n; ++j) {
+          const double cj = j < c.size() ? c[j] : 0.0;
+          const double diff = v_[j] - cj;
+          d2 += diff * diff;
+        }
+        const double d = std::sqrt(d2);
+        if (d < best) {
+          best = d;
+          best_phase = p;
+        }
       }
     }
   }

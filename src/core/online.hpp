@@ -198,6 +198,13 @@ class OnlinePhaseTracker {
   std::vector<PhaseState> phases_;
   std::size_t live_phases_ = 0;
 
+  // Reused assignment scratch (capacity-stable after warmup, honoring
+  // the zero-steady-path-allocation contract): live centroid pointers,
+  // their phase slots, and the batched squared distances.
+  std::vector<const double*> assign_ptrs_;
+  std::vector<std::size_t> assign_slots_;
+  std::vector<double> assign_d2_;
+
   // Assignment state: full history (exact mode), bounded ring
   // (streaming mode), and exact counters (both modes).
   std::vector<std::size_t> history_;

@@ -6,6 +6,7 @@
 #include "gmon/scanner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 #include <memory>
@@ -82,8 +83,24 @@ PhaseAnalysis analyze_snapshots(
     obs::ScopedSpan span("pipeline.distance_cache", "analysis",
                          &stage_hist("distance_cache"));
     const std::size_t n = a.features.features.rows();
+    // bytes_required saturates on overflow, so adversarial interval
+    // counts fail this gate instead of wrapping into a tiny allocation.
     if (n >= 2 && cluster::DistanceCache::bytes_required(n) <= kCacheBudget) {
-      cache = cluster::DistanceCache::build(a.features.features, pool.get());
+      if (config.fp32_distance) {
+        cache =
+            cluster::DistanceCache::build_fp32(a.features.features, pool.get());
+        if (config.fp32_verify) {
+          const cluster::DistanceCache exact =
+              cluster::DistanceCache::build(a.features.features, pool.get());
+          a.fp32_divergence =
+              cluster::DistanceCache::max_relative_divergence(cache, exact);
+          util::log_info(
+              "fp32 distance verify: max relative divergence " +
+              std::to_string(a.fp32_divergence));
+        }
+      } else {
+        cache = cluster::DistanceCache::build(a.features.features, pool.get());
+      }
     }
   }
   {

@@ -86,6 +86,32 @@ TEST(Rules, DeterminismFlagsEntropyAndClocks) {
           .empty());
 }
 
+TEST(Rules, DeterminismFlagsFastMathOptIns) {
+  // Fast-math (pragma or attribute spelling) voids the scalar/SIMD
+  // bitwise parity contract, so it counts as a determinism breach in
+  // the kernels — including inside pragma string arguments, which live
+  // in the literal-preserving view.
+  EXPECT_EQ(check("src/cluster/a.cpp",
+                  "#pragma float_control(precise, off)\n")
+                .size(),
+            1u);
+  EXPECT_EQ(check("src/cluster/a.cpp",
+                  "__attribute__((optimize(\"fast-math\"))) void f();\n")
+                .size(),
+            1u);
+  EXPECT_EQ(check("src/core/a.cpp",
+                  "#pragma GCC optimize(\"ffast-math\")\n")
+                .size(),
+            1u);
+  // Prose in comments and non-kernel directories stay clean.
+  EXPECT_TRUE(check("src/cluster/a.cpp",
+                    "// never build this TU with -ffast-math\n")
+                  .empty());
+  EXPECT_TRUE(check("src/service/a.cpp",
+                    "#pragma float_control(precise, off)\n")
+                  .empty());
+}
+
 TEST(Rules, SuppressionIsPerRule) {
   EXPECT_TRUE(analysis::suppressed(
       "std::mutex m;  // incprof-lint: allow(bare-mutex)",

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "cluster/simd/simd.hpp"
 #include "gmon/binary_io.hpp"
 #include "gmon/scanner.hpp"
 #include "synthetic.hpp"
@@ -105,6 +106,52 @@ TEST(Pipeline, ThreadCountNeverChangesTheAnswer) {
     EXPECT_EQ(ea.result.inertia, eb.result.inertia);
     EXPECT_EQ(ea.result.assignments, eb.result.assignments);
   }
+}
+
+TEST(Pipeline, SimdTierNeverChangesTheAnswer) {
+  // The §6 contract extended to the SIMD dispatch layer: --simd trades
+  // wall time only. Every sweep entry must be bit-identical between a
+  // forced-scalar run and the host's best tier (which is scalar too on
+  // hosts without vector units — the comparison is then trivially true
+  // but still exercises the forcing path).
+  const auto snaps = cumulative_from_intervals(three_phase_workload(18));
+  const cluster::simd::Tier saved = cluster::simd::active_tier();
+  ASSERT_TRUE(cluster::simd::set_active_tier(cluster::simd::Tier::kScalar));
+  const PhaseAnalysis a = analyze_snapshots(snaps);
+  ASSERT_TRUE(cluster::simd::set_active_tier(cluster::simd::detected_tier()));
+  const PhaseAnalysis b = analyze_snapshots(snaps);
+  cluster::simd::set_active_tier(saved);
+  EXPECT_EQ(a.detection.num_phases, b.detection.num_phases);
+  EXPECT_EQ(a.detection.assignments, b.detection.assignments);
+  EXPECT_EQ(a.chosen_sweep_index, b.chosen_sweep_index);
+  ASSERT_EQ(a.detection.sweep.entries.size(),
+            b.detection.sweep.entries.size());
+  for (std::size_t i = 0; i < a.detection.sweep.entries.size(); ++i) {
+    const auto& ea = a.detection.sweep.entries[i];
+    const auto& eb = b.detection.sweep.entries[i];
+    EXPECT_EQ(ea.k, eb.k);
+    EXPECT_EQ(ea.silhouette, eb.silhouette);
+    EXPECT_EQ(ea.result.inertia, eb.result.inertia);
+    EXPECT_EQ(ea.result.assignments, eb.result.assignments);
+  }
+}
+
+TEST(Pipeline, Fp32VerifyReportsDivergence) {
+  // --fp32 is opt-in and gated out of the bitwise contract; the verify
+  // mode quantifies the gate. The analysis must still complete and the
+  // measured divergence must be tiny for well-scaled features.
+  const auto snaps = cumulative_from_intervals(three_phase_workload(18));
+  PipelineConfig cfg;
+  cfg.fp32_distance = true;
+  cfg.fp32_verify = true;
+  const PhaseAnalysis a = analyze_snapshots(snaps, cfg);
+  EXPECT_GE(a.fp32_divergence, 0.0);
+  EXPECT_LT(a.fp32_divergence, 1e-3);
+  EXPECT_GT(a.detection.num_phases, 0u);
+  // Without verify the field stays at its -1 sentinel.
+  PipelineConfig plain;
+  const PhaseAnalysis b = analyze_snapshots(snaps, plain);
+  EXPECT_EQ(b.fp32_divergence, -1.0);
 }
 
 TEST(Pipeline, MergeOptionCombinesSameSitePhases) {

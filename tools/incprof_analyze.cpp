@@ -18,6 +18,15 @@
 //   --threads <n>      analysis threads: 0 = hardware concurrency
 //                      (default), 1 = serial; results are identical at
 //                      any value, only wall time changes
+//   --simd <tier>      distance-kernel tier: auto (default, best the
+//                      CPU supports), avx2, neon, or scalar; every
+//                      tier is bit-identical, only wall time changes
+//   --fp32             compute the pairwise-distance cache in float
+//                      (faster, half the memory; results may diverge
+//                      from the fp64 engine — opt-in, outside the
+//                      determinism contract)
+//   --fp32-verify      with --fp32, also build the fp64 cache and
+//                      report the max relative divergence
 //   --lift <file>      lift sites using a binary call-graph snapshot
 //   --csv <file>       also write the per-interval feature matrix as CSV
 //   --online           additionally replay the dumps through the
@@ -28,6 +37,7 @@
 //   --sketch-width <n> feature sketch width with --streaming
 //                      (default 256)
 
+#include "cluster/simd/simd.hpp"
 #include "core/fastphase.hpp"
 #include "core/lift.hpp"
 #include "core/online.hpp"
@@ -56,6 +66,7 @@ int usage(const char* argv0) {
                "usage: %s <dump_dir> [--text] [--merge] [--silhouette] [--online] "
                "[--streaming] [--sketch-width n] "
                "[--standardize] [--threshold f] [--kmax n] [--threads n] "
+               "[--simd auto|avx2|neon|scalar] [--fp32] [--fp32-verify] "
                "[--lift callgraph.bin] [--csv intervals.csv] "
                "[--quiet] [--verbose]\n",
                argv0);
@@ -131,6 +142,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.threads = static_cast<std::size_t>(threads);
+    } else if (std::strcmp(arg, "--simd") == 0 && i + 1 < argc) {
+      cluster::simd::Tier tier;
+      if (!cluster::simd::parse_tier(argv[++i], tier)) {
+        std::fprintf(stderr,
+                     "--simd: invalid tier '%s' (expected auto, avx2, "
+                     "neon, or scalar)\n",
+                     argv[i]);
+        return 2;
+      }
+      if (!cluster::simd::set_active_tier(tier)) {
+        std::fprintf(stderr,
+                     "--simd: tier '%s' is not supported on this CPU "
+                     "(detected: %s)\n",
+                     argv[i],
+                     cluster::simd::tier_name(cluster::simd::detected_tier()));
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--fp32") == 0) {
+      cfg.fp32_distance = true;
+    } else if (std::strcmp(arg, "--fp32-verify") == 0) {
+      cfg.fp32_distance = true;
+      cfg.fp32_verify = true;
     } else if (std::strcmp(arg, "--lift") == 0 && i + 1 < argc) {
       lift_path = argv[++i];
     } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {

@@ -142,6 +142,8 @@ const std::vector<Case>& cases() {
        "void* p = malloc(64);\n", nullptr, {{1, "naked-new"}}},
       {"naked-new/make-unique-clean", "src/core/selftest.cpp",
        "auto p = std::make_unique<Widget>();\n", nullptr, {}},
+      {"naked-new/include-clean", "src/core/selftest.cpp",
+       "#include <new>\n", nullptr, {}},
       {"naked-new/tests-profile-clean", "tests/selftest.cpp",
        "auto* p = new Widget();\n", nullptr, {}},
       // --- determinism ----------------------------------------------------
@@ -156,8 +158,16 @@ const std::vector<Case>& cases() {
       {"determinism/getenv", "src/cluster/selftest.cpp",
        "const char* home = getenv(\"HOME\");\n", nullptr,
        {{1, "determinism"}}},
+      {"determinism/fast-math-pragma", "src/cluster/selftest.cpp",
+       "#pragma float_control(precise, off)\n", nullptr,
+       {{1, "determinism"}}},
+      {"determinism/fast-math-optimize", "src/cluster/selftest.cpp",
+       "__attribute__((optimize(\"fast-math\"))) double hot();\n", nullptr,
+       {{1, "determinism"}}},
       {"determinism/comment-clean", "src/cluster/selftest.cpp",
        "// system_clock would break replay here\n", nullptr, {}},
+      {"determinism/fast-math-comment-clean", "src/cluster/selftest.cpp",
+       "// -ffast-math must never be enabled for this TU\n", nullptr, {}},
       {"determinism/rng-clean", "src/cluster/selftest.cpp",
        "util::Rng rng(seed);\n", nullptr, {}},
       {"determinism/outside-kernel-clean", "src/service/selftest.cpp",

@@ -66,6 +66,7 @@
 //   --quiet              only errors on stderr
 //   --verbose            debug-level diagnostics on stderr
 
+#include "cluster/simd/simd.hpp"
 #include "obs/http.hpp"
 #include "obs/trace.hpp"
 #include "service/faults.hpp"
@@ -102,7 +103,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port n] [--obs-port n] [--shard-id n] "
                "[--port-file path] [--threads n] [--workers n] "
-               "[--streaming] [--sketch-width n] "
+               "[--streaming] [--simd auto|avx2|neon|scalar] "
+               "[--sketch-width n] "
                "[--queue-capacity n] [--error-budget n] "
                "[--resume-grace-ms n] [--idle-timeout-ms n] "
                "[--read-timeout-ms n] [--postmortem-dir path] "
@@ -390,6 +392,18 @@ int main(int argc, char** argv) {
           flag_int("--workers", need("--workers"), 1, 1024));
     } else if (std::strcmp(argv[i], "--streaming") == 0) {
       cfg.session.tracker.streaming = true;
+    } else if (std::strcmp(argv[i], "--simd") == 0) {
+      const char* tier_arg = need("--simd");
+      cluster::simd::Tier tier;
+      if (!cluster::simd::parse_tier(tier_arg, tier) ||
+          !cluster::simd::set_active_tier(tier)) {
+        std::fprintf(stderr,
+                     "--simd: invalid or unsupported tier '%s' (expected "
+                     "auto, avx2, neon, or scalar; detected: %s)\n",
+                     tier_arg,
+                     cluster::simd::tier_name(cluster::simd::detected_tier()));
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--sketch-width") == 0) {
       cfg.session.tracker.sketch_width = static_cast<std::size_t>(
           flag_int("--sketch-width", need("--sketch-width"), 1, 1 << 20));
